@@ -1,0 +1,58 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary regenerates the paper-2017 synthetic ecosystem
+// (deterministic; ~1s), runs the pipeline stage under study, and prints the
+// paper's reported numbers next to the measured ones.  Absolute counts are
+// scaled by the scenario's bulk/abuse divisors; rankings, rates and ECDF
+// shapes are the reproduction targets (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "idnscope/core/study.h"
+#include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/ecosystem/paper.h"
+#include "idnscope/stats/table.h"
+
+namespace idnscope::bench {
+
+inline ecosystem::Scenario bench_scenario() {
+  ecosystem::Scenario scenario = ecosystem::Scenario::paper2017();
+  // IDNSCOPE_BENCH_FAST=1 shrinks the world for quick iterations.
+  if (const char* fast = std::getenv("IDNSCOPE_BENCH_FAST");
+      fast != nullptr && fast[0] == '1') {
+    scenario.bulk_scale = 1000;
+    scenario.abuse_scale = 50;
+    scenario.generate_filler = false;
+  }
+  return scenario;
+}
+
+struct World {
+  ecosystem::Ecosystem eco;
+  core::Study study;
+
+  explicit World(const ecosystem::Scenario& scenario)
+      : eco(ecosystem::generate(scenario)), study(eco) {}
+};
+
+inline World make_world() { return World(bench_scenario()); }
+
+inline void print_header(const char* experiment, const char* description,
+                         const ecosystem::Scenario& scenario) {
+  std::printf("=== %s ===\n%s\n", experiment, description);
+  std::printf(
+      "scenario: seed=%llu bulk_scale=1:%u abuse_scale=1:%u snapshot=%s\n"
+      "(paper counts are raw; measured counts are at the stated scale)\n\n",
+      static_cast<unsigned long long>(scenario.seed), scenario.bulk_scale,
+      scenario.abuse_scale, scenario.snapshot.to_string().c_str());
+}
+
+inline std::string scaled_paper(std::uint64_t raw, unsigned divisor) {
+  return stats::format_count(raw) + " (≈" +
+         stats::format_count(raw / divisor) + " scaled)";
+}
+
+}  // namespace idnscope::bench

@@ -1,0 +1,72 @@
+// Extension experiment — the Section VIII counterfactual: had a CNNIC-style
+// brand-protection gate been deployed at registration time, how much of the
+// observed abuse would have been refused, and at what false-positive cost?
+#include "bench_common.h"
+#include "idnscope/core/brand_protection.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Extension: brand-protection gate",
+                      "Counterfactual replay of all IDN registrations "
+                      "through a registry-side resemblance check "
+                      "(visual SSIM + Type-1 semantic rule)",
+                      scenario);
+  bench::World world(scenario);
+  const core::BrandProtectionGate gate(ecosystem::alexa_top1k());
+
+  // Partition the registered IDNs by ground truth so the gate's hit/false
+  // -positive rates can be reported per class.
+  std::vector<std::string> homographs;
+  std::vector<std::string> semantic;
+  std::vector<std::string> other_malicious;
+  std::vector<std::string> benign;
+  for (const std::string& domain : world.study.idns()) {
+    const auto it = world.eco.truth.find(domain);
+    if (it == world.eco.truth.end()) {
+      continue;
+    }
+    switch (it->second.abuse) {
+      case ecosystem::AbuseKind::kHomograph:
+        homographs.push_back(domain);
+        break;
+      case ecosystem::AbuseKind::kSemanticT1:
+        semantic.push_back(domain);
+        break;
+      default:
+        (it->second.malicious ? other_malicious : benign).push_back(domain);
+        break;
+    }
+  }
+
+  stats::Table table({"population", "requests", "refused", "refusal rate",
+                      "visual", "semantic"});
+  auto add = [&](const char* name, const std::vector<std::string>& domains) {
+    const auto audit = gate.audit(domains);
+    table.add_row(
+        {name, stats::format_count(audit.total),
+         stats::format_count(audit.rejected()),
+         audit.total == 0
+             ? "-"
+             : stats::format_percent(static_cast<double>(audit.rejected()) /
+                                     static_cast<double>(audit.total)),
+         stats::format_count(audit.rejected_visual),
+         stats::format_count(audit.rejected_semantic)});
+  };
+  add("homograph plants", homographs);
+  add("Type-1 semantic plants", semantic);
+  add("other malicious IDNs", other_malicious);
+  add("benign IDNs", benign);
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf(
+      "reading: the gate refuses nearly all brand-impersonation "
+      "registrations at request time while refusing almost no ordinary "
+      "IDNs — supporting the paper's recommendation that registries deploy "
+      "resemblance checks (three TLDs, e.g. .cn, already do).\n"
+      "note: generic malicious IDNs (gambling promotion etc.) do not "
+      "impersonate brands and are invisible to this gate, so blacklists "
+      "remain necessary.\n");
+  return 0;
+}

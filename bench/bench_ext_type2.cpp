@@ -1,0 +1,62 @@
+// Extension experiment — Type-2 semantic abuse (Table X): detection via a
+// curated brand-translation dictionary, which the paper leaves as an open
+// problem ("confirming whether domains are Type-2 abuse is challenging").
+#include <set>
+
+#include "bench_common.h"
+#include "idnscope/core/semantic_type2.h"
+#include "idnscope/idna/idna.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Extension: Type-2 semantic detection",
+                      "Scan the IDN population for translated brand names "
+                      "(curated dictionary of 30 protected marks)",
+                      scenario);
+  bench::World world(scenario);
+
+  const core::Type2Detector detector;
+  const auto matches = detector.scan(world.study.idns());
+
+  stats::Table table({"Punycode", "Unicode characters", "Brand",
+                      "Description", "blacklisted"});
+  for (std::size_t i = 0; i < matches.size() && i < 15; ++i) {
+    const core::Type2Match& match = matches[i];
+    table.add_row(
+        {match.domain,
+         idna::domain_to_unicode(match.domain).value_or(match.domain),
+         match.brand, match.description,
+         world.study.is_malicious(match.domain) ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Score against ground truth (available because the world is synthetic —
+  // exactly the evaluation the paper could not run on real data).
+  std::size_t planted = 0;
+  std::size_t recalled = 0;
+  std::set<std::string> matched;
+  for (const auto& match : matches) {
+    matched.insert(match.domain);
+  }
+  for (const auto& [domain, truth] : world.eco.truth) {
+    if (truth.abuse == ecosystem::AbuseKind::kSemanticT2) {
+      ++planted;
+      if (matched.contains(domain)) {
+        ++recalled;
+      }
+    }
+  }
+  std::printf("detected %zu Type-2 IDNs; ground truth plants: %zu, "
+              "recalled %zu (%.0f%%)\n",
+              matches.size(), planted, recalled,
+              planted == 0 ? 0.0
+                           : 100.0 * static_cast<double>(recalled) /
+                                 static_cast<double>(planted));
+  std::printf(
+      "paper context: Table X lists 格力空调.net / 北京交通大学.com / "
+      "奔驰汽车.com as observed Type-2 cases; dictionary-based matching "
+      "turns this class from anecdote into a measurable population.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig 1 — creation dates of IDNs (all vs malicious), with the 2000/2004
+// registration spikes and the 2015/2017 malicious spikes.
+#include "bench_common.h"
+#include "idnscope/core/registration_study.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Fig 1",
+                      "IDN creation-year histogram from WHOIS (Finding 2)",
+                      scenario);
+  bench::World world(scenario);
+  const auto timeline = core::registration_timeline(world.study);
+
+  std::uint64_t max_count = 1;
+  for (const core::YearCount& row : timeline) {
+    max_count = std::max(max_count, row.all);
+  }
+  std::printf("%-6s %-8s %-10s %s\n", "year", "all", "malicious",
+              "histogram (all)");
+  for (const core::YearCount& row : timeline) {
+    const int bars =
+        static_cast<int>(50.0 * static_cast<double>(row.all) /
+                         static_cast<double>(max_count));
+    std::printf("%-6d %-8llu %-10llu %.*s\n", row.year,
+                static_cast<unsigned long long>(row.all),
+                static_cast<unsigned long long>(row.malicious), bars,
+                "##################################################");
+  }
+
+  const double pre2008 = core::fraction_created_before(world.study, 2008);
+  std::printf(
+      "\nFinding 2 — registered before 2008: measured %.2f%%, paper 6.16%% "
+      "(90,708 IDNs)\n",
+      100.0 * pre2008);
+  std::printf(
+      "paper spike context: 2000 = Verisign GRS IDN testbed launch, 2004 = "
+      "German/Latin characters introduced; 2015/2017 = cybersquatting waves "
+      "in malicious registrations\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig 2 — ECDF of passive-DNS active time: IDN vs non-IDN vs malicious IDN,
+// per gTLD (Finding 5).
+#include "bench_common.h"
+#include "idnscope/core/dns_study.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Fig 2",
+                      "ECDF of active time (days between first and last "
+                      "observed look-up)",
+                      scenario);
+  bench::World world(scenario);
+
+  const std::vector<double> grid = {1,   10,  30,   100,  300,
+                                    600, 1000, 2000, 4000};
+  for (const char* tld : {"com", "net", "org"}) {
+    const auto idn = core::idn_activity(world.study, tld, false);
+    const auto malicious = core::idn_activity(world.study, tld, true);
+    const auto non_idn = core::non_idn_activity(world.study, tld);
+    std::printf("--- %s (samples: idn=%zu, malicious=%zu, non-idn=%zu) ---\n",
+                tld, idn.active_days.size(), malicious.active_days.size(),
+                non_idn.active_days.size());
+    std::vector<std::pair<std::string, const stats::Ecdf*>> series = {
+        {"IDN", &idn.active_days},
+        {"non-IDN", &non_idn.active_days}};
+    if (!malicious.active_days.empty()) {
+      series.emplace_back("malicious IDN", &malicious.active_days);
+    }
+    std::printf("%s\n",
+                stats::format_ecdf_table(grid, series, "active days").c_str());
+  }
+
+  const auto com_idn = core::idn_activity(world.study, "com", false);
+  const auto com_non = core::non_idn_activity(world.study, "com");
+  std::printf(
+      "Finding 5 anchors — com IDNs active <100 days: measured %.0f%% "
+      "(paper 60%%); com non-IDNs: measured %.0f%% (paper 40%%)\n",
+      100.0 * com_idn.active_days.fraction_at(100.0),
+      100.0 * com_non.active_days.fraction_at(100.0));
+  return 0;
+}

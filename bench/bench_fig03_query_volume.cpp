@@ -1,0 +1,49 @@
+// Fig 3 — ECDF of passive-DNS query volume (Finding 6).
+#include "bench_common.h"
+#include "idnscope/core/dns_study.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Fig 3", "ECDF of DNS query volume per domain",
+                      scenario);
+  bench::World world(scenario);
+
+  const std::vector<double> grid = {1,    10,    100,    1000,
+                                    10000, 100000, 1000000};
+  for (const char* tld : {"com", "net", "org"}) {
+    const auto idn = core::idn_activity(world.study, tld, false);
+    const auto malicious = core::idn_activity(world.study, tld, true);
+    const auto non_idn = core::non_idn_activity(world.study, tld);
+    std::printf("--- %s ---\n", tld);
+    std::vector<std::pair<std::string, const stats::Ecdf*>> series = {
+        {"IDN", &idn.query_volume},
+        {"non-IDN", &non_idn.query_volume}};
+    if (!malicious.query_volume.empty()) {
+      series.emplace_back("malicious IDN", &malicious.query_volume);
+    }
+    std::printf("%s\n",
+                stats::format_ecdf_table(grid, series, "queries").c_str());
+  }
+
+  const auto com_idn = core::idn_activity(world.study, "com", false);
+  const auto com_non = core::non_idn_activity(world.study, "com");
+  const auto com_mal = core::idn_activity(world.study, "com", true);
+  std::printf(
+      "Finding 6 anchors — com IDNs <100 queries: measured %.0f%% (paper "
+      "88%%); com non-IDNs: measured %.0f%% (paper 74%%)\n",
+      100.0 * com_idn.query_volume.fraction_at(100.0),
+      100.0 * com_non.query_volume.fraction_at(100.0));
+  if (!com_mal.query_volume.empty()) {
+    std::printf(
+        "malicious IDN mean queries: measured %.0f vs benign IDN %.0f and "
+        "non-IDN %.0f (paper: malicious exceed non-IDNs on average; the "
+        "heaviest domain received 3,858,932 look-ups over 118 days)\n",
+        com_mal.query_volume.mean(), com_idn.query_volume.mean(),
+        com_non.query_volume.mean());
+    std::printf("measured heaviest IDN: %.0f look-ups\n",
+                com_mal.query_volume.max());
+  }
+  return 0;
+}

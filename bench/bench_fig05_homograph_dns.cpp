@@ -1,0 +1,78 @@
+// Fig 5 — ECDF of active time and query volume of homographic IDNs
+// (via the Farsight-style pDNS client, as in the paper).
+#include "bench_common.h"
+#include "idnscope/core/content_study.h"
+#include "idnscope/core/dns_study.h"
+#include "idnscope/core/homograph.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Fig 5",
+                      "DNS activity of registered homographic IDNs "
+                      "(Farsight window 2010-06-24 .. 2017-12-03)",
+                      scenario);
+  bench::World world(scenario);
+
+  core::HomographDetector detector(ecosystem::alexa_top1k());
+  const auto matches = detector.scan(world.study.idns());
+
+  // Query through the quota-limited Farsight-style client, like the paper
+  // (only the abusive set fits the 1,000/day quota).
+  dns::PdnsClient farsight(
+      world.eco.pdns,
+      dns::PdnsProviderPolicy{"Farsight DNSDB", 1000,
+                              scenario.farsight_window_start,
+                              scenario.farsight_window_end});
+  stats::Ecdf active_days;
+  stats::Ecdf queries;
+  for (const core::HomographMatch& match : matches) {
+    if (auto aggregate = farsight.query(match.domain, scenario.snapshot)) {
+      active_days.add(static_cast<double>(aggregate->active_days()));
+      queries.add(static_cast<double>(aggregate->query_count));
+    }
+  }
+  std::printf("homographs with pDNS coverage: %zu (quota rejections: %llu)\n\n",
+              active_days.size(),
+              static_cast<unsigned long long>(farsight.rejected_queries()));
+
+  const std::vector<double> day_grid = {10, 50, 100, 300, 600, 1000, 2000};
+  std::printf("(a) active time\n%s\n",
+              stats::format_ecdf_table(
+                  day_grid, {{"homographic IDN", &active_days}}, "days")
+                  .c_str());
+  const std::vector<double> query_grid = {1, 10, 100, 1000, 10000, 100000};
+  std::printf("(b) query volume\n%s\n",
+              stats::format_ecdf_table(
+                  query_grid, {{"homographic IDN", &queries}}, "queries")
+                  .c_str());
+
+  std::printf(
+      "paper anchors: mean active time 789 days (measured %.0f); 40%% "
+      "active > 600 days (measured %.0f%%); 80%% receive > 100 queries "
+      "(measured %.0f%%); 10%% > 1,000 queries (measured %.0f%%)\n",
+      active_days.mean(), 100.0 * (1.0 - active_days.fraction_at(600.0)),
+      100.0 * (1.0 - queries.fraction_at(100.0)),
+      100.0 * (1.0 - queries.fraction_at(1000.0)));
+
+  // Section VI-C "usage of homographic IDNs": crawl + classify the matched
+  // set (the paper sampled 100: 34 not resolvable, 10 errors, 16 for sale,
+  // 14 parked, 11 test pages).
+  std::vector<std::string> matched;
+  for (const core::HomographMatch& match : matches) {
+    matched.push_back(match.domain);
+  }
+  const auto usage = core::classify_content(world.study, matched);
+  std::printf("\nusage of the %llu matched homographic IDNs (paper sample of "
+              "100: 34%% not resolved, 10%% error, 16%% for sale, 14%% "
+              "parked):\n",
+              static_cast<unsigned long long>(usage.total));
+  for (std::size_t i = 0; i < 7; ++i) {
+    const auto category = static_cast<web::PageCategory>(i);
+    std::printf("  %-20s %5.1f%%\n",
+                std::string(web::page_category_name(category)).c_str(),
+                100.0 * usage.fraction(category));
+  }
+  return 0;
+}

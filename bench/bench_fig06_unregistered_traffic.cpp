@@ -1,0 +1,51 @@
+// Fig 6 — pDNS query volume of homographic candidates: registered vs
+// unregistered (Section VI-D).
+#include "bench_common.h"
+#include "idnscope/core/availability.h"
+#include "idnscope/stats/ecdf.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Fig 6",
+                      "Query volume reaching homographic candidates of the "
+                      "Alexa top-100, split by registration status",
+                      scenario);
+  bench::World world(scenario);
+
+  const auto traffic =
+      core::candidate_traffic(world.study, ecosystem::alexa_top(100));
+  stats::Ecdf registered(traffic.registered_queries);
+  stats::Ecdf unregistered(traffic.unregistered_queries);
+
+  std::printf("candidates: registered=%zu unregistered=%zu\n",
+              traffic.registered_queries.size(),
+              traffic.unregistered_queries.size());
+  std::printf("unregistered candidates with observed traffic: %llu (%.2f%%)\n\n",
+              static_cast<unsigned long long>(
+                  traffic.unregistered_with_traffic),
+              traffic.unregistered_queries.empty()
+                  ? 0.0
+                  : 100.0 *
+                        static_cast<double>(traffic.unregistered_with_traffic) /
+                        static_cast<double>(
+                            traffic.unregistered_queries.size()));
+
+  const std::vector<double> grid = {0, 1, 5, 10, 50, 100, 1000, 10000};
+  std::printf("%s\n",
+              stats::format_ecdf_table(grid,
+                                       {{"registered", &registered},
+                                        {"unregistered", &unregistered}},
+                                       "queries")
+                  .c_str());
+  if (!registered.empty() && !unregistered.empty()) {
+    std::printf(
+        "mean queries: registered %.0f vs unregistered %.2f — \"although "
+        "queries to unregistered IDNs are observed, their proportion is "
+        "very small\" (paper: mistyping into another language is far rarer "
+        "than ASCII typos)\n",
+        registered.mean(), unregistered.mean());
+  }
+  return 0;
+}

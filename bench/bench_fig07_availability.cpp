@@ -1,0 +1,63 @@
+// Fig 7 — number of homographic IDNs (registered + available) per Alexa
+// top-100 brand, plus the Section VI-D totals.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "idnscope/core/availability.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Fig 7",
+                      "Availability of homographic IDNs: one-character "
+                      "UC-SimList substitutions passing SSIM >= 0.95",
+                      scenario);
+  bench::World world(scenario);
+
+  const auto report =
+      core::availability_sweep(world.study, ecosystem::alexa_top(100));
+
+  // Per-brand series, Alexa order (the paper's x-axis).
+  std::printf("%-24s %6s %12s %11s %10s\n", "brand", "rank", "candidates",
+              "homographic", "registered");
+  for (const core::BrandAvailability& row : report.per_brand) {
+    std::printf("%-24s %6d %12llu %11llu %10llu\n", row.brand.c_str(),
+                row.alexa_rank,
+                static_cast<unsigned long long>(row.candidates),
+                static_cast<unsigned long long>(row.homographic),
+                static_cast<unsigned long long>(row.registered));
+  }
+
+  std::printf(
+      "\ntotals over the Alexa top-100 (com/net/org brands only): "
+      "%llu candidates, %llu homographic (%.1f%%), %llu registered\n",
+      static_cast<unsigned long long>(report.total_candidates),
+      static_cast<unsigned long long>(report.total_homographic),
+      report.total_candidates == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(report.total_homographic) /
+                static_cast<double>(report.total_candidates),
+      static_cast<unsigned long long>(report.total_registered));
+  std::printf(
+      "paper (Alexa top-1k): 128,432 candidates, 42,671 homographic "
+      "(33.2%%), 237 registered — the measured pass rate is higher because "
+      "the compact matrix font compresses inter-letter distances "
+      "(EXPERIMENTS.md discusses the deviation); the qualitative claim "
+      "holds: the attack space is large and almost entirely unregistered.\n");
+
+  // Sampled available candidates (the paper registered 10 through GoDaddy
+  // to confirm registrability; our registry simulator accepts them too).
+  std::printf("\nsample available (unregistered) homographs:\n");
+  int shown = 0;
+  for (const core::BrandAvailability& row : report.per_brand) {
+    for (const std::string& sample : row.available_samples) {
+      if (shown >= 8) {
+        break;
+      }
+      std::printf("  %-32s (targets %s)\n", sample.c_str(), row.brand.c_str());
+      ++shown;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig 8 — ECDF of active time and query volume of Type-1 semantic IDNs.
+#include "bench_common.h"
+#include "idnscope/core/semantic.h"
+#include "idnscope/stats/ecdf.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Fig 8",
+                      "DNS activity of Type-1 semantically abusive IDNs",
+                      scenario);
+  bench::World world(scenario);
+
+  core::SemanticDetector detector(ecosystem::alexa_top1k());
+  const auto matches = detector.scan(world.study.idns());
+
+  dns::PdnsClient farsight(
+      world.eco.pdns,
+      dns::PdnsProviderPolicy{"Farsight DNSDB", 1000,
+                              scenario.farsight_window_start,
+                              scenario.farsight_window_end});
+  stats::Ecdf active_days;
+  stats::Ecdf queries;
+  for (const core::SemanticMatch& match : matches) {
+    if (auto aggregate = farsight.query(match.domain, scenario.snapshot)) {
+      active_days.add(static_cast<double>(aggregate->active_days()));
+      queries.add(static_cast<double>(aggregate->query_count));
+    }
+  }
+  std::printf("Type-1 IDNs with pDNS coverage: %zu\n\n", active_days.size());
+
+  const std::vector<double> day_grid = {10, 50, 100, 300, 600, 1000, 2000};
+  std::printf("(a) active time\n%s\n",
+              stats::format_ecdf_table(day_grid,
+                                       {{"Type-1 IDN", &active_days}}, "days")
+                  .c_str());
+  const std::vector<double> query_grid = {1, 10, 100, 1000, 10000, 100000};
+  std::printf("(b) query volume\n%s\n",
+              stats::format_ecdf_table(query_grid, {{"Type-1 IDN", &queries}},
+                                       "queries")
+                  .c_str());
+  std::printf(
+      "paper anchors: 735 active days on average (measured %.0f); 1,562 "
+      "queries on average (measured %.0f)\n",
+      active_days.empty() ? 0.0 : active_days.mean(),
+      queries.empty() ? 0.0 : queries.mean());
+  return 0;
+}

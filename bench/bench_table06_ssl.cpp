@@ -1,0 +1,60 @@
+// Table VI — SSL certificate problems of IDNs vs non-IDNs (Finding 9).
+#include "bench_common.h"
+#include "idnscope/core/ssl_study.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Table VI",
+                      "Security problems of collected SSL certificates, "
+                      "validated at the snapshot date",
+                      scenario);
+  bench::World world(scenario);
+  const auto comparison = core::ssl_comparison(world.study);
+
+  auto rate = [](std::uint64_t part, std::uint64_t whole) {
+    return whole == 0 ? std::string("-")
+                      : stats::format_percent(static_cast<double>(part) /
+                                              static_cast<double>(whole));
+  };
+  stats::Table table({"Security problem", "IDN", "IDN rate", "paper",
+                      "non-IDN", "non-IDN rate", "paper"});
+  const auto& idn = comparison.idn;
+  const auto& non = comparison.non_idn;
+  table.add_row({"Expired Certificate", stats::format_count(idn.expired),
+                 rate(idn.expired, comparison.idn_certs), "12.54%",
+                 stats::format_count(non.expired),
+                 rate(non.expired, comparison.non_idn_certs), "24.92%"});
+  table.add_row({"Invalid Authority",
+                 stats::format_count(idn.invalid_authority),
+                 rate(idn.invalid_authority, comparison.idn_certs), "18.14%",
+                 stats::format_count(non.invalid_authority),
+                 rate(non.invalid_authority, comparison.non_idn_certs),
+                 "16.56%"});
+  table.add_row({"Invalid Common Name",
+                 stats::format_count(idn.invalid_common_name),
+                 rate(idn.invalid_common_name, comparison.idn_certs), "67.28%",
+                 stats::format_count(non.invalid_common_name),
+                 rate(non.invalid_common_name, comparison.non_idn_certs),
+                 "45.47%"});
+  table.add_row({"Total problematic", stats::format_count(idn.problematic()),
+                 rate(idn.problematic(), comparison.idn_certs), "97.95%",
+                 stats::format_count(non.problematic()),
+                 rate(non.problematic(), comparison.non_idn_certs), "97.23%"});
+  std::printf("certificates collected: IDN %llu (paper %s), non-IDN %llu "
+              "(paper %s)\n\n%s\n",
+              static_cast<unsigned long long>(comparison.idn_certs),
+              bench::scaled_paper(paper::kIdnCertsCollected,
+                                  scenario.bulk_scale)
+                  .c_str(),
+              static_cast<unsigned long long>(comparison.non_idn_certs),
+              bench::scaled_paper(paper::kNonIdnCertsCollected,
+                                  scenario.bulk_scale)
+                  .c_str(),
+              table.to_string().c_str());
+  std::printf("Finding 9 — problematic IDN certificates: measured %.1f%%, "
+              "paper >97%%\n",
+              100.0 * comparison.idn_problem_rate());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Tables IX & X — semantic-abuse examples: Type-1 (brand + foreign keyword)
+// found by the detector, and Type-2 (translated brand names, out of the
+// detector's scope but present in the population).
+#include "bench_common.h"
+#include "idnscope/core/semantic.h"
+#include "idnscope/idna/idna.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Tables IX / X",
+                      "Examples of semantic abuse (Type-1 detected; Type-2 "
+                      "listed for context)",
+                      scenario);
+  bench::World world(scenario);
+
+  core::SemanticDetector detector(ecosystem::alexa_top1k());
+  const auto matches = detector.scan(world.study.idns());
+
+  stats::Table table({"Punycode", "Unicode characters", "Target brand",
+                      "blacklisted"});
+  std::size_t shown = 0;
+  // Lead with the paper's Apple/iCloud phishing family, then others.
+  for (int phase = 0; phase < 2 && shown < 12; ++phase) {
+    for (const core::SemanticMatch& match : matches) {
+      const bool apple_family =
+          match.brand == "icloud.com" || match.brand == "apple.com";
+      if ((phase == 0) != apple_family || shown >= 12) {
+        continue;
+      }
+      table.add_row(
+          {match.domain,
+           idna::domain_to_unicode(match.domain).value_or(match.domain),
+           match.brand,
+           world.study.is_malicious(match.domain) ? "yes" : "no"});
+      ++shown;
+    }
+  }
+  std::printf("Type-1 (detected):\n%s\n", table.to_string().c_str());
+  std::printf(
+      "paper Table IX: icloud登录.com / icloud登陆.com / apple邮箱.com / "
+      "apple激活.com — all blacklisted phishing, all detected by the Type-1 "
+      "rule.\n");
+  std::printf(
+      "paper Table X (Type-2, translation-based — confirming targets is "
+      "infeasible automatically, Section V): 格力空调.net (Gree), "
+      "北京交通大学.com (Beijing Jiaotong University), 奔驰汽车.com "
+      "(Mercedes Benz).\n");
+  return 0;
+}

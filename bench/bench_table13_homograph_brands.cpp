@@ -1,0 +1,67 @@
+// Table XIII — top brand domains by registered homographic IDNs,
+// plus the Section VI-C registrant analysis.
+#include "bench_common.h"
+#include "idnscope/core/homograph.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Table XIII",
+                      "Registered homographic IDNs per brand (SSIM >= 0.95 "
+                      "scan of the whole IDN population against Alexa "
+                      "top-1k)",
+                      scenario);
+  bench::World world(scenario);
+
+  core::HomographDetector detector(ecosystem::alexa_top1k());
+  const auto report = core::analyze_homographs(world.study, detector, 10);
+
+  stats::Table table({"Domain", "Alexa", "# IDN (measured)", "Protective",
+                      "paper # IDN", "paper protective"});
+  for (const auto& row : report.top_brands) {
+    std::string paper_count = "-";
+    std::string paper_protective = "-";
+    for (const auto& paper_row : paper::kTable13) {
+      if (paper_row.domain == row.brand) {
+        paper_count = stats::format_count(paper_row.idn_count);
+        paper_protective = stats::format_count(paper_row.protective);
+      }
+    }
+    table.add_row({row.brand, std::to_string(row.alexa_rank),
+                   stats::format_count(row.idn_count),
+                   stats::format_count(row.protective), paper_count,
+                   paper_protective});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("total homographic IDNs: measured %zu (paper %s at 1:%u)\n",
+              report.matches.size(),
+              stats::format_count(paper::kHomographRegistered).c_str(),
+              scenario.abuse_scale);
+  std::printf("pixel-identical lookalikes: measured %llu (paper %s)\n",
+              static_cast<unsigned long long>(report.identical_count),
+              stats::format_count(paper::kHomographIdentical).c_str());
+  std::printf("already blacklisted: measured %llu (paper %s = 6.6%%)\n",
+              static_cast<unsigned long long>(report.blacklisted_count),
+              stats::format_count(paper::kHomographBlacklisted).c_str());
+  std::printf("brands targeted: measured %llu (paper %s)\n",
+              static_cast<unsigned long long>(report.brands_targeted),
+              stats::format_count(paper::kHomographBrandsTargeted).c_str());
+  std::printf("WHOIS available: measured %llu (paper %s)\n",
+              static_cast<unsigned long long>(report.whois_covered),
+              stats::format_count(paper::kHomographWhoisCovered).c_str());
+  std::printf(
+      "protective registrations: measured %llu (paper %s = 4.82%%); "
+      "personal-mailbox registrations: measured %llu (paper %s)\n",
+      static_cast<unsigned long long>(report.protective),
+      stats::format_count(paper::kHomographProtective).c_str(),
+      static_cast<unsigned long long>(report.personal_email),
+      stats::format_count(paper::kHomographPersonalEmail).c_str());
+  std::printf(
+      "detector effort: %llu SSIM evaluations, %llu prefilter skips "
+      "(paper: 102 hours on a 4 GB machine for the full pairwise scan)\n",
+      static_cast<unsigned long long>(detector.ssim_evaluations()),
+      static_cast<unsigned long long>(detector.prefilter_skips()));
+  return 0;
+}

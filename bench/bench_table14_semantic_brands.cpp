@@ -1,0 +1,53 @@
+// Table XIV — top brand domains by Type-1 semantic IDNs (Section VII-B).
+#include "bench_common.h"
+#include "idnscope/core/semantic.h"
+
+using namespace idnscope;
+
+int main() {
+  const auto scenario = bench::bench_scenario();
+  bench::print_header("Table XIV",
+                      "Type-1 semantic IDNs per brand (strip non-ASCII; "
+                      "ASCII part must equal a brand domain)",
+                      scenario);
+  bench::World world(scenario);
+
+  core::SemanticDetector detector(ecosystem::alexa_top1k());
+  const auto report = core::analyze_semantics(world.study, detector, 10);
+
+  stats::Table table({"Domain", "Alexa", "# Type-1 IDN (measured)",
+                      "Protective", "paper # IDN", "paper protective"});
+  for (const auto& row : report.top_brands) {
+    std::string paper_count = "-";
+    std::string paper_protective = "-";
+    for (const auto& paper_row : paper::kTable14) {
+      if (paper_row.domain == row.brand) {
+        paper_count = stats::format_count(paper_row.idn_count);
+        paper_protective = stats::format_count(paper_row.protective);
+      }
+    }
+    table.add_row({row.brand, std::to_string(row.alexa_rank),
+                   stats::format_count(row.idn_count),
+                   stats::format_count(row.protective), paper_count,
+                   paper_protective});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("total Type-1 IDNs: measured %zu (paper %s at 1:%u)\n",
+              report.matches.size(),
+              stats::format_count(paper::kSemanticRegistered).c_str(),
+              scenario.abuse_scale);
+  std::printf("brands targeted: measured %llu (paper %s)\n",
+              static_cast<unsigned long long>(report.brands_targeted),
+              stats::format_count(paper::kSemanticBrandsTargeted).c_str());
+  std::printf(
+      "protective: measured %llu (paper %s); personal-mailbox: measured "
+      "%llu (paper at least %s); blacklisted malware droppers: measured "
+      "%llu (paper found 2 impersonating bet365.com)\n",
+      static_cast<unsigned long long>(report.protective),
+      stats::format_count(paper::kSemanticProtective).c_str(),
+      static_cast<unsigned long long>(report.personal_email),
+      stats::format_count(paper::kSemanticPersonalEmail).c_str(),
+      static_cast<unsigned long long>(report.blacklisted));
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "idnscope/common/date.h"
+
+#include <array>
+#include <cstdio>
+
+namespace idnscope {
+
+bool Date::is_leap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int Date::days_in_month(int year, int month) {
+  static constexpr std::array<int, 13> kDays = {0,  31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap(year)) {
+    return 29;
+  }
+  return kDays[static_cast<std::size_t>(month)];
+}
+
+bool Date::valid() const {
+  return month >= 1 && month <= 12 && day >= 1 &&
+         day <= days_in_month(year, month);
+}
+
+std::int64_t Date::to_serial() const {
+  // Howard Hinnant's days_from_civil algorithm.
+  const int y = year - (month <= 2 ? 1 : 0);
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = static_cast<unsigned>(
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<std::int64_t>(era) * 146097 +
+         static_cast<std::int64_t>(doe) - 719468;
+}
+
+Date Date::from_serial(std::int64_t serial) {
+  // Howard Hinnant's civil_from_days algorithm.
+  serial += 719468;
+  const std::int64_t era = (serial >= 0 ? serial : serial - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(serial - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  return Date{static_cast<int>(y + (m <= 2 ? 1 : 0)), static_cast<int>(m),
+              static_cast<int>(d)};
+}
+
+std::string Date::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+std::optional<Date> Date::parse(std::string_view text) {
+  if (text.size() != 10) {
+    return std::nullopt;
+  }
+  const char sep = text[4];
+  if ((sep != '-' && sep != '/') || text[7] != sep) {
+    return std::nullopt;
+  }
+  auto digits = [&](std::size_t off, std::size_t len, int& out) {
+    out = 0;
+    for (std::size_t i = off; i < off + len; ++i) {
+      if (text[i] < '0' || text[i] > '9') {
+        return false;
+      }
+      out = out * 10 + (text[i] - '0');
+    }
+    return true;
+  };
+  Date d;
+  if (!digits(0, 4, d.year) || !digits(5, 2, d.month) || !digits(8, 2, d.day)) {
+    return std::nullopt;
+  }
+  if (!d.valid()) {
+    return std::nullopt;
+  }
+  return d;
+}
+
+}  // namespace idnscope

@@ -1,0 +1,51 @@
+// Calendar dates for registration timelines and certificate validity.
+//
+// The paper reasons about dates at day granularity (creation dates, Fig 1;
+// certificate expiry, Table VI; pDNS first/last seen).  We store a civil
+// date plus a day-serial (days since 1970-01-01) for arithmetic.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace idnscope {
+
+struct Date {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  static bool is_leap(int year);
+  static int days_in_month(int year, int month);
+
+  bool valid() const;
+
+  // Days since 1970-01-01 (negative before the epoch).
+  std::int64_t to_serial() const;
+  static Date from_serial(std::int64_t serial);
+
+  Date plus_days(std::int64_t days) const {
+    return from_serial(to_serial() + days);
+  }
+
+  // "YYYY-MM-DD"
+  std::string to_string() const;
+  // Accepts "YYYY-MM-DD" and "YYYY/MM/DD".
+  static std::optional<Date> parse(std::string_view text);
+
+  friend auto operator<=>(const Date& a, const Date& b) {
+    return a.to_serial() <=> b.to_serial();
+  }
+  friend bool operator==(const Date& a, const Date& b) {
+    return a.year == b.year && a.month == b.month && a.day == b.day;
+  }
+};
+
+inline std::int64_t days_between(const Date& from, const Date& to) {
+  return to.to_serial() - from.to_serial();
+}
+
+}  // namespace idnscope

@@ -1,0 +1,65 @@
+// Minimal expected-style result type (C++20 has no std::expected yet).
+//
+// Used throughout idnscope for fallible operations where an exception would
+// be the wrong tool: parse failures of untrusted input (zone files, WHOIS
+// text, punycode labels) are expected outcomes, not program errors.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace idnscope {
+
+// Error payload carried by Result<T>.  A short machine-friendly code plus a
+// human-readable message describing the failing input.
+struct Error {
+  std::string code;     // e.g. "punycode.overflow", "zone.bad_record"
+  std::string message;  // details for logs / diagnostics
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+// Result<T> holds either a T or an Error.  It is cheap to move and demands
+// an explicit check before access (asserts in debug builds).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}         // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}     // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  // value_or: fall back to `alt` on error.
+  T value_or(T alt) const& { return ok() ? std::get<T>(data_) : std::move(alt); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Convenience factory so call sites read `return Err("code", "msg");`.
+inline Error Err(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+}  // namespace idnscope

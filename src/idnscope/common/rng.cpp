@@ -1,0 +1,133 @@
+#include "idnscope/common/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace idnscope {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t stable_hash64(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  std::uint64_t s = h;
+  return splitmix64(s);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  for (auto& word : state_) {
+    word = splitmix64(seed);
+  }
+}
+
+Rng Rng::fork(std::string_view tag) const {
+  // Combine current state with the tag hash; do not advance the parent.
+  std::uint64_t mixed = state_[0] ^ (state_[1] << 1) ^ stable_hash64(tag);
+  return Rng(mixed);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t Rng::next_u64() {
+  // xoshiro256**
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t range = hi - lo + 1;
+  if (range == 0) {
+    return next_u64();  // full 64-bit range
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) {
+    draw = next_u64();
+  }
+  return lo + draw % range;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double probability) {
+  return uniform01() < probability;
+}
+
+double Rng::normal() {
+  // Box-Muller; draw two uniforms, return one deviate (no spare caching so
+  // forked streams stay independent of call parity).
+  double u1 = uniform01();
+  while (u1 <= 0.0) {
+    u1 = uniform01();
+  }
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * normal());
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  assert(n > 0);
+  // Inverse-CDF over the finite harmonic sum. n is small (<= a few thousand)
+  // everywhere we use this, so the linear scan is fine and deterministic.
+  double norm = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    norm += 1.0 / std::pow(static_cast<double>(k + 1), s);
+  }
+  double target = uniform01() * norm;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    if (acc >= target) {
+      return k;
+    }
+  }
+  return n - 1;
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double target = uniform01() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (acc >= target) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace idnscope

@@ -1,0 +1,76 @@
+// Deterministic random number generation for the synthetic ecosystem.
+//
+// Everything in idnscope that draws randomness goes through Rng so that a
+// single 64-bit seed reproduces an entire synthetic Internet bit-for-bit.
+// The engine is xoshiro256** seeded via SplitMix64 (the combination
+// recommended by the xoshiro authors); distributions are implemented here
+// rather than via <random> because libstdc++'s distributions are not
+// guaranteed stable across versions, which would break golden tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace idnscope {
+
+// SplitMix64: used for seeding and for hashing strings into sub-seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// Stable 64-bit hash of a string (FNV-1a finished with a SplitMix64 round).
+// Used to derive per-domain sub-seeds so generation order never matters.
+std::uint64_t stable_hash64(std::string_view text);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Derive an independent child generator; `tag` namespaces the stream so
+  // e.g. the WHOIS generator and the pDNS generator never share draws.
+  Rng fork(std::string_view tag) const;
+
+  std::uint64_t next_u64();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  bool chance(double probability);
+
+  // Log-normal draw: exp(N(mu, sigma)).  The paper's activity metrics
+  // (active days, query volumes) are heavy-tailed; log-normal reproduces
+  // the ECDF shapes of Figs 2/3/5/8.
+  double lognormal(double mu, double sigma);
+
+  // Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal();
+
+  // Zipf-like rank draw in [0, n): P(k) proportional to 1/(k+1)^s.  Used for
+  // hosting concentration (Fig 4) and registrar market share (Table IV).
+  std::size_t zipf(std::size_t n, double s);
+
+  // Pick an index according to non-negative weights. Requires a positive sum.
+  std::size_t weighted(std::span<const double> weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(0, i - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(uniform(0, items.size() - 1))];
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace idnscope

@@ -1,0 +1,28 @@
+// Small string utilities shared by the parsers (zone files, WHOIS, certs).
+// ASCII-only on purpose: Unicode-aware operations live in idnscope/unicode.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idnscope {
+
+// Split on a single delimiter; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+// Split on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string_view> split_whitespace(std::string_view text);
+
+std::string_view trim(std::string_view text);
+
+std::string to_lower_ascii(std::string_view text);
+
+bool starts_with_ascii_ci(std::string_view text, std::string_view prefix);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Parse a non-negative decimal integer; returns false on any non-digit.
+bool parse_u64(std::string_view text, std::uint64_t& out);
+
+}  // namespace idnscope

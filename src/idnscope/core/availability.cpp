@@ -1,0 +1,195 @@
+#include "idnscope/core/availability.h"
+
+#include <cstdlib>
+#include <future>
+#include <thread>
+
+#include "idnscope/idna/lookalike.h"
+
+namespace idnscope::core {
+
+namespace {
+
+bool eligible_brand(const ecosystem::Brand& brand) {
+  const std::string_view suffix =
+      std::string_view(brand.domain).substr(brand.domain.find('.'));
+  return suffix == ".com" || suffix == ".net" || suffix == ".org";
+}
+
+int profile_l1(const std::vector<int>& a, const std::vector<int>& b) {
+  int total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += std::abs(a[i] - b[i]);
+  }
+  return total;
+}
+
+// Scaled pixel-column range a substitution at SLD position `pos` can
+// affect (cell columns, upscaling, then the 3x3 smoothing blur).
+int changed_begin(std::size_t pos, const render::RenderOptions& render) {
+  const int base = render::kMargin + static_cast<int>(pos) * render::kCellWidth;
+  return std::max(0, base * render.scale - (render.scale + 2));
+}
+int changed_end(std::size_t pos, const render::RenderOptions& render) {
+  const int base =
+      render::kMargin + (static_cast<int>(pos) + 1) * render::kCellWidth;
+  return base * render.scale + render.scale + 2;
+}
+
+std::u32string candidate_display(const idna::LookalikeCandidate& candidate,
+                                 const std::string& brand_domain) {
+  std::u32string display = candidate.unicode_sld;
+  const std::string_view suffix =
+      std::string_view(brand_domain).substr(brand_domain.find('.'));
+  for (unsigned char c : suffix) {
+    display.push_back(c);
+  }
+  return display;
+}
+
+// Measure one brand's candidate space; `check` is called for homographic
+// candidates and returns true when the candidate counts as registered.
+BrandAvailability sweep_brand(const ecosystem::Brand& brand,
+                              const Study& study,
+                              const AvailabilityOptions& options) {
+  BrandAvailability row;
+  row.brand = brand.domain;
+  row.alexa_rank = brand.rank;
+  const render::SsimReference brand_image(
+      render::render_ascii(brand.domain, options.render), options.ssim);
+  std::u32string brand_u32;
+  for (unsigned char c : brand.domain) {
+    brand_u32.push_back(c);
+  }
+  const std::vector<int> brand_profile = render::column_profile(brand_u32);
+
+  for (const auto& candidate :
+       idna::single_substitution_candidates(brand.domain)) {
+    ++row.candidates;
+    const std::u32string display = candidate_display(candidate, brand.domain);
+    if (options.profile_budget > 0 &&
+        profile_l1(render::column_profile(display), brand_profile) >
+            options.profile_budget) {
+      continue;  // cannot reach the SSIM threshold (bound tested)
+    }
+    const render::GrayImage image =
+        render::render_label(display, options.render);
+    if (brand_image.compare(image,
+                            changed_begin(candidate.position, options.render),
+                            changed_end(candidate.position, options.render)) <
+        options.threshold) {
+      continue;
+    }
+    ++row.homographic;
+    if (study.is_registered(candidate.ace_domain)) {
+      ++row.registered;
+    } else if (row.available_samples.size() < 3) {
+      row.available_samples.push_back(candidate.ace_domain);
+    }
+  }
+  return row;
+}
+
+template <typename Fn>
+std::vector<BrandAvailability> parallel_sweep(
+    std::span<const ecosystem::Brand> brands, unsigned threads, Fn&& fn) {
+  std::vector<const ecosystem::Brand*> eligible;
+  for (const ecosystem::Brand& brand : brands) {
+    if (eligible_brand(brand)) {
+      eligible.push_back(&brand);
+    }
+  }
+  unsigned workers = threads != 0 ? threads
+                                  : std::max(1U, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(workers, 32);
+  std::vector<BrandAvailability> rows(eligible.size());
+  std::atomic<std::size_t> next{0};
+  auto work = [&] {
+    while (true) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= eligible.size()) {
+        return;
+      }
+      rows[index] = fn(*eligible[index]);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (unsigned i = 1; i < workers; ++i) {
+    pool.emplace_back(work);
+  }
+  work();
+  for (std::thread& thread : pool) {
+    thread.join();
+  }
+  return rows;
+}
+
+}  // namespace
+
+AvailabilityReport availability_sweep(const Study& study,
+                                      std::span<const ecosystem::Brand> brands,
+                                      const AvailabilityOptions& options) {
+  AvailabilityReport report;
+  report.per_brand =
+      parallel_sweep(brands, options.threads,
+                     [&](const ecosystem::Brand& brand) {
+                       return sweep_brand(brand, study, options);
+                     });
+  for (const BrandAvailability& row : report.per_brand) {
+    report.total_candidates += row.candidates;
+    report.total_homographic += row.homographic;
+    report.total_registered += row.registered;
+  }
+  return report;
+}
+
+CandidateTraffic candidate_traffic(const Study& study,
+                                   std::span<const ecosystem::Brand> brands,
+                                   const AvailabilityOptions& options) {
+  CandidateTraffic traffic;
+  const dns::PassiveDnsDb& pdns = study.eco().pdns;
+  for (const ecosystem::Brand& brand : brands) {
+    if (!eligible_brand(brand)) {
+      continue;
+    }
+    const render::SsimReference brand_image(
+        render::render_ascii(brand.domain, options.render), options.ssim);
+    std::u32string brand_u32;
+    for (unsigned char c : brand.domain) {
+      brand_u32.push_back(c);
+    }
+    const std::vector<int> brand_profile = render::column_profile(brand_u32);
+    for (const auto& candidate :
+         idna::single_substitution_candidates(brand.domain)) {
+      const std::u32string display = candidate_display(candidate, brand.domain);
+      if (options.profile_budget > 0 &&
+          profile_l1(render::column_profile(display), brand_profile) >
+              options.profile_budget) {
+        continue;
+      }
+      const render::GrayImage image =
+          render::render_label(display, options.render);
+      if (brand_image.compare(
+              image, changed_begin(candidate.position, options.render),
+              changed_end(candidate.position, options.render)) <
+          options.threshold) {
+        continue;
+      }
+      const dns::DnsAggregate* aggregate = pdns.lookup(candidate.ace_domain);
+      const double queries =
+          aggregate == nullptr ? 0.0
+                               : static_cast<double>(aggregate->query_count);
+      if (study.is_registered(candidate.ace_domain)) {
+        traffic.registered_queries.push_back(queries);
+      } else {
+        traffic.unregistered_queries.push_back(queries);
+        if (queries > 0.0) {
+          ++traffic.unregistered_with_traffic;
+        }
+      }
+    }
+  }
+  return traffic;
+}
+
+}  // namespace idnscope::core

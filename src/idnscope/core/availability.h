@@ -1,0 +1,70 @@
+// Availability of homographic IDNs (Section VI-D, Figs 6-7).
+//
+// For each brand, enumerate the UC-SimList single-substitution candidates,
+// keep those whose rendered image reaches SSIM >= 0.95 against the brand,
+// and check which of them are actually registered.  The unregistered
+// remainder is the attack space the paper warns about (42,671 domains for
+// Alexa top-1k).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "idnscope/core/study.h"
+#include "idnscope/ecosystem/brands.h"
+#include "idnscope/render/renderer.h"
+#include "idnscope/render/ssim.h"
+
+namespace idnscope::core {
+
+struct AvailabilityOptions {
+  double threshold = 0.95;
+  // Column-profile prefilter (see HomographOptions): candidates whose ink
+  // profile differs from the brand's by more than this bound cannot reach
+  // the SSIM threshold and are counted as non-homographic without a full
+  // SSIM evaluation.  Set to 0 to disable.
+  int profile_budget = 26;
+  // Worker threads for the sweep (brands are independent); 0 = hardware
+  // concurrency.  Results are identical regardless of thread count.
+  unsigned threads = 0;
+  render::RenderOptions render;
+  render::SsimOptions ssim;
+};
+
+struct BrandAvailability {
+  std::string brand;
+  int alexa_rank = 0;
+  std::uint64_t candidates = 0;    // substitutions generated
+  std::uint64_t homographic = 0;   // SSIM >= threshold
+  std::uint64_t registered = 0;    // homographic AND present in a zone
+  std::vector<std::string> available_samples;  // up to 3 unregistered ACEs
+};
+
+struct AvailabilityReport {
+  std::vector<BrandAvailability> per_brand;
+  std::uint64_t total_candidates = 0;
+  std::uint64_t total_homographic = 0;
+  std::uint64_t total_registered = 0;
+};
+
+// Run the sweep for the given brands (paper: Alexa top-1k for the totals,
+// top-100 for Fig 7).  Brands outside com/net/org are skipped, as in the
+// paper.
+AvailabilityReport availability_sweep(const Study& study,
+                                      std::span<const ecosystem::Brand> brands,
+                                      const AvailabilityOptions& options = {});
+
+// Fig 6: September-2017 pDNS query volumes of the homographic candidates,
+// split registered vs unregistered.
+struct CandidateTraffic {
+  std::vector<double> registered_queries;
+  std::vector<double> unregistered_queries;  // zero entries included
+  std::uint64_t unregistered_with_traffic = 0;
+};
+
+CandidateTraffic candidate_traffic(const Study& study,
+                                   std::span<const ecosystem::Brand> brands,
+                                   const AvailabilityOptions& options = {});
+
+}  // namespace idnscope::core

@@ -1,0 +1,92 @@
+#include "idnscope/core/brand_protection.h"
+
+#include "idnscope/idna/idna.h"
+#include "idnscope/stats/table.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::core {
+
+std::string_view verdict_name(RegistrationVerdict verdict) {
+  switch (verdict) {
+    case RegistrationVerdict::kAccept: return "accept";
+    case RegistrationVerdict::kRejectVisual: return "reject-visual";
+    case RegistrationVerdict::kRejectSemantic: return "reject-semantic";
+    case RegistrationVerdict::kRejectInvalid: return "reject-invalid";
+  }
+  return "accept";
+}
+
+BrandProtectionGate::BrandProtectionGate(
+    std::span<const ecosystem::Brand> brands, Options options)
+    : options_(options),
+      homograph_(brands,
+                 [&] {
+                   HomographOptions homograph_options;
+                   homograph_options.threshold = options.ssim_threshold;
+                   return homograph_options;
+                 }()),
+      semantic_(brands) {}
+
+RegistrationDecision BrandProtectionGate::check(
+    std::string_view label_utf8, std::string_view tld,
+    std::string_view registrant_email) const {
+  RegistrationDecision decision;
+  auto decoded = unicode::decode(label_utf8);
+  if (!decoded.ok()) {
+    decision.verdict = RegistrationVerdict::kRejectInvalid;
+    decision.detail = "label is not valid UTF-8";
+    return decision;
+  }
+  auto ace = idna::label_to_ascii(decoded.value());
+  if (!ace.ok()) {
+    decision.verdict = RegistrationVerdict::kRejectInvalid;
+    decision.detail = "label fails IDNA validation: " + ace.error().message;
+    return decision;
+  }
+  const std::string domain = ace.value() + "." + std::string(tld);
+
+  auto owner_allowed = [&](const std::string& brand) {
+    return options_.allow_brand_owner && !registrant_email.empty() &&
+           std::string(registrant_email).ends_with("@" + brand);
+  };
+
+  if (auto match = homograph_.best_match(domain)) {
+    if (!owner_allowed(match->brand)) {
+      decision.verdict = RegistrationVerdict::kRejectVisual;
+      decision.matched_brand = match->brand;
+      decision.ssim = match->ssim;
+      decision.detail = "visually resembles " + match->brand + " (SSIM " +
+                        stats::format_fixed(match->ssim, 4) + ")";
+      return decision;
+    }
+  }
+  if (auto match = semantic_.match(domain)) {
+    if (!owner_allowed(match->brand)) {
+      decision.verdict = RegistrationVerdict::kRejectSemantic;
+      decision.matched_brand = match->brand;
+      decision.detail = "composes brand '" + match->brand + "' with keyword '" +
+                        match->keyword_utf8 + "'";
+      return decision;
+    }
+  }
+  decision.detail = "no protected-brand resemblance";
+  return decision;
+}
+
+BrandProtectionGate::AuditResult BrandProtectionGate::audit(
+    std::span<const std::string> ace_domains) const {
+  AuditResult result;
+  for (const std::string& domain : ace_domains) {
+    ++result.total;
+    if (auto match = homograph_.best_match(domain)) {
+      ++result.rejected_visual;
+      continue;
+    }
+    if (semantic_.match(domain).has_value()) {
+      ++result.rejected_semantic;
+    }
+  }
+  return result;
+}
+
+}  // namespace idnscope::core

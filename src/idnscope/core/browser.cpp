@@ -1,0 +1,233 @@
+#include "idnscope/core/browser.h"
+
+#include "idnscope/common/strings.h"
+#include "idnscope/ecosystem/brands.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/idna/punycode.h"
+#include "idnscope/unicode/confusables.h"
+#include "idnscope/unicode/scripts.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::core {
+
+namespace {
+
+using unicode::Script;
+
+// Every label single-script (Common/Inherited ignored)?
+bool all_labels_single_script(const std::string& ace_domain) {
+  for (std::string_view label : split(ace_domain, '.')) {
+    auto decoded = idna::label_to_unicode(label);
+    if (!decoded.ok()) {
+      return false;
+    }
+    if (!unicode::is_single_script(decoded.value())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Chrome-style whole-label confusable test: does the display form skeleton
+// to a top-domain that is NOT the domain itself?
+bool skeletons_to_brand(const std::string& ace_domain) {
+  auto display = idna::domain_to_unicode(ace_domain);
+  if (!display.ok()) {
+    return false;
+  }
+  auto decoded = unicode::decode(display.value());
+  if (!decoded.ok()) {
+    return false;
+  }
+  auto skeleton = unicode::ascii_skeleton(decoded.value());
+  if (!skeleton || *skeleton == ace_domain) {
+    return false;
+  }
+  return ecosystem::find_brand(*skeleton) != nullptr;
+}
+
+bool itld_recognized(const BrowserConfig& browser, bool typed_unicode,
+                     bool scheme_prefix) {
+  switch (browser.itld) {
+    case ItldSupport::kFull: return true;
+    case ItldSupport::kNeedPrefix: return scheme_prefix;
+    case ItldSupport::kUnicodeOnly: return typed_unicode;
+    case ItldSupport::kPunycodeOnly: return !typed_unicode;
+    case ItldSupport::kNone: return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+DisplayOutcome load_in_browser(const BrowserConfig& browser,
+                               const std::string& ace_domain,
+                               const web::WebPage* page,
+                               std::string_view target_brand,
+                               bool scheme_prefix) {
+  DisplayOutcome outcome;
+  const bool confusable = skeletons_to_brand(ace_domain);
+
+  if (browser.about_blank_on_confusable && confusable) {
+    outcome.navigated_blank = true;
+    outcome.address_bar = "about:blank";
+    return outcome;
+  }
+
+  bool show_unicode = false;
+  switch (browser.policy) {
+    case DisplayPolicy::kAlwaysUnicode:
+      show_unicode = true;
+      break;
+    case DisplayPolicy::kSingleScript:
+      show_unicode = all_labels_single_script(ace_domain);
+      break;
+    case DisplayPolicy::kMixedScriptAndSkeleton:
+      show_unicode = all_labels_single_script(ace_domain) && !confusable;
+      break;
+    case DisplayPolicy::kAlwaysPunycode:
+      show_unicode = false;
+      break;
+    case DisplayPolicy::kPunycodeWithAlert:
+      show_unicode = false;
+      outcome.alert_shown = !unicode::is_ascii(
+          idna::domain_to_unicode(ace_domain).value_or(ace_domain));
+      break;
+  }
+  (void)scheme_prefix;
+
+  if (browser.address_bar == AddressBarContent::kPageTitle && page != nullptr &&
+      !page->title.empty()) {
+    outcome.address_bar = page->title;
+    const std::string_view brand_sld =
+        target_brand.substr(0, target_brand.find('.'));
+    outcome.deceptive = to_lower_ascii(page->title) == to_lower_ascii(brand_sld);
+    outcome.unicode_shown = show_unicode;
+    return outcome;
+  }
+
+  if (show_unicode) {
+    outcome.address_bar = idna::domain_to_unicode(ace_domain).value_or(ace_domain);
+    outcome.unicode_shown = true;
+    outcome.deceptive = confusable && !outcome.alert_shown;
+  } else {
+    outcome.address_bar = ace_domain;
+  }
+  return outcome;
+}
+
+const std::vector<BrowserConfig>& surveyed_browsers() {
+  using enum DisplayPolicy;
+  using enum AddressBarContent;
+  using enum ItldSupport;
+  static const std::vector<BrowserConfig> browsers = {
+      // --- PC ---
+      {"Chrome", "PC", "62.0", kMixedScriptAndSkeleton, kUrl, kFull, false},
+      {"Firefox", "PC", "57.0", kSingleScript, kUrl, kNeedPrefix, false},
+      {"Opera", "PC", "49.0", kSingleScript, kUrl, kFull, false},
+      {"Safari", "PC", "11.0", kAlwaysPunycode, kUrl, kFull, false},
+      {"IE", "PC", "11.0", kPunycodeWithAlert, kUrl, kFull, false},
+      {"QQ", "PC", "9.7", kMixedScriptAndSkeleton, kUrl, kFull, false},
+      {"Baidu", "PC", "8.7", kSingleScript, kUrl, kFull, false},
+      {"Qihoo 360", "PC", "9.1", kMixedScriptAndSkeleton, kUrl, kFull, false},
+      {"Sogou", "PC", "7.1", kAlwaysUnicode, kUrl, kFull, false},
+      {"Liebao", "PC", "6.5", kSingleScript, kUrl, kFull, false},
+      // --- iOS ---
+      {"Chrome", "iOS", "61.0", kMixedScriptAndSkeleton, kUrl, kFull, false},
+      {"Firefox", "iOS", "10.1", kMixedScriptAndSkeleton, kUrl, kFull, false},
+      {"Opera", "iOS", "16.0", kMixedScriptAndSkeleton, kUrl, kFull, false},
+      {"Safari", "iOS", "11.0", kAlwaysPunycode, kUrl, kFull, false},
+      {"QQ", "iOS", "7.9", kMixedScriptAndSkeleton, kPageTitle, kUnicodeOnly,
+       false},
+      {"Baidu", "iOS", "4.10", kMixedScriptAndSkeleton, kPageTitle,
+       kUnicodeOnly, false},
+      {"Qihoo 360", "iOS", "4.0", kMixedScriptAndSkeleton, kPageTitle, kFull,
+       false},
+      {"Sogou", "iOS", "5.10", kMixedScriptAndSkeleton, kPageTitle, kFull,
+       false},
+      {"Liebao", "iOS", "4.18", kMixedScriptAndSkeleton, kPageTitle,
+       kUnicodeOnly, false},
+      // --- Android ---
+      {"Chrome", "Android", "61.0", kMixedScriptAndSkeleton, kUrl, kFull,
+       false},
+      {"Firefox", "Android", "57.0", kSingleScript, kUrl, kNeedPrefix, false},
+      {"Opera", "Android", "43.0", kMixedScriptAndSkeleton, kUrl, kFull,
+       false},
+      {"QQ", "Android", "8.0", kMixedScriptAndSkeleton, kUrl, kUnicodeOnly,
+       true},
+      {"Baidu", "Android", "6.4", kMixedScriptAndSkeleton, kPageTitle, kNone,
+       false},
+      {"Qihoo 360", "Android", "8.2", kMixedScriptAndSkeleton, kUrl,
+       kPunycodeOnly, false},
+      {"Sogou", "Android", "5.9", kMixedScriptAndSkeleton, kPageTitle,
+       kUnicodeOnly, false},
+      {"Liebao", "Android", "5.22", kMixedScriptAndSkeleton, kPageTitle, kFull,
+       false},
+  };
+  return browsers;
+}
+
+std::vector<SurveyVerdict> run_browser_survey() {
+  // Test inputs mirroring the paper's experiment.
+  // (1) Mixed-script homograph: Latin apple with a Cyrillic а.
+  const std::u32string mixed = {0x0430, U'p', U'p', U'l', U'e'};
+  const std::string mixed_ace = idna::label_to_ascii(mixed).value() + ".com";
+  // (2) Whole-script Cyrillic homograph of soso.com (Alexa 96): ѕоѕо.
+  const std::u32string cyrillic = {0x0455, 0x043E, 0x0455, 0x043E};
+  const std::string cyrillic_ace =
+      idna::label_to_ascii(cyrillic).value() + ".com";
+  // (3) An iTLD IDN: 公司.中国.
+  const std::string itld_ace =
+      idna::domain_to_ascii("公司.中国").value();
+
+  web::WebPage brand_page;
+  brand_page.title = "apple";
+  web::WebPage soso_page;
+  soso_page.title = "soso";
+
+  std::vector<SurveyVerdict> verdicts;
+  for (const BrowserConfig& browser : surveyed_browsers()) {
+    SurveyVerdict verdict;
+    verdict.browser = browser.name;
+    verdict.platform = browser.platform;
+
+    // iTLD support, derived from behaviour across the four access modes.
+    const bool uni_prefix = itld_recognized(browser, true, true);
+    const bool uni_bare = itld_recognized(browser, true, false);
+    const bool ace_prefix = itld_recognized(browser, false, true);
+    const bool ace_bare = itld_recognized(browser, false, false);
+    (void)itld_ace;
+    if (!uni_prefix && !ace_prefix) {
+      verdict.itld_support = "Not supported";
+    } else if (uni_prefix && ace_prefix && (!uni_bare || !ace_bare)) {
+      verdict.itld_support = "Need prefix";
+    } else if (uni_prefix && !ace_prefix) {
+      verdict.itld_support = "Unicode only";
+    } else if (!uni_prefix && ace_prefix) {
+      verdict.itld_support = "Punycode only";
+    } else {
+      verdict.itld_support = "";  // full support
+    }
+
+    // Homograph handling: worst observed outcome across the two lookalikes.
+    const DisplayOutcome on_mixed =
+        load_in_browser(browser, mixed_ace, &brand_page, "apple.com");
+    const DisplayOutcome on_cyrillic =
+        load_in_browser(browser, cyrillic_ace, &soso_page, "soso.com");
+    if (on_mixed.deceptive && on_mixed.unicode_shown) {
+      verdict.homograph_result = "Vulnerable";
+    } else if (on_cyrillic.deceptive && on_cyrillic.unicode_shown) {
+      verdict.homograph_result = "Bypassed";
+    } else if (on_mixed.navigated_blank || on_cyrillic.navigated_blank) {
+      verdict.homograph_result = "about:blank";
+    } else if (on_mixed.deceptive || on_cyrillic.deceptive) {
+      verdict.homograph_result = "Title";
+    } else {
+      verdict.homograph_result = "";  // punycode displayed
+    }
+    verdicts.push_back(std::move(verdict));
+  }
+  return verdicts;
+}
+
+}  // namespace idnscope::core

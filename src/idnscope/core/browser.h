@@ -1,0 +1,89 @@
+// Browser IDN display-policy engine (Section VI-A, Table XI).
+//
+// The paper manually tested ten browsers on three platforms; we implement
+// each browser's published/observed policy as an executable rule and run
+// the same experiment: feed homographic IDNs and iTLD IDNs, record what the
+// address bar would show.  This turns the paper's manual survey into a
+// regression test that can be re-run against any policy change.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "idnscope/web/web.h"
+
+namespace idnscope::core {
+
+// How a browser decides between Unicode and Punycode in the address bar.
+enum class DisplayPolicy : std::uint8_t {
+  kAlwaysUnicode,      // no restriction (vulnerable)
+  kSingleScript,       // Firefox: Unicode iff each label is single-script
+  kMixedScriptAndSkeleton,  // Chrome-style: single-script AND not a
+                            // whole-label confusable of an ASCII name
+  kAlwaysPunycode,     // always show the ACE form
+  kPunycodeWithAlert,  // IE11: Punycode plus a security prompt
+};
+
+// What fills the address bar while browsing (mobile quirk of Table XI).
+enum class AddressBarContent : std::uint8_t {
+  kUrl,        // the (possibly converted) domain
+  kPageTitle,  // the web page's title — spoofable by construction
+};
+
+// iTLD handling.
+enum class ItldSupport : std::uint8_t {
+  kFull,          // both Unicode and Punycode TLDs accepted
+  kNeedPrefix,    // only with an explicit scheme ("http://")
+  kUnicodeOnly,   // only the Unicode form recognized
+  kPunycodeOnly,  // only the ACE form recognized
+  kNone,          // iTLDs rejected entirely
+};
+
+struct BrowserConfig {
+  std::string name;           // "Chrome", "Firefox", ...
+  std::string platform;       // "PC", "iOS", "Android"
+  std::string version;
+  DisplayPolicy policy = DisplayPolicy::kAlwaysPunycode;
+  AddressBarContent address_bar = AddressBarContent::kUrl;
+  ItldSupport itld = ItldSupport::kFull;
+  bool about_blank_on_confusable = false;  // QQ Android quirk
+};
+
+// The 25 surveyed (browser, platform) combinations of Table XI.
+const std::vector<BrowserConfig>& surveyed_browsers();
+
+// Outcome of loading one IDN in one browser.
+struct DisplayOutcome {
+  std::string address_bar;   // the text a user would see
+  bool unicode_shown = false;
+  bool alert_shown = false;
+  bool navigated_blank = false;  // redirected to about:blank
+  // The displayed string equals the text the attacker wants the user to
+  // see (the target brand, or a brand page title).
+  bool deceptive = false;
+};
+
+// Simulate entering `ace_domain` (typed with `scheme_prefix` or not) whose
+// page is `page` (nullptr if none) and which imitates `target_brand`.
+DisplayOutcome load_in_browser(const BrowserConfig& browser,
+                               const std::string& ace_domain,
+                               const web::WebPage* page,
+                               std::string_view target_brand,
+                               bool scheme_prefix = true);
+
+// Table XI verdict strings.
+struct SurveyVerdict {
+  std::string browser;
+  std::string platform;
+  std::string itld_support;      // "", "Need prefix", "Unicode only", ...
+  std::string homograph_result;  // "", "Vulnerable", "Bypassed", "Title", ...
+};
+
+// Run the paper's experiment: a mixed-script homograph, a single-script
+// (whole-script Cyrillic) homograph, and an iTLD IDN in both encodings.
+std::vector<SurveyVerdict> run_browser_survey();
+
+}  // namespace idnscope::core

@@ -1,0 +1,46 @@
+#include "idnscope/core/content_study.h"
+
+#include "idnscope/common/rng.h"
+
+namespace idnscope::core {
+
+ContentBreakdown classify_content(const Study& study,
+                                  std::span<const std::string> domains) {
+  ContentBreakdown out;
+  const auto& eco = study.eco();
+  for (const std::string& domain : domains) {
+    const web::FetchOutcome outcome = eco.web.fetch(domain, eco.resolver);
+    const web::PageCategory category = web::classify_page(outcome, domain);
+    ++out.counts[static_cast<std::size_t>(category)];
+    ++out.total;
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> sample(std::span<const std::string> population,
+                                std::size_t n, Rng& rng) {
+  std::vector<std::string> out(population.begin(), population.end());
+  rng.shuffle(out);
+  if (out.size() > n) {
+    out.resize(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+ContentComparison sampled_content_comparison(const Study& study, std::size_t n,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  Rng idn_rng = rng.fork("idn-sample");
+  Rng non_idn_rng = rng.fork("non-idn-sample");
+  const auto idn_sample = sample(study.idns(), n, idn_rng);
+  const auto non_idn_sample =
+      sample(study.eco().sampled_non_idns, n, non_idn_rng);
+  return ContentComparison{classify_content(study, idn_sample),
+                           classify_content(study, non_idn_sample)};
+}
+
+}  // namespace idnscope::core

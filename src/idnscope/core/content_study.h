@@ -1,0 +1,41 @@
+// Content analysis (Section IV-D, Table V, Finding 8).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "idnscope/core/study.h"
+#include "idnscope/web/web.h"
+
+namespace idnscope::core {
+
+struct ContentBreakdown {
+  // Indexed by web::PageCategory.
+  std::array<std::uint64_t, 7> counts{};
+  std::uint64_t total = 0;
+
+  double fraction(web::PageCategory category) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(
+                            counts[static_cast<std::size_t>(category)]) /
+                            static_cast<double>(total);
+  }
+};
+
+// Crawl + classify an explicit set of domains.
+ContentBreakdown classify_content(const Study& study,
+                                  std::span<const std::string> domains);
+
+// The paper's stratified sample: `n` IDNs and `n` non-IDNs, drawn
+// deterministically from `seed`.
+struct ContentComparison {
+  ContentBreakdown idn;
+  ContentBreakdown non_idn;
+};
+
+ContentComparison sampled_content_comparison(const Study& study, std::size_t n,
+                                             std::uint64_t seed);
+
+}  // namespace idnscope::core

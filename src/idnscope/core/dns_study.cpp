@@ -1,0 +1,93 @@
+#include "idnscope/core/dns_study.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace idnscope::core {
+
+ActivityEcdfs activity_ecdfs(const Study& study,
+                             std::span<const std::string> domains) {
+  ActivityEcdfs out;
+  const dns::PassiveDnsDb& pdns = study.eco().pdns;
+  for (const std::string& domain : domains) {
+    const dns::DnsAggregate* aggregate = pdns.lookup(domain);
+    if (aggregate == nullptr) {
+      continue;
+    }
+    ++out.covered;
+    out.active_days.add(static_cast<double>(aggregate->active_days()));
+    out.query_volume.add(static_cast<double>(aggregate->query_count));
+  }
+  return out;
+}
+
+ActivityEcdfs idn_activity(const Study& study, std::string_view tld,
+                           bool malicious_only) {
+  std::vector<std::string> domains;
+  for (const std::string& idn : study.idns_under(tld)) {
+    if (study.is_malicious(idn) == malicious_only) {
+      domains.push_back(idn);
+    }
+  }
+  return activity_ecdfs(study, domains);
+}
+
+ActivityEcdfs non_idn_activity(const Study& study, std::string_view tld) {
+  std::vector<std::string> domains;
+  const std::string suffix = "." + std::string(tld);
+  for (const std::string& domain : study.eco().sampled_non_idns) {
+    if (domain.ends_with(suffix)) {
+      domains.push_back(domain);
+    }
+  }
+  return activity_ecdfs(study, domains);
+}
+
+HostingConcentration hosting_concentration(const Study& study) {
+  std::unordered_set<std::uint32_t> ips;
+  std::unordered_map<std::uint32_t, std::uint64_t> per_segment;
+  const dns::PassiveDnsDb& pdns = study.eco().pdns;
+  for (const std::string& idn : study.idns()) {
+    const dns::DnsAggregate* aggregate = pdns.lookup(idn);
+    if (aggregate == nullptr || aggregate->resolved_ips.empty()) {
+      continue;
+    }
+    // One segment vote per IDN (the paper counts IDNs per segment); the IP
+    // census counts every distinct address.
+    for (const dns::Ipv4& ip : aggregate->resolved_ips) {
+      ips.insert(ip.bits());
+    }
+    ++per_segment[aggregate->resolved_ips.front().segment24()];
+  }
+  HostingConcentration out;
+  out.distinct_ips = ips.size();
+  out.distinct_segments = per_segment.size();
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> sorted(
+      per_segment.begin(), per_segment.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  for (const auto& [segment, count] : sorted) {
+    out.segment_ids.push_back(segment);
+    out.segment_sizes.push_back(count);
+  }
+  return out;
+}
+
+double HostingConcentration::fraction_in_top(std::size_t n) const {
+  std::uint64_t total = 0;
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < segment_sizes.size(); ++i) {
+    total += segment_sizes[i];
+    if (i < n) {
+      top += segment_sizes[i];
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(top) / static_cast<double>(total);
+}
+
+}  // namespace idnscope::core

@@ -1,0 +1,46 @@
+// Passive-DNS analysis (Section IV-C: Findings 5-7, Figs 2-4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "idnscope/core/study.h"
+#include "idnscope/stats/ecdf.h"
+
+namespace idnscope::core {
+
+// Active-time (days) and query-volume ECDFs for a set of domains, looked up
+// in the ecosystem's passive DNS.  Domains without pDNS data are skipped.
+struct ActivityEcdfs {
+  stats::Ecdf active_days;
+  stats::Ecdf query_volume;
+  std::size_t covered = 0;
+};
+
+ActivityEcdfs activity_ecdfs(const Study& study,
+                             std::span<const std::string> domains);
+
+// Convenience splits for Figs 2/3: benign IDNs / malicious IDNs under a
+// TLD, and the non-IDN sample under the same TLD.
+ActivityEcdfs idn_activity(const Study& study, std::string_view tld,
+                           bool malicious_only);
+ActivityEcdfs non_idn_activity(const Study& study, std::string_view tld);
+
+// Fig 4 / Finding 7: /24 hosting concentration of the IDN population.
+struct HostingConcentration {
+  std::uint64_t distinct_ips = 0;
+  std::uint64_t distinct_segments = 0;
+  // Segment sizes (IDN count per /24), sorted descending.
+  std::vector<std::uint64_t> segment_sizes;
+  // Segment ids aligned with segment_sizes.
+  std::vector<std::uint32_t> segment_ids;
+
+  // Fraction of IDNs hosted by the `n` largest segments.
+  double fraction_in_top(std::size_t n) const;
+};
+
+HostingConcentration hosting_concentration(const Study& study);
+
+}  // namespace idnscope::core

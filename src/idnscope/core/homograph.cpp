@@ -1,0 +1,188 @@
+#include "idnscope/core/homograph.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "idnscope/idna/idna.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::core {
+
+namespace {
+
+int profile_l1(const std::vector<int>& a, const std::vector<int>& b) {
+  // Profiles of equal-length strings have equal size by construction.
+  int total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += std::abs(a[i] - b[i]);
+  }
+  return total;
+}
+
+// Unicode display form of an ACE domain as code points.
+std::optional<std::u32string> display_form(const std::string& ace_domain) {
+  auto display = idna::domain_to_unicode(ace_domain);
+  if (!display.ok()) {
+    return std::nullopt;
+  }
+  auto decoded = unicode::decode(display.value());
+  if (!decoded.ok()) {
+    return std::nullopt;
+  }
+  return std::move(decoded).value();
+}
+
+}  // namespace
+
+HomographDetector::HomographDetector(
+    std::span<const ecosystem::Brand> brands, HomographOptions options)
+    : options_(options) {
+  for (const ecosystem::Brand& brand : brands) {
+    const std::size_t length = brand.domain.size();
+    if (by_length_.size() <= length) {
+      by_length_.resize(length + 1);
+    }
+    std::u32string as_u32;
+    for (unsigned char c : brand.domain) {
+      as_u32.push_back(c);
+    }
+    BrandImage entry{brand, render::render_ascii(brand.domain, options_.render),
+                     render::column_profile(as_u32)};
+    by_length_[length].push_back(std::move(entry));
+  }
+}
+
+std::optional<HomographMatch> HomographDetector::best_match(
+    const std::string& ace_domain) const {
+  const auto display = display_form(ace_domain);
+  if (!display) {
+    return std::nullopt;
+  }
+  const std::size_t length = display->size();
+  if (length >= by_length_.size() || by_length_[length].empty()) {
+    return std::nullopt;
+  }
+  const std::vector<int> profile = render::column_profile(*display);
+  std::optional<render::GrayImage> image;  // rendered lazily
+
+  HomographMatch best;
+  for (const BrandImage& brand : by_length_[length]) {
+    if (brand.brand.domain == ace_domain) {
+      continue;  // the brand itself (pure-ASCII) is not a homograph
+    }
+    if (options_.use_prefilter &&
+        profile_l1(profile, brand.profile) > options_.profile_budget) {
+      ++prefilter_skips_;
+      continue;
+    }
+    if (!image) {
+      image = render::render_label(*display, options_.render);
+    }
+    ++ssim_evaluations_;
+    const double score = render::ssim(*image, brand.image, options_.ssim);
+    if (score > best.ssim) {
+      best.ssim = score;
+      best.brand = brand.brand.domain;
+    }
+  }
+  if (best.brand.empty() || best.ssim < options_.threshold) {
+    return std::nullopt;
+  }
+  best.domain = ace_domain;
+  best.identical = best.ssim >= 1.0 - 1e-9;
+  return best;
+}
+
+std::vector<HomographMatch> HomographDetector::scan(
+    std::span<const std::string> domains) const {
+  std::vector<HomographMatch> matches;
+  for (const std::string& domain : domains) {
+    if (auto match = best_match(domain)) {
+      matches.push_back(std::move(*match));
+    }
+  }
+  return matches;
+}
+
+namespace {
+
+bool is_personal_mailbox(const std::string& email) {
+  static constexpr std::string_view kProviders[] = {
+      "@qq.com",       "@163.com", "@gmail.com", "@hotmail.com",
+      "@naver.com",    "@126.com", "@139.com",   "@yahoo.co.jp",
+      "@mail.ru"};
+  for (std::string_view provider : kProviders) {
+    if (email.ends_with(provider)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+HomographReport analyze_homographs(const Study& study,
+                                   const HomographDetector& detector,
+                                   std::size_t top_n) {
+  HomographReport report;
+  report.matches = detector.scan(study.idns());
+
+  struct Accum {
+    std::uint64_t count = 0;
+    std::uint64_t protective = 0;
+  };
+  std::unordered_map<std::string, Accum> per_brand;
+
+  for (const HomographMatch& match : report.matches) {
+    if (match.identical) {
+      ++report.identical_count;
+    }
+    if (study.is_malicious(match.domain)) {
+      ++report.blacklisted_count;
+    }
+    Accum& accum = per_brand[match.brand];
+    ++accum.count;
+    const whois::WhoisRecord* record = study.eco().whois.lookup(match.domain);
+    if (record != nullptr) {
+      ++report.whois_covered;
+      if (!record->privacy_protected && !record->registrant_email.empty()) {
+        const std::string brand_suffix = "@" + match.brand;
+        if (record->registrant_email.ends_with(brand_suffix)) {
+          ++report.protective;
+          ++accum.protective;
+        } else if (is_personal_mailbox(record->registrant_email)) {
+          ++report.personal_email;
+        }
+      }
+    }
+  }
+  report.brands_targeted = per_brand.size();
+
+  std::vector<HomographReport::BrandCount> brands;
+  brands.reserve(per_brand.size());
+  for (auto& [brand, accum] : per_brand) {
+    HomographReport::BrandCount row;
+    row.brand = brand;
+    const ecosystem::Brand* info = ecosystem::find_brand(brand);
+    row.alexa_rank = info != nullptr ? info->rank : 0;
+    row.idn_count = accum.count;
+    row.protective = accum.protective;
+    brands.push_back(std::move(row));
+  }
+  std::sort(brands.begin(), brands.end(),
+            [](const auto& a, const auto& b) {
+              if (a.idn_count != b.idn_count) {
+                return a.idn_count > b.idn_count;
+              }
+              return a.brand < b.brand;
+            });
+  if (brands.size() > top_n) {
+    brands.resize(top_n);
+  }
+  report.top_brands = std::move(brands);
+  return report;
+}
+
+}  // namespace idnscope::core

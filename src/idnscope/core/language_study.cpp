@@ -1,0 +1,46 @@
+#include "idnscope/core/language_study.h"
+
+#include "idnscope/idna/idna.h"
+#include "idnscope/langid/classifier.h"
+
+namespace idnscope::core {
+
+langid::Language identify_domain_language(const std::string& ace_domain) {
+  // Classify the display form of the SLD label only: the TLD is shared
+  // infrastructure, not registrant language choice.
+  const std::size_t dot = ace_domain.find('.');
+  const std::string sld_label =
+      dot == std::string::npos ? ace_domain : ace_domain.substr(0, dot);
+  auto display = idna::domain_to_unicode(sld_label);
+  const std::string& text = display.ok() ? display.value() : sld_label;
+  return langid::identify(text);
+}
+
+LanguageStats analyze_languages(const Study& study) {
+  LanguageStats stats;
+  for (const std::string& idn : study.idns()) {
+    const auto lang = static_cast<std::size_t>(identify_domain_language(idn));
+    ++stats.all[lang];
+    ++stats.total_all;
+    if (study.is_malicious(idn)) {
+      ++stats.malicious[lang];
+      ++stats.total_malicious;
+    }
+  }
+  return stats;
+}
+
+double LanguageStats::east_asian_fraction() const {
+  if (total_all == 0) {
+    return 0.0;
+  }
+  std::uint64_t east_asian = 0;
+  for (langid::Language lang : langid::all_languages()) {
+    if (langid::is_east_asian(lang)) {
+      east_asian += all[static_cast<std::size_t>(lang)];
+    }
+  }
+  return static_cast<double>(east_asian) / static_cast<double>(total_all);
+}
+
+}  // namespace idnscope::core

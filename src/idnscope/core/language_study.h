@@ -1,0 +1,31 @@
+// Language analysis (Section IV-A, Table II, Finding 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "idnscope/core/study.h"
+#include "idnscope/langid/language.h"
+
+namespace idnscope::core {
+
+struct LanguageStats {
+  // Indexed by langid::Language; counts over all IDNs and malicious IDNs.
+  std::array<std::uint64_t, langid::kLanguageCount> all{};
+  std::array<std::uint64_t, langid::kLanguageCount> malicious{};
+  std::uint64_t total_all = 0;
+  std::uint64_t total_malicious = 0;
+
+  double east_asian_fraction() const;
+};
+
+// Classify the Unicode SLD of every discovered IDN with the naive-Bayes
+// language identifier (our LangID [40]).
+LanguageStats analyze_languages(const Study& study);
+
+// The language the identifier assigns to one registered domain.
+langid::Language identify_domain_language(const std::string& ace_domain);
+
+}  // namespace idnscope::core

@@ -1,0 +1,145 @@
+#include "idnscope/core/registration_study.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace idnscope::core {
+
+std::vector<YearCount> registration_timeline(const Study& study) {
+  std::map<int, YearCount> by_year;
+  for (const std::string& idn : study.idns()) {
+    const whois::WhoisRecord* record = study.eco().whois.lookup(idn);
+    if (record == nullptr) {
+      continue;
+    }
+    YearCount& bucket = by_year[record->creation_date.year];
+    bucket.year = record->creation_date.year;
+    ++bucket.all;
+    if (study.is_malicious(idn)) {
+      ++bucket.malicious;
+    }
+  }
+  std::vector<YearCount> out;
+  out.reserve(by_year.size());
+  for (auto& [_, bucket] : by_year) {
+    out.push_back(bucket);
+  }
+  return out;
+}
+
+double fraction_created_before(const Study& study, int year) {
+  std::uint64_t covered = 0;
+  std::uint64_t before = 0;
+  for (const std::string& idn : study.idns()) {
+    const whois::WhoisRecord* record = study.eco().whois.lookup(idn);
+    if (record == nullptr) {
+      continue;
+    }
+    ++covered;
+    if (record->creation_date.year < year) {
+      ++before;
+    }
+  }
+  return covered == 0 ? 0.0
+                      : static_cast<double>(before) / static_cast<double>(covered);
+}
+
+namespace {
+
+std::unordered_map<std::string, std::vector<const std::string*>>
+group_by_email(const Study& study) {
+  std::unordered_map<std::string, std::vector<const std::string*>> groups;
+  for (const std::string& idn : study.idns()) {
+    const whois::WhoisRecord* record = study.eco().whois.lookup(idn);
+    if (record == nullptr || record->privacy_protected ||
+        record->registrant_email.empty()) {
+      continue;
+    }
+    groups[record->registrant_email].push_back(&idn);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<RegistrantPortfolio> top_registrants(const Study& study,
+                                                 std::size_t n) {
+  auto groups = group_by_email(study);
+  std::vector<RegistrantPortfolio> portfolios;
+  portfolios.reserve(groups.size());
+  for (auto& [email, domains] : groups) {
+    RegistrantPortfolio portfolio;
+    portfolio.email = email;
+    portfolio.idn_count = domains.size();
+    std::sort(domains.begin(), domains.end(),
+              [](const std::string* a, const std::string* b) { return *a < *b; });
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, domains.size()); ++i) {
+      portfolio.sample.push_back(*domains[i]);
+    }
+    portfolios.push_back(std::move(portfolio));
+  }
+  std::sort(portfolios.begin(), portfolios.end(),
+            [](const RegistrantPortfolio& a, const RegistrantPortfolio& b) {
+              if (a.idn_count != b.idn_count) {
+                return a.idn_count > b.idn_count;
+              }
+              return a.email < b.email;
+            });
+  if (portfolios.size() > n) {
+    portfolios.resize(n);
+  }
+  return portfolios;
+}
+
+std::uint64_t opportunistic_idn_count(const Study& study,
+                                      std::uint64_t threshold) {
+  std::uint64_t total = 0;
+  for (const auto& [_, domains] : group_by_email(study)) {
+    if (domains.size() >= threshold) {
+      total += domains.size();
+    }
+  }
+  return total;
+}
+
+RegistrarStats registrar_stats(const Study& study, std::size_t top_n) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  std::uint64_t covered = 0;
+  for (const std::string& idn : study.idns()) {
+    const whois::WhoisRecord* record = study.eco().whois.lookup(idn);
+    if (record == nullptr || record->registrar.empty()) {
+      continue;
+    }
+    ++counts[record->registrar];
+    ++covered;
+  }
+  std::vector<RegistrarShare> shares;
+  shares.reserve(counts.size());
+  for (auto& [name, count] : counts) {
+    shares.push_back(RegistrarShare{
+        name, count,
+        covered == 0 ? 0.0
+                     : static_cast<double>(count) / static_cast<double>(covered)});
+  }
+  std::sort(shares.begin(), shares.end(),
+            [](const RegistrarShare& a, const RegistrarShare& b) {
+              if (a.idn_count != b.idn_count) {
+                return a.idn_count > b.idn_count;
+              }
+              return a.name < b.name;
+            });
+  RegistrarStats stats;
+  stats.distinct_registrars = shares.size();
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (i < 10) stats.top10_share += shares[i].rate;
+    if (i < 20) stats.top20_share += shares[i].rate;
+  }
+  if (shares.size() > top_n) {
+    shares.resize(top_n);
+  }
+  stats.top = std::move(shares);
+  return stats;
+}
+
+}  // namespace idnscope::core

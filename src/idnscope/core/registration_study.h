@@ -1,0 +1,55 @@
+// Registration analysis (Section IV-B: Findings 2-4, Fig 1, Tables III/IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "idnscope/core/study.h"
+
+namespace idnscope::core {
+
+struct YearCount {
+  int year = 0;
+  std::uint64_t all = 0;
+  std::uint64_t malicious = 0;
+};
+
+// Fig 1: creation-year histogram of WHOIS-covered IDNs, malicious overlay.
+std::vector<YearCount> registration_timeline(const Study& study);
+
+// Finding 2: fraction of WHOIS-covered IDNs created before `year`.
+double fraction_created_before(const Study& study, int year);
+
+struct RegistrantPortfolio {
+  std::string email;
+  std::uint64_t idn_count = 0;
+  std::vector<std::string> sample;  // up to 3 example domains
+};
+
+// Table III: top registrant emails over the IDN population.
+std::vector<RegistrantPortfolio> top_registrants(const Study& study,
+                                                 std::size_t n);
+
+// Finding 3: IDNs held by registrants owning at least `threshold` IDNs.
+std::uint64_t opportunistic_idn_count(const Study& study,
+                                      std::uint64_t threshold);
+
+struct RegistrarShare {
+  std::string name;
+  std::uint64_t idn_count = 0;
+  double rate = 0.0;  // of WHOIS-covered IDNs
+};
+
+// Table IV: registrar market shares; also reports the distinct registrar
+// count (Finding 4: "over 700 registrars").
+struct RegistrarStats {
+  std::vector<RegistrarShare> top;
+  std::size_t distinct_registrars = 0;
+  double top10_share = 0.0;
+  double top20_share = 0.0;
+};
+
+RegistrarStats registrar_stats(const Study& study, std::size_t top_n);
+
+}  // namespace idnscope::core

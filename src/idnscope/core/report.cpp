@@ -1,0 +1,210 @@
+#include "idnscope/core/report.h"
+
+#include <cstdio>
+
+#include "idnscope/core/browser.h"
+#include "idnscope/core/content_study.h"
+#include "idnscope/core/dns_study.h"
+#include "idnscope/core/homograph.h"
+#include "idnscope/core/language_study.h"
+#include "idnscope/core/registration_study.h"
+#include "idnscope/core/semantic.h"
+#include "idnscope/core/semantic_type2.h"
+#include "idnscope/core/ssl_study.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/stats/table.h"
+
+namespace idnscope::core {
+
+namespace {
+
+void heading(std::string& out, int level, std::string_view title) {
+  out.append(static_cast<std::size_t>(level), '#');
+  out += ' ';
+  out += title;
+  out += "\n\n";
+}
+
+void line(std::string& out, std::string text) {
+  out += text;
+  out += '\n';
+}
+
+std::string pct(double fraction) { return stats::format_percent(fraction); }
+
+}  // namespace
+
+std::string build_markdown_report(const Study& study,
+                                  const ReportOptions& options) {
+  std::string out;
+  heading(out, 1, "IDN ecosystem study");
+
+  // --- dataset ---------------------------------------------------------------
+  heading(out, 2, "Dataset");
+  const TldGroup total = study.totals();
+  {
+    stats::Table table({"TLD", "# SLD", "# IDN", "WHOIS", "Blacklisted"});
+    for (const TldGroup& group : study.tld_groups()) {
+      table.add_row({group.name, stats::format_count(group.sld_count),
+                     stats::format_count(group.idn_count),
+                     stats::format_count(group.whois_count),
+                     stats::format_count(group.blacklist_total)});
+    }
+    table.add_row({"Total", stats::format_count(total.sld_count),
+                   stats::format_count(total.idn_count),
+                   stats::format_count(total.whois_count),
+                   stats::format_count(total.blacklist_total)});
+    out += "```\n" + table.to_string() + "```\n\n";
+  }
+
+  // --- languages ---------------------------------------------------------------
+  heading(out, 2, "Languages");
+  const auto languages = analyze_languages(study);
+  {
+    stats::Table table({"Language", "IDNs", "Share", "Malicious"});
+    for (langid::Language lang : langid::all_languages()) {
+      const auto index = static_cast<std::size_t>(lang);
+      if (languages.all[index] == 0) {
+        continue;
+      }
+      table.add_row({std::string(langid::language_name(lang)),
+                     stats::format_count(languages.all[index]),
+                     pct(static_cast<double>(languages.all[index]) /
+                         static_cast<double>(languages.total_all)),
+                     stats::format_count(languages.malicious[index])});
+    }
+    out += "```\n" + table.to_string() + "```\n";
+    line(out, "East-Asian languages: " +
+                  pct(languages.east_asian_fraction()) + " of all IDNs.\n");
+  }
+
+  // --- registration ------------------------------------------------------------
+  heading(out, 2, "Registration");
+  const auto registrars = registrar_stats(study, options.top_n);
+  line(out, "- distinct registrars: " +
+                std::to_string(registrars.distinct_registrars));
+  line(out, "- top-10 registrar share: " + pct(registrars.top10_share));
+  line(out, "- registered before 2008: " +
+                pct(fraction_created_before(study, 2008)));
+  const auto portfolios = top_registrants(study, 5);
+  if (!portfolios.empty()) {
+    line(out, "- largest registrant portfolio: " + portfolios[0].email +
+                  " with " + std::to_string(portfolios[0].idn_count) +
+                  " IDNs");
+  }
+  out += '\n';
+
+  // --- DNS activity --------------------------------------------------------------
+  heading(out, 2, "DNS activity");
+  const auto idn_com = idn_activity(study, "com", false);
+  const auto non_com = non_idn_activity(study, "com");
+  if (!idn_com.active_days.empty() && !non_com.active_days.empty()) {
+    line(out, "- com IDNs active < 100 days: " +
+                  pct(idn_com.active_days.fraction_at(100)) + " (non-IDNs: " +
+                  pct(non_com.active_days.fraction_at(100)) + ")");
+    line(out, "- com IDNs with < 100 look-ups: " +
+                  pct(idn_com.query_volume.fraction_at(100)) + " (non-IDNs: " +
+                  pct(non_com.query_volume.fraction_at(100)) + ")");
+  }
+  const auto hosting = hosting_concentration(study);
+  line(out, "- hosting: " + stats::format_count(hosting.distinct_ips) +
+                " IPs across " +
+                stats::format_count(hosting.distinct_segments) +
+                " /24 segments; top-10 segments host " +
+                pct(hosting.fraction_in_top(10)) + " of IDNs");
+  out += '\n';
+
+  // --- content -------------------------------------------------------------------
+  heading(out, 2, "Web content");
+  const std::size_t sample =
+      std::min(options.content_sample, study.idns().size());
+  const auto content =
+      sampled_content_comparison(study, sample, options.sample_seed);
+  {
+    stats::Table table({"Category", "IDN", "non-IDN"});
+    for (std::size_t i = 0; i < 7; ++i) {
+      const auto category = static_cast<web::PageCategory>(i);
+      table.add_row({std::string(web::page_category_name(category)),
+                     pct(content.idn.fraction(category)),
+                     pct(content.non_idn.fraction(category))});
+    }
+    out += "```\n" + table.to_string() + "```\n\n";
+  }
+
+  // --- HTTPS ---------------------------------------------------------------------
+  heading(out, 2, "HTTPS");
+  const auto ssl = ssl_comparison(study);
+  line(out, "- certificates collected: " +
+                stats::format_count(ssl.idn_certs) + " (IDN), " +
+                stats::format_count(ssl.non_idn_certs) + " (non-IDN)");
+  line(out, "- problematic IDN certificates: " + pct(ssl.idn_problem_rate()));
+  const auto shared = shared_cert_table(study, 3);
+  if (!shared.empty()) {
+    line(out, "- most-shared certificate: " + shared[0].first + " across " +
+                  stats::format_count(shared[0].second) + " IDNs");
+  }
+  out += '\n';
+
+  // --- abuse ---------------------------------------------------------------------
+  if (options.include_homographs) {
+    heading(out, 2, "Homograph abuse");
+    const HomographDetector detector(ecosystem::alexa_top1k());
+    const auto report = analyze_homographs(study, detector, options.top_n);
+    line(out, "- registered homographic IDNs: " +
+                  std::to_string(report.matches.size()) + " across " +
+                  std::to_string(report.brands_targeted) + " brands (" +
+                  std::to_string(report.identical_count) +
+                  " pixel-identical, " +
+                  std::to_string(report.blacklisted_count) +
+                  " already blacklisted)");
+    stats::Table table({"Brand", "Alexa", "# IDN", "Protective"});
+    for (const auto& row : report.top_brands) {
+      table.add_row({row.brand, std::to_string(row.alexa_rank),
+                     stats::format_count(row.idn_count),
+                     stats::format_count(row.protective)});
+    }
+    out += "```\n" + table.to_string() + "```\n\n";
+  }
+
+  if (options.include_semantics) {
+    heading(out, 2, "Semantic abuse");
+    const SemanticDetector type1(ecosystem::alexa_top1k());
+    const auto report = analyze_semantics(study, type1, options.top_n);
+    line(out, "- Type-1 (brand + keyword) IDNs: " +
+                  std::to_string(report.matches.size()) + " across " +
+                  std::to_string(report.brands_targeted) + " brands");
+    const Type2Detector type2;
+    const auto type2_matches = type2.scan(study.idns());
+    line(out, "- Type-2 (translated brand) IDNs: " +
+                  std::to_string(type2_matches.size()) +
+                  " against the curated dictionary");
+    stats::Table table({"Brand", "Alexa", "# Type-1 IDN"});
+    for (const auto& row : report.top_brands) {
+      table.add_row({row.brand, std::to_string(row.alexa_rank),
+                     stats::format_count(row.idn_count)});
+    }
+    out += "```\n" + table.to_string() + "```\n\n";
+  }
+
+  if (options.include_browser_survey) {
+    heading(out, 2, "Browser IDN policies");
+    int vulnerable = 0;
+    int bypassed = 0;
+    int title = 0;
+    for (const SurveyVerdict& verdict : run_browser_survey()) {
+      if (verdict.homograph_result == "Vulnerable") ++vulnerable;
+      if (verdict.homograph_result == "Bypassed") ++bypassed;
+      if (verdict.homograph_result == "Title") ++title;
+    }
+    line(out, "- of 27 surveyed (browser, platform) combinations: " +
+                  std::to_string(vulnerable) + " fully vulnerable, " +
+                  std::to_string(bypassed) +
+                  " bypassed by single-script homographs, " +
+                  std::to_string(title) +
+                  " show spoofable page titles in the address bar\n");
+  }
+
+  return out;
+}
+
+}  // namespace idnscope::core

@@ -1,0 +1,29 @@
+// Whole-study report builder.
+//
+// Runs every analysis of Sections IV-VII over a Study and renders one
+// markdown document mirroring the paper's structure (ecosystem overview,
+// registration, DNS activity, content, HTTPS, homograph abuse, semantic
+// abuse, browser survey).  This is the library's top-level convenience for
+// users who want "the paper, on my data" in one call.
+#pragma once
+
+#include <string>
+
+#include "idnscope/core/study.h"
+
+namespace idnscope::core {
+
+struct ReportOptions {
+  std::size_t top_n = 10;           // rows per ranking table
+  std::size_t content_sample = 500; // Table V sample size per class
+  bool include_browser_survey = true;
+  bool include_homographs = true;   // the SSIM scan (the slow part)
+  bool include_semantics = true;
+  std::uint64_t sample_seed = 1;    // determinism for the content sample
+};
+
+// Build the report; safe to call with any Study, at any scale.
+std::string build_markdown_report(const Study& study,
+                                  const ReportOptions& options = {});
+
+}  // namespace idnscope::core

@@ -1,0 +1,137 @@
+#include "idnscope/core/semantic.h"
+
+#include <algorithm>
+
+#include "idnscope/idna/idna.h"
+#include "idnscope/idna/punycode.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::core {
+
+SemanticDetector::SemanticDetector(std::span<const ecosystem::Brand> brands) {
+  for (const ecosystem::Brand& brand : brands) {
+    brand_by_sld_.emplace(brand.domain, brand.domain);
+  }
+}
+
+std::optional<SemanticMatch> SemanticDetector::match(
+    const std::string& ace_domain) const {
+  const std::size_t dot = ace_domain.find('.');
+  if (dot == std::string::npos) {
+    return std::nullopt;
+  }
+  const std::string sld_label = ace_domain.substr(0, dot);
+  const std::string suffix = ace_domain.substr(dot);  // ".com"
+  if (!idna::has_ace_prefix(sld_label)) {
+    return std::nullopt;  // not an IDN label
+  }
+  auto decoded = idna::label_to_unicode(sld_label);
+  if (!decoded.ok()) {
+    return std::nullopt;
+  }
+  std::string ascii_part;
+  std::u32string stripped;
+  for (char32_t cp : decoded.value()) {
+    if (cp < 0x80) {
+      ascii_part.push_back(static_cast<char>(cp));
+    } else {
+      stripped.push_back(cp);
+    }
+  }
+  if (stripped.empty() || ascii_part.empty()) {
+    return std::nullopt;
+  }
+  auto it = brand_by_sld_.find(ascii_part + suffix);
+  if (it == brand_by_sld_.end()) {
+    return std::nullopt;
+  }
+  SemanticMatch match;
+  match.domain = ace_domain;
+  match.brand = it->second;
+  match.keyword_utf8 = unicode::encode(stripped);
+  return match;
+}
+
+std::vector<SemanticMatch> SemanticDetector::scan(
+    std::span<const std::string> domains) const {
+  std::vector<SemanticMatch> matches;
+  for (const std::string& domain : domains) {
+    if (auto hit = match(domain)) {
+      matches.push_back(std::move(*hit));
+    }
+  }
+  return matches;
+}
+
+namespace {
+
+bool is_personal_mailbox(const std::string& email) {
+  static constexpr std::string_view kProviders[] = {
+      "@qq.com",    "@163.com", "@gmail.com",   "@hotmail.com",
+      "@naver.com", "@126.com", "@139.com",     "@yahoo.co.jp",
+      "@mail.ru"};
+  for (std::string_view provider : kProviders) {
+    if (email.ends_with(provider)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SemanticReport analyze_semantics(const Study& study,
+                                 const SemanticDetector& detector,
+                                 std::size_t top_n) {
+  SemanticReport report;
+  report.matches = detector.scan(study.idns());
+
+  struct Accum {
+    std::uint64_t count = 0;
+    std::uint64_t protective = 0;
+  };
+  std::unordered_map<std::string, Accum> per_brand;
+  for (const SemanticMatch& match : report.matches) {
+    Accum& accum = per_brand[match.brand];
+    ++accum.count;
+    if (study.is_malicious(match.domain)) {
+      ++report.blacklisted;
+    }
+    const whois::WhoisRecord* record = study.eco().whois.lookup(match.domain);
+    if (record != nullptr && !record->privacy_protected &&
+        !record->registrant_email.empty()) {
+      if (record->registrant_email.ends_with("@" + match.brand)) {
+        ++report.protective;
+        ++accum.protective;
+      } else if (is_personal_mailbox(record->registrant_email)) {
+        ++report.personal_email;
+      }
+    }
+  }
+  report.brands_targeted = per_brand.size();
+
+  std::vector<SemanticReport::BrandCount> brands;
+  brands.reserve(per_brand.size());
+  for (auto& [brand, accum] : per_brand) {
+    SemanticReport::BrandCount row;
+    row.brand = brand;
+    const ecosystem::Brand* info = ecosystem::find_brand(brand);
+    row.alexa_rank = info != nullptr ? info->rank : 0;
+    row.idn_count = accum.count;
+    row.protective = accum.protective;
+    brands.push_back(std::move(row));
+  }
+  std::sort(brands.begin(), brands.end(), [](const auto& a, const auto& b) {
+    if (a.idn_count != b.idn_count) {
+      return a.idn_count > b.idn_count;
+    }
+    return a.brand < b.brand;
+  });
+  if (brands.size() > top_n) {
+    brands.resize(top_n);
+  }
+  report.top_brands = std::move(brands);
+  return report;
+}
+
+}  // namespace idnscope::core

@@ -1,0 +1,64 @@
+// Type-1 semantic-attack detection (Section VII).
+//
+// "We first removed the non-ASCII characters from all IDNs, and then
+// computed SSIM Indices on the rendered domain name images ... we selected
+// IDNs whose ASCII-only part is identical to a brand domain (i.e., SSIM
+// Index equals 1.0)."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "idnscope/core/study.h"
+#include "idnscope/ecosystem/brands.h"
+
+namespace idnscope::core {
+
+struct SemanticMatch {
+  std::string domain;        // the Type-1 IDN (ACE form)
+  std::string brand;         // impersonated brand
+  std::string keyword_utf8;  // the stripped non-ASCII part, display form
+};
+
+class SemanticDetector {
+ public:
+  explicit SemanticDetector(std::span<const ecosystem::Brand> brands);
+
+  // Type-1 test for one domain: strip non-ASCII from the display form of
+  // the SLD; a hit requires (a) at least one non-ASCII character stripped,
+  // (b) the ASCII remainder identical to a brand SLD, and (c) the same TLD.
+  std::optional<SemanticMatch> match(const std::string& ace_domain) const;
+
+  std::vector<SemanticMatch> scan(std::span<const std::string> domains) const;
+
+ private:
+  // brand SLD + tld -> brand domain
+  std::unordered_map<std::string, std::string> brand_by_sld_;
+};
+
+// Section VII-B aggregations (Table XIV, protective/personal registrations).
+struct SemanticReport {
+  std::vector<SemanticMatch> matches;
+  std::uint64_t brands_targeted = 0;
+  std::uint64_t protective = 0;
+  std::uint64_t personal_email = 0;
+  std::uint64_t blacklisted = 0;
+
+  struct BrandCount {
+    std::string brand;
+    int alexa_rank = 0;
+    std::uint64_t idn_count = 0;
+    std::uint64_t protective = 0;
+  };
+  std::vector<BrandCount> top_brands;
+};
+
+SemanticReport analyze_semantics(const Study& study,
+                                 const SemanticDetector& detector,
+                                 std::size_t top_n);
+
+}  // namespace idnscope::core

@@ -1,0 +1,59 @@
+#include "idnscope/core/semantic_type2.h"
+
+#include "idnscope/idna/idna.h"
+#include "idnscope/idna/punycode.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::core {
+
+Type2Detector::Type2Detector(
+    std::span<const ecosystem::BrandTranslation> dictionary) {
+  entries_.reserve(dictionary.size());
+  for (const ecosystem::BrandTranslation& translation : dictionary) {
+    auto decoded = unicode::decode(translation.translated);
+    if (decoded.ok()) {
+      entries_.push_back(Entry{std::move(decoded).value(), &translation});
+    }
+  }
+}
+
+std::optional<Type2Match> Type2Detector::match(
+    const std::string& ace_domain) const {
+  const std::size_t dot = ace_domain.find('.');
+  if (dot == std::string::npos) {
+    return std::nullopt;
+  }
+  const std::string label = ace_domain.substr(0, dot);
+  if (!idna::has_ace_prefix(label)) {
+    return std::nullopt;
+  }
+  auto decoded = idna::label_to_unicode(label);
+  if (!decoded.ok()) {
+    return std::nullopt;
+  }
+  const std::u32string& text = decoded.value();
+  for (const Entry& entry : entries_) {
+    if (text.find(entry.needle) != std::u32string::npos) {
+      Type2Match result;
+      result.domain = ace_domain;
+      result.brand = std::string(entry.translation->brand);
+      result.translated = std::string(entry.translation->translated);
+      result.description = std::string(entry.translation->description);
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Type2Match> Type2Detector::scan(
+    std::span<const std::string> domains) const {
+  std::vector<Type2Match> matches;
+  for (const std::string& domain : domains) {
+    if (auto hit = match(domain)) {
+      matches.push_back(std::move(*hit));
+    }
+  }
+  return matches;
+}
+
+}  // namespace idnscope::core

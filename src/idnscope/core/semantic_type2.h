@@ -1,0 +1,55 @@
+// Type-2 semantic-attack detection — the paper's open problem.
+//
+// Section V: "In Type-2 attack, IDNs are created by translating English
+// brand names to other languages ... Confirming whether domains are Type-2
+// abuse is challenging, as mapping a potential Type-2 abuse to its
+// targeted brand is not always feasible.  In this work, we focus on
+// homograph attack and Type-1 attack."
+//
+// This module is the extension the paper stops short of: detection against
+// a curated brand-translation dictionary (the practical approach real
+// brand-protection services take — exhaustive translation mapping is
+// infeasible, a curated list of protected names is not).  Table X's three
+// examples (Gree, Beijing Jiaotong University, Mercedes-Benz) are all in
+// the dictionary.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "idnscope/ecosystem/vocab.h"
+
+namespace idnscope::core {
+
+struct Type2Match {
+  std::string domain;       // the IDN (ACE form)
+  std::string brand;        // protected brand the translation maps to
+  std::string translated;   // the matched translated name (UTF-8)
+  std::string description;
+};
+
+class Type2Detector {
+ public:
+  // Uses the embedded dictionary by default; tests can supply their own.
+  explicit Type2Detector(
+      std::span<const ecosystem::BrandTranslation> dictionary =
+          ecosystem::brand_translation_dictionary());
+
+  // A hit requires the display form of the SLD to *contain* a translated
+  // brand name (attackers pad translations with category words, e.g.
+  // 奔驰汽车 = "Mercedes-Benz" + "automobile").
+  std::optional<Type2Match> match(const std::string& ace_domain) const;
+
+  std::vector<Type2Match> scan(std::span<const std::string> domains) const;
+
+ private:
+  struct Entry {
+    std::u32string needle;
+    const ecosystem::BrandTranslation* translation;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace idnscope::core

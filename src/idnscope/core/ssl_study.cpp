@@ -1,0 +1,25 @@
+#include "idnscope/core/ssl_study.h"
+
+namespace idnscope::core {
+
+SslComparison ssl_comparison(const Study& study) {
+  const auto& eco = study.eco();
+  SslComparison out;
+  out.idn = eco.idn_certs.classify(eco.scenario.snapshot);
+  out.non_idn = eco.non_idn_certs.classify(eco.scenario.snapshot);
+  out.idn_certs = eco.idn_certs.size();
+  out.non_idn_certs = eco.non_idn_certs.size();
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> shared_cert_table(
+    const Study& study, std::size_t top_n) {
+  auto shared =
+      study.eco().idn_certs.shared_certificates(study.eco().scenario.snapshot);
+  if (shared.size() > top_n) {
+    shared.resize(top_n);
+  }
+  return shared;
+}
+
+}  // namespace idnscope::core

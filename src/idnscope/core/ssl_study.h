@@ -1,0 +1,38 @@
+// HTTPS / certificate analysis (Section IV-E, Finding 9, Tables VI-VII).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "idnscope/core/study.h"
+#include "idnscope/ssl/cert_store.h"
+
+namespace idnscope::core {
+
+struct SslComparison {
+  ssl::ProblemCounts idn;
+  ssl::ProblemCounts non_idn;
+  std::uint64_t idn_certs = 0;
+  std::uint64_t non_idn_certs = 0;
+
+  double idn_problem_rate() const {
+    return idn_certs == 0 ? 0.0
+                          : static_cast<double>(idn.problematic()) /
+                                static_cast<double>(idn_certs);
+  }
+  double non_idn_problem_rate() const {
+    return non_idn_certs == 0 ? 0.0
+                              : static_cast<double>(non_idn.problematic()) /
+                                    static_cast<double>(non_idn_certs);
+  }
+};
+
+// Table VI: validate every scanned certificate at the snapshot date.
+SslComparison ssl_comparison(const Study& study);
+
+// Table VII: shared certificates over the IDN scans, (CN, #domains).
+std::vector<std::pair<std::string, std::uint64_t>> shared_cert_table(
+    const Study& study, std::size_t top_n);
+
+}  // namespace idnscope::core

@@ -1,0 +1,90 @@
+#include "idnscope/core/study.h"
+
+#include "idnscope/idna/punycode.h"
+
+namespace idnscope::core {
+
+Study::Study(const ecosystem::Ecosystem& eco) : eco_(&eco) {
+  TldGroup com{"com"};
+  TldGroup net{"net"};
+  TldGroup org{"org"};
+  TldGroup itld{"iTLD (53)"};
+
+  for (const dns::Zone& zone : eco.zones) {
+    TldGroup* group;
+    if (zone.origin() == "com") {
+      group = &com;
+    } else if (zone.origin() == "net") {
+      group = &net;
+    } else if (zone.origin() == "org") {
+      group = &org;
+    } else {
+      group = &itld;
+    }
+    const auto slds = dns::scan_slds(zone);
+    group->sld_count += slds.size();
+    for (const std::string& domain : slds) {
+      registered_.insert(domain);
+    }
+    for (std::string& idn : dns::scan_idns(zone)) {
+      ++group->idn_count;
+      if (eco.whois.lookup(idn) != nullptr) {
+        ++group->whois_count;
+      }
+      const std::uint8_t mask = blacklist_mask(idn);
+      if (mask != 0) {
+        ++group->blacklist_total;
+        if (mask & ecosystem::kBlVirusTotal) ++group->blacklist_virustotal;
+        if (mask & ecosystem::kBl360) ++group->blacklist_360;
+        if (mask & ecosystem::kBlBaidu) ++group->blacklist_baidu;
+        malicious_idns_.push_back(idn);
+      }
+      idns_.push_back(std::move(idn));
+    }
+  }
+  groups_ = {std::move(com), std::move(net), std::move(org), std::move(itld)};
+}
+
+std::vector<std::string> Study::idns_under(std::string_view tld) const {
+  std::vector<std::string> out;
+  const std::string suffix = "." + std::string(tld);
+  for (const std::string& idn : idns_) {
+    if (idn.ends_with(suffix)) {
+      out.push_back(idn);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Study::idns_under_itlds() const {
+  std::vector<std::string> out;
+  for (const std::string& idn : idns_) {
+    const std::size_t dot = idn.rfind('.');
+    if (dot != std::string::npos &&
+        idna::has_ace_prefix(std::string_view(idn).substr(dot + 1))) {
+      out.push_back(idn);
+    }
+  }
+  return out;
+}
+
+std::uint8_t Study::blacklist_mask(const std::string& domain) const {
+  auto it = eco_->blacklist.find(domain);
+  return it == eco_->blacklist.end() ? 0 : it->second;
+}
+
+TldGroup Study::totals() const {
+  TldGroup total{"Total"};
+  for (const TldGroup& group : groups_) {
+    total.sld_count += group.sld_count;
+    total.idn_count += group.idn_count;
+    total.whois_count += group.whois_count;
+    total.blacklist_virustotal += group.blacklist_virustotal;
+    total.blacklist_360 += group.blacklist_360;
+    total.blacklist_baidu += group.blacklist_baidu;
+    total.blacklist_total += group.blacklist_total;
+  }
+  return total;
+}
+
+}  // namespace idnscope::core

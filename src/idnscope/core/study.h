@@ -1,0 +1,69 @@
+// Study: the measurement pipeline's view of the data world.
+//
+// This is the paper's Section III step: scan the TLD zone files, extract
+// the IDN population, and join the auxiliary sources.  Everything in
+// idnscope::core works from a Study; nothing in core reads
+// ecosystem::Ecosystem::truth (ground truth exists only for tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "idnscope/ecosystem/ecosystem.h"
+
+namespace idnscope::core {
+
+// One TLD group of Table I.
+struct TldGroup {
+  std::string name;  // "com", "net", "org" or "iTLD (53)"
+  std::uint64_t sld_count = 0;
+  std::uint64_t idn_count = 0;
+  std::uint64_t whois_count = 0;
+  std::uint64_t blacklist_virustotal = 0;
+  std::uint64_t blacklist_360 = 0;
+  std::uint64_t blacklist_baidu = 0;
+  std::uint64_t blacklist_total = 0;
+};
+
+class Study {
+ public:
+  // Scans every zone in the ecosystem and joins WHOIS + blacklists.
+  explicit Study(const ecosystem::Ecosystem& eco);
+
+  const ecosystem::Ecosystem& eco() const { return *eco_; }
+
+  // All IDNs discovered by zone scanning ("sld.tld"), zone order.
+  const std::vector<std::string>& idns() const { return idns_; }
+
+  // IDNs under one gTLD (by tld label) / under any iTLD.
+  std::vector<std::string> idns_under(std::string_view tld) const;
+  std::vector<std::string> idns_under_itlds() const;
+
+  bool is_registered(const std::string& domain) const {
+    return registered_.contains(domain);
+  }
+
+  // Blacklist verdict (source mask; 0 = clean).
+  std::uint8_t blacklist_mask(const std::string& domain) const;
+  bool is_malicious(const std::string& domain) const {
+    return blacklist_mask(domain) != 0;
+  }
+  const std::vector<std::string>& malicious_idns() const {
+    return malicious_idns_;
+  }
+
+  // Table I rows (com, net, org, iTLD aggregate) + total.
+  const std::vector<TldGroup>& tld_groups() const { return groups_; }
+  TldGroup totals() const;
+
+ private:
+  const ecosystem::Ecosystem* eco_;
+  std::vector<std::string> idns_;
+  std::vector<std::string> malicious_idns_;
+  std::unordered_set<std::string> registered_;
+  std::vector<TldGroup> groups_;
+};
+
+}  // namespace idnscope::core

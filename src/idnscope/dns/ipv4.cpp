@@ -1,0 +1,40 @@
+#include "idnscope/dns/ipv4.h"
+
+#include <cstdio>
+
+#include "idnscope/common/strings.h"
+
+namespace idnscope::dns {
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  auto parts = split(text, '.');
+  if (parts.size() != 4) {
+    return std::nullopt;
+  }
+  std::uint32_t bits = 0;
+  for (std::string_view part : parts) {
+    std::uint64_t octet = 0;
+    if (part.empty() || part.size() > 3 || !parse_u64(part, octet) ||
+        octet > 255) {
+      return std::nullopt;
+    }
+    bits = (bits << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4(bits);
+}
+
+std::string Ipv4::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bits_ >> 24,
+                (bits_ >> 16) & 0xFF, (bits_ >> 8) & 0xFF, bits_ & 0xFF);
+  return buf;
+}
+
+std::string Ipv4::segment24_string() const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.0/24", bits_ >> 24,
+                (bits_ >> 16) & 0xFF, (bits_ >> 8) & 0xFF);
+  return buf;
+}
+
+}  // namespace idnscope::dns

@@ -1,0 +1,40 @@
+// IPv4 address value type.
+//
+// Finding 7 of the paper aggregates hosting IPs into /24 network segments;
+// Ipv4 carries that aggregation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace idnscope::dns {
+
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t bits) : bits_(bits) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | d) {}
+
+  static std::optional<Ipv4> parse(std::string_view text);
+
+  constexpr std::uint32_t bits() const { return bits_; }
+
+  // The /24 segment identifier (upper 24 bits).
+  constexpr std::uint32_t segment24() const { return bits_ >> 8; }
+
+  std::string to_string() const;
+  // "192.0.2.0/24"
+  std::string segment24_string() const;
+
+  friend constexpr bool operator==(Ipv4 a, Ipv4 b) = default;
+  friend constexpr auto operator<=>(Ipv4 a, Ipv4 b) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace idnscope::dns

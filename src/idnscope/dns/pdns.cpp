@@ -1,0 +1,65 @@
+#include "idnscope/dns/pdns.h"
+
+#include <algorithm>
+
+namespace idnscope::dns {
+
+void PassiveDnsDb::observe(std::string_view domain, const Date& day,
+                           std::uint64_t count, std::optional<Ipv4> ip) {
+  auto [it, inserted] = aggregates_.try_emplace(std::string(domain));
+  DnsAggregate& agg = it->second;
+  if (inserted) {
+    agg.first_seen = day;
+    agg.last_seen = day;
+  } else {
+    if (day < agg.first_seen) agg.first_seen = day;
+    if (agg.last_seen < day) agg.last_seen = day;
+  }
+  agg.query_count += count;
+  if (ip && std::find(agg.resolved_ips.begin(), agg.resolved_ips.end(), *ip) ==
+                agg.resolved_ips.end()) {
+    agg.resolved_ips.push_back(*ip);
+  }
+}
+
+void PassiveDnsDb::install(std::string domain, DnsAggregate aggregate) {
+  aggregates_.insert_or_assign(std::move(domain), std::move(aggregate));
+}
+
+const DnsAggregate* PassiveDnsDb::lookup(std::string_view domain) const {
+  auto it = aggregates_.find(std::string(domain));
+  return it == aggregates_.end() ? nullptr : &it->second;
+}
+
+std::optional<DnsAggregate> PdnsClient::query(std::string_view domain,
+                                              const Date& today) {
+  if (policy_.daily_query_limit > 0) {
+    if (!(quota_day_ == today)) {
+      quota_day_ = today;
+      used_today_ = 0;
+    }
+    if (used_today_ >= policy_.daily_query_limit) {
+      ++rejected_;
+      return std::nullopt;
+    }
+    ++used_today_;
+  }
+  const DnsAggregate* agg = db_->lookup(domain);
+  if (agg == nullptr) {
+    return std::nullopt;
+  }
+  // Clip the aggregate to the provider's observation window.
+  DnsAggregate clipped = *agg;
+  if (clipped.first_seen < policy_.window_start) {
+    clipped.first_seen = policy_.window_start;
+  }
+  if (policy_.window_end < clipped.last_seen) {
+    clipped.last_seen = policy_.window_end;
+  }
+  if (clipped.last_seen < clipped.first_seen) {
+    return std::nullopt;  // entirely outside the window
+  }
+  return clipped;
+}
+
+}  // namespace idnscope::dns

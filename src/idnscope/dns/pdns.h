@@ -1,0 +1,87 @@
+// Passive DNS store and provider clients.
+//
+// Models the two sources of Section III: 360 DNS Pai (unlimited queries,
+// 2014-08-04..2017-10-13 window) and Farsight DNSDB (better non-China
+// coverage, but a 1,000-domains/day query quota — which the paper had to
+// work around by only querying abusive IDNs).  Both expose per-domain
+// aggregates: first seen, last seen, total look-up count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "idnscope/common/date.h"
+#include "idnscope/dns/ipv4.h"
+
+namespace idnscope::dns {
+
+struct DnsAggregate {
+  Date first_seen;
+  Date last_seen;
+  std::uint64_t query_count = 0;
+  std::vector<Ipv4> resolved_ips;  // distinct IPs observed in responses
+
+  // Active time in days (paper: difference between first and last request).
+  std::int64_t active_days() const {
+    return days_between(first_seen, last_seen);
+  }
+};
+
+class PassiveDnsDb {
+ public:
+  // Record a batch of look-ups for `domain` on `day` resolving to `ip`.
+  void observe(std::string_view domain, const Date& day, std::uint64_t count,
+               std::optional<Ipv4> ip = std::nullopt);
+
+  // Directly install an aggregate (used by the ecosystem generator).
+  void install(std::string domain, DnsAggregate aggregate);
+
+  const DnsAggregate* lookup(std::string_view domain) const;
+
+  std::size_t domain_count() const { return aggregates_.size(); }
+
+  const std::unordered_map<std::string, DnsAggregate>& all() const {
+    return aggregates_;
+  }
+
+ private:
+  std::unordered_map<std::string, DnsAggregate> aggregates_;
+};
+
+// A provider wraps a db with an access policy.
+struct PdnsProviderPolicy {
+  std::string name;
+  // 0 = unlimited (DNS Pai); Farsight allows 1,000 domains per day.
+  std::uint64_t daily_query_limit = 0;
+  Date window_start;
+  Date window_end;
+};
+
+class PdnsClient {
+ public:
+  PdnsClient(const PassiveDnsDb& db, PdnsProviderPolicy policy)
+      : db_(&db), policy_(std::move(policy)) {}
+
+  // Query one domain; returns nullopt if the daily quota is exhausted or the
+  // domain has never been observed.  `today` advances the quota window.
+  std::optional<DnsAggregate> query(std::string_view domain, const Date& today);
+
+  // Number of quota-rejected queries so far (measures the pain the paper
+  // describes with Farsight).
+  std::uint64_t rejected_queries() const { return rejected_; }
+
+  const PdnsProviderPolicy& policy() const { return policy_; }
+
+ private:
+  const PassiveDnsDb* db_;
+  PdnsProviderPolicy policy_;
+  Date quota_day_;
+  std::uint64_t used_today_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace idnscope::dns

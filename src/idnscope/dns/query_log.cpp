@@ -1,0 +1,114 @@
+#include "idnscope/dns/query_log.h"
+
+#include <algorithm>
+
+#include "idnscope/common/rng.h"
+#include "idnscope/common/strings.h"
+
+namespace idnscope::dns {
+
+std::vector<QueryLogEntry> synthesize_log(const std::string& domain,
+                                          const DnsAggregate& aggregate,
+                                          std::uint64_t seed) {
+  std::vector<QueryLogEntry> entries;
+  if (aggregate.query_count == 0) {
+    return entries;
+  }
+  Rng rng(seed ^ stable_hash64(domain));
+  const std::int64_t span_days = aggregate.active_days();
+  const std::optional<Ipv4> ip =
+      aggregate.resolved_ips.empty()
+          ? std::nullopt
+          : std::optional<Ipv4>(aggregate.resolved_ips.front());
+
+  // First and last day anchor the observed span.
+  QueryLogEntry first{domain, aggregate.first_seen, 1, ip};
+  if (span_days == 0 || aggregate.query_count == 1) {
+    // A single look-up cannot witness a span; the trace collapses to the
+    // first day (the only lossy case, and the only possible one).
+    first.count = aggregate.query_count;
+    entries.push_back(std::move(first));
+    return entries;
+  }
+  QueryLogEntry last{domain, aggregate.last_seen, 1, ip};
+  std::uint64_t remaining = aggregate.query_count - 2;
+
+  // Spread the rest across up to 64 interior days, weekday-heavy.
+  std::vector<QueryLogEntry> interior;
+  const std::uint64_t batches =
+      std::min<std::uint64_t>({remaining, 64,
+                               static_cast<std::uint64_t>(span_days)});
+  for (std::uint64_t i = 0; i < batches && remaining > 0; ++i) {
+    std::int64_t offset =
+        static_cast<std::int64_t>(rng.uniform(0, span_days - 1)) + 1;
+    Date day = aggregate.first_seen.plus_days(offset);
+    if (day.to_serial() % 7 >= 5 && rng.chance(0.5)) {
+      day = day.plus_days(-1);  // shift weekend traffic toward Friday
+      if (day < aggregate.first_seen) {
+        day = aggregate.first_seen;
+      }
+    }
+    const std::uint64_t count =
+        i + 1 == batches ? remaining
+                         : std::max<std::uint64_t>(1, remaining / (batches - i) +
+                                                          rng.uniform(0, 2));
+    const std::uint64_t taken = std::min(count, remaining);
+    interior.push_back(QueryLogEntry{domain, day, taken, ip});
+    remaining -= taken;
+  }
+  if (remaining > 0) {
+    first.count += remaining;  // fold any residue into the first day
+  }
+  entries.push_back(std::move(first));
+  for (QueryLogEntry& entry : interior) {
+    entries.push_back(std::move(entry));
+  }
+  entries.push_back(std::move(last));
+  std::sort(entries.begin(), entries.end(),
+            [](const QueryLogEntry& a, const QueryLogEntry& b) {
+              return a.day < b.day;
+            });
+  return entries;
+}
+
+void ingest(PassiveDnsDb& db, std::span<const QueryLogEntry> entries) {
+  for (const QueryLogEntry& entry : entries) {
+    db.observe(entry.domain, entry.day, entry.count, entry.response_ip);
+  }
+}
+
+std::string format_log_line(const QueryLogEntry& entry) {
+  std::string out = entry.day.to_string() + " " + entry.domain + " " +
+                    std::to_string(entry.count);
+  if (entry.response_ip) {
+    out += " " + entry.response_ip->to_string();
+  }
+  return out;
+}
+
+idnscope::Result<QueryLogEntry> parse_log_line(std::string_view line) {
+  const auto fields = split_whitespace(line);
+  if (fields.size() < 3 || fields.size() > 4) {
+    return Err("pdns.bad_log", "expected 'date domain count [ip]'");
+  }
+  QueryLogEntry entry;
+  auto day = Date::parse(fields[0]);
+  if (!day) {
+    return Err("pdns.bad_log", "bad date '" + std::string(fields[0]) + "'");
+  }
+  entry.day = *day;
+  entry.domain = to_lower_ascii(fields[1]);
+  if (!parse_u64(fields[2], entry.count) || entry.count == 0) {
+    return Err("pdns.bad_log", "bad count '" + std::string(fields[2]) + "'");
+  }
+  if (fields.size() == 4) {
+    auto ip = Ipv4::parse(fields[3]);
+    if (!ip) {
+      return Err("pdns.bad_log", "bad ip '" + std::string(fields[3]) + "'");
+    }
+    entry.response_ip = *ip;
+  }
+  return entry;
+}
+
+}  // namespace idnscope::dns

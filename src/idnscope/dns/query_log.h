@@ -1,0 +1,49 @@
+// Raw query-log layer beneath the passive-DNS aggregates.
+//
+// The paper's 360 DNS Pai feed "has been collecting DNS logs from a large
+// array of DNS resolvers since 2014, which now handles 240 billion DNS
+// requests per day"; what researchers query are per-domain aggregates.
+// This module models both directions of that pipeline:
+//
+//   * synthesize_log(): expand an aggregate back into dated log batches
+//     (a deterministic plausible trace), and
+//   * ingest(): fold raw log batches into a PassiveDnsDb via observe().
+//
+// Property (tested): ingest(synthesize_log(agg)) reproduces agg exactly.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "idnscope/common/result.h"
+#include "idnscope/dns/pdns.h"
+
+namespace idnscope::dns {
+
+// One aggregated log batch: lookups for one domain on one day.
+struct QueryLogEntry {
+  std::string domain;
+  Date day;
+  std::uint64_t count = 0;
+  std::optional<Ipv4> response_ip;
+
+  friend bool operator==(const QueryLogEntry&, const QueryLogEntry&) = default;
+};
+
+// Expand a per-domain aggregate into daily batches.  The trace is
+// deterministic in (domain, seed): the first and last days carry at least
+// one look-up (they define the aggregate's span) and the remaining volume
+// is spread over random days in between with a weekday-heavy profile.
+std::vector<QueryLogEntry> synthesize_log(const std::string& domain,
+                                          const DnsAggregate& aggregate,
+                                          std::uint64_t seed);
+
+// Fold log batches into a passive-DNS database.
+void ingest(PassiveDnsDb& db, std::span<const QueryLogEntry> entries);
+
+// Text form used for log interchange: "YYYY-MM-DD <domain> <count> [ip]".
+std::string format_log_line(const QueryLogEntry& entry);
+idnscope::Result<QueryLogEntry> parse_log_line(std::string_view line);
+
+}  // namespace idnscope::dns

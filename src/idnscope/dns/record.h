@@ -1,0 +1,33 @@
+// DNS resource records (the subset zone files in this study carry).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace idnscope::dns {
+
+enum class RrType : std::uint8_t {
+  kSoa,
+  kNs,
+  kA,
+  kAaaa,
+  kCname,
+  kMx,
+  kTxt,
+};
+
+std::string_view rr_type_name(RrType type);
+std::optional<RrType> rr_type_from_name(std::string_view name);
+
+struct ResourceRecord {
+  std::string owner;  // fully-qualified ASCII name, no trailing dot
+  std::uint32_t ttl = 3600;
+  RrType type = RrType::kNs;
+  std::string rdata;  // textual presentation (target name, IP, ...)
+
+  friend bool operator==(const ResourceRecord&, const ResourceRecord&) = default;
+};
+
+}  // namespace idnscope::dns

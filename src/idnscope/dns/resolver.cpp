@@ -1,0 +1,29 @@
+#include "idnscope/dns/resolver.h"
+
+namespace idnscope::dns {
+
+std::string_view rcode_name(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::kNoError: return "NOERROR";
+    case Rcode::kNxDomain: return "NXDOMAIN";
+    case Rcode::kRefused: return "REFUSED";
+    case Rcode::kServFail: return "SERVFAIL";
+    case Rcode::kTimeout: return "TIMEOUT";
+  }
+  return "NXDOMAIN";
+}
+
+void SimulatedResolver::install(std::string domain, Resolution resolution) {
+  table_.insert_or_assign(std::move(domain), std::move(resolution));
+}
+
+Resolution SimulatedResolver::resolve(std::string_view domain) const {
+  ++queries_;
+  auto it = table_.find(std::string(domain));
+  if (it == table_.end()) {
+    return Resolution{Rcode::kNxDomain, {}};
+  }
+  return it->second;
+}
+
+}  // namespace idnscope::dns

@@ -1,0 +1,51 @@
+// Simulated recursive resolver.
+//
+// Table V of the paper distinguishes "not resolved" domains (NXDOMAIN /
+// REFUSED from broken name-server delegations) from HTTP-level failures.
+// The web fetcher and SSL scanner both resolve through this interface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "idnscope/dns/ipv4.h"
+
+namespace idnscope::dns {
+
+enum class Rcode : std::uint8_t {
+  kNoError,
+  kNxDomain,   // name not delegated / no such domain
+  kRefused,    // lame or mis-configured name server (common for idle IDNs)
+  kServFail,
+  kTimeout,
+};
+
+std::string_view rcode_name(Rcode rcode);
+
+struct Resolution {
+  Rcode rcode = Rcode::kNxDomain;
+  std::vector<Ipv4> addresses;  // non-empty only for kNoError
+
+  bool resolved() const { return rcode == Rcode::kNoError && !addresses.empty(); }
+};
+
+class SimulatedResolver {
+ public:
+  void install(std::string domain, Resolution resolution);
+
+  // Resolve a domain; unknown names return NXDOMAIN.
+  Resolution resolve(std::string_view domain) const;
+
+  std::uint64_t query_count() const { return queries_; }
+  std::size_t installed_count() const { return table_.size(); }
+
+ private:
+  std::unordered_map<std::string, Resolution> table_;
+  mutable std::uint64_t queries_ = 0;
+};
+
+}  // namespace idnscope::dns

@@ -1,0 +1,236 @@
+#include "idnscope/dns/zone.h"
+
+#include <unordered_set>
+
+#include "idnscope/common/strings.h"
+#include "idnscope/idna/punycode.h"
+
+namespace idnscope::dns {
+
+std::string_view rr_type_name(RrType type) {
+  switch (type) {
+    case RrType::kSoa: return "SOA";
+    case RrType::kNs: return "NS";
+    case RrType::kA: return "A";
+    case RrType::kAaaa: return "AAAA";
+    case RrType::kCname: return "CNAME";
+    case RrType::kMx: return "MX";
+    case RrType::kTxt: return "TXT";
+  }
+  return "NS";
+}
+
+std::optional<RrType> rr_type_from_name(std::string_view name) {
+  if (name == "SOA") return RrType::kSoa;
+  if (name == "NS") return RrType::kNs;
+  if (name == "A") return RrType::kA;
+  if (name == "AAAA") return RrType::kAaaa;
+  if (name == "CNAME") return RrType::kCname;
+  if (name == "MX") return RrType::kMx;
+  if (name == "TXT") return RrType::kTxt;
+  return std::nullopt;
+}
+
+Zone::Zone(std::string origin) : origin_(to_lower_ascii(origin)) {}
+
+void Zone::add(ResourceRecord record) {
+  record.owner = to_lower_ascii(record.owner);
+  records_.push_back(std::move(record));
+}
+
+void Zone::for_each_sld(
+    const std::function<void(std::string_view)>& fn) const {
+  std::unordered_set<std::string_view> seen;
+  const std::string suffix = "." + origin_;
+  for (const ResourceRecord& record : records_) {
+    std::string_view owner = record.owner;
+    if (owner.size() <= suffix.size() || !owner.ends_with(suffix)) {
+      continue;  // the apex itself, or out-of-zone glue
+    }
+    // Reduce to the label immediately below the origin.
+    std::string_view below = owner.substr(0, owner.size() - suffix.size());
+    std::size_t last_dot = below.rfind('.');
+    std::string_view sld_owner =
+        last_dot == std::string_view::npos ? owner
+                                           : owner.substr(last_dot + 1);
+    if (seen.insert(sld_owner).second) {
+      fn(sld_owner);
+    }
+  }
+}
+
+std::string serialize_zone(const Zone& zone) {
+  std::string out;
+  out += "$ORIGIN " + zone.origin() + ".\n";
+  out += "$TTL 86400\n";
+  const SoaData& soa = zone.soa();
+  out += zone.origin() + ". IN SOA " + soa.mname + ". " + soa.rname + ". " +
+         std::to_string(soa.serial) + " " + std::to_string(soa.refresh) + " " +
+         std::to_string(soa.retry) + " " + std::to_string(soa.expire) + " " +
+         std::to_string(soa.minimum) + "\n";
+  for (const ResourceRecord& record : zone.records()) {
+    out += record.owner + ". " + std::to_string(record.ttl) + " IN " +
+           std::string(rr_type_name(record.type)) + " " + record.rdata;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+std::string strip_trailing_dot(std::string_view name) {
+  if (!name.empty() && name.back() == '.') {
+    name.remove_suffix(1);
+  }
+  return std::string(name);
+}
+
+}  // namespace
+
+Result<Zone> parse_zone(std::string_view text) {
+  std::string origin;
+  std::uint32_t default_ttl = 86400;
+  std::vector<ResourceRecord> records;
+  SoaData soa;
+  bool have_soa = false;
+
+  std::size_t line_no = 0;
+  for (std::string_view raw_line : split(text, '\n')) {
+    ++line_no;
+    // Strip comments.
+    std::size_t comment = raw_line.find(';');
+    std::string_view line = trim(comment == std::string_view::npos
+                                     ? raw_line
+                                     : raw_line.substr(0, comment));
+    if (line.empty()) {
+      continue;
+    }
+    auto fields = split_whitespace(line);
+    if (fields[0] == "$ORIGIN") {
+      if (fields.size() != 2) {
+        return Err("zone.bad_directive",
+                   "$ORIGIN needs one argument (line " +
+                       std::to_string(line_no) + ")");
+      }
+      origin = to_lower_ascii(strip_trailing_dot(fields[1]));
+      continue;
+    }
+    if (fields[0] == "$TTL") {
+      std::uint64_t ttl = 0;
+      if (fields.size() != 2 || !parse_u64(fields[1], ttl)) {
+        return Err("zone.bad_directive",
+                   "$TTL needs a number (line " + std::to_string(line_no) + ")");
+      }
+      default_ttl = static_cast<std::uint32_t>(ttl);
+      continue;
+    }
+    // owner [ttl] [IN] type rdata...
+    if (fields.size() < 3) {
+      return Err("zone.bad_record",
+                 "too few fields (line " + std::to_string(line_no) + ")");
+    }
+    std::size_t cursor = 0;
+    std::string owner = to_lower_ascii(strip_trailing_dot(fields[cursor++]));
+    if (owner.empty()) {
+      return Err("zone.bad_record",
+                 "empty owner (line " + std::to_string(line_no) + ")");
+    }
+    if (!origin.empty() && owner != origin &&
+        !owner.ends_with("." + origin)) {
+      owner += "." + origin;  // relative owner
+    }
+    std::uint32_t ttl = default_ttl;
+    std::uint64_t maybe_ttl = 0;
+    if (cursor < fields.size() && parse_u64(fields[cursor], maybe_ttl)) {
+      ttl = static_cast<std::uint32_t>(maybe_ttl);
+      ++cursor;
+    }
+    if (cursor < fields.size() && fields[cursor] == "IN") {
+      ++cursor;
+    }
+    if (cursor >= fields.size()) {
+      return Err("zone.bad_record",
+                 "missing type (line " + std::to_string(line_no) + ")");
+    }
+    auto type = rr_type_from_name(fields[cursor]);
+    if (!type) {
+      return Err("zone.bad_type", "unknown RR type '" +
+                                      std::string(fields[cursor]) + "' (line " +
+                                      std::to_string(line_no) + ")");
+    }
+    ++cursor;
+    if (cursor >= fields.size()) {
+      return Err("zone.bad_record",
+                 "missing rdata (line " + std::to_string(line_no) + ")");
+    }
+    std::string rdata;
+    for (std::size_t i = cursor; i < fields.size(); ++i) {
+      if (i > cursor) {
+        rdata += ' ';
+      }
+      rdata += fields[i];
+    }
+    if (*type == RrType::kSoa) {
+      auto soa_fields = split_whitespace(rdata);
+      if (soa_fields.size() != 7) {
+        return Err("zone.bad_soa",
+                   "SOA needs 7 fields (line " + std::to_string(line_no) + ")");
+      }
+      soa.mname = strip_trailing_dot(soa_fields[0]);
+      soa.rname = strip_trailing_dot(soa_fields[1]);
+      std::uint64_t nums[5];
+      for (int i = 0; i < 5; ++i) {
+        if (!parse_u64(soa_fields[static_cast<std::size_t>(i) + 2], nums[i])) {
+          return Err("zone.bad_soa", "non-numeric SOA field (line " +
+                                         std::to_string(line_no) + ")");
+        }
+      }
+      soa.serial = static_cast<std::uint32_t>(nums[0]);
+      soa.refresh = static_cast<std::uint32_t>(nums[1]);
+      soa.retry = static_cast<std::uint32_t>(nums[2]);
+      soa.expire = static_cast<std::uint32_t>(nums[3]);
+      soa.minimum = static_cast<std::uint32_t>(nums[4]);
+      have_soa = true;
+      if (origin.empty()) {
+        origin = owner;
+      }
+      continue;
+    }
+    records.push_back(ResourceRecord{std::move(owner), ttl, *type,
+                                     std::move(rdata)});
+  }
+  if (origin.empty()) {
+    return Err("zone.no_origin", "zone has neither $ORIGIN nor SOA");
+  }
+  Zone zone(origin);
+  if (have_soa) {
+    zone.set_soa(soa);
+  }
+  for (ResourceRecord& record : records) {
+    zone.add(std::move(record));
+  }
+  return zone;
+}
+
+std::vector<std::string> scan_idns(const Zone& zone) {
+  std::vector<std::string> out;
+  const bool idn_tld = idna::has_ace_prefix(zone.origin());
+  zone.for_each_sld([&](std::string_view sld_owner) {
+    std::size_t dot = sld_owner.find('.');
+    std::string_view sld_label =
+        dot == std::string_view::npos ? sld_owner : sld_owner.substr(0, dot);
+    if (idn_tld || idna::has_ace_prefix(sld_label)) {
+      out.emplace_back(sld_owner);
+    }
+  });
+  return out;
+}
+
+std::vector<std::string> scan_slds(const Zone& zone) {
+  std::vector<std::string> out;
+  zone.for_each_sld(
+      [&](std::string_view sld_owner) { out.emplace_back(sld_owner); });
+  return out;
+}
+
+}  // namespace idnscope::dns

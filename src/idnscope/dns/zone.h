@@ -1,0 +1,67 @@
+// TLD zones and RFC-1035-style master files.
+//
+// The paper's primary data source is zone-file snapshots of com/net/org and
+// 53 iTLDs (Section III).  Zone holds the records of one TLD; ZoneFile
+// serializes/parses the master-file presentation so that the measurement
+// pipeline genuinely consumes text zone files, like the authors did.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "idnscope/common/result.h"
+#include "idnscope/dns/record.h"
+
+namespace idnscope::dns {
+
+struct SoaData {
+  std::string mname = "a.gtld-servers.net";
+  std::string rname = "nstld.verisign-grs.com";
+  std::uint32_t serial = 2017092100;
+  std::uint32_t refresh = 1800;
+  std::uint32_t retry = 900;
+  std::uint32_t expire = 604800;
+  std::uint32_t minimum = 86400;
+};
+
+class Zone {
+ public:
+  explicit Zone(std::string origin);  // origin = TLD label, e.g. "com"
+
+  const std::string& origin() const { return origin_; }
+  const SoaData& soa() const { return soa_; }
+  void set_soa(SoaData soa) { soa_ = std::move(soa); }
+
+  void add(ResourceRecord record);
+  const std::vector<ResourceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  // Distinct second-level owner names (the "# SLD" column of Table I).
+  // Owners are visited in first-appearance order.
+  void for_each_sld(const std::function<void(std::string_view)>& fn) const;
+
+ private:
+  std::string origin_;
+  SoaData soa_;
+  std::vector<ResourceRecord> records_;
+};
+
+// Master-file text serialization.
+std::string serialize_zone(const Zone& zone);
+
+// Parse a master file.  Supports $ORIGIN / $TTL directives, comments (';'),
+// relative and absolute owner names, and the record types in RrType.
+Result<Zone> parse_zone(std::string_view text);
+
+// Zone scanning (Section III): extract the distinct registered IDN domains
+// ("xn--" SLD label, or any SLD under an IDN TLD) from a zone.
+// Returned names are "sld.tld" in ASCII form, first-appearance order.
+std::vector<std::string> scan_idns(const Zone& zone);
+
+// Distinct registered (non-IDN and IDN) domains "sld.tld".
+std::vector<std::string> scan_slds(const Zone& zone);
+
+}  // namespace idnscope::dns

@@ -1,0 +1,120 @@
+#include "idnscope/dns/zone_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "idnscope/common/rng.h"
+#include "idnscope/common/strings.h"
+#include "idnscope/idna/punycode.h"
+
+namespace idnscope::dns {
+
+Result<bool> write_zone_file(const Zone& zone, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Err("zone.io", "cannot open " + path + " for writing");
+  }
+  out << serialize_zone(zone);
+  out.flush();
+  if (!out) {
+    return Err("zone.io", "write to " + path + " failed");
+  }
+  return true;
+}
+
+Result<Zone> load_zone_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Err("zone.io", "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_zone(buffer.str());
+}
+
+Result<ZoneScanStats> scan_zone_stream(
+    std::istream& input,
+    const std::function<void(std::string_view domain, bool is_idn)>& on_sld) {
+  ZoneScanStats stats;
+  std::string origin;
+  // Distinct-SLD tracking by 64-bit hash: 8 bytes per domain instead of the
+  // domain string, so a com-scale file fits comfortably in memory.
+  std::unordered_set<std::uint64_t> seen;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(input, line)) {
+    ++line_no;
+    std::string_view view = line;
+    const std::size_t comment = view.find(';');
+    view = trim(comment == std::string_view::npos ? view
+                                                  : view.substr(0, comment));
+    if (view.empty()) {
+      continue;
+    }
+    auto fields = split_whitespace(view);
+    if (fields[0] == "$ORIGIN") {
+      if (fields.size() != 2) {
+        return Err("zone.bad_directive",
+                   "$ORIGIN needs one argument (line " +
+                       std::to_string(line_no) + ")");
+      }
+      origin = to_lower_ascii(fields[1]);
+      if (!origin.empty() && origin.back() == '.') {
+        origin.pop_back();
+      }
+      continue;
+    }
+    if (fields[0] == "$TTL") {
+      continue;
+    }
+    ++stats.record_lines;
+    std::string owner = to_lower_ascii(fields[0]);
+    if (!owner.empty() && owner.back() == '.') {
+      owner.pop_back();
+    }
+    if (!origin.empty() && owner != origin &&
+        !owner.ends_with("." + origin)) {
+      owner += "." + origin;
+    }
+    if (origin.empty() || owner == origin) {
+      continue;  // apex records (SOA/NS of the TLD itself)
+    }
+    // Reduce to the label directly below the origin.
+    std::string_view below(owner);
+    below.remove_suffix(origin.size() + 1);
+    const std::size_t last_dot = below.rfind('.');
+    const std::string_view sld_label =
+        last_dot == std::string_view::npos ? below
+                                           : below.substr(last_dot + 1);
+    const std::string_view domain(owner.data() + (sld_label.data() - owner.data()),
+                                  sld_label.size() + 1 + origin.size());
+    if (!seen.insert(stable_hash64(domain)).second) {
+      continue;
+    }
+    ++stats.distinct_slds;
+    const bool is_idn =
+        idna::has_ace_prefix(sld_label) || idna::has_ace_prefix(origin);
+    if (is_idn) {
+      ++stats.idns;
+    }
+    on_sld(domain, is_idn);
+  }
+  if (origin.empty()) {
+    return Err("zone.no_origin", "stream has no $ORIGIN directive");
+  }
+  stats.origin = origin;
+  return stats;
+}
+
+Result<ZoneScanStats> scan_zone_file(
+    const std::string& path,
+    const std::function<void(std::string_view domain, bool is_idn)>& on_sld) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Err("zone.io", "cannot open " + path);
+  }
+  return scan_zone_stream(in, on_sld);
+}
+
+}  // namespace idnscope::dns

@@ -1,0 +1,135 @@
+#include "idnscope/ecosystem/brands.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "idnscope/common/rng.h"
+
+namespace idnscope::ecosystem {
+
+namespace {
+
+struct KnownBrand {
+  int rank;
+  std::string_view domain;
+};
+
+// Approximate Alexa ranks as of late 2017.  Every domain named in the
+// paper's tables appears here at the rank the paper cites.
+constexpr KnownBrand kKnown[] = {
+    {1, "google.com"},     {2, "youtube.com"},    {3, "facebook.com"},
+    {4, "baidu.com"},      {5, "wikipedia.org"},  {6, "yahoo.com"},
+    {7, "reddit.com"},     {8, "taobao.com"},     {9, "qq.com"},
+    {10, "tmall.com"},     {11, "amazon.com"},    {12, "sohu.com"},
+    {13, "twitter.com"},   {14, "live.com"},      {15, "instagram.com"},
+    {16, "vk.com"},        {17, "jd.com"},        {18, "sina.com.cn"},
+    {19, "weibo.com"},     {20, "360.cn"},        {21, "linkedin.com"},
+    {22, "yandex.ru"},     {23, "netflix.com"},   {24, "hao123.com"},
+    {25, "csdn.net"},      {26, "ebay.com"},      {27, "twitch.tv"},
+    {28, "pornhub.com"},   {29, "alipay.com"},    {30, "microsoft.com"},
+    {31, "bing.com"},      {32, "office.com"},    {33, "xvideos.com"},
+    {34, "msn.com"},       {35, "aliexpress.com"},{36, "stackoverflow.com"},
+    {37, "naver.com"},     {38, "github.com"},    {39, "tumblr.com"},
+    {40, "imgur.com"},     {41, "wordpress.com"}, {42, "paypal.com"},
+    {43, "mail.ru"},       {44, "imdb.com"},      {45, "tianya.cn"},
+    {46, "wikia.com"},     {47, "blogspot.com"},  {48, "pinterest.com"},
+    {49, "whatsapp.com"},  {50, "amazon.co.jp"},  {51, "xhamster.com"},
+    {52, "bbc.com"},       {53, "dropbox.com"},   {54, "adobe.com"},
+    {55, "apple.com"},     {56, "craigslist.org"},{57, "soundcloud.com"},
+    {58, "espn.com"},      {59, "nicovideo.jp"},  {60, "cnn.com"},
+    {70, "booking.com"},   {80, "quora.com"},     {88, "spotify.com"},
+    {96, "soso.com"},      {100, "salesforce.com"},
+    {110, "chase.com"},    {120, "zhihu.com"},    {130, "dmm.co.jp"},
+    {140, "rakuten.co.jp"},{150, "walmart.com"},  {160, "nytimes.com"},
+    {166, "china.com"},    {180, "steamcommunity.com"},
+    {191, "1688.com"},     {200, "slack.com"},    {220, "wellsfargo.com"},
+    {240, "etsy.com"},     {260, "zillow.com"},   {280, "hulu.com"},
+    {300, "yelp.com"},     {320, "target.com"},   {332, "bet365.com"},
+    {350, "airbnb.com"},   {372, "icloud.com"},   {391, "go.com"},
+    {410, "vimeo.com"},    {430, "indeed.com"},   {450, "bestbuy.com"},
+    {470, "homedepot.com"},{490, "weather.com"},  {510, "foxnews.com"},
+    {537, "sex.com"},      {560, "cnet.com"},     {580, "forbes.com"},
+    {600, "ikea.com"},     {620, "costco.com"},   {634, "as.com"},
+    {660, "delta.com"},    {680, "fedex.com"},    {700, "ups.com"},
+    {720, "verizon.com"},  {742, "ea.com"},       {760, "att.com"},
+    {780, "hsbc.com"},     {800, "citibank.com"}, {820, "americanexpress.com"},
+    {840, "nike.com"},     {861, "58.com"},       {880, "samsung.com"},
+    {900, "sony.com"},     {920, "dell.com"},     {940, "intel.com"},
+    {960, "oracle.com"},   {980, "ibm.com"},      {1000, "cisco.com"},
+};
+
+// Word pools for synthetic filler brands (rank slots not pinned above).
+constexpr std::string_view kFillerFirst[] = {
+    "smart", "easy",  "quick", "global", "prime", "super", "mega",  "ultra",
+    "open",  "blue",  "red",   "green",  "gold",  "fast",  "top",   "best",
+    "my",    "pro",   "net",   "tech",   "data",  "cloud", "web",   "digi",
+    "geo",   "info",  "meta",  "omni",   "uni",   "duo",   "alpha", "nova",
+};
+constexpr std::string_view kFillerSecond[] = {
+    "shop",   "store", "news",   "media",  "games", "play",  "bank",
+    "pay",    "trade", "market", "travel", "tour",  "food",  "health",
+    "care",   "life",  "home",   "house",  "auto",  "cars",  "jobs",
+    "works",  "mail",  "chat",   "social", "photo", "video", "music",
+    "sports", "zone",  "hub",    "base",   "link",  "port",  "city",
+};
+constexpr std::string_view kFillerTld[] = {"com", "com", "com", "net", "org"};
+
+std::vector<Brand> build_top1k() {
+  std::unordered_map<int, std::string_view> pinned;
+  for (const KnownBrand& brand : kKnown) {
+    pinned.emplace(brand.rank, brand.domain);
+  }
+  std::vector<Brand> brands;
+  brands.reserve(1000);
+  std::unordered_map<std::string, bool> used;
+  for (const KnownBrand& brand : kKnown) {
+    used.emplace(std::string(brand.domain), true);
+  }
+  for (int rank = 1; rank <= 1000; ++rank) {
+    auto it = pinned.find(rank);
+    if (it != pinned.end()) {
+      brands.push_back(Brand{rank, std::string(it->second)});
+      continue;
+    }
+    // Deterministic synthetic filler, independent of call order.
+    std::uint64_t h = stable_hash64("alexa-filler-" + std::to_string(rank));
+    std::string domain;
+    do {
+      const auto a = kFillerFirst[h % std::size(kFillerFirst)];
+      const auto b = kFillerSecond[(h >> 8) % std::size(kFillerSecond)];
+      const auto tld = kFillerTld[(h >> 16) % std::size(kFillerTld)];
+      domain = std::string(a) + std::string(b) + "." + std::string(tld);
+      h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    } while (used.contains(domain));
+    used.emplace(domain, true);
+    brands.push_back(Brand{rank, std::move(domain)});
+  }
+  return brands;
+}
+
+}  // namespace
+
+const std::vector<Brand>& alexa_top1k() {
+  static const std::vector<Brand> brands = build_top1k();
+  return brands;
+}
+
+std::vector<Brand> alexa_top(std::size_t n) {
+  const auto& all = alexa_top1k();
+  n = std::min(n, all.size());
+  return {all.begin(), all.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+const Brand* find_brand(std::string_view domain) {
+  static const std::unordered_map<std::string_view, const Brand*> index = [] {
+    std::unordered_map<std::string_view, const Brand*> map;
+    for (const Brand& brand : alexa_top1k()) {
+      map.emplace(brand.domain, &brand);
+    }
+    return map;
+  }();
+  auto it = index.find(domain);
+  return it == index.end() ? nullptr : it->second;
+}
+
+}  // namespace idnscope::ecosystem

@@ -1,0 +1,35 @@
+// Alexa Top-1k brand list (Section III: "we selected the top 1K SLDs based
+// on Alexa website ranking as the potential victims of IDN abuse").
+//
+// Well-known domains — including every brand the paper's tables reference —
+// sit at their (approximate 2017) Alexa ranks; the remaining ranks are
+// filled with deterministic synthetic SLDs so the detectors always face a
+// full 1,000-entry victim list.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idnscope::ecosystem {
+
+struct Brand {
+  int rank = 0;        // 1-based Alexa rank
+  std::string domain;  // registered domain, e.g. "google.com"
+
+  // SLD label without the TLD ("google").
+  std::string_view sld() const {
+    return std::string_view(domain).substr(0, domain.find('.'));
+  }
+};
+
+// The full top-1k list, rank order.
+const std::vector<Brand>& alexa_top1k();
+
+// First n entries.
+std::vector<Brand> alexa_top(std::size_t n);
+
+// nullptr when `domain` is not in the list.
+const Brand* find_brand(std::string_view domain);
+
+}  // namespace idnscope::ecosystem

@@ -1,0 +1,93 @@
+// The generated synthetic Internet handed to the measurement pipeline.
+//
+// `truth` records what the generator intended for each registered domain;
+// it exists so tests can score the pipeline (e.g. langid accuracy, detector
+// recall).  The measurement pipeline itself (idnscope::core) never reads
+// `truth` — it works from zones, WHOIS, pDNS, blacklists, certificates and
+// pages, exactly like the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "idnscope/dns/pdns.h"
+#include "idnscope/dns/resolver.h"
+#include "idnscope/dns/zone.h"
+#include "idnscope/ecosystem/scenario.h"
+#include "idnscope/langid/language.h"
+#include "idnscope/ssl/cert_store.h"
+#include "idnscope/web/web.h"
+#include "idnscope/whois/whois.h"
+
+namespace idnscope::ecosystem {
+
+// Blacklist source bits (Table I columns).
+inline constexpr std::uint8_t kBlVirusTotal = 1;
+inline constexpr std::uint8_t kBl360 = 2;
+inline constexpr std::uint8_t kBlBaidu = 4;
+
+enum class AbuseKind : std::uint8_t {
+  kNone,
+  kHomograph,   // visual lookalike of a brand (Section VI)
+  kSemanticT1,  // brand + foreign keyword (Section VII)
+  kSemanticT2,  // translated brand name (Table X; detection is the
+                // idnscope::core::Type2Detector extension)
+};
+
+struct DomainTruth {
+  langid::Language language = langid::Language::kEnglish;
+  bool is_idn = false;
+  bool malicious = false;  // on at least one blacklist
+  AbuseKind abuse = AbuseKind::kNone;
+  std::string target_brand;        // set for abuse plants
+  bool protective = false;         // registered by the brand owner
+  bool identical_lookalike = false;  // renders pixel-identical to the brand
+  web::PageCategory web_category = web::PageCategory::kNotResolved;
+};
+
+struct SegmentInfo {
+  std::uint32_t segment24 = 0;  // upper 24 bits of the /24
+  std::string owner;            // "Linode", "GoDaddy Parking", ...
+  std::string kind;             // "hosting" | "parking" | "cdn" | "private"
+};
+
+struct Ecosystem {
+  Scenario scenario;
+
+  // Zone files: index 0..2 are com/net/org, the rest are the 53 iTLDs.
+  std::vector<dns::Zone> zones;
+
+  // All registered IDNs (ASCII form, "sld.tld"), generation order.
+  std::vector<std::string> idns;
+  // The random non-IDN comparison sample (Section III).
+  std::vector<std::string> sampled_non_idns;
+
+  whois::WhoisDb whois;
+  dns::PassiveDnsDb pdns;
+  dns::SimulatedResolver resolver;
+  web::SimulatedWeb web;
+  ssl::CertStore idn_certs;
+  ssl::CertStore non_idn_certs;
+
+  // domain -> blacklist source mask (non-zero = malicious).
+  std::unordered_map<std::string, std::uint8_t> blacklist;
+
+  // Ground truth for evaluation only.
+  std::unordered_map<std::string, DomainTruth> truth;
+
+  // Hosting landscape metadata (Fig 4 labels).
+  std::vector<SegmentInfo> segments;
+
+  bool is_blacklisted(const std::string& domain) const {
+    auto it = blacklist.find(domain);
+    return it != blacklist.end() && it->second != 0;
+  }
+};
+
+// Generate the synthetic Internet for a scenario.  Deterministic in
+// scenario.seed; see DESIGN.md for the calibration targets.
+Ecosystem generate(const Scenario& scenario);
+
+}  // namespace idnscope::ecosystem

@@ -1,0 +1,1327 @@
+// Synthetic-Internet generator.
+//
+// Builds the scaled-down equivalent of the paper's data world: 56 TLD zones
+// (com/net/org + 53 iTLDs), the IDN population with Table II's language mix
+// and Table I's per-TLD volumes, the WHOIS database with Table III/IV's
+// registrant/registrar structure and Fig 1's timeline, passive-DNS activity
+// calibrated to Figs 2/3/5/8, Fig 4's hosting concentration, Table V's web
+// content mix, Tables VI/VII's certificate pathology, and the planted
+// homograph (Table XIII) and Type-1 semantic (Table XIV) abuse populations.
+//
+// Everything is derived deterministically from Scenario::seed.  Per-domain
+// attributes use a sub-generator forked from the domain name so attribute
+// draws are independent of generation order.
+#include "idnscope/ecosystem/ecosystem.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "idnscope/common/rng.h"
+#include "idnscope/common/strings.h"
+#include "idnscope/ecosystem/brands.h"
+#include "idnscope/ecosystem/paper.h"
+#include "idnscope/ecosystem/vocab.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/idna/lookalike.h"
+#include "idnscope/idna/punycode.h"
+#include "idnscope/unicode/scripts.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::ecosystem {
+
+namespace {
+
+using langid::Language;
+using web::PageCategory;
+
+std::u32string u32(std::string_view utf8) {
+  auto decoded = unicode::decode(utf8);
+  assert(decoded.ok());
+  return std::move(decoded).value();
+}
+
+// Scaled count: x / divisor, at least 1 when x > 0.
+std::uint64_t scaled(std::uint64_t x, unsigned divisor) {
+  if (x == 0) {
+    return 0;
+  }
+  return std::max<std::uint64_t>(1, x / divisor);
+}
+
+// ---------------------------------------------------------------------------
+// Per-registration specification assembled by the planners below.
+// ---------------------------------------------------------------------------
+struct RegSpec {
+  std::string domain;  // full ASCII "sld.tld"
+  std::string tld;
+  bool is_idn = true;
+  Language lang = Language::kEnglish;
+  AbuseKind abuse = AbuseKind::kNone;
+  std::string target_brand;
+  bool protective = false;
+  bool identical = false;
+
+  std::optional<bool> forced_malicious;
+  std::optional<std::string> forced_email;
+  std::optional<int> forced_year;
+  std::optional<bool> forced_whois;
+  std::optional<PageCategory> forced_category;
+  std::optional<std::uint64_t> forced_queries;
+  std::optional<std::int64_t> forced_active_days;
+};
+
+class Generator {
+ public:
+  explicit Generator(const Scenario& scenario)
+      : s_(scenario), root_(scenario.seed) {
+    eco_.scenario = scenario;
+  }
+
+  Ecosystem run() {
+    build_zones();
+    build_segments();
+    plant_homographs();
+    plant_semantics();
+    plant_type2_semantics();
+    plant_portfolios();
+    generate_bulk_idns();
+    generate_non_idn_samples();
+    if (s_.generate_filler) {
+      generate_filler();
+    }
+    plant_mistype_traffic();
+    return std::move(eco_);
+  }
+
+ private:
+  // ---- scaled budgets -------------------------------------------------------
+  std::uint64_t com_idn_budget() const {
+    return scaled(paper::kTable1[0].idn_count, s_.bulk_scale);
+  }
+  std::uint64_t net_idn_budget() const {
+    return scaled(paper::kTable1[1].idn_count, s_.bulk_scale);
+  }
+  std::uint64_t org_idn_budget() const {
+    return scaled(paper::kTable1[2].idn_count, s_.bulk_scale);
+  }
+  std::uint64_t itld_idn_budget() const {
+    return scaled(paper::kTable1[3].idn_count, s_.bulk_scale);
+  }
+
+  // ---- zones ----------------------------------------------------------------
+  void build_zones() {
+    auto add_zone = [&](std::string origin) {
+      zone_index_.emplace(origin, eco_.zones.size());
+      dns::Zone zone(origin);
+      dns::SoaData soa;
+      soa.serial = static_cast<std::uint32_t>(s_.snapshot.year) * 10000U +
+                   static_cast<std::uint32_t>(s_.snapshot.month) * 100U +
+                   static_cast<std::uint32_t>(s_.snapshot.day);
+      zone.set_soa(soa);
+      eco_.zones.push_back(std::move(zone));
+    };
+    add_zone("com");
+    add_zone("net");
+    add_zone("org");
+    for (const ItldEntry& itld : itld_list()) {
+      auto ace = idna::label_to_ascii(u32(itld.unicode_name));
+      assert(ace.ok());
+      itld_aces_.push_back(ace.value());
+      itld_langs_.push_back(itld.language);
+      add_zone(ace.value());
+    }
+  }
+
+  dns::Zone& zone_of(const std::string& tld) {
+    auto it = zone_index_.find(tld);
+    assert(it != zone_index_.end());
+    return eco_.zones[it->second];
+  }
+
+  // ---- hosting segments (Fig 4) --------------------------------------------
+  void build_segments() {
+    const std::uint64_t count =
+        std::max<std::uint64_t>(20, scaled(paper::kPdnsSegmentCount, s_.bulk_scale));
+    Rng rng = root_.fork("segments");
+    struct Named {
+      const char* owner;
+      const char* kind;
+    };
+    // The paper's top-10: four hosting, four parking, Akamai, one private.
+    static constexpr Named kNamed[] = {
+        {"Sedo Parking", "parking"},   {"Linode", "hosting"},
+        {"GoDaddy Parking", "parking"},{"Cafe24", "hosting"},
+        {"ParkingCrew", "parking"},    {"OVH", "hosting"},
+        {"Bodis Parking", "parking"},  {"DigitalOcean", "hosting"},
+        {"Akamai", "cdn"},             {"(private segment)", "private"},
+    };
+    std::unordered_set<std::uint32_t> used;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint32_t seg;
+      do {
+        // Public-ish /24s; avoid 0.x and 10.x except the one private entry.
+        seg = static_cast<std::uint32_t>(rng.uniform(0x0B0000, 0xDF0000)) << 0;
+        seg = (seg & 0xFFFFFF);
+      } while (!used.insert(seg).second);
+      SegmentInfo info;
+      info.segment24 = seg;
+      if (i < std::size(kNamed)) {
+        info.owner = kNamed[i].owner;
+        info.kind = kNamed[i].kind;
+        if (info.kind == "private") {
+          info.segment24 = 0x0A0A0A;  // 10.10.10.0/24
+        }
+      } else {
+        info.owner = "AS-" + std::to_string(64500 + i);
+        info.kind = rng.chance(0.7) ? "hosting" : "parking";
+      }
+      eco_.segments.push_back(std::move(info));
+    }
+    // Cache index lists for parking/hosting picks.
+    for (std::size_t i = 0; i < eco_.segments.size(); ++i) {
+      if (eco_.segments[i].kind == "parking") {
+        parking_segments_.push_back(i);
+      }
+    }
+  }
+
+  // ---- shared attribute machinery -------------------------------------------
+  Rng domain_rng(std::string_view domain, std::string_view stage) const {
+    return Rng(s_.seed ^ stable_hash64(domain) ^ stable_hash64(stage));
+  }
+
+  double malicious_rate(Language lang, const std::string& tld) const {
+    const auto& row = paper::kTable2[static_cast<std::size_t>(lang)];
+    const double lang_rate = row.idn_count == 0
+                                 ? 0.0
+                                 : static_cast<double>(row.malicious_count) /
+                                       static_cast<double>(row.idn_count);
+    const double overall = static_cast<double>(paper::kTotalBlacklisted) /
+                           static_cast<double>(paper::kTotalIdns);
+    double tld_rate = overall;
+    if (tld == "com") {
+      tld_rate = 5284.0 / 1'007'148.0;
+    } else if (tld == "net") {
+      tld_rate = 746.0 / 231'896.0;
+    } else if (tld == "org") {
+      tld_rate = 59.0 / 25'629.0;
+    } else {
+      tld_rate = 152.0 / 208'163.0;  // iTLD aggregate
+    }
+    return lang_rate * (tld_rate / overall);
+  }
+
+  int draw_creation_year(Rng& rng, bool malicious) const {
+    // Exponential growth with the event spikes of Fig 1 (IDN testbed 2000,
+    // German/Latin characters 2004; cybersquatting waves 2015/2017 for
+    // malicious registrations).
+    std::array<double, 18> weights{};  // years 2000..2017
+    for (int y = 0; y < 18; ++y) {
+      weights[static_cast<std::size_t>(y)] = std::exp(0.28 * y);
+    }
+    weights[0] *= 3.5;   // 2000 spike
+    weights[4] *= 2.8;   // 2004 spike
+    weights[17] *= 0.75; // partial 2017 (snapshot in September)
+    if (malicious) {
+      weights[15] *= 2.5;  // 2015 spike
+      weights[17] *= 4.0;  // 2017 spike
+    }
+    return 2000 + static_cast<int>(rng.weighted(weights));
+  }
+
+  Date draw_creation_date(Rng& rng, bool malicious,
+                          std::optional<int> forced_year) const {
+    const int year = forced_year ? *forced_year
+                                 : draw_creation_year(rng, malicious);
+    const int month = static_cast<int>(rng.uniform(1, 12));
+    const int day = static_cast<int>(
+        rng.uniform(1, static_cast<std::uint64_t>(Date::days_in_month(year, month))));
+    Date date{year, month, day};
+    if (s_.snapshot < date) {
+      date = s_.snapshot;  // clamp within the snapshot
+    }
+    return date;
+  }
+
+  std::string draw_registrar(Rng& rng) const {
+    // Table IV head (55%) + a ~700-registrar tail.
+    double head_total = 0.0;
+    for (const auto& row : paper::kTable4) {
+      head_total += row.rate;
+    }
+    if (rng.uniform01() < head_total) {
+      std::array<double, paper::kTable4.size()> weights{};
+      for (std::size_t i = 0; i < paper::kTable4.size(); ++i) {
+        weights[i] = paper::kTable4[i].rate;
+      }
+      return std::string(paper::kTable4[rng.weighted(weights)].name);
+    }
+    // Tail: named pool first (these form ranks 11-20 and carry ~15%),
+    // then synthetic registrars out to ~700.
+    const auto pool = registrar_tail_pool();
+    if (rng.uniform01() < 0.33) {
+      return std::string(pool[rng.zipf(pool.size(), 0.8)]);
+    }
+    const std::size_t tail_count =
+        static_cast<std::size_t>(paper::kRegistrarCountIdn) - 10 - pool.size();
+    return "Registrar #" + std::to_string(100 + rng.zipf(tail_count, 0.7));
+  }
+
+  std::string draw_email(Rng& rng) const {
+    static constexpr std::string_view kProviders[] = {
+        "qq.com", "163.com", "gmail.com", "hotmail.com", "naver.com",
+        "yahoo.co.jp", "mail.ru", "126.com"};
+    return "user" + std::to_string(rng.uniform(100000, 99999999)) + "@" +
+           std::string(kProviders[rng.uniform(0, std::size(kProviders) - 1)]);
+  }
+
+  PageCategory draw_category(Rng& rng, bool is_idn, AbuseKind abuse,
+                             Language lang) const {
+    if (abuse != AbuseKind::kNone) {
+      // Section VI-C / VII-B sample: overwhelmingly inactive.
+      static constexpr double kAbuse[] = {0.37, 0.10, 0.04, 0.17, 0.15,
+                                          0.05, 0.12};
+      return static_cast<PageCategory>(rng.weighted(kAbuse));
+    }
+    std::array<double, 7> weights{};
+    const auto& table = paper::kTable5;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      weights[i] = static_cast<double>(is_idn ? table[i].idn : table[i].non_idn);
+    }
+    // Finding 8: meaningful IDN content is mostly Japanese/Korean.
+    if (is_idn) {
+      if (lang == Language::kJapanese || lang == Language::kKorean) {
+        weights[6] *= 2.2;
+      } else {
+        weights[6] *= 0.75;
+      }
+    }
+    return static_cast<PageCategory>(rng.weighted(weights));
+  }
+
+  // Passive-DNS activity calibrated per class (Figs 2/3/5/8).
+  void draw_activity(Rng& rng, const RegSpec& spec, bool malicious,
+                     std::int64_t& active_days, std::uint64_t& queries) const {
+    double mu_days, sig_days, mu_q, sig_q;
+    if (spec.abuse == AbuseKind::kHomograph) {
+      mu_days = 6.07; sig_days = 1.1;  // mean ≈ 789 days (Fig 5a)
+      mu_q = 5.95; sig_q = 1.6;        // 80% above 100 queries (Fig 5b)
+    } else if (spec.abuse == AbuseKind::kSemanticT1) {
+      mu_days = 5.88; sig_days = 1.2;  // mean ≈ 735 days (Fig 8a)
+      mu_q = 6.07; sig_q = 1.6;        // mean ≈ 1,562 queries (Fig 8b)
+    } else if (malicious) {
+      mu_days = 5.0; sig_days = 1.4;   // close to non-IDNs (Finding 5)
+      mu_q = 5.5; sig_q = 2.3;         // heavier than non-IDNs (Finding 6)
+    } else if (spec.is_idn) {
+      mu_days = 4.1; sig_days = 1.7;   // 60% of com IDNs < 100 days
+      mu_q = 2.2; sig_q = 2.0;         // 88% of com IDNs < 100 queries
+    } else {
+      mu_days = 5.1; sig_days = 1.6;   // 40% of com non-IDNs < 100 days
+      mu_q = 3.4; sig_q = 2.2;         // 74% < 100 queries
+    }
+    active_days = spec.forced_active_days.value_or(
+        static_cast<std::int64_t>(rng.lognormal(mu_days, sig_days)));
+    queries = spec.forced_queries.value_or(
+        static_cast<std::uint64_t>(rng.lognormal(mu_q, sig_q)) + 1);
+  }
+
+  std::size_t draw_segment(Rng& rng, PageCategory category) const {
+    if (category == PageCategory::kParked && !parking_segments_.empty()) {
+      return parking_segments_[rng.zipf(parking_segments_.size(), 1.1)];
+    }
+    // Zipf over all segments reproduces Fig 4's concentration.
+    return rng.zipf(eco_.segments.size(), 0.85);
+  }
+
+  // ---- the one place a registration is materialized -------------------------
+  void register_domain(RegSpec spec) {
+    if (!used_.insert(spec.domain).second) {
+      return;  // caller retries with a different name
+    }
+    Rng rng = domain_rng(spec.domain, "attrs");
+
+    // Zone entry (two NS records, like real delegations).
+    static constexpr std::string_view kNsPool[] = {
+        "ns1.dnspod.net", "ns2.dnspod.net", "ns1.hichina.com",
+        "ns2.hichina.com", "ns1.gmoserver.jp", "ns2.gmoserver.jp",
+        "ns1.parklogic.com", "ns2.parklogic.com", "ns1.name-services.com",
+        "ns1.gabia.co.kr", "ns1.cafe24.com", "ns1.sedoparking.com"};
+    const std::size_t ns = rng.uniform(0, std::size(kNsPool) / 2 - 1) * 2;
+    dns::Zone& zone = zone_of(spec.tld);
+    zone.add({spec.domain, 172800, dns::RrType::kNs, std::string(kNsPool[ns])});
+    zone.add({spec.domain, 172800, dns::RrType::kNs,
+              std::string(kNsPool[ns + 1])});
+
+    // Malicious / blacklist.
+    bool malicious = spec.forced_malicious.value_or(
+        rng.chance(malicious_rate(spec.lang, spec.tld)));
+    if (spec.protective) {
+      malicious = false;
+    }
+    if (spec.abuse == AbuseKind::kHomograph && !spec.forced_malicious &&
+        !spec.protective) {
+      // 100 / 1,516 homographic IDNs were blacklisted (Section VI-C).
+      malicious = rng.chance(100.0 / 1516.0);
+    }
+    if (malicious) {
+      std::uint8_t mask = 0;
+      if (rng.chance(4378.0 / 6241.0)) mask |= kBlVirusTotal;
+      if (rng.chance(1963.0 / 6241.0)) mask |= kBl360;
+      if (rng.chance(30.0 / 6241.0)) mask |= kBlBaidu;
+      if (mask == 0) mask = kBlVirusTotal;
+      eco_.blacklist.emplace(spec.domain, mask);
+    }
+
+    // WHOIS.
+    const Date creation = draw_creation_date(rng, malicious, spec.forced_year);
+    double whois_rate;
+    if (spec.tld == "com") whois_rate = 590'542.0 / 1'007'148.0;
+    else if (spec.tld == "net") whois_rate = 131'573.0 / 231'896.0;
+    else if (spec.tld == "org") whois_rate = 19'271.0 / 25'629.0;
+    else whois_rate = 2'226.0 / 208'163.0;  // iTLD WHOIS support is poor
+    if (!spec.is_idn) {
+      whois_rate = 0.80;  // non-IDN WHOIS coverage is better
+    }
+    const bool have_whois =
+        spec.forced_whois.value_or(spec.forced_email.has_value() ||
+                                   rng.chance(whois_rate));
+    if (have_whois) {
+      whois::WhoisRecord record;
+      record.domain = spec.domain;
+      record.registrar = draw_registrar(rng);
+      record.creation_date = creation;
+      record.expiry_date =
+          s_.snapshot.plus_days(static_cast<std::int64_t>(rng.uniform(30, 700)));
+      if (spec.forced_email) {
+        record.registrant_email = *spec.forced_email;
+      } else if (rng.chance(0.45)) {
+        record.privacy_protected = true;
+      } else {
+        record.registrant_email = draw_email(rng);
+      }
+      // Round-trip through the registrar's WHOIS text dialect, like the
+      // paper's crawler did: each registrar sticks to one output format
+      // and the study only keeps what its parsers recover.
+      const auto dialect = static_cast<whois::WhoisDialect>(
+          stable_hash64(record.registrar) % 4);
+      auto parsed = whois::parse_whois(whois::format_whois(record, dialect));
+      assert(parsed.ok());
+      eco_.whois.insert(std::move(parsed).value());
+    }
+
+    // Web category, resolver entry, page, hosting IP.
+    const PageCategory category =
+        spec.forced_category.value_or(
+            draw_category(rng, spec.is_idn, spec.abuse, spec.lang));
+    std::optional<dns::Ipv4> address;
+    if (category == PageCategory::kNotResolved) {
+      if (s_.generate_web) {
+        const double roll = rng.uniform01();
+        const dns::Rcode rcode = roll < 0.7   ? dns::Rcode::kRefused
+                                 : roll < 0.9 ? dns::Rcode::kServFail
+                                              : dns::Rcode::kTimeout;
+        eco_.resolver.install(spec.domain, dns::Resolution{rcode, {}});
+      }
+    } else {
+      const SegmentInfo& segment =
+          eco_.segments[draw_segment(rng, category)];
+      address = dns::Ipv4((segment.segment24 << 8) |
+                          static_cast<std::uint32_t>(rng.uniform(1, 254)));
+      if (s_.generate_web) {
+        eco_.resolver.install(spec.domain,
+                              dns::Resolution{dns::Rcode::kNoError, {*address}});
+        install_page(spec, category, rng);
+      }
+    }
+
+    // Passive DNS.
+    std::int64_t active_days = 0;
+    std::uint64_t queries = 0;
+    draw_activity(rng, spec, malicious, active_days, queries);
+    dns::DnsAggregate aggregate;
+    if (spec.abuse != AbuseKind::kNone) {
+      // Homograph / Type-1 populations are long-lived (Figs 5/8: ~750-800
+      // mean active days): anchor their span to the collection end so the
+      // drawn activity length is realized rather than clipped at the
+      // snapshot.
+      aggregate.first_seen = s_.pai_window_end.plus_days(-active_days);
+      if (aggregate.first_seen < s_.farsight_window_start) {
+        aggregate.first_seen = s_.farsight_window_start;
+      }
+    } else {
+      const std::int64_t lag = static_cast<std::int64_t>(rng.uniform(0, 45));
+      aggregate.first_seen = creation.plus_days(lag);
+    }
+    if (s_.pai_window_end < aggregate.first_seen) {
+      aggregate.first_seen = s_.pai_window_end;
+    }
+    aggregate.last_seen = aggregate.first_seen.plus_days(active_days);
+    if (s_.pai_window_end < aggregate.last_seen) {
+      aggregate.last_seen = s_.pai_window_end;
+    }
+    aggregate.query_count = queries;
+    if (address) {
+      aggregate.resolved_ips.push_back(*address);
+    }
+    eco_.pdns.install(spec.domain, std::move(aggregate));
+
+    // SSL certificate scan.
+    if (s_.generate_ssl && category != PageCategory::kNotResolved) {
+      maybe_scan_certificate(spec, category, rng);
+    }
+
+    // Ground truth + membership lists.
+    DomainTruth truth;
+    truth.language = spec.lang;
+    truth.is_idn = spec.is_idn;
+    truth.malicious = malicious;
+    truth.abuse = spec.abuse;
+    truth.target_brand = spec.target_brand;
+    truth.protective = spec.protective;
+    truth.identical_lookalike = spec.identical;
+    truth.web_category = category;
+    eco_.truth.emplace(spec.domain, std::move(truth));
+    if (spec.is_idn) {
+      eco_.idns.push_back(spec.domain);
+    } else {
+      eco_.sampled_non_idns.push_back(spec.domain);
+    }
+  }
+
+  void install_page(const RegSpec& spec, PageCategory category, Rng& rng) {
+    web::WebPage page;
+    switch (category) {
+      case PageCategory::kError:
+        if (rng.chance(0.5)) {
+          eco_.web.host_unreachable(spec.domain);
+          return;
+        }
+        page.status = rng.chance(0.5) ? 500 : 404;
+        page.body = "server error";
+        break;
+      case PageCategory::kEmpty:
+        page.status = 200;
+        break;
+      case PageCategory::kParked:
+        page.status = 200;
+        page.title = "Domain parked";
+        page.body = "This domain is parked free, courtesy of sedoparking. "
+                    "Related searches below.";
+        break;
+      case PageCategory::kForSale:
+        page.status = 200;
+        page.title = spec.domain;
+        page.body = "This domain may be for sale. Buy this domain or make "
+                    "an offer.";
+        break;
+      case PageCategory::kRedirected: {
+        page.status = 302;
+        page.redirect_location =
+            spec.abuse != AbuseKind::kNone && !spec.target_brand.empty()
+                ? "http://" + spec.target_brand + "/"
+                : "http://www.example-portal.com/";
+        break;
+      }
+      case PageCategory::kMeaningful: {
+        page.status = 200;
+        const auto words = words_for(spec.lang);
+        std::string body;
+        for (int i = 0; i < 12; ++i) {
+          body += std::string(words[rng.uniform(0, words.size() - 1)]);
+          body += ' ';
+        }
+        if (spec.abuse != AbuseKind::kNone && !spec.target_brand.empty()) {
+          // Deceptive sites copy the brand's title (Table XI's "Title"
+          // browser weakness feeds on this).
+          page.title = std::string(spec.target_brand.substr(
+              0, spec.target_brand.find('.')));
+        } else {
+          page.title = spec.domain;
+        }
+        page.body = std::move(body);
+        break;
+      }
+      case PageCategory::kNotResolved:
+        return;  // unreachable; handled by caller
+    }
+    eco_.web.host(spec.domain, std::move(page));
+  }
+
+  void maybe_scan_certificate(const RegSpec& spec, PageCategory category,
+                              Rng& rng) {
+    // Paper: 67,087 certs from 1.47M IDNs (4.55%), i.e. ~8.4% of the
+    // resolvable ones; 35,028 / 1.2M non-IDNs (2.92%, ~3.4% of resolvable).
+    const double p = spec.is_idn ? 0.084 : 0.034;
+    if (!rng.chance(p)) {
+      return;
+    }
+    ssl::Certificate cert;
+    cert.not_before = s_.snapshot.plus_days(
+        -static_cast<std::int64_t>(rng.uniform(90, 1000)));
+    cert.not_after = s_.snapshot.plus_days(
+        static_cast<std::int64_t>(rng.uniform(30, 700)));
+    cert.issuer = "Synthetic Trust CA";
+
+    // Problem mix per Table VI.  Rates are derived from the reported counts
+    // (the paper's printed non-IDN "Invalid Common Name" percentage is
+    // inconsistent with its own count column; the counts are authoritative
+    // since they sum to the reported totals).
+    const auto& rows = paper::kTable6;
+    const double denom = static_cast<double>(
+        spec.is_idn ? paper::kIdnCertsCollected : paper::kNonIdnCertsCollected);
+    auto count_rate = [&](const paper::SslRow& row) {
+      return static_cast<double>(spec.is_idn ? row.idn : row.non_idn) / denom;
+    };
+    const double expired_rate = count_rate(rows[0]);
+    const double authority_rate = count_rate(rows[1]);
+    const double cn_rate = count_rate(rows[2]);
+    const double valid_rate =
+        std::max(0.0, 1.0 - expired_rate - authority_rate - cn_rate);
+
+    double pick = rng.uniform01();
+    if (category == PageCategory::kParked) {
+      pick = expired_rate + authority_rate;  // force the shared-CN branch
+    }
+    if (pick < expired_rate) {
+      cert.common_name = spec.domain;
+      cert.not_after = s_.snapshot.plus_days(
+          -static_cast<std::int64_t>(rng.uniform(1, 900)));
+    } else if (pick < expired_rate + authority_rate) {
+      cert.common_name = spec.domain;
+      cert.self_signed = rng.chance(0.8);
+      cert.issuer_trusted = false;
+      cert.issuer = cert.self_signed ? spec.domain : "Unknown Issuer CA";
+    } else if (pick < expired_rate + authority_rate + cn_rate) {
+      // Shared certificate: CN drawn from the Table VII provider mix.
+      std::array<double, paper::kTable7.size()> weights{};
+      for (std::size_t i = 0; i < paper::kTable7.size(); ++i) {
+        weights[i] = static_cast<double>(paper::kTable7[i].count);
+      }
+      if (category == PageCategory::kParked) {
+        cert.common_name = "sedoparking.com";
+      } else {
+        cert.common_name =
+            std::string(paper::kTable7[rng.weighted(weights)].common_name);
+      }
+    } else {
+      (void)valid_rate;
+      cert.common_name = spec.domain;
+      cert.san_dns_names.push_back("www." + spec.domain);
+    }
+    ssl::ScanResult result{spec.domain, std::move(cert)};
+    (spec.is_idn ? eco_.idn_certs : eco_.non_idn_certs).add(std::move(result));
+  }
+
+  // ---- label construction ----------------------------------------------------
+  // Compose a Unicode label for a language; returns the ACE label or "".
+  std::string make_idn_label(Language lang, Rng& rng, int attempt) const {
+    const auto words = words_for(lang);
+    std::u32string label;
+    const bool cjk = lang == Language::kChinese || lang == Language::kJapanese ||
+                     lang == Language::kKorean || lang == Language::kThai;
+    const int word_count = rng.chance(cjk ? 0.55 : 0.35) ? 2 : 1;
+    for (int w = 0; w < word_count; ++w) {
+      if (w > 0 && !cjk) {
+        label.push_back(U'-');
+      }
+      label += u32(words[rng.uniform(0, words.size() - 1)]);
+    }
+    if (lang == Language::kEnglish) {
+      // English-bucket IDNs are ASCII words dressed with one Latin-script
+      // homoglyph (real-world "fancy letter" registrations).
+      std::vector<std::size_t> letter_positions;
+      for (std::size_t i = 0; i < label.size(); ++i) {
+        if (label[i] >= U'a' && label[i] <= U'z') {
+          letter_positions.push_back(i);
+        }
+      }
+      if (letter_positions.empty()) {
+        return {};
+      }
+      const std::size_t pos =
+          letter_positions[rng.uniform(0, letter_positions.size() - 1)];
+      auto pool = unicode::homoglyphs_of(static_cast<char>(label[pos]));
+      std::vector<const unicode::Homoglyph*> latin;
+      for (const auto& h : pool) {
+        if (unicode::script_of(h.code_point) == unicode::Script::kLatin) {
+          latin.push_back(&h);
+        }
+      }
+      if (latin.empty()) {
+        return {};
+      }
+      label[pos] = latin[rng.uniform(0, latin.size() - 1)]->code_point;
+    }
+    if (attempt > 0 || rng.chance(0.22)) {
+      for (char c : std::to_string(rng.uniform(2, 999))) {
+        label.push_back(static_cast<char32_t>(c));
+      }
+    }
+    auto ace = idna::label_to_ascii(label);
+    if (!ace.ok() || !idna::has_ace_prefix(ace.value())) {
+      return {};  // an all-ASCII word draw is not an IDN; caller retries
+    }
+    return std::move(ace).value();
+  }
+
+  void generate_population(std::uint64_t count, const std::string& tld,
+                           std::optional<Language> fixed_lang,
+                           std::string_view stream_tag) {
+    Rng rng = root_.fork(stream_tag);
+    std::array<double, paper::kTable2.size()> lang_weights{};
+    for (std::size_t i = 0; i < paper::kTable2.size(); ++i) {
+      lang_weights[i] = static_cast<double>(paper::kTable2[i].idn_count);
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const Language lang =
+          fixed_lang ? *fixed_lang
+                     : static_cast<Language>(rng.weighted(lang_weights));
+      for (int attempt = 0; attempt < 24; ++attempt) {
+        const std::string label = make_idn_label(lang, rng, attempt);
+        if (label.empty()) {
+          continue;
+        }
+        const std::string domain = label + "." + tld;
+        if (used_.contains(domain)) {
+          continue;
+        }
+        RegSpec spec;
+        spec.domain = domain;
+        spec.tld = tld;
+        spec.is_idn = true;
+        spec.lang = lang;
+        register_domain(std::move(spec));
+        break;
+      }
+    }
+  }
+
+  // ---- planted populations ---------------------------------------------------
+  void plant_homographs() {
+    Rng rng = root_.fork("homographs");
+    const auto plant_for_brand = [&](const std::string& brand,
+                                     std::uint64_t count,
+                                     std::uint64_t protective) {
+      auto candidates = idna::single_substitution_candidates(brand);
+      // Deceptive plants only: same-letter identical/near substitutions.
+      std::vector<const idna::LookalikeCandidate*> strong;
+      std::vector<const idna::LookalikeCandidate*> identical;
+      for (const auto& candidate : candidates) {
+        if (candidate.cross_letter) {
+          continue;
+        }
+        if (candidate.visual == unicode::VisualClass::kIdentical) {
+          identical.push_back(&candidate);
+        } else if (candidate.visual == unicode::VisualClass::kNear) {
+          strong.push_back(&candidate);
+        }
+      }
+      rng.shuffle(strong);
+      rng.shuffle(identical);
+      std::size_t strong_next = 0;
+      std::size_t identical_next = 0;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        // 91/1,516 registered homographs render identically to the brand.
+        const bool want_identical =
+            !identical.empty() && rng.chance(91.0 / 1516.0);
+        const idna::LookalikeCandidate* pick = nullptr;
+        if (want_identical && identical_next < identical.size()) {
+          pick = identical[identical_next++];
+        } else if (strong_next < strong.size()) {
+          pick = strong[strong_next++];
+        } else if (identical_next < identical.size()) {
+          pick = identical[identical_next++];
+        } else {
+          break;  // substitution space exhausted for this brand
+        }
+        RegSpec spec;
+        spec.domain = pick->ace_domain;
+        spec.tld = spec.domain.substr(spec.domain.rfind('.') + 1);
+        spec.is_idn = true;
+        spec.lang = Language::kEnglish;
+        spec.abuse = AbuseKind::kHomograph;
+        spec.target_brand = brand;
+        spec.identical =
+            pick->visual == unicode::VisualClass::kIdentical;
+        if (i < protective) {
+          spec.protective = true;
+          spec.forced_email = "domains@" + brand;
+          spec.forced_whois = true;
+          spec.forced_malicious = false;
+          spec.forced_category = PageCategory::kRedirected;
+        } else {
+          // 1,111 / 1,516 had usable WHOIS (Section VI-C).
+          spec.forced_whois = rng.chance(1111.0 / 1516.0);
+        }
+        register_domain(std::move(spec));
+      }
+    };
+
+    // Named examples from the paper first.
+    plant_named_homographs();
+
+    // Table XIII head.
+    std::uint64_t planted = 0;
+    for (const auto& row : paper::kTable13) {
+      const std::uint64_t count = scaled(row.idn_count, s_.abuse_scale);
+      const std::uint64_t protective =
+          row.protective == 0 ? 0
+                              : std::max<std::uint64_t>(
+                                    1, row.protective / s_.abuse_scale);
+      plant_for_brand(std::string(row.domain), count, protective);
+      planted += count;
+    }
+    // Tail: remaining budget spread one per brand down the Alexa list.
+    const std::uint64_t total =
+        scaled(paper::kHomographRegistered, s_.abuse_scale);
+    for (const Brand& brand : alexa_top1k()) {
+      if (planted >= total) {
+        break;
+      }
+      const std::string_view suffix =
+          std::string_view(brand.domain).substr(brand.domain.find('.'));
+      if (suffix != ".com" && suffix != ".net" && suffix != ".org") {
+        continue;  // availability analysis covers com/net/org only
+      }
+      bool is_head = false;
+      for (const auto& row : paper::kTable13) {
+        if (row.domain == brand.domain) {
+          is_head = true;
+          break;
+        }
+      }
+      if (is_head) {
+        continue;
+      }
+      plant_for_brand(brand.domain, 1, 0);
+      ++planted;
+    }
+  }
+
+  void plant_named_homographs() {
+    // xn--fcebook-hwa.com: a long-lived homograph used for security
+    // education (Section VI-C).
+    {
+      const std::pair<std::size_t, char32_t> sub{1, 0x00E0};  // fàcebook
+      if (auto domain = idna::substitute("facebook.com", {&sub, 1})) {
+        RegSpec spec;
+        spec.domain = *domain;
+        spec.tld = "com";
+        spec.lang = Language::kEnglish;
+        spec.abuse = AbuseKind::kHomograph;
+        spec.target_brand = "facebook.com";
+        spec.forced_category = PageCategory::kMeaningful;
+        spec.forced_active_days = 2600;
+        spec.forced_queries = 45'000;
+        spec.forced_malicious = false;
+        spec.forced_whois = true;
+        register_domain(std::move(spec));
+      }
+    }
+    // A parked instagram homograph with heavy traffic (Fig 5 outliers).
+    {
+      const std::pair<std::size_t, char32_t> sub{4, 0x00E4};  // instägram
+      if (auto domain = idna::substitute("instagram.com", {&sub, 1})) {
+        RegSpec spec;
+        spec.domain = *domain;
+        spec.tld = "com";
+        spec.lang = Language::kEnglish;
+        spec.abuse = AbuseKind::kHomograph;
+        spec.target_brand = "instagram.com";
+        spec.forced_category = PageCategory::kParked;
+        spec.forced_queries = 132'000;
+        spec.forced_active_days = 900;
+        spec.forced_malicious = false;
+        register_domain(std::move(spec));
+      }
+    }
+    // The alipay homograph that was already blacklisted (Section VI-C).
+    {
+      const std::array<std::pair<std::size_t, char32_t>, 2> subs{{
+          {0, 0x0430},  // Cyrillic а
+          {4, 0x0430},
+      }};
+      if (auto domain = idna::substitute("alipay.com", subs)) {
+        RegSpec spec;
+        spec.domain = *domain;
+        spec.tld = "com";
+        spec.lang = Language::kEnglish;
+        spec.abuse = AbuseKind::kHomograph;
+        spec.target_brand = "alipay.com";
+        spec.forced_malicious = true;
+        spec.forced_category = PageCategory::kMeaningful;
+        register_domain(std::move(spec));
+      }
+    }
+  }
+
+  void plant_semantics() {
+    Rng rng = root_.fork("semantics");
+    const auto keywords = semantic_keywords();
+    const auto plant_for_brand = [&](const std::string& brand,
+                                     std::uint64_t count,
+                                     std::uint64_t protective,
+                                     std::uint64_t malicious_quota) {
+      const std::string_view sld =
+          std::string_view(brand).substr(0, brand.find('.'));
+      const std::string_view suffix =
+          std::string_view(brand).substr(brand.find('.'));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        std::string ace;
+        for (int attempt = 0; attempt < 40 && ace.empty(); ++attempt) {
+          std::u32string label;
+          for (unsigned char c : sld) {
+            label.push_back(c);
+          }
+          label += u32(keywords[rng.uniform(0, keywords.size() - 1)]);
+          if (attempt >= 8 || rng.chance(0.25)) {
+            label += u32(keywords[rng.uniform(0, keywords.size() - 1)]);
+          }
+          auto encoded = idna::label_to_ascii(label);
+          if (encoded.ok()) {
+            std::string domain = encoded.value() + std::string(suffix);
+            if (!used_.contains(domain)) {
+              ace = std::move(domain);
+            }
+          }
+        }
+        if (ace.empty()) {
+          continue;
+        }
+        RegSpec spec;
+        spec.domain = std::move(ace);
+        spec.tld = spec.domain.substr(spec.domain.rfind('.') + 1);
+        spec.lang = Language::kChinese;
+        spec.abuse = AbuseKind::kSemanticT1;
+        spec.target_brand = brand;
+        if (i < protective) {
+          spec.protective = true;
+          spec.forced_email = "domains@" + brand;
+          spec.forced_whois = true;
+          spec.forced_malicious = false;
+        } else if (i < protective + malicious_quota) {
+          spec.forced_malicious = true;
+        }
+        register_domain(std::move(spec));
+      }
+    };
+
+    // Table IX's blacklisted phishing examples (icloud / apple).
+    for (std::string_view keyword : {"登录", "登陆"}) {
+      auto encoded = idna::label_to_ascii(u32("icloud") + u32(keyword));
+      if (encoded.ok()) {
+        RegSpec spec;
+        spec.domain = encoded.value() + ".com";
+        spec.tld = "com";
+        spec.lang = Language::kChinese;
+        spec.abuse = AbuseKind::kSemanticT1;
+        spec.target_brand = "icloud.com";
+        spec.forced_malicious = true;
+        spec.forced_category = PageCategory::kMeaningful;
+        register_domain(std::move(spec));
+      }
+    }
+    for (std::string_view keyword : {"邮箱", "激活"}) {
+      auto encoded = idna::label_to_ascii(u32("apple") + u32(keyword));
+      if (encoded.ok()) {
+        RegSpec spec;
+        spec.domain = encoded.value() + ".com";
+        spec.tld = "com";
+        spec.lang = Language::kChinese;
+        spec.abuse = AbuseKind::kSemanticT1;
+        spec.target_brand = "apple.com";
+        spec.forced_malicious = true;
+        spec.forced_category = PageCategory::kMeaningful;
+        register_domain(std::move(spec));
+      }
+    }
+
+    std::uint64_t planted = 0;
+    for (const auto& row : paper::kTable14) {
+      const std::uint64_t count = scaled(row.idn_count, s_.abuse_scale);
+      const std::uint64_t protective =
+          row.protective == 0 ? 0
+                              : std::max<std::uint64_t>(
+                                    1, row.protective / s_.abuse_scale);
+      // The two bet365 malware droppers (Section VII-B).
+      const std::uint64_t malicious_quota = row.domain == "bet365.com" ? 2 : 0;
+      plant_for_brand(std::string(row.domain), count, protective,
+                      malicious_quota);
+      planted += count;
+    }
+    const std::uint64_t total = scaled(paper::kSemanticRegistered, s_.abuse_scale);
+    for (const Brand& brand : alexa_top1k()) {
+      if (planted >= total) {
+        break;
+      }
+      bool is_head = false;
+      for (const auto& row : paper::kTable14) {
+        if (row.domain == brand.domain) {
+          is_head = true;
+          break;
+        }
+      }
+      if (is_head || !brand.domain.ends_with(".com")) {
+        continue;
+      }
+      plant_for_brand(brand.domain, 1, 0, 0);
+      ++planted;
+    }
+  }
+
+  void plant_type2_semantics() {
+    // Type-2 semantic abuse (Table X): translated brand names, usually
+    // padded with a category word.  The paper could not measure this class
+    // at scale; we plant a small population so the Type2Detector extension
+    // has something real to find.
+    Rng rng = root_.fork("type2");
+    static constexpr std::string_view kCategoryWords[] = {
+        "汽车", "空调", "官网", "商城", "专卖店", "手机", ""};
+    for (const BrandTranslation& translation :
+         brand_translation_dictionary()) {
+      // One or two registrations per protected mark.
+      const int count = 1 + static_cast<int>(rng.uniform(0, 1));
+      for (int i = 0; i < count; ++i) {
+        for (int attempt = 0; attempt < 12; ++attempt) {
+          std::u32string label = u32(translation.translated);
+          const auto& suffix_word =
+              kCategoryWords[rng.uniform(0, std::size(kCategoryWords) - 1)];
+          if (!suffix_word.empty()) {
+            label += u32(suffix_word);
+          }
+          auto encoded = idna::label_to_ascii(label);
+          if (!encoded.ok()) {
+            continue;
+          }
+          const char* tld = rng.chance(0.8) ? "com" : "net";
+          std::string domain = encoded.value() + "." + tld;
+          if (used_.contains(domain)) {
+            continue;
+          }
+          RegSpec spec;
+          spec.domain = std::move(domain);
+          spec.tld = tld;
+          spec.lang = Language::kChinese;
+          spec.abuse = AbuseKind::kSemanticT2;
+          spec.target_brand = std::string(translation.brand);
+          spec.forced_malicious = rng.chance(0.3);
+          register_domain(std::move(spec));
+          break;
+        }
+      }
+    }
+  }
+
+  void plant_portfolios() {
+    Rng rng = root_.fork("portfolios");
+    struct Portfolio {
+      std::string_view email;
+      std::span<const std::string_view> pool;
+      std::uint64_t count;
+    };
+    const auto& t3 = paper::kTable3;
+    const Portfolio portfolios[] = {
+        {t3[0].email, chinese_southwest_cities(), scaled(t3[0].idn_count, s_.bulk_scale)},
+        {t3[1].email, chinese_gambling_words(), scaled(t3[1].idn_count, s_.bulk_scale)},
+        {t3[2].email, chinese_short_words(), scaled(t3[2].idn_count, s_.bulk_scale)},
+        {t3[3].email, chongqing_related_words(), scaled(t3[3].idn_count, s_.bulk_scale)},
+        {t3[4].email, chinese_southwest_cities(), scaled(t3[4].idn_count, s_.bulk_scale)},
+    };
+    for (const Portfolio& portfolio : portfolios) {
+      for (std::uint64_t i = 0; i < portfolio.count; ++i) {
+        for (int attempt = 0; attempt < 24; ++attempt) {
+          std::u32string label =
+              u32(portfolio.pool[rng.uniform(0, portfolio.pool.size() - 1)]);
+          if (attempt > 0 || rng.chance(0.5)) {
+            for (char c : std::to_string(rng.uniform(2, 9999))) {
+              label.push_back(static_cast<char32_t>(c));
+            }
+          }
+          auto encoded = idna::label_to_ascii(label);
+          if (!encoded.ok()) {
+            continue;
+          }
+          std::string domain = encoded.value() + ".com";
+          if (used_.contains(domain)) {
+            continue;
+          }
+          RegSpec spec;
+          spec.domain = std::move(domain);
+          spec.tld = "com";
+          spec.lang = Language::kChinese;
+          spec.forced_email = std::string(portfolio.email);
+          spec.forced_whois = true;
+          spec.forced_year = 2014 + static_cast<int>(rng.uniform(0, 3));
+          register_domain(std::move(spec));
+          break;
+        }
+      }
+    }
+    // The long tail of opportunistic registrants behind the top five
+    // (Finding 3: 29,318 IDNs sit in large single-purpose portfolios).
+    {
+      const std::uint64_t tail_total = scaled(
+          paper::kOpportunisticCount - 7125, s_.bulk_scale);
+      // Tail portfolios must stay smaller than Table III's smallest top-5
+      // portfolio at the current scale, or they would displace it.
+      const std::uint64_t tail_cap = std::max<std::uint64_t>(
+          2, scaled(paper::kTable3[4].idn_count, s_.bulk_scale) - 1);
+      const std::span<const std::string_view> pools[] = {
+          chinese_gambling_words(), chinese_southwest_cities(),
+          chinese_short_words(), chongqing_related_words()};
+      std::uint64_t placed = 0;
+      for (int owner = 0; placed < tail_total; ++owner) {
+        const std::string email =
+            "squatter" + std::to_string(owner) + "@qq.com";
+        const auto& pool = pools[static_cast<std::size_t>(owner) %
+                                 std::size(pools)];
+        const std::uint64_t portfolio_size = std::min<std::uint64_t>(
+            tail_total - placed, rng.uniform(2, tail_cap));
+        for (std::uint64_t i = 0; i < portfolio_size; ++i) {
+          for (int attempt = 0; attempt < 24; ++attempt) {
+            std::u32string label = u32(pool[rng.uniform(0, pool.size() - 1)]);
+            for (char c : std::to_string(rng.uniform(2, 99999))) {
+              label.push_back(static_cast<char32_t>(c));
+            }
+            auto encoded = idna::label_to_ascii(label);
+            if (!encoded.ok()) {
+              continue;
+            }
+            std::string domain = encoded.value() + ".com";
+            if (used_.contains(domain)) {
+              continue;
+            }
+            RegSpec spec;
+            spec.domain = std::move(domain);
+            spec.tld = "com";
+            spec.lang = Language::kChinese;
+            spec.forced_email = email;
+            spec.forced_whois = true;
+            register_domain(std::move(spec));
+            ++placed;
+            break;
+          }
+        }
+      }
+    }
+    // The 2017 cybersquatting wave: 126 gambling IDNs under one registrant
+    // (Fig 1's malicious spike).  Capped below the Table III portfolios so
+    // scaling cannot promote it into the top-5 registrants.
+    const std::uint64_t wave =
+        std::min(scaled(126, s_.abuse_scale),
+                 std::max<std::uint64_t>(
+                     2, scaled(paper::kTable3[4].idn_count, s_.bulk_scale) - 1));
+    const auto gambling = chinese_gambling_words();
+    for (std::uint64_t i = 0; i < wave; ++i) {
+      for (int attempt = 0; attempt < 24; ++attempt) {
+        std::u32string label = u32(gambling[rng.uniform(0, gambling.size() - 1)]);
+        for (char c : std::to_string(rng.uniform(2, 9999))) {
+          label.push_back(static_cast<char32_t>(c));
+        }
+        auto encoded = idna::label_to_ascii(label);
+        if (!encoded.ok()) {
+          continue;
+        }
+        std::string domain = encoded.value() + ".com";
+        if (used_.contains(domain)) {
+          continue;
+        }
+        RegSpec spec;
+        spec.domain = std::move(domain);
+        spec.tld = "com";
+        spec.lang = Language::kChinese;
+        spec.forced_email = "13779950000@139.com";
+        spec.forced_whois = true;
+        spec.forced_year = 2017;
+        spec.forced_malicious = true;
+        register_domain(std::move(spec));
+        break;
+      }
+    }
+    // The heaviest-traffic malicious IDN (Finding 6): an illegal gambling
+    // site with 3,858,932 look-ups over 118 active days.
+    {
+      auto encoded = idna::label_to_ascii(u32("万博棋牌"));
+      if (encoded.ok()) {
+        RegSpec spec;
+        spec.domain = encoded.value() + ".com";
+        spec.tld = "com";
+        spec.lang = Language::kChinese;
+        spec.forced_malicious = true;
+        spec.forced_queries = 3'858'932;
+        spec.forced_active_days = 118;
+        spec.forced_category = PageCategory::kMeaningful;
+        register_domain(std::move(spec));
+      }
+    }
+  }
+
+  // ---- bulk & filler ----------------------------------------------------------
+  void generate_bulk_idns() {
+    auto remaining = [&](const std::string& tld, std::uint64_t budget) {
+      std::uint64_t planted = 0;
+      for (const std::string& domain : eco_.idns) {
+        if (domain.ends_with("." + tld)) {
+          ++planted;
+        }
+      }
+      return planted >= budget ? 0 : budget - planted;
+    };
+    generate_population(remaining("com", com_idn_budget()), "com",
+                        std::nullopt, "bulk-com");
+    generate_population(remaining("net", net_idn_budget()), "net",
+                        std::nullopt, "bulk-net");
+    generate_population(remaining("org", org_idn_budget()), "org",
+                        std::nullopt, "bulk-org");
+    // iTLD populations: budget split across the 53 zones, biggest first.
+    const std::uint64_t itld_total = itld_idn_budget();
+    std::vector<double> weights(itld_aces_.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights[i] = 1.0 / static_cast<double>(i + 1);  // zipf-ish zone sizes
+    }
+    double weight_sum = 0.0;
+    for (double w : weights) {
+      weight_sum += w;
+    }
+    for (std::size_t i = 0; i < itld_aces_.size(); ++i) {
+      const auto count = static_cast<std::uint64_t>(
+          static_cast<double>(itld_total) * weights[i] / weight_sum);
+      generate_population(count, itld_aces_[i], itld_langs_[i],
+                          "bulk-itld-" + itld_aces_[i]);
+    }
+  }
+
+  void generate_non_idn_samples() {
+    // Paper samples 1M com, 100K net, 100K org non-IDNs for comparison.
+    struct SamplePlan {
+      const char* tld;
+      std::uint64_t count;
+    };
+    const SamplePlan plans[] = {
+        {"com", scaled(1'000'000, s_.bulk_scale)},
+        {"net", scaled(100'000, s_.bulk_scale)},
+        {"org", scaled(100'000, s_.bulk_scale)},
+    };
+    static constexpr std::string_view kAsciiWords[] = {
+        "online", "shop", "tech", "media", "cloud", "data", "web", "net",
+        "pro", "hub", "lab", "zone", "mart", "plus", "max", "go", "my",
+        "top", "new", "big", "city", "home", "auto", "play", "blue"};
+    for (const SamplePlan& plan : plans) {
+      Rng rng = root_.fork(std::string("non-idn-") + plan.tld);
+      for (std::uint64_t i = 0; i < plan.count; ++i) {
+        for (int attempt = 0; attempt < 24; ++attempt) {
+          std::string label;
+          label += kAsciiWords[rng.uniform(0, std::size(kAsciiWords) - 1)];
+          label += kAsciiWords[rng.uniform(0, std::size(kAsciiWords) - 1)];
+          if (attempt > 0 || rng.chance(0.4)) {
+            label += std::to_string(rng.uniform(2, 99999));
+          }
+          std::string domain = label + "." + plan.tld;
+          if (used_.contains(domain)) {
+            continue;
+          }
+          RegSpec spec;
+          spec.domain = std::move(domain);
+          spec.tld = plan.tld;
+          spec.is_idn = false;
+          spec.lang = Language::kEnglish;
+          register_domain(std::move(spec));
+          break;
+        }
+      }
+    }
+  }
+
+  void generate_filler() {
+    // Anonymous non-IDN bulk: present in zone files (so Table I's SLD
+    // totals hold) but carrying no auxiliary data.
+    struct FillerPlan {
+      const char* tld;
+      std::uint64_t sld_total;
+    };
+    const FillerPlan plans[] = {
+        {"com", scaled(paper::kTable1[0].sld_count, s_.bulk_scale)},
+        {"net", scaled(paper::kTable1[1].sld_count, s_.bulk_scale)},
+        {"org", scaled(paper::kTable1[2].sld_count, s_.bulk_scale)},
+    };
+    static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    for (const FillerPlan& plan : plans) {
+      dns::Zone& zone = zone_of(plan.tld);
+      std::uint64_t registered = 0;
+      const std::string suffix = std::string(".") + plan.tld;
+      for (const auto& [domain, _] : eco_.truth) {
+        if (domain.ends_with(suffix)) {
+          ++registered;
+        }
+      }
+      if (plan.sld_total <= registered) {
+        continue;
+      }
+      Rng rng = root_.fork(std::string("filler-") + plan.tld);
+      const std::uint64_t needed = plan.sld_total - registered;
+      for (std::uint64_t i = 0; i < needed; ++i) {
+        // Collision-free by construction: a base-36 counter with a random
+        // leading letter; never collides with the word-based names above
+        // because of the "zz" prefix.
+        std::string label = "zz";
+        std::uint64_t value = i * 2 + rng.uniform(0, 1);
+        do {
+          label += kAlphabet[value % 36];
+          value /= 36;
+        } while (value != 0);
+        zone.add({label + suffix, 172800, dns::RrType::kNs,
+                  "ns1.bulkhost.net"});
+      }
+    }
+  }
+
+  void plant_mistype_traffic() {
+    // Fig 6: a little traffic reaches even *unregistered* homograph
+    // candidates (stray look-ups, scanners).  Runs after all registrations
+    // so it can skip names that exist.
+    Rng rng = root_.fork("mistype");
+    for (const Brand& brand : alexa_top(100)) {
+      const std::string_view suffix =
+          std::string_view(brand.domain).substr(brand.domain.find('.'));
+      if (suffix != ".com" && suffix != ".net" && suffix != ".org") {
+        continue;
+      }
+      for (const auto& candidate :
+           idna::single_substitution_candidates(brand.domain)) {
+        if (used_.contains(candidate.ace_domain)) {
+          continue;
+        }
+        if (!rng.chance(0.04)) {
+          continue;  // most unregistered candidates see zero traffic
+        }
+        dns::DnsAggregate aggregate;
+        aggregate.first_seen =
+            s_.pai_window_end.plus_days(-static_cast<std::int64_t>(
+                rng.uniform(1, 30)));
+        aggregate.last_seen = s_.pai_window_end;
+        aggregate.query_count = rng.uniform(1, 25);
+        eco_.pdns.install(candidate.ace_domain, std::move(aggregate));
+      }
+    }
+  }
+
+  const Scenario s_;
+  Ecosystem eco_;
+  Rng root_;
+  std::unordered_map<std::string, std::size_t> zone_index_;
+  std::vector<std::string> itld_aces_;
+  std::vector<Language> itld_langs_;
+  std::unordered_set<std::string> used_;
+  std::vector<std::size_t> parking_segments_;
+};
+
+}  // namespace
+
+Ecosystem generate(const Scenario& scenario) {
+  return Generator(scenario).run();
+}
+
+}  // namespace idnscope::ecosystem

@@ -1,0 +1,242 @@
+// Constants reported by the paper (Liu et al., DSN 2018), verbatim.
+//
+// Two consumers:
+//   * the ecosystem generator, which calibrates the synthetic Internet so
+//     that the measured distributions match these targets at the chosen
+//     scale, and
+//   * the bench binaries, which print these as the "paper" column next to
+//     the value measured by our pipeline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace idnscope::paper {
+
+// ---- Table I: datasets ------------------------------------------------------
+struct TldRow {
+  std::string_view tld;        // "com", "net", "org", or "iTLD" aggregate
+  std::uint64_t sld_count;
+  std::uint64_t idn_count;
+  std::uint64_t whois_count;
+  std::uint64_t blacklist_virustotal;
+  std::uint64_t blacklist_360;
+  std::uint64_t blacklist_baidu;
+  std::uint64_t blacklist_total;
+};
+
+inline constexpr std::array<TldRow, 4> kTable1 = {{
+    {"com", 129'216'926, 1'007'148, 590'542, 3571, 1807, 26, 5284},
+    {"net", 14'785'199, 231'896, 131'573, 661, 91, 1, 746},
+    {"org", 10'390'116, 25'629, 19'271, 56, 2, 1, 59},
+    {"iTLD", 208'163, 208'163, 2'226, 90, 63, 2, 152},
+}};
+
+inline constexpr std::uint64_t kTotalSlds = 154'600'404;
+inline constexpr std::uint64_t kTotalIdns = 1'472'836;
+inline constexpr std::uint64_t kTotalWhois = 739'160;
+inline constexpr std::uint64_t kTotalBlacklisted = 6'241;
+inline constexpr int kItldZoneCount = 53;
+
+// ---- Table II: language mix -------------------------------------------------
+struct LanguageRow {
+  std::string_view language;
+  std::uint64_t idn_count;        // all IDNs
+  std::uint64_t malicious_count;  // blacklisted IDNs
+};
+
+inline constexpr std::array<LanguageRow, 16> kTable2 = {{
+    {"Chinese", 766'135, 3495},
+    {"Japanese", 191'058, 238},
+    {"Korean", 128'291, 902},
+    {"German", 72'110, 119},
+    {"Turkish", 43'100, 196},
+    {"Thai", 36'660, 357},
+    {"Swedish", 32'275, 51},
+    {"Spanish", 25'310, 97},
+    {"French", 24'771, 56},
+    {"Finnish", 17'609, 36},
+    {"Russian", 13'972, 96},
+    {"Hungarian", 11'969, 36},
+    {"Arabic", 12'419, 43},
+    {"Danish", 8'544, 22},
+    {"Persian", 7'976, 28},
+    // The remainder of the 1.47M (≈5.5%) is spread over other languages;
+    // we fold it into an English/ASCII-flavoured bucket.
+    {"English", 80'637, 469},
+}};
+
+// ---- Table III: top registrant portfolios -----------------------------------
+struct RegistrantRow {
+  std::string_view email;
+  std::uint64_t idn_count;
+  std::string_view theme;  // what the portfolio is about
+};
+
+inline constexpr std::array<RegistrantRow, 5> kTable3 = {{
+    {"776053229@qq.com", 1620, "southwest city names in China"},
+    {"daidesheng88@gmail.com", 1562, "online gambling"},
+    {"tetetw@gmail.com", 1453, "short words in Chinese"},
+    {"840629127@qq.com", 1312, "related to Chongqing, China"},
+    {"776053229@163.com", 1178, "southwest city names in China"},
+}};
+
+// ---- Table IV: top registrars -----------------------------------------------
+struct RegistrarRow {
+  std::string_view name;
+  std::uint64_t idn_count;
+  double rate;  // share of WHOIS-covered IDNs
+};
+
+inline constexpr std::array<RegistrarRow, 10> kTable4 = {{
+    {"GMO Internet Inc.", 155'491, 0.2299},
+    {"HiChina Zhicheng Technology Limited.", 73'439, 0.1086},
+    {"Name.com, Inc.", 28'906, 0.0427},
+    {"Gabia, Inc.", 27'201, 0.0402},
+    {"Dynadot, LLC.", 21'578, 0.0319},
+    {"1&1 Internet SE.", 19'512, 0.0289},
+    {"Chengdu West Dimension Digital Technology Co., Ltd.", 18'641, 0.0276},
+    {"eNom, LLC.", 16'002, 0.0237},
+    {"DomainSite, Inc.", 15'687, 0.0232},
+    {"GoDaddy.com, LLC.", 12'717, 0.0188},
+}};
+
+inline constexpr int kRegistrarCountIdn = 700;     // "over 700 registrars"
+inline constexpr int kRegistrarCountNonIdn = 1500; // non-IDN sample
+
+// ---- Table V: content categories (500 sampled each) -------------------------
+struct ContentRow {
+  std::string_view category;
+  std::uint64_t idn;
+  std::uint64_t non_idn;
+};
+
+inline constexpr std::array<ContentRow, 7> kTable5 = {{
+    {"Not resolved", 228, 76},
+    {"Error", 65, 74},
+    {"Empty", 16, 43},
+    {"Parked", 56, 107},
+    {"For sale", 8, 16},
+    {"Redirected", 28, 16},
+    {"Meaningful content", 99, 168},
+}};
+
+// ---- Table VI: SSL problems -------------------------------------------------
+struct SslRow {
+  std::string_view problem;
+  std::uint64_t idn;
+  double idn_rate;
+  std::uint64_t non_idn;
+  double non_idn_rate;
+};
+
+inline constexpr std::array<SslRow, 3> kTable6 = {{
+    {"Expired Certificate", 8'411, 0.1254, 8'730, 0.2492},
+    {"Invalid Authority", 12'169, 0.1814, 5'801, 0.1656},
+    {"Invalid Common Name", 45'133, 0.6728, 19'527, 0.4547},
+}};
+
+inline constexpr std::uint64_t kIdnCertsCollected = 67'087;
+inline constexpr std::uint64_t kNonIdnCertsCollected = 35'028;
+inline constexpr std::uint64_t kIdnCertsProblematic = 65'713;    // 97.95%
+inline constexpr std::uint64_t kNonIdnCertsProblematic = 34'058; // 97.23%
+
+// ---- Table VII: shared certificate common names -----------------------------
+struct SharedCertRow {
+  std::string_view common_name;
+  std::uint64_t count;
+  std::string_view description;
+};
+
+inline constexpr std::array<SharedCertRow, 10> kTable7 = {{
+    {"sedoparking.com", 27'139, "Parking service."},
+    {"cafe24.com", 4'024, "Hosting service provider."},
+    {"ovh.net", 3'691, "Webmail service provider."},
+    {"bizgabia.com", 3'271, "Hosting service provider."},
+    {"03365.com", 449, "Same DNS resolution."},
+    {"ihs.com.tr", 314, "Parking service."},
+    {"seoboxes.com", 230, "Hosting service provider."},
+    {"nayana.com", 137, "Hosting service provider."},
+    {"suksawadplywood.co.th", 92, "Parking service."},
+    {"hostgator.com", 83, "Hosting service provider."},
+}};
+
+// ---- Table XIII: homographic IDNs per brand ---------------------------------
+struct HomographBrandRow {
+  std::string_view domain;
+  int alexa_rank;
+  std::uint64_t idn_count;
+  std::uint64_t protective;
+};
+
+inline constexpr std::array<HomographBrandRow, 10> kTable13 = {{
+    {"google.com", 1, 121, 19},
+    {"facebook.com", 3, 98, 0},
+    {"amazon.com", 11, 55, 14},
+    {"icloud.com", 372, 42, 0},
+    {"youtube.com", 2, 41, 0},
+    {"apple.com", 55, 39, 0},
+    {"sex.com", 537, 36, 0},
+    {"go.com", 391, 29, 0},
+    {"ea.com", 742, 28, 0},
+    {"twitter.com", 13, 25, 5},
+}};
+
+inline constexpr std::uint64_t kHomographRegistered = 1'516;
+inline constexpr std::uint64_t kHomographIdentical = 91;
+inline constexpr std::uint64_t kHomographBlacklisted = 100;
+inline constexpr std::uint64_t kHomographBrandsTargeted = 255;
+inline constexpr std::uint64_t kHomographWhoisCovered = 1'111;
+inline constexpr std::uint64_t kHomographProtective = 73;    // 4.82%
+inline constexpr std::uint64_t kHomographPersonalEmail = 171;
+inline constexpr double kSsimThreshold = 0.95;
+
+// Availability analysis (Section VI-D).
+inline constexpr std::uint64_t kCandidatesGenerated = 128'432;
+inline constexpr std::uint64_t kCandidatesHomographic = 42'671;
+inline constexpr std::uint64_t kCandidatesRegistered = 237;
+
+// Homographic IDN activity (Fig 5).
+inline constexpr double kHomographMeanActiveDays = 789.0;
+
+// ---- Table XIV: Type-1 semantic IDNs per brand ------------------------------
+struct SemanticBrandRow {
+  std::string_view domain;
+  int alexa_rank;
+  std::uint64_t idn_count;
+  std::uint64_t protective;
+};
+
+inline constexpr std::array<SemanticBrandRow, 10> kTable14 = {{
+    {"58.com", 861, 270, 1},
+    {"qq.com", 9, 139, 22},
+    {"go.com", 391, 114, 0},
+    {"china.com", 166, 84, 0},
+    {"bet365.com", 332, 81, 5},
+    {"1688.com", 191, 74, 0},
+    {"amazon.com", 11, 63, 2},
+    {"sex.com", 537, 39, 0},
+    {"google.com", 1, 34, 0},
+    {"as.com", 634, 33, 0},
+}};
+
+inline constexpr std::uint64_t kSemanticRegistered = 1'497;
+inline constexpr std::uint64_t kSemanticBrandsTargeted = 102;
+inline constexpr std::uint64_t kSemanticProtective = 45;
+inline constexpr std::uint64_t kSemanticPersonalEmail = 226;
+inline constexpr double kSemanticMeanActiveDays = 735.0;
+inline constexpr double kSemanticMeanQueries = 1'562.0;
+
+// ---- misc findings ----------------------------------------------------------
+inline constexpr double kPre2008Fraction = 0.0616;   // Finding 2
+inline constexpr std::uint64_t kPre2008Count = 90'708;
+inline constexpr std::uint64_t kOpportunisticCount = 29'318;  // Finding 3
+inline constexpr double kTop10RegistrarShare = 0.55;          // Finding 4
+inline constexpr std::uint64_t kPdnsIpCount = 106'021;        // Finding 7
+inline constexpr std::uint64_t kPdnsSegmentCount = 43'535;
+inline constexpr double kTop10SegmentShare = 0.248;
+inline constexpr double kSegments1000Share = 0.80;
+inline constexpr std::uint64_t kIdnWhoisPersonal = 171;
+
+}  // namespace idnscope::paper

@@ -1,0 +1,51 @@
+// Scenario: the knobs of the synthetic Internet.
+//
+// The real study consumed ~154M zone entries; the generator reproduces the
+// same *structure* at a configurable scale.  Two divisors control size:
+//   * bulk_scale   — applied to the Table I/II population counts
+//                    (default 1:100 → ≈15.5k IDNs, ≈1.55M zone entries);
+//   * abuse_scale  — applied to the homograph/semantic plant counts
+//                    (default 1:10, kept denser so the per-brand ranking
+//                    structure of Tables XIII/XIV survives scaling).
+// Every bench prints the scale it ran at next to the paper's raw numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "idnscope/common/date.h"
+
+namespace idnscope::ecosystem {
+
+struct Scenario {
+  std::uint64_t seed = 20170921;
+  unsigned bulk_scale = 100;
+  unsigned abuse_scale = 10;
+
+  // Zone snapshot date (Table I) — "today" for expiry checks.
+  Date snapshot{2017, 9, 21};
+
+  // Passive DNS provider windows (Section III).
+  Date pai_window_start{2014, 8, 4};
+  Date pai_window_end{2017, 10, 13};
+  Date farsight_window_start{2010, 6, 24};
+  Date farsight_window_end{2017, 12, 3};
+
+  // Optional stages (disable to speed up tests that do not need them).
+  bool generate_filler = true;  // non-IDN bulk entries in zone files
+  bool generate_web = true;     // resolver entries + hosted pages
+  bool generate_ssl = true;     // certificate scans
+
+  // Canonical full-size scenario of the paper's 2017 snapshot.
+  static Scenario paper2017() { return Scenario{}; }
+
+  // Small scenario for unit tests (~1.5k IDNs, no filler).
+  static Scenario tiny() {
+    Scenario s;
+    s.bulk_scale = 1000;
+    s.abuse_scale = 20;
+    s.generate_filler = false;
+    return s;
+  }
+};
+
+}  // namespace idnscope::ecosystem

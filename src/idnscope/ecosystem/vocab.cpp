@@ -1,0 +1,308 @@
+#include "idnscope/ecosystem/vocab.h"
+
+namespace idnscope::ecosystem {
+
+namespace {
+
+using langid::Language;
+
+constexpr std::string_view kChinese[] = {
+    "中国",   "北京",   "上海",   "广州",   "深圳",   "杭州",   "南京",
+    "武汉",   "西安",   "天津",   "苏州",   "青岛",   "大连",   "厦门",
+    "公司",   "网络",   "在线",   "商城",   "购物",   "娱乐",   "棋牌",
+    "彩票",   "博彩",   "赌场",   "游戏",   "新闻",   "体育",   "财经",
+    "科技",   "汽车",   "房产",   "旅游",   "美食",   "健康",   "教育",
+    "大学",   "银行",   "保险",   "证券",   "投资",   "理财",   "手机",
+    "电脑",   "软件",   "下载",   "电影",   "音乐",   "小说",   "图书",
+    "酒店",   "机票",   "地图",   "天气",   "招聘",   "装修",   "家居",
+    "母婴",   "服装",   "鞋帽",   "珠宝",   "茶叶",   "白酒",   "红酒",
+    "物流",   "快递",   "医院",   "药店",   "律师",   "会计",   "翻译",
+};
+
+constexpr std::string_view kJapanese[] = {
+    "日本",           "東京",           "大阪",         "京都",
+    "名古屋",         "札幌",           "福岡",         "横浜",
+    "かわいい",       "さくら",         "すし",         "おちゃ",
+    "まつり",         "ゆき",           "はな",         "やま",
+    "かわ",           "うみ",           "そら",         "ひかり",
+    "こころ",         "ともだち",       "がっこう",     "だいがく",
+    "でんしゃ",       "くるま",         "りょこう",     "しごと",
+    "コンピュータ",   "インターネット", "ゲーム",       "アニメ",
+    "マンガ",         "ニュース",       "ショッピング", "ホテル",
+    "レストラン",     "カフェ",         "サービス",     "サイト",
+    "ブログ",         "ファッション",   "スポーツ",     "ミュージック",
+    "デザイン",       "クリニック",     "サロン",       "スクール",
+};
+
+constexpr std::string_view kKorean[] = {
+    "한국",     "서울",     "부산",     "인천",   "대구",     "대전",
+    "광주",     "울산",     "제주",     "경기",   "회사",     "인터넷",
+    "쇼핑",     "게임",     "뉴스",     "스포츠", "영화",     "음악",
+    "드라마",   "여행",     "호텔",     "음식",   "학교",     "대학교",
+    "은행",     "보험",     "부동산",   "자동차", "컴퓨터",   "핸드폰",
+    "사랑",     "행복",     "친구",     "가족",   "카지노",   "바카라",
+    "토토",     "먹튀",     "검증",     "커뮤니티", "정보",   "추천",
+};
+
+constexpr std::string_view kGerman[] = {
+    "müller",     "straße",    "grün",      "früh",       "schön",
+    "bücher",     "kälte",     "größe",     "weiß",       "fußball",
+    "zürich",     "münchen",   "köln",      "düsseldorf", "gebäude",
+    "verkäufer",  "geschäft",  "glück",     "übung",      "äpfel",
+    "jäger",      "bäckerei",  "brücke",    "königin",    "nürnberg",
+    "hütte",      "mädchen",   "vögel",     "gemüse",     "käse",
+    "getränke",   "schlüssel", "grüße",     "häuser",     "möbel",
+    "schäfer",    "gärtner",   "bäder",     "räder",      "züge",
+};
+
+constexpr std::string_view kTurkish[] = {
+    "türkiye",   "istanbul",  "ankara",    "izmir",      "bursa",
+    "şeker",     "çiçek",     "güneş",     "yıldız",     "ağaç",
+    "öğretmen",  "çocuk",     "müzik",     "şehir",      "köprü",
+    "gökyüzü",   "ışık",      "yeşil",     "kırmızı",    "çarşı",
+    "üniversite","öğrenci",   "başkent",   "alışveriş",  "sağlık",
+    "eğitim",    "düğün",     "gümüş",     "kuyumcu",    "çanta",
+};
+
+constexpr std::string_view kThai[] = {
+    "ประเทศไทย",   "กรุงเทพ",     "เชียงใหม่",    "ภูเก็ต",       "พัทยา",
+    "ข่าว",        "กีฬา",        "บันเทิง",      "ท่องเที่ยว",    "อาหาร",
+    "โรงแรม",     "โรงเรียน",    "มหาวิทยาลัย", "ธนาคาร",      "ประกัน",
+    "รถยนต์",     "เกม",         "หวย",         "คาสิโน",       "ความรัก",
+    "ดอกไม้",      "ภูเขา",       "ทะเล",        "ตลาด",        "ร้านค้า",
+};
+
+constexpr std::string_view kSwedish[] = {
+    "sverige",   "göteborg",  "malmö",     "västerås",  "örebro",
+    "linköping", "jönköping", "umeå",      "gävle",     "kärlek",
+    "björn",     "sjö",       "skärgård",  "smörgås",   "lördag",
+    "söndag",    "grönsaker", "blåbär",    "kött",      "bröd",
+};
+
+constexpr std::string_view kSpanish[] = {
+    "españa",    "niño",      "señor",       "mañana",    "corazón",
+    "canción",   "pequeño",   "año",         "montaña",   "diseño",
+    "sueño",     "compañía",  "señal",       "jardín",    "camión",
+    "educación", "peña",      "muñeca",      "español",   "cumpleaños",
+};
+
+constexpr std::string_view kFrench[] = {
+    "français",  "été",       "hôtel",     "château",   "crème",
+    "café",      "forêt",     "île",       "noël",      "cœur",
+    "garçon",    "leçon",     "élève",     "théâtre",   "musée",
+    "marché",    "beauté",    "santé",     "sécurité",  "qualité",
+};
+
+constexpr std::string_view kFinnish[] = {
+    "suomi",     "jyväskylä", "järvi",      "metsä",     "sää",
+    "kesä",      "kevät",     "mäki",       "pöytä",     "työ",
+    "hyvä",      "päivä",     "käsi",       "jää",       "lämpö",
+    "mökki",     "järvenpää", "hyvinkää",   "myynti",    "sähkö",
+};
+
+constexpr std::string_view kRussian[] = {
+    "россия",    "москва",    "новости",   "погода",    "работа",
+    "деньги",    "любовь",    "жизнь",     "семья",     "школа",
+    "музыка",    "фильмы",    "игры",      "спорт",     "футбол",
+    "магазин",   "скидки",    "онлайн",    "казино",    "ставки",
+};
+
+constexpr std::string_view kHungarian[] = {
+    "magyarország", "győr",     "pécs",      "szeged",    "hőség",
+    "gyönyörű",     "tűz",      "virág",     "könyv",     "tükör",
+    "gyümölcs",     "zöldség",  "szőlő",     "gyűrű",     "fűszer",
+    "bútor",        "műhely",   "hétfő",     "törökbálint", "építész",
+};
+
+constexpr std::string_view kArabicWords[] = {
+    "السعودية", "مصر",     "المغرب",  "الجزائر", "تونس",
+    "مكتبة",    "مدرسة",   "جامعة",   "سوق",     "تجارة",
+    "أخبار",    "رياضة",   "صحة",     "تعليم",   "شبكة",
+    "عقارات",   "سيارات",  "وظائف",   "مطاعم",   "فنادق",
+};
+
+constexpr std::string_view kDanish[] = {
+    "danmark",   "københavn", "aalborg",  "odense",    "esbjerg",
+    "smørrebrød","fløde",     "æble",     "kød",       "brød",
+    "hygge",     "lørdag",    "søndag",   "grønland",  "færøerne",
+    "kærlighed", "nørrebro",  "østerbro", "brøndby",   "sønderborg",
+};
+
+constexpr std::string_view kPersianWords[] = {
+    "ایران",     "تهران",    "اصفهان",   "شیراز",    "پارس",
+    "پژوهش",     "گفتگو",    "ژاله",     "کتابخانه", "دانشگاه",
+    "بازار",     "ورزش",     "موسیقی",   "سینما",    "فرهنگ",
+    "گردشگری",   "پزشک",     "چاپ",      "پیام",     "پرواز",
+};
+
+constexpr std::string_view kEnglishWords[] = {
+    "online",  "shop",   "store",  "news",    "sports", "games",
+    "music",   "movie",  "hotel",  "travel",  "food",   "health",
+    "bank",    "cars",   "phone",  "love",    "home",   "school",
+    "city",    "world",  "cheap",  "sale",    "deal",   "club",
+};
+
+constexpr std::string_view kSemanticKeywords[] = {
+    "登录", "登陆", "邮箱", "激活", "售后", "官网", "商城", "下载",
+    "注册", "开户", "充值", "客服", "支付", "钱包", "汽车", "招聘",
+    "房产", "二手", "团购", "优惠", "会员", "专卖", "维修", "代理",
+};
+
+constexpr std::string_view kSouthwestCities[] = {
+    "成都", "绵阳", "德阳", "乐山", "宜宾", "泸州", "南充", "达州",
+    "昆明", "大理", "丽江", "曲靖", "玉溪", "贵阳", "遵义", "安顺",
+    "攀枝花", "自贡", "内江", "广元", "巴中", "雅安", "眉山", "资阳",
+};
+
+constexpr std::string_view kGamblingWords[] = {
+    "博彩",   "赌场",   "棋牌",   "彩票",   "娱乐城", "百家乐",
+    "老虎机", "轮盘",   "体彩",   "足彩",   "六合彩", "时时彩",
+    "斗地主", "麻将",   "德州",   "捕鱼",   "电玩",   "开奖",
+};
+
+constexpr std::string_view kShortWords[] = {
+    "爱", "家", "车", "房", "钱", "书", "花", "茶", "酒", "米",
+    "山", "水", "火", "风", "云", "龙", "虎", "马", "牛", "羊",
+};
+
+constexpr std::string_view kChongqing[] = {
+    "重庆",     "渝中",     "江北",     "南岸",     "沙坪坝",
+    "九龙坡",   "渝北",     "巴南",     "万州",     "涪陵",
+    "重庆火锅", "重庆小面", "山城",     "朝天门",   "解放碑",
+};
+
+// The 53 iTLDs (real installed IDN TLDs, Unicode form) with the dominant
+// registrant language.
+constexpr ItldEntry kItlds[] = {
+    {"中国", Language::kChinese},     {"中國", Language::kChinese},
+    {"公司", Language::kChinese},     {"网络", Language::kChinese},
+    {"在线", Language::kChinese},     {"网址", Language::kChinese},
+    {"网店", Language::kChinese},     {"中文网", Language::kChinese},
+    {"移动", Language::kChinese},     {"商城", Language::kChinese},
+    {"商标", Language::kChinese},     {"商店", Language::kChinese},
+    {"集团", Language::kChinese},     {"企业", Language::kChinese},
+    {"我爱你", Language::kChinese},   {"游戏", Language::kChinese},
+    {"娱乐", Language::kChinese},     {"购物", Language::kChinese},
+    {"信息", Language::kChinese},     {"广东", Language::kChinese},
+    {"佛山", Language::kChinese},     {"时尚", Language::kChinese},
+    {"世界", Language::kChinese},     {"机构", Language::kChinese},
+    {"政务", Language::kChinese},     {"香港", Language::kChinese},
+    {"台湾", Language::kChinese},     {"台灣", Language::kChinese},
+    {"澳門", Language::kChinese},     {"新加坡", Language::kChinese},
+    {"八卦", Language::kChinese},     {"餐厅", Language::kChinese},
+    {"食品", Language::kChinese},     {"健康", Language::kChinese},
+    {"飞利浦", Language::kChinese},   {"手表", Language::kChinese},
+    {"珠宝", Language::kChinese},     {"大拿", Language::kChinese},
+    {"みんな", Language::kJapanese},  {"コム", Language::kJapanese},
+    {"ストア", Language::kJapanese},  {"セール", Language::kJapanese},
+    {"ファッション", Language::kJapanese},
+    {"クラウド", Language::kJapanese},
+    {"ポイント", Language::kJapanese},
+    {"書籍", Language::kJapanese},    {"닷컴", Language::kKorean},
+    {"닷넷", Language::kKorean},      {"삼성", Language::kKorean},
+    {"한국", Language::kKorean},      {"рус", Language::kRussian},
+    {"онлайн", Language::kRussian},   {"сайт", Language::kRussian},
+};
+static_assert(std::size(kItlds) == 53, "the paper scans 53 iTLD zones");
+
+constexpr std::string_view kRegistrarTail[] = {
+    "NameCheap, Inc.",          "Tucows Domains Inc.",
+    "Network Solutions, LLC.",  "Register.com, Inc.",
+    "FastDomain Inc.",          "Wild West Domains, LLC",
+    "OVH SAS",                  "Gandi SAS",
+    "united-domains AG",        "Key-Systems GmbH",
+    "EuroDNS S.A.",             "Ascio Technologies, Inc.",
+    "CSC Corporate Domains",    "MarkMonitor Inc.",
+    "Alibaba Cloud Computing",  "Xin Net Technology Corporation",
+    "22net, Inc.",              "Bizcn.com, Inc.",
+    "eName Technology Co. Ltd", "Jiangsu Bangning Science",
+    "Todaynic.com, Inc.",       "OnlineNIC, Inc.",
+    "Megazone Corp.",           "Whois Networks Co., Ltd.",
+    "Inames Co., Ltd.",         "Korea Information Certificate",
+    "Interlink Co., Ltd.",      "Netowl, Inc.",
+    "FirstServer, Inc.",        "Onamae.com SB Corp.",
+    "PSI-Japan, Inc.",          "Hostopia.com Inc.",
+    "Soluciones Corporativas IP","Arsys Internet S.L.",
+    "InterNetX GmbH",           "Cronon AG",
+    "Mesh Digital Limited",     "Register SPA",
+    "Aruba SpA",                "Amen / Agence des Medias",
+    "Loopia AB",                "Active 24 AS",
+    "Hetzner Online GmbH",      "World4You Internet Services",
+    "Instra Corporation",       "Crazy Domains FZ-LLC",
+    "Web Commerce Communications", "Dotname Korea Corp.",
+    "Beijing Innovative Linkage",  "Guangdong JinWanBang",
+};
+
+// Curated translated brand names (Chinese market focus, like the paper's
+// Table X).  A real deployment would load a registry-maintained list; this
+// embedded set covers well-known marks plus every Table X example.
+constexpr BrandTranslation kTranslations[] = {
+    {"格力", "gree.com.cn", "Gree Air Conditioner"},
+    {"北京交通大学", "bjtu.edu.cn", "Beijing Jiaotong University"},
+    {"奔驰", "mercedes-benz.com", "Mercedes-Benz Automobile"},
+    {"谷歌", "google.com", "Google"},
+    {"微软", "microsoft.com", "Microsoft"},
+    {"苹果", "apple.com", "Apple"},
+    {"亚马逊", "amazon.com", "Amazon"},
+    {"脸书", "facebook.com", "Facebook"},
+    {"推特", "twitter.com", "Twitter"},
+    {"淘宝", "taobao.com", "Taobao"},
+    {"天猫", "tmall.com", "Tmall"},
+    {"百度", "baidu.com", "Baidu"},
+    {"腾讯", "qq.com", "Tencent"},
+    {"京东", "jd.com", "JD.com"},
+    {"支付宝", "alipay.com", "Alipay"},
+    {"微博", "weibo.com", "Weibo"},
+    {"奈飞", "netflix.com", "Netflix"},
+    {"耐克", "nike.com", "Nike"},
+    {"三星", "samsung.com", "Samsung"},
+    {"索尼", "sony.com", "Sony"},
+    {"戴尔", "dell.com", "Dell"},
+    {"英特尔", "intel.com", "Intel"},
+    {"宝马", "bmw.com", "BMW Automobile"},
+    {"丰田", "toyota.com", "Toyota Automobile"},
+    {"大众", "vw.com", "Volkswagen Automobile"},
+    {"沃尔玛", "walmart.com", "Walmart"},
+    {"星巴克", "starbucks.com", "Starbucks"},
+    {"麦当劳", "mcdonalds.com", "McDonald's"},
+    {"可口可乐", "coca-cola.com", "Coca-Cola"},
+    {"迪士尼", "disney.com", "Disney"},
+};
+
+}  // namespace
+
+std::span<const BrandTranslation> brand_translation_dictionary() {
+  return kTranslations;
+}
+
+std::span<const std::string_view> words_for(langid::Language lang) {
+  switch (lang) {
+    case Language::kChinese: return kChinese;
+    case Language::kJapanese: return kJapanese;
+    case Language::kKorean: return kKorean;
+    case Language::kGerman: return kGerman;
+    case Language::kTurkish: return kTurkish;
+    case Language::kThai: return kThai;
+    case Language::kSwedish: return kSwedish;
+    case Language::kSpanish: return kSpanish;
+    case Language::kFrench: return kFrench;
+    case Language::kFinnish: return kFinnish;
+    case Language::kRussian: return kRussian;
+    case Language::kHungarian: return kHungarian;
+    case Language::kArabic: return kArabicWords;
+    case Language::kDanish: return kDanish;
+    case Language::kPersian: return kPersianWords;
+    case Language::kEnglish: return kEnglishWords;
+  }
+  return kEnglishWords;
+}
+
+std::span<const std::string_view> semantic_keywords() { return kSemanticKeywords; }
+std::span<const std::string_view> chinese_southwest_cities() { return kSouthwestCities; }
+std::span<const std::string_view> chinese_gambling_words() { return kGamblingWords; }
+std::span<const std::string_view> chinese_short_words() { return kShortWords; }
+std::span<const std::string_view> chongqing_related_words() { return kChongqing; }
+std::span<const ItldEntry> itld_list() { return kItlds; }
+std::span<const std::string_view> registrar_tail_pool() { return kRegistrarTail; }
+
+}  // namespace idnscope::ecosystem

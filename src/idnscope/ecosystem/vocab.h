@@ -1,0 +1,50 @@
+// Word pools used by the ecosystem generator to compose IDN labels.
+//
+// Separate from the langid seed corpora on purpose: the classifier must
+// identify labels it was not literally trained on, so these pools overlap
+// with but are larger than the training word lists.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "idnscope/langid/language.h"
+
+namespace idnscope::ecosystem {
+
+// General-purpose words (UTF-8) in the given language.
+std::span<const std::string_view> words_for(langid::Language lang);
+
+// Chinese service keywords used by Type-1 semantic attacks
+// ("apple<登录>.com" style, Table IX).
+std::span<const std::string_view> semantic_keywords();
+
+// Theme pools for the opportunistic registrant portfolios of Table III.
+std::span<const std::string_view> chinese_southwest_cities();
+std::span<const std::string_view> chinese_gambling_words();
+std::span<const std::string_view> chinese_short_words();
+std::span<const std::string_view> chongqing_related_words();
+
+// The 53 iTLDs, in Unicode form (e.g. "中国"); the generator punycode-
+// encodes them.  Each entry carries the language whose registrants favour
+// that iTLD.
+struct ItldEntry {
+  std::string_view unicode_name;
+  langid::Language language;
+};
+std::span<const ItldEntry> itld_list();
+
+// Registrar name pool for the long tail beyond Table IV's top 10.
+std::span<const std::string_view> registrar_tail_pool();
+
+// Translated brand names (Type-2 semantic abuse, Table X).  Shared by the
+// generator (which plants Type-2 registrations) and the Type2Detector
+// extension in idnscope::core.
+struct BrandTranslation {
+  std::string_view translated;   // e.g. "格力" (UTF-8)
+  std::string_view brand;        // protected name, e.g. "gree.com.cn"
+  std::string_view description;  // "Gree Air Conditioner"
+};
+std::span<const BrandTranslation> brand_translation_dictionary();
+
+}  // namespace idnscope::ecosystem

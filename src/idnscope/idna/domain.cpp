@@ -1,0 +1,51 @@
+#include "idnscope/idna/domain.h"
+
+#include "idnscope/common/strings.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/idna/punycode.h"
+
+namespace idnscope::idna {
+
+Result<DomainName> DomainName::parse(std::string_view text) {
+  auto ascii = domain_to_ascii(text);
+  if (!ascii.ok()) {
+    return ascii.error();
+  }
+  std::vector<std::string> labels;
+  for (std::string_view label : split(ascii.value(), '.')) {
+    labels.emplace_back(label);
+  }
+  if (labels.empty()) {
+    return Err("domain.empty", "no labels");
+  }
+  return DomainName(std::move(ascii).value(), std::move(labels));
+}
+
+std::string DomainName::unicode() const {
+  auto converted = domain_to_unicode(ascii_);
+  // ascii_ was produced by domain_to_ascii, so failure here would mean a
+  // round-trip bug; fall back to the ASCII form defensively.
+  return converted.ok() ? converted.value() : ascii_;
+}
+
+std::string DomainName::registered_domain() const {
+  if (labels_.size() <= 2) {
+    return ascii_;
+  }
+  return labels_[labels_.size() - 2] + "." + labels_.back();
+}
+
+bool DomainName::is_idn() const {
+  for (const std::string& label : labels_) {
+    if (has_ace_prefix(label)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DomainName::has_idn_tld() const {
+  return has_ace_prefix(labels_.back());
+}
+
+}  // namespace idnscope::idna

@@ -1,0 +1,66 @@
+// Domain name value type.
+//
+// Canonical storage is the ASCII (ACE) form, which is what zone files,
+// WHOIS keys, pDNS keys and blacklists all use.  The Unicode display form
+// is derived on demand.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "idnscope/common/result.h"
+
+namespace idnscope::idna {
+
+class DomainName {
+ public:
+  // Parse from either form; Unicode input is converted via domain_to_ascii.
+  static Result<DomainName> parse(std::string_view text);
+
+  // The canonical lowercase ASCII form, e.g. "xn--80ak6aa92e.com".
+  const std::string& ascii() const { return ascii_; }
+
+  // Unicode display form (UTF-8), e.g. "аррӏе.com".
+  std::string unicode() const;
+
+  // Labels of the ASCII form, least significant last ("www","example","com").
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  std::size_t level_count() const { return labels_.size(); }
+
+  // Top-level label ("com", or "xn--fiqs8s" for an iTLD).
+  const std::string& tld() const { return labels_.back(); }
+
+  // Second-level label, or empty when the name is a bare TLD.
+  std::string_view sld_label() const {
+    return labels_.size() >= 2 ? std::string_view(labels_[labels_.size() - 2])
+                               : std::string_view{};
+  }
+
+  // Registered domain = SLD + TLD ("example.com"); the whole name for TLDs.
+  std::string registered_domain() const;
+
+  // True when any label is ACE-encoded ("xn--").  This is the zone-scanning
+  // predicate of Section III of the paper.
+  bool is_idn() const;
+
+  // True when specifically the TLD label is ACE-encoded (iTLD).
+  bool has_idn_tld() const;
+
+  friend bool operator==(const DomainName& a, const DomainName& b) {
+    return a.ascii_ == b.ascii_;
+  }
+  friend auto operator<=>(const DomainName& a, const DomainName& b) {
+    return a.ascii_ <=> b.ascii_;
+  }
+
+ private:
+  DomainName(std::string ascii, std::vector<std::string> labels)
+      : ascii_(std::move(ascii)), labels_(std::move(labels)) {}
+
+  std::string ascii_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace idnscope::idna

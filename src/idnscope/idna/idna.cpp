@@ -1,0 +1,196 @@
+#include "idnscope/idna/idna.h"
+
+#include "idnscope/common/strings.h"
+#include "idnscope/idna/punycode.h"
+#include "idnscope/unicode/scripts.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::idna {
+
+namespace {
+
+using unicode::Script;
+
+constexpr std::size_t kMaxLabelOctets = 63;
+constexpr std::size_t kMaxDomainOctets = 253;
+
+bool is_ldh_ascii(char32_t cp) {
+  return (cp >= 'a' && cp <= 'z') || (cp >= 'A' && cp <= 'Z') ||
+         (cp >= '0' && cp <= '9') || cp == '-';
+}
+
+char32_t to_lower(char32_t cp) {
+  // IDNA width mapping: fullwidth ASCII forms fold to their ASCII
+  // originals before any other processing ("ｅｘａｍｐｌｅ" -> "example").
+  if (cp >= 0xFF01 && cp <= 0xFF5E) {
+    cp -= 0xFEE0;
+  }
+  if (cp >= 'A' && cp <= 'Z') {
+    return cp - 'A' + 'a';
+  }
+  // Case-fold the alphabetic ranges we model bicamerally.  Domain labels in
+  // zone files are already lowercase; this handles user-typed input.
+  if (cp >= 0x00C0 && cp <= 0x00DE && cp != 0x00D7) return cp + 0x20;  // Latin-1
+  if (cp >= 0x0391 && cp <= 0x03A9 && cp != 0x03A2) return cp + 0x20;  // Greek
+  if (cp >= 0x0410 && cp <= 0x042F) return cp + 0x20;                  // Cyrillic
+  if (cp >= 0x0400 && cp <= 0x040F) return cp + 0x50;                  // Ё etc.
+  return cp;
+}
+
+}  // namespace
+
+bool is_idna_allowed(char32_t cp) {
+  if (cp < 0x80) {
+    return is_ldh_ascii(cp);
+  }
+  if (unicode::is_combining_mark(cp)) {
+    return true;
+  }
+  Script s = unicode::script_of(cp);
+  if (s == Script::kUnknown || s == Script::kCommon) {
+    return false;  // symbols, punctuation, unassigned
+  }
+  return true;
+}
+
+Result<std::string> label_to_ascii(std::u32string_view label) {
+  if (label.empty()) {
+    return Err("idna.empty_label", "empty label");
+  }
+  std::u32string mapped;
+  mapped.reserve(label.size());
+  bool ascii_only = true;
+  for (char32_t cp : label) {
+    const char32_t lower = to_lower(cp);
+    if (!is_idna_allowed(lower)) {
+      return Err("idna.disallowed",
+                 "disallowed code point U+" + std::to_string(lower));
+    }
+    if (lower >= 0x80) {
+      ascii_only = false;
+    }
+    mapped.push_back(lower);
+  }
+  if (mapped.front() == U'-' || mapped.back() == U'-') {
+    return Err("idna.hyphen", "label must not start or end with a hyphen");
+  }
+  if (ascii_only) {
+    std::string out;
+    out.reserve(mapped.size());
+    for (char32_t cp : mapped) {
+      out.push_back(static_cast<char>(cp));
+    }
+    // RFC 5891: "??--" in positions 3-4 is reserved for ACE.
+    if (out.size() >= 4 && out[2] == '-' && out[3] == '-' &&
+        !has_ace_prefix(out)) {
+      return Err("idna.hyphen34", "hyphens in positions 3 and 4 are reserved");
+    }
+    if (has_ace_prefix(out)) {
+      // Already-encoded input: verify it decodes.
+      auto decoded = punycode_decode(out.substr(kAcePrefix.size()));
+      if (!decoded.ok()) {
+        return Err("idna.bad_ace", "label has ACE prefix but is not punycode");
+      }
+    }
+    if (out.size() > kMaxLabelOctets) {
+      return Err("idna.too_long", "label exceeds 63 octets");
+    }
+    return out;
+  }
+  auto encoded = punycode_encode(mapped);
+  if (!encoded.ok()) {
+    return encoded.error();
+  }
+  std::string out = std::string(kAcePrefix) + encoded.value();
+  if (out.size() > kMaxLabelOctets) {
+    return Err("idna.too_long", "ACE label exceeds 63 octets");
+  }
+  return out;
+}
+
+Result<std::u32string> label_to_unicode(std::string_view label) {
+  if (!unicode::is_ascii(label)) {
+    return Err("idna.not_ascii", "ToUnicode input must be ASCII");
+  }
+  std::string lower = to_lower_ascii(label);
+  if (!has_ace_prefix(lower)) {
+    std::u32string out;
+    out.reserve(lower.size());
+    for (char c : lower) {
+      out.push_back(static_cast<char32_t>(static_cast<unsigned char>(c)));
+    }
+    return out;
+  }
+  auto decoded = punycode_decode(std::string_view(lower).substr(kAcePrefix.size()));
+  if (!decoded.ok()) {
+    return decoded.error();
+  }
+  // Round-trip check: re-encoding must reproduce the input label exactly.
+  auto reencoded = label_to_ascii(decoded.value());
+  if (!reencoded.ok() || reencoded.value() != lower) {
+    return Err("idna.round_trip", "ACE label fails round-trip verification");
+  }
+  return decoded;
+}
+
+namespace {
+
+// Map IDNA dot variants to '.', then split.
+std::vector<std::u32string> split_labels(std::u32string_view domain) {
+  std::vector<std::u32string> labels(1);
+  for (char32_t cp : domain) {
+    if (cp == U'.' || cp == 0x3002 || cp == 0xFF0E || cp == 0xFF61) {
+      labels.emplace_back();
+    } else {
+      labels.back().push_back(cp);
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+Result<std::string> domain_to_ascii(std::string_view utf8_domain) {
+  auto decoded = unicode::decode(utf8_domain);
+  if (!decoded.ok()) {
+    return decoded.error();
+  }
+  std::u32string_view view = decoded.value();
+  // A single trailing dot (root) is accepted and dropped.
+  if (!view.empty() && view.back() == U'.') {
+    view.remove_suffix(1);
+  }
+  if (view.empty()) {
+    return Err("idna.empty", "empty domain name");
+  }
+  std::vector<std::string> ascii_labels;
+  for (const auto& label : split_labels(view)) {
+    auto converted = label_to_ascii(label);
+    if (!converted.ok()) {
+      return converted.error();
+    }
+    ascii_labels.push_back(std::move(converted).value());
+  }
+  std::string out = join(ascii_labels, ".");
+  if (out.size() > kMaxDomainOctets) {
+    return Err("idna.too_long", "domain exceeds 253 octets");
+  }
+  return out;
+}
+
+Result<std::string> domain_to_unicode(std::string_view ascii_domain) {
+  if (ascii_domain.empty()) {
+    return Err("idna.empty", "empty domain name");
+  }
+  std::vector<std::string> unicode_labels;
+  for (std::string_view label : split(ascii_domain, '.')) {
+    auto converted = label_to_unicode(label);
+    if (!converted.ok()) {
+      return converted.error();
+    }
+    unicode_labels.push_back(unicode::encode(converted.value()));
+  }
+  return join(unicode_labels, ".");
+}
+
+}  // namespace idnscope::idna

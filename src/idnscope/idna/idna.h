@@ -1,0 +1,44 @@
+// IDNA processing (RFC 3490 flavour, IDNA2008-lite validation).
+//
+// ToASCII / ToUnicode for labels and whole domain names.  This sits between
+// what applications display (Unicode) and what DNS stores (ACE / punycode),
+// exactly the boundary the homograph attack exploits.
+//
+// Validation is deliberately the permissive registry-grade check the paper
+// observes in the wild (their ten test registrations of homographic IDNs
+// were all approved): letters of a known script, digits, hyphens and
+// combining marks are allowed; controls, punctuation, whitespace and
+// unassigned ranges are rejected; hyphen placement rules of RFC 5891 apply.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "idnscope/common/result.h"
+
+namespace idnscope::idna {
+
+// --- single label -----------------------------------------------------------
+
+// Unicode label -> ACE label ("xn--..." when non-ASCII, lowercased ASCII
+// otherwise).  Enforces LDH + hyphen rules and the 63-octet limit.
+Result<std::string> label_to_ascii(std::u32string_view label);
+
+// ACE (or plain ASCII) label -> Unicode code points.  For "xn--" labels the
+// decode is verified by re-encoding (round-trip check, RFC 5891 4.4).
+Result<std::u32string> label_to_unicode(std::string_view label);
+
+// Validation used by label_to_ascii, exposed for tests and the registry
+// simulator: is this code point allowed in an IDN label at all?
+bool is_idna_allowed(char32_t cp);
+
+// --- whole domain ------------------------------------------------------------
+
+// UTF-8 domain -> ASCII domain.  Accepts U+3002/U+FF0E/U+FF61 as label
+// separators (IDNA dot mapping) and enforces the 253-octet total limit.
+Result<std::string> domain_to_ascii(std::string_view utf8_domain);
+
+// ASCII domain -> UTF-8 display form.
+Result<std::string> domain_to_unicode(std::string_view ascii_domain);
+
+}  // namespace idnscope::idna

@@ -1,0 +1,96 @@
+#include "idnscope/idna/lookalike.h"
+
+#include "idnscope/idna/idna.h"
+
+namespace idnscope::idna {
+
+namespace {
+
+// Split "google.com" into ("google", ".com").  The SLD is the first label;
+// multi-label suffixes (".co.jp") stay with the suffix.
+std::pair<std::string_view, std::string_view> split_sld(
+    std::string_view domain) {
+  const std::size_t dot = domain.find('.');
+  if (dot == std::string_view::npos) {
+    return {domain, std::string_view{}};
+  }
+  return {domain.substr(0, dot), domain.substr(dot)};
+}
+
+}  // namespace
+
+std::vector<const unicode::Homoglyph*> ucsimlist_pool(char c) {
+  std::vector<const unicode::Homoglyph*> pool;
+  for (const unicode::Homoglyph& h : unicode::homoglyphs_of(c)) {
+    pool.push_back(&h);
+  }
+  for (char related : unicode::related_letters(c)) {
+    for (const unicode::Homoglyph& h : unicode::homoglyphs_of(related)) {
+      // A pixel-identical twin of a *related* letter is just that letter —
+      // UC-SimList's weak tail consists of the decorated variants.
+      if (h.visual == unicode::VisualClass::kIdentical) {
+        continue;
+      }
+      pool.push_back(&h);
+    }
+  }
+  return pool;
+}
+
+std::vector<LookalikeCandidate> single_substitution_candidates(
+    std::string_view brand_domain) {
+  std::vector<LookalikeCandidate> candidates;
+  const auto [sld, suffix] = split_sld(brand_domain);
+  std::u32string base;
+  base.reserve(sld.size());
+  for (unsigned char c : sld) {
+    base.push_back(c);
+  }
+  for (std::size_t pos = 0; pos < sld.size(); ++pos) {
+    const char original = sld[pos];
+    for (const unicode::Homoglyph* glyph : ucsimlist_pool(original)) {
+      std::u32string mutated = base;
+      mutated[pos] = glyph->code_point;
+      auto ace = label_to_ascii(mutated);
+      if (!ace.ok()) {
+        continue;
+      }
+      LookalikeCandidate candidate;
+      candidate.ace_domain = std::move(ace).value() + std::string(suffix);
+      candidate.unicode_sld = std::move(mutated);
+      candidate.position = pos;
+      candidate.replaced = original;
+      candidate.glyph = glyph->code_point;
+      candidate.visual = glyph->visual;
+      candidate.cross_letter = glyph->ascii_base != original &&
+                               !(original >= 'A' && original <= 'Z' &&
+                                 glyph->ascii_base == original - 'A' + 'a');
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+std::optional<std::string> substitute(
+    std::string_view brand_domain,
+    std::span<const std::pair<std::size_t, char32_t>> substitutions) {
+  const auto [sld, suffix] = split_sld(brand_domain);
+  std::u32string mutated;
+  mutated.reserve(sld.size());
+  for (unsigned char c : sld) {
+    mutated.push_back(c);
+  }
+  for (const auto& [pos, cp] : substitutions) {
+    if (pos >= mutated.size()) {
+      return std::nullopt;
+    }
+    mutated[pos] = cp;
+  }
+  auto ace = label_to_ascii(mutated);
+  if (!ace.ok()) {
+    return std::nullopt;
+  }
+  return std::move(ace).value() + std::string(suffix);
+}
+
+}  // namespace idnscope::idna

@@ -1,0 +1,50 @@
+// Lookalike-domain construction (the UC-SimList substitution step).
+//
+// Section VI-D: "for each brand domain ... we replaced its characters with
+// homoglyphs to create a set of IDNs ... only one character was replaced
+// at a time."  This module enumerates those candidates; measuring which of
+// them are actually homographic (SSIM >= 0.95) is the detector's job
+// (idnscope::core).  The ecosystem generator uses the same enumeration to
+// plant registered homographs.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "idnscope/unicode/confusables.h"
+
+namespace idnscope::idna {
+
+struct LookalikeCandidate {
+  std::string ace_domain;      // "xn--ggle-55da.com"
+  std::u32string unicode_sld;  // SLD with the substitution applied
+  std::size_t position = 0;    // index of the replaced character in the SLD
+  char replaced = 0;           // the original ASCII character
+  char32_t glyph = 0;          // the substituted code point
+  unicode::VisualClass visual = unicode::VisualClass::kWeak;
+  bool cross_letter = false;   // glyph imitates a *related* letter, not this one
+};
+
+// The full UC-SimList-style substitution pool for one ASCII character:
+// its own homoglyphs plus the homoglyphs of pixel-overlap-related letters.
+std::vector<const unicode::Homoglyph*> ucsimlist_pool(char c);
+
+// Enumerate all single-substitution candidates for a brand domain
+// ("google.com" -> one candidate per (position, pool glyph)).  Only the SLD
+// is substituted; candidates that fail IDNA encoding are skipped.
+std::vector<LookalikeCandidate> single_substitution_candidates(
+    std::string_view brand_domain);
+
+// Apply an explicit set of substitutions (position -> code point) to the
+// SLD of `brand_domain`; returns the ACE domain, or nullopt when the result
+// does not encode.
+std::optional<std::string> substitute(
+    std::string_view brand_domain,
+    std::span<const std::pair<std::size_t, char32_t>> substitutions);
+
+}  // namespace idnscope::idna

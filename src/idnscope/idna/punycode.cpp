@@ -1,0 +1,189 @@
+#include "idnscope/idna/punycode.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "idnscope/common/strings.h"
+
+namespace idnscope::idna {
+
+namespace {
+
+// Bootstring parameters for Punycode (RFC 3492 section 5).
+constexpr std::uint32_t kBase = 36;
+constexpr std::uint32_t kTMin = 1;
+constexpr std::uint32_t kTMax = 26;
+constexpr std::uint32_t kSkew = 38;
+constexpr std::uint32_t kDamp = 700;
+constexpr std::uint32_t kInitialBias = 72;
+constexpr std::uint32_t kInitialN = 0x80;
+constexpr char kDelimiter = '-';
+
+constexpr std::uint32_t kMaxCodePoint = 0x10FFFF;
+
+// digit-value -> code point, always lowercase ('a'..'z', '0'..'9').
+char encode_digit(std::uint32_t d) {
+  return d < 26 ? static_cast<char>('a' + d) : static_cast<char>('0' + d - 26);
+}
+
+// code point -> digit-value, or kBase on invalid input.
+std::uint32_t decode_digit(char c) {
+  if (c >= 'a' && c <= 'z') return static_cast<std::uint32_t>(c - 'a');
+  if (c >= 'A' && c <= 'Z') return static_cast<std::uint32_t>(c - 'A');
+  if (c >= '0' && c <= '9') return static_cast<std::uint32_t>(c - '0' + 26);
+  return kBase;
+}
+
+// Bias adaptation (RFC 3492 section 6.1).
+std::uint32_t adapt(std::uint32_t delta, std::uint32_t num_points,
+                    bool first_time) {
+  delta = first_time ? delta / kDamp : delta / 2;
+  delta += delta / num_points;
+  std::uint32_t k = 0;
+  while (delta > ((kBase - kTMin) * kTMax) / 2) {
+    delta /= kBase - kTMin;
+    k += kBase;
+  }
+  return k + (((kBase - kTMin + 1) * delta) / (delta + kSkew));
+}
+
+std::uint32_t threshold(std::uint32_t k, std::uint32_t bias) {
+  if (k <= bias + kTMin) return kTMin;
+  if (k >= bias + kTMax) return kTMax;
+  return k - bias;
+}
+
+}  // namespace
+
+Result<std::string> punycode_encode(std::u32string_view input) {
+  std::string output;
+  // Copy basic (ASCII) code points verbatim.
+  for (char32_t cp : input) {
+    if (cp > kMaxCodePoint) {
+      return Err("punycode.bad_input", "code point out of Unicode range");
+    }
+    if (cp < kInitialN) {
+      output.push_back(static_cast<char>(cp));
+    }
+  }
+  const std::uint32_t basic_count = static_cast<std::uint32_t>(output.size());
+  std::uint32_t handled = basic_count;
+  if (basic_count > 0) {
+    output.push_back(kDelimiter);
+  }
+
+  std::uint32_t n = kInitialN;
+  std::uint32_t delta = 0;
+  std::uint32_t bias = kInitialBias;
+  const std::uint32_t total = static_cast<std::uint32_t>(input.size());
+
+  while (handled < total) {
+    // Find the smallest un-handled code point >= n.
+    std::uint32_t m = kMaxCodePoint + 1;
+    for (char32_t cp : input) {
+      if (cp >= n && cp < m) {
+        m = static_cast<std::uint32_t>(cp);
+      }
+    }
+    // Increase delta to advance the state to <m, 0>.
+    const std::uint64_t advance =
+        static_cast<std::uint64_t>(m - n) * (handled + 1);
+    if (advance > std::numeric_limits<std::uint32_t>::max() - delta) {
+      return Err("punycode.overflow", "delta overflow while encoding");
+    }
+    delta += static_cast<std::uint32_t>(advance);
+    n = m;
+    for (char32_t cp : input) {
+      if (cp < n) {
+        if (++delta == 0) {
+          return Err("punycode.overflow", "delta wrapped while encoding");
+        }
+      }
+      if (cp == n) {
+        // Encode delta as a generalized variable-length integer.
+        std::uint32_t q = delta;
+        for (std::uint32_t k = kBase;; k += kBase) {
+          const std::uint32_t t = threshold(k, bias);
+          if (q < t) {
+            break;
+          }
+          output.push_back(encode_digit(t + (q - t) % (kBase - t)));
+          q = (q - t) / (kBase - t);
+        }
+        output.push_back(encode_digit(q));
+        bias = adapt(delta, handled + 1, handled == basic_count);
+        delta = 0;
+        ++handled;
+      }
+    }
+    ++delta;
+    ++n;
+  }
+  return output;
+}
+
+Result<std::u32string> punycode_decode(std::string_view input) {
+  std::u32string output;
+  // Basic code points are everything before the last delimiter.
+  std::size_t last_delim = input.rfind(kDelimiter);
+  std::size_t in_pos = 0;
+  if (last_delim != std::string_view::npos) {
+    for (std::size_t i = 0; i < last_delim; ++i) {
+      const unsigned char c = static_cast<unsigned char>(input[i]);
+      if (c >= 0x80) {
+        return Err("punycode.bad_input", "non-ASCII byte in punycode");
+      }
+      output.push_back(c);
+    }
+    in_pos = last_delim + 1;
+  }
+
+  std::uint32_t n = kInitialN;
+  std::uint32_t i = 0;
+  std::uint32_t bias = kInitialBias;
+
+  while (in_pos < input.size()) {
+    const std::uint32_t old_i = i;
+    std::uint32_t w = 1;
+    for (std::uint32_t k = kBase;; k += kBase) {
+      if (in_pos >= input.size()) {
+        return Err("punycode.truncated", "variable-length integer truncated");
+      }
+      const std::uint32_t digit = decode_digit(input[in_pos++]);
+      if (digit >= kBase) {
+        return Err("punycode.bad_digit", "invalid punycode digit");
+      }
+      if (digit > (std::numeric_limits<std::uint32_t>::max() - i) / w) {
+        return Err("punycode.overflow", "index overflow while decoding");
+      }
+      i += digit * w;
+      const std::uint32_t t = threshold(k, bias);
+      if (digit < t) {
+        break;
+      }
+      if (w > std::numeric_limits<std::uint32_t>::max() / (kBase - t)) {
+        return Err("punycode.overflow", "weight overflow while decoding");
+      }
+      w *= kBase - t;
+    }
+    const std::uint32_t out_len = static_cast<std::uint32_t>(output.size());
+    bias = adapt(i - old_i, out_len + 1, old_i == 0);
+    if (i / (out_len + 1) > std::numeric_limits<std::uint32_t>::max() - n) {
+      return Err("punycode.overflow", "code point overflow while decoding");
+    }
+    n += i / (out_len + 1);
+    i %= out_len + 1;
+    if (n > kMaxCodePoint) {
+      return Err("punycode.bad_output", "decoded code point out of range");
+    }
+    output.insert(output.begin() + i, static_cast<char32_t>(n));
+    ++i;
+  }
+  return output;
+}
+
+bool has_ace_prefix(std::string_view label) {
+  return starts_with_ascii_ci(label, kAcePrefix);
+}
+
+}  // namespace idnscope::idna

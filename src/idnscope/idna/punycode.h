@@ -1,0 +1,29 @@
+// RFC 3492 Punycode — the Bootstring instance used by IDNA.
+//
+// This is a complete implementation of the encoding described in RFC 3492
+// section 6 (including bias adaptation and overflow handling), not a wrapper:
+// the paper's entire pipeline pivots on converting between the Unicode form
+// of a label (what the user sees) and its ACE form (what sits in zone files
+// with the "xn--" prefix).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "idnscope/common/result.h"
+
+namespace idnscope::idna {
+
+inline constexpr std::string_view kAcePrefix = "xn--";
+
+// Encode a sequence of Unicode code points into a punycode string (without
+// the ACE prefix).  Fails on code points above 0x10FFFF or on overflow.
+Result<std::string> punycode_encode(std::u32string_view input);
+
+// Decode a punycode string (without ACE prefix) back to code points.
+Result<std::u32string> punycode_decode(std::string_view input);
+
+// Whether an ASCII label carries the ACE prefix ("xn--", case-insensitive).
+bool has_ace_prefix(std::string_view label);
+
+}  // namespace idnscope::idna

@@ -1,0 +1,142 @@
+#include "idnscope/langid/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "idnscope/unicode/scripts.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::langid {
+
+namespace {
+
+// FNV-1a over a small byte window, folded into the feature space.
+std::uint32_t hash_bytes(const unsigned char* data, std::size_t len,
+                         std::uint32_t salt) {
+  std::uint32_t h = 2166136261u ^ salt;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h % kFeatureSpace;
+}
+
+constexpr std::uint32_t kSaltUnigram = 0x11;
+constexpr std::uint32_t kSaltBigram = 0x22;
+constexpr std::uint32_t kSaltTrigram = 0x33;
+constexpr std::uint32_t kSaltScript = 0x44;
+
+}  // namespace
+
+std::vector<std::uint32_t> extract_features(std::string_view utf8,
+                                            const FeatureConfig& config) {
+  std::vector<std::uint32_t> features;
+  features.reserve(utf8.size() * 3);
+  const auto* bytes = reinterpret_cast<const unsigned char*>(utf8.data());
+  const std::size_t n = utf8.size();
+  if (config.byte_unigrams) {
+    for (std::size_t i = 0; i < n; ++i) {
+      features.push_back(hash_bytes(bytes + i, 1, kSaltUnigram));
+    }
+  }
+  if (config.byte_bigrams) {
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      features.push_back(hash_bytes(bytes + i, 2, kSaltBigram));
+    }
+  }
+  if (config.byte_trigrams) {
+    for (std::size_t i = 0; i + 2 < n; ++i) {
+      features.push_back(hash_bytes(bytes + i, 3, kSaltTrigram));
+    }
+  }
+  if (config.script_tags) {
+    // One feature per character's script: dominates for script-exclusive
+    // languages (Hangul -> Korean, Thai -> Thai, ...).
+    const std::u32string decoded = unicode::decode_lossy(utf8);
+    for (char32_t cp : decoded) {
+      const auto script = unicode::script_of(cp);
+      const unsigned char tag = static_cast<unsigned char>(script);
+      features.push_back(hash_bytes(&tag, 1, kSaltScript));
+    }
+  }
+  return features;
+}
+
+NaiveBayesClassifier::NaiveBayesClassifier(FeatureConfig config)
+    : config_(config), counts_(kFeatureSpace) {}
+
+void NaiveBayesClassifier::train(std::span<const LabeledText> corpus) {
+  for (auto& row : counts_) {
+    row.fill(0.0F);
+  }
+  totals_.fill(0.0);
+  for (const LabeledText& sample : corpus) {
+    const auto lang_index = static_cast<std::size_t>(sample.lang);
+    for (std::uint32_t feature : extract_features(sample.text, config_)) {
+      counts_[feature][lang_index] += 1.0F;
+      totals_[lang_index] += 1.0;
+    }
+  }
+  trained_ = true;
+}
+
+std::array<double, kLanguageCount> NaiveBayesClassifier::posteriors(
+    std::string_view utf8) const {
+  constexpr double kAlpha = 0.5;  // Lidstone smoothing
+  std::array<double, kLanguageCount> log_probs{};
+  // Uniform prior: label volume in the wild is what we are measuring, so we
+  // must not bake a prior belief about it into the classifier.
+  const auto features = extract_features(utf8, config_);
+  for (std::size_t lang = 0; lang < kLanguageCount; ++lang) {
+    const double denom =
+        std::log(totals_[lang] + kAlpha * static_cast<double>(kFeatureSpace));
+    double lp = 0.0;
+    for (std::uint32_t feature : features) {
+      lp += std::log(static_cast<double>(counts_[feature][lang]) + kAlpha) -
+            denom;
+    }
+    log_probs[lang] = lp;
+  }
+  // Normalize into posteriors (softmax in log space).
+  const double max_lp = *std::max_element(log_probs.begin(), log_probs.end());
+  double sum = 0.0;
+  for (double& lp : log_probs) {
+    lp = std::exp(lp - max_lp);
+    sum += lp;
+  }
+  for (double& lp : log_probs) {
+    lp /= sum;
+  }
+  return log_probs;
+}
+
+NaiveBayesClassifier::Prediction NaiveBayesClassifier::classify(
+    std::string_view utf8) const {
+  const auto post = posteriors(utf8);
+  std::size_t best = 0;
+  for (std::size_t lang = 1; lang < kLanguageCount; ++lang) {
+    if (post[lang] > post[best]) {
+      best = lang;
+    }
+  }
+  Prediction prediction;
+  prediction.language = static_cast<Language>(best);
+  prediction.confidence = post[best];
+  prediction.log_posterior = std::log(std::max(post[best], 1e-300));
+  return prediction;
+}
+
+const NaiveBayesClassifier& default_classifier() {
+  static const NaiveBayesClassifier model = [] {
+    NaiveBayesClassifier m;
+    m.train(seed_corpus());
+    return m;
+  }();
+  return model;
+}
+
+Language identify(std::string_view utf8) {
+  return default_classifier().classify(utf8).language;
+}
+
+}  // namespace idnscope::langid

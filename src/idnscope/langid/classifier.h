@@ -1,0 +1,79 @@
+// Multinomial naive Bayes language identifier (LangID-style, [40, 41]).
+//
+// The paper runs langid.py — a multinomial Bayes learner over byte n-gram
+// features — on every IDN label to build Table II.  This is the same
+// construction: hashed byte n-grams plus Unicode-script tags, Laplace
+// smoothing, maximum a-posteriori decision.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "idnscope/langid/language.h"
+
+namespace idnscope::langid {
+
+struct LabeledText {
+  Language lang;
+  std::string_view text;  // UTF-8
+};
+
+// Which feature families to extract.  Exposed so tests can sweep the
+// ablation (unigrams-only vs +bigrams vs +trigrams vs +script tags).
+struct FeatureConfig {
+  bool byte_unigrams = true;
+  bool byte_bigrams = true;
+  bool byte_trigrams = true;
+  bool script_tags = true;
+
+  friend bool operator==(const FeatureConfig&, const FeatureConfig&) = default;
+};
+
+// Feature ids live in a fixed hashed space.
+inline constexpr std::size_t kFeatureSpace = 1 << 14;
+
+// Extract hashed feature ids (with multiplicity) from UTF-8 text.
+std::vector<std::uint32_t> extract_features(std::string_view utf8,
+                                            const FeatureConfig& config);
+
+class NaiveBayesClassifier {
+ public:
+  explicit NaiveBayesClassifier(FeatureConfig config = {});
+
+  void train(std::span<const LabeledText> corpus);
+  bool trained() const { return trained_; }
+
+  struct Prediction {
+    Language language = Language::kEnglish;
+    double log_posterior = 0.0;
+    // Posterior probability of the winning class (softmax over classes).
+    double confidence = 0.0;
+  };
+
+  Prediction classify(std::string_view utf8) const;
+
+  // Full per-class posterior, Table-II-order.
+  std::array<double, kLanguageCount> posteriors(std::string_view utf8) const;
+
+  const FeatureConfig& config() const { return config_; }
+
+ private:
+  FeatureConfig config_;
+  bool trained_ = false;
+  // counts_[lang][feature]; float to keep the table at 1 MiB.
+  std::vector<std::array<float, kLanguageCount>> counts_;
+  std::array<double, kLanguageCount> totals_{};
+};
+
+// The embedded seed corpus (idnscope/langid/corpora.cpp).
+std::span<const LabeledText> seed_corpus();
+
+// Classify with a process-wide model lazily trained on seed_corpus().
+Language identify(std::string_view utf8);
+const NaiveBayesClassifier& default_classifier();
+
+}  // namespace idnscope::langid

@@ -1,0 +1,110 @@
+// Embedded seed corpora for the language identifier.
+//
+// langid.py ships with models trained on five labeled datasets; we embed a
+// compact word corpus per language instead.  Words were chosen to cover the
+// orthographic signals that separate the paper's top-15 languages: script
+// (CJK/Thai/Arabic/Cyrillic/Hangul), language-specific letters (ß, ğ/ı,
+// å/ä/ö, ñ, œ/ç, ő/ű, æ/ø, پ/چ/ژ/گ) and frequent vocabulary.
+#include "idnscope/langid/classifier.h"
+
+#include <array>
+
+namespace idnscope::langid {
+
+namespace {
+
+using enum Language;
+
+constexpr LabeledText kCorpus[] = {
+    // --- Chinese (Han only; no kana) ---
+    {kChinese, "中国 北京 上海 广州 深圳 杭州 南京 武汉 西安 重庆 成都 昆明 贵阳 长沙 郑州"},
+    {kChinese, "公司 网络 在线 商城 购物 娱乐 棋牌 彩票 博彩 赌场 游戏 开户 注册 平台 官网"},
+    {kChinese, "新闻 体育 财经 科技 汽车 房产 旅游 美食 健康 教育 大学 银行 保险 证券 投资"},
+    {kChinese, "理财 手机 电脑 软件 下载 电影 音乐 小说 图书 城市 酒店 机票 地图 天气 招聘"},
+    {kChinese, "中文 域名 信息 服务 企业 集团 国际 中心 世界 时代 未来 科学 文化 艺术 医院"},
+    {kChinese, "装修 家居 母婴 服装 珠宝 茶叶 白酒 物流 快递 药店 律师 会计 翻译 招聘 天气"},
+    // --- Japanese (kana-bearing) ---
+    {kJapanese, "日本 東京 大阪 京都 名古屋 札幌 福岡 横浜 神戸 沖縄 です ます した こと もの"},
+    {kJapanese, "かわいい ありがとう こんにちは さくら すし らーめん おちゃ まつり ゆき はな"},
+    {kJapanese, "コンピュータ インターネット ゲーム アニメ マンガ ニュース ショッピング ホテル"},
+    {kJapanese, "レストラン カフェ サービス サイト ブログ ファッション スポーツ ミュージック"},
+    {kJapanese, "がっこう だいがく でんしゃ くるま やま かわ うみ そら ひかり こころ ともだち"},
+    {kJapanese, "りょこう しごと おんがく えいが でんわ てがみ はるなつ あきふゆ わたし あなた"},
+    // --- Korean (Hangul) ---
+    {kKorean, "한국 서울 부산 인천 대구 대전 광주 울산 제주 경기 회사 인터넷 쇼핑 게임 뉴스"},
+    {kKorean, "스포츠 영화 음악 드라마 여행 호텔 음식 학교 대학교 은행 보험 부동산 자동차"},
+    {kKorean, "컴퓨터 핸드폰 사랑 행복 친구 가족 시간 세계 문화 예술 건강 병원 약국 시장"},
+    {kKorean, "온라인 카지노 바카라 토토 먹튀 검증 커뮤니티 사이트 정보 추천 순위 이벤트"},
+    {kKorean, "시간 세계 문화 예술 건강 병원 약국 시장 공부 선생님 학생 도서관 운동 주말"},
+    // --- German (ä ö ü ß) ---
+    {kGerman, "müller straße grün früh schön österreich bücher kälte größe weiß fußball"},
+    {kGerman, "zürich münchen köln düsseldorf gebäude verkäufer geschäft glück übung äpfel"},
+    {kGerman, "jäger bäckerei brücke königin nürnberg württemberg hütte mädchen vögel gemüse"},
+    {kGerman, "käse getränk schlüssel überraschung märz grüße häuser wörter zähne füße löwe"},
+    {kGerman, "möbel schäfer gärtner bäder räder züge prüfung lösung erklärung verfügbar"},
+    // --- Turkish (ğ ı ş ç ö ü) ---
+    {kTurkish, "türkiye istanbul ankara izmir bursa adana şeker çiçek güneş yıldız ağaç"},
+    {kTurkish, "öğretmen çocuk kitap müzik şehir köprü deniz gökyüzü ışık dağ yeşil kırmızı"},
+    {kTurkish, "çarşı pazartesi cumhuriyet üniversite öğrenci başkent diyarbakır eskişehir"},
+    {kTurkish, "alışveriş haber spor sağlık eğitim oyun müzik düğün takı gümüş altın kuyumcu"},
+    {kTurkish, "çanta ayakkabı gömlek pantolon gözlük saat bilgisayar yazılım donanım ağ"},
+    // --- Thai ---
+    {kThai, "ประเทศไทย กรุงเทพ เชียงใหม่ ภูเก็ต พัทยา ข่าว กีฬา บันเทิง ท่องเที่ยว อาหาร"},
+    {kThai, "โรงแรม โรงเรียน มหาวิทยาลัย ธนาคาร ประกัน รถยนต์ คอมพิวเตอร์ อินเทอร์เน็ต"},
+    {kThai, "เกม หวย การพนัน คาสิโน ความรัก ความสุข ดอกไม้ ภูเขา ทะเล แม่น้ำ ตลาด ร้านค้า"},
+    // --- Swedish (å ä ö, jö/kö clusters) ---
+    {kSwedish, "sverige göteborg malmö västerås örebro linköping jönköping umeå gävle borås"},
+    {kSwedish, "färg vän kärlek björn sjö skärgård smörgås köttbullar midsommar lördag söndag"},
+    {kSwedish, "västkusten östersund grönsaker mjölk bröd kött fågel räkor lax sill blåbär"},
+    {kSwedish, "hälsa näringsliv företag köpa sälja pengar lägenhet hus trädgård möbler"},
+    // --- Spanish (ñ, ón endings) ---
+    {kSpanish, "españa niño señor mañana corazón canción música pequeño año país montaña"},
+    {kSpanish, "río león cádiz córdoba málaga diseño sueño compañía araña señal jardín"},
+    {kSpanish, "camión educación información administración peña muñeca español cumpleaños"},
+    {kSpanish, "atención solución canciones pequeñín añejo enseñanza niñera campeón avión"},
+    // --- French (é è ê ç œ) ---
+    {kFrench, "français été hôtel château crème café forêt île noël cœur sœur déjà voilà"},
+    {kFrench, "garçon leçon façade élève mère père frère théâtre musée cinéma marché fenêtre"},
+    {kFrench, "beauté santé sécurité qualité liberté société électricité vidéo téléphone"},
+    {kFrench, "fenêtre hôpital bibliothèque étudiant université première dernière très où"},
+    // --- Finnish (double vowels, ä/ö without å) ---
+    {kFinnish, "suomi helsinki jyväskylä hämeenlinna järvi metsä sää kesä talvi kevät syksy"},
+    {kFinnish, "mäki pöytä työ hyvä päivä käsi jää lämpö sauna mökki järvenpää hyvinkää"},
+    {kFinnish, "yritys myynti kauppa ruoka juoma terveys koulutus pelit uutiset sää liikunta"},
+    {kFinnish, "sähkö lääkäri hääpäivä näyttö käyttäjä yhtiö työpaikka mäkinen väylä tiistai"},
+    // --- Russian (Cyrillic) ---
+    {kRussian, "россия москва петербург новости погода работа деньги любовь жизнь мир дом"},
+    {kRussian, "семья школа книга музыка фильм игра спорт футбол магазин цена скидка онлайн"},
+    {kRussian, "казино ставки бесплатно скачать смотреть купить продажа доставка отзывы"},
+    {kRussian, "здоровье образование квартира машина телефон компьютер интернет сайт"},
+    // --- Hungarian (ő ű, gy/sz clusters) ---
+    {kHungarian, "magyarország budapest győr pécs szeged debrecen miskolc székesfehérvár"},
+    {kHungarian, "hőség gyönyörű tűz víz föld virág ház híd vár torony könyv tükör gyümölcs"},
+    {kHungarian, "zöldség hús kenyér tej túró szőlő gyűrű fűszer bútor műhely szörp hétfő"},
+    {kHungarian, "egészség üzlet vásárlás eladó lakás kert jármű számítógép hálózat idő"},
+    // --- Arabic ---
+    {kArabic, "السعودية مصر العراق الأردن المغرب الجزائر تونس ليبيا سوريا لبنان قطر الكويت"},
+    {kArabic, "محمد أحمد خالد فاطمة مكتبة مدرسة جامعة سوق تجارة أخبار رياضة صحة تعليم"},
+    {kArabic, "شبكة موقع خدمات شركة عقارات سيارات وظائف مطاعم فنادق سياحة تسوق عروض"},
+    // --- Danish (æ ø å) ---
+    {kDanish, "danmark københavn århus aalborg odense esbjerg frederiksberg køge næstved"},
+    {kDanish, "smørrebrød rødgrød fløde æble pære kød brød sø hygge lørdag søndag grønland"},
+    {kDanish, "færøerne øl kærlighed sønderjylland nørrebro østerbro vesterbro brøndby"},
+    {kDanish, "sundhed uddannelse lejlighed køkken værelse møbler grøntsager jordbær"},
+    // --- Persian (Arabic script + پ چ ژ گ) ---
+    {kPersian, "ایران تهران اصفهان شیراز تبریز مشهد پارس پژوهش گفتگو چشم ژاله کتابخانه"},
+    {kPersian, "دانشگاه بازار خبرگزاری ورزش فوتبال موسیقی سینما فرهنگ هنر زیبا گل بهار"},
+    {kPersian, "پاییز زمستان پزشک چاپ گردشگری پیام چراغ ژیان گروه پنجره چهارشنبه پرواز"},
+    // --- English / generic ASCII ---
+    {kEnglish, "online shop store news sports games music movie hotel travel food health"},
+    {kEnglish, "bank insurance car computer phone love home school university city world"},
+    {kEnglish, "free best cheap sale deal club blog forum wiki mail search web net site"},
+};
+
+}  // namespace
+
+std::span<const LabeledText> seed_corpus() {
+  return {kCorpus, std::size(kCorpus)};
+}
+
+}  // namespace idnscope::langid

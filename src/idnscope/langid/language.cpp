@@ -1,0 +1,63 @@
+#include "idnscope/langid/language.h"
+
+#include <array>
+
+namespace idnscope::langid {
+
+namespace {
+constexpr std::array<Language, kLanguageCount> kAll = {
+    Language::kChinese,  Language::kJapanese,  Language::kKorean,
+    Language::kGerman,   Language::kTurkish,   Language::kThai,
+    Language::kSwedish,  Language::kSpanish,   Language::kFrench,
+    Language::kFinnish,  Language::kRussian,   Language::kHungarian,
+    Language::kArabic,   Language::kDanish,    Language::kPersian,
+    Language::kEnglish,
+};
+}  // namespace
+
+std::string_view language_name(Language lang) {
+  switch (lang) {
+    case Language::kChinese: return "Chinese";
+    case Language::kJapanese: return "Japanese";
+    case Language::kKorean: return "Korean";
+    case Language::kGerman: return "German";
+    case Language::kTurkish: return "Turkish";
+    case Language::kThai: return "Thai";
+    case Language::kSwedish: return "Swedish";
+    case Language::kSpanish: return "Spanish";
+    case Language::kFrench: return "French";
+    case Language::kFinnish: return "Finnish";
+    case Language::kRussian: return "Russian";
+    case Language::kHungarian: return "Hungarian";
+    case Language::kArabic: return "Arabic";
+    case Language::kDanish: return "Danish";
+    case Language::kPersian: return "Persian";
+    case Language::kEnglish: return "English";
+  }
+  return "English";
+}
+
+std::optional<Language> language_from_name(std::string_view name) {
+  for (Language lang : kAll) {
+    if (language_name(lang) == name) {
+      return lang;
+    }
+  }
+  return std::nullopt;
+}
+
+std::span<const Language> all_languages() { return kAll; }
+
+bool is_east_asian(Language lang) {
+  switch (lang) {
+    case Language::kChinese:
+    case Language::kJapanese:
+    case Language::kKorean:
+    case Language::kThai:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace idnscope::langid

@@ -1,0 +1,47 @@
+// Language inventory for the study.
+//
+// Table II of the paper lists the top-15 languages of registered IDNs; we
+// model exactly those plus English (the "none of the above" class for
+// ASCII-heavy labels).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace idnscope::langid {
+
+enum class Language : std::uint8_t {
+  kChinese,
+  kJapanese,
+  kKorean,
+  kGerman,
+  kTurkish,
+  kThai,
+  kSwedish,
+  kSpanish,
+  kFrench,
+  kFinnish,
+  kRussian,
+  kHungarian,
+  kArabic,
+  kDanish,
+  kPersian,
+  kEnglish,
+};
+
+inline constexpr std::size_t kLanguageCount = 16;
+
+std::string_view language_name(Language lang);
+std::optional<Language> language_from_name(std::string_view name);
+
+// All languages, in Table II order (English last).
+std::span<const Language> all_languages();
+
+// East-Asian marker used for Finding 1 ("more than 75% of IDNs are in
+// languages spoken in east Asian countries": Chinese, Japanese, Korean,
+// Thai in the paper's accounting).
+bool is_east_asian(Language lang);
+
+}  // namespace idnscope::langid

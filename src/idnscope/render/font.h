@@ -1,0 +1,53 @@
+// Embedded 7x12 matrix font (lowercase LDH repertoire) plus glyph recipes.
+//
+// The paper renders every domain with a system font; we embed a compact
+// hand-designed matrix font instead.  Each base glyph is a 7-column,
+// 12-row bitmap (rows 0-2 ascender zone, 3-9 x-height, 10-11 descender;
+// digits use rows 0-9).  The resolution is chosen so that the *ratio*
+// between inter-letter differences (6-12 px for related letters like c/o)
+// and diacritic marks (2-4 px) matches real typefaces — that ratio is what
+// makes SSIM at the paper's 0.95 threshold admit accent homoglyphs while
+// rejecting letter substitutions.
+//
+// Unicode confusables are drawn from their base glyph plus the accent /
+// shape modifier recorded in unicode::confusables — mirroring how the
+// lookalike characters differ in real typefaces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace idnscope::render {
+
+inline constexpr int kGlyphWidth = 7;
+inline constexpr int kGlyphHeight = 12;
+
+// Bit (kGlyphWidth-1-x) of rows[y] is the pixel at column x.
+struct GlyphBitmap {
+  std::array<std::uint8_t, kGlyphHeight> rows;
+
+  bool pixel(int x, int y) const {
+    return (rows[static_cast<std::size_t>(y)] >> (kGlyphWidth - 1 - x)) & 1;
+  }
+  void set_pixel(int x, int y, bool on) {
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(1U << (kGlyphWidth - 1 - x));
+    if (on) {
+      rows[static_cast<std::size_t>(y)] |= mask;
+    } else {
+      rows[static_cast<std::size_t>(y)] &= static_cast<std::uint8_t>(~mask);
+    }
+  }
+  int ink() const;  // number of set pixels
+};
+
+// Base glyph for an ASCII character in [a-z0-9.-]; uppercase letters map to
+// lowercase.  nullptr when the character has no base glyph.
+const GlyphBitmap* base_glyph(char c);
+
+// A deterministic "tofu" box pattern for code points outside the modelled
+// repertoire (CJK etc.); varies with the code point so distinct characters
+// do not collide visually.
+GlyphBitmap tofu_glyph(char32_t cp);
+
+}  // namespace idnscope::render

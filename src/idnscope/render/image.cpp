@@ -1,0 +1,59 @@
+#include "idnscope/render/image.h"
+
+#include <algorithm>
+
+namespace idnscope::render {
+
+GrayImage GrayImage::upscaled(int factor) const {
+  assert(factor >= 1);
+  GrayImage out(width_ * factor, height_ * factor);
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      out.set(x, y, at(x / factor, y / factor));
+    }
+  }
+  return out;
+}
+
+GrayImage GrayImage::blurred3() const {
+  GrayImage out(width_, height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      int sum = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int sx = std::clamp(x + dx, 0, width_ - 1);
+          const int sy = std::clamp(y + dy, 0, height_ - 1);
+          sum += at(sx, sy);
+        }
+      }
+      out.set(x, y, static_cast<std::uint8_t>(sum / 9));
+    }
+  }
+  return out;
+}
+
+GrayImage GrayImage::padded_to(int width, int height) const {
+  assert(width >= width_ && height >= height_);
+  GrayImage out(width, height);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      out.set(x, y, at(x, y));
+    }
+  }
+  return out;
+}
+
+std::string GrayImage::to_ascii_art() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>((width_ + 1)) * height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      out += at(x, y) >= 128 ? '#' : '.';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace idnscope::render

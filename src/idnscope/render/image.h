@@ -1,0 +1,58 @@
+// 8-bit grayscale image used for domain-name rendering and SSIM.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace idnscope::render {
+
+class GrayImage {
+ public:
+  GrayImage() = default;
+  GrayImage(int width, int height, std::uint8_t fill = 0)
+      : width_(width),
+        height_(height),
+        pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+                fill) {
+    assert(width >= 0 && height >= 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+
+  std::uint8_t at(int x, int y) const {
+    assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, std::uint8_t value) {
+    assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+    pixels_[static_cast<std::size_t>(y) * width_ + x] = value;
+  }
+
+  const std::vector<std::uint8_t>& pixels() const { return pixels_; }
+
+  // Nearest-neighbour integer upscale.
+  GrayImage upscaled(int factor) const;
+
+  // 3x3 box blur (edge pixels replicate); softens the binary raster so SSIM
+  // behaves like it does on anti-aliased screenshots.
+  GrayImage blurred3() const;
+
+  // Copy into a larger canvas (top-left anchored, background 0).
+  GrayImage padded_to(int width, int height) const;
+
+  // Debug rendering with '#' (ink) and '.' (paper).
+  std::string to_ascii_art() const;
+
+  friend bool operator==(const GrayImage&, const GrayImage&) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+}  // namespace idnscope::render

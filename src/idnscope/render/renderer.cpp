@@ -1,0 +1,305 @@
+#include "idnscope/render/renderer.h"
+
+#include <array>
+
+#include "idnscope/unicode/confusables.h"
+
+namespace idnscope::render {
+
+namespace {
+
+using unicode::Accent;
+using unicode::Homoglyph;
+using unicode::VisualClass;
+
+// A cell is the 5-column, 13-row box one character is drawn into.
+struct Cell {
+  std::array<std::uint16_t, kCellHeight> rows{};  // low 5 bits used
+
+  bool pixel(int x, int y) const {
+    return (rows[static_cast<std::size_t>(y)] >> (kGlyphWidth - 1 - x)) & 1;
+  }
+  void set(int x, int y) {
+    rows[static_cast<std::size_t>(y)] |=
+        static_cast<std::uint16_t>(1U << (kGlyphWidth - 1 - x));
+  }
+  void toggle(int x, int y) {
+    rows[static_cast<std::size_t>(y)] ^=
+        static_cast<std::uint16_t>(1U << (kGlyphWidth - 1 - x));
+  }
+};
+
+constexpr int kGlyphTop = 3;  // glyph row 0 maps to cell row 3
+constexpr int kBelowRow = 15;
+
+void blit_glyph(Cell& cell, const GlyphBitmap& glyph) {
+  for (int y = 0; y < kGlyphHeight; ++y) {
+    for (int x = 0; x < kGlyphWidth; ++x) {
+      if (glyph.pixel(x, y)) {
+        cell.set(x, y + kGlyphTop);
+      }
+    }
+  }
+}
+
+// Accent marks live in cell rows 0..2; below marks in rows 14..15.
+void draw_accent(Cell& cell, Accent accent) {
+  switch (accent) {
+    case Accent::kNone:
+      break;
+    case Accent::kAcute:
+      cell.set(4, 1);
+      cell.set(3, 2);
+      break;
+    case Accent::kGrave:
+      cell.set(2, 1);
+      cell.set(3, 2);
+      break;
+    case Accent::kCircumflex:
+      cell.set(3, 1);
+      cell.set(2, 2);
+      cell.set(4, 2);
+      break;
+    case Accent::kDiaeresis:
+      cell.set(2, 2);
+      cell.set(4, 2);
+      break;
+    case Accent::kTilde:
+      cell.set(1, 2);
+      cell.set(2, 1);
+      cell.set(3, 1);
+      cell.set(4, 2);
+      break;
+    case Accent::kMacron:
+      cell.set(2, 2);
+      cell.set(3, 2);
+      cell.set(4, 2);
+      break;
+    case Accent::kBreve:
+      cell.set(2, 1);
+      cell.set(3, 2);
+      cell.set(4, 1);
+      break;
+    case Accent::kRingAbove:
+      cell.set(3, 0);
+      cell.set(2, 1);
+      cell.set(4, 1);
+      cell.set(3, 2);
+      break;
+    case Accent::kDotAbove:
+      cell.set(3, 1);
+      cell.set(3, 2);
+      break;
+    case Accent::kCaron:
+      cell.set(2, 0);
+      cell.set(3, 1);
+      cell.set(4, 0);
+      break;
+    case Accent::kDoubleAcute:
+      cell.set(3, 1);
+      cell.set(2, 2);
+      cell.set(5, 1);
+      cell.set(4, 2);
+      break;
+    case Accent::kStacked:
+      // Circumflex with a grave above it.
+      cell.set(3, 1);
+      cell.set(2, 2);
+      cell.set(4, 2);
+      cell.set(2, 0);
+      break;
+    case Accent::kCircumflexAcute:
+      cell.set(3, 1);
+      cell.set(2, 2);
+      cell.set(4, 2);
+      cell.set(4, 0);
+      break;
+    case Accent::kBreveAcute:
+      cell.set(2, 1);
+      cell.set(3, 2);
+      cell.set(4, 1);
+      cell.set(4, 0);
+      break;
+    case Accent::kBreveGrave:
+      cell.set(2, 1);
+      cell.set(3, 2);
+      cell.set(4, 1);
+      cell.set(2, 0);
+      break;
+    case Accent::kHornAcute:
+      // Acute above; the horn itself is a body modifier below.
+      cell.set(4, 1);
+      cell.set(3, 2);
+      break;
+    case Accent::kDotBelow:
+      cell.set(3, kBelowRow);
+      break;
+    case Accent::kOgonek:
+      cell.set(4, kBelowRow - 1);
+      cell.set(5, kBelowRow);
+      break;
+    case Accent::kCedilla:
+      cell.set(3, kBelowRow - 1);
+      cell.set(3, kBelowRow);
+      cell.set(4, kBelowRow);
+      break;
+    // Body modifiers are handled in apply_body_modifier.
+    case Accent::kStroke:
+    case Accent::kHook:
+    case Accent::kHorn:
+    case Accent::kOpenShape:
+      break;
+  }
+}
+
+void apply_body_modifier(Cell& cell, const Homoglyph& entry) {
+  switch (entry.accent) {
+    case Accent::kStroke:
+      // Diagonal bar crossing the whole letter body (like the slash of ø).
+      // It overshoots the bowl into the ascender and descender areas, which
+      // is what makes the letter recognizably different at a glance.
+      for (int i = 0; i <= 9; ++i) {
+        cell.set(i * 6 / 9, kGlyphTop + 10 - i);
+      }
+      break;
+    case Accent::kHook:
+      // Prominent tail sweeping through the descender area.
+      cell.set(6, kGlyphTop + 9);
+      cell.set(6, kGlyphTop + 10);
+      cell.set(5, kGlyphTop + 11);
+      cell.set(4, kGlyphTop + 11);
+      cell.set(3, kGlyphTop + 11);
+      break;
+    case Accent::kHorn:
+    case Accent::kHornAcute:
+      // Horn protruding above/right of the body (ơ, ư, ớ, ứ).
+      cell.set(6, kGlyphTop + 1);
+      cell.set(6, kGlyphTop + 2);
+      cell.set(5, kGlyphTop + 1);
+      break;
+    case Accent::kOpenShape: {
+      // Deterministic per-code-point distortion: move ink pixels to clean
+      // background positions.  The visual class controls how many pixels
+      // move, which separates "similar" from "weak" under SSIM.
+      const bool weak = entry.visual == VisualClass::kWeak;
+      const int moves = weak ? 6 : 3;
+      std::uint32_t h = static_cast<std::uint32_t>(entry.code_point) * 2654435761u;
+      int done = 0;
+      for (int attempt = 0; attempt < 96 && done < moves; ++attempt) {
+        const int x = static_cast<int>(h % kGlyphWidth);
+        const int y = 3 + static_cast<int>((h >> 8) % 7);  // x-height rows
+        const int nx = (x + 1 + static_cast<int>((h >> 16) % 3)) % kGlyphWidth;
+        const int ny = static_cast<int>((h >> 20) % kGlyphHeight);
+        h = h * 2246822519u + 374761393u;
+        if (cell.pixel(x, kGlyphTop + y) && !cell.pixel(nx, kGlyphTop + ny)) {
+          cell.toggle(x, kGlyphTop + y);
+          cell.set(nx, kGlyphTop + ny);
+          ++done;
+        }
+      }
+      if (weak) {
+        // A weak lookalike also distorts the silhouette at the extremes.
+        cell.set(0, kGlyphTop + 0);
+        cell.set(6, kGlyphTop + 11);
+        cell.set(0, kGlyphTop + 11);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+Cell render_cell(char32_t cp) {
+  Cell cell;
+  if (cp < 0x80) {
+    if (const GlyphBitmap* glyph = base_glyph(static_cast<char>(cp))) {
+      blit_glyph(cell, *glyph);
+      return cell;
+    }
+    blit_glyph(cell, tofu_glyph(cp));
+    return cell;
+  }
+  if (const Homoglyph* entry = unicode::find_homoglyph(cp)) {
+    const GlyphBitmap* glyph = base_glyph(entry->ascii_base);
+    if (glyph != nullptr) {
+      blit_glyph(cell, *glyph);
+      draw_accent(cell, entry->accent);
+      apply_body_modifier(cell, *entry);
+      return cell;
+    }
+  }
+  blit_glyph(cell, tofu_glyph(cp));
+  return cell;
+}
+
+GrayImage rasterize(std::u32string_view text) {
+  const int width = kCellWidth * static_cast<int>(text.size()) + 2 * kMargin;
+  const int height = kCellHeight + 2 * kMargin;
+  GrayImage canvas(width, height);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const Cell cell = render_cell(text[i]);
+    const int x0 = kMargin + kCellWidth * static_cast<int>(i);
+    for (int y = 0; y < kCellHeight; ++y) {
+      for (int x = 0; x < kGlyphWidth; ++x) {
+        if (cell.pixel(x, y)) {
+          canvas.set(x0 + x, kMargin + y, 255);
+        }
+      }
+    }
+  }
+  return canvas;
+}
+
+}  // namespace
+
+int rendered_width(std::size_t chars, const RenderOptions& options) {
+  return (kCellWidth * static_cast<int>(chars) + 2 * kMargin) * options.scale;
+}
+
+int rendered_height(const RenderOptions& options) {
+  return (kCellHeight + 2 * kMargin) * options.scale;
+}
+
+bool can_render_exact(char32_t cp) {
+  if (cp < 0x80) {
+    return base_glyph(static_cast<char>(cp)) != nullptr;
+  }
+  const Homoglyph* entry = unicode::find_homoglyph(cp);
+  return entry != nullptr && base_glyph(entry->ascii_base) != nullptr;
+}
+
+GrayImage render_label(std::u32string_view text, const RenderOptions& options) {
+  GrayImage base = rasterize(text);
+  GrayImage scaled = options.scale > 1 ? base.upscaled(options.scale)
+                                       : std::move(base);
+  return options.smooth ? scaled.blurred3() : scaled;
+}
+
+GrayImage render_ascii(std::string_view text, const RenderOptions& options) {
+  std::u32string code_points;
+  code_points.reserve(text.size());
+  for (unsigned char c : text) {
+    code_points.push_back(c);
+  }
+  return render_label(code_points, options);
+}
+
+GrayImage render_code_point(char32_t cp) {
+  return render_label(std::u32string_view(&cp, 1), RenderOptions{1, false});
+}
+
+std::vector<int> column_profile(std::u32string_view text) {
+  GrayImage base = rasterize(text);
+  std::vector<int> profile(static_cast<std::size_t>(base.width()), 0);
+  for (int x = 0; x < base.width(); ++x) {
+    for (int y = 0; y < base.height(); ++y) {
+      if (base.at(x, y) > 0) {
+        ++profile[static_cast<std::size_t>(x)];
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace idnscope::render

@@ -1,0 +1,52 @@
+// Domain-name rasterizer.
+//
+// Section VI-B of the paper: "we first rendered the image of every IDN and
+// brand domain, and then measured their pair-wise visual resemblance".
+// render_label() is that first step.  Characters are drawn into fixed 6x13
+// cells (3 accent rows, 9 glyph rows, 1 below-mark row), then the canvas is
+// integer-upscaled and box-blurred so SSIM sees the soft edges it would see
+// on a real screenshot.
+#pragma once
+
+#include <string_view>
+
+#include "idnscope/render/font.h"
+#include "idnscope/render/image.h"
+
+namespace idnscope::render {
+
+inline constexpr int kCellWidth = 8;   // 7 glyph columns + 1 spacing
+inline constexpr int kCellHeight = 16; // 3 accent + 12 glyph + 1 below
+inline constexpr int kMargin = 1;
+
+struct RenderOptions {
+  int scale = 2;       // integer upscale factor
+  bool smooth = true;  // 3x3 box blur after upscaling
+
+  friend bool operator==(const RenderOptions&, const RenderOptions&) = default;
+};
+
+// Width/height in pixels of a rendered label of `chars` characters.
+int rendered_width(std::size_t chars, const RenderOptions& options = {});
+int rendered_height(const RenderOptions& options = {});
+
+// True when the code point has a faithful glyph (ASCII LDH + '.', or an
+// entry in the confusable table).  Everything else renders as tofu.
+bool can_render_exact(char32_t cp);
+
+// Render a label / domain given as Unicode code points.
+GrayImage render_label(std::u32string_view text,
+                       const RenderOptions& options = {});
+
+// Convenience for ASCII brand domains.
+GrayImage render_ascii(std::string_view text, const RenderOptions& options = {});
+
+// Single-character render at scale 1 (no blur); exposed for tests and for
+// the column-profile prefilter.
+GrayImage render_code_point(char32_t cp);
+
+// Per-column ink counts of the base-resolution raster — a cheap signature
+// used to prefilter SSIM candidates (documented in DESIGN.md).
+std::vector<int> column_profile(std::u32string_view text);
+
+}  // namespace idnscope::render

@@ -1,0 +1,280 @@
+#include "idnscope/render/ssim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace idnscope::render {
+
+namespace {
+
+// Separable Gaussian filter with replicated edges, operating on doubles.
+class GaussianFilter {
+ public:
+  GaussianFilter(int window, double sigma) : radius_(window / 2) {
+    assert(window >= 1 && window % 2 == 1);
+    kernel_.resize(static_cast<std::size_t>(window));
+    double sum = 0.0;
+    for (int i = 0; i < window; ++i) {
+      const double d = i - radius_;
+      kernel_[static_cast<std::size_t>(i)] =
+          std::exp(-(d * d) / (2.0 * sigma * sigma));
+      sum += kernel_[static_cast<std::size_t>(i)];
+    }
+    for (double& k : kernel_) {
+      k /= sum;
+    }
+  }
+
+  std::vector<double> apply(const std::vector<double>& input, int width,
+                            int height) const {
+    std::vector<double> tmp(input.size());
+    std::vector<double> out(input.size());
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        double acc = 0.0;
+        for (int k = -radius_; k <= radius_; ++k) {
+          const int sx = std::clamp(x + k, 0, width - 1);
+          acc += kernel_[static_cast<std::size_t>(k + radius_)] *
+                 input[static_cast<std::size_t>(y) * width + sx];
+        }
+        tmp[static_cast<std::size_t>(y) * width + x] = acc;
+      }
+    }
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        double acc = 0.0;
+        for (int k = -radius_; k <= radius_; ++k) {
+          const int sy = std::clamp(y + k, 0, height - 1);
+          acc += kernel_[static_cast<std::size_t>(k + radius_)] *
+                 tmp[static_cast<std::size_t>(sy) * width + x];
+        }
+        out[static_cast<std::size_t>(y) * width + x] = acc;
+      }
+    }
+    return out;
+  }
+
+ private:
+  int radius_;
+  std::vector<double> kernel_;
+};
+
+std::vector<double> to_doubles(const GrayImage& image) {
+  std::vector<double> out(image.pixels().size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = image.pixels()[i];
+  }
+  return out;
+}
+
+int effective_window(const SsimOptions& options, int width, int height) {
+  int window = std::min({options.window, width, height});
+  return window % 2 == 1 ? window : window - 1;
+}
+
+// Text mask of a pair: 1 within window/2 (Chebyshev) of ink in either
+// image.  Two separable max passes.
+std::vector<unsigned char> pair_mask(const GrayImage& a, const GrayImage& b,
+                                     const SsimOptions& options, int radius) {
+  const int width = a.width();
+  const int height = a.height();
+  std::vector<unsigned char> ink(a.pixels().size(), 0);
+  for (std::size_t i = 0; i < ink.size(); ++i) {
+    if (a.pixels()[i] >= options.ink_threshold ||
+        b.pixels()[i] >= options.ink_threshold) {
+      ink[i] = 1;
+    }
+  }
+  std::vector<unsigned char> tmp(ink.size(), 0);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      unsigned char hit = 0;
+      for (int k = -radius; k <= radius && !hit; ++k) {
+        const int sx = std::clamp(x + k, 0, width - 1);
+        hit = ink[static_cast<std::size_t>(y) * width + sx];
+      }
+      tmp[static_cast<std::size_t>(y) * width + x] = hit;
+    }
+  }
+  std::vector<unsigned char> mask(ink.size(), 0);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      unsigned char hit = 0;
+      for (int k = -radius; k <= radius && !hit; ++k) {
+        const int sy = std::clamp(y + k, 0, height - 1);
+        hit = tmp[static_cast<std::size_t>(sy) * width + x];
+      }
+      mask[static_cast<std::size_t>(y) * width + x] = hit;
+    }
+  }
+  return mask;
+}
+
+struct RegionSums {
+  double sum = 0.0;    // masked local-SSIM sum over the counting columns
+  double count = 0.0;  // masked pixel count over the counting columns
+};
+
+// Local SSIM sums of (a, b), counted over pixel columns [col_begin,
+// col_end).  The images are assumed to already be the (possibly cropped)
+// working area.
+RegionSums masked_ssim_sums(const GrayImage& a, const GrayImage& b,
+                            const SsimOptions& options, int col_begin,
+                            int col_end) {
+  const int width = a.width();
+  const int height = a.height();
+  const int window = effective_window(options, width, height);
+  const double c1 = (options.k1 * options.dynamic_range) *
+                    (options.k1 * options.dynamic_range);
+  const double c2 = (options.k2 * options.dynamic_range) *
+                    (options.k2 * options.dynamic_range);
+
+  const std::vector<double> xa = to_doubles(a);
+  const std::vector<double> xb = to_doubles(b);
+  std::vector<double> xa2(xa.size());
+  std::vector<double> xb2(xa.size());
+  std::vector<double> xab(xa.size());
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    xa2[i] = xa[i] * xa[i];
+    xb2[i] = xb[i] * xb[i];
+    xab[i] = xa[i] * xb[i];
+  }
+  const GaussianFilter filter(window, options.sigma);
+  const std::vector<double> mu_a = filter.apply(xa, width, height);
+  const std::vector<double> mu_b = filter.apply(xb, width, height);
+  const std::vector<double> s_a2 = filter.apply(xa2, width, height);
+  const std::vector<double> s_b2 = filter.apply(xb2, width, height);
+  const std::vector<double> s_ab = filter.apply(xab, width, height);
+
+  std::vector<unsigned char> mask;
+  if (options.text_mask) {
+    mask = pair_mask(a, b, options, window / 2);
+  }
+
+  RegionSums sums;
+  for (int y = 0; y < height; ++y) {
+    for (int x = col_begin; x < col_end; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * width + x;
+      if (options.text_mask && mask[i] == 0) {
+        continue;
+      }
+      const double mu_a2 = mu_a[i] * mu_a[i];
+      const double mu_b2 = mu_b[i] * mu_b[i];
+      const double mu_ab = mu_a[i] * mu_b[i];
+      const double var_a = s_a2[i] - mu_a2;
+      const double var_b = s_b2[i] - mu_b2;
+      const double cov = s_ab[i] - mu_ab;
+      sums.sum += ((2.0 * mu_ab + c1) * (2.0 * cov + c2)) /
+                  ((mu_a2 + mu_b2 + c1) * (var_a + var_b + c2));
+      sums.count += 1.0;
+    }
+  }
+  return sums;
+}
+
+}  // namespace
+
+double ssim(const GrayImage& a, const GrayImage& b, const SsimOptions& options) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  assert(!a.empty());
+  const RegionSums sums = masked_ssim_sums(a, b, options, 0, a.width());
+  if (sums.count <= 0.0) {
+    return 1.0;  // two blank images are identical
+  }
+  return sums.sum / sums.count;
+}
+
+double mse(const GrayImage& a, const GrayImage& b) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  assert(!a.empty());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    const double d =
+        static_cast<double>(a.pixels()[i]) - static_cast<double>(b.pixels()[i]);
+    total += d * d;
+  }
+  return total / static_cast<double>(a.pixels().size());
+}
+
+double psnr(const GrayImage& a, const GrayImage& b) {
+  const double error = mse(a, b);
+  if (error <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 10.0 * std::log10(255.0 * 255.0 / error);
+}
+
+SsimReference::SsimReference(GrayImage reference, SsimOptions options)
+    : reference_(std::move(reference)), options_(options) {
+  const int width = reference_.width();
+  const int height = reference_.height();
+  mask_col_prefix_.assign(static_cast<std::size_t>(width) + 1, 0.0);
+  const int window = effective_window(options_, width, height);
+  std::vector<unsigned char> mask;
+  if (options_.text_mask) {
+    mask = pair_mask(reference_, reference_, options_, window / 2);
+  }
+  for (int x = 0; x < width; ++x) {
+    double count = 0.0;
+    for (int y = 0; y < height; ++y) {
+      if (!options_.text_mask ||
+          mask[static_cast<std::size_t>(y) * width + x] != 0) {
+        count += 1.0;
+      }
+    }
+    mask_col_prefix_[static_cast<std::size_t>(x) + 1] =
+        mask_col_prefix_[static_cast<std::size_t>(x)] + count;
+  }
+}
+
+double SsimReference::compare(const GrayImage& candidate, int x_begin,
+                              int x_end) const {
+  assert(candidate.width() == reference_.width() &&
+         candidate.height() == reference_.height());
+  const int width = reference_.width();
+  const int height = reference_.height();
+  const int window = effective_window(options_, width, height);
+
+  // Core: pixels whose local value or mask can differ from the
+  // reference-vs-reference case.  Crop: core padded so every core pixel's
+  // Gaussian window and mask dilation stay inside the crop.
+  const int core_begin = std::max(0, x_begin - window);
+  const int core_end = std::min(width, x_end + window);
+  const int crop_begin = std::max(0, core_begin - window);
+  const int crop_end = std::min(width, core_end + window);
+  if (core_begin >= core_end) {
+    // Nothing can differ: SSIM over the unchanged mask is exactly 1.
+    return 1.0;
+  }
+
+  // Extract the working slices (full height).
+  auto slice = [&](const GrayImage& source) {
+    GrayImage out(crop_end - crop_begin, height);
+    for (int y = 0; y < height; ++y) {
+      for (int x = crop_begin; x < crop_end; ++x) {
+        out.set(x - crop_begin, y, source.at(x, y));
+      }
+    }
+    return out;
+  };
+  const GrayImage ref_slice = slice(reference_);
+  const GrayImage cand_slice = slice(candidate);
+  const RegionSums inside =
+      masked_ssim_sums(ref_slice, cand_slice, options_,
+                       core_begin - crop_begin, core_end - crop_begin);
+
+  const double outside_count =
+      mask_col_prefix_.back() -
+      (mask_col_prefix_[static_cast<std::size_t>(core_end)] -
+       mask_col_prefix_[static_cast<std::size_t>(core_begin)]);
+  const double total_count = inside.count + outside_count;
+  if (total_count <= 0.0) {
+    return 1.0;
+  }
+  return (inside.sum + outside_count) / total_count;
+}
+
+}  // namespace idnscope::render

@@ -1,0 +1,69 @@
+// Structural Similarity (SSIM) Index — Wang, Bovik, Sheikh, Simoncelli 2004.
+//
+// The paper adopts SSIM over MSE for visual resemblance between rendered
+// domain images (Section VI-B): "SSIM strikes a good balance between
+// accuracy and runtime performance".  This is the reference construction:
+// an 11x11 Gaussian-weighted window (sigma 1.5), luminance/contrast/
+// structure terms with the standard K1=0.01, K2=0.03 stabilizers, and the
+// mean of the local SSIM map as the global index.  MSE/PSNR are provided as
+// the baseline the paper argues against.
+#pragma once
+
+#include "idnscope/render/image.h"
+
+namespace idnscope::render {
+
+struct SsimOptions {
+  int window = 11;      // Gaussian window size (odd)
+  double sigma = 1.5;   // Gaussian standard deviation
+  double k1 = 0.01;
+  double k2 = 0.03;
+  double dynamic_range = 255.0;
+  // Average the local SSIM map only over text-region pixels (within
+  // window/2 of ink in either image).  Plain SSIM over a mostly-background
+  // canvas dilutes per-character differences by the background proportion,
+  // making the index depend on padding rather than on the text; the mask
+  // removes that dependence.  Disable for the textbook definition.
+  bool text_mask = true;
+  int ink_threshold = 24;  // pixel value treated as ink for the mask
+
+  friend bool operator==(const SsimOptions&, const SsimOptions&) = default;
+};
+
+// Global SSIM index in [-1, 1]; 1 means identical.  Images must have the
+// same dimensions.
+double ssim(const GrayImage& a, const GrayImage& b,
+            const SsimOptions& options = {});
+
+// Accelerator for one-reference/many-candidates comparisons where each
+// candidate differs from the reference only within a known column range
+// (the single-substitution sweep of Section VI-D: one changed character
+// cell per candidate).  compare() returns *exactly* the same value as
+// ssim(reference, candidate) — the local SSIM map is 1 and the text mask
+// is unchanged wherever the images agree, so only a window-padded slice
+// around the changed columns needs computing.  Tests assert bit-equality
+// with the full evaluation.
+class SsimReference {
+ public:
+  explicit SsimReference(GrayImage reference, SsimOptions options = {});
+
+  // `candidate` must have the reference's dimensions and be identical to
+  // it outside pixel columns [x_begin, x_end).
+  double compare(const GrayImage& candidate, int x_begin, int x_end) const;
+
+  const GrayImage& image() const { return reference_; }
+  const SsimOptions& options() const { return options_; }
+
+ private:
+  GrayImage reference_;
+  SsimOptions options_;
+  std::vector<double> mask_col_prefix_;  // cumulative mask count by column
+};
+
+// Mean squared error (lower = more similar) — the baseline metric [57].
+double mse(const GrayImage& a, const GrayImage& b);
+
+// Peak signal-to-noise ratio in dB; +infinity for identical images.
+double psnr(const GrayImage& a, const GrayImage& b);
+
+}  // namespace idnscope::render

@@ -1,0 +1,44 @@
+#include "idnscope/ssl/cert_store.h"
+
+#include <algorithm>
+
+namespace idnscope::ssl {
+
+void CertStore::add(ScanResult result) {
+  results_.push_back(std::move(result));
+}
+
+ProblemCounts CertStore::classify(const Date& today) const {
+  ProblemCounts counts;
+  for (const ScanResult& result : results_) {
+    switch (validate_certificate(result.certificate, result.domain, today)) {
+      case CertProblem::kExpired: ++counts.expired; break;
+      case CertProblem::kInvalidAuthority: ++counts.invalid_authority; break;
+      case CertProblem::kInvalidCommonName: ++counts.invalid_common_name; break;
+      case CertProblem::kNone: ++counts.valid; break;
+    }
+  }
+  return counts;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+CertStore::shared_certificates(const Date& today) const {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (const ScanResult& result : results_) {
+    if (validate_certificate(result.certificate, result.domain, today) ==
+        CertProblem::kInvalidCommonName) {
+      ++counts[result.certificate.common_name];
+    }
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> out(counts.begin(),
+                                                         counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace idnscope::ssl

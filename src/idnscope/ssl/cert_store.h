@@ -1,0 +1,52 @@
+// Certificate store + the Table VI / Table VII aggregations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "idnscope/common/date.h"
+#include "idnscope/ssl/certificate.h"
+
+namespace idnscope::ssl {
+
+// One scanned host: the domain we connected to and the leaf we received.
+struct ScanResult {
+  std::string domain;
+  Certificate certificate;
+};
+
+struct ProblemCounts {
+  std::uint64_t expired = 0;
+  std::uint64_t invalid_authority = 0;
+  std::uint64_t invalid_common_name = 0;
+  std::uint64_t valid = 0;
+
+  std::uint64_t total() const {
+    return expired + invalid_authority + invalid_common_name + valid;
+  }
+  std::uint64_t problematic() const { return total() - valid; }
+};
+
+class CertStore {
+ public:
+  void add(ScanResult result);
+  std::size_t size() const { return results_.size(); }
+  const std::vector<ScanResult>& all() const { return results_; }
+
+  // Table VI: classify every scanned certificate against its own host.
+  ProblemCounts classify(const Date& today) const;
+
+  // Table VII: certificates shared across hosts whose name they do not
+  // cover, grouped by the certificate's common name; returns (CN, #domains)
+  // sorted descending.
+  std::vector<std::pair<std::string, std::uint64_t>> shared_certificates(
+      const Date& today) const;
+
+ private:
+  std::vector<ScanResult> results_;
+};
+
+}  // namespace idnscope::ssl

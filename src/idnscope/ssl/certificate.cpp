@@ -1,0 +1,61 @@
+#include "idnscope/ssl/certificate.h"
+
+#include "idnscope/common/strings.h"
+
+namespace idnscope::ssl {
+
+bool name_matches(std::string_view pattern, std::string_view host) {
+  const std::string p = to_lower_ascii(pattern);
+  const std::string h = to_lower_ascii(host);
+  if (p == h) {
+    return true;
+  }
+  if (p.size() > 2 && p[0] == '*' && p[1] == '.') {
+    // Wildcard covers exactly one left-most label.
+    const std::string_view suffix = std::string_view(p).substr(1);  // ".x.y"
+    if (h.size() > suffix.size() && std::string_view(h).ends_with(suffix)) {
+      const std::string_view left =
+          std::string_view(h).substr(0, h.size() - suffix.size());
+      return !left.empty() && left.find('.') == std::string_view::npos;
+    }
+  }
+  return false;
+}
+
+bool certificate_covers(const Certificate& cert, std::string_view host) {
+  if (name_matches(cert.common_name, host)) {
+    return true;
+  }
+  for (const std::string& san : cert.san_dns_names) {
+    if (name_matches(san, host)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view cert_problem_name(CertProblem problem) {
+  switch (problem) {
+    case CertProblem::kNone: return "valid";
+    case CertProblem::kExpired: return "Expired Certificate";
+    case CertProblem::kInvalidAuthority: return "Invalid Authority";
+    case CertProblem::kInvalidCommonName: return "Invalid Common Name";
+  }
+  return "valid";
+}
+
+CertProblem validate_certificate(const Certificate& cert,
+                                 std::string_view host, const Date& today) {
+  if (today < cert.not_before || cert.not_after < today) {
+    return CertProblem::kExpired;
+  }
+  if (cert.self_signed || !cert.issuer_trusted) {
+    return CertProblem::kInvalidAuthority;
+  }
+  if (!certificate_covers(cert, host)) {
+    return CertProblem::kInvalidCommonName;
+  }
+  return CertProblem::kNone;
+}
+
+}  // namespace idnscope::ssl

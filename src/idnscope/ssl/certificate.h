@@ -1,0 +1,53 @@
+// X.509-subset certificate model and validation.
+//
+// Section IV-E of the paper fetches certificate chains from port 443 of
+// every resolvable IDN and classifies the problems: expired certificates,
+// invalid authority (self-signed / untrusted chain), and invalid common
+// name (the owner field does not match the domain — the "shared
+// certificate" problem dominated by parking and hosting providers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "idnscope/common/date.h"
+
+namespace idnscope::ssl {
+
+struct Certificate {
+  std::string common_name;                // subject CN, may be "*.example.com"
+  std::vector<std::string> san_dns_names; // subjectAltName dNSName entries
+  std::string issuer;                     // issuing CA common name
+  bool issuer_trusted = true;             // chains to a trusted root
+  bool self_signed = false;
+  Date not_before;
+  Date not_after;
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+};
+
+// RFC 6125-style host matching: exact match, or a single left-most
+// wildcard label ("*.example.com" matches "a.example.com" but neither
+// "example.com" nor "a.b.example.com").
+bool name_matches(std::string_view pattern, std::string_view host);
+
+// Does the certificate cover `host` via CN or any SAN?
+bool certificate_covers(const Certificate& cert, std::string_view host);
+
+// The three problem classes of Table VI, in the paper's precedence order:
+// expiry is checked first, then chain validity, then name coverage.
+enum class CertProblem : std::uint8_t {
+  kNone,
+  kExpired,
+  kInvalidAuthority,
+  kInvalidCommonName,
+};
+
+std::string_view cert_problem_name(CertProblem problem);
+
+CertProblem validate_certificate(const Certificate& cert,
+                                 std::string_view host, const Date& today);
+
+}  // namespace idnscope::ssl

@@ -1,0 +1,119 @@
+#include "idnscope/stats/ecdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace idnscope::stats {
+
+Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  sorted_ = false;
+  ensure_sorted();
+}
+
+void Ecdf::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Ecdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Ecdf::fraction_at(double x) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  assert(!samples_.empty());
+  assert(q > 0.0 && q <= 1.0);
+  ensure_sorted();
+  const std::size_t n = samples_.size();
+  const std::size_t index =
+      std::min(n - 1, static_cast<std::size_t>(std::ceil(q * n)) - 1);
+  return samples_[index];
+}
+
+double Ecdf::min() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Ecdf::max() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Ecdf::mean() const {
+  assert(!samples_.empty());
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<double> Ecdf::evaluate(const std::vector<double>& xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    out.push_back(fraction_at(x));
+  }
+  return out;
+}
+
+std::vector<double> Ecdf::log_grid(std::size_t points) const {
+  std::vector<double> grid;
+  if (samples_.empty() || points == 0) {
+    return grid;
+  }
+  const double lo = std::max(1.0, min());
+  const double hi = std::max(lo, max());
+  const double log_lo = std::log10(lo);
+  const double log_hi = std::log10(hi);
+  grid.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = points == 1
+                         ? 0.0
+                         : static_cast<double>(i) / static_cast<double>(points - 1);
+    grid.push_back(std::pow(10.0, log_lo + t * (log_hi - log_lo)));
+  }
+  return grid;
+}
+
+std::string format_ecdf_table(
+    const std::vector<double>& grid,
+    const std::vector<std::pair<std::string, const Ecdf*>>& series,
+    const std::string& x_label) {
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%14s", x_label.c_str());
+  out += buf;
+  for (const auto& [name, _] : series) {
+    std::snprintf(buf, sizeof(buf), " %16s", name.c_str());
+    out += buf;
+  }
+  out += '\n';
+  for (double x : grid) {
+    std::snprintf(buf, sizeof(buf), "%14.1f", x);
+    out += buf;
+    for (const auto& [_, ecdf] : series) {
+      std::snprintf(buf, sizeof(buf), " %16.4f", ecdf->fraction_at(x));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace idnscope::stats

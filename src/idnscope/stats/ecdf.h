@@ -1,0 +1,57 @@
+// Empirical CDFs and distribution summaries.
+//
+// The paper reports most of its DNS-activity results as ECDF plots
+// (Figs 2, 3, 4, 5, 8).  Ecdf stores a sorted sample and answers both
+// directions: F(x) = fraction of samples <= x, and quantiles.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace idnscope::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  void add(double sample);
+
+  std::size_t size() const { return sorted_ ? samples_.size() : samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Fraction of samples <= x, in [0, 1].  0 for an empty sample.
+  double fraction_at(double x) const;
+
+  // Smallest sample value v with F(v) >= q, for q in (0, 1].
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double median() const { return quantile(0.5); }
+
+  // Evaluate the ECDF at each of `xs` (for plotting a series).
+  std::vector<double> evaluate(const std::vector<double>& xs) const;
+
+  // Log-spaced evaluation grid covering [max(1,min), max], `points` entries.
+  // Matches the paper's log-x ECDF plots.
+  std::vector<double> log_grid(std::size_t points) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Render one or more named ECDF series as an ASCII table over a shared grid:
+// rows are grid points, columns are F(x) per series.  Used by the fig_*
+// benches to print the paper's figures as data.
+std::string format_ecdf_table(
+    const std::vector<double>& grid,
+    const std::vector<std::pair<std::string, const Ecdf*>>& series,
+    const std::string& x_label);
+
+}  // namespace idnscope::stats

@@ -1,0 +1,75 @@
+#include "idnscope/stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace idnscope::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+  std::string sep = "+";
+  for (std::size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  out += sep;
+  return out;
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) {
+      out += ',';
+    }
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string format_percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace idnscope::stats

@@ -1,0 +1,34 @@
+// ASCII table builder used by every bench binary to print paper-style
+// tables with aligned columns.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace idnscope::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Append a row; cells beyond the header count are dropped, missing cells
+  // become empty strings.
+  void add_row(std::vector<std::string> cells);
+
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers shared by the benches.
+std::string format_count(std::uint64_t value);       // "1,472,836"
+std::string format_percent(double fraction);         // "52.03%"
+std::string format_fixed(double value, int digits);  // "0.95"
+
+}  // namespace idnscope::stats

@@ -1,0 +1,413 @@
+#include "idnscope/unicode/confusables.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+namespace idnscope::unicode {
+
+namespace {
+
+using enum Accent;
+using enum VisualClass;
+
+// Sorted by (ascii_base, code_point).  Sources: Unicode confusables.txt
+// knowledge plus the substitutions the paper reports seeing in the wild
+// (Table VIII: Vietnamese, Arabic-script lookalikes, Icelandic, Yoruba
+// diacritic letters; Table XII: the google.com gradient).
+constexpr Homoglyph kTable[] = {
+    // --- digits (sparse: cross-language digit confusables are rare) ---
+    {0x03B8, '0', kStroke, kWeak},       // θ vs 0
+    {0x0437, '3', kOpenShape, kSimilar}, // з (cyrillic ze) vs 3
+    {0x04E1, '3', kOpenShape, kSimilar}, // ӡ (abkhazian dze) vs 3
+    {0x0431, '6', kOpenShape, kWeak},    // б vs 6
+    // --- a ---
+    {0x00E0, 'a', kGrave, kNear},        // à
+    {0x00E1, 'a', kAcute, kNear},        // á
+    {0x00E2, 'a', kCircumflex, kNear},   // â
+    {0x00E3, 'a', kTilde, kNear},        // ã
+    {0x00E4, 'a', kDiaeresis, kNear},    // ä
+    {0x00E5, 'a', kRingAbove, kNear},    // å
+    {0x0101, 'a', kMacron, kNear},       // ā
+    {0x0103, 'a', kBreve, kNear},        // ă
+    {0x0105, 'a', kOgonek, kNear},       // ą
+    {0x0251, 'a', kOpenShape, kSimilar}, // ɑ (latin alpha)
+    {0x03B1, 'a', kOpenShape, kSimilar}, // α (greek alpha)
+    {0x0430, 'a', kNone, kIdentical},    // а (cyrillic)
+    {0x1EA1, 'a', kDotBelow, kNear},     // ạ (vietnamese)
+    {0x1EA3, 'a', kHook, kSimilar},      // ả
+    {0x1EA5, 'a', kCircumflexAcute, kSimilar}, // ấ
+    {0x1EA7, 'a', kStacked, kSimilar},   // ầ (circumflex + grave)
+    {0x1EAF, 'a', kBreveAcute, kSimilar},// ắ
+    {0x1EB1, 'a', kBreveGrave, kSimilar},// ằ
+    // --- b ---
+    {0x0180, 'b', kStroke, kSimilar},    // ƀ
+    {0x0185, 'b', kOpenShape, kSimilar}, // ƅ (tone six)
+    {0x0253, 'b', kHook, kSimilar},      // ɓ
+    {0x044C, 'b', kOpenShape, kWeak},    // ь (cyrillic soft sign)
+    {0x1E03, 'b', kDotAbove, kNear},     // ḃ
+    {0x1E05, 'b', kDotBelow, kNear},     // ḅ
+    // --- c ---
+    {0x00E7, 'c', kCedilla, kNear},      // ç
+    {0x0107, 'c', kAcute, kNear},        // ć
+    {0x0109, 'c', kCircumflex, kNear},   // ĉ
+    {0x010B, 'c', kDotAbove, kNear},     // ċ
+    {0x010D, 'c', kCaron, kNear},        // č
+    {0x0188, 'c', kHook, kSimilar},      // ƈ
+    {0x03F2, 'c', kNone, kIdentical},    // ϲ (greek lunate sigma)
+    {0x0441, 'c', kNone, kIdentical},    // с (cyrillic es)
+    // --- d ---
+    {0x010F, 'd', kCaron, kSimilar},     // ď (apostrophe-like caron)
+    {0x0111, 'd', kStroke, kSimilar},    // đ
+    {0x0257, 'd', kHook, kSimilar},      // ɗ
+    {0x0501, 'd', kNone, kIdentical},    // ԁ (cyrillic komi de)
+    {0x1E0B, 'd', kDotAbove, kNear},     // ḋ
+    {0x1E0D, 'd', kDotBelow, kNear},     // ḍ
+    // --- e ---
+    {0x00E8, 'e', kGrave, kNear},        // è
+    {0x00E9, 'e', kAcute, kNear},        // é
+    {0x00EA, 'e', kCircumflex, kNear},   // ê
+    {0x00EB, 'e', kDiaeresis, kNear},    // ë
+    {0x0113, 'e', kMacron, kNear},       // ē
+    {0x0115, 'e', kBreve, kNear},        // ĕ
+    {0x0117, 'e', kDotAbove, kNear},     // ė
+    {0x0119, 'e', kOgonek, kNear},       // ę
+    {0x011B, 'e', kCaron, kNear},        // ě
+    {0x0435, 'e', kNone, kIdentical},    // е (cyrillic ie)
+    {0x0451, 'e', kDiaeresis, kNear},    // ё
+    {0x0454, 'e', kOpenShape, kSimilar}, // є (ukrainian ie)
+    {0x1EB9, 'e', kDotBelow, kNear},     // ẹ (vietnamese/yoruba)
+    {0x1EBD, 'e', kTilde, kNear},        // ẽ
+    {0x1EBF, 'e', kCircumflexAcute, kSimilar}, // ế
+    {0x1EC1, 'e', kStacked, kSimilar},   // ề
+    // --- f ---
+    {0x0192, 'f', kHook, kSimilar},      // ƒ
+    {0x1E1F, 'f', kDotAbove, kNear},     // ḟ
+    // --- g ---
+    {0x011D, 'g', kCircumflex, kNear},   // ĝ
+    {0x011F, 'g', kBreve, kNear},        // ğ
+    {0x0121, 'g', kDotAbove, kNear},     // ġ
+    {0x0123, 'g', kCedilla, kNear},      // ģ
+    {0x01F5, 'g', kAcute, kNear},        // ǵ
+    {0x0261, 'g', kNone, kIdentical},    // ɡ (latin script g)
+    {0x0262, 'g', kOpenShape, kWeak},    // ɢ (small capital g)
+    {0x1E21, 'g', kMacron, kNear},       // ḡ
+    // --- h ---
+    {0x0125, 'h', kCircumflex, kNear},   // ĥ
+    {0x0127, 'h', kStroke, kSimilar},    // ħ
+    {0x04BB, 'h', kNone, kIdentical},    // һ (cyrillic shha)
+    {0x1E25, 'h', kDotBelow, kNear},     // ḥ
+    {0x1E29, 'h', kCedilla, kNear},      // ḩ
+    // --- i ---
+    {0x00EC, 'i', kGrave, kNear},        // ì
+    {0x00ED, 'i', kAcute, kNear},        // í
+    {0x00EE, 'i', kCircumflex, kNear},   // î
+    {0x00EF, 'i', kDiaeresis, kNear},    // ï
+    {0x0129, 'i', kTilde, kNear},        // ĩ
+    {0x012B, 'i', kMacron, kNear},       // ī
+    {0x012F, 'i', kOgonek, kNear},       // į
+    {0x0131, 'i', kOpenShape, kSimilar}, // ı (dotless i)
+    {0x0456, 'i', kNone, kIdentical},    // і (ukrainian i)
+    {0x03B9, 'i', kOpenShape, kSimilar}, // ι (greek iota)
+    {0x1ECB, 'i', kDotBelow, kNear},     // ị
+    // --- j ---
+    {0x0135, 'j', kCircumflex, kNear},   // ĵ
+    {0x0249, 'j', kStroke, kSimilar},    // ɉ
+    {0x0458, 'j', kNone, kIdentical},    // ј (cyrillic je)
+    // --- k ---
+    {0x0137, 'k', kCedilla, kNear},      // ķ
+    {0x0199, 'k', kHook, kSimilar},      // ƙ
+    {0x03BA, 'k', kOpenShape, kSimilar}, // κ (greek kappa)
+    {0x1E31, 'k', kAcute, kNear},        // ḱ
+    {0x1E33, 'k', kDotBelow, kNear},     // ḳ
+    // --- l ---
+    {0x013A, 'l', kAcute, kNear},        // ĺ
+    {0x013C, 'l', kCedilla, kNear},      // ļ
+    {0x013E, 'l', kCaron, kSimilar},     // ľ
+    {0x0142, 'l', kStroke, kSimilar},    // ł
+    {0x019A, 'l', kStroke, kSimilar},    // ƚ
+    {0x1E37, 'l', kDotBelow, kNear},     // ḷ
+    // --- m ---
+    {0x1E3F, 'm', kAcute, kNear},        // ḿ
+    {0x1E41, 'm', kDotAbove, kNear},     // ṁ
+    {0x1E43, 'm', kDotBelow, kNear},     // ṃ
+    // --- n ---
+    {0x00F1, 'n', kTilde, kNear},        // ñ
+    {0x0144, 'n', kAcute, kNear},        // ń
+    {0x0146, 'n', kCedilla, kNear},      // ņ
+    {0x0148, 'n', kCaron, kNear},        // ň
+    {0x014B, 'n', kHook, kSimilar},      // ŋ
+    {0x0272, 'n', kHook, kSimilar},      // ɲ
+    {0x1E45, 'n', kDotAbove, kNear},     // ṅ
+    {0x1E47, 'n', kDotBelow, kNear},     // ṇ
+    // --- o ---
+    {0x00F0, 'o', kHook, kSimilar},      // ð (icelandic eth)
+    {0x00F2, 'o', kGrave, kNear},        // ò
+    {0x00F3, 'o', kAcute, kNear},        // ó
+    {0x00F4, 'o', kCircumflex, kNear},   // ô
+    {0x00F5, 'o', kTilde, kNear},        // õ
+    {0x00F6, 'o', kDiaeresis, kNear},    // ö
+    {0x00F8, 'o', kStroke, kSimilar},    // ø
+    {0x014D, 'o', kMacron, kNear},       // ō
+    {0x014F, 'o', kBreve, kNear},        // ŏ
+    {0x0151, 'o', kDoubleAcute, kNear},  // ő
+    {0x01A1, 'o', kHorn, kSimilar},      // ơ
+    {0x03BF, 'o', kNone, kIdentical},    // ο (greek omicron)
+    {0x043E, 'o', kNone, kIdentical},    // о (cyrillic o)
+    {0x0585, 'o', kNone, kIdentical},    // օ (armenian oh)
+    {0x1ECD, 'o', kDotBelow, kNear},     // ọ (yoruba)
+    {0x1ED1, 'o', kCircumflexAcute, kSimilar}, // ố
+    {0x1ED3, 'o', kStacked, kSimilar},   // ồ (circumflex + grave)
+    {0x1EDB, 'o', kHornAcute, kSimilar}, // ớ
+    // --- p ---
+    {0x00FE, 'p', kOpenShape, kWeak},    // þ (icelandic thorn)
+    {0x01A5, 'p', kHook, kSimilar},      // ƥ
+    {0x03C1, 'p', kOpenShape, kSimilar}, // ρ (greek rho)
+    {0x0440, 'p', kNone, kIdentical},    // р (cyrillic er)
+    {0x1E57, 'p', kDotAbove, kNear},     // ṗ
+    // --- q ---
+    {0x024B, 'q', kHook, kSimilar},      // ɋ
+    {0x051B, 'q', kNone, kIdentical},    // ԛ (cyrillic qa)
+    // --- r ---
+    {0x0155, 'r', kAcute, kNear},        // ŕ
+    {0x0157, 'r', kCedilla, kNear},      // ŗ
+    {0x0159, 'r', kCaron, kNear},        // ř
+    {0x0280, 'r', kOpenShape, kWeak},    // ʀ (small capital r)
+    {0x1E59, 'r', kDotAbove, kNear},     // ṙ
+    {0x1E5B, 'r', kDotBelow, kNear},     // ṛ
+    // --- s ---
+    {0x015B, 's', kAcute, kNear},        // ś
+    {0x015D, 's', kCircumflex, kNear},   // ŝ
+    {0x015F, 's', kCedilla, kNear},      // ş
+    {0x0161, 's', kCaron, kNear},        // š
+    {0x0455, 's', kNone, kIdentical},    // ѕ (cyrillic dze)
+    {0x1E61, 's', kDotAbove, kNear},     // ṡ
+    {0x1E63, 's', kDotBelow, kNear},     // ṣ (yoruba)
+    // --- t ---
+    {0x0163, 't', kCedilla, kNear},      // ţ
+    {0x0165, 't', kCaron, kSimilar},     // ť
+    {0x0167, 't', kStroke, kSimilar},    // ŧ
+    {0x01AD, 't', kHook, kSimilar},      // ƭ
+    {0x1E6B, 't', kDotAbove, kNear},     // ṫ
+    {0x1E6D, 't', kDotBelow, kNear},     // ṭ
+    // --- u ---
+    {0x00F9, 'u', kGrave, kNear},        // ù
+    {0x00FA, 'u', kAcute, kNear},        // ú
+    {0x00FB, 'u', kCircumflex, kNear},   // û
+    {0x00FC, 'u', kDiaeresis, kNear},    // ü
+    {0x0169, 'u', kTilde, kNear},        // ũ
+    {0x016B, 'u', kMacron, kNear},       // ū
+    {0x016D, 'u', kBreve, kNear},        // ŭ
+    {0x016F, 'u', kRingAbove, kNear},    // ů
+    {0x0171, 'u', kDoubleAcute, kNear},  // ű
+    {0x0173, 'u', kOgonek, kNear},       // ų
+    {0x01B0, 'u', kHorn, kSimilar},      // ư
+    {0x03C5, 'u', kOpenShape, kSimilar}, // υ (greek upsilon)
+    {0x057D, 'u', kNone, kIdentical},    // ս (armenian seh)
+    {0x1EE5, 'u', kDotBelow, kNear},     // ụ
+    {0x1EE9, 'u', kHornAcute, kSimilar}, // ứ
+    // --- v ---
+    {0x0475, 'v', kNone, kIdentical},    // ѵ (cyrillic izhitsa)
+    {0x03BD, 'v', kNone, kIdentical},    // ν (greek nu)
+    {0x1E7D, 'v', kTilde, kNear},        // ṽ
+    {0x1E7F, 'v', kDotBelow, kNear},     // ṿ
+    // --- w ---
+    {0x0175, 'w', kCircumflex, kNear},   // ŵ
+    {0x0461, 'w', kOpenShape, kSimilar}, // ѡ (cyrillic omega)
+    {0x051D, 'w', kNone, kIdentical},    // ԝ (cyrillic we)
+    {0x1E81, 'w', kGrave, kNear},        // ẁ
+    {0x1E83, 'w', kAcute, kNear},        // ẃ
+    {0x1E85, 'w', kDiaeresis, kNear},    // ẅ
+    // --- x ---
+    {0x03C7, 'x', kOpenShape, kSimilar}, // χ (greek chi)
+    {0x0445, 'x', kNone, kIdentical},    // х (cyrillic ha)
+    {0x1E8B, 'x', kDotAbove, kNear},     // ẋ
+    {0x1E8D, 'x', kDiaeresis, kNear},    // ẍ
+    // --- y ---
+    {0x00FD, 'y', kAcute, kNear},        // ý
+    {0x00FF, 'y', kDiaeresis, kNear},    // ÿ
+    {0x0177, 'y', kCircumflex, kNear},   // ŷ
+    {0x01B4, 'y', kHook, kSimilar},      // ƴ
+    {0x03B3, 'y', kOpenShape, kSimilar}, // γ (greek gamma)
+    {0x0443, 'y', kNone, kIdentical},    // у (cyrillic u)
+    {0x04AF, 'y', kNone, kIdentical},    // ү (cyrillic straight u)
+    {0x1EF3, 'y', kGrave, kNear},        // ỳ
+    {0x1EF5, 'y', kDotBelow, kNear},     // ỵ
+    // --- z ---
+    {0x017A, 'z', kAcute, kNear},        // ź
+    {0x017C, 'z', kDotAbove, kNear},     // ż
+    {0x017E, 'z', kCaron, kNear},        // ž
+    {0x01B6, 'z', kStroke, kSimilar},    // ƶ
+    {0x0290, 'z', kHook, kSimilar},      // ʐ
+    {0x1E93, 'z', kDotBelow, kNear},     // ẓ
+};
+
+// The binary searches in homoglyphs_of() require base-character ordering.
+constexpr bool table_sorted_by_base() {
+  for (std::size_t i = 1; i < std::size(kTable); ++i) {
+    if (kTable[i - 1].ascii_base > kTable[i].ascii_base) {
+      return false;
+    }
+  }
+  return true;
+}
+static_assert(table_sorted_by_base(), "confusable table must be sorted");
+
+constexpr std::size_t kTableSize = std::size(kTable);
+
+}  // namespace
+
+std::string_view accent_name(Accent accent) {
+  switch (accent) {
+    case kNone: return "none";
+    case kAcute: return "acute";
+    case kGrave: return "grave";
+    case kCircumflex: return "circumflex";
+    case kDiaeresis: return "diaeresis";
+    case kTilde: return "tilde";
+    case kMacron: return "macron";
+    case kBreve: return "breve";
+    case kRingAbove: return "ring-above";
+    case kDotAbove: return "dot-above";
+    case kDotBelow: return "dot-below";
+    case kOgonek: return "ogonek";
+    case kCedilla: return "cedilla";
+    case kCaron: return "caron";
+    case kDoubleAcute: return "double-acute";
+    case kStacked: return "stacked";
+    case kCircumflexAcute: return "circumflex-acute";
+    case kBreveAcute: return "breve-acute";
+    case kBreveGrave: return "breve-grave";
+    case kHornAcute: return "horn-acute";
+    case kStroke: return "stroke";
+    case kHook: return "hook";
+    case kHorn: return "horn";
+    case kOpenShape: return "open-shape";
+  }
+  return "none";
+}
+
+std::string_view visual_class_name(VisualClass visual) {
+  switch (visual) {
+    case kIdentical: return "identical";
+    case kNear: return "near";
+    case kSimilar: return "similar";
+    case kWeak: return "weak";
+  }
+  return "weak";
+}
+
+std::span<const Homoglyph> all_homoglyphs() {
+  return {kTable, kTableSize};
+}
+
+std::span<const Homoglyph> homoglyphs_of(char ascii) {
+  // The table is sorted by ascii_base; find the contiguous run.
+  auto lo = std::lower_bound(
+      std::begin(kTable), std::end(kTable), ascii,
+      [](const Homoglyph& h, char c) { return h.ascii_base < c; });
+  auto hi = std::upper_bound(
+      std::begin(kTable), std::end(kTable), ascii,
+      [](char c, const Homoglyph& h) { return c < h.ascii_base; });
+  return {lo, static_cast<std::size_t>(hi - lo)};
+}
+
+const Homoglyph* find_homoglyph(char32_t cp) {
+  static const std::unordered_map<char32_t, const Homoglyph*> index = [] {
+    std::unordered_map<char32_t, const Homoglyph*> map;
+    map.reserve(kTableSize);
+    for (const Homoglyph& h : kTable) {
+      map.emplace(h.code_point, &h);
+    }
+    return map;
+  }();
+  auto it = index.find(cp);
+  return it == index.end() ? nullptr : it->second;
+}
+
+std::optional<char> skeleton_char(char32_t cp) {
+  if (cp < 0x80) {
+    char c = static_cast<char>(cp);
+    if (c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+    return c;
+  }
+  if (const Homoglyph* h = find_homoglyph(cp)) {
+    return h->ascii_base;
+  }
+  return std::nullopt;
+}
+
+std::span<const char> related_letters(char c) {
+  // Pixel-overlap neighbours (symmetric closure is intentional: UC-SimList
+  // pairs both directions).
+  // UC-SimList was generous: any pair whose rendered bitmaps overlap made
+  // the list, including bowl/stem overlaps like (o,b) whose decorated
+  // variants rarely survive the SSIM cut.  That weak tail is what makes
+  // the paper's candidate pool (≈128 per brand) much larger than its
+  // homographic subset (≈33%).
+  static constexpr struct {
+    char letter;
+    char related[6];
+    int count;
+  } kRelated[] = {
+      {'a', {'o', 'e', 'd', 'g', 'q', 0}, 5},
+      {'b', {'d', 'h', 'p', 'o', 'k', 0}, 5},
+      {'c', {'o', 'e', 'a', 'g', 0, 0}, 4},
+      {'d', {'b', 'q', 'a', 'o', 0, 0}, 4},
+      {'e', {'c', 'o', 'a', 's', 0, 0}, 4},
+      {'f', {'t', 'l', 'i', 'r', 0, 0}, 4},
+      {'g', {'q', 'y', 'a', 'o', 'p', 0}, 5},
+      {'h', {'b', 'n', 'k', 'l', 0, 0}, 4},
+      {'i', {'l', 'j', 't', 'f', 0, 0}, 4},
+      {'j', {'i', 'l', 'y', 0, 0, 0}, 3},
+      {'k', {'x', 'h', 'b', 0, 0, 0}, 3},
+      {'l', {'i', 't', 'f', 'j', 0, 0}, 4},
+      {'m', {'n', 'w', 'u', 0, 0, 0}, 3},
+      {'n', {'m', 'h', 'u', 'r', 0, 0}, 4},
+      {'o', {'a', 'c', 'e', 'b', 'd', 'q'}, 6},
+      {'p', {'q', 'b', 'g', 'n', 0, 0}, 4},
+      {'q', {'p', 'g', 'd', 'o', 'a', 0}, 5},
+      {'r', {'n', 'f', 't', 0, 0, 0}, 3},
+      {'s', {'z', 'e', 'g', 0, 0, 0}, 3},
+      {'t', {'f', 'l', 'i', 'r', 0, 0}, 4},
+      {'u', {'v', 'n', 'y', 'w', 0, 0}, 4},
+      {'v', {'u', 'y', 'w', 'x', 0, 0}, 4},
+      {'w', {'v', 'm', 'u', 0, 0, 0}, 3},
+      {'x', {'k', 'v', 'y', 'z', 0, 0}, 4},
+      {'y', {'v', 'g', 'u', 'j', 'x', 0}, 5},
+      {'z', {'s', 'x', 0, 0, 0, 0}, 2},
+      {'0', {'o', 'c', 0, 0, 0, 0}, 2},
+      {'1', {'l', 'i', 'j', 0, 0, 0}, 3},
+      {'2', {'z', 0, 0, 0, 0, 0}, 1},
+      {'3', {'8', 's', 0, 0, 0, 0}, 2},
+      {'4', {'9', 0, 0, 0, 0, 0}, 1},
+      {'5', {'s', '6', 0, 0, 0, 0}, 2},
+      {'6', {'b', '8', '5', 0, 0, 0}, 3},
+      {'7', {'1', 0, 0, 0, 0, 0}, 1},
+      {'8', {'3', '6', '9', 0, 0, 0}, 3},
+      {'9', {'g', 'q', '8', '4', 0, 0}, 4},
+  };
+  for (const auto& entry : kRelated) {
+    if (entry.letter == c) {
+      return {entry.related, static_cast<std::size_t>(entry.count)};
+    }
+  }
+  return {};
+}
+
+std::optional<std::string> ascii_skeleton(std::u32string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char32_t cp : text) {
+    auto c = skeleton_char(cp);
+    if (!c) {
+      return std::nullopt;
+    }
+    out.push_back(*c);
+  }
+  return out;
+}
+
+}  // namespace idnscope::unicode

@@ -1,0 +1,100 @@
+// Homoglyph / confusable tables — our stand-in for UC-SimList [8].
+//
+// The paper's availability analysis (Section VI-D) replaces one character of
+// a brand domain at a time with visually confusable Unicode characters and
+// keeps candidates whose rendered image scores SSIM >= 0.95 against the
+// brand.  UC-SimList itself was built from pixel overlap of rendered glyph
+// bitmaps; our table encodes, for each confusable code point:
+//
+//   * the ASCII base letter it imitates,
+//   * a *glyph recipe* (base letter + accent/shape modifier) that the
+//     renderer uses to draw it, and
+//   * a prior VisualClass estimating how close it looks.
+//
+// The detector never trusts VisualClass — it renders and measures SSIM, as
+// the paper does.  Tests assert the measured SSIM ordering is consistent
+// with the class prior.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "idnscope/unicode/scripts.h"
+
+namespace idnscope::unicode {
+
+// How a confusable glyph differs from its ASCII base when drawn.
+enum class Accent : std::uint8_t {
+  kNone,        // pixel-identical to the base letter
+  kAcute,       // ´ above
+  kGrave,       // ` above
+  kCircumflex,  // ^ above
+  kDiaeresis,   // ¨ above
+  kTilde,       // ~ above
+  kMacron,      // ¯ above
+  kBreve,       // ˘ above
+  kRingAbove,   // ° above
+  kDotAbove,    // · above
+  kDotBelow,    // · below
+  kOgonek,      // hook below-right
+  kCedilla,     // hook below
+  kCaron,       // ˇ above
+  kDoubleAcute, // ˝ above
+  kStacked,     // circumflex + grave above it (Vietnamese ầ/ồ/ề)
+  kCircumflexAcute,  // circumflex + acute (Vietnamese ấ/ế/ố)
+  kBreveAcute,  // breve + acute (Vietnamese ắ)
+  kBreveGrave,  // breve + grave (Vietnamese ằ)
+  kHornAcute,   // horn + acute (Vietnamese ớ/ứ)
+  kStroke,      // bar through the body
+  kHook,        // tail / hook deformation of the body
+  kHorn,        // horn at upper right
+  kOpenShape,   // body drawn with a gap or altered bowl
+};
+
+// Prior visual-distance class (UC-SimList style).
+enum class VisualClass : std::uint8_t {
+  kIdentical,  // expected SSIM == 1.0 (e.g. Cyrillic а for Latin a)
+  kNear,       // expected SSIM in [0.95, 1.0) — single small diacritic
+  kSimilar,    // expected SSIM in [0.90, 0.95) — visible but deceptive
+  kWeak,       // expected SSIM < 0.90 — only fools a careless glance
+};
+
+struct Homoglyph {
+  char32_t code_point;
+  char ascii_base;      // the ASCII letter/digit this glyph imitates
+  Accent accent;
+  VisualClass visual;
+};
+
+std::string_view accent_name(Accent accent);
+std::string_view visual_class_name(VisualClass visual);
+
+// Entire table, sorted by (ascii_base, code_point).
+std::span<const Homoglyph> all_homoglyphs();
+
+// Homoglyphs imitating one ASCII character (may be empty).
+std::span<const Homoglyph> homoglyphs_of(char ascii);
+
+// Lookup by code point; nullptr when the code point is not in the table.
+const Homoglyph* find_homoglyph(char32_t cp);
+
+// Map one code point to its ASCII skeleton character: ASCII maps to itself
+// (lowercased), table entries map to their base, anything else is nullopt.
+std::optional<char> skeleton_char(char32_t cp);
+
+// Skeleton of a whole string: nullopt if any character has no skeleton.
+// This is the "remove the disguise" primitive used by browser policy checks.
+std::optional<std::string> ascii_skeleton(std::u32string_view text);
+
+// ASCII letters whose glyphs partially overlap `c` in pixel space — the
+// weaker tail of UC-SimList [8], which was built from raw bitmap overlap
+// and therefore also pairs letters like (c,o) or (i,l).  The homograph
+// *candidate pool* for a letter is homoglyphs_of(letter) plus the
+// homoglyphs of its related letters; the SSIM measurement then decides
+// which candidates actually deceive (Section VI-D).
+std::span<const char> related_letters(char c);
+
+}  // namespace idnscope::unicode

@@ -1,0 +1,183 @@
+#include "idnscope/unicode/scripts.h"
+
+#include <algorithm>
+#include <array>
+
+namespace idnscope::unicode {
+
+namespace {
+
+struct Range {
+  char32_t lo;
+  char32_t hi;
+  Script script;
+};
+
+// Sorted, non-overlapping ranges from UCD Scripts.txt (subset sufficient for
+// the repertoire exercised by the paper: Latin+extensions, Greek, Cyrillic,
+// the east-Asian scripts, and the scripts of the top-15 languages).
+constexpr Range kRanges[] = {
+    {0x0030, 0x0039, Script::kCommon},      // digits
+    {0x0041, 0x005A, Script::kLatin},
+    {0x0061, 0x007A, Script::kLatin},
+    {0x00AA, 0x00AA, Script::kLatin},
+    {0x00BA, 0x00BA, Script::kLatin},
+    {0x00C0, 0x00D6, Script::kLatin},
+    {0x00D8, 0x00F6, Script::kLatin},
+    {0x00F8, 0x02B8, Script::kLatin},       // Latin-1 sup .. modifier letters
+    {0x0300, 0x036F, Script::kInherited},   // combining diacritics
+    {0x0370, 0x0373, Script::kGreek},
+    {0x0375, 0x0377, Script::kGreek},
+    {0x037A, 0x037D, Script::kGreek},
+    {0x0384, 0x0384, Script::kGreek},
+    {0x0386, 0x03E1, Script::kGreek},       // (03E2..03EF Coptic folded out)
+    {0x03F0, 0x03FF, Script::kGreek},
+    {0x0400, 0x0484, Script::kCyrillic},
+    {0x0487, 0x052F, Script::kCyrillic},
+    {0x0531, 0x058F, Script::kArmenian},
+    {0x0591, 0x05F4, Script::kHebrew},
+    {0x0600, 0x06FF, Script::kArabic},
+    {0x0750, 0x077F, Script::kArabic},      // Arabic Supplement
+    {0x08A0, 0x08FF, Script::kArabic},      // Arabic Extended-A
+    {0x0900, 0x097F, Script::kDevanagari},
+    {0x0980, 0x09FF, Script::kBengali},
+    {0x0E01, 0x0E3A, Script::kThai},
+    {0x0E40, 0x0E5B, Script::kThai},
+    {0x0E81, 0x0EDF, Script::kLao},
+    {0x0F00, 0x0FFF, Script::kTibetan},
+    {0x1000, 0x109F, Script::kMyanmar},
+    {0x10A0, 0x10FF, Script::kGeorgian},
+    {0x1100, 0x11FF, Script::kHangul},      // Hangul Jamo
+    {0x1780, 0x17FF, Script::kKhmer},
+    {0x1800, 0x18AF, Script::kMongolian},
+    {0x1E00, 0x1EFF, Script::kLatin},       // Latin Extended Additional
+    {0x1F00, 0x1FFF, Script::kGreek},       // Greek Extended
+    {0x2C60, 0x2C7F, Script::kLatin},       // Latin Extended-C
+    {0x2D00, 0x2D2F, Script::kGeorgian},
+    {0x2E80, 0x2EFF, Script::kHan},         // CJK Radicals Supplement
+    {0x3005, 0x3005, Script::kHan},
+    {0x3007, 0x3007, Script::kHan},
+    {0x3041, 0x309F, Script::kHiragana},
+    {0x30A1, 0x30FA, Script::kKatakana},
+    {0x30FC, 0x30FF, Script::kKatakana},
+    {0x3105, 0x312F, Script::kBopomofo},
+    {0x3131, 0x318E, Script::kHangul},      // Hangul Compatibility Jamo
+    {0x31F0, 0x31FF, Script::kKatakana},
+    {0x3400, 0x4DBF, Script::kHan},         // CJK Extension A
+    {0x4E00, 0x9FFF, Script::kHan},         // CJK Unified Ideographs
+    {0xA640, 0xA69F, Script::kCyrillic},    // Cyrillic Extended-B
+    {0xA720, 0xA7FF, Script::kLatin},       // Latin Extended-D
+    {0xAC00, 0xD7A3, Script::kHangul},      // Hangul Syllables
+    {0xF900, 0xFAD9, Script::kHan},         // CJK Compatibility Ideographs
+    {0xFB1D, 0xFB4F, Script::kHebrew},
+    {0xFB50, 0xFDFF, Script::kArabic},      // Arabic Presentation Forms-A
+    {0xFE70, 0xFEFF, Script::kArabic},      // Arabic Presentation Forms-B
+    {0xFF66, 0xFF9D, Script::kKatakana},    // halfwidth katakana
+    {0xFFA0, 0xFFDC, Script::kHangul},      // halfwidth hangul
+    {0x20000, 0x2A6DF, Script::kHan},       // CJK Extension B
+    {0x2A700, 0x2EBEF, Script::kHan},       // CJK Extensions C..F
+    {0x2F800, 0x2FA1F, Script::kHan},       // CJK Compatibility Supplement
+};
+
+}  // namespace
+
+std::string_view script_name(Script script) {
+  switch (script) {
+    case Script::kCommon: return "Common";
+    case Script::kInherited: return "Inherited";
+    case Script::kLatin: return "Latin";
+    case Script::kGreek: return "Greek";
+    case Script::kCyrillic: return "Cyrillic";
+    case Script::kArmenian: return "Armenian";
+    case Script::kHebrew: return "Hebrew";
+    case Script::kArabic: return "Arabic";
+    case Script::kDevanagari: return "Devanagari";
+    case Script::kBengali: return "Bengali";
+    case Script::kThai: return "Thai";
+    case Script::kLao: return "Lao";
+    case Script::kTibetan: return "Tibetan";
+    case Script::kMyanmar: return "Myanmar";
+    case Script::kGeorgian: return "Georgian";
+    case Script::kHangul: return "Hangul";
+    case Script::kMongolian: return "Mongolian";
+    case Script::kKhmer: return "Khmer";
+    case Script::kHiragana: return "Hiragana";
+    case Script::kKatakana: return "Katakana";
+    case Script::kBopomofo: return "Bopomofo";
+    case Script::kHan: return "Han";
+    case Script::kUnknown: return "Unknown";
+  }
+  return "Unknown";
+}
+
+Script script_of(char32_t cp) {
+  if (cp < 0x80) {
+    if ((cp >= 'A' && cp <= 'Z') || (cp >= 'a' && cp <= 'z')) {
+      return Script::kLatin;
+    }
+    return Script::kCommon;
+  }
+  auto it = std::upper_bound(
+      std::begin(kRanges), std::end(kRanges), cp,
+      [](char32_t value, const Range& range) { return value < range.lo; });
+  if (it == std::begin(kRanges)) {
+    return Script::kUnknown;
+  }
+  --it;
+  if (cp >= it->lo && cp <= it->hi) {
+    return it->script;
+  }
+  // Everything else in the Basic Multilingual Plane that we do not model is
+  // treated as Common when it is clearly punctuation-like, else Unknown.
+  if (cp >= 0x2000 && cp <= 0x206F) {
+    return Script::kCommon;  // General Punctuation
+  }
+  return Script::kUnknown;
+}
+
+bool is_combining_mark(char32_t cp) {
+  // Combining Diacritical Marks + the extension blocks we support.
+  return (cp >= 0x0300 && cp <= 0x036F) ||  // combining diacritics
+         (cp >= 0x0483 && cp <= 0x0489) ||  // Cyrillic combining
+         (cp >= 0x0591 && cp <= 0x05BD) ||  // Hebrew points
+         (cp >= 0x064B && cp <= 0x065F) ||  // Arabic harakat
+         (cp >= 0x0E31 && cp <= 0x0E31) ||
+         (cp >= 0x0E34 && cp <= 0x0E3A) ||  // Thai vowels/tone
+         (cp >= 0x0E47 && cp <= 0x0E4E) ||
+         (cp >= 0x3099 && cp <= 0x309A) ||  // kana voicing marks
+         (cp >= 0x1DC0 && cp <= 0x1DFF) ||  // combining supplement
+         (cp >= 0x20D0 && cp <= 0x20FF);    // combining for symbols
+}
+
+std::vector<Script> scripts_in(std::u32string_view text) {
+  std::vector<Script> seen;
+  for (char32_t cp : text) {
+    Script s = script_of(cp);
+    if (s == Script::kCommon || s == Script::kInherited) {
+      continue;
+    }
+    if (std::find(seen.begin(), seen.end(), s) == seen.end()) {
+      seen.push_back(s);
+    }
+  }
+  return seen;
+}
+
+bool is_single_script(std::u32string_view text) {
+  return scripts_in(text).size() <= 1;
+}
+
+bool is_cjk_script(Script script) {
+  switch (script) {
+    case Script::kHan:
+    case Script::kHiragana:
+    case Script::kKatakana:
+    case Script::kHangul:
+    case Script::kBopomofo:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace idnscope::unicode

@@ -1,0 +1,62 @@
+// Unicode script classification (UCD Scripts.txt subset).
+//
+// Browsers' IDN display policies (Section VI-A of the paper) hinge on the
+// script composition of a label: Firefox shows Unicode when every character
+// of a label comes from a single script; Chrome additionally restricts
+// which script mixes are "highly restrictive".  This module provides the
+// script lookup those policy engines need, covering every script that
+// appears in the paper's language table (Table II) plus the homoglyph
+// source scripts (Cyrillic, Greek, Latin-Extended).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace idnscope::unicode {
+
+enum class Script : std::uint8_t {
+  kCommon,      // digits, punctuation, shared symbols
+  kInherited,   // combining marks that take the script of their base
+  kLatin,
+  kGreek,
+  kCyrillic,
+  kArmenian,
+  kHebrew,
+  kArabic,
+  kDevanagari,
+  kBengali,
+  kThai,
+  kLao,
+  kTibetan,
+  kMyanmar,
+  kGeorgian,
+  kHangul,
+  kMongolian,
+  kKhmer,
+  kHiragana,
+  kKatakana,
+  kBopomofo,
+  kHan,
+  kUnknown,
+};
+
+std::string_view script_name(Script script);
+
+Script script_of(char32_t cp);
+
+// True for combining marks (general category M*) in our supported repertoire.
+bool is_combining_mark(char32_t cp);
+
+// Distinct non-Common/non-Inherited scripts appearing in `text`, in first-
+// appearance order.
+std::vector<Script> scripts_in(std::u32string_view text);
+
+// True when all non-Common/Inherited characters share one script.
+bool is_single_script(std::u32string_view text);
+
+// CJK helper: Han, Hiragana, Katakana, Hangul and Bopomofo are mutually
+// legal mixes under Chrome's "highly restrictive" profile.
+bool is_cjk_script(Script script);
+
+}  // namespace idnscope::unicode

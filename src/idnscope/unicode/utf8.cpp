@@ -1,0 +1,161 @@
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::unicode {
+
+bool is_valid_code_point(char32_t cp) {
+  if (cp > kMaxCodePoint) {
+    return false;
+  }
+  // UTF-16 surrogates are not scalar values.
+  return cp < 0xD800 || cp > 0xDFFF;
+}
+
+std::string encode_code_point(char32_t cp) {
+  std::string out;
+  if (!is_valid_code_point(cp)) {
+    return out;
+  }
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return out;
+}
+
+std::string encode(std::u32string_view code_points) {
+  std::string out;
+  out.reserve(code_points.size());
+  for (char32_t cp : code_points) {
+    if (is_valid_code_point(cp)) {
+      out += encode_code_point(cp);
+    } else {
+      out += encode_code_point(0xFFFD);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Decode one code point starting at `i`.  Returns false on malformed input.
+// On success advances `i` past the sequence and stores the code point.
+bool decode_one(std::string_view utf8, std::size_t& i, char32_t& cp) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(utf8[k]);
+  };
+  const unsigned char b0 = byte(i);
+  if (b0 < 0x80) {
+    cp = b0;
+    i += 1;
+    return true;
+  }
+  std::size_t len = 0;
+  char32_t min = 0;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    min = 0x80;
+    cp = b0 & 0x1F;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    min = 0x800;
+    cp = b0 & 0x0F;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    min = 0x10000;
+    cp = b0 & 0x07;
+  } else {
+    return false;  // stray continuation byte or invalid lead
+  }
+  if (i + len > utf8.size()) {
+    return false;  // truncated sequence
+  }
+  for (std::size_t k = 1; k < len; ++k) {
+    const unsigned char bk = byte(i + k);
+    if ((bk & 0xC0) != 0x80) {
+      return false;
+    }
+    cp = (cp << 6) | (bk & 0x3F);
+  }
+  if (cp < min || !is_valid_code_point(cp)) {
+    return false;  // overlong encoding, surrogate, or out of range
+  }
+  i += len;
+  return true;
+}
+
+}  // namespace
+
+Result<std::u32string> decode(std::string_view utf8) {
+  std::u32string out;
+  out.reserve(utf8.size());
+  std::size_t i = 0;
+  while (i < utf8.size()) {
+    char32_t cp = 0;
+    if (!decode_one(utf8, i, cp)) {
+      return Err("utf8.malformed",
+                 "malformed UTF-8 at byte offset " + std::to_string(i));
+    }
+    out.push_back(cp);
+  }
+  return out;
+}
+
+std::u32string decode_lossy(std::string_view utf8) {
+  std::u32string out;
+  out.reserve(utf8.size());
+  std::size_t i = 0;
+  while (i < utf8.size()) {
+    char32_t cp = 0;
+    if (decode_one(utf8, i, cp)) {
+      out.push_back(cp);
+    } else {
+      out.push_back(0xFFFD);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::optional<std::size_t> length(std::string_view utf8) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  while (i < utf8.size()) {
+    char32_t cp = 0;
+    if (!decode_one(utf8, i, cp)) {
+      return std::nullopt;
+    }
+    ++count;
+  }
+  return count;
+}
+
+bool is_ascii(std::string_view text) {
+  for (unsigned char c : text) {
+    if (c >= 0x80) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_ascii(std::u32string_view text) {
+  for (char32_t cp : text) {
+    if (cp >= 0x80) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace idnscope::unicode

@@ -1,0 +1,39 @@
+// UTF-8 codec.
+//
+// IDN labels arrive either as UTF-8 byte strings (from synthetic zone-file
+// comments, WHOIS, web pages) or as code point sequences (from punycode
+// decoding).  This is a strict RFC 3629 codec: overlongs, surrogates and
+// values above U+10FFFF are rejected.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "idnscope/common/result.h"
+
+namespace idnscope::unicode {
+
+inline constexpr char32_t kMaxCodePoint = 0x10FFFF;
+
+bool is_valid_code_point(char32_t cp);
+
+// Encode one code point; returns empty string for invalid code points.
+std::string encode_code_point(char32_t cp);
+
+// Encode a whole sequence. Invalid code points are encoded as U+FFFD.
+std::string encode(std::u32string_view code_points);
+
+// Strict decode; fails on any malformed byte sequence.
+Result<std::u32string> decode(std::string_view utf8);
+
+// Lenient decode: malformed sequences become U+FFFD (one per bogus byte).
+std::u32string decode_lossy(std::string_view utf8);
+
+// Number of code points in a valid UTF-8 string (nullopt if malformed).
+std::optional<std::size_t> length(std::string_view utf8);
+
+bool is_ascii(std::string_view text);
+bool is_ascii(std::u32string_view text);
+
+}  // namespace idnscope::unicode

@@ -1,0 +1,115 @@
+#include "idnscope/web/web.h"
+
+#include "idnscope/common/strings.h"
+
+namespace idnscope::web {
+
+std::string_view page_category_name(PageCategory category) {
+  switch (category) {
+    case PageCategory::kNotResolved: return "Not resolved";
+    case PageCategory::kError: return "Error";
+    case PageCategory::kEmpty: return "Empty";
+    case PageCategory::kParked: return "Parked";
+    case PageCategory::kForSale: return "For sale";
+    case PageCategory::kRedirected: return "Redirected";
+    case PageCategory::kMeaningful: return "Meaningful content";
+  }
+  return "Error";
+}
+
+void SimulatedWeb::host(std::string domain, WebPage page) {
+  pages_.insert_or_assign(std::move(domain), std::move(page));
+}
+
+void SimulatedWeb::host_unreachable(std::string domain) {
+  // Present in the table with a sentinel "no page": fetch() reports a
+  // connection failure for it.
+  WebPage page;
+  page.status = 0;
+  pages_.insert_or_assign(std::move(domain), std::move(page));
+}
+
+FetchOutcome SimulatedWeb::fetch(std::string_view domain,
+                                 const dns::SimulatedResolver& resolver) const {
+  FetchOutcome outcome;
+  const dns::Resolution resolution = resolver.resolve(domain);
+  outcome.rcode = resolution.rcode;
+  if (!resolution.resolved()) {
+    return outcome;
+  }
+  auto it = pages_.find(std::string(domain));
+  if (it == pages_.end() || it->second.status == 0) {
+    outcome.connected = false;  // resolves but nothing listens on port 80
+    return outcome;
+  }
+  outcome.connected = true;
+  outcome.page = it->second;
+  return outcome;
+}
+
+namespace {
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  const std::string h = to_lower_ascii(haystack);
+  const std::string n = to_lower_ascii(needle);
+  return h.find(n) != std::string::npos;
+}
+
+bool looks_parked(const WebPage& page) {
+  for (std::string_view marker :
+       {"domain is parked", "sedoparking", "parked free", "parking page",
+        "courtesy of godaddy", "related searches"}) {
+    if (contains_ci(page.body, marker) || contains_ci(page.title, marker)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool looks_for_sale(const WebPage& page) {
+  for (std::string_view marker :
+       {"domain for sale", "buy this domain", "make an offer",
+        "this domain may be for sale"}) {
+    if (contains_ci(page.body, marker) || contains_ci(page.title, marker)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PageCategory classify_page(const FetchOutcome& outcome,
+                           std::string_view domain) {
+  if (outcome.rcode != dns::Rcode::kNoError) {
+    return PageCategory::kNotResolved;
+  }
+  if (!outcome.connected || !outcome.page.has_value()) {
+    return PageCategory::kError;
+  }
+  const WebPage& page = *outcome.page;
+  if (page.status >= 300 && page.status < 400 && page.redirect_location) {
+    // A redirect to elsewhere within the same registered domain is still
+    // that site; Table V's "Redirected" means traffic leaves the domain.
+    if (!page.redirect_location->ends_with(std::string(domain))) {
+      return PageCategory::kRedirected;
+    }
+  }
+  if (page.status >= 400 || page.status == 0) {
+    return PageCategory::kError;
+  }
+  // Parking and for-sale boilerplate beats the empty check: those pages
+  // often carry nothing but the marker text.
+  if (looks_for_sale(page)) {
+    return PageCategory::kForSale;
+  }
+  if (looks_parked(page)) {
+    return PageCategory::kParked;
+  }
+  if (trim(page.body).empty()) {
+    return PageCategory::kEmpty;
+  }
+  return PageCategory::kMeaningful;
+}
+
+}  // namespace idnscope::web

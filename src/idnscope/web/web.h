@@ -1,0 +1,66 @@
+// Simulated web layer: hosting, fetching and content classification.
+//
+// Section IV-D of the paper crawls IDN homepages and manually labels them
+// into seven categories (Table V).  We host synthetic pages on a simulated
+// web, fetch them through the simulated resolver (resolution failures are
+// their own category), and classify with the rule set a human labeler
+// would apply: HTTP errors, empty bodies, parking/for-sale boilerplate,
+// redirects, or real content.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "idnscope/dns/resolver.h"
+
+namespace idnscope::web {
+
+struct WebPage {
+  int status = 200;
+  std::string title;
+  std::string body;                           // HTML-ish text
+  std::optional<std::string> redirect_location;  // set for 3xx
+};
+
+enum class PageCategory : std::uint8_t {
+  kNotResolved,  // DNS failure (NXDOMAIN/REFUSED/...)
+  kError,        // TCP/HTTP failure (timeout, 4xx, 5xx)
+  kEmpty,        // 200 with no content
+  kParked,       // parking-service boilerplate
+  kForSale,      // domain-for-sale listing
+  kRedirected,   // 3xx to another registered domain
+  kMeaningful,   // an actual website
+};
+
+std::string_view page_category_name(PageCategory category);
+
+struct FetchOutcome {
+  dns::Rcode rcode = dns::Rcode::kNxDomain;
+  bool connected = false;      // TCP connect succeeded
+  std::optional<WebPage> page; // present when an HTTP response arrived
+};
+
+// The simulated web: domain -> page (or connection failure).
+class SimulatedWeb {
+ public:
+  void host(std::string domain, WebPage page);
+  // Mark a domain as resolving but not accepting connections.
+  void host_unreachable(std::string domain);
+
+  FetchOutcome fetch(std::string_view domain,
+                     const dns::SimulatedResolver& resolver) const;
+
+  std::size_t site_count() const { return pages_.size(); }
+
+ private:
+  std::unordered_map<std::string, WebPage> pages_;
+};
+
+// Rule-based labeling of a fetch outcome (the paper's Table V categories).
+PageCategory classify_page(const FetchOutcome& outcome,
+                           std::string_view domain);
+
+}  // namespace idnscope::web

@@ -1,0 +1,210 @@
+#include "idnscope/whois/whois.h"
+
+#include <algorithm>
+
+#include "idnscope/common/strings.h"
+
+namespace idnscope::whois {
+
+namespace {
+
+// Key sets per dialect.  Parsing tries each dialect's key set; a record is
+// accepted once the mandatory fields (domain, creation date) are found.
+struct DialectKeys {
+  std::string_view domain;
+  std::string_view registrar;
+  std::string_view email;
+  std::string_view created;
+  std::string_view expires;
+  std::string_view status;
+};
+
+constexpr DialectKeys kIcannKeys = {
+    "Domain Name:", "Registrar:", "Registrant Email:", "Creation Date:",
+    "Registry Expiry Date:", "Domain Status:"};
+constexpr DialectKeys kLegacyKeys = {
+    "domain:", "registrar:", "e-mail:", "created:", "expires:", "status:"};
+constexpr DialectKeys kVerboseKeys = {
+    "Domain name is", "Sponsoring registrar is", "Contact e-mail is",
+    "Record created on", "Record expires on", "Record status is"};
+constexpr DialectKeys kCnKeys = {
+    "Domain Name:", "Sponsoring Registrar:", "Registrant Contact Email:",
+    "Registration Time:", "Expiration Time:", "Domain Status:"};
+
+const DialectKeys& keys_for(WhoisDialect dialect) {
+  switch (dialect) {
+    case WhoisDialect::kIcann: return kIcannKeys;
+    case WhoisDialect::kLegacy: return kLegacyKeys;
+    case WhoisDialect::kVerbose: return kVerboseKeys;
+    case WhoisDialect::kKeyValueCn: return kCnKeys;
+  }
+  return kIcannKeys;
+}
+
+std::string line(std::string_view key, std::string_view value,
+                 bool prose = false) {
+  std::string out;
+  out += key;
+  out += ' ';
+  out += value;
+  if (prose) {
+    out += '.';
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+std::string format_whois(const WhoisRecord& record, WhoisDialect dialect) {
+  const DialectKeys& keys = keys_for(dialect);
+  const bool prose = dialect == WhoisDialect::kVerbose;
+  std::string out;
+  if (dialect == WhoisDialect::kIcann) {
+    out += "% IANA WHOIS server\n";
+  }
+  out += line(keys.domain, record.domain, prose);
+  out += line(keys.registrar, record.registrar, prose);
+  if (record.privacy_protected) {
+    out += line(keys.email, "REDACTED FOR PRIVACY", prose);
+  } else {
+    out += line(keys.email, record.registrant_email, prose);
+  }
+  out += line(keys.created, record.creation_date.to_string(), prose);
+  out += line(keys.expires, record.expiry_date.to_string(), prose);
+  out += line(keys.status, record.status, prose);
+  return out;
+}
+
+namespace {
+
+std::optional<std::string> extract_value(std::string_view text,
+                                         std::string_view key, bool prose) {
+  for (std::string_view raw : split(text, '\n')) {
+    std::string_view stripped = trim(raw);
+    if (starts_with_ascii_ci(stripped, key)) {
+      std::string_view value = trim(stripped.substr(key.size()));
+      // The prose dialect terminates each sentence with '.'.
+      if (prose && !value.empty() && value.back() == '.') {
+        value.remove_suffix(1);
+      }
+      return std::string(value);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<WhoisRecord> try_dialect(std::string_view text,
+                                       const DialectKeys& keys, bool prose) {
+  auto extract = [&](std::string_view key) {
+    return extract_value(text, key, prose);
+  };
+  auto domain = extract(keys.domain);
+  auto created = extract(keys.created);
+  if (!domain || !created) {
+    return std::nullopt;
+  }
+  auto created_date = Date::parse(*created);
+  if (!created_date) {
+    return std::nullopt;
+  }
+  WhoisRecord record;
+  record.domain = to_lower_ascii(*domain);
+  record.creation_date = *created_date;
+  if (auto registrar = extract(keys.registrar)) {
+    record.registrar = *registrar;
+  }
+  if (auto email = extract(keys.email)) {
+    if (*email == "REDACTED FOR PRIVACY") {
+      record.privacy_protected = true;
+    } else {
+      record.registrant_email = to_lower_ascii(*email);
+    }
+  }
+  if (auto expires = extract(keys.expires)) {
+    if (auto date = Date::parse(*expires)) {
+      record.expiry_date = *date;
+    }
+  }
+  if (auto status = extract(keys.status)) {
+    record.status = *status;
+  }
+  return record;
+}
+
+}  // namespace
+
+Result<WhoisRecord> parse_whois(std::string_view text) {
+  for (WhoisDialect dialect :
+       {WhoisDialect::kIcann, WhoisDialect::kKeyValueCn, WhoisDialect::kLegacy,
+        WhoisDialect::kVerbose}) {
+    if (auto record = try_dialect(text, keys_for(dialect),
+                                  dialect == WhoisDialect::kVerbose)) {
+      return *record;
+    }
+  }
+  return Err("whois.unparsable", "no known WHOIS dialect matched");
+}
+
+void WhoisDb::insert(WhoisRecord record) {
+  std::string key = record.domain;
+  records_.insert_or_assign(std::move(key), std::move(record));
+}
+
+const WhoisRecord* WhoisDb::lookup(std::string_view domain) const {
+  auto it = records_.find(std::string(domain));
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+std::vector<std::pair<std::string, std::uint64_t>> sorted_counts(
+    std::unordered_map<std::string, std::uint64_t>&& counts) {
+  std::vector<std::pair<std::string, std::uint64_t>> out(
+      std::make_move_iterator(counts.begin()),
+      std::make_move_iterator(counts.end()));
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;  // deterministic tie-break
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::uint64_t>> WhoisDb::top_registrars()
+    const {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (const auto& [_, record] : records_) {
+    if (!record.registrar.empty()) {
+      ++counts[record.registrar];
+    }
+  }
+  return sorted_counts(std::move(counts));
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> WhoisDb::top_registrants()
+    const {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (const auto& [_, record] : records_) {
+    if (!record.privacy_protected && !record.registrant_email.empty()) {
+      ++counts[record.registrant_email];
+    }
+  }
+  return sorted_counts(std::move(counts));
+}
+
+std::vector<std::pair<int, std::uint64_t>> WhoisDb::creations_per_year()
+    const {
+  std::unordered_map<int, std::uint64_t> counts;
+  for (const auto& [_, record] : records_) {
+    ++counts[record.creation_date.year];
+  }
+  std::vector<std::pair<int, std::uint64_t>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace idnscope::whois

@@ -1,0 +1,74 @@
+// WHOIS records, multi-dialect parsing, and the registration database.
+//
+// The paper obtained WHOIS for 739,160 IDNs (50.19%) and parsed them "using
+// a variety of tools, like python-whois"; coverage was poor for iTLDs
+// (1.1%) because of registrar blocks and parser failures.  We model the
+// whole chain: registrars emit WHOIS text in one of several dialects (or
+// refuse), and WhoisParser recovers structured records where it can.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "idnscope/common/date.h"
+#include "idnscope/common/result.h"
+
+namespace idnscope::whois {
+
+struct WhoisRecord {
+  std::string domain;            // ASCII form
+  std::string registrar;         // "GMO Internet Inc."
+  std::string registrant_email;  // may be a privacy-proxy address
+  bool privacy_protected = false;
+  Date creation_date;
+  Date expiry_date;
+  std::string status = "ok";
+
+  friend bool operator==(const WhoisRecord&, const WhoisRecord&) = default;
+};
+
+// Text dialects seen in the wild; each registrar sticks to one.
+enum class WhoisDialect : std::uint8_t {
+  kIcann,      // "   Creation Date: 2017-03-02T..." (ICANN RDAP-era text)
+  kLegacy,     // "created: 2017-03-02" (terse legacy keys)
+  kVerbose,    // "Record created on 2017-03-02." (prose-style)
+  kKeyValueCn, // "Registration Time: 2017-03-02" (CN-registrar style)
+};
+
+// Render a record as WHOIS response text in the given dialect.
+std::string format_whois(const WhoisRecord& record, WhoisDialect dialect);
+
+// Parse WHOIS text of any supported dialect back into a record.
+// Fails with "whois.unparsable" when no dialect matches.
+Result<WhoisRecord> parse_whois(std::string_view text);
+
+// In-memory WHOIS database keyed by domain.
+class WhoisDb {
+ public:
+  void insert(WhoisRecord record);
+  const WhoisRecord* lookup(std::string_view domain) const;
+  std::size_t size() const { return records_.size(); }
+  const std::unordered_map<std::string, WhoisRecord>& all() const {
+    return records_;
+  }
+
+  // --- aggregations used by Section IV-B -------------------------------
+
+  // Registrar -> #domains, sorted descending (Table IV).
+  std::vector<std::pair<std::string, std::uint64_t>> top_registrars() const;
+
+  // Registrant email -> #domains, privacy-protected excluded (Table III).
+  std::vector<std::pair<std::string, std::uint64_t>> top_registrants() const;
+
+  // Creation-year histogram (Fig 1); returns (year, count) sorted by year.
+  std::vector<std::pair<int, std::uint64_t>> creations_per_year() const;
+
+ private:
+  std::unordered_map<std::string, WhoisRecord> records_;
+};
+
+}  // namespace idnscope::whois

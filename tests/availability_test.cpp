@@ -1,0 +1,124 @@
+// Availability sweep tests (Section VI-D).
+#include <gtest/gtest.h>
+
+#include "idnscope/core/availability.h"
+
+namespace idnscope::core {
+namespace {
+
+const ecosystem::Ecosystem& tiny_eco() {
+  static const ecosystem::Ecosystem eco =
+      ecosystem::generate(ecosystem::Scenario::tiny());
+  return eco;
+}
+
+const Study& tiny_study() {
+  static const Study study(tiny_eco());
+  return study;
+}
+
+TEST(Availability, SweepCountsAreConsistent) {
+  const auto report = availability_sweep(tiny_study(), ecosystem::alexa_top(20));
+  EXPECT_FALSE(report.per_brand.empty());
+  std::uint64_t candidates = 0;
+  std::uint64_t homographic = 0;
+  std::uint64_t registered = 0;
+  for (const BrandAvailability& row : report.per_brand) {
+    EXPECT_LE(row.homographic, row.candidates);
+    EXPECT_LE(row.registered, row.homographic);
+    candidates += row.candidates;
+    homographic += row.homographic;
+    registered += row.registered;
+  }
+  EXPECT_EQ(candidates, report.total_candidates);
+  EXPECT_EQ(homographic, report.total_homographic);
+  EXPECT_EQ(registered, report.total_registered);
+  // The paper's headline: the space is large and mostly unregistered.
+  EXPECT_GT(report.total_homographic, 100U);
+  EXPECT_LT(report.total_registered, report.total_homographic / 4);
+}
+
+TEST(Availability, SkipsNonGtldBrands) {
+  const auto report = availability_sweep(tiny_study(), ecosystem::alexa_top(20));
+  for (const BrandAvailability& row : report.per_brand) {
+    const std::string_view suffix =
+        std::string_view(row.brand).substr(row.brand.find('.'));
+    EXPECT_TRUE(suffix == ".com" || suffix == ".net" || suffix == ".org")
+        << row.brand;
+  }
+}
+
+TEST(Availability, RegisteredCandidatesCountPlants) {
+  // The generator plants google.com homographs from the same candidate
+  // space, so the sweep must find registered ones for google.
+  const auto report = availability_sweep(tiny_study(), ecosystem::alexa_top(5));
+  const BrandAvailability* google = nullptr;
+  for (const BrandAvailability& row : report.per_brand) {
+    if (row.brand == "google.com") {
+      google = &row;
+    }
+  }
+  ASSERT_NE(google, nullptr);
+  EXPECT_GT(google->registered, 0U);
+  EXPECT_GT(google->homographic, google->registered);
+}
+
+TEST(Availability, AvailableSamplesAreUnregistered) {
+  const auto report = availability_sweep(tiny_study(), ecosystem::alexa_top(10));
+  for (const BrandAvailability& row : report.per_brand) {
+    for (const std::string& sample : row.available_samples) {
+      EXPECT_FALSE(tiny_study().is_registered(sample)) << sample;
+    }
+  }
+}
+
+TEST(Availability, PrefilterOnOffEquivalence) {
+  AvailabilityOptions with;
+  AvailabilityOptions without;
+  without.profile_budget = 0;
+  const auto fast = availability_sweep(tiny_study(), ecosystem::alexa_top(5), with);
+  const auto slow =
+      availability_sweep(tiny_study(), ecosystem::alexa_top(5), without);
+  EXPECT_EQ(fast.total_candidates, slow.total_candidates);
+  EXPECT_EQ(fast.total_homographic, slow.total_homographic);
+  EXPECT_EQ(fast.total_registered, slow.total_registered);
+}
+
+TEST(Availability, ThreadCountDoesNotChangeResults) {
+  AvailabilityOptions one;
+  one.threads = 1;
+  AvailabilityOptions four;
+  four.threads = 4;
+  const auto a = availability_sweep(tiny_study(), ecosystem::alexa_top(8), one);
+  const auto b = availability_sweep(tiny_study(), ecosystem::alexa_top(8), four);
+  ASSERT_EQ(a.per_brand.size(), b.per_brand.size());
+  for (std::size_t i = 0; i < a.per_brand.size(); ++i) {
+    EXPECT_EQ(a.per_brand[i].brand, b.per_brand[i].brand);
+    EXPECT_EQ(a.per_brand[i].homographic, b.per_brand[i].homographic);
+  }
+}
+
+TEST(Availability, TrafficSplitsByRegistration) {
+  const auto traffic = candidate_traffic(tiny_study(), ecosystem::alexa_top(10));
+  EXPECT_FALSE(traffic.unregistered_queries.empty());
+  // Unregistered candidates see (almost) no traffic; registered ones do.
+  double unregistered_mean = 0.0;
+  for (double queries : traffic.unregistered_queries) {
+    unregistered_mean += queries;
+  }
+  unregistered_mean /= static_cast<double>(traffic.unregistered_queries.size());
+  EXPECT_LT(unregistered_mean, 50.0);
+  if (!traffic.registered_queries.empty()) {
+    double registered_mean = 0.0;
+    for (double queries : traffic.registered_queries) {
+      registered_mean += queries;
+    }
+    registered_mean /= static_cast<double>(traffic.registered_queries.size());
+    EXPECT_GT(registered_mean, unregistered_mean);
+  }
+  EXPECT_LE(traffic.unregistered_with_traffic,
+            traffic.unregistered_queries.size());
+}
+
+}  // namespace
+}  // namespace idnscope::core

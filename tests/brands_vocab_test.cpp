@@ -1,0 +1,128 @@
+// Brand list and vocabulary data tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "idnscope/ecosystem/brands.h"
+#include "idnscope/ecosystem/vocab.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::ecosystem {
+namespace {
+
+TEST(Brands, ExactlyOneThousandDenseRanks) {
+  const auto& brands = alexa_top1k();
+  ASSERT_EQ(brands.size(), 1000U);
+  for (std::size_t i = 0; i < brands.size(); ++i) {
+    EXPECT_EQ(brands[i].rank, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(Brands, DomainsAreUnique) {
+  std::set<std::string> seen;
+  for (const Brand& brand : alexa_top1k()) {
+    EXPECT_TRUE(seen.insert(brand.domain).second) << brand.domain;
+  }
+}
+
+struct PinnedBrand {
+  const char* domain;
+  int rank;
+};
+
+class PaperBrandTest : public ::testing::TestWithParam<PinnedBrand> {};
+
+TEST_P(PaperBrandTest, AtCitedRank) {
+  const Brand* brand = find_brand(GetParam().domain);
+  ASSERT_NE(brand, nullptr) << GetParam().domain;
+  EXPECT_EQ(brand->rank, GetParam().rank);
+}
+
+// Every brand the paper's tables cite, at the cited Alexa rank.
+INSTANTIATE_TEST_SUITE_P(
+    TableXIIIandXIV, PaperBrandTest,
+    ::testing::Values(PinnedBrand{"google.com", 1},
+                      PinnedBrand{"youtube.com", 2},
+                      PinnedBrand{"facebook.com", 3},
+                      PinnedBrand{"qq.com", 9}, PinnedBrand{"amazon.com", 11},
+                      PinnedBrand{"twitter.com", 13},
+                      PinnedBrand{"apple.com", 55},
+                      PinnedBrand{"soso.com", 96},
+                      PinnedBrand{"china.com", 166},
+                      PinnedBrand{"1688.com", 191},
+                      PinnedBrand{"bet365.com", 332},
+                      PinnedBrand{"icloud.com", 372},
+                      PinnedBrand{"go.com", 391},
+                      PinnedBrand{"sex.com", 537},
+                      PinnedBrand{"as.com", 634}, PinnedBrand{"ea.com", 742},
+                      PinnedBrand{"58.com", 861}),
+    [](const auto& info) {
+      std::string name = info.param.domain;
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+TEST(Brands, SldHelper) {
+  EXPECT_EQ(find_brand("google.com")->sld(), "google");
+  EXPECT_EQ(find_brand("sina.com.cn")->sld(), "sina");
+}
+
+TEST(Brands, FindRejectsUnknown) {
+  EXPECT_EQ(find_brand("not-a-brand.example"), nullptr);
+}
+
+TEST(Brands, AlexaTopPrefix) {
+  const auto top10 = alexa_top(10);
+  ASSERT_EQ(top10.size(), 10U);
+  EXPECT_EQ(top10[0].domain, "google.com");
+  EXPECT_EQ(alexa_top(5000).size(), 1000U);  // clamped
+}
+
+TEST(Vocab, ItldListHas53ValidEntries) {
+  const auto itlds = itld_list();
+  ASSERT_EQ(itlds.size(), 53U);
+  std::set<std::string> aces;
+  for (const ItldEntry& entry : itlds) {
+    auto decoded = unicode::decode(entry.unicode_name);
+    ASSERT_TRUE(decoded.ok()) << entry.unicode_name;
+    auto ace = idna::label_to_ascii(decoded.value());
+    ASSERT_TRUE(ace.ok()) << entry.unicode_name;
+    EXPECT_TRUE(ace.value().starts_with("xn--")) << entry.unicode_name;
+    EXPECT_TRUE(aces.insert(ace.value()).second) << entry.unicode_name;
+  }
+}
+
+TEST(Vocab, AllWordPoolsEncodeUnderIdna) {
+  for (langid::Language lang : langid::all_languages()) {
+    for (std::string_view word : words_for(lang)) {
+      auto decoded = unicode::decode(word);
+      ASSERT_TRUE(decoded.ok()) << word;
+      EXPECT_TRUE(idna::label_to_ascii(decoded.value()).ok()) << word;
+    }
+  }
+}
+
+TEST(Vocab, ThemePoolsEncodeUnderIdna) {
+  for (auto pool : {semantic_keywords(), chinese_southwest_cities(),
+                    chinese_gambling_words(), chinese_short_words(),
+                    chongqing_related_words()}) {
+    for (std::string_view word : pool) {
+      auto decoded = unicode::decode(word);
+      ASSERT_TRUE(decoded.ok()) << word;
+      EXPECT_TRUE(idna::label_to_ascii(decoded.value()).ok()) << word;
+    }
+  }
+}
+
+TEST(Vocab, RegistrarTailNonEmptyDistinct) {
+  const auto pool = registrar_tail_pool();
+  std::set<std::string_view> seen(pool.begin(), pool.end());
+  EXPECT_EQ(seen.size(), pool.size());
+  EXPECT_GE(pool.size(), 40U);
+}
+
+}  // namespace
+}  // namespace idnscope::ecosystem

@@ -1,0 +1,181 @@
+// Browser IDN display-policy engine tests (Table XI).
+#include <gtest/gtest.h>
+
+#include "idnscope/core/browser.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/idna/lookalike.h"
+
+namespace idnscope::core {
+namespace {
+
+BrowserConfig config_named(const std::string& name,
+                           const std::string& platform) {
+  for (const BrowserConfig& browser : surveyed_browsers()) {
+    if (browser.name == name && browser.platform == platform) {
+      return browser;
+    }
+  }
+  ADD_FAILURE() << name << "/" << platform << " missing";
+  return {};
+}
+
+std::string mixed_script_homograph() {
+  const std::pair<std::size_t, char32_t> sub{0, 0x0430};  // Cyrillic а
+  return idna::substitute("apple.com", {&sub, 1}).value();
+}
+
+std::string single_script_homograph() {
+  // ѕоѕо.com — whole-label Cyrillic lookalike of soso.com (Alexa 96).
+  const std::u32string label = {0x0455, 0x043E, 0x0455, 0x043E};
+  return idna::label_to_ascii(label).value() + ".com";
+}
+
+TEST(Browser, SurveyCoversTableXI) {
+  const auto& browsers = surveyed_browsers();
+  EXPECT_EQ(browsers.size(), 27U);  // 10 PC + 9 iOS + 8 Android
+  int pc = 0;
+  int ios = 0;
+  int android = 0;
+  for (const BrowserConfig& browser : browsers) {
+    if (browser.platform == "PC") ++pc;
+    if (browser.platform == "iOS") ++ios;
+    if (browser.platform == "Android") ++android;
+  }
+  EXPECT_EQ(pc, 10);
+  EXPECT_EQ(ios, 9);
+  EXPECT_EQ(android, 8);
+}
+
+TEST(Browser, AlwaysUnicodeIsVulnerable) {
+  const auto outcome = load_in_browser(config_named("Sogou", "PC"),
+                                       mixed_script_homograph(), nullptr,
+                                       "apple.com");
+  EXPECT_TRUE(outcome.unicode_shown);
+  EXPECT_TRUE(outcome.deceptive);
+  EXPECT_EQ(outcome.address_bar, "аpple.com");
+}
+
+TEST(Browser, SingleScriptPolicyBlocksMixedScripts) {
+  const auto outcome = load_in_browser(config_named("Firefox", "PC"),
+                                       mixed_script_homograph(), nullptr,
+                                       "apple.com");
+  EXPECT_FALSE(outcome.unicode_shown);
+  EXPECT_FALSE(outcome.deceptive);
+  EXPECT_TRUE(outcome.address_bar.starts_with("xn--"));
+}
+
+TEST(Browser, SingleScriptPolicyBypassedByWholeScriptConfusable) {
+  // The paper's Firefox bypass: all characters from one script.
+  const auto outcome = load_in_browser(config_named("Firefox", "PC"),
+                                       single_script_homograph(), nullptr,
+                                       "soso.com");
+  EXPECT_TRUE(outcome.unicode_shown);
+  EXPECT_TRUE(outcome.deceptive);
+}
+
+TEST(Browser, ChromePolicyCatchesWholeScriptConfusable) {
+  const auto outcome = load_in_browser(config_named("Chrome", "PC"),
+                                       single_script_homograph(), nullptr,
+                                       "soso.com");
+  EXPECT_FALSE(outcome.unicode_shown);
+  EXPECT_FALSE(outcome.deceptive);
+}
+
+TEST(Browser, ChromePolicyAllowsLegitimateIdn) {
+  // A legitimate single-script IDN whose skeleton is no brand is shown in
+  // Unicode (the IETF-intended behaviour).
+  const std::string domain =
+      idna::domain_to_ascii("münchen-bäckerei.com").value();
+  const auto outcome = load_in_browser(config_named("Chrome", "PC"), domain,
+                                       nullptr, "");
+  EXPECT_TRUE(outcome.unicode_shown);
+  EXPECT_FALSE(outcome.deceptive);
+}
+
+TEST(Browser, Ie11ShowsPunycodeWithAlert) {
+  const auto outcome = load_in_browser(config_named("IE", "PC"),
+                                       mixed_script_homograph(), nullptr,
+                                       "apple.com");
+  EXPECT_FALSE(outcome.unicode_shown);
+  EXPECT_TRUE(outcome.alert_shown);
+  EXPECT_FALSE(outcome.deceptive);
+}
+
+TEST(Browser, TitleDisplayIsSpoofable) {
+  web::WebPage page;
+  page.title = "apple";
+  const auto outcome = load_in_browser(config_named("Sogou", "iOS"),
+                                       mixed_script_homograph(), &page,
+                                       "apple.com");
+  EXPECT_EQ(outcome.address_bar, "apple");
+  EXPECT_TRUE(outcome.deceptive);
+}
+
+TEST(Browser, TitleDisplayNotDeceptiveForHonestTitle) {
+  web::WebPage page;
+  page.title = "My Personal Blog";
+  const auto outcome = load_in_browser(config_named("Sogou", "iOS"),
+                                       mixed_script_homograph(), &page,
+                                       "apple.com");
+  EXPECT_FALSE(outcome.deceptive);
+}
+
+TEST(Browser, QqAndroidGoesBlankOnConfusables) {
+  const auto outcome = load_in_browser(config_named("QQ", "Android"),
+                                       mixed_script_homograph(), nullptr,
+                                       "apple.com");
+  EXPECT_TRUE(outcome.navigated_blank);
+  EXPECT_EQ(outcome.address_bar, "about:blank");
+}
+
+struct VerdictCase {
+  const char* browser;
+  const char* platform;
+  const char* itld;
+  const char* homograph;
+};
+
+class SurveyVerdictTest : public ::testing::TestWithParam<VerdictCase> {};
+
+TEST_P(SurveyVerdictTest, MatchesPaperCell) {
+  for (const SurveyVerdict& verdict : run_browser_survey()) {
+    if (verdict.browser == GetParam().browser &&
+        verdict.platform == GetParam().platform) {
+      EXPECT_EQ(verdict.itld_support, GetParam().itld);
+      EXPECT_EQ(verdict.homograph_result, GetParam().homograph);
+      return;
+    }
+  }
+  FAIL() << GetParam().browser << "/" << GetParam().platform << " not found";
+}
+
+// One row per distinctive Table XI cell.
+INSTANTIATE_TEST_SUITE_P(
+    TableXI, SurveyVerdictTest,
+    ::testing::Values(
+        VerdictCase{"Chrome", "PC", "", ""},
+        VerdictCase{"Firefox", "PC", "Need prefix", "Bypassed"},
+        VerdictCase{"Opera", "PC", "", "Bypassed"},
+        VerdictCase{"Safari", "PC", "", ""},
+        VerdictCase{"IE", "PC", "", ""},
+        VerdictCase{"Baidu", "PC", "", "Bypassed"},
+        VerdictCase{"Sogou", "PC", "", "Vulnerable"},
+        VerdictCase{"Liebao", "PC", "", "Bypassed"},
+        VerdictCase{"QQ", "iOS", "Unicode only", "Title"},
+        VerdictCase{"Baidu", "iOS", "Unicode only", "Title"},
+        VerdictCase{"Sogou", "iOS", "", "Title"},
+        VerdictCase{"Firefox", "Android", "Need prefix", "Bypassed"},
+        VerdictCase{"QQ", "Android", "Unicode only", "about:blank"},
+        VerdictCase{"Baidu", "Android", "Not supported", "Title"},
+        VerdictCase{"Qihoo 360", "Android", "Punycode only", ""}),
+    [](const auto& info) {
+      std::string name = std::string(info.param.browser) + "_" +
+                         info.param.platform;
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace idnscope::core

@@ -1,0 +1,275 @@
+// Tests for the common substrate: strings, dates, deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "idnscope/common/date.h"
+#include "idnscope/common/result.h"
+#include "idnscope/common/rng.h"
+#include "idnscope/common/strings.h"
+
+namespace idnscope {
+namespace {
+
+// ---- Result<T> --------------------------------------------------------------
+
+Result<int> parse_positive(int value) {
+  if (value <= 0) {
+    return Err("test.negative", "value must be positive");
+  }
+  return value;
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  auto ok = parse_positive(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.value_or(-1), 7);
+
+  auto bad = parse_positive(-3);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "test.negative");
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutOfValue) {
+  Result<std::string> result = std::string("payload");
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Result, ErrorEquality) {
+  EXPECT_EQ(Err("a", "b"), Err("a", "b"));
+  EXPECT_FALSE(Err("a", "b") == Err("a", "c"));
+}
+
+// ---- strings ---------------------------------------------------------------
+
+TEST(Strings, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4U);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1U);
+}
+
+TEST(Strings, SplitWhitespace) {
+  auto parts = split_whitespace("  a\t b\n\nc  ");
+  ASSERT_EQ(parts.size(), 3U);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, LowerAscii) {
+  EXPECT_EQ(to_lower_ascii("AbC-123"), "abc-123");
+  // Multi-byte UTF-8 must pass through untouched.
+  EXPECT_EQ(to_lower_ascii("Ä"), "Ä");
+}
+
+TEST(Strings, StartsWithCi) {
+  EXPECT_TRUE(starts_with_ascii_ci("XN--abc", "xn--"));
+  EXPECT_FALSE(starts_with_ascii_ci("xn-", "xn--"));
+  EXPECT_TRUE(starts_with_ascii_ci("abc", ""));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(join({}, "."), "");
+  EXPECT_EQ(join({"solo"}, "."), "solo");
+}
+
+TEST(Strings, ParseU64) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(parse_u64("0", value));
+  EXPECT_EQ(value, 0U);
+  EXPECT_TRUE(parse_u64("18446744073709551615", value));
+  EXPECT_EQ(value, ~std::uint64_t{0});
+  EXPECT_FALSE(parse_u64("18446744073709551616", value));  // overflow
+  EXPECT_FALSE(parse_u64("", value));
+  EXPECT_FALSE(parse_u64("-1", value));
+  EXPECT_FALSE(parse_u64("12a", value));
+}
+
+// ---- dates -----------------------------------------------------------------
+
+TEST(Date, SerialKnownValues) {
+  EXPECT_EQ((Date{1970, 1, 1}).to_serial(), 0);
+  EXPECT_EQ((Date{1970, 1, 2}).to_serial(), 1);
+  EXPECT_EQ((Date{2000, 3, 1}).to_serial(), 11017);
+  EXPECT_EQ((Date{2017, 9, 21}).to_serial(), 17430);
+}
+
+TEST(Date, LeapYears) {
+  EXPECT_TRUE(Date::is_leap(2000));
+  EXPECT_TRUE(Date::is_leap(2016));
+  EXPECT_FALSE(Date::is_leap(1900));
+  EXPECT_FALSE(Date::is_leap(2017));
+  EXPECT_EQ(Date::days_in_month(2016, 2), 29);
+  EXPECT_EQ(Date::days_in_month(2017, 2), 28);
+}
+
+TEST(Date, Validity) {
+  EXPECT_TRUE((Date{2017, 2, 28}).valid());
+  EXPECT_FALSE((Date{2017, 2, 29}).valid());
+  EXPECT_FALSE((Date{2017, 13, 1}).valid());
+  EXPECT_FALSE((Date{2017, 0, 1}).valid());
+}
+
+TEST(Date, ParseAndFormat) {
+  auto parsed = Date::parse("2017-09-21");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->to_string(), "2017-09-21");
+  EXPECT_TRUE(Date::parse("2017/09/21").has_value());
+  EXPECT_FALSE(Date::parse("2017-9-21").has_value());
+  EXPECT_FALSE(Date::parse("2017-02-30").has_value());
+  EXPECT_FALSE(Date::parse("2017.09.21").has_value());
+  EXPECT_FALSE(Date::parse("garbage").has_value());
+}
+
+TEST(Date, SerialRoundTripProperty) {
+  // Sweep a century of days through the civil <-> serial conversion.
+  for (std::int64_t serial = -10000; serial <= 30000; serial += 7) {
+    const Date date = Date::from_serial(serial);
+    EXPECT_TRUE(date.valid());
+    EXPECT_EQ(date.to_serial(), serial);
+  }
+}
+
+TEST(Date, Arithmetic) {
+  const Date start{2017, 9, 21};
+  EXPECT_EQ(start.plus_days(10).to_string(), "2017-10-01");
+  EXPECT_EQ(days_between(start, start.plus_days(118)), 118);
+  EXPECT_LT(start, start.plus_days(1));
+}
+
+// ---- rng -------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIndependentOfParentDraws) {
+  Rng parent(7);
+  Rng child1 = parent.fork("tag");
+  parent.next_u64();  // advancing the parent must not change fork results
+  // (fork derives from a snapshot of state; re-fork from a fresh copy)
+  Rng parent2(7);
+  Rng child2 = parent2.fork("tag");
+  EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  Rng other = parent2.fork("other");
+  EXPECT_NE(child2.next_u64(), other.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t value = rng.uniform(5, 9);
+    EXPECT_GE(value, 5U);
+    EXPECT_LE(value, 9U);
+  }
+  EXPECT_EQ(rng.uniform(7, 7), 7U);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.uniform01();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double value = rng.normal();
+    sum += value;
+    sq += value * value;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(17);
+  int below = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.lognormal(4.0, 1.5) < std::exp(4.0)) {
+      ++below;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.02);
+}
+
+TEST(Rng, ZipfConcentration) {
+  Rng rng(19);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.zipf(100, 1.0)];
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 100);  // far above uniform share
+}
+
+TEST(Rng, WeightedRespectsZeros) {
+  Rng rng(23);
+  const double weights[] = {0.0, 1.0, 0.0, 3.0};
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[rng.weighted(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_GT(counts[3], counts[1]);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, StableHashIsStable) {
+  EXPECT_EQ(stable_hash64("example.com"), stable_hash64("example.com"));
+  EXPECT_NE(stable_hash64("example.com"), stable_hash64("example.net"));
+  EXPECT_NE(stable_hash64(""), stable_hash64("a"));
+}
+
+}  // namespace
+}  // namespace idnscope

@@ -1,0 +1,144 @@
+// Confusable / homoglyph table tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "idnscope/unicode/confusables.h"
+#include "idnscope/unicode/scripts.h"
+
+namespace idnscope::unicode {
+namespace {
+
+TEST(Confusables, TableNonEmptyAndSorted) {
+  const auto table = all_homoglyphs();
+  ASSERT_GT(table.size(), 150U);
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_LE(table[i - 1].ascii_base, table[i].ascii_base);
+  }
+}
+
+TEST(Confusables, AllCodePointsDistinct) {
+  std::set<char32_t> seen;
+  for (const Homoglyph& h : all_homoglyphs()) {
+    EXPECT_TRUE(seen.insert(h.code_point).second)
+        << std::hex << static_cast<std::uint32_t>(h.code_point);
+  }
+}
+
+TEST(Confusables, EveryLetterHasHomoglyphs) {
+  for (char c = 'a'; c <= 'z'; ++c) {
+    EXPECT_FALSE(homoglyphs_of(c).empty()) << c;
+  }
+}
+
+TEST(Confusables, EveryLetterHasANearOrIdenticalEntry) {
+  // The homograph planting machinery needs a deceptive substitution for
+  // every letter of every brand.
+  for (char c = 'a'; c <= 'z'; ++c) {
+    bool found = false;
+    for (const Homoglyph& h : homoglyphs_of(c)) {
+      if (h.visual == VisualClass::kIdentical ||
+          h.visual == VisualClass::kNear) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << c;
+  }
+}
+
+TEST(Confusables, HomoglyphsOfMatchesFind) {
+  for (const Homoglyph& h : all_homoglyphs()) {
+    const Homoglyph* found = find_homoglyph(h.code_point);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->ascii_base, h.ascii_base);
+    bool in_bucket = false;
+    for (const Homoglyph& bucket_entry : homoglyphs_of(h.ascii_base)) {
+      if (bucket_entry.code_point == h.code_point) {
+        in_bucket = true;
+      }
+    }
+    EXPECT_TRUE(in_bucket);
+  }
+}
+
+TEST(Confusables, FindRejectsUnknown) {
+  EXPECT_EQ(find_homoglyph(U'a'), nullptr);   // ASCII is not in the table
+  EXPECT_EQ(find_homoglyph(0x4E2D), nullptr); // 中
+}
+
+TEST(Confusables, KnownIdenticalPairs) {
+  // The classic homograph letters from the paper's apple.com example.
+  const Homoglyph* cyrillic_a = find_homoglyph(0x0430);
+  ASSERT_NE(cyrillic_a, nullptr);
+  EXPECT_EQ(cyrillic_a->ascii_base, 'a');
+  EXPECT_EQ(cyrillic_a->visual, VisualClass::kIdentical);
+  EXPECT_EQ(cyrillic_a->accent, Accent::kNone);
+
+  const Homoglyph* omicron = find_homoglyph(0x03BF);
+  ASSERT_NE(omicron, nullptr);
+  EXPECT_EQ(omicron->ascii_base, 'o');
+  EXPECT_EQ(omicron->visual, VisualClass::kIdentical);
+}
+
+TEST(Confusables, SkeletonChar) {
+  EXPECT_EQ(skeleton_char(U'a'), 'a');
+  EXPECT_EQ(skeleton_char(U'A'), 'a');  // lowercased
+  EXPECT_EQ(skeleton_char(U'7'), '7');
+  EXPECT_EQ(skeleton_char(U'-'), '-');
+  EXPECT_EQ(skeleton_char(0x0430), 'a');  // Cyrillic а
+  EXPECT_EQ(skeleton_char(0x00E9), 'e');  // é
+  EXPECT_EQ(skeleton_char(0x4E2D), std::nullopt);  // 中
+}
+
+TEST(Confusables, AsciiSkeletonWholeString) {
+  std::u32string apple = U"apple.com";
+  apple[0] = 0x0430;
+  auto skeleton = ascii_skeleton(apple);
+  ASSERT_TRUE(skeleton.has_value());
+  EXPECT_EQ(*skeleton, "apple.com");
+
+  EXPECT_EQ(ascii_skeleton(U"中文"), std::nullopt);
+  EXPECT_EQ(ascii_skeleton(U""), "");
+}
+
+TEST(Confusables, IdenticalEntriesRenderFromBaseWithNoAccent) {
+  for (const Homoglyph& h : all_homoglyphs()) {
+    if (h.visual == VisualClass::kIdentical) {
+      EXPECT_EQ(h.accent, Accent::kNone)
+          << std::hex << static_cast<std::uint32_t>(h.code_point);
+    }
+  }
+}
+
+TEST(Confusables, IdenticalEntriesAreNonAsciiCodePoints) {
+  // Pixel-identical twins come from foreign scripts (Cyrillic а, Greek ο,
+  // ...) or IPA-style Latin clones (ɡ U+0261); never from ASCII itself.
+  for (const Homoglyph& h : all_homoglyphs()) {
+    if (h.visual == VisualClass::kIdentical) {
+      EXPECT_GE(h.code_point, 0x80U)
+          << std::hex << static_cast<std::uint32_t>(h.code_point);
+    }
+  }
+}
+
+TEST(Confusables, RelatedLettersAreSane) {
+  for (char c = 'a'; c <= 'z'; ++c) {
+    for (char related : related_letters(c)) {
+      EXPECT_NE(related, c);
+      EXPECT_TRUE((related >= 'a' && related <= 'z') ||
+                  (related >= '0' && related <= '9'))
+          << c << " -> " << related;
+    }
+  }
+}
+
+TEST(Confusables, AccentNamesDistinct) {
+  std::set<std::string_view> names;
+  for (int i = 0; i <= static_cast<int>(Accent::kOpenShape); ++i) {
+    names.insert(accent_name(static_cast<Accent>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(Accent::kOpenShape) + 1);
+}
+
+}  // namespace
+}  // namespace idnscope::unicode

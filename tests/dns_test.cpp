@@ -1,0 +1,120 @@
+// Passive DNS store, provider clients, resolver and IPv4 tests.
+#include <gtest/gtest.h>
+
+#include "idnscope/dns/ipv4.h"
+#include "idnscope/dns/pdns.h"
+#include "idnscope/dns/resolver.h"
+
+namespace idnscope::dns {
+namespace {
+
+TEST(Ipv4, ParseAndFormat) {
+  auto ip = Ipv4::parse("192.0.2.17");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "192.0.2.17");
+  EXPECT_EQ(ip->segment24_string(), "192.0.2.0/24");
+  EXPECT_EQ(Ipv4(192, 0, 2, 17), *ip);
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4::parse("192.0.2").has_value());
+  EXPECT_FALSE(Ipv4::parse("192.0.2.256").has_value());
+  EXPECT_FALSE(Ipv4::parse("192.0.2.a").has_value());
+  EXPECT_FALSE(Ipv4::parse("192..2.1").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.1000").has_value());
+}
+
+TEST(Ipv4, Segment24SharedWithinSlash24) {
+  EXPECT_EQ(Ipv4(10, 1, 2, 3).segment24(), Ipv4(10, 1, 2, 250).segment24());
+  EXPECT_NE(Ipv4(10, 1, 2, 3).segment24(), Ipv4(10, 1, 3, 3).segment24());
+}
+
+TEST(PassiveDns, ObserveMergesSpansAndCounts) {
+  PassiveDnsDb db;
+  db.observe("example.com", Date{2016, 5, 1}, 10, Ipv4(192, 0, 2, 1));
+  db.observe("example.com", Date{2015, 1, 1}, 5);
+  db.observe("example.com", Date{2017, 3, 3}, 7, Ipv4(192, 0, 2, 1));
+  const DnsAggregate* aggregate = db.lookup("example.com");
+  ASSERT_NE(aggregate, nullptr);
+  EXPECT_EQ(aggregate->query_count, 22U);
+  EXPECT_EQ(aggregate->first_seen, (Date{2015, 1, 1}));
+  EXPECT_EQ(aggregate->last_seen, (Date{2017, 3, 3}));
+  EXPECT_EQ(aggregate->resolved_ips.size(), 1U);  // deduplicated
+  EXPECT_EQ(aggregate->active_days(), days_between(Date{2015, 1, 1},
+                                                   Date{2017, 3, 3}));
+}
+
+TEST(PassiveDns, LookupMiss) {
+  PassiveDnsDb db;
+  EXPECT_EQ(db.lookup("missing.com"), nullptr);
+  EXPECT_EQ(db.domain_count(), 0U);
+}
+
+TEST(PdnsClient, UnlimitedProviderServesEverything) {
+  PassiveDnsDb db;
+  db.observe("a.com", Date{2015, 6, 1}, 3);
+  PdnsClient client(db, {"DNS Pai", 0, Date{2014, 8, 4}, Date{2017, 10, 13}});
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(client.query("a.com", Date{2017, 9, 21}).has_value());
+  }
+  EXPECT_EQ(client.rejected_queries(), 0U);
+}
+
+TEST(PdnsClient, QuotaEnforcedPerDay) {
+  PassiveDnsDb db;
+  db.observe("a.com", Date{2015, 6, 1}, 3);
+  PdnsClient client(db, {"Farsight", 2, Date{2010, 6, 24}, Date{2017, 12, 3}});
+  const Date day1{2017, 9, 21};
+  EXPECT_TRUE(client.query("a.com", day1).has_value());
+  EXPECT_TRUE(client.query("a.com", day1).has_value());
+  EXPECT_FALSE(client.query("a.com", day1).has_value());
+  EXPECT_EQ(client.rejected_queries(), 1U);
+  // The next day the quota resets.
+  EXPECT_TRUE(client.query("a.com", day1.plus_days(1)).has_value());
+}
+
+TEST(PdnsClient, WindowClipping) {
+  PassiveDnsDb db;
+  db.observe("old.com", Date{2008, 1, 1}, 100);
+  db.observe("old.com", Date{2016, 1, 1}, 1);
+  PdnsClient client(db, {"DNS Pai", 0, Date{2014, 8, 4}, Date{2017, 10, 13}});
+  auto aggregate = client.query("old.com", Date{2017, 9, 21});
+  ASSERT_TRUE(aggregate.has_value());
+  EXPECT_EQ(aggregate->first_seen, (Date{2014, 8, 4}));  // clipped
+  EXPECT_EQ(aggregate->last_seen, (Date{2016, 1, 1}));
+}
+
+TEST(PdnsClient, EntirelyOutsideWindowIsMiss) {
+  PassiveDnsDb db;
+  db.observe("ancient.com", Date{2005, 1, 1}, 100);
+  db.observe("ancient.com", Date{2006, 1, 1}, 1);
+  PdnsClient client(db, {"DNS Pai", 0, Date{2014, 8, 4}, Date{2017, 10, 13}});
+  EXPECT_FALSE(client.query("ancient.com", Date{2017, 9, 21}).has_value());
+}
+
+TEST(Resolver, DefaultsToNxDomain) {
+  SimulatedResolver resolver;
+  const Resolution result = resolver.resolve("unknown.com");
+  EXPECT_EQ(result.rcode, Rcode::kNxDomain);
+  EXPECT_FALSE(result.resolved());
+  EXPECT_EQ(resolver.query_count(), 1U);
+}
+
+TEST(Resolver, InstalledAnswers) {
+  SimulatedResolver resolver;
+  resolver.install("a.com", Resolution{Rcode::kNoError, {Ipv4(192, 0, 2, 1)}});
+  resolver.install("broken.com", Resolution{Rcode::kRefused, {}});
+  EXPECT_TRUE(resolver.resolve("a.com").resolved());
+  EXPECT_FALSE(resolver.resolve("broken.com").resolved());
+  EXPECT_EQ(resolver.resolve("broken.com").rcode, Rcode::kRefused);
+}
+
+TEST(Resolver, RcodeNames) {
+  EXPECT_EQ(rcode_name(Rcode::kNoError), "NOERROR");
+  EXPECT_EQ(rcode_name(Rcode::kRefused), "REFUSED");
+  EXPECT_EQ(rcode_name(Rcode::kTimeout), "TIMEOUT");
+}
+
+}  // namespace
+}  // namespace idnscope::dns

@@ -1,0 +1,189 @@
+// Tests for the two extensions beyond the paper's measurements:
+// the Type-2 (translation) detector and the registry brand-protection gate.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "idnscope/core/brand_protection.h"
+#include "idnscope/core/semantic_type2.h"
+#include "idnscope/core/study.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/idna/lookalike.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::core {
+namespace {
+
+const ecosystem::Ecosystem& tiny_eco() {
+  static const ecosystem::Ecosystem eco =
+      ecosystem::generate(ecosystem::Scenario::tiny());
+  return eco;
+}
+
+const Study& tiny_study() {
+  static const Study study(tiny_eco());
+  return study;
+}
+
+std::string ace(std::string_view unicode_domain) {
+  return idna::domain_to_ascii(unicode_domain).value();
+}
+
+// ---- Type-2 detector --------------------------------------------------------
+
+TEST(Type2, DetectsTableXExamples) {
+  const Type2Detector detector;
+  // Table X: 格力空调.net, 北京交通大学.com, 奔驰汽车.com.
+  auto gree = detector.match(ace("格力空调.net"));
+  ASSERT_TRUE(gree.has_value());
+  EXPECT_EQ(gree->brand, "gree.com.cn");
+  EXPECT_EQ(gree->translated, "格力");
+
+  auto bjtu = detector.match(ace("北京交通大学.com"));
+  ASSERT_TRUE(bjtu.has_value());
+  EXPECT_EQ(bjtu->brand, "bjtu.edu.cn");
+
+  auto benz = detector.match(ace("奔驰汽车.com"));
+  ASSERT_TRUE(benz.has_value());
+  EXPECT_EQ(benz->brand, "mercedes-benz.com");
+  EXPECT_EQ(benz->description, "Mercedes-Benz Automobile");
+}
+
+TEST(Type2, RequiresTranslatedNameAsSubstring) {
+  const Type2Detector detector;
+  EXPECT_FALSE(detector.match(ace("在线商城.com")).has_value());
+  EXPECT_FALSE(detector.match("plain-ascii.com").has_value());
+  EXPECT_FALSE(detector.match(ace("格.com")).has_value());  // partial
+  EXPECT_TRUE(detector.match(ace("官方格力维修.com")).has_value());  // infix
+}
+
+TEST(Type2, DictionaryCoversTableX) {
+  std::set<std::string_view> translated;
+  for (const auto& entry : ecosystem::brand_translation_dictionary()) {
+    translated.insert(entry.translated);
+  }
+  EXPECT_TRUE(translated.contains("格力"));
+  EXPECT_TRUE(translated.contains("北京交通大学"));
+  EXPECT_TRUE(translated.contains("奔驰"));
+  EXPECT_GE(translated.size(), 25U);
+}
+
+TEST(Type2, FindsAllGeneratorPlants) {
+  const Type2Detector detector;
+  const auto matches = detector.scan(tiny_study().idns());
+  std::set<std::string> matched;
+  for (const Type2Match& match : matches) {
+    matched.insert(match.domain);
+  }
+  std::size_t planted = 0;
+  for (const auto& [domain, truth] : tiny_eco().truth) {
+    if (truth.abuse == ecosystem::AbuseKind::kSemanticT2) {
+      ++planted;
+      EXPECT_TRUE(matched.contains(domain)) << domain;
+    }
+  }
+  EXPECT_GT(planted, 10U);
+}
+
+TEST(Type2, MatchedBrandAgreesWithPlantTarget) {
+  const Type2Detector detector;
+  for (const Type2Match& match : detector.scan(tiny_study().idns())) {
+    auto it = tiny_eco().truth.find(match.domain);
+    ASSERT_NE(it, tiny_eco().truth.end());
+    if (it->second.abuse == ecosystem::AbuseKind::kSemanticT2) {
+      EXPECT_EQ(match.brand, it->second.target_brand) << match.domain;
+    }
+  }
+}
+
+TEST(Type2, CustomDictionary) {
+  const ecosystem::BrandTranslation entries[] = {
+      {"测试", "test.example", "Test Brand"}};
+  const Type2Detector detector{{entries, 1}};
+  auto hit = detector.match(ace("测试网站.com"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->brand, "test.example");
+  EXPECT_FALSE(detector.match(ace("格力空调.net")).has_value());
+}
+
+// ---- brand protection gate --------------------------------------------------
+
+const BrandProtectionGate& gate() {
+  static const BrandProtectionGate instance(ecosystem::alexa_top1k());
+  return instance;
+}
+
+TEST(BrandProtection, AcceptsLegitimateIdn) {
+  const auto decision = gate().check("müller-bäckerei", "com");
+  EXPECT_EQ(decision.verdict, RegistrationVerdict::kAccept);
+  EXPECT_EQ(gate().check("中文在线", "com").verdict,
+            RegistrationVerdict::kAccept);
+}
+
+TEST(BrandProtection, RejectsHomographRequest) {
+  // аpple (Cyrillic а) — the request a registrar approved in the paper's
+  // registration experiment.
+  const auto decision = gate().check("аpple", "com");
+  EXPECT_EQ(decision.verdict, RegistrationVerdict::kRejectVisual);
+  EXPECT_EQ(decision.matched_brand, "apple.com");
+  EXPECT_DOUBLE_EQ(decision.ssim, 1.0);
+}
+
+TEST(BrandProtection, RejectsSemanticRequest) {
+  const auto decision = gate().check("icloud登录", "com");
+  EXPECT_EQ(decision.verdict, RegistrationVerdict::kRejectSemantic);
+  EXPECT_EQ(decision.matched_brand, "icloud.com");
+  EXPECT_NE(decision.detail.find("登录"), std::string::npos);
+}
+
+TEST(BrandProtection, RejectsInvalidLabel) {
+  EXPECT_EQ(gate().check("bad label!", "com").verdict,
+            RegistrationVerdict::kRejectInvalid);
+  EXPECT_EQ(gate().check("\xC3", "com").verdict,
+            RegistrationVerdict::kRejectInvalid);
+}
+
+TEST(BrandProtection, BrandOwnerWhitelisted) {
+  const auto blocked = gate().check("gooģle", "com", "evil@attacker.net");
+  EXPECT_EQ(blocked.verdict, RegistrationVerdict::kRejectVisual);
+  const auto allowed = gate().check("gooģle", "com", "domains@google.com");
+  EXPECT_EQ(allowed.verdict, RegistrationVerdict::kAccept);
+}
+
+TEST(BrandProtection, TldMattersForSemanticRule) {
+  EXPECT_EQ(gate().check("apple邮箱", "com").verdict,
+            RegistrationVerdict::kRejectSemantic);
+  EXPECT_EQ(gate().check("apple邮箱", "net").verdict,
+            RegistrationVerdict::kAccept);
+}
+
+TEST(BrandProtection, AuditCatchesPlantedAbuse) {
+  // Counterfactual: had the gate been deployed, how much of the planted
+  // abuse would never have been registered?
+  std::vector<std::string> abusive;
+  std::vector<std::string> benign;
+  for (const auto& [domain, truth] : tiny_eco().truth) {
+    if (!truth.is_idn) {
+      continue;
+    }
+    if (truth.abuse == ecosystem::AbuseKind::kHomograph ||
+        truth.abuse == ecosystem::AbuseKind::kSemanticT1) {
+      abusive.push_back(domain);
+    } else if (truth.abuse == ecosystem::AbuseKind::kNone && benign.size() < 300) {
+      benign.push_back(domain);
+    }
+  }
+  const auto abusive_audit = gate().audit(abusive);
+  EXPECT_GE(static_cast<double>(abusive_audit.rejected()) /
+                static_cast<double>(abusive_audit.total),
+            0.90);
+  const auto benign_audit = gate().audit(benign);
+  // Some benign English-bucket IDNs legitimately look like brands; the
+  // false-positive rate must still be low.
+  EXPECT_LE(static_cast<double>(benign_audit.rejected()) /
+                static_cast<double>(benign_audit.total),
+            0.05);
+}
+
+}  // namespace
+}  // namespace idnscope::core

@@ -1,0 +1,132 @@
+// Integration regression: every qualitative Finding of the paper must hold
+// on the measured (not ground-truth) side of the pipeline.
+#include <gtest/gtest.h>
+
+#include "idnscope/core/content_study.h"
+#include "idnscope/core/dns_study.h"
+#include "idnscope/core/language_study.h"
+#include "idnscope/core/registration_study.h"
+#include "idnscope/core/semantic.h"
+#include "idnscope/core/ssl_study.h"
+#include "idnscope/core/study.h"
+
+namespace idnscope::core {
+namespace {
+
+// A mid-size world: large enough for stable statistics, small enough for CI.
+const ecosystem::Ecosystem& world() {
+  static const ecosystem::Ecosystem eco = [] {
+    ecosystem::Scenario scenario;
+    scenario.bulk_scale = 400;
+    scenario.abuse_scale = 10;
+    scenario.generate_filler = false;
+    return ecosystem::generate(scenario);
+  }();
+  return eco;
+}
+
+const Study& study() {
+  static const Study instance(world());
+  return instance;
+}
+
+TEST(Findings, F1_EastAsianLanguagesDominate) {
+  const auto languages = analyze_languages(study());
+  EXPECT_GT(languages.east_asian_fraction(), 0.70);
+  // Chinese tops both the overall and the malicious chart.
+  const auto chinese = static_cast<std::size_t>(langid::Language::kChinese);
+  for (std::size_t lang = 0; lang < langid::kLanguageCount; ++lang) {
+    if (lang != chinese) {
+      EXPECT_GE(languages.all[chinese], languages.all[lang]);
+      EXPECT_GE(languages.malicious[chinese], languages.malicious[lang]);
+    }
+  }
+}
+
+TEST(Findings, F2_LongTermRegistrantsExist) {
+  const double pre2008 = fraction_created_before(study(), 2008);
+  EXPECT_GT(pre2008, 0.02);
+  EXPECT_LT(pre2008, 0.15);  // paper: 6.16%
+}
+
+TEST(Findings, F3_OpportunisticPortfoliosExist) {
+  const auto portfolios = top_registrants(study(), 5);
+  ASSERT_EQ(portfolios.size(), 5U);
+  // Table III's top registrant holds a four-digit portfolio at full scale;
+  // scaled here, it must still clearly exceed a personal registration.
+  EXPECT_GE(portfolios[0].idn_count, 3U);
+  EXPECT_EQ(portfolios[0].email, "776053229@qq.com");
+}
+
+TEST(Findings, F4_RegistrarConcentration) {
+  const auto stats = registrar_stats(study(), 10);
+  EXPECT_GT(stats.distinct_registrars, 100U);
+  EXPECT_GT(stats.top10_share, 0.45);
+  EXPECT_LT(stats.top10_share, 0.70);  // paper: 55%
+  ASSERT_FALSE(stats.top.empty());
+  EXPECT_EQ(stats.top[0].name, "GMO Internet Inc.");
+}
+
+TEST(Findings, F5_IdnsLiveShorterThanNonIdns) {
+  const auto idn = idn_activity(study(), "com", false);
+  const auto non_idn = non_idn_activity(study(), "com");
+  const auto malicious = idn_activity(study(), "com", true);
+  // At every anchor of Fig 2, the IDN ECDF sits above the non-IDN ECDF.
+  for (double days : {50.0, 100.0, 300.0, 600.0}) {
+    EXPECT_GT(idn.active_days.fraction_at(days),
+              non_idn.active_days.fraction_at(days))
+        << days;
+  }
+  // Malicious IDNs live longer than benign IDNs.
+  EXPECT_LT(malicious.active_days.fraction_at(100.0),
+            idn.active_days.fraction_at(100.0));
+}
+
+TEST(Findings, F6_IdnsReceiveLessTrafficExceptMalicious) {
+  const auto idn = idn_activity(study(), "com", false);
+  const auto non_idn = non_idn_activity(study(), "com");
+  const auto malicious = idn_activity(study(), "com", true);
+  EXPECT_GT(idn.query_volume.fraction_at(100.0),
+            non_idn.query_volume.fraction_at(100.0));
+  EXPECT_GT(malicious.query_volume.mean(), non_idn.query_volume.mean());
+}
+
+TEST(Findings, F7_HostingIsConcentrated) {
+  const auto hosting = hosting_concentration(study());
+  EXPECT_GT(hosting.distinct_segments, 50U);
+  // The ten biggest segments host a disproportionate share.
+  EXPECT_GT(hosting.fraction_in_top(10),
+            10.0 / static_cast<double>(hosting.distinct_segments) * 3.0);
+}
+
+TEST(Findings, F8_IdnContentLagsNonIdnContent) {
+  const auto comparison = sampled_content_comparison(study(), 400, 7);
+  EXPECT_LT(comparison.idn.fraction(web::PageCategory::kMeaningful),
+            comparison.non_idn.fraction(web::PageCategory::kMeaningful));
+  EXPECT_GT(comparison.idn.fraction(web::PageCategory::kNotResolved),
+            comparison.non_idn.fraction(web::PageCategory::kNotResolved));
+  EXPECT_LT(comparison.idn.fraction(web::PageCategory::kMeaningful), 0.35);
+}
+
+TEST(Findings, F9_SslDeploymentIsBroken) {
+  const auto comparison = ssl_comparison(study());
+  ASSERT_GT(comparison.idn_certs, 50U);
+  EXPECT_GT(comparison.idn_problem_rate(), 0.90);       // paper: 97.95%
+  EXPECT_GT(comparison.non_idn_problem_rate(), 0.90);   // paper: 97.23%
+  // Invalid common name dominates, and more so for IDNs (parking).
+  EXPECT_GT(comparison.idn.invalid_common_name, comparison.idn.expired);
+  const auto shared = shared_cert_table(study(), 3);
+  ASSERT_FALSE(shared.empty());
+  EXPECT_EQ(shared[0].first, "sedoparking.com");
+}
+
+TEST(Findings, SemanticAttackTargetsChineseFacingBrands) {
+  SemanticDetector detector(ecosystem::alexa_top1k());
+  const auto report = analyze_semantics(study(), detector, 10);
+  ASSERT_FALSE(report.top_brands.empty());
+  EXPECT_EQ(report.top_brands[0].brand, "58.com");
+  EXPECT_GT(report.brands_targeted, 10U);
+}
+
+}  // namespace
+}  // namespace idnscope::core

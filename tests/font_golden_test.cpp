@@ -1,0 +1,87 @@
+// Golden-raster tests: lock the letterforms the SSIM calibration depends
+// on.  A font change that passes these but shifts SSIM bands would still
+// be caught by ssim_test.cpp; together they pin the detector's behaviour.
+#include <gtest/gtest.h>
+
+#include "idnscope/render/renderer.h"
+
+namespace idnscope::render {
+namespace {
+
+std::string raw_art(char32_t cp) {
+  return render_label(std::u32string(1, cp), RenderOptions{1, false})
+      .to_ascii_art();
+}
+
+TEST(FontGolden, LowercaseO) {
+  EXPECT_EQ(raw_art(U'o'),
+            "..........\n"
+            "..........\n"
+            "..........\n"
+            "..........\n"
+            "..........\n"
+            "..........\n"
+            "..........\n"
+            "..#####...\n"
+            ".#.....#..\n"
+            ".#.....#..\n"
+            ".#.....#..\n"
+            ".#.....#..\n"
+            ".#.....#..\n"
+            "..#####...\n"
+            "..........\n"
+            "..........\n"
+            "..........\n"
+            "..........\n");
+}
+
+TEST(FontGolden, ODiaeresisAddsExactlyTheDots) {
+  // ö differs from o only by the two dots in the accent area.
+  const std::string o = raw_art(U'o');
+  const std::string o_umlaut = raw_art(0x00F6);
+  ASSERT_EQ(o.size(), o_umlaut.size());
+  int added = 0;
+  int removed = 0;
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    if (o[i] == o_umlaut[i]) {
+      continue;
+    }
+    if (o_umlaut[i] == '#') {
+      ++added;
+    } else {
+      ++removed;
+    }
+  }
+  EXPECT_EQ(added, 2);
+  EXPECT_EQ(removed, 0);
+}
+
+TEST(FontGolden, CyrillicAEqualsLatinA) {
+  EXPECT_EQ(raw_art(0x0430), raw_art(U'a'));
+}
+
+TEST(FontGolden, DigitZeroIsSlashedAgainstO) {
+  // The 0 glyph carries an interior slash so 0/o are not confusable.
+  const std::string zero = raw_art(U'0');
+  const std::string o = raw_art(U'o');
+  EXPECT_NE(zero, o);
+  int diff = 0;
+  for (std::size_t i = 0; i < zero.size(); ++i) {
+    diff += zero[i] != o[i];
+  }
+  EXPECT_GE(diff, 8);
+}
+
+TEST(FontGolden, InkBudgetsAreStable) {
+  // Per-letter ink counts: a coarse fingerprint of the whole font.  If a
+  // glyph is redesigned, re-run the SSIM calibration before updating.
+  int total_ink = 0;
+  for (char c = 'a'; c <= 'z'; ++c) {
+    total_ink += base_glyph(c)->ink();
+  }
+  EXPECT_GE(total_ink, 26 * 12);
+  EXPECT_LE(total_ink, 26 * 30);
+}
+
+}  // namespace
+}  // namespace idnscope::render

@@ -1,0 +1,286 @@
+// Ecosystem generator tests: determinism, calibration, internal consistency.
+#include <gtest/gtest.h>
+
+#include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/ecosystem/paper.h"
+#include "idnscope/idna/punycode.h"
+
+namespace idnscope::ecosystem {
+namespace {
+
+const Ecosystem& tiny_eco() {
+  static const Ecosystem eco = generate(Scenario::tiny());
+  return eco;
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  Scenario scenario = Scenario::tiny();
+  const Ecosystem a = generate(scenario);
+  const Ecosystem b = generate(scenario);
+  ASSERT_EQ(a.idns, b.idns);
+  ASSERT_EQ(a.sampled_non_idns, b.sampled_non_idns);
+  EXPECT_EQ(a.blacklist, b.blacklist);
+  EXPECT_EQ(a.whois.size(), b.whois.size());
+  for (const std::string& domain : a.idns) {
+    const auto* wa = a.whois.lookup(domain);
+    const auto* wb = b.whois.lookup(domain);
+    ASSERT_EQ(wa == nullptr, wb == nullptr);
+    if (wa != nullptr) {
+      EXPECT_EQ(*wa, *wb);
+    }
+    const auto* pa = a.pdns.lookup(domain);
+    const auto* pb = b.pdns.lookup(domain);
+    ASSERT_NE(pa, nullptr);
+    ASSERT_NE(pb, nullptr);
+    EXPECT_EQ(pa->query_count, pb->query_count);
+    EXPECT_EQ(pa->first_seen, pb->first_seen);
+  }
+}
+
+TEST(Generator, DifferentSeedsProduceDifferentWorlds) {
+  Scenario a = Scenario::tiny();
+  Scenario b = Scenario::tiny();
+  b.seed = a.seed + 1;
+  EXPECT_NE(generate(a).idns, generate(b).idns);
+}
+
+TEST(Generator, ZoneInventory) {
+  const Ecosystem& eco = tiny_eco();
+  ASSERT_EQ(eco.zones.size(), 56U);  // com, net, org + 53 iTLDs
+  EXPECT_EQ(eco.zones[0].origin(), "com");
+  EXPECT_EQ(eco.zones[1].origin(), "net");
+  EXPECT_EQ(eco.zones[2].origin(), "org");
+  for (std::size_t i = 3; i < eco.zones.size(); ++i) {
+    EXPECT_TRUE(idna::has_ace_prefix(eco.zones[i].origin()));
+  }
+}
+
+TEST(Generator, EveryIdnHasAcePrefixAndTruth) {
+  const Ecosystem& eco = tiny_eco();
+  for (const std::string& domain : eco.idns) {
+    const std::size_t dot = domain.find('.');
+    ASSERT_NE(dot, std::string::npos);
+    const bool idn_sld = idna::has_ace_prefix(domain.substr(0, dot));
+    const bool idn_tld =
+        idna::has_ace_prefix(domain.substr(domain.rfind('.') + 1));
+    EXPECT_TRUE(idn_sld || idn_tld) << domain;
+    auto it = eco.truth.find(domain);
+    ASSERT_NE(it, eco.truth.end()) << domain;
+    EXPECT_TRUE(it->second.is_idn);
+  }
+}
+
+TEST(Generator, NonIdnSampleIsAscii) {
+  const Ecosystem& eco = tiny_eco();
+  EXPECT_FALSE(eco.sampled_non_idns.empty());
+  for (const std::string& domain : eco.sampled_non_idns) {
+    EXPECT_FALSE(idna::has_ace_prefix(domain.substr(0, domain.find('.'))))
+        << domain;
+    const auto it = eco.truth.find(domain);
+    ASSERT_NE(it, eco.truth.end());
+    EXPECT_FALSE(it->second.is_idn);
+  }
+}
+
+TEST(Generator, BlacklistConsistentWithTruth) {
+  const Ecosystem& eco = tiny_eco();
+  for (const auto& [domain, mask] : eco.blacklist) {
+    EXPECT_NE(mask, 0U);
+    auto it = eco.truth.find(domain);
+    ASSERT_NE(it, eco.truth.end()) << domain;
+    EXPECT_TRUE(it->second.malicious);
+  }
+  for (const auto& [domain, truth] : eco.truth) {
+    if (truth.malicious) {
+      EXPECT_TRUE(eco.is_blacklisted(domain)) << domain;
+    }
+  }
+}
+
+TEST(Generator, PdnsCoversAllRegisteredDomains) {
+  const Ecosystem& eco = tiny_eco();
+  for (const std::string& domain : eco.idns) {
+    EXPECT_NE(eco.pdns.lookup(domain), nullptr) << domain;
+  }
+  for (const std::string& domain : eco.sampled_non_idns) {
+    EXPECT_NE(eco.pdns.lookup(domain), nullptr) << domain;
+  }
+}
+
+TEST(Generator, PdnsSpansAreOrdered) {
+  const Ecosystem& eco = tiny_eco();
+  for (const auto& [domain, aggregate] : eco.pdns.all()) {
+    EXPECT_LE(aggregate.first_seen.to_serial(),
+              aggregate.last_seen.to_serial())
+        << domain;
+    EXPECT_GE(aggregate.query_count, 1U) << domain;
+  }
+}
+
+TEST(Generator, HomographPlantsRecordTargets) {
+  const Ecosystem& eco = tiny_eco();
+  std::size_t homographs = 0;
+  std::size_t identical = 0;
+  for (const auto& [domain, truth] : eco.truth) {
+    if (truth.abuse == AbuseKind::kHomograph) {
+      ++homographs;
+      EXPECT_FALSE(truth.target_brand.empty()) << domain;
+      if (truth.identical_lookalike) {
+        ++identical;
+      }
+    }
+  }
+  EXPECT_GT(homographs, 0U);
+  EXPECT_GT(identical, 0U);
+  EXPECT_LT(identical, homographs);
+}
+
+TEST(Generator, SemanticPlantsTargetKnownBrands) {
+  const Ecosystem& eco = tiny_eco();
+  std::size_t semantic = 0;
+  for (const auto& [domain, truth] : eco.truth) {
+    if (truth.abuse == AbuseKind::kSemanticT1) {
+      ++semantic;
+      EXPECT_FALSE(truth.target_brand.empty()) << domain;
+    }
+  }
+  EXPECT_GT(semantic, 0U);
+}
+
+TEST(Generator, ProtectiveRegistrationsUseBrandEmail) {
+  const Ecosystem& eco = tiny_eco();
+  std::size_t protective = 0;
+  for (const auto& [domain, truth] : eco.truth) {
+    if (!truth.protective) {
+      continue;
+    }
+    ++protective;
+    const whois::WhoisRecord* record = eco.whois.lookup(domain);
+    ASSERT_NE(record, nullptr) << domain;
+    EXPECT_TRUE(record->registrant_email.ends_with("@" + truth.target_brand))
+        << domain;
+    EXPECT_FALSE(truth.malicious);
+  }
+  EXPECT_GT(protective, 0U);
+}
+
+TEST(Generator, WhoisCoverageNearTableOne) {
+  const Ecosystem& eco = tiny_eco();
+  std::size_t covered = 0;
+  for (const std::string& domain : eco.idns) {
+    if (eco.whois.lookup(domain) != nullptr) {
+      ++covered;
+    }
+  }
+  const double rate =
+      static_cast<double>(covered) / static_cast<double>(eco.idns.size());
+  EXPECT_GT(rate, 0.35);
+  EXPECT_LT(rate, 0.70);  // paper: 50.19%
+}
+
+TEST(Generator, SegmentsIncludeThePaperTaxonomy) {
+  const Ecosystem& eco = tiny_eco();
+  int parking = 0;
+  int hosting = 0;
+  int cdn = 0;
+  int private_segments = 0;
+  for (const SegmentInfo& segment : eco.segments) {
+    if (segment.kind == "parking") ++parking;
+    if (segment.kind == "hosting") ++hosting;
+    if (segment.kind == "cdn") ++cdn;
+    if (segment.kind == "private") ++private_segments;
+  }
+  EXPECT_GE(parking, 4);
+  EXPECT_GE(hosting, 4);
+  EXPECT_EQ(cdn, 1);
+  EXPECT_EQ(private_segments, 1);
+}
+
+TEST(Generator, FillerRespectsTableOneTotals) {
+  Scenario scenario = Scenario::tiny();
+  scenario.generate_filler = true;
+  const Ecosystem eco = generate(scenario);
+  const auto slds = dns::scan_slds(eco.zones[0]);
+  const std::uint64_t expected =
+      paper::kTable1[0].sld_count / scenario.bulk_scale;
+  EXPECT_NEAR(static_cast<double>(slds.size()), static_cast<double>(expected),
+              static_cast<double>(expected) * 0.02);
+}
+
+TEST(Generator, WebStageCanBeDisabled) {
+  Scenario scenario = Scenario::tiny();
+  scenario.generate_web = false;
+  const Ecosystem eco = generate(scenario);
+  EXPECT_EQ(eco.web.site_count(), 0U);
+  EXPECT_EQ(eco.resolver.installed_count(), 0U);
+  // Everything else still runs.
+  EXPECT_FALSE(eco.idns.empty());
+  EXPECT_GT(eco.pdns.domain_count(), 0U);
+}
+
+TEST(Generator, SslStageCanBeDisabled) {
+  Scenario scenario = Scenario::tiny();
+  scenario.generate_ssl = false;
+  const Ecosystem eco = generate(scenario);
+  EXPECT_EQ(eco.idn_certs.size(), 0U);
+  EXPECT_EQ(eco.non_idn_certs.size(), 0U);
+  EXPECT_FALSE(eco.idns.empty());
+}
+
+TEST(Generator, StageFlagsDoNotChangeThePopulation) {
+  Scenario with = Scenario::tiny();
+  Scenario without = Scenario::tiny();
+  without.generate_web = false;
+  without.generate_ssl = false;
+  EXPECT_EQ(generate(with).idns, generate(without).idns);
+}
+
+TEST(Generator, Type2PlantsExist) {
+  const Ecosystem& eco = tiny_eco();
+  std::size_t type2 = 0;
+  for (const auto& [domain, truth] : eco.truth) {
+    if (truth.abuse == AbuseKind::kSemanticT2) {
+      ++type2;
+      EXPECT_FALSE(truth.target_brand.empty()) << domain;
+    }
+  }
+  EXPECT_GE(type2, 20U);
+}
+
+TEST(Generator, WhoisRecordsSurviveTheTextRoundTrip) {
+  // WHOIS records are materialized through format+parse of a registrar
+  // dialect; spot-check structural integrity.
+  const Ecosystem& eco = tiny_eco();
+  std::size_t checked = 0;
+  for (const std::string& domain : eco.idns) {
+    const whois::WhoisRecord* record = eco.whois.lookup(domain);
+    if (record == nullptr) {
+      continue;
+    }
+    EXPECT_EQ(record->domain, domain);
+    EXPECT_TRUE(record->creation_date.valid());
+    EXPECT_TRUE(record->expiry_date.valid());
+    EXPECT_FALSE(record->registrar.empty());
+    if (++checked == 200) {
+      break;
+    }
+  }
+  EXPECT_EQ(checked, 200U);
+}
+
+TEST(Generator, TheHeaviestMaliciousGamblingSiteExists) {
+  // Finding 6's outlier: 3,858,932 look-ups over 118 active days.
+  const Ecosystem& eco = tiny_eco();
+  bool found = false;
+  for (const auto& [domain, aggregate] : eco.pdns.all()) {
+    if (aggregate.query_count == 3'858'932U) {
+      EXPECT_EQ(aggregate.active_days(), 118);
+      EXPECT_TRUE(eco.is_blacklisted(domain));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace idnscope::ecosystem

@@ -1,0 +1,166 @@
+// Homograph detector tests: recall on plants, precision, prefilter parity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "idnscope/core/homograph.h"
+#include "idnscope/idna/lookalike.h"
+
+namespace idnscope::core {
+namespace {
+
+const ecosystem::Ecosystem& tiny_eco() {
+  static const ecosystem::Ecosystem eco =
+      ecosystem::generate(ecosystem::Scenario::tiny());
+  return eco;
+}
+
+const Study& tiny_study() {
+  static const Study study(tiny_eco());
+  return study;
+}
+
+const HomographDetector& detector() {
+  static const HomographDetector instance(ecosystem::alexa_top1k());
+  return instance;
+}
+
+TEST(Homograph, DetectsIdenticalLookalike) {
+  const std::pair<std::size_t, char32_t> sub{0, 0x0430};  // Cyrillic а
+  const auto domain = idna::substitute("apple.com", {&sub, 1});
+  ASSERT_TRUE(domain.has_value());
+  const auto match = detector().best_match(*domain);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->brand, "apple.com");
+  EXPECT_TRUE(match->identical);
+  EXPECT_DOUBLE_EQ(match->ssim, 1.0);
+}
+
+TEST(Homograph, DetectsAccentLookalike) {
+  const std::pair<std::size_t, char32_t> sub{1, 0x00E0};  // à
+  const auto domain = idna::substitute("facebook.com", {&sub, 1});
+  ASSERT_TRUE(domain.has_value());
+  const auto match = detector().best_match(*domain);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->brand, "facebook.com");
+  EXPECT_FALSE(match->identical);
+  EXPECT_GE(match->ssim, 0.95);
+}
+
+TEST(Homograph, BrandItselfIsNotAHomographOfItself) {
+  EXPECT_FALSE(detector().best_match("google.com").has_value());
+}
+
+TEST(Homograph, RejectsUnrelatedIdn) {
+  // A Chinese IDN shares no visual structure with any brand.
+  EXPECT_FALSE(detector().best_match("xn--fiq06l2rdsvs.com").has_value());
+}
+
+TEST(Homograph, RejectsLengthMismatch) {
+  const std::pair<std::size_t, char32_t> sub{0, 0x00E9};
+  const auto domain = idna::substitute("e-commerce-hub-portal.com", {&sub, 1});
+  ASSERT_TRUE(domain.has_value());
+  EXPECT_FALSE(detector().best_match(*domain).has_value());
+}
+
+TEST(Homograph, FindsAllPlantedIdenticalHomographs) {
+  // Every identical-class plant must be recalled (SSIM is exactly 1.0).
+  const auto matches = detector().scan(tiny_study().idns());
+  std::set<std::string> matched;
+  for (const HomographMatch& match : matches) {
+    matched.insert(match.domain);
+  }
+  for (const auto& [domain, truth] : tiny_eco().truth) {
+    if (truth.abuse == ecosystem::AbuseKind::kHomograph &&
+        truth.identical_lookalike) {
+      EXPECT_TRUE(matched.contains(domain)) << domain;
+    }
+  }
+}
+
+TEST(Homograph, HighRecallOnAllPlants) {
+  const auto matches = detector().scan(tiny_study().idns());
+  std::set<std::string> matched;
+  for (const HomographMatch& match : matches) {
+    matched.insert(match.domain);
+  }
+  std::size_t planted = 0;
+  std::size_t recalled = 0;
+  for (const auto& [domain, truth] : tiny_eco().truth) {
+    if (truth.abuse == ecosystem::AbuseKind::kHomograph) {
+      ++planted;
+      if (matched.contains(domain)) {
+        ++recalled;
+      }
+    }
+  }
+  ASSERT_GT(planted, 0U);
+  EXPECT_GE(static_cast<double>(recalled) / static_cast<double>(planted),
+            0.95);
+}
+
+TEST(Homograph, MatchedBrandAgreesWithPlantTarget) {
+  const auto matches = detector().scan(tiny_study().idns());
+  for (const HomographMatch& match : matches) {
+    auto it = tiny_eco().truth.find(match.domain);
+    ASSERT_NE(it, tiny_eco().truth.end());
+    if (it->second.abuse == ecosystem::AbuseKind::kHomograph) {
+      EXPECT_EQ(match.brand, it->second.target_brand) << match.domain;
+    }
+  }
+}
+
+TEST(Homograph, PrefilterMatchesExhaustiveScan) {
+  // Soundness of the column-profile prefilter: identical result set with
+  // and without it on a slice of the population.
+  std::vector<std::string> slice;
+  for (std::size_t i = 0; i < tiny_study().idns().size() && slice.size() < 400;
+       i += 3) {
+    slice.push_back(tiny_study().idns()[i]);
+  }
+  HomographOptions exhaustive;
+  exhaustive.use_prefilter = false;
+  const HomographDetector slow(ecosystem::alexa_top(200), exhaustive);
+  const HomographDetector fast(ecosystem::alexa_top(200));
+  const auto slow_matches = slow.scan(slice);
+  const auto fast_matches = fast.scan(slice);
+  ASSERT_EQ(slow_matches.size(), fast_matches.size());
+  for (std::size_t i = 0; i < slow_matches.size(); ++i) {
+    EXPECT_EQ(slow_matches[i].domain, fast_matches[i].domain);
+    EXPECT_EQ(slow_matches[i].brand, fast_matches[i].brand);
+    EXPECT_NEAR(slow_matches[i].ssim, fast_matches[i].ssim, 1e-12);
+  }
+  EXPECT_GT(fast.prefilter_skips(), 0U);
+}
+
+TEST(Homograph, ThresholdIsRespected) {
+  HomographOptions strict;
+  strict.threshold = 0.999;
+  const HomographDetector high_bar(ecosystem::alexa_top1k(), strict);
+  for (const HomographMatch& match : high_bar.scan(tiny_study().idns())) {
+    EXPECT_GE(match.ssim, 0.999);
+    EXPECT_TRUE(match.identical);
+  }
+}
+
+TEST(Homograph, ReportAggregates) {
+  const auto report = analyze_homographs(tiny_study(), detector(), 10);
+  EXPECT_FALSE(report.matches.empty());
+  EXPECT_GT(report.brands_targeted, 0U);
+  EXPECT_LE(report.top_brands.size(), 10U);
+  EXPECT_LE(report.identical_count, report.matches.size());
+  EXPECT_LE(report.whois_covered, report.matches.size());
+  // Top brands sorted descending.
+  for (std::size_t i = 1; i < report.top_brands.size(); ++i) {
+    EXPECT_GE(report.top_brands[i - 1].idn_count,
+              report.top_brands[i].idn_count);
+  }
+  std::uint64_t top_sum = 0;
+  for (const auto& row : report.top_brands) {
+    top_sum += row.idn_count;
+  }
+  EXPECT_LE(top_sum, report.matches.size());
+}
+
+}  // namespace
+}  // namespace idnscope::core

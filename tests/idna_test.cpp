@@ -1,0 +1,240 @@
+// IDNA ToASCII / ToUnicode and DomainName tests.
+#include <gtest/gtest.h>
+
+#include "idnscope/common/rng.h"
+#include "idnscope/idna/domain.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/idna/punycode.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::idna {
+namespace {
+
+TEST(IdnaLabel, AsciiPassThroughLowercased) {
+  auto out = label_to_ascii(U"Example");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "example");
+}
+
+TEST(IdnaLabel, UnicodeGetsAcePrefix) {
+  auto out = label_to_ascii(U"中国");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "xn--fiqs8s");
+}
+
+TEST(IdnaLabel, UppercaseUnicodeFolds) {
+  // Cyrillic УРА -> ура before encoding.
+  std::u32string upper = {0x0423, 0x0420, 0x0410};
+  std::u32string lower = {0x0443, 0x0440, 0x0430};
+  auto a = label_to_ascii(upper);
+  auto b = label_to_ascii(lower);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+struct RejectCase {
+  const char* name;
+  std::u32string label;
+  std::string_view code;
+};
+
+class IdnaRejectTest : public ::testing::TestWithParam<RejectCase> {};
+
+TEST_P(IdnaRejectTest, Rejects) {
+  auto out = label_to_ascii(GetParam().label);
+  ASSERT_FALSE(out.ok()) << GetParam().name;
+  EXPECT_EQ(out.error().code, GetParam().code) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, IdnaRejectTest,
+    ::testing::Values(
+        RejectCase{"empty", U"", "idna.empty_label"},
+        RejectCase{"leading hyphen", U"-abc", "idna.hyphen"},
+        RejectCase{"trailing hyphen", U"abc-", "idna.hyphen"},
+        RejectCase{"space", U"a b", "idna.disallowed"},
+        RejectCase{"underscore", U"a_b", "idna.disallowed"},
+        RejectCase{"slash", U"a/b", "idna.disallowed"},
+        RejectCase{"emoji", std::u32string{U'a', 0x1F600}, "idna.disallowed"},
+        RejectCase{"hyphen34", U"ab--cd", "idna.hyphen34"},
+        RejectCase{"fake ace", U"xn--zzzzz!",
+                   "idna.disallowed"}),
+    [](const auto& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      return name;
+    });
+
+TEST(IdnaLabel, RejectsBogusAcePrefixLabel) {
+  // ASCII label that claims to be ACE but does not decode.
+  auto out = label_to_ascii(U"xn---");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(IdnaLabel, Rejects64OctetLabel) {
+  std::u32string label(64, U'a');
+  auto out = label_to_ascii(label);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, "idna.too_long");
+}
+
+TEST(IdnaLabel, Accepts63OctetLabel) {
+  std::u32string label(63, U'a');
+  EXPECT_TRUE(label_to_ascii(label).ok());
+}
+
+TEST(IdnaLabel, ToUnicodeRoundTrip) {
+  auto ace = label_to_ascii(U"bücher");
+  ASSERT_TRUE(ace.ok());
+  auto back = label_to_unicode(ace.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), U"bücher");
+}
+
+TEST(IdnaLabel, ToUnicodePlainAscii) {
+  auto out = label_to_unicode("Example");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), U"example");
+}
+
+TEST(IdnaLabel, ToUnicodeRejectsNonCanonicalAce) {
+  // Decodes but re-encodes differently (uppercase punycode digits are
+  // canonicalized): must fail the round-trip check if content disallowed.
+  auto out = label_to_unicode("xn--a b");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(IdnaDomain, ToAsciiFullDomain) {
+  auto out = domain_to_ascii("中文域名.com");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "xn--fiq06l2rdsvs.com");
+}
+
+TEST(IdnaDomain, IdeographicDotVariants) {
+  // U+3002 / U+FF0E / U+FF61 are label separators.
+  auto a = domain_to_ascii("中国。com");
+  auto b = domain_to_ascii("中国．com");
+  auto c = domain_to_ascii("中国.com");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a.value(), c.value());
+  EXPECT_EQ(b.value(), c.value());
+}
+
+TEST(IdnaDomain, TrailingRootDotAccepted) {
+  auto out = domain_to_ascii("example.com.");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "example.com");
+}
+
+TEST(IdnaDomain, EmptyLabelRejected) {
+  EXPECT_FALSE(domain_to_ascii("a..com").ok());
+  EXPECT_FALSE(domain_to_ascii(".com").ok());
+  EXPECT_FALSE(domain_to_ascii("").ok());
+}
+
+TEST(IdnaDomain, TotalLengthLimit) {
+  std::string long_domain;
+  for (int i = 0; i < 5; ++i) {
+    long_domain += std::string(60, 'a') + ".";
+  }
+  long_domain += "com";
+  auto out = domain_to_ascii(long_domain);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, "idna.too_long");
+}
+
+TEST(IdnaDomain, ToUnicode) {
+  auto out = domain_to_unicode("xn--fiqs8s.com");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "中国.com");
+}
+
+TEST(IdnaLabel, FullwidthAsciiFolds) {
+  // IDNA width mapping: ｅｘａｍｐｌｅ -> example.
+  std::u32string fullwidth;
+  for (char c : std::string("example")) {
+    fullwidth.push_back(0xFEE0 + static_cast<char32_t>(c));
+  }
+  auto out = label_to_ascii(fullwidth);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "example");
+}
+
+TEST(IdnaLabel, FullwidthDigitsAndHyphen) {
+  // ５８ -> 58, fullwidth hyphen-minus folds to '-'.
+  std::u32string label = {0xFF15, 0xFF18, 0xFF0D, U'x'};
+  auto out = label_to_ascii(label);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "58-x");
+}
+
+TEST(IdnaDomain, RejectsMalformedUtf8) {
+  auto out = domain_to_ascii("\xC3.com");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, "utf8.malformed");
+}
+
+TEST(DomainName, ParseBasics) {
+  auto domain = DomainName::parse("WWW.Example.COM");
+  ASSERT_TRUE(domain.ok());
+  EXPECT_EQ(domain.value().ascii(), "www.example.com");
+  EXPECT_EQ(domain.value().level_count(), 3U);
+  EXPECT_EQ(domain.value().tld(), "com");
+  EXPECT_EQ(domain.value().sld_label(), "example");
+  EXPECT_EQ(domain.value().registered_domain(), "example.com");
+  EXPECT_FALSE(domain.value().is_idn());
+  EXPECT_FALSE(domain.value().has_idn_tld());
+}
+
+TEST(DomainName, ParseIdn) {
+  auto domain = DomainName::parse("中文.中国");
+  ASSERT_TRUE(domain.ok());
+  EXPECT_TRUE(domain.value().is_idn());
+  EXPECT_TRUE(domain.value().has_idn_tld());
+  EXPECT_EQ(domain.value().unicode(), "中文.中国");
+}
+
+TEST(DomainName, SldOfBareTld) {
+  auto domain = DomainName::parse("com");
+  ASSERT_TRUE(domain.ok());
+  EXPECT_EQ(domain.value().sld_label(), "");
+  EXPECT_EQ(domain.value().registered_domain(), "com");
+}
+
+TEST(DomainName, Ordering) {
+  auto a = DomainName::parse("a.com").value();
+  auto b = DomainName::parse("b.com").value();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, DomainName::parse("A.COM").value());
+}
+
+// Property: ToASCII . ToUnicode . ToASCII is idempotent over the ecosystem
+// vocabulary repertoire.
+TEST(IdnaProperty, RoundTripStability) {
+  Rng rng(99);
+  constexpr char32_t kPool[] = {U'a', U'k', U'z', U'3', 0x00E9, 0x00FC,
+                                0x4E2D, 0x56FD, 0x0431, 0xAC00, 0x0E01,
+                                0x3042, 0x30A2};
+  for (int i = 0; i < 400; ++i) {
+    std::u32string label;
+    const std::size_t length = 1 + rng.uniform(0, 12);
+    for (std::size_t k = 0; k < length; ++k) {
+      label.push_back(kPool[rng.uniform(0, std::size(kPool) - 1)]);
+    }
+    auto ace = label_to_ascii(label);
+    ASSERT_TRUE(ace.ok());
+    auto unicode_form = label_to_unicode(ace.value());
+    ASSERT_TRUE(unicode_form.ok()) << ace.value();
+    auto ace2 = label_to_ascii(unicode_form.value());
+    ASSERT_TRUE(ace2.ok());
+    EXPECT_EQ(ace.value(), ace2.value());
+  }
+}
+
+}  // namespace
+}  // namespace idnscope::idna

@@ -1,0 +1,104 @@
+// Lookalike candidate enumeration tests (the UC-SimList substitution step).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "idnscope/idna/idna.h"
+#include "idnscope/idna/lookalike.h"
+#include "idnscope/idna/punycode.h"
+
+namespace idnscope::idna {
+namespace {
+
+TEST(Lookalike, PoolContainsOwnAndRelatedGlyphs) {
+  const auto pool = ucsimlist_pool('o');
+  ASSERT_FALSE(pool.empty());
+  bool has_own = false;
+  bool has_cross = false;
+  for (const unicode::Homoglyph* glyph : pool) {
+    if (glyph->ascii_base == 'o') {
+      has_own = true;
+    } else {
+      has_cross = true;
+      // Cross-letter entries must never be pixel-identical twins.
+      EXPECT_NE(glyph->visual, unicode::VisualClass::kIdentical);
+    }
+  }
+  EXPECT_TRUE(has_own);
+  EXPECT_TRUE(has_cross);
+}
+
+TEST(Lookalike, CandidatesAreOnePerPositionAndGlyph) {
+  const auto candidates = single_substitution_candidates("go.com");
+  // 'g' and 'o' each contribute their pool size.
+  const std::size_t expected =
+      ucsimlist_pool('g').size() + ucsimlist_pool('o').size();
+  EXPECT_EQ(candidates.size(), expected);
+}
+
+TEST(Lookalike, CandidatesAreWellFormed) {
+  std::set<std::string> seen;
+  for (const auto& candidate : single_substitution_candidates("google.com")) {
+    // ACE form decodes back to the recorded Unicode SLD.
+    EXPECT_TRUE(has_ace_prefix(candidate.ace_domain));
+    EXPECT_TRUE(candidate.ace_domain.ends_with(".com"));
+    const std::string label =
+        candidate.ace_domain.substr(0, candidate.ace_domain.find('.'));
+    auto decoded = label_to_unicode(label);
+    ASSERT_TRUE(decoded.ok()) << candidate.ace_domain;
+    EXPECT_EQ(decoded.value(), candidate.unicode_sld);
+    // Exactly one position differs from the brand SLD.
+    EXPECT_LT(candidate.position, 6U);
+    EXPECT_EQ(candidate.unicode_sld[candidate.position], candidate.glyph);
+    EXPECT_EQ("google"[candidate.position], candidate.replaced);
+    seen.insert(candidate.ace_domain);
+  }
+  // Distinct glyphs at distinct positions give distinct domains.
+  EXPECT_EQ(seen.size(), single_substitution_candidates("google.com").size());
+}
+
+TEST(Lookalike, CrossLetterFlagIsAccurate) {
+  for (const auto& candidate : single_substitution_candidates("go.com")) {
+    const unicode::Homoglyph* glyph = unicode::find_homoglyph(candidate.glyph);
+    ASSERT_NE(glyph, nullptr);
+    EXPECT_EQ(candidate.cross_letter, glyph->ascii_base != candidate.replaced);
+  }
+}
+
+TEST(Lookalike, MultiLabelSuffixPreserved) {
+  const auto candidates = single_substitution_candidates("gree.com.cn");
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& candidate : candidates) {
+    EXPECT_TRUE(candidate.ace_domain.ends_with(".com.cn"));
+    EXPECT_EQ(candidate.unicode_sld.size(), 4U);  // only the SLD mutates
+  }
+}
+
+TEST(Lookalike, SubstituteExplicitPositions) {
+  const std::pair<std::size_t, char32_t> sub{0, 0x0430};
+  auto domain = substitute("apple.com", {&sub, 1});
+  ASSERT_TRUE(domain.has_value());
+  EXPECT_TRUE(has_ace_prefix(*domain));
+  auto display = domain_to_unicode(*domain);
+  ASSERT_TRUE(display.ok());
+  EXPECT_EQ(display.value(), "аpple.com");  // Cyrillic а
+}
+
+TEST(Lookalike, SubstituteRejectsOutOfRange) {
+  const std::pair<std::size_t, char32_t> sub{10, 0x0430};
+  EXPECT_FALSE(substitute("go.com", {&sub, 1}).has_value());
+}
+
+TEST(Lookalike, SubstituteRejectsDisallowedCodePoint) {
+  const std::pair<std::size_t, char32_t> sub{0, U'!'};
+  EXPECT_FALSE(substitute("go.com", {&sub, 1}).has_value());
+}
+
+TEST(Lookalike, DigitBrandHasCandidates) {
+  // 58.com and 1688.com (Table XIV brands) are digit-only SLDs.
+  EXPECT_FALSE(single_substitution_candidates("58.com").empty());
+  EXPECT_FALSE(single_substitution_candidates("1688.com").empty());
+}
+
+}  // namespace
+}  // namespace idnscope::idna

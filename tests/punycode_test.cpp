@@ -1,0 +1,199 @@
+// RFC 3492 Punycode tests: the official section 7.1 sample strings plus
+// real iTLD labels, error handling, and encode/decode round-trip properties.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "idnscope/common/rng.h"
+#include "idnscope/idna/punycode.h"
+
+namespace idnscope::idna {
+namespace {
+
+struct Vector {
+  std::u32string_view unicode;
+  std::string_view punycode;
+};
+
+// RFC 3492 section 7.1 sample strings (A-P) + real iTLD / common labels.
+// Expected encodings cross-checked against an independent implementation
+// (CPython's punycode codec).
+constexpr Vector kVectors[] = {
+    {U"ليهمابتكلموشعربي؟", "egbpdaj6bu4bxfgehfvwxn"},
+    {U"他们为什么不说中文", "ihqwcrb4cv8a8dqg056pqjye"},
+    {U"他們爲什麽不說中文", "ihqwctvzc91f659drss3x8bo0yb"},
+    {U"Pročprostěnemluvíčesky", "Proprostnemluvesky-uyb24dma41a"},
+    {U"למההםפשוטלאמדבריםעברית", "4dbcagdahymbxekheh6e0a7fei0b"},
+    {U"यहलोगहिन्दीक्योंनहींबोलसकतेहैं",
+     "i1baa7eci9glrd9b2ae1bj0hfcgg6iyaf8o0a1dig0cd"},
+    {U"なぜみんな日本語を話してくれないのか",
+     "n8jok5ay5dzabd5bym9f0cm5685rrjetr6pdxa"},
+    {U"세계의모든사람들이한국어를이해한다면얼마나좋을까",
+     "989aomsvi5e83db1d2a355cv1e0vak1dwrv93d5xbh15a0dt30a5jpsd879ccm6fea98c"},
+    {U"почемужеонинеговорятпорусски", "b1abfaaepdrnnbgefbadotcwatmq2g4l"},
+    {U"PorquénopuedensimplementehablarenEspañol",
+     "PorqunopuedensimplementehablarenEspaol-fmd56a"},
+    {U"TạisaohọkhôngthểchỉnóitiếngViệt",
+     "TisaohkhngthchnitingVit-kjcr8268qyxafd2f1b9g"},
+    {U"3年B組金八先生", "3B-ww4c5e180e575a65lsy2b"},
+    {U"安室奈美恵-with-SUPER-MONKEYS", "-with-SUPER-MONKEYS-pc58ag80a8qai00g7n9n"},
+    {U"Hello-Another-Way-それぞれの場所",
+     "Hello-Another-Way--fc4qua05auwb3674vfr0b"},
+    {U"ひとつ屋根の下2", "2-u9tlzr9756bt3uc0v"},
+    {U"MajiでKoiする5秒前", "MajiKoi5-783gue6qz075azm5e"},
+    {U"パフィーdeルンバ", "de-jg4avhby1noc0d"},
+    {U"そのスピードで", "d9juau41awczczp"},
+    {U"中国", "fiqs8s"},
+    {U"公司", "55qx5d"},
+    {U"网络", "io0a7i"},
+    {U"在线", "3ds443g"},
+    {U"中文域名注册", "fiqz5f6uc00foqv5nk"},
+    {U"bücher", "bcher-kva"},
+    {U"münchen", "mnchen-3ya"},
+    {U"café", "caf-dma"},
+    {U"日本語", "wgv71a119e"},
+};
+
+class PunycodeVectorTest : public ::testing::TestWithParam<Vector> {};
+
+TEST_P(PunycodeVectorTest, Encode) {
+  const Vector& v = GetParam();
+  auto encoded = punycode_encode(v.unicode);
+  ASSERT_TRUE(encoded.ok()) << encoded.error().message;
+  EXPECT_EQ(encoded.value(), v.punycode);
+}
+
+TEST_P(PunycodeVectorTest, Decode) {
+  const Vector& v = GetParam();
+  auto decoded = punycode_decode(v.punycode);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value(), v.unicode);
+}
+
+TEST_P(PunycodeVectorTest, RoundTrip) {
+  const Vector& v = GetParam();
+  auto encoded = punycode_encode(v.unicode);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = punycode_decode(encoded.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), v.unicode);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rfc3492, PunycodeVectorTest,
+                         ::testing::ValuesIn(kVectors));
+
+TEST(Punycode, EmptyInput) {
+  auto encoded = punycode_encode(U"");
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded.value(), "");
+  auto decoded = punycode_decode("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(Punycode, AsciiOnlyGetsTrailingDelimiter) {
+  auto encoded = punycode_encode(U"abc");
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded.value(), "abc-");
+  auto decoded = punycode_decode("abc-");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), U"abc");
+}
+
+TEST(Punycode, CaseInsensitiveDigitsDecode) {
+  // RFC 3492: decoding treats A-Z and a-z identically.
+  auto lower = punycode_decode("fiqs8s");
+  auto upper = punycode_decode("FIQS8S");
+  ASSERT_TRUE(lower.ok());
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(lower.value(), upper.value());
+}
+
+TEST(Punycode, RejectsInvalidDigit) {
+  auto decoded = punycode_decode("ab!c");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "punycode.bad_digit");
+}
+
+TEST(Punycode, RejectsTruncatedInteger) {
+  // "fiqs8s" is valid; chopping the tail mid-integer must fail cleanly.
+  auto decoded = punycode_decode("fiqs8");
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(Punycode, RejectsNonAsciiInput) {
+  auto decoded = punycode_decode("caf\xC3\xA9-dma");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "punycode.bad_input");
+}
+
+TEST(Punycode, RejectsOverflow) {
+  // A digit stream driving the code point far beyond U+10FFFF.
+  auto decoded = punycode_decode("99999999999999999999");
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(Punycode, EncodeRejectsOutOfRangeCodePoint) {
+  std::u32string bad = {static_cast<char32_t>(0x110000)};
+  auto encoded = punycode_encode(bad);
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.error().code, "punycode.bad_input");
+}
+
+TEST(Punycode, AcePrefixDetection) {
+  EXPECT_TRUE(has_ace_prefix("xn--fiqs8s"));
+  EXPECT_TRUE(has_ace_prefix("XN--FIQS8S"));
+  EXPECT_TRUE(has_ace_prefix("Xn--mixed"));
+  EXPECT_FALSE(has_ace_prefix("xn-fiqs8s"));
+  EXPECT_FALSE(has_ace_prefix("axn--b"));
+  EXPECT_FALSE(has_ace_prefix("xn"));
+  EXPECT_FALSE(has_ace_prefix(""));
+}
+
+// Robustness: the decoder must never crash or hang on arbitrary ASCII —
+// every input either fails cleanly or decodes to something that re-encodes.
+TEST(PunycodeProperty, DecoderTotalOnRandomAscii) {
+  Rng rng(0xF00D);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::string input;
+    const std::size_t length = rng.uniform(0, 20);
+    for (std::size_t i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng.uniform(0x20, 0x7E)));
+    }
+    auto decoded = punycode_decode(input);
+    if (!decoded.ok()) {
+      continue;  // clean failure is fine
+    }
+    // Successful decodes must round-trip through the encoder...
+    auto reencoded = punycode_encode(decoded.value());
+    ASSERT_TRUE(reencoded.ok()) << input;
+    // ...to a case-insensitive match of the input (digits are caseless).
+    auto redecoded = punycode_decode(reencoded.value());
+    ASSERT_TRUE(redecoded.ok()) << input;
+    EXPECT_EQ(redecoded.value(), decoded.value()) << input;
+  }
+}
+
+// Property: random labels over a mixed repertoire round-trip exactly.
+TEST(PunycodeProperty, RandomLabelsRoundTrip) {
+  Rng rng(0xDECAFBAD);
+  constexpr char32_t kPools[] = {U'a',    U'z',    U'0',   U'9',
+                                 0x00E9,  0x4E2D,  0x0431, 0xAC00,
+                                 0x0E01,  0x05D0,  0x3042, 0x1F600};
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::u32string label;
+    const std::size_t length = 1 + rng.uniform(0, 24);
+    for (std::size_t i = 0; i < length; ++i) {
+      char32_t base = kPools[rng.uniform(0, std::size(kPools) - 1)];
+      label.push_back(base + static_cast<char32_t>(rng.uniform(0, 5)));
+    }
+    auto encoded = punycode_encode(label);
+    ASSERT_TRUE(encoded.ok());
+    auto decoded = punycode_decode(encoded.value());
+    ASSERT_TRUE(decoded.ok()) << encoded.value();
+    EXPECT_EQ(decoded.value(), label);
+  }
+}
+
+}  // namespace
+}  // namespace idnscope::idna

@@ -1,0 +1,139 @@
+// Query-log layer tests: synthesize/ingest round-trip and text format.
+#include <gtest/gtest.h>
+
+#include "idnscope/common/rng.h"
+#include "idnscope/dns/query_log.h"
+#include "idnscope/ecosystem/ecosystem.h"
+
+namespace idnscope::dns {
+namespace {
+
+DnsAggregate make_aggregate(Date first, Date last, std::uint64_t count) {
+  DnsAggregate aggregate;
+  aggregate.first_seen = first;
+  aggregate.last_seen = last;
+  aggregate.query_count = count;
+  aggregate.resolved_ips.push_back(Ipv4(192, 0, 2, 7));
+  return aggregate;
+}
+
+TEST(QueryLog, RoundTripPreservesAggregate) {
+  const auto aggregate =
+      make_aggregate(Date{2015, 3, 1}, Date{2017, 9, 21}, 12345);
+  const auto log = synthesize_log("example.com", aggregate, 1);
+  ASSERT_FALSE(log.empty());
+  PassiveDnsDb db;
+  ingest(db, log);
+  const DnsAggregate* rebuilt = db.lookup("example.com");
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->query_count, aggregate.query_count);
+  EXPECT_EQ(rebuilt->first_seen, aggregate.first_seen);
+  EXPECT_EQ(rebuilt->last_seen, aggregate.last_seen);
+  EXPECT_EQ(rebuilt->resolved_ips, aggregate.resolved_ips);
+}
+
+TEST(QueryLog, SingleDayAggregate) {
+  const auto aggregate =
+      make_aggregate(Date{2017, 1, 1}, Date{2017, 1, 1}, 500);
+  const auto log = synthesize_log("a.com", aggregate, 2);
+  ASSERT_EQ(log.size(), 1U);
+  EXPECT_EQ(log[0].count, 500U);
+}
+
+TEST(QueryLog, SingleLookupCollapsesToFirstDay) {
+  const auto aggregate = make_aggregate(Date{2016, 1, 1}, Date{2017, 1, 1}, 1);
+  const auto log = synthesize_log("a.com", aggregate, 3);
+  ASSERT_EQ(log.size(), 1U);
+  EXPECT_EQ(log[0].day, (Date{2016, 1, 1}));
+}
+
+TEST(QueryLog, EntriesStayWithinSpanAndSorted) {
+  const auto aggregate =
+      make_aggregate(Date{2016, 6, 1}, Date{2016, 8, 30}, 10000);
+  const auto log = synthesize_log("b.com", aggregate, 4);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_GE(log[i].day.to_serial(), aggregate.first_seen.to_serial());
+    EXPECT_LE(log[i].day.to_serial(), aggregate.last_seen.to_serial());
+    if (i > 0) {
+      EXPECT_LE(log[i - 1].day.to_serial(), log[i].day.to_serial());
+    }
+  }
+}
+
+TEST(QueryLog, DeterministicInSeed) {
+  const auto aggregate =
+      make_aggregate(Date{2016, 6, 1}, Date{2016, 8, 30}, 777);
+  EXPECT_EQ(synthesize_log("c.com", aggregate, 9),
+            synthesize_log("c.com", aggregate, 9));
+  EXPECT_NE(synthesize_log("c.com", aggregate, 9),
+            synthesize_log("c.com", aggregate, 10));
+}
+
+TEST(QueryLog, RoundTripPropertyOverRandomAggregates) {
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const Date first = Date{2014, 8, 4}.plus_days(
+        static_cast<std::int64_t>(rng.uniform(0, 900)));
+    const Date last =
+        first.plus_days(static_cast<std::int64_t>(rng.uniform(0, 400)));
+    const std::uint64_t count = 2 + rng.uniform(0, 100000);
+    const auto aggregate = make_aggregate(first, last, count);
+    const std::string domain = "d" + std::to_string(i) + ".com";
+    PassiveDnsDb db;
+    ingest(db, synthesize_log(domain, aggregate, i));
+    const DnsAggregate* rebuilt = db.lookup(domain);
+    ASSERT_NE(rebuilt, nullptr);
+    EXPECT_EQ(rebuilt->query_count, count);
+    EXPECT_EQ(rebuilt->first_seen, first);
+    EXPECT_EQ(rebuilt->last_seen, last);
+  }
+}
+
+TEST(QueryLog, TextFormatRoundTrip) {
+  QueryLogEntry entry{"example.com", Date{2017, 9, 21}, 42,
+                      Ipv4(192, 0, 2, 7)};
+  const std::string line = format_log_line(entry);
+  EXPECT_EQ(line, "2017-09-21 example.com 42 192.0.2.7");
+  auto parsed = parse_log_line(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), entry);
+
+  QueryLogEntry no_ip{"a.net", Date{2016, 1, 2}, 1, std::nullopt};
+  auto parsed2 = parse_log_line(format_log_line(no_ip));
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_EQ(parsed2.value(), no_ip);
+}
+
+TEST(QueryLog, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(parse_log_line("").ok());
+  EXPECT_FALSE(parse_log_line("2017-09-21 example.com").ok());
+  EXPECT_FALSE(parse_log_line("yesterday example.com 42").ok());
+  EXPECT_FALSE(parse_log_line("2017-09-21 example.com zero").ok());
+  EXPECT_FALSE(parse_log_line("2017-09-21 example.com 0").ok());
+  EXPECT_FALSE(parse_log_line("2017-09-21 example.com 42 not-an-ip").ok());
+  EXPECT_FALSE(parse_log_line("2017-09-21 a.com 1 1.2.3.4 extra").ok());
+}
+
+TEST(QueryLog, EcosystemAggregatesSurviveLogExpansion) {
+  // Expand + ingest a slice of the generated pDNS and compare.
+  const auto eco = ecosystem::generate(ecosystem::Scenario::tiny());
+  PassiveDnsDb rebuilt;
+  std::size_t checked = 0;
+  for (const auto& [domain, aggregate] : eco.pdns.all()) {
+    if (aggregate.query_count < 2) {
+      continue;  // single look-ups cannot witness their span
+    }
+    ingest(rebuilt, synthesize_log(domain, aggregate, eco.scenario.seed));
+    const DnsAggregate* copy = rebuilt.lookup(domain);
+    ASSERT_NE(copy, nullptr);
+    EXPECT_EQ(copy->query_count, aggregate.query_count) << domain;
+    EXPECT_EQ(copy->active_days(), aggregate.active_days()) << domain;
+    if (++checked == 500) {
+      break;
+    }
+  }
+  EXPECT_EQ(checked, 500U);
+}
+
+}  // namespace
+}  // namespace idnscope::dns

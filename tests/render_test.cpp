@@ -1,0 +1,169 @@
+// Font, rasterizer and image tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "idnscope/render/font.h"
+#include "idnscope/render/renderer.h"
+#include "idnscope/unicode/confusables.h"
+
+namespace idnscope::render {
+namespace {
+
+TEST(Font, BaseGlyphsExistForLdhRepertoire) {
+  for (char c = 'a'; c <= 'z'; ++c) {
+    EXPECT_NE(base_glyph(c), nullptr) << c;
+  }
+  for (char c = '0'; c <= '9'; ++c) {
+    EXPECT_NE(base_glyph(c), nullptr) << c;
+  }
+  EXPECT_NE(base_glyph('-'), nullptr);
+  EXPECT_NE(base_glyph('.'), nullptr);
+  EXPECT_EQ(base_glyph('!'), nullptr);
+  EXPECT_EQ(base_glyph(' '), nullptr);
+}
+
+TEST(Font, UppercaseMapsToLowercase) {
+  EXPECT_EQ(base_glyph('A'), base_glyph('a'));
+  EXPECT_EQ(base_glyph('Z'), base_glyph('z'));
+}
+
+TEST(Font, EveryGlyphHasInk) {
+  for (char c = 'a'; c <= 'z'; ++c) {
+    EXPECT_GT(base_glyph(c)->ink(), 5) << c;
+  }
+  for (char c = '0'; c <= '9'; ++c) {
+    EXPECT_GT(base_glyph(c)->ink(), 5) << c;
+  }
+}
+
+TEST(Font, LettersAreMutuallyDistinct) {
+  for (char a = 'a'; a <= 'z'; ++a) {
+    for (char b = static_cast<char>(a + 1); b <= 'z'; ++b) {
+      EXPECT_NE(base_glyph(a)->rows, base_glyph(b)->rows) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Font, TofuVariesByCodePoint) {
+  std::set<std::array<std::uint8_t, kGlyphHeight>> shapes;
+  for (char32_t cp = 0x4E00; cp < 0x4E40; ++cp) {
+    shapes.insert(tofu_glyph(cp).rows);
+  }
+  EXPECT_GT(shapes.size(), 30U);  // distinct CJK chars render distinctly
+}
+
+TEST(Font, PixelSetAndGet) {
+  GlyphBitmap glyph{};
+  EXPECT_FALSE(glyph.pixel(3, 5));
+  glyph.set_pixel(3, 5, true);
+  EXPECT_TRUE(glyph.pixel(3, 5));
+  EXPECT_EQ(glyph.ink(), 1);
+  glyph.set_pixel(3, 5, false);
+  EXPECT_EQ(glyph.ink(), 0);
+}
+
+TEST(Image, UpscaleBlurPad) {
+  GrayImage image(4, 3);
+  image.set(1, 1, 255);
+  const GrayImage scaled = image.upscaled(2);
+  EXPECT_EQ(scaled.width(), 8);
+  EXPECT_EQ(scaled.height(), 6);
+  EXPECT_EQ(scaled.at(2, 2), 255);
+  EXPECT_EQ(scaled.at(3, 3), 255);
+  EXPECT_EQ(scaled.at(0, 0), 0);
+
+  const GrayImage blurred = image.blurred3();
+  EXPECT_GT(blurred.at(0, 0), 0);   // energy spreads
+  EXPECT_LT(blurred.at(1, 1), 255); // and the peak drops
+
+  const GrayImage padded = image.padded_to(6, 5);
+  EXPECT_EQ(padded.width(), 6);
+  EXPECT_EQ(padded.at(1, 1), 255);
+  EXPECT_EQ(padded.at(5, 4), 0);
+}
+
+TEST(Image, AsciiArt) {
+  GrayImage image(2, 1);
+  image.set(0, 0, 255);
+  EXPECT_EQ(image.to_ascii_art(), "#.\n");
+}
+
+TEST(Renderer, DimensionsMatchFormula) {
+  const RenderOptions options;
+  const GrayImage image = render_ascii("google.com", options);
+  EXPECT_EQ(image.width(), rendered_width(10, options));
+  EXPECT_EQ(image.height(), rendered_height(options));
+}
+
+TEST(Renderer, SameTextSameImage) {
+  EXPECT_EQ(render_ascii("apple.com"), render_ascii("apple.com"));
+}
+
+TEST(Renderer, CaseInsensitiveAtGlyphLevel) {
+  EXPECT_EQ(render_ascii("APPLE.COM"), render_ascii("apple.com"));
+}
+
+TEST(Renderer, IdenticalHomoglyphRendersIdentically) {
+  std::u32string cyrillic = U"apple.com";
+  cyrillic[0] = 0x0430;  // Cyrillic а, class kIdentical
+  EXPECT_EQ(render_label(cyrillic), render_ascii("apple.com"));
+}
+
+TEST(Renderer, AccentedHomoglyphRendersDifferently) {
+  std::u32string accented = U"apple.com";
+  accented[4] = 0x00E9;  // é
+  EXPECT_NE(render_label(accented), render_ascii("apple.com"));
+}
+
+TEST(Renderer, EveryConfusableRenders) {
+  for (const unicode::Homoglyph& h : unicode::all_homoglyphs()) {
+    EXPECT_TRUE(can_render_exact(h.code_point))
+        << std::hex << static_cast<std::uint32_t>(h.code_point);
+    const GrayImage image = render_code_point(h.code_point);
+    int ink = 0;
+    for (std::uint8_t px : image.pixels()) {
+      if (px > 0) {
+        ++ink;
+      }
+    }
+    EXPECT_GT(ink, 5);
+  }
+}
+
+TEST(Renderer, DistinctAccentsRenderDistinctly) {
+  // All homoglyphs of 'o' must produce pairwise distinct base rasters.
+  std::set<std::string> seen;
+  const RenderOptions raw{1, false};
+  for (const unicode::Homoglyph& h : unicode::homoglyphs_of('o')) {
+    if (h.visual == unicode::VisualClass::kIdentical) {
+      continue;
+    }
+    const GrayImage image =
+        render_label(std::u32string(1, h.code_point), raw);
+    EXPECT_TRUE(seen.insert(image.to_ascii_art()).second)
+        << std::hex << static_cast<std::uint32_t>(h.code_point);
+  }
+}
+
+TEST(Renderer, UnknownCodePointsUseTofu) {
+  EXPECT_FALSE(can_render_exact(0x4E2D));
+  const GrayImage han = render_code_point(0x4E2D);
+  const GrayImage latin = render_code_point(U'a');
+  EXPECT_NE(han, latin);
+}
+
+TEST(Renderer, ColumnProfileTracksInk) {
+  const auto profile = column_profile(U"a");
+  ASSERT_EQ(profile.size(),
+            static_cast<std::size_t>(kCellWidth + 2 * kMargin));
+  int total = 0;
+  for (int count : profile) {
+    total += count;
+  }
+  EXPECT_GT(total, 5);
+  EXPECT_EQ(profile.front(), 0);  // left margin is empty
+}
+
+}  // namespace
+}  // namespace idnscope::render

@@ -1,0 +1,52 @@
+// Markdown report builder tests.
+#include <gtest/gtest.h>
+
+#include "idnscope/core/report.h"
+
+namespace idnscope::core {
+namespace {
+
+const Study& tiny_study() {
+  static const ecosystem::Ecosystem eco =
+      ecosystem::generate(ecosystem::Scenario::tiny());
+  static const Study study(eco);
+  return study;
+}
+
+TEST(Report, ContainsEverySection) {
+  const std::string report = build_markdown_report(tiny_study());
+  for (const char* section :
+       {"# IDN ecosystem study", "## Dataset", "## Languages",
+        "## Registration", "## DNS activity", "## Web content", "## HTTPS",
+        "## Homograph abuse", "## Semantic abuse", "## Browser IDN policies"}) {
+    EXPECT_NE(report.find(section), std::string::npos) << section;
+  }
+}
+
+TEST(Report, SectionsCanBeDisabled) {
+  ReportOptions options;
+  options.include_homographs = false;
+  options.include_semantics = false;
+  options.include_browser_survey = false;
+  const std::string report = build_markdown_report(tiny_study(), options);
+  EXPECT_EQ(report.find("## Homograph abuse"), std::string::npos);
+  EXPECT_EQ(report.find("## Semantic abuse"), std::string::npos);
+  EXPECT_EQ(report.find("## Browser IDN policies"), std::string::npos);
+  EXPECT_NE(report.find("## Dataset"), std::string::npos);
+}
+
+TEST(Report, DeterministicForSameOptions) {
+  EXPECT_EQ(build_markdown_report(tiny_study()),
+            build_markdown_report(tiny_study()));
+}
+
+TEST(Report, MentionsKeyBrandsAndProviders) {
+  const std::string report = build_markdown_report(tiny_study());
+  EXPECT_NE(report.find("google.com"), std::string::npos);
+  EXPECT_NE(report.find("58.com"), std::string::npos);
+  EXPECT_NE(report.find("sedoparking.com"), std::string::npos);
+  EXPECT_NE(report.find("Chinese"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idnscope::core

@@ -1,0 +1,107 @@
+// Unicode script classification tests.
+#include <gtest/gtest.h>
+
+#include "idnscope/unicode/scripts.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::unicode {
+namespace {
+
+struct ScriptCase {
+  char32_t cp;
+  Script expected;
+};
+
+class ScriptOfTest : public ::testing::TestWithParam<ScriptCase> {};
+
+TEST_P(ScriptOfTest, Classifies) {
+  EXPECT_EQ(script_of(GetParam().cp), GetParam().expected)
+      << std::hex << static_cast<std::uint32_t>(GetParam().cp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samples, ScriptOfTest,
+    ::testing::Values(
+        ScriptCase{U'a', Script::kLatin}, ScriptCase{U'Z', Script::kLatin},
+        ScriptCase{U'5', Script::kCommon}, ScriptCase{U'-', Script::kCommon},
+        ScriptCase{U'.', Script::kCommon},
+        ScriptCase{0x00E9, Script::kLatin},    // é
+        ScriptCase{0x0153, Script::kLatin},    // œ
+        ScriptCase{0x1E63, Script::kLatin},    // ṣ (Latin Ext Additional)
+        ScriptCase{0x03B1, Script::kGreek},    // α
+        ScriptCase{0x03C9, Script::kGreek},    // ω
+        ScriptCase{0x0430, Script::kCyrillic}, // а
+        ScriptCase{0x044F, Script::kCyrillic}, // я
+        ScriptCase{0x0501, Script::kCyrillic}, // ԁ
+        ScriptCase{0x0561, Script::kArmenian}, // ա
+        ScriptCase{0x05D0, Script::kHebrew},   // א
+        ScriptCase{0x0627, Script::kArabic},   // ا
+        ScriptCase{0x067E, Script::kArabic},   // پ (Persian pe)
+        ScriptCase{0x0915, Script::kDevanagari},
+        ScriptCase{0x0995, Script::kBengali},
+        ScriptCase{0x0E01, Script::kThai},     // ก
+        ScriptCase{0x0E81, Script::kLao},
+        ScriptCase{0x0F40, Script::kTibetan},
+        ScriptCase{0x1000, Script::kMyanmar},
+        ScriptCase{0x10D0, Script::kGeorgian},
+        ScriptCase{0x1100, Script::kHangul},
+        ScriptCase{0xAC00, Script::kHangul},   // 가
+        ScriptCase{0xD55C, Script::kHangul},   // 한
+        ScriptCase{0x1820, Script::kMongolian},
+        ScriptCase{0x1780, Script::kKhmer},
+        ScriptCase{0x3042, Script::kHiragana}, // あ
+        ScriptCase{0x30A2, Script::kKatakana}, // ア
+        ScriptCase{0x30FC, Script::kKatakana}, // ー
+        ScriptCase{0x3105, Script::kBopomofo},
+        ScriptCase{0x4E2D, Script::kHan},      // 中
+        ScriptCase{0x9FFF, Script::kHan},
+        ScriptCase{0x3400, Script::kHan},      // ext A
+        ScriptCase{0x20000, Script::kHan},     // ext B
+        ScriptCase{0x0301, Script::kInherited},
+        ScriptCase{0x2028, Script::kCommon},   // general punctuation
+        ScriptCase{0xFFFD, Script::kUnknown}));
+
+TEST(Scripts, NamesAreStable) {
+  EXPECT_EQ(script_name(Script::kLatin), "Latin");
+  EXPECT_EQ(script_name(Script::kHan), "Han");
+  EXPECT_EQ(script_name(Script::kUnknown), "Unknown");
+}
+
+TEST(Scripts, CombiningMarks) {
+  EXPECT_TRUE(is_combining_mark(0x0300));
+  EXPECT_TRUE(is_combining_mark(0x036F));
+  EXPECT_TRUE(is_combining_mark(0x3099));  // kana voicing
+  EXPECT_FALSE(is_combining_mark(U'a'));
+  EXPECT_FALSE(is_combining_mark(0x4E2D));
+}
+
+TEST(Scripts, ScriptsInCollectsDistinctNonCommon) {
+  const auto scripts = scripts_in(U"abc123中文");
+  ASSERT_EQ(scripts.size(), 2U);
+  EXPECT_EQ(scripts[0], Script::kLatin);
+  EXPECT_EQ(scripts[1], Script::kHan);
+}
+
+TEST(Scripts, SingleScript) {
+  EXPECT_TRUE(is_single_script(U"abc"));
+  EXPECT_TRUE(is_single_script(U"abc-123"));     // Common ignored
+  EXPECT_TRUE(is_single_script(U""));
+  EXPECT_TRUE(is_single_script(U"123"));         // only Common
+  EXPECT_TRUE(is_single_script(std::u32string{0x0441, 0x043E, 0x0441, 0x043E}));
+  EXPECT_FALSE(is_single_script(std::u32string{U'a', 0x0430}));  // Latin+Cyr
+  // Combining marks are Inherited and must not break single-script.
+  EXPECT_TRUE(is_single_script(std::u32string{U'a', 0x0301, U'b'}));
+}
+
+TEST(Scripts, CjkHelper) {
+  EXPECT_TRUE(is_cjk_script(Script::kHan));
+  EXPECT_TRUE(is_cjk_script(Script::kHiragana));
+  EXPECT_TRUE(is_cjk_script(Script::kKatakana));
+  EXPECT_TRUE(is_cjk_script(Script::kHangul));
+  EXPECT_TRUE(is_cjk_script(Script::kBopomofo));
+  EXPECT_FALSE(is_cjk_script(Script::kLatin));
+  EXPECT_FALSE(is_cjk_script(Script::kThai));
+}
+
+}  // namespace
+}  // namespace idnscope::unicode

@@ -1,0 +1,122 @@
+// Type-1 semantic detector tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "idnscope/core/semantic.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::core {
+namespace {
+
+const ecosystem::Ecosystem& tiny_eco() {
+  static const ecosystem::Ecosystem eco =
+      ecosystem::generate(ecosystem::Scenario::tiny());
+  return eco;
+}
+
+const Study& tiny_study() {
+  static const Study study(tiny_eco());
+  return study;
+}
+
+const SemanticDetector& detector() {
+  static const SemanticDetector instance(ecosystem::alexa_top1k());
+  return instance;
+}
+
+std::string type1(const char* brand_sld, const char* keyword,
+                  const char* suffix = ".com") {
+  auto decoded = unicode::decode(std::string(brand_sld) + keyword);
+  auto ace = idna::label_to_ascii(decoded.value());
+  return ace.value() + suffix;
+}
+
+TEST(Semantic, DetectsBrandPlusKeyword) {
+  const auto match = detector().match(type1("apple", "邮箱"));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->brand, "apple.com");
+  EXPECT_EQ(match->keyword_utf8, "邮箱");
+}
+
+TEST(Semantic, DetectsKeywordPrefixToo) {
+  // The ASCII remainder is what matters, not keyword position.
+  const auto match = detector().match(type1("", "售后58"));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->brand, "58.com");
+}
+
+TEST(Semantic, DigitBrand) {
+  const auto match = detector().match(type1("58", "汽车"));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->brand, "58.com");
+  EXPECT_EQ(match->keyword_utf8, "汽车");
+}
+
+TEST(Semantic, RequiresTldAgreement) {
+  EXPECT_FALSE(detector().match(type1("apple", "邮箱", ".net")).has_value());
+  // craigslist.org is an .org brand: .org matches, .com does not.
+  EXPECT_TRUE(detector().match(type1("craigslist", "登录", ".org")).has_value());
+  EXPECT_FALSE(detector().match(type1("craigslist", "登录", ".com")).has_value());
+}
+
+TEST(Semantic, RejectsNonIdn) {
+  EXPECT_FALSE(detector().match("applemail.com").has_value());
+  EXPECT_FALSE(detector().match("apple.com").has_value());
+}
+
+TEST(Semantic, RejectsKeywordOnlyIdn) {
+  EXPECT_FALSE(detector().match(type1("", "登录")).has_value());
+}
+
+TEST(Semantic, RejectsNonBrandAsciiPart) {
+  EXPECT_FALSE(detector().match(type1("zzznotabrand", "登录")).has_value());
+}
+
+TEST(Semantic, RejectsHomographs) {
+  // A homograph replaces brand characters, so the ASCII remainder is not
+  // the brand: "аpple" (Cyrillic а) strips to "pple".
+  auto decoded = unicode::decode("аpple");
+  auto ace = idna::label_to_ascii(decoded.value());
+  EXPECT_FALSE(detector().match(ace.value() + ".com").has_value());
+}
+
+TEST(Semantic, FindsAllPlants) {
+  const auto matches = detector().scan(tiny_study().idns());
+  std::set<std::string> matched;
+  for (const SemanticMatch& match : matches) {
+    matched.insert(match.domain);
+  }
+  for (const auto& [domain, truth] : tiny_eco().truth) {
+    if (truth.abuse == ecosystem::AbuseKind::kSemanticT1) {
+      EXPECT_TRUE(matched.contains(domain)) << domain;
+    }
+  }
+}
+
+TEST(Semantic, MatchedBrandAgreesWithPlantTarget) {
+  for (const SemanticMatch& match : detector().scan(tiny_study().idns())) {
+    auto it = tiny_eco().truth.find(match.domain);
+    ASSERT_NE(it, tiny_eco().truth.end());
+    if (it->second.abuse == ecosystem::AbuseKind::kSemanticT1) {
+      EXPECT_EQ(match.brand, it->second.target_brand) << match.domain;
+    }
+  }
+}
+
+TEST(Semantic, ReportAggregates) {
+  const auto report = analyze_semantics(tiny_study(), detector(), 10);
+  EXPECT_FALSE(report.matches.empty());
+  EXPECT_GT(report.brands_targeted, 0U);
+  for (std::size_t i = 1; i < report.top_brands.size(); ++i) {
+    EXPECT_GE(report.top_brands[i - 1].idn_count,
+              report.top_brands[i].idn_count);
+  }
+  // 58.com is the paper's (and our generator's) dominant target.
+  ASSERT_FALSE(report.top_brands.empty());
+  EXPECT_EQ(report.top_brands[0].brand, "58.com");
+}
+
+}  // namespace
+}  // namespace idnscope::core

@@ -1,0 +1,59 @@
+// End-to-end smoke test: generate a small ecosystem and run every stage of
+// the measurement pipeline once.
+#include <gtest/gtest.h>
+
+#include "idnscope/core/availability.h"
+#include "idnscope/core/browser.h"
+#include "idnscope/core/content_study.h"
+#include "idnscope/core/dns_study.h"
+#include "idnscope/core/homograph.h"
+#include "idnscope/core/language_study.h"
+#include "idnscope/core/registration_study.h"
+#include "idnscope/core/semantic.h"
+#include "idnscope/core/ssl_study.h"
+#include "idnscope/core/study.h"
+#include "idnscope/ecosystem/ecosystem.h"
+
+namespace idnscope {
+namespace {
+
+TEST(Smoke, TinyScenarioRunsEveryStage) {
+  const auto eco = ecosystem::generate(ecosystem::Scenario::tiny());
+  ASSERT_FALSE(eco.idns.empty());
+
+  core::Study study(eco);
+  EXPECT_EQ(study.idns().size(), eco.idns.size());
+
+  const auto languages = core::analyze_languages(study);
+  EXPECT_EQ(languages.total_all, study.idns().size());
+
+  const auto timeline = core::registration_timeline(study);
+  EXPECT_FALSE(timeline.empty());
+
+  const auto activity = core::idn_activity(study, "com", /*malicious=*/false);
+  EXPECT_GT(activity.covered, 0U);
+
+  const auto hosting = core::hosting_concentration(study);
+  EXPECT_GT(hosting.distinct_segments, 0U);
+
+  const auto content = core::sampled_content_comparison(study, 50, 1);
+  EXPECT_EQ(content.idn.total, 50U);
+
+  const auto ssl = core::ssl_comparison(study);
+  EXPECT_GT(ssl.idn_certs, 0U);
+
+  const auto brands = ecosystem::alexa_top(50);
+  core::HomographDetector detector(brands);
+  const auto homographs = core::analyze_homographs(study, detector, 10);
+  EXPECT_FALSE(homographs.matches.empty());
+
+  core::SemanticDetector semantic(ecosystem::alexa_top1k());
+  const auto semantics = core::analyze_semantics(study, semantic, 10);
+  EXPECT_FALSE(semantics.matches.empty());
+
+  const auto verdicts = core::run_browser_survey();
+  EXPECT_EQ(verdicts.size(), 27U);
+}
+
+}  // namespace
+}  // namespace idnscope

@@ -1,0 +1,223 @@
+// SSIM / MSE metric tests: reference properties, homoglyph-class ordering
+// (the calibration the detector depends on), and SsimReference exactness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "idnscope/idna/lookalike.h"
+#include "idnscope/render/renderer.h"
+#include "idnscope/render/ssim.h"
+
+namespace idnscope::render {
+namespace {
+
+std::u32string ascii_u32(std::string_view text) {
+  std::u32string out;
+  for (unsigned char c : text) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+  const GrayImage image = render_ascii("google.com");
+  EXPECT_DOUBLE_EQ(ssim(image, image), 1.0);
+}
+
+TEST(Ssim, Symmetric) {
+  const GrayImage a = render_ascii("google.com");
+  std::u32string other = ascii_u32("google.com");
+  other[2] = 0x00F6;
+  const GrayImage b = render_label(other);
+  EXPECT_NEAR(ssim(a, b), ssim(b, a), 1e-12);
+}
+
+TEST(Ssim, BoundedAboveByOne) {
+  const GrayImage a = render_ascii("abc.com");
+  const GrayImage b = render_ascii("xyz.net");
+  const double score = ssim(a, b);
+  EXPECT_LE(score, 1.0);
+  EXPECT_GE(score, -1.0);
+}
+
+TEST(Ssim, BlankImagesAreIdentical) {
+  const GrayImage a(32, 32);
+  const GrayImage b(32, 32);
+  EXPECT_DOUBLE_EQ(ssim(a, b), 1.0);
+}
+
+TEST(Ssim, UnmaskedVariantIsTheTextbookDefinition) {
+  const GrayImage a = render_ascii("google.com");
+  std::u32string other = ascii_u32("google.com");
+  other[2] = 0x00F6;
+  const GrayImage b = render_label(other);
+  SsimOptions unmasked;
+  unmasked.text_mask = false;
+  // Background dilution: the unmasked score is higher.
+  EXPECT_GT(ssim(a, b, unmasked), ssim(a, b));
+}
+
+TEST(Mse, ZeroForIdenticalMonotoneWithDamage) {
+  const GrayImage a = render_ascii("google.com");
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+  std::u32string one = ascii_u32("google.com");
+  one[2] = 0x00F6;
+  std::u32string two = one;
+  two[3] = 0x00F6;
+  EXPECT_LT(mse(a, render_label(one)), mse(a, render_label(two)));
+}
+
+TEST(Psnr, InfiniteForIdentical) {
+  const GrayImage a = render_ascii("abc.com");
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+  std::u32string other = ascii_u32("abc.com");
+  other[0] = 0x00E4;
+  EXPECT_LT(psnr(a, render_label(other)), 60.0);
+}
+
+// --- the calibration the paper's 0.95 threshold rests on -------------------
+
+struct ClassCase {
+  const char* name;
+  char32_t cp;        // substituted into position 2 of google.com
+  double min_ssim;
+  double max_ssim;
+};
+
+class HomoglyphClassTest : public ::testing::TestWithParam<ClassCase> {};
+
+TEST_P(HomoglyphClassTest, ScoresInBand) {
+  std::u32string text = ascii_u32("google.com");
+  text[2] = GetParam().cp;
+  const double score = ssim(render_label(text), render_ascii("google.com"));
+  EXPECT_GE(score, GetParam().min_ssim) << GetParam().name;
+  EXPECT_LE(score, GetParam().max_ssim) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Calibration, HomoglyphClassTest,
+    ::testing::Values(
+        ClassCase{"identical_cyrillic_o", 0x043E, 1.0, 1.0},
+        ClassCase{"identical_greek_omicron", 0x03BF, 1.0, 1.0},
+        ClassCase{"near_o_diaeresis", 0x00F6, 0.95, 0.995},
+        ClassCase{"near_o_macron", 0x014D, 0.95, 0.995},
+        ClassCase{"near_o_dot_below", 0x1ECD, 0.95, 0.999},
+        ClassCase{"similar_o_stroke", 0x00F8, 0.93, 0.985},
+        ClassCase{"similar_o_horn", 0x01A1, 0.93, 0.985},
+        // Body-alike letters (c/e/a for o) can pass 0.95 — consistent with
+        // the paper, whose Table XII shows "gogglē" at 0.95.  Letters with
+        // a different silhouette must fail the threshold.
+        ClassCase{"different_letter_x", U'x', 0.70, 0.9499},
+        ClassCase{"different_letter_v", U'v', 0.70, 0.9499},
+        ClassCase{"tofu_han", 0x4E2D, 0.50, 0.9499}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(SsimCalibration, OrderingAcrossClasses) {
+  const GrayImage brand = render_ascii("google.com");
+  auto score = [&](char32_t cp) {
+    std::u32string text = ascii_u32("google.com");
+    text[2] = cp;
+    return ssim(render_label(text), brand);
+  };
+  const double identical = score(0x043E);
+  const double near = score(0x00F6);
+  const double different = score(U'x');
+  EXPECT_GT(identical, near);
+  EXPECT_GT(near, different);
+}
+
+TEST(SsimCalibration, ShorterDomainsPenalizeHarder) {
+  auto one_sub = [&](std::string_view domain) {
+    std::u32string text = ascii_u32(domain);
+    text[0] = 0x00E9;  // é for e
+    return ssim(render_label(text), render_ascii(domain));
+  };
+  EXPECT_LT(one_sub("ea.com"), one_sub("ebaylike-market.com"));
+}
+
+TEST(SsimCalibration, TwoSubstitutionsScoreBelowOne) {
+  std::u32string text = ascii_u32("google.com");
+  text[1] = 0x00F5;
+  text[2] = 0x00F5;
+  const double two = ssim(render_label(text), render_ascii("google.com"));
+  std::u32string single = ascii_u32("google.com");
+  single[1] = 0x00F5;
+  const double one = ssim(render_label(single), render_ascii("google.com"));
+  EXPECT_LT(two, one);
+}
+
+// --- SsimReference: the region-restricted fast path -------------------------
+
+TEST(SsimReference, ExactlyMatchesFullEvaluation) {
+  const RenderOptions render_options;
+  const std::string brand = "facebook.com";
+  const SsimReference reference(render_ascii(brand, render_options));
+  int checked = 0;
+  for (const auto& candidate : idna::single_substitution_candidates(brand)) {
+    std::u32string display = candidate.unicode_sld;
+    for (unsigned char c : std::string_view(".com")) {
+      display.push_back(c);
+    }
+    const GrayImage image = render_label(display, render_options);
+    const int x0 = std::max(
+        0, (kMargin + static_cast<int>(candidate.position) * kCellWidth) *
+                   render_options.scale -
+               render_options.scale - 2);
+    const int x1 =
+        (kMargin + (static_cast<int>(candidate.position) + 1) * kCellWidth) *
+            render_options.scale +
+        render_options.scale + 2;
+    EXPECT_NEAR(reference.compare(image, x0, x1),
+                ssim(image, reference.image()), 1e-9)
+        << candidate.ace_domain;
+    ++checked;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(SsimReference, IdenticalCandidateScoresOne) {
+  const GrayImage image = render_ascii("apple.com");
+  const SsimReference reference(image);
+  EXPECT_DOUBLE_EQ(reference.compare(image, 10, 20), 1.0);
+  EXPECT_DOUBLE_EQ(reference.compare(image, 0, image.width()), 1.0);
+}
+
+TEST(SsimReference, EmptyRegionIsOne) {
+  const GrayImage image = render_ascii("apple.com");
+  const SsimReference reference(image);
+  EXPECT_DOUBLE_EQ(reference.compare(image, 5, 5), 1.0);
+}
+
+// --- the prefilter bound used by the detector -------------------------------
+
+TEST(Prefilter, ColumnProfileBoundIsSound) {
+  // No candidate reaching SSIM >= 0.95 may exceed the L1 budget of 26
+  // (HomographOptions::profile_budget); otherwise the prefilter would drop
+  // true positives.
+  const char* brands[] = {"google.com", "qq.com", "amazon.com", "58.com"};
+  for (const char* brand : brands) {
+    const GrayImage brand_image = render_ascii(brand);
+    const auto brand_profile = column_profile(ascii_u32(brand));
+    for (const auto& candidate : idna::single_substitution_candidates(brand)) {
+      std::u32string display = candidate.unicode_sld;
+      const std::string_view suffix =
+          std::string_view(brand).substr(std::string_view(brand).find('.'));
+      for (unsigned char c : suffix) {
+        display.push_back(c);
+      }
+      const double score = ssim(render_label(display), brand_image);
+      if (score < 0.95) {
+        continue;
+      }
+      const auto profile = column_profile(display);
+      int l1 = 0;
+      for (std::size_t i = 0; i < profile.size(); ++i) {
+        l1 += std::abs(profile[i] - brand_profile[i]);
+      }
+      EXPECT_LE(l1, 26) << candidate.ace_domain << " ssim=" << score;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idnscope::render

@@ -1,0 +1,146 @@
+// Certificate matching, validation and Table VI/VII aggregation tests.
+#include <gtest/gtest.h>
+
+#include "idnscope/ssl/cert_store.h"
+#include "idnscope/ssl/certificate.h"
+
+namespace idnscope::ssl {
+namespace {
+
+struct MatchCase {
+  const char* pattern;
+  const char* host;
+  bool expected;
+};
+
+class NameMatchTest : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(NameMatchTest, Matches) {
+  EXPECT_EQ(name_matches(GetParam().pattern, GetParam().host),
+            GetParam().expected)
+      << GetParam().pattern << " vs " << GetParam().host;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc6125, NameMatchTest,
+    ::testing::Values(
+        MatchCase{"example.com", "example.com", true},
+        MatchCase{"EXAMPLE.com", "example.COM", true},
+        MatchCase{"example.com", "www.example.com", false},
+        MatchCase{"*.example.com", "www.example.com", true},
+        MatchCase{"*.example.com", "example.com", false},
+        MatchCase{"*.example.com", "a.b.example.com", false},
+        MatchCase{"*.example.com", "wexample.com", false},
+        MatchCase{"*.com", "example.com", true},
+        MatchCase{"sedoparking.com", "xn--fiqs8s.com", false},
+        MatchCase{"*", "example.com", false}));
+
+Certificate good_cert(const std::string& host, const Date& today) {
+  Certificate cert;
+  cert.common_name = host;
+  cert.issuer = "Trust CA";
+  cert.not_before = today.plus_days(-30);
+  cert.not_after = today.plus_days(300);
+  return cert;
+}
+
+TEST(CertValidate, Valid) {
+  const Date today{2017, 9, 21};
+  EXPECT_EQ(validate_certificate(good_cert("a.com", today), "a.com", today),
+            CertProblem::kNone);
+}
+
+TEST(CertValidate, SanCoversHost) {
+  const Date today{2017, 9, 21};
+  Certificate cert = good_cert("other.com", today);
+  cert.san_dns_names = {"x.com", "a.com"};
+  EXPECT_EQ(validate_certificate(cert, "a.com", today), CertProblem::kNone);
+}
+
+TEST(CertValidate, Expired) {
+  const Date today{2017, 9, 21};
+  Certificate cert = good_cert("a.com", today);
+  cert.not_after = today.plus_days(-1);
+  EXPECT_EQ(validate_certificate(cert, "a.com", today),
+            CertProblem::kExpired);
+}
+
+TEST(CertValidate, NotYetValidCountsAsExpired) {
+  const Date today{2017, 9, 21};
+  Certificate cert = good_cert("a.com", today);
+  cert.not_before = today.plus_days(5);
+  EXPECT_EQ(validate_certificate(cert, "a.com", today),
+            CertProblem::kExpired);
+}
+
+TEST(CertValidate, SelfSigned) {
+  const Date today{2017, 9, 21};
+  Certificate cert = good_cert("a.com", today);
+  cert.self_signed = true;
+  cert.issuer_trusted = false;
+  EXPECT_EQ(validate_certificate(cert, "a.com", today),
+            CertProblem::kInvalidAuthority);
+}
+
+TEST(CertValidate, CommonNameMismatch) {
+  const Date today{2017, 9, 21};
+  EXPECT_EQ(validate_certificate(good_cert("sedoparking.com", today), "a.com",
+                                 today),
+            CertProblem::kInvalidCommonName);
+}
+
+TEST(CertValidate, PrecedenceExpiredBeforeAuthorityBeforeName) {
+  // The paper buckets each certificate into exactly one problem class.
+  const Date today{2017, 9, 21};
+  Certificate cert = good_cert("other.com", today);
+  cert.not_after = today.plus_days(-10);
+  cert.self_signed = true;
+  cert.issuer_trusted = false;
+  EXPECT_EQ(validate_certificate(cert, "a.com", today),
+            CertProblem::kExpired);
+  cert.not_after = today.plus_days(10);
+  EXPECT_EQ(validate_certificate(cert, "a.com", today),
+            CertProblem::kInvalidAuthority);
+}
+
+TEST(CertStore, ClassifyCounts) {
+  const Date today{2017, 9, 21};
+  CertStore store;
+  store.add({"ok.com", good_cert("ok.com", today)});
+  Certificate expired = good_cert("x.com", today);
+  expired.not_after = today.plus_days(-1);
+  store.add({"x.com", expired});
+  Certificate selfsigned = good_cert("y.com", today);
+  selfsigned.self_signed = true;
+  selfsigned.issuer_trusted = false;
+  store.add({"y.com", selfsigned});
+  store.add({"z1.com", good_cert("sedoparking.com", today)});
+  store.add({"z2.com", good_cert("sedoparking.com", today)});
+  store.add({"z3.com", good_cert("cafe24.com", today)});
+
+  const ProblemCounts counts = store.classify(today);
+  EXPECT_EQ(counts.valid, 1U);
+  EXPECT_EQ(counts.expired, 1U);
+  EXPECT_EQ(counts.invalid_authority, 1U);
+  EXPECT_EQ(counts.invalid_common_name, 3U);
+  EXPECT_EQ(counts.total(), 6U);
+  EXPECT_EQ(counts.problematic(), 5U);
+
+  const auto shared = store.shared_certificates(today);
+  ASSERT_EQ(shared.size(), 2U);
+  EXPECT_EQ(shared[0].first, "sedoparking.com");
+  EXPECT_EQ(shared[0].second, 2U);
+  EXPECT_EQ(shared[1].first, "cafe24.com");
+}
+
+TEST(CertProblemNames, Stable) {
+  EXPECT_EQ(cert_problem_name(CertProblem::kExpired), "Expired Certificate");
+  EXPECT_EQ(cert_problem_name(CertProblem::kInvalidAuthority),
+            "Invalid Authority");
+  EXPECT_EQ(cert_problem_name(CertProblem::kInvalidCommonName),
+            "Invalid Common Name");
+  EXPECT_EQ(cert_problem_name(CertProblem::kNone), "valid");
+}
+
+}  // namespace
+}  // namespace idnscope::ssl

@@ -1,0 +1,116 @@
+// ECDF and table-formatting tests.
+#include <gtest/gtest.h>
+
+#include "idnscope/stats/ecdf.h"
+#include "idnscope/stats/table.h"
+
+namespace idnscope::stats {
+namespace {
+
+TEST(Ecdf, FractionAt) {
+  Ecdf ecdf({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at(4.9), 0.8);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at(100.0), 1.0);
+}
+
+TEST(Ecdf, EmptySample) {
+  Ecdf ecdf;
+  EXPECT_TRUE(ecdf.empty());
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at(1.0), 0.0);
+}
+
+TEST(Ecdf, IncrementalAdd) {
+  Ecdf ecdf;
+  ecdf.add(3.0);
+  ecdf.add(1.0);
+  ecdf.add(2.0);
+  EXPECT_EQ(ecdf.size(), 3U);
+  EXPECT_DOUBLE_EQ(ecdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.max(), 3.0);
+  EXPECT_DOUBLE_EQ(ecdf.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(ecdf.median(), 2.0);
+  // add() after sorting keeps correctness.
+  ecdf.add(0.0);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at(0.0), 0.25);
+}
+
+TEST(Ecdf, Quantiles) {
+  Ecdf ecdf({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.1), 10.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 100.0);
+}
+
+TEST(Ecdf, QuantileFractionInverse) {
+  Ecdf ecdf({5, 1, 9, 3, 7, 2, 8, 4, 6, 10});
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    EXPECT_GE(ecdf.fraction_at(ecdf.quantile(q)), q);
+  }
+}
+
+TEST(Ecdf, Evaluate) {
+  Ecdf ecdf({1, 2, 3, 4});
+  const auto values = ecdf.evaluate({0, 2, 5});
+  ASSERT_EQ(values.size(), 3U);
+  EXPECT_DOUBLE_EQ(values[0], 0.0);
+  EXPECT_DOUBLE_EQ(values[1], 0.5);
+  EXPECT_DOUBLE_EQ(values[2], 1.0);
+}
+
+TEST(Ecdf, LogGrid) {
+  Ecdf ecdf({1, 10, 100, 1000});
+  const auto grid = ecdf.log_grid(4);
+  ASSERT_EQ(grid.size(), 4U);
+  EXPECT_NEAR(grid[0], 1.0, 1e-9);
+  EXPECT_NEAR(grid[3], 1000.0, 1e-6);
+  EXPECT_NEAR(grid[1], 10.0, 1e-6);
+}
+
+TEST(Ecdf, FormatTable) {
+  Ecdf a({1, 2, 3});
+  Ecdf b({2, 4, 6});
+  const std::string table =
+      format_ecdf_table({1, 3, 6}, {{"a", &a}, {"b", &b}}, "x");
+  EXPECT_NE(table.find("a"), std::string::npos);
+  EXPECT_NE(table.find("1.0000"), std::string::npos);
+}
+
+TEST(Table, AlignedOutput) {
+  Table table({"name", "count"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"a-much-longer-name", "22222"});
+  table.add_row({"short"});  // missing cell filled
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 3U);
+  // Every line has the same width.
+  std::size_t width = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1472836), "1,472,836");
+  EXPECT_EQ(format_count(154600404), "154,600,404");
+}
+
+TEST(Format, PercentAndFixed) {
+  EXPECT_EQ(format_percent(0.5203), "52.03%");
+  EXPECT_EQ(format_percent(1.0), "100.00%");
+  EXPECT_EQ(format_fixed(0.95, 2), "0.95");
+  EXPECT_EQ(format_fixed(3.14159, 4), "3.1416");
+}
+
+}  // namespace
+}  // namespace idnscope::stats

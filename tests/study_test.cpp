@@ -1,0 +1,97 @@
+// Study (zone scanning + joins) tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "idnscope/core/study.h"
+
+namespace idnscope::core {
+namespace {
+
+const ecosystem::Ecosystem& tiny_eco() {
+  static const ecosystem::Ecosystem eco =
+      ecosystem::generate(ecosystem::Scenario::tiny());
+  return eco;
+}
+
+const Study& tiny_study() {
+  static const Study study(tiny_eco());
+  return study;
+}
+
+TEST(Study, ZoneScanRecoversGeneratedIdns) {
+  const std::set<std::string> scanned(tiny_study().idns().begin(),
+                                      tiny_study().idns().end());
+  const std::set<std::string> generated(tiny_eco().idns.begin(),
+                                        tiny_eco().idns.end());
+  EXPECT_EQ(scanned, generated);
+}
+
+TEST(Study, GroupsSumToTotals) {
+  const TldGroup total = tiny_study().totals();
+  std::uint64_t idn_sum = 0;
+  std::uint64_t sld_sum = 0;
+  for (const TldGroup& group : tiny_study().tld_groups()) {
+    idn_sum += group.idn_count;
+    sld_sum += group.sld_count;
+  }
+  EXPECT_EQ(total.idn_count, idn_sum);
+  EXPECT_EQ(total.sld_count, sld_sum);
+  EXPECT_EQ(total.idn_count, tiny_study().idns().size());
+}
+
+TEST(Study, FourGroupsInTableOrder) {
+  const auto& groups = tiny_study().tld_groups();
+  ASSERT_EQ(groups.size(), 4U);
+  EXPECT_EQ(groups[0].name, "com");
+  EXPECT_EQ(groups[1].name, "net");
+  EXPECT_EQ(groups[2].name, "org");
+  EXPECT_EQ(groups[3].name, "iTLD (53)");
+  // All iTLD SLDs are IDNs by definition.
+  EXPECT_EQ(groups[3].sld_count, groups[3].idn_count);
+}
+
+TEST(Study, BlacklistJoinMatchesEcosystem) {
+  const Study& study = tiny_study();
+  std::size_t malicious = 0;
+  for (const std::string& idn : study.idns()) {
+    if (study.is_malicious(idn)) {
+      ++malicious;
+      EXPECT_NE(study.blacklist_mask(idn), 0U);
+    }
+  }
+  EXPECT_EQ(malicious, study.malicious_idns().size());
+  EXPECT_EQ(malicious, study.totals().blacklist_total);
+}
+
+TEST(Study, SourceCountsAtLeastTotal) {
+  // Every blacklisted domain carries at least one source bit.
+  const TldGroup total = tiny_study().totals();
+  EXPECT_GE(total.blacklist_virustotal + total.blacklist_360 +
+                total.blacklist_baidu,
+            total.blacklist_total);
+}
+
+TEST(Study, IdnsUnderFiltersByTld) {
+  const Study& study = tiny_study();
+  const auto com = study.idns_under("com");
+  for (const std::string& domain : com) {
+    EXPECT_TRUE(domain.ends_with(".com"));
+  }
+  const auto itld = study.idns_under_itlds();
+  EXPECT_EQ(itld.size(), study.tld_groups()[3].idn_count);
+  EXPECT_EQ(com.size() + study.idns_under("net").size() +
+                study.idns_under("org").size() + itld.size(),
+            study.idns().size());
+}
+
+TEST(Study, IsRegisteredCoversSampleAndIdns) {
+  const Study& study = tiny_study();
+  for (const std::string& domain : tiny_eco().sampled_non_idns) {
+    EXPECT_TRUE(study.is_registered(domain)) << domain;
+  }
+  EXPECT_FALSE(study.is_registered("definitely-not-registered-xyz.com"));
+}
+
+}  // namespace
+}  // namespace idnscope::core

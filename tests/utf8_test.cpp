@@ -1,0 +1,137 @@
+// UTF-8 codec tests: RFC 3629 strictness and round-trip properties.
+#include <gtest/gtest.h>
+
+#include "idnscope/common/rng.h"
+#include "idnscope/unicode/utf8.h"
+
+namespace idnscope::unicode {
+namespace {
+
+TEST(Utf8, EncodeAscii) {
+  EXPECT_EQ(encode(U"hello"), "hello");
+  EXPECT_EQ(encode_code_point(U'a'), "a");
+}
+
+TEST(Utf8, EncodeMultibyteBoundaries) {
+  EXPECT_EQ(encode_code_point(0x7F), "\x7F");
+  EXPECT_EQ(encode_code_point(0x80), "\xC2\x80");
+  EXPECT_EQ(encode_code_point(0x7FF), "\xDF\xBF");
+  EXPECT_EQ(encode_code_point(0x800), "\xE0\xA0\x80");
+  EXPECT_EQ(encode_code_point(0xFFFF), "\xEF\xBF\xBF");
+  EXPECT_EQ(encode_code_point(0x10000), "\xF0\x90\x80\x80");
+  EXPECT_EQ(encode_code_point(0x10FFFF), "\xF4\x8F\xBF\xBF");
+}
+
+TEST(Utf8, EncodeKnownStrings) {
+  EXPECT_EQ(encode(std::u32string{0x4E2D, 0x56FD}), "中国");
+  EXPECT_EQ(encode(std::u32string{0x00E9}), "é");
+}
+
+TEST(Utf8, InvalidCodePointsEncodeAsReplacement) {
+  EXPECT_EQ(encode_code_point(0xD800), "");
+  EXPECT_EQ(encode_code_point(0x110000), "");
+  EXPECT_EQ(encode(std::u32string{0xD800}), "\xEF\xBF\xBD");  // U+FFFD
+}
+
+TEST(Utf8, DecodeValid) {
+  auto decoded = decode("中国abc");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), (std::u32string{0x4E2D, 0x56FD, U'a', U'b', U'c'}));
+}
+
+struct BadInput {
+  const char* name;
+  std::string_view bytes;
+};
+
+class Utf8MalformedTest : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(Utf8MalformedTest, StrictDecodeFails) {
+  auto decoded = decode(GetParam().bytes);
+  EXPECT_FALSE(decoded.ok()) << GetParam().name;
+}
+
+TEST_P(Utf8MalformedTest, LossyDecodeNeverFails) {
+  const std::u32string out = decode_lossy(GetParam().bytes);
+  bool has_replacement = false;
+  for (char32_t cp : out) {
+    if (cp == 0xFFFD) {
+      has_replacement = true;
+    }
+  }
+  EXPECT_TRUE(has_replacement) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Utf8MalformedTest,
+    ::testing::Values(
+        BadInput{"stray continuation", "\x80"},
+        BadInput{"truncated 2-byte", "\xC3"},
+        BadInput{"truncated 3-byte", "\xE4\xB8"},
+        BadInput{"truncated 4-byte", "\xF0\x90\x80"},
+        BadInput{"overlong 2-byte NUL", std::string_view("\xC0\x80", 2)},
+        BadInput{"overlong 3-byte slash", "\xE0\x80\xAF"},
+        BadInput{"overlong 4-byte", "\xF0\x80\x80\x80"},
+        BadInput{"surrogate D800", "\xED\xA0\x80"},
+        BadInput{"surrogate DFFF", "\xED\xBF\xBF"},
+        BadInput{"beyond 10FFFF", "\xF4\x90\x80\x80"},
+        BadInput{"invalid lead F8", "\xF8\x88\x80\x80\x80"},
+        BadInput{"bad continuation", "\xC3\x28"}),
+    [](const auto& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == ' ' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Utf8, LengthCountsCodePoints) {
+  EXPECT_EQ(length("abc"), 3U);
+  EXPECT_EQ(length("中国"), 2U);
+  EXPECT_EQ(length(""), 0U);
+  EXPECT_EQ(length("\xC3"), std::nullopt);
+}
+
+TEST(Utf8, IsAscii) {
+  EXPECT_TRUE(is_ascii(std::string_view("abc-123")));
+  EXPECT_FALSE(is_ascii(std::string_view("café")));
+  EXPECT_TRUE(is_ascii(std::u32string_view(U"abc")));
+  EXPECT_FALSE(is_ascii(std::u32string_view(U"中")));
+}
+
+TEST(Utf8Property, RandomScalarValuesRoundTrip) {
+  Rng rng(12345);
+  for (int i = 0; i < 2000; ++i) {
+    char32_t cp;
+    do {
+      cp = static_cast<char32_t>(rng.uniform(0, kMaxCodePoint));
+    } while (!is_valid_code_point(cp));
+    const std::string encoded = encode_code_point(cp);
+    ASSERT_FALSE(encoded.empty());
+    auto decoded = decode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value().size(), 1U);
+    EXPECT_EQ(decoded.value()[0], cp);
+  }
+}
+
+TEST(Utf8Property, RandomStringsRoundTrip) {
+  Rng rng(777);
+  for (int i = 0; i < 300; ++i) {
+    std::u32string text;
+    const std::size_t length = rng.uniform(0, 40);
+    for (std::size_t k = 0; k < length; ++k) {
+      char32_t cp;
+      do {
+        cp = static_cast<char32_t>(rng.uniform(1, kMaxCodePoint));
+      } while (!is_valid_code_point(cp));
+      text.push_back(cp);
+    }
+    auto decoded = decode(encode(text));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), text);
+  }
+}
+
+}  // namespace
+}  // namespace idnscope::unicode

@@ -1,0 +1,132 @@
+// Simulated web + page classifier tests (Table V categories).
+#include <gtest/gtest.h>
+
+#include "idnscope/web/web.h"
+
+namespace idnscope::web {
+namespace {
+
+dns::SimulatedResolver resolver_with(const std::string& domain) {
+  dns::SimulatedResolver resolver;
+  resolver.install(domain,
+                   dns::Resolution{dns::Rcode::kNoError,
+                                   {dns::Ipv4(192, 0, 2, 1)}});
+  return resolver;
+}
+
+TEST(Web, NotResolvedWhenDnsFails) {
+  SimulatedWeb web;
+  dns::SimulatedResolver resolver;
+  resolver.install("broken.com", dns::Resolution{dns::Rcode::kRefused, {}});
+  const auto outcome = web.fetch("broken.com", resolver);
+  EXPECT_EQ(classify_page(outcome, "broken.com"), PageCategory::kNotResolved);
+  EXPECT_EQ(classify_page(web.fetch("absent.com", resolver), "absent.com"),
+            PageCategory::kNotResolved);
+}
+
+TEST(Web, ErrorWhenNothingListens) {
+  SimulatedWeb web;
+  auto resolver = resolver_with("silent.com");
+  const auto outcome = web.fetch("silent.com", resolver);
+  EXPECT_EQ(outcome.rcode, dns::Rcode::kNoError);
+  EXPECT_FALSE(outcome.connected);
+  EXPECT_EQ(classify_page(outcome, "silent.com"), PageCategory::kError);
+}
+
+TEST(Web, ErrorOnHttp5xx) {
+  SimulatedWeb web;
+  WebPage page;
+  page.status = 500;
+  page.body = "oops";
+  web.host("err.com", page);
+  auto resolver = resolver_with("err.com");
+  EXPECT_EQ(classify_page(web.fetch("err.com", resolver), "err.com"),
+            PageCategory::kError);
+}
+
+TEST(Web, ErrorOnUnreachableHost) {
+  SimulatedWeb web;
+  web.host_unreachable("dead.com");
+  auto resolver = resolver_with("dead.com");
+  const auto outcome = web.fetch("dead.com", resolver);
+  EXPECT_FALSE(outcome.connected);
+  EXPECT_EQ(classify_page(outcome, "dead.com"), PageCategory::kError);
+}
+
+TEST(Web, EmptyPage) {
+  SimulatedWeb web;
+  WebPage page;
+  page.status = 200;
+  page.body = "   \n ";
+  web.host("empty.com", page);
+  auto resolver = resolver_with("empty.com");
+  EXPECT_EQ(classify_page(web.fetch("empty.com", resolver), "empty.com"),
+            PageCategory::kEmpty);
+}
+
+TEST(Web, ParkedByBoilerplate) {
+  SimulatedWeb web;
+  WebPage page;
+  page.status = 200;
+  page.body = "This domain is PARKED free, courtesy of someone.";
+  web.host("parked.com", page);
+  auto resolver = resolver_with("parked.com");
+  EXPECT_EQ(classify_page(web.fetch("parked.com", resolver), "parked.com"),
+            PageCategory::kParked);
+}
+
+TEST(Web, ForSaleBeatsParked) {
+  SimulatedWeb web;
+  WebPage page;
+  page.status = 200;
+  page.body = "This domain may be for sale. Parked free.";
+  web.host("sale.com", page);
+  auto resolver = resolver_with("sale.com");
+  EXPECT_EQ(classify_page(web.fetch("sale.com", resolver), "sale.com"),
+            PageCategory::kForSale);
+}
+
+TEST(Web, RedirectOffDomain) {
+  SimulatedWeb web;
+  WebPage page;
+  page.status = 302;
+  page.redirect_location = "http://elsewhere.net/";
+  web.host("re.com", page);
+  auto resolver = resolver_with("re.com");
+  EXPECT_EQ(classify_page(web.fetch("re.com", resolver), "re.com"),
+            PageCategory::kRedirected);
+}
+
+TEST(Web, RedirectWithinDomainIsNotRedirected) {
+  SimulatedWeb web;
+  WebPage page;
+  page.status = 301;
+  page.redirect_location = "http://www.re.com";
+  page.body = "moved";
+  web.host("re.com", page);
+  auto resolver = resolver_with("re.com");
+  EXPECT_EQ(classify_page(web.fetch("re.com", resolver), "re.com"),
+            PageCategory::kMeaningful);
+}
+
+TEST(Web, MeaningfulContent) {
+  SimulatedWeb web;
+  WebPage page;
+  page.status = 200;
+  page.title = "A real site";
+  page.body = "Welcome to an actual website with actual content.";
+  web.host("real.com", page);
+  auto resolver = resolver_with("real.com");
+  EXPECT_EQ(classify_page(web.fetch("real.com", resolver), "real.com"),
+            PageCategory::kMeaningful);
+}
+
+TEST(Web, CategoryNamesMatchTableV) {
+  EXPECT_EQ(page_category_name(PageCategory::kNotResolved), "Not resolved");
+  EXPECT_EQ(page_category_name(PageCategory::kForSale), "For sale");
+  EXPECT_EQ(page_category_name(PageCategory::kMeaningful),
+            "Meaningful content");
+}
+
+}  // namespace
+}  // namespace idnscope::web

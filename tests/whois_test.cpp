@@ -1,0 +1,159 @@
+// WHOIS formatting, multi-dialect parsing and aggregation tests.
+#include <gtest/gtest.h>
+
+#include "idnscope/common/rng.h"
+#include "idnscope/whois/whois.h"
+
+namespace idnscope::whois {
+namespace {
+
+WhoisRecord sample_record() {
+  WhoisRecord record;
+  record.domain = "xn--fiq06l2rdsvs.com";
+  record.registrar = "HiChina Zhicheng Technology Limited.";
+  record.registrant_email = "owner@example.cn";
+  record.creation_date = Date{2015, 3, 2};
+  record.expiry_date = Date{2018, 3, 2};
+  record.status = "clientTransferProhibited";
+  return record;
+}
+
+class WhoisDialectTest : public ::testing::TestWithParam<WhoisDialect> {};
+
+TEST_P(WhoisDialectTest, FormatParseRoundTrip) {
+  const WhoisRecord record = sample_record();
+  const std::string text = format_whois(record, GetParam());
+  auto parsed = parse_whois(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  EXPECT_EQ(parsed.value().domain, record.domain);
+  EXPECT_EQ(parsed.value().registrar, record.registrar);
+  EXPECT_EQ(parsed.value().registrant_email, record.registrant_email);
+  EXPECT_EQ(parsed.value().creation_date, record.creation_date);
+  EXPECT_EQ(parsed.value().expiry_date, record.expiry_date);
+  EXPECT_FALSE(parsed.value().privacy_protected);
+}
+
+TEST_P(WhoisDialectTest, PrivacyRedactionSurvivesRoundTrip) {
+  WhoisRecord record = sample_record();
+  record.privacy_protected = true;
+  record.registrant_email.clear();
+  const std::string text = format_whois(record, GetParam());
+  EXPECT_EQ(text.find("owner@"), std::string::npos);
+  auto parsed = parse_whois(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().privacy_protected);
+  EXPECT_TRUE(parsed.value().registrant_email.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dialects, WhoisDialectTest,
+                         ::testing::Values(WhoisDialect::kIcann,
+                                           WhoisDialect::kLegacy,
+                                           WhoisDialect::kVerbose,
+                                           WhoisDialect::kKeyValueCn),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case WhoisDialect::kIcann: return "icann";
+                             case WhoisDialect::kLegacy: return "legacy";
+                             case WhoisDialect::kVerbose: return "verbose";
+                             case WhoisDialect::kKeyValueCn: return "cn";
+                           }
+                           return "unknown";
+                         });
+
+TEST(WhoisParse, DomainIsLowercased) {
+  WhoisRecord record = sample_record();
+  record.domain = "EXAMPLE.COM";
+  auto parsed = parse_whois(format_whois(record, WhoisDialect::kIcann));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().domain, "example.com");
+}
+
+TEST(WhoisParse, UnparsableTextFails) {
+  auto parsed = parse_whois("request rate limit exceeded, try again later");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "whois.unparsable");
+  EXPECT_FALSE(parse_whois("").ok());
+}
+
+TEST(WhoisParse, MissingCreationDateFails) {
+  // Domain present but no parseable creation date -> reject (the paper's
+  // parsing-failure bucket).
+  EXPECT_FALSE(parse_whois("Domain Name: example.com\n").ok());
+  EXPECT_FALSE(
+      parse_whois("Domain Name: example.com\nCreation Date: last tuesday\n")
+          .ok());
+}
+
+TEST(WhoisParse, TotalOnRandomText) {
+  // Fuzz-ish robustness: the parser must never crash on arbitrary bytes,
+  // and must never fabricate a record without a domain + creation date.
+  Rng rng(0xBEEF);
+  static constexpr std::string_view kFragments[] = {
+      "Domain Name:", "Creation Date:", "2017-01-01", "garbage", "\t",
+      "registrar:", ":::", "created:", "Record created on", "%", "xn--",
+      "2017/13/99", "\xC3\xA9", "REDACTED FOR PRIVACY", "\n"};
+  for (int i = 0; i < 500; ++i) {
+    std::string text;
+    const std::size_t pieces = rng.uniform(0, 12);
+    for (std::size_t k = 0; k < pieces; ++k) {
+      text += kFragments[rng.uniform(0, std::size(kFragments) - 1)];
+      text += rng.chance(0.4) ? "\n" : " ";
+    }
+    auto parsed = parse_whois(text);
+    if (parsed.ok()) {
+      EXPECT_FALSE(parsed.value().domain.empty());
+      EXPECT_TRUE(parsed.value().creation_date.valid());
+    }
+  }
+}
+
+TEST(WhoisDb, InsertLookup) {
+  WhoisDb db;
+  db.insert(sample_record());
+  EXPECT_NE(db.lookup("xn--fiq06l2rdsvs.com"), nullptr);
+  EXPECT_EQ(db.lookup("other.com"), nullptr);
+  EXPECT_EQ(db.size(), 1U);
+  // Re-insert replaces.
+  WhoisRecord updated = sample_record();
+  updated.registrar = "Other Registrar";
+  db.insert(updated);
+  EXPECT_EQ(db.size(), 1U);
+  EXPECT_EQ(db.lookup("xn--fiq06l2rdsvs.com")->registrar, "Other Registrar");
+}
+
+TEST(WhoisDb, Aggregations) {
+  WhoisDb db;
+  auto add = [&](const std::string& domain, const std::string& registrar,
+                 const std::string& email, int year, bool privacy = false) {
+    WhoisRecord record;
+    record.domain = domain;
+    record.registrar = registrar;
+    record.registrant_email = email;
+    record.privacy_protected = privacy;
+    record.creation_date = Date{year, 6, 1};
+    db.insert(record);
+  };
+  add("a.com", "GoDaddy", "bulk@qq.com", 2015);
+  add("b.com", "GoDaddy", "bulk@qq.com", 2016);
+  add("c.com", "GMO", "bulk@qq.com", 2016);
+  add("d.com", "GMO", "solo@x.com", 2017);
+  add("e.com", "GMO", "hidden@x.com", 2017, /*privacy=*/true);
+
+  const auto registrars = db.top_registrars();
+  ASSERT_EQ(registrars.size(), 2U);
+  EXPECT_EQ(registrars[0].first, "GMO");
+  EXPECT_EQ(registrars[0].second, 3U);
+
+  const auto registrants = db.top_registrants();
+  ASSERT_EQ(registrants.size(), 2U);  // privacy-protected excluded
+  EXPECT_EQ(registrants[0].first, "bulk@qq.com");
+  EXPECT_EQ(registrants[0].second, 3U);
+
+  const auto years = db.creations_per_year();
+  ASSERT_EQ(years.size(), 3U);
+  EXPECT_EQ(years[0], (std::pair<int, std::uint64_t>{2015, 1}));
+  EXPECT_EQ(years[2], (std::pair<int, std::uint64_t>{2017, 2}));
+}
+
+}  // namespace
+}  // namespace idnscope::whois

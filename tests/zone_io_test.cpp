@@ -1,0 +1,138 @@
+// Zone-file disk I/O and streaming-scan tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "idnscope/dns/zone_io.h"
+#include "idnscope/ecosystem/ecosystem.h"
+
+namespace idnscope::dns {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const char* tag)
+      : path_(std::string(::testing::TempDir()) + "/idnscope_" + tag +
+              ".zone") {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Zone sample_zone() {
+  Zone zone("com");
+  zone.add({"example.com", 172800, RrType::kNs, "ns1.host.net"});
+  zone.add({"example.com", 172800, RrType::kNs, "ns2.host.net"});
+  zone.add({"xn--fiq06l2rdsvs.com", 172800, RrType::kNs, "ns1.hichina.com"});
+  zone.add({"www.deep.other.com", 3600, RrType::kA, "192.0.2.10"});
+  return zone;
+}
+
+TEST(ZoneIo, WriteLoadRoundTrip) {
+  TempFile file("roundtrip");
+  const Zone zone = sample_zone();
+  auto written = write_zone_file(zone, file.path());
+  ASSERT_TRUE(written.ok()) << written.error().message;
+  auto loaded = load_zone_file(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().origin(), "com");
+  EXPECT_EQ(loaded.value().records().size(), zone.records().size());
+}
+
+TEST(ZoneIo, LoadMissingFileFails) {
+  auto loaded = load_zone_file("/nonexistent/path/zone.db");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, "zone.io");
+}
+
+TEST(ZoneIo, WriteToBadPathFails) {
+  EXPECT_FALSE(write_zone_file(sample_zone(), "/nonexistent/dir/x.zone").ok());
+}
+
+TEST(ZoneIo, StreamScanMatchesInMemoryScan) {
+  const Zone zone = sample_zone();
+  std::istringstream stream(serialize_zone(zone));
+  std::vector<std::string> streamed;
+  std::vector<std::string> streamed_idns;
+  auto stats = scan_zone_stream(stream, [&](std::string_view domain,
+                                            bool is_idn) {
+    streamed.emplace_back(domain);
+    if (is_idn) {
+      streamed_idns.emplace_back(domain);
+    }
+  });
+  ASSERT_TRUE(stats.ok()) << stats.error().message;
+  EXPECT_EQ(stats.value().origin, "com");
+  EXPECT_EQ(stats.value().distinct_slds, streamed.size());
+  EXPECT_EQ(stats.value().idns, streamed_idns.size());
+
+  const auto expected = scan_slds(zone);
+  EXPECT_EQ(std::set<std::string>(streamed.begin(), streamed.end()),
+            std::set<std::string>(expected.begin(), expected.end()));
+  EXPECT_EQ(streamed_idns, scan_idns(zone));
+}
+
+TEST(ZoneIo, StreamScanRequiresOrigin) {
+  std::istringstream stream("example.com. IN NS ns1.h.net\n");
+  auto stats = scan_zone_stream(stream, [](std::string_view, bool) {});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.error().code, "zone.no_origin");
+}
+
+TEST(ZoneIo, StreamScanDeduplicatesNonAdjacentOwners) {
+  std::istringstream stream(
+      "$ORIGIN com.\n"
+      "a IN NS ns1.h.net\n"
+      "b IN NS ns1.h.net\n"
+      "a IN NS ns2.h.net\n"
+      "www.a IN A 192.0.2.1\n");
+  std::size_t calls = 0;
+  auto stats = scan_zone_stream(stream,
+                                [&](std::string_view, bool) { ++calls; });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(calls, 2U);
+  EXPECT_EQ(stats.value().distinct_slds, 2U);
+  EXPECT_EQ(stats.value().record_lines, 4U);
+}
+
+TEST(ZoneIo, StreamScanItldZone) {
+  std::istringstream stream(
+      "$ORIGIN xn--fiqs8s.\n"
+      "xn--55qx5d IN NS ns1.cnnic.cn\n"
+      "ascii-label IN NS ns1.cnnic.cn\n");
+  std::size_t idns = 0;
+  auto stats = scan_zone_stream(
+      stream, [&](std::string_view, bool is_idn) { idns += is_idn; });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(idns, 2U);  // everything under an iTLD is an IDN
+}
+
+TEST(ZoneIo, EndToEndWithGeneratedZone) {
+  // Serialize a generated org zone to disk, stream-scan it, and compare
+  // with the in-memory pipeline — the workflow for real zone snapshots.
+  auto scenario = ecosystem::Scenario::tiny();
+  scenario.generate_filler = true;
+  const auto eco = ecosystem::generate(scenario);
+  const Zone& org = eco.zones[2];
+  TempFile file("generated");
+  ASSERT_TRUE(write_zone_file(org, file.path()).ok());
+
+  std::vector<std::string> streamed_idns;
+  auto stats = scan_zone_file(file.path(),
+                              [&](std::string_view domain, bool is_idn) {
+                                if (is_idn) {
+                                  streamed_idns.emplace_back(domain);
+                                }
+                              });
+  ASSERT_TRUE(stats.ok()) << stats.error().message;
+  EXPECT_EQ(streamed_idns, scan_idns(org));
+  EXPECT_EQ(stats.value().distinct_slds, scan_slds(org).size());
+}
+
+}  // namespace
+}  // namespace idnscope::dns

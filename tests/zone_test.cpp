@@ -1,0 +1,145 @@
+// Zone model, master-file parser/serializer, and zone-scanning tests.
+#include <gtest/gtest.h>
+
+#include "idnscope/dns/zone.h"
+
+namespace idnscope::dns {
+namespace {
+
+Zone sample_zone() {
+  Zone zone("com");
+  zone.add({"example.com", 172800, RrType::kNs, "ns1.example-dns.net"});
+  zone.add({"example.com", 172800, RrType::kNs, "ns2.example-dns.net"});
+  zone.add({"xn--fiq06l2rdsvs.com", 172800, RrType::kNs, "ns1.hichina.com"});
+  zone.add({"www.deep.example.com", 3600, RrType::kA, "192.0.2.10"});
+  zone.add({"other.com", 3600, RrType::kCname, "example.com"});
+  return zone;
+}
+
+TEST(Zone, OwnersAreLowercased) {
+  Zone zone("com");
+  zone.add({"EXAMPLE.COM", 1, RrType::kNs, "ns1.x.net"});
+  EXPECT_EQ(zone.records()[0].owner, "example.com");
+}
+
+TEST(Zone, ForEachSldDeduplicatesAndReducesDepth) {
+  const Zone zone = sample_zone();
+  std::vector<std::string> slds;
+  zone.for_each_sld([&](std::string_view sld) { slds.emplace_back(sld); });
+  ASSERT_EQ(slds.size(), 3U);
+  EXPECT_EQ(slds[0], "example.com");
+  EXPECT_EQ(slds[1], "xn--fiq06l2rdsvs.com");
+  EXPECT_EQ(slds[2], "other.com");
+}
+
+TEST(Zone, ScanIdnsFindsAceSlds) {
+  const auto idns = scan_idns(sample_zone());
+  ASSERT_EQ(idns.size(), 1U);
+  EXPECT_EQ(idns[0], "xn--fiq06l2rdsvs.com");
+}
+
+TEST(Zone, ScanIdnsUnderItldTakesEverything) {
+  Zone zone("xn--fiqs8s");
+  zone.add({"xn--55qx5d.xn--fiqs8s", 1, RrType::kNs, "ns1.cnnic.cn"});
+  zone.add({"plain.xn--fiqs8s", 1, RrType::kNs, "ns1.cnnic.cn"});
+  const auto idns = scan_idns(zone);
+  EXPECT_EQ(idns.size(), 2U);
+}
+
+TEST(Zone, SerializeParseRoundTrip) {
+  const Zone zone = sample_zone();
+  const std::string text = serialize_zone(zone);
+  auto parsed = parse_zone(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().origin(), "com");
+  ASSERT_EQ(parsed.value().size(), zone.size());
+  for (std::size_t i = 0; i < zone.size(); ++i) {
+    EXPECT_EQ(parsed.value().records()[i], zone.records()[i]) << i;
+  }
+}
+
+TEST(ZoneParse, DirectivesAndComments) {
+  const char* text =
+      "$ORIGIN com.   ; the com zone\n"
+      "$TTL 3600\n"
+      "; full-line comment\n"
+      "example 7200 IN NS ns1.host.net.\n"
+      "implicit-ttl IN NS ns2.host.net.\n"
+      "\n";
+  auto zone = parse_zone(text);
+  ASSERT_TRUE(zone.ok()) << zone.error().message;
+  ASSERT_EQ(zone.value().size(), 2U);
+  EXPECT_EQ(zone.value().records()[0].owner, "example.com");
+  EXPECT_EQ(zone.value().records()[0].ttl, 7200U);
+  EXPECT_EQ(zone.value().records()[0].rdata, "ns1.host.net.");
+  EXPECT_EQ(zone.value().records()[1].owner, "implicit-ttl.com");
+  EXPECT_EQ(zone.value().records()[1].ttl, 3600U);
+}
+
+TEST(ZoneParse, RelativeOwnerNotConfusedBySuffixSubstring) {
+  // "telecom" ends with "com" but is not under the origin.
+  const char* text =
+      "$ORIGIN com.\n"
+      "telecom IN NS ns1.host.net\n";
+  auto zone = parse_zone(text);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone.value().records()[0].owner, "telecom.com");
+}
+
+TEST(ZoneParse, SoaPopulatesFields) {
+  const char* text =
+      "example.com. IN SOA ns1.dns.net. admin.dns.net. 2017092101 1800 900 "
+      "604800 86400\n"
+      "www.example.com. IN A 192.0.2.1\n";
+  auto zone = parse_zone(text);
+  ASSERT_TRUE(zone.ok()) << zone.error().message;
+  EXPECT_EQ(zone.value().origin(), "example.com");
+  EXPECT_EQ(zone.value().soa().serial, 2017092101U);
+  EXPECT_EQ(zone.value().soa().mname, "ns1.dns.net");
+  EXPECT_EQ(zone.value().size(), 1U);
+}
+
+struct BadZone {
+  const char* name;
+  const char* text;
+  std::string_view code;
+};
+
+class ZoneParseErrorTest : public ::testing::TestWithParam<BadZone> {};
+
+TEST_P(ZoneParseErrorTest, Rejects) {
+  auto zone = parse_zone(GetParam().text);
+  ASSERT_FALSE(zone.ok()) << GetParam().name;
+  EXPECT_EQ(zone.error().code, GetParam().code);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ZoneParseErrorTest,
+    ::testing::Values(
+        BadZone{"no_origin", "example IN NS ns1.h.net\n", "zone.no_origin"},
+        BadZone{"bad_origin_arity", "$ORIGIN\n", "zone.bad_directive"},
+        BadZone{"bad_ttl", "$TTL abc\n", "zone.bad_directive"},
+        BadZone{"unknown_type",
+                "$ORIGIN com.\nexample IN BOGUS data\n", "zone.bad_type"},
+        BadZone{"missing_rdata", "$ORIGIN com.\nexample IN NS\n",
+                "zone.bad_record"},
+        BadZone{"short_line", "$ORIGIN com.\nexample NS\n",
+                "zone.bad_record"},
+        BadZone{"bad_soa",
+                "$ORIGIN com.\ncom. IN SOA ns1.h.net. admin.h.net. 1 2 3\n",
+                "zone.bad_soa"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ZoneParse, RrTypeNames) {
+  for (RrType type : {RrType::kSoa, RrType::kNs, RrType::kA, RrType::kAaaa,
+                      RrType::kCname, RrType::kMx, RrType::kTxt}) {
+    auto name = rr_type_name(type);
+    auto back = rr_type_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, type);
+  }
+  EXPECT_FALSE(rr_type_from_name("PTR").has_value());
+}
+
+}  // namespace
+}  // namespace idnscope::dns

@@ -1,0 +1,184 @@
+// idnscope — command-line front end to the library.
+//
+//   idnscope punycode <label>            encode/decode one label
+//   idnscope check <label> <tld> [email] registry brand-protection verdict
+//   idnscope scan-zone <file>            stream-scan a zone file for IDNs
+//   idnscope audit-zone <file>           scan + homograph/semantic flags
+//   idnscope report [seed] [scale]       full synthetic-study markdown report
+//   idnscope survey <domain>             browser display survey for a domain
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "idnscope/core/brand_protection.h"
+#include "idnscope/core/browser.h"
+#include "idnscope/core/homograph.h"
+#include "idnscope/core/report.h"
+#include "idnscope/core/semantic.h"
+#include "idnscope/dns/zone_io.h"
+#include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/idna/punycode.h"
+#include "idnscope/unicode/utf8.h"
+
+using namespace idnscope;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: idnscope <command> [args]\n"
+               "  punycode <label>             encode or decode one label\n"
+               "  check <label> <tld> [email]  brand-protection verdict\n"
+               "  scan-zone <file>             stream-scan a zone file\n"
+               "  audit-zone <file>            scan + abuse detection\n"
+               "  report [seed] [scale]        synthetic-study report\n"
+               "  survey <domain>              browser display survey\n");
+  return 2;
+}
+
+int cmd_punycode(const std::string& label) {
+  if (idna::has_ace_prefix(label) && unicode::is_ascii(label)) {
+    auto decoded = idna::label_to_unicode(label);
+    if (!decoded.ok()) {
+      std::fprintf(stderr, "decode failed: %s\n",
+                   decoded.error().message.c_str());
+      return 1;
+    }
+    std::printf("%s\n", unicode::encode(decoded.value()).c_str());
+    return 0;
+  }
+  auto decoded = unicode::decode(label);
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "input is not valid UTF-8\n");
+    return 1;
+  }
+  auto ace = idna::label_to_ascii(decoded.value());
+  if (!ace.ok()) {
+    std::fprintf(stderr, "encode failed: %s\n", ace.error().message.c_str());
+    return 1;
+  }
+  std::printf("%s\n", ace.value().c_str());
+  return 0;
+}
+
+int cmd_check(const std::string& label, const std::string& tld,
+              const std::string& email) {
+  const core::BrandProtectionGate gate(ecosystem::alexa_top1k());
+  const auto decision = gate.check(label, tld, email);
+  std::printf("%s: %s\n", core::verdict_name(decision.verdict).data(),
+              decision.detail.c_str());
+  return decision.verdict == core::RegistrationVerdict::kAccept ? 0 : 1;
+}
+
+int cmd_scan_zone(const std::string& path, bool audit) {
+  const core::HomographDetector* homograph = nullptr;
+  const core::SemanticDetector* semantic = nullptr;
+  static core::HomographDetector homograph_instance(ecosystem::alexa_top1k());
+  static core::SemanticDetector semantic_instance(ecosystem::alexa_top1k());
+  if (audit) {
+    homograph = &homograph_instance;
+    semantic = &semantic_instance;
+  }
+  std::uint64_t flagged = 0;
+  auto stats = dns::scan_zone_file(
+      path, [&](std::string_view domain, bool is_idn) {
+        if (!is_idn) {
+          return;
+        }
+        const std::string ascii(domain);
+        const std::string display =
+            idna::domain_to_unicode(ascii).value_or(ascii);
+        if (!audit) {
+          std::printf("%s\t%s\n", ascii.c_str(), display.c_str());
+          return;
+        }
+        if (auto match = homograph->best_match(ascii)) {
+          std::printf("HOMOGRAPH\t%s\t%s\ttargets=%s\tssim=%.4f\n",
+                      ascii.c_str(), display.c_str(), match->brand.c_str(),
+                      match->ssim);
+          ++flagged;
+        } else if (auto hit = semantic->match(ascii)) {
+          std::printf("SEMANTIC\t%s\t%s\ttargets=%s\tkeyword=%s\n",
+                      ascii.c_str(), display.c_str(), hit->brand.c_str(),
+                      hit->keyword_utf8.c_str());
+          ++flagged;
+        }
+      });
+  if (!stats.ok()) {
+    std::fprintf(stderr, "scan failed: %s\n", stats.error().message.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "zone %s: %llu records, %llu SLDs, %llu IDNs%s\n",
+               stats.value().origin.c_str(),
+               static_cast<unsigned long long>(stats.value().record_lines),
+               static_cast<unsigned long long>(stats.value().distinct_slds),
+               static_cast<unsigned long long>(stats.value().idns),
+               audit ? (", " + std::to_string(flagged) + " flagged").c_str()
+                     : "");
+  return 0;
+}
+
+int cmd_report(std::uint64_t seed, unsigned scale) {
+  ecosystem::Scenario scenario = ecosystem::Scenario::paper2017();
+  scenario.seed = seed;
+  scenario.bulk_scale = scale;
+  const auto eco = ecosystem::generate(scenario);
+  const core::Study study(eco);
+  std::fputs(core::build_markdown_report(study).c_str(), stdout);
+  return 0;
+}
+
+int cmd_survey(const std::string& domain) {
+  auto ascii = idna::domain_to_ascii(domain);
+  if (!ascii.ok()) {
+    std::fprintf(stderr, "invalid domain: %s\n",
+                 ascii.error().message.c_str());
+    return 1;
+  }
+  for (const core::BrowserConfig& browser : core::surveyed_browsers()) {
+    const auto outcome =
+        core::load_in_browser(browser, ascii.value(), nullptr, "");
+    std::printf("%-10s %-8s %-30s%s%s\n", browser.name.c_str(),
+                browser.platform.c_str(), outcome.address_bar.c_str(),
+                outcome.deceptive ? " DECEPTIVE" : "",
+                outcome.alert_shown ? " (alert)" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  if (command == "punycode" && argc == 3) {
+    return cmd_punycode(argv[2]);
+  }
+  if (command == "check" && (argc == 4 || argc == 5)) {
+    return cmd_check(argv[2], argv[3], argc == 5 ? argv[4] : "");
+  }
+  if (command == "scan-zone" && argc == 3) {
+    return cmd_scan_zone(argv[2], /*audit=*/false);
+  }
+  if (command == "audit-zone" && argc == 3) {
+    return cmd_scan_zone(argv[2], /*audit=*/true);
+  }
+  if (command == "report" && argc <= 4) {
+    const std::uint64_t seed =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20170921ULL;
+    const unsigned scale =
+        argc > 3 ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10))
+                 : 100U;
+    return cmd_report(seed, scale);
+  }
+  if (command == "survey" && argc == 3) {
+    return cmd_survey(argv[2]);
+  }
+  return usage();
+}
