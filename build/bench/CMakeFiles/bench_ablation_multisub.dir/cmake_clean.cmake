@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multisub.dir/bench_ablation_multisub.cpp.o"
+  "CMakeFiles/bench_ablation_multisub.dir/bench_ablation_multisub.cpp.o.d"
+  "bench_ablation_multisub"
+  "bench_ablation_multisub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multisub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_brand_protection.dir/bench_ext_brand_protection.cpp.o"
+  "CMakeFiles/bench_ext_brand_protection.dir/bench_ext_brand_protection.cpp.o.d"
+  "bench_ext_brand_protection"
+  "bench_ext_brand_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_brand_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

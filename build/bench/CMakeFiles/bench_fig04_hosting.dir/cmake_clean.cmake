@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_hosting.dir/bench_fig04_hosting.cpp.o"
+  "CMakeFiles/bench_fig04_hosting.dir/bench_fig04_hosting.cpp.o.d"
+  "bench_fig04_hosting"
+  "bench_fig04_hosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_hosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

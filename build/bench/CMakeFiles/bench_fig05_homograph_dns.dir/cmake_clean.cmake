@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_homograph_dns.dir/bench_fig05_homograph_dns.cpp.o"
+  "CMakeFiles/bench_fig05_homograph_dns.dir/bench_fig05_homograph_dns.cpp.o.d"
+  "bench_fig05_homograph_dns"
+  "bench_fig05_homograph_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_homograph_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_availability.dir/bench_fig07_availability.cpp.o"
+  "CMakeFiles/bench_fig07_availability.dir/bench_fig07_availability.cpp.o.d"
+  "bench_fig07_availability"
+  "bench_fig07_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_semantic_dns.dir/bench_fig08_semantic_dns.cpp.o"
+  "CMakeFiles/bench_fig08_semantic_dns.dir/bench_fig08_semantic_dns.cpp.o.d"
+  "bench_fig08_semantic_dns"
+  "bench_fig08_semantic_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_semantic_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

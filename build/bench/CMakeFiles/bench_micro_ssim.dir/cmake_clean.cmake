@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ssim.dir/bench_micro_ssim.cpp.o"
+  "CMakeFiles/bench_micro_ssim.dir/bench_micro_ssim.cpp.o.d"
+  "bench_micro_ssim"
+  "bench_micro_ssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

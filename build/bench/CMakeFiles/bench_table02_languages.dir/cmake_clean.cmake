@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table02_languages.dir/bench_table02_languages.cpp.o"
+  "CMakeFiles/bench_table02_languages.dir/bench_table02_languages.cpp.o.d"
+  "bench_table02_languages"
+  "bench_table02_languages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_languages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_registrants.dir/bench_table03_registrants.cpp.o"
+  "CMakeFiles/bench_table03_registrants.dir/bench_table03_registrants.cpp.o.d"
+  "bench_table03_registrants"
+  "bench_table03_registrants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_registrants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

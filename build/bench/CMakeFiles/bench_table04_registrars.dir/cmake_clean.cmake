@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_registrars.dir/bench_table04_registrars.cpp.o"
+  "CMakeFiles/bench_table04_registrars.dir/bench_table04_registrars.cpp.o.d"
+  "bench_table04_registrars"
+  "bench_table04_registrars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_registrars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

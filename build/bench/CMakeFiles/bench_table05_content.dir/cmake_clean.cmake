@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_content.dir/bench_table05_content.cpp.o"
+  "CMakeFiles/bench_table05_content.dir/bench_table05_content.cpp.o.d"
+  "bench_table05_content"
+  "bench_table05_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

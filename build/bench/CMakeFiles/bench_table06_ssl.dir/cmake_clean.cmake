@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table06_ssl.dir/bench_table06_ssl.cpp.o"
+  "CMakeFiles/bench_table06_ssl.dir/bench_table06_ssl.cpp.o.d"
+  "bench_table06_ssl"
+  "bench_table06_ssl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_ssl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_shared_certs.dir/bench_table07_shared_certs.cpp.o"
+  "CMakeFiles/bench_table07_shared_certs.dir/bench_table07_shared_certs.cpp.o.d"
+  "bench_table07_shared_certs"
+  "bench_table07_shared_certs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_shared_certs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_facebook.dir/bench_table08_facebook.cpp.o"
+  "CMakeFiles/bench_table08_facebook.dir/bench_table08_facebook.cpp.o.d"
+  "bench_table08_facebook"
+  "bench_table08_facebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_facebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

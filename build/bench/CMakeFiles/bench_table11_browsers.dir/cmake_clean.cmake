@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_browsers.dir/bench_table11_browsers.cpp.o"
+  "CMakeFiles/bench_table11_browsers.dir/bench_table11_browsers.cpp.o.d"
+  "bench_table11_browsers"
+  "bench_table11_browsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_browsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_ssim_gradient.dir/bench_table12_ssim_gradient.cpp.o"
+  "CMakeFiles/bench_table12_ssim_gradient.dir/bench_table12_ssim_gradient.cpp.o.d"
+  "bench_table12_ssim_gradient"
+  "bench_table12_ssim_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_ssim_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_homograph_brands.dir/bench_table13_homograph_brands.cpp.o"
+  "CMakeFiles/bench_table13_homograph_brands.dir/bench_table13_homograph_brands.cpp.o.d"
+  "bench_table13_homograph_brands"
+  "bench_table13_homograph_brands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_homograph_brands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

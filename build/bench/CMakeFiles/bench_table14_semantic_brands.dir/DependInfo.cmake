@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table14_semantic_brands.cpp" "bench/CMakeFiles/bench_table14_semantic_brands.dir/bench_table14_semantic_brands.cpp.o" "gcc" "bench/CMakeFiles/bench_table14_semantic_brands.dir/bench_table14_semantic_brands.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idnscope/core/CMakeFiles/idnscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/stats/CMakeFiles/idnscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/render/CMakeFiles/idnscope_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/ecosystem/CMakeFiles/idnscope_ecosystem.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/langid/CMakeFiles/idnscope_langid.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/whois/CMakeFiles/idnscope_whois.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/ssl/CMakeFiles/idnscope_ssl.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/web/CMakeFiles/idnscope_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/dns/CMakeFiles/idnscope_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/idna/CMakeFiles/idnscope_idna.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/unicode/CMakeFiles/idnscope_unicode.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/common/CMakeFiles/idnscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

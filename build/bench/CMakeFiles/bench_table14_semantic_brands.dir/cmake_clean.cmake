@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_semantic_brands.dir/bench_table14_semantic_brands.cpp.o"
+  "CMakeFiles/bench_table14_semantic_brands.dir/bench_table14_semantic_brands.cpp.o.d"
+  "bench_table14_semantic_brands"
+  "bench_table14_semantic_brands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_semantic_brands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosystem_report.dir/ecosystem_report.cpp.o"
+  "CMakeFiles/ecosystem_report.dir/ecosystem_report.cpp.o.d"
+  "ecosystem_report"
+  "ecosystem_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosystem_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

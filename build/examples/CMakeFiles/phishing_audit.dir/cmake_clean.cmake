@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phishing_audit.dir/phishing_audit.cpp.o"
+  "CMakeFiles/phishing_audit.dir/phishing_audit.cpp.o.d"
+  "phishing_audit"
+  "phishing_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phishing_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

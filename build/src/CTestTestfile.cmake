@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("idnscope/common")
+subdirs("idnscope/unicode")
+subdirs("idnscope/idna")
+subdirs("idnscope/stats")
+subdirs("idnscope/dns")
+subdirs("idnscope/langid")
+subdirs("idnscope/render")
+subdirs("idnscope/whois")
+subdirs("idnscope/ssl")
+subdirs("idnscope/web")
+subdirs("idnscope/ecosystem")
+subdirs("idnscope/core")

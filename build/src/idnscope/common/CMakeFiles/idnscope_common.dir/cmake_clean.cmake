@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_common.dir/date.cpp.o"
+  "CMakeFiles/idnscope_common.dir/date.cpp.o.d"
+  "CMakeFiles/idnscope_common.dir/rng.cpp.o"
+  "CMakeFiles/idnscope_common.dir/rng.cpp.o.d"
+  "CMakeFiles/idnscope_common.dir/strings.cpp.o"
+  "CMakeFiles/idnscope_common.dir/strings.cpp.o.d"
+  "libidnscope_common.a"
+  "libidnscope_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idnscope/core/availability.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/availability.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/availability.cpp.o.d"
+  "/root/repo/src/idnscope/core/brand_protection.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/brand_protection.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/brand_protection.cpp.o.d"
+  "/root/repo/src/idnscope/core/browser.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/browser.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/browser.cpp.o.d"
+  "/root/repo/src/idnscope/core/content_study.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/content_study.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/content_study.cpp.o.d"
+  "/root/repo/src/idnscope/core/dns_study.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/dns_study.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/dns_study.cpp.o.d"
+  "/root/repo/src/idnscope/core/homograph.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/homograph.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/homograph.cpp.o.d"
+  "/root/repo/src/idnscope/core/language_study.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/language_study.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/language_study.cpp.o.d"
+  "/root/repo/src/idnscope/core/registration_study.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/registration_study.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/registration_study.cpp.o.d"
+  "/root/repo/src/idnscope/core/report.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/report.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/report.cpp.o.d"
+  "/root/repo/src/idnscope/core/semantic.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/semantic.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/semantic.cpp.o.d"
+  "/root/repo/src/idnscope/core/semantic_type2.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/semantic_type2.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/semantic_type2.cpp.o.d"
+  "/root/repo/src/idnscope/core/ssl_study.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/ssl_study.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/ssl_study.cpp.o.d"
+  "/root/repo/src/idnscope/core/study.cpp" "src/idnscope/core/CMakeFiles/idnscope_core.dir/study.cpp.o" "gcc" "src/idnscope/core/CMakeFiles/idnscope_core.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idnscope/common/CMakeFiles/idnscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/unicode/CMakeFiles/idnscope_unicode.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/idna/CMakeFiles/idnscope_idna.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/dns/CMakeFiles/idnscope_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/langid/CMakeFiles/idnscope_langid.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/render/CMakeFiles/idnscope_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/whois/CMakeFiles/idnscope_whois.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/ssl/CMakeFiles/idnscope_ssl.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/web/CMakeFiles/idnscope_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/stats/CMakeFiles/idnscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/ecosystem/CMakeFiles/idnscope_ecosystem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_core.dir/availability.cpp.o"
+  "CMakeFiles/idnscope_core.dir/availability.cpp.o.d"
+  "CMakeFiles/idnscope_core.dir/brand_protection.cpp.o"
+  "CMakeFiles/idnscope_core.dir/brand_protection.cpp.o.d"
+  "CMakeFiles/idnscope_core.dir/browser.cpp.o"
+  "CMakeFiles/idnscope_core.dir/browser.cpp.o.d"
+  "CMakeFiles/idnscope_core.dir/content_study.cpp.o"
+  "CMakeFiles/idnscope_core.dir/content_study.cpp.o.d"
+  "CMakeFiles/idnscope_core.dir/dns_study.cpp.o"
+  "CMakeFiles/idnscope_core.dir/dns_study.cpp.o.d"
+  "CMakeFiles/idnscope_core.dir/homograph.cpp.o"
+  "CMakeFiles/idnscope_core.dir/homograph.cpp.o.d"
+  "CMakeFiles/idnscope_core.dir/language_study.cpp.o"
+  "CMakeFiles/idnscope_core.dir/language_study.cpp.o.d"
+  "CMakeFiles/idnscope_core.dir/registration_study.cpp.o"
+  "CMakeFiles/idnscope_core.dir/registration_study.cpp.o.d"
+  "CMakeFiles/idnscope_core.dir/report.cpp.o"
+  "CMakeFiles/idnscope_core.dir/report.cpp.o.d"
+  "CMakeFiles/idnscope_core.dir/semantic.cpp.o"
+  "CMakeFiles/idnscope_core.dir/semantic.cpp.o.d"
+  "CMakeFiles/idnscope_core.dir/semantic_type2.cpp.o"
+  "CMakeFiles/idnscope_core.dir/semantic_type2.cpp.o.d"
+  "CMakeFiles/idnscope_core.dir/ssl_study.cpp.o"
+  "CMakeFiles/idnscope_core.dir/ssl_study.cpp.o.d"
+  "CMakeFiles/idnscope_core.dir/study.cpp.o"
+  "CMakeFiles/idnscope_core.dir/study.cpp.o.d"
+  "libidnscope_core.a"
+  "libidnscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

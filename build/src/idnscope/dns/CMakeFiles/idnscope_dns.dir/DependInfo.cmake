@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idnscope/dns/ipv4.cpp" "src/idnscope/dns/CMakeFiles/idnscope_dns.dir/ipv4.cpp.o" "gcc" "src/idnscope/dns/CMakeFiles/idnscope_dns.dir/ipv4.cpp.o.d"
+  "/root/repo/src/idnscope/dns/pdns.cpp" "src/idnscope/dns/CMakeFiles/idnscope_dns.dir/pdns.cpp.o" "gcc" "src/idnscope/dns/CMakeFiles/idnscope_dns.dir/pdns.cpp.o.d"
+  "/root/repo/src/idnscope/dns/query_log.cpp" "src/idnscope/dns/CMakeFiles/idnscope_dns.dir/query_log.cpp.o" "gcc" "src/idnscope/dns/CMakeFiles/idnscope_dns.dir/query_log.cpp.o.d"
+  "/root/repo/src/idnscope/dns/resolver.cpp" "src/idnscope/dns/CMakeFiles/idnscope_dns.dir/resolver.cpp.o" "gcc" "src/idnscope/dns/CMakeFiles/idnscope_dns.dir/resolver.cpp.o.d"
+  "/root/repo/src/idnscope/dns/zone.cpp" "src/idnscope/dns/CMakeFiles/idnscope_dns.dir/zone.cpp.o" "gcc" "src/idnscope/dns/CMakeFiles/idnscope_dns.dir/zone.cpp.o.d"
+  "/root/repo/src/idnscope/dns/zone_io.cpp" "src/idnscope/dns/CMakeFiles/idnscope_dns.dir/zone_io.cpp.o" "gcc" "src/idnscope/dns/CMakeFiles/idnscope_dns.dir/zone_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idnscope/common/CMakeFiles/idnscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/idna/CMakeFiles/idnscope_idna.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/unicode/CMakeFiles/idnscope_unicode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_dns.dir/ipv4.cpp.o"
+  "CMakeFiles/idnscope_dns.dir/ipv4.cpp.o.d"
+  "CMakeFiles/idnscope_dns.dir/pdns.cpp.o"
+  "CMakeFiles/idnscope_dns.dir/pdns.cpp.o.d"
+  "CMakeFiles/idnscope_dns.dir/query_log.cpp.o"
+  "CMakeFiles/idnscope_dns.dir/query_log.cpp.o.d"
+  "CMakeFiles/idnscope_dns.dir/resolver.cpp.o"
+  "CMakeFiles/idnscope_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/idnscope_dns.dir/zone.cpp.o"
+  "CMakeFiles/idnscope_dns.dir/zone.cpp.o.d"
+  "CMakeFiles/idnscope_dns.dir/zone_io.cpp.o"
+  "CMakeFiles/idnscope_dns.dir/zone_io.cpp.o.d"
+  "libidnscope_dns.a"
+  "libidnscope_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

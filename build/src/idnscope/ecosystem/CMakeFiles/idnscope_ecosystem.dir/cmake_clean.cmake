@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_ecosystem.dir/brands.cpp.o"
+  "CMakeFiles/idnscope_ecosystem.dir/brands.cpp.o.d"
+  "CMakeFiles/idnscope_ecosystem.dir/generator.cpp.o"
+  "CMakeFiles/idnscope_ecosystem.dir/generator.cpp.o.d"
+  "CMakeFiles/idnscope_ecosystem.dir/vocab.cpp.o"
+  "CMakeFiles/idnscope_ecosystem.dir/vocab.cpp.o.d"
+  "libidnscope_ecosystem.a"
+  "libidnscope_ecosystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_ecosystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

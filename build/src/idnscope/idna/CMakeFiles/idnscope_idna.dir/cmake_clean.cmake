@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_idna.dir/domain.cpp.o"
+  "CMakeFiles/idnscope_idna.dir/domain.cpp.o.d"
+  "CMakeFiles/idnscope_idna.dir/idna.cpp.o"
+  "CMakeFiles/idnscope_idna.dir/idna.cpp.o.d"
+  "CMakeFiles/idnscope_idna.dir/lookalike.cpp.o"
+  "CMakeFiles/idnscope_idna.dir/lookalike.cpp.o.d"
+  "CMakeFiles/idnscope_idna.dir/punycode.cpp.o"
+  "CMakeFiles/idnscope_idna.dir/punycode.cpp.o.d"
+  "libidnscope_idna.a"
+  "libidnscope_idna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_idna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_langid.dir/classifier.cpp.o"
+  "CMakeFiles/idnscope_langid.dir/classifier.cpp.o.d"
+  "CMakeFiles/idnscope_langid.dir/corpora.cpp.o"
+  "CMakeFiles/idnscope_langid.dir/corpora.cpp.o.d"
+  "CMakeFiles/idnscope_langid.dir/language.cpp.o"
+  "CMakeFiles/idnscope_langid.dir/language.cpp.o.d"
+  "libidnscope_langid.a"
+  "libidnscope_langid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_langid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for idnscope_langid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idnscope/render/font.cpp" "src/idnscope/render/CMakeFiles/idnscope_render.dir/font.cpp.o" "gcc" "src/idnscope/render/CMakeFiles/idnscope_render.dir/font.cpp.o.d"
+  "/root/repo/src/idnscope/render/image.cpp" "src/idnscope/render/CMakeFiles/idnscope_render.dir/image.cpp.o" "gcc" "src/idnscope/render/CMakeFiles/idnscope_render.dir/image.cpp.o.d"
+  "/root/repo/src/idnscope/render/renderer.cpp" "src/idnscope/render/CMakeFiles/idnscope_render.dir/renderer.cpp.o" "gcc" "src/idnscope/render/CMakeFiles/idnscope_render.dir/renderer.cpp.o.d"
+  "/root/repo/src/idnscope/render/ssim.cpp" "src/idnscope/render/CMakeFiles/idnscope_render.dir/ssim.cpp.o" "gcc" "src/idnscope/render/CMakeFiles/idnscope_render.dir/ssim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idnscope/common/CMakeFiles/idnscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/unicode/CMakeFiles/idnscope_unicode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_render.dir/font.cpp.o"
+  "CMakeFiles/idnscope_render.dir/font.cpp.o.d"
+  "CMakeFiles/idnscope_render.dir/image.cpp.o"
+  "CMakeFiles/idnscope_render.dir/image.cpp.o.d"
+  "CMakeFiles/idnscope_render.dir/renderer.cpp.o"
+  "CMakeFiles/idnscope_render.dir/renderer.cpp.o.d"
+  "CMakeFiles/idnscope_render.dir/ssim.cpp.o"
+  "CMakeFiles/idnscope_render.dir/ssim.cpp.o.d"
+  "libidnscope_render.a"
+  "libidnscope_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

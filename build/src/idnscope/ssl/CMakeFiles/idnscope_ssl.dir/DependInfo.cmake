@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idnscope/ssl/cert_store.cpp" "src/idnscope/ssl/CMakeFiles/idnscope_ssl.dir/cert_store.cpp.o" "gcc" "src/idnscope/ssl/CMakeFiles/idnscope_ssl.dir/cert_store.cpp.o.d"
+  "/root/repo/src/idnscope/ssl/certificate.cpp" "src/idnscope/ssl/CMakeFiles/idnscope_ssl.dir/certificate.cpp.o" "gcc" "src/idnscope/ssl/CMakeFiles/idnscope_ssl.dir/certificate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idnscope/common/CMakeFiles/idnscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

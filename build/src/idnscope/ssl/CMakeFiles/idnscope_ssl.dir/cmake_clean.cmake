@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_ssl.dir/cert_store.cpp.o"
+  "CMakeFiles/idnscope_ssl.dir/cert_store.cpp.o.d"
+  "CMakeFiles/idnscope_ssl.dir/certificate.cpp.o"
+  "CMakeFiles/idnscope_ssl.dir/certificate.cpp.o.d"
+  "libidnscope_ssl.a"
+  "libidnscope_ssl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_ssl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idnscope/stats/ecdf.cpp" "src/idnscope/stats/CMakeFiles/idnscope_stats.dir/ecdf.cpp.o" "gcc" "src/idnscope/stats/CMakeFiles/idnscope_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/idnscope/stats/table.cpp" "src/idnscope/stats/CMakeFiles/idnscope_stats.dir/table.cpp.o" "gcc" "src/idnscope/stats/CMakeFiles/idnscope_stats.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idnscope/common/CMakeFiles/idnscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

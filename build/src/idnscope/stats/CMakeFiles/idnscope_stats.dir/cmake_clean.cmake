@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/idnscope_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/idnscope_stats.dir/table.cpp.o"
+  "CMakeFiles/idnscope_stats.dir/table.cpp.o.d"
+  "libidnscope_stats.a"
+  "libidnscope_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idnscope/unicode/confusables.cpp" "src/idnscope/unicode/CMakeFiles/idnscope_unicode.dir/confusables.cpp.o" "gcc" "src/idnscope/unicode/CMakeFiles/idnscope_unicode.dir/confusables.cpp.o.d"
+  "/root/repo/src/idnscope/unicode/scripts.cpp" "src/idnscope/unicode/CMakeFiles/idnscope_unicode.dir/scripts.cpp.o" "gcc" "src/idnscope/unicode/CMakeFiles/idnscope_unicode.dir/scripts.cpp.o.d"
+  "/root/repo/src/idnscope/unicode/utf8.cpp" "src/idnscope/unicode/CMakeFiles/idnscope_unicode.dir/utf8.cpp.o" "gcc" "src/idnscope/unicode/CMakeFiles/idnscope_unicode.dir/utf8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idnscope/common/CMakeFiles/idnscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_unicode.dir/confusables.cpp.o"
+  "CMakeFiles/idnscope_unicode.dir/confusables.cpp.o.d"
+  "CMakeFiles/idnscope_unicode.dir/scripts.cpp.o"
+  "CMakeFiles/idnscope_unicode.dir/scripts.cpp.o.d"
+  "CMakeFiles/idnscope_unicode.dir/utf8.cpp.o"
+  "CMakeFiles/idnscope_unicode.dir/utf8.cpp.o.d"
+  "libidnscope_unicode.a"
+  "libidnscope_unicode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_unicode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidnscope_unicode.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idnscope/web/web.cpp" "src/idnscope/web/CMakeFiles/idnscope_web.dir/web.cpp.o" "gcc" "src/idnscope/web/CMakeFiles/idnscope_web.dir/web.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idnscope/common/CMakeFiles/idnscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/dns/CMakeFiles/idnscope_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/idna/CMakeFiles/idnscope_idna.dir/DependInfo.cmake"
+  "/root/repo/build/src/idnscope/unicode/CMakeFiles/idnscope_unicode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_web.dir/web.cpp.o"
+  "CMakeFiles/idnscope_web.dir/web.cpp.o.d"
+  "libidnscope_web.a"
+  "libidnscope_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

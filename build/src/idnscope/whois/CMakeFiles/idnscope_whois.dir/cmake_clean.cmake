@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_whois.dir/whois.cpp.o"
+  "CMakeFiles/idnscope_whois.dir/whois.cpp.o.d"
+  "libidnscope_whois.a"
+  "libidnscope_whois.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_whois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

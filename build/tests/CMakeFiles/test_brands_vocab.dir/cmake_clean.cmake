@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_brands_vocab.dir/brands_vocab_test.cpp.o"
+  "CMakeFiles/test_brands_vocab.dir/brands_vocab_test.cpp.o.d"
+  "test_brands_vocab"
+  "test_brands_vocab.pdb"
+  "test_brands_vocab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_brands_vocab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

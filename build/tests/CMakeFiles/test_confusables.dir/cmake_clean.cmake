@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_confusables.dir/confusables_test.cpp.o"
+  "CMakeFiles/test_confusables.dir/confusables_test.cpp.o.d"
+  "test_confusables"
+  "test_confusables.pdb"
+  "test_confusables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_confusables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

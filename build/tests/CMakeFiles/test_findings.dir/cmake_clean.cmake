@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_findings.dir/findings_test.cpp.o"
+  "CMakeFiles/test_findings.dir/findings_test.cpp.o.d"
+  "test_findings"
+  "test_findings.pdb"
+  "test_findings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_font_golden.dir/font_golden_test.cpp.o"
+  "CMakeFiles/test_font_golden.dir/font_golden_test.cpp.o.d"
+  "test_font_golden"
+  "test_font_golden.pdb"
+  "test_font_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_font_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homograph.dir/homograph_test.cpp.o"
+  "CMakeFiles/test_homograph.dir/homograph_test.cpp.o.d"
+  "test_homograph"
+  "test_homograph.pdb"
+  "test_homograph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homograph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

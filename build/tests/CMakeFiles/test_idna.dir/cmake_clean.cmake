@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idna.dir/idna_test.cpp.o"
+  "CMakeFiles/test_idna.dir/idna_test.cpp.o.d"
+  "test_idna"
+  "test_idna.pdb"
+  "test_idna[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

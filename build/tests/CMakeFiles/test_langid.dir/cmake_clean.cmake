@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_langid.dir/langid_test.cpp.o"
+  "CMakeFiles/test_langid.dir/langid_test.cpp.o.d"
+  "test_langid"
+  "test_langid.pdb"
+  "test_langid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_langid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lookalike.dir/lookalike_test.cpp.o"
+  "CMakeFiles/test_lookalike.dir/lookalike_test.cpp.o.d"
+  "test_lookalike"
+  "test_lookalike.pdb"
+  "test_lookalike[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lookalike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

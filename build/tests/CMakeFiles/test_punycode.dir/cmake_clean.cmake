@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_punycode.dir/punycode_test.cpp.o"
+  "CMakeFiles/test_punycode.dir/punycode_test.cpp.o.d"
+  "test_punycode"
+  "test_punycode.pdb"
+  "test_punycode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_punycode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

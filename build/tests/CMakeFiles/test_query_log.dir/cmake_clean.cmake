@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_log.dir/query_log_test.cpp.o"
+  "CMakeFiles/test_query_log.dir/query_log_test.cpp.o.d"
+  "test_query_log"
+  "test_query_log.pdb"
+  "test_query_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scripts.dir/scripts_test.cpp.o"
+  "CMakeFiles/test_scripts.dir/scripts_test.cpp.o.d"
+  "test_scripts"
+  "test_scripts.pdb"
+  "test_scripts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scripts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seed_robustness.dir/seed_robustness_test.cpp.o"
+  "CMakeFiles/test_seed_robustness.dir/seed_robustness_test.cpp.o.d"
+  "test_seed_robustness"
+  "test_seed_robustness.pdb"
+  "test_seed_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seed_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

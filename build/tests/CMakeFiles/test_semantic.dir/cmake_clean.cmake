@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semantic.dir/semantic_test.cpp.o"
+  "CMakeFiles/test_semantic.dir/semantic_test.cpp.o.d"
+  "test_semantic"
+  "test_semantic.pdb"
+  "test_semantic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

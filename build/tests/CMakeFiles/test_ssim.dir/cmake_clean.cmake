@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssim.dir/ssim_test.cpp.o"
+  "CMakeFiles/test_ssim.dir/ssim_test.cpp.o.d"
+  "test_ssim"
+  "test_ssim.pdb"
+  "test_ssim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_utf8.dir/utf8_test.cpp.o"
+  "CMakeFiles/test_utf8.dir/utf8_test.cpp.o.d"
+  "test_utf8"
+  "test_utf8.pdb"
+  "test_utf8[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_utf8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

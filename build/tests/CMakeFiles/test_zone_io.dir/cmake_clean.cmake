@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zone_io.dir/zone_io_test.cpp.o"
+  "CMakeFiles/test_zone_io.dir/zone_io_test.cpp.o.d"
+  "test_zone_io"
+  "test_zone_io.pdb"
+  "test_zone_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zone_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

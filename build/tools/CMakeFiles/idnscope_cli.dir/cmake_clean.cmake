@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idnscope_cli.dir/idnscope_cli.cpp.o"
+  "CMakeFiles/idnscope_cli.dir/idnscope_cli.cpp.o.d"
+  "idnscope"
+  "idnscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idnscope_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
