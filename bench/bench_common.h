@@ -7,6 +7,7 @@
 // shapes are the reproduction targets (see EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -14,9 +15,55 @@
 #include "idnscope/core/study.h"
 #include "idnscope/ecosystem/ecosystem.h"
 #include "idnscope/ecosystem/paper.h"
+#include "idnscope/runtime/parallel.h"
 #include "idnscope/stats/table.h"
 
 namespace idnscope::bench {
+
+// Worker-thread knob for the parallel stages. 0 defers to the runtime's
+// hardware default; set IDNSCOPE_THREADS=N to pin it.
+inline unsigned bench_threads() {
+  if (const char* env = std::getenv("IDNSCOPE_THREADS"); env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<unsigned>(parsed);
+    }
+  }
+  return 0;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  double elapsed_ms() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Machine-readable timing record. Written to stderr (stdout stays
+// byte-identical across thread counts — it carries only study results) and
+// mirrored to BENCH_<name>.json in the working directory for harnesses.
+inline void emit_bench_json(const char* name, double wall_ms,
+                            unsigned threads) {
+  const unsigned resolved =
+      threads != 0 ? threads
+                   : runtime::resolve_threads(0, runtime::kMaxThreads);
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"%s\",\"wall_ms\":%.3f,\"threads\":%u}", name,
+                wall_ms, resolved);
+  std::fprintf(stderr, "BENCH_JSON %s\n", line);
+  const std::string path = std::string("BENCH_") + name + ".json";
+  if (std::FILE* out = std::fopen(path.c_str(), "w"); out != nullptr) {
+    std::fprintf(out, "%s\n", line);
+    std::fclose(out);
+  }
+}
 
 inline ecosystem::Scenario bench_scenario() {
   ecosystem::Scenario scenario = ecosystem::Scenario::paper2017();

@@ -22,7 +22,8 @@ int main() {
   std::vector<std::string> semantic;
   std::vector<std::string> other_malicious;
   std::vector<std::string> benign;
-  for (const std::string& domain : world.study.idns()) {
+  for (const runtime::DomainId id : world.study.idns()) {
+    const std::string domain(world.study.domain(id));
     const auto it = world.eco.truth.find(domain);
     if (it == world.eco.truth.end()) {
       continue;

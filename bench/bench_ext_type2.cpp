@@ -18,7 +18,7 @@ int main() {
   bench::World world(scenario);
 
   const core::Type2Detector detector;
-  const auto matches = detector.scan(world.study.idns());
+  const auto matches = detector.scan(world.study.table(), world.study.idns());
 
   stats::Table table({"Punycode", "Unicode characters", "Brand",
                       "Description", "blacklisted"});

@@ -16,7 +16,7 @@ int main() {
   bench::World world(scenario);
 
   core::HomographDetector detector(ecosystem::alexa_top1k());
-  const auto matches = detector.scan(world.study.idns());
+  const auto matches = detector.scan(world.study.table(), world.study.idns());
 
   // Query through the quota-limited Farsight-style client, like the paper
   // (only the abusive set fits the 1,000/day quota).

@@ -15,8 +15,13 @@ int main() {
                       scenario);
   bench::World world(scenario);
 
+  core::AvailabilityOptions options;
+  options.threads = bench::bench_threads();
+  const bench::Stopwatch stopwatch;
   const auto report =
-      core::availability_sweep(world.study, ecosystem::alexa_top(100));
+      core::availability_sweep(world.study, ecosystem::alexa_top(100), options);
+  bench::emit_bench_json("fig07_availability", stopwatch.elapsed_ms(),
+                         options.threads);
 
   // Per-brand series, Alexa order (the paper's x-axis).
   std::printf("%-24s %6s %12s %11s %10s\n", "brand", "rank", "candidates",

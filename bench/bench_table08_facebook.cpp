@@ -19,7 +19,7 @@ int main() {
   stats::Table table({"ACE (zone form)", "Unicode (displayed)", "SSIM",
                       "blacklisted"});
   for (const core::HomographMatch& match :
-       detector.scan(world.study.idns())) {
+       detector.scan(world.study.table(), world.study.idns())) {
     if (match.brand != "facebook.com") {
       continue;
     }

@@ -16,7 +16,7 @@ int main() {
   bench::World world(scenario);
 
   core::SemanticDetector detector(ecosystem::alexa_top1k());
-  const auto matches = detector.scan(world.study.idns());
+  const auto matches = detector.scan(world.study.table(), world.study.idns());
 
   stats::Table table({"Punycode", "Unicode characters", "Target brand",
                       "blacklisted"});

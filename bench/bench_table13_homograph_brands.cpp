@@ -14,8 +14,13 @@ int main() {
                       scenario);
   bench::World world(scenario);
 
-  core::HomographDetector detector(ecosystem::alexa_top1k());
+  core::HomographOptions options;
+  options.threads = bench::bench_threads();
+  core::HomographDetector detector(ecosystem::alexa_top1k(), options);
+  const bench::Stopwatch stopwatch;
   const auto report = core::analyze_homographs(world.study, detector, 10);
+  bench::emit_bench_json("table13_homograph_brands", stopwatch.elapsed_ms(),
+                         options.threads);
 
   stats::Table table({"Domain", "Alexa", "# IDN (measured)", "Protective",
                       "paper # IDN", "paper protective"});

@@ -47,7 +47,7 @@ int main() {
               study.idns().size(), eco.zones.size());
 
   core::HomographDetector detector(ecosystem::alexa_top(100));
-  const auto matches = detector.scan(study.idns());
+  const auto matches = detector.scan(study.table(), study.idns());
   std::printf("Registered homographs of Alexa top-100 brands: %zu\n",
               matches.size());
   for (std::size_t i = 0; i < matches.size() && i < 5; ++i) {

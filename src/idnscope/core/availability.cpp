@@ -1,10 +1,9 @@
 #include "idnscope/core/availability.h"
 
 #include <cstdlib>
-#include <future>
-#include <thread>
 
 #include "idnscope/idna/lookalike.h"
+#include "idnscope/runtime/parallel.h"
 
 namespace idnscope::core {
 
@@ -90,51 +89,25 @@ BrandAvailability sweep_brand(const ecosystem::Brand& brand,
   return row;
 }
 
-template <typename Fn>
-std::vector<BrandAvailability> parallel_sweep(
-    std::span<const ecosystem::Brand> brands, unsigned threads, Fn&& fn) {
+}  // namespace
+
+AvailabilityReport availability_sweep(const Study& study,
+                                      std::span<const ecosystem::Brand> brands,
+                                      const AvailabilityOptions& options) {
   std::vector<const ecosystem::Brand*> eligible;
   for (const ecosystem::Brand& brand : brands) {
     if (eligible_brand(brand)) {
       eligible.push_back(&brand);
     }
   }
-  unsigned workers = threads != 0 ? threads
-                                  : std::max(1U, std::thread::hardware_concurrency());
-  workers = std::min<unsigned>(workers, 32);
-  std::vector<BrandAvailability> rows(eligible.size());
-  std::atomic<std::size_t> next{0};
-  auto work = [&] {
-    while (true) {
-      const std::size_t index = next.fetch_add(1);
-      if (index >= eligible.size()) {
-        return;
-      }
-      rows[index] = fn(*eligible[index]);
-    }
-  };
-  std::vector<std::thread> pool;
-  for (unsigned i = 1; i < workers; ++i) {
-    pool.emplace_back(work);
-  }
-  work();
-  for (std::thread& thread : pool) {
-    thread.join();
-  }
-  return rows;
-}
-
-}  // namespace
-
-AvailabilityReport availability_sweep(const Study& study,
-                                      std::span<const ecosystem::Brand> brands,
-                                      const AvailabilityOptions& options) {
   AvailabilityReport report;
-  report.per_brand =
-      parallel_sweep(brands, options.threads,
-                     [&](const ecosystem::Brand& brand) {
-                       return sweep_brand(brand, study, options);
-                     });
+  report.per_brand.resize(eligible.size());
+  // The shared executor clamps the worker count to the brand count, so tiny
+  // sweeps never spawn idle threads; rows land at fixed indices, making the
+  // report identical at any thread count.
+  runtime::parallel_for(eligible.size(), options.threads, [&](std::size_t i) {
+    report.per_brand[i] = sweep_brand(*eligible[i], study, options);
+  });
   for (const BrandAvailability& row : report.per_brand) {
     report.total_candidates += row.candidates;
     report.total_homographic += row.homographic;

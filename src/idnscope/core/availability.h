@@ -25,8 +25,9 @@ struct AvailabilityOptions {
   // the SSIM threshold and are counted as non-homographic without a full
   // SSIM evaluation.  Set to 0 to disable.
   int profile_budget = 26;
-  // Worker threads for the sweep (brands are independent); 0 = hardware
-  // concurrency.  Results are identical regardless of thread count.
+  // Worker threads for the sweep, routed through runtime::parallel_for
+  // (0 = hardware concurrency, always clamped to the brand count).
+  // Results are bit-for-bit identical regardless of thread count.
   unsigned threads = 0;
   render::RenderOptions render;
   render::SsimOptions ssim;

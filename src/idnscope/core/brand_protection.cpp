@@ -1,6 +1,7 @@
 #include "idnscope/core/brand_protection.h"
 
 #include "idnscope/idna/idna.h"
+#include "idnscope/runtime/parallel.h"
 #include "idnscope/stats/table.h"
 #include "idnscope/unicode/utf8.h"
 
@@ -73,6 +74,19 @@ RegistrationDecision BrandProtectionGate::check(
   return decision;
 }
 
+namespace {
+
+BrandProtectionGate::AuditResult combine_audits(
+    BrandProtectionGate::AuditResult a,
+    const BrandProtectionGate::AuditResult& b) {
+  a.total += b.total;
+  a.rejected_visual += b.rejected_visual;
+  a.rejected_semantic += b.rejected_semantic;
+  return a;
+}
+
+}  // namespace
+
 BrandProtectionGate::AuditResult BrandProtectionGate::audit(
     std::span<const std::string> ace_domains) const {
   AuditResult result;
@@ -87,6 +101,25 @@ BrandProtectionGate::AuditResult BrandProtectionGate::audit(
     }
   }
   return result;
+}
+
+BrandProtectionGate::AuditResult BrandProtectionGate::audit(
+    const runtime::DomainTable& table,
+    std::span<const runtime::DomainId> ace_domains, unsigned threads) const {
+  return runtime::parallel_reduce(
+      ace_domains.size(), threads, AuditResult{},
+      [&](std::size_t i) {
+        AuditResult one;
+        one.total = 1;
+        const std::string_view domain = table.str(ace_domains[i]);
+        if (homograph_.best_match(domain).has_value()) {
+          one.rejected_visual = 1;
+        } else if (semantic_.match(domain).has_value()) {
+          one.rejected_semantic = 1;
+        }
+        return one;
+      },
+      combine_audits);
 }
 
 }  // namespace idnscope::core

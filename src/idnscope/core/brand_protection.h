@@ -21,6 +21,7 @@
 #include "idnscope/core/homograph.h"
 #include "idnscope/core/semantic.h"
 #include "idnscope/ecosystem/brands.h"
+#include "idnscope/runtime/domain_table.h"
 
 namespace idnscope::core {
 
@@ -76,6 +77,12 @@ class BrandProtectionGate {
     }
   };
   AuditResult audit(std::span<const std::string> ace_domains) const;
+
+  // Interned batch audit over the shared domain table; runs on the
+  // deterministic executor (threads = 0 means hardware concurrency).
+  AuditResult audit(const runtime::DomainTable& table,
+                    std::span<const runtime::DomainId> ace_domains,
+                    unsigned threads = 0) const;
 
  private:
   Options options_;

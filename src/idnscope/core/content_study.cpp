@@ -19,9 +19,11 @@ ContentBreakdown classify_content(const Study& study,
 
 namespace {
 
-std::vector<std::string> sample(std::span<const std::string> population,
-                                std::size_t n, Rng& rng) {
-  std::vector<std::string> out(population.begin(), population.end());
+// Fisher-Yates over any element type draws the same index sequence, so
+// sampling DomainIds picks the exact domains the string-based seed path did.
+template <typename T>
+std::vector<T> sample(std::span<const T> population, std::size_t n, Rng& rng) {
+  std::vector<T> out(population.begin(), population.end());
   rng.shuffle(out);
   if (out.size() > n) {
     out.resize(n);
@@ -36,9 +38,11 @@ ContentComparison sampled_content_comparison(const Study& study, std::size_t n,
   Rng rng(seed);
   Rng idn_rng = rng.fork("idn-sample");
   Rng non_idn_rng = rng.fork("non-idn-sample");
-  const auto idn_sample = sample(study.idns(), n, idn_rng);
-  const auto non_idn_sample =
-      sample(study.eco().sampled_non_idns, n, non_idn_rng);
+  const auto idn_ids = sample(study.idns(), n, idn_rng);
+  const auto idn_sample = study.resolve(idn_ids);
+  const auto non_idn_sample = sample(
+      std::span<const std::string>(study.eco().sampled_non_idns), n,
+      non_idn_rng);
   return ContentComparison{classify_content(study, idn_sample),
                            classify_content(study, non_idn_sample)};
 }

@@ -6,28 +6,47 @@
 
 namespace idnscope::core {
 
+namespace {
+
+void add_activity(ActivityEcdfs& out, const dns::PassiveDnsDb& pdns,
+                  std::string_view domain) {
+  const dns::DnsAggregate* aggregate = pdns.lookup(domain);
+  if (aggregate == nullptr) {
+    return;
+  }
+  ++out.covered;
+  out.active_days.add(static_cast<double>(aggregate->active_days()));
+  out.query_volume.add(static_cast<double>(aggregate->query_count));
+}
+
+}  // namespace
+
 ActivityEcdfs activity_ecdfs(const Study& study,
                              std::span<const std::string> domains) {
   ActivityEcdfs out;
   const dns::PassiveDnsDb& pdns = study.eco().pdns;
   for (const std::string& domain : domains) {
-    const dns::DnsAggregate* aggregate = pdns.lookup(domain);
-    if (aggregate == nullptr) {
-      continue;
-    }
-    ++out.covered;
-    out.active_days.add(static_cast<double>(aggregate->active_days()));
-    out.query_volume.add(static_cast<double>(aggregate->query_count));
+    add_activity(out, pdns, domain);
+  }
+  return out;
+}
+
+ActivityEcdfs activity_ecdfs(const Study& study,
+                             std::span<const runtime::DomainId> domains) {
+  ActivityEcdfs out;
+  const dns::PassiveDnsDb& pdns = study.eco().pdns;
+  for (const runtime::DomainId id : domains) {
+    add_activity(out, pdns, study.domain(id));
   }
   return out;
 }
 
 ActivityEcdfs idn_activity(const Study& study, std::string_view tld,
                            bool malicious_only) {
-  std::vector<std::string> domains;
-  for (const std::string& idn : study.idns_under(tld)) {
-    if (study.is_malicious(idn) == malicious_only) {
-      domains.push_back(idn);
+  std::vector<runtime::DomainId> domains;
+  for (const runtime::DomainId id : study.idns_under(tld)) {
+    if (study.is_malicious(id) == malicious_only) {
+      domains.push_back(id);
     }
   }
   return activity_ecdfs(study, domains);
@@ -48,8 +67,8 @@ HostingConcentration hosting_concentration(const Study& study) {
   std::unordered_set<std::uint32_t> ips;
   std::unordered_map<std::uint32_t, std::uint64_t> per_segment;
   const dns::PassiveDnsDb& pdns = study.eco().pdns;
-  for (const std::string& idn : study.idns()) {
-    const dns::DnsAggregate* aggregate = pdns.lookup(idn);
+  for (const runtime::DomainId id : study.idns()) {
+    const dns::DnsAggregate* aggregate = pdns.lookup(study.domain(id));
     if (aggregate == nullptr || aggregate->resolved_ips.empty()) {
       continue;
     }

@@ -21,6 +21,9 @@ struct ActivityEcdfs {
 
 ActivityEcdfs activity_ecdfs(const Study& study,
                              std::span<const std::string> domains);
+// Interned flavour: domains addressed through the Study's DomainTable.
+ActivityEcdfs activity_ecdfs(const Study& study,
+                             std::span<const runtime::DomainId> domains);
 
 // Convenience splits for Figs 2/3: benign IDNs / malicious IDNs under a
 // TLD, and the non-IDN sample under the same TLD.

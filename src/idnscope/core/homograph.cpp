@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "idnscope/idna/idna.h"
+#include "idnscope/runtime/parallel.h"
 #include "idnscope/unicode/utf8.h"
 
 namespace idnscope::core {
@@ -22,7 +23,7 @@ int profile_l1(const std::vector<int>& a, const std::vector<int>& b) {
 }
 
 // Unicode display form of an ACE domain as code points.
-std::optional<std::u32string> display_form(const std::string& ace_domain) {
+std::optional<std::u32string> display_form(std::string_view ace_domain) {
   auto display = idna::domain_to_unicode(ace_domain);
   if (!display.ok()) {
     return std::nullopt;
@@ -55,7 +56,7 @@ HomographDetector::HomographDetector(
 }
 
 std::optional<HomographMatch> HomographDetector::best_match(
-    const std::string& ace_domain) const {
+    std::string_view ace_domain) const {
   const auto display = display_form(ace_domain);
   if (!display) {
     return std::nullopt;
@@ -74,13 +75,13 @@ std::optional<HomographMatch> HomographDetector::best_match(
     }
     if (options_.use_prefilter &&
         profile_l1(profile, brand.profile) > options_.profile_budget) {
-      ++prefilter_skips_;
+      prefilter_skips_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     if (!image) {
       image = render::render_label(*display, options_.render);
     }
-    ++ssim_evaluations_;
+    ssim_evaluations_.fetch_add(1, std::memory_order_relaxed);
     const double score = render::ssim(*image, brand.image, options_.ssim);
     if (score > best.ssim) {
       best.ssim = score;
@@ -90,7 +91,7 @@ std::optional<HomographMatch> HomographDetector::best_match(
   if (best.brand.empty() || best.ssim < options_.threshold) {
     return std::nullopt;
   }
-  best.domain = ace_domain;
+  best.domain = std::string(ace_domain);
   best.identical = best.ssim >= 1.0 - 1e-9;
   return best;
 }
@@ -101,6 +102,24 @@ std::vector<HomographMatch> HomographDetector::scan(
   for (const std::string& domain : domains) {
     if (auto match = best_match(domain)) {
       matches.push_back(std::move(*match));
+    }
+  }
+  return matches;
+}
+
+std::vector<HomographMatch> HomographDetector::scan(
+    const runtime::DomainTable& table,
+    std::span<const runtime::DomainId> domains) const {
+  // Each worker fills only its own slots; the serial compaction below
+  // restores input order, so the result is identical at any thread count.
+  std::vector<std::optional<HomographMatch>> slots(domains.size());
+  runtime::parallel_for(domains.size(), options_.threads, [&](std::size_t i) {
+    slots[i] = best_match(table.str(domains[i]));
+  });
+  std::vector<HomographMatch> matches;
+  for (std::optional<HomographMatch>& slot : slots) {
+    if (slot) {
+      matches.push_back(std::move(*slot));
     }
   }
   return matches;
@@ -127,7 +146,7 @@ HomographReport analyze_homographs(const Study& study,
                                    const HomographDetector& detector,
                                    std::size_t top_n) {
   HomographReport report;
-  report.matches = detector.scan(study.idns());
+  report.matches = detector.scan(study.table(), study.idns());
 
   struct Accum {
     std::uint64_t count = 0;

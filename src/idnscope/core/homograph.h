@@ -14,6 +14,7 @@
 //      exhaustive scan.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -24,6 +25,7 @@
 #include "idnscope/ecosystem/brands.h"
 #include "idnscope/render/renderer.h"
 #include "idnscope/render/ssim.h"
+#include "idnscope/runtime/domain_table.h"
 
 namespace idnscope::core {
 
@@ -38,6 +40,9 @@ struct HomographOptions {
   double threshold = 0.95;       // the paper's SSIM cut-off
   bool use_prefilter = true;     // disable to run the exhaustive scan
   int profile_budget = 26;       // max L1 column-profile distance per image
+  // Worker threads for DomainTable scans (0 = hardware concurrency).
+  // Results are bit-for-bit identical at any value (runtime/parallel.h).
+  unsigned threads = 0;
   render::RenderOptions render;
   render::SsimOptions ssim;
 };
@@ -49,14 +54,25 @@ class HomographDetector {
 
   // Best brand match for one domain, if any reaches the threshold.
   // The domain is rendered in its Unicode display form.
-  std::optional<HomographMatch> best_match(const std::string& ace_domain) const;
+  std::optional<HomographMatch> best_match(std::string_view ace_domain) const;
 
   // Scan a population; returns matches in input order.
   std::vector<HomographMatch> scan(std::span<const std::string> domains) const;
 
+  // Interned scan: the SSIM sweep runs on the shared deterministic executor
+  // (options().threads workers); matches come back in input order and are
+  // identical at any thread count.
+  std::vector<HomographMatch> scan(
+      const runtime::DomainTable& table,
+      std::span<const runtime::DomainId> domains) const;
+
   const HomographOptions& options() const { return options_; }
-  std::uint64_t ssim_evaluations() const { return ssim_evaluations_; }
-  std::uint64_t prefilter_skips() const { return prefilter_skips_; }
+  std::uint64_t ssim_evaluations() const {
+    return ssim_evaluations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t prefilter_skips() const {
+    return prefilter_skips_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct BrandImage {
@@ -68,8 +84,10 @@ class HomographDetector {
   HomographOptions options_;
   // Brand images bucketed by character count.
   std::vector<std::vector<BrandImage>> by_length_;
-  mutable std::uint64_t ssim_evaluations_ = 0;
-  mutable std::uint64_t prefilter_skips_ = 0;
+  // Effort counters; totals are deterministic (per-domain work is fixed),
+  // atomics only make the concurrent increments race-free.
+  mutable std::atomic<std::uint64_t> ssim_evaluations_{0};
+  mutable std::atomic<std::uint64_t> prefilter_skips_{0};
 };
 
 // Section VI-C aggregations over detector output.

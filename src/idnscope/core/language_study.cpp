@@ -5,12 +5,12 @@
 
 namespace idnscope::core {
 
-langid::Language identify_domain_language(const std::string& ace_domain) {
+langid::Language identify_domain_language(std::string_view ace_domain) {
   // Classify the display form of the SLD label only: the TLD is shared
   // infrastructure, not registrant language choice.
   const std::size_t dot = ace_domain.find('.');
-  const std::string sld_label =
-      dot == std::string::npos ? ace_domain : ace_domain.substr(0, dot);
+  const std::string sld_label(
+      dot == std::string_view::npos ? ace_domain : ace_domain.substr(0, dot));
   auto display = idna::domain_to_unicode(sld_label);
   const std::string& text = display.ok() ? display.value() : sld_label;
   return langid::identify(text);
@@ -18,11 +18,12 @@ langid::Language identify_domain_language(const std::string& ace_domain) {
 
 LanguageStats analyze_languages(const Study& study) {
   LanguageStats stats;
-  for (const std::string& idn : study.idns()) {
-    const auto lang = static_cast<std::size_t>(identify_domain_language(idn));
+  for (const runtime::DomainId id : study.idns()) {
+    const auto lang =
+        static_cast<std::size_t>(identify_domain_language(study.domain(id)));
     ++stats.all[lang];
     ++stats.total_all;
-    if (study.is_malicious(idn)) {
+    if (study.is_malicious(id)) {
       ++stats.malicious[lang];
       ++stats.total_malicious;
     }

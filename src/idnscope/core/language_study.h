@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "idnscope/core/study.h"
@@ -26,6 +27,6 @@ struct LanguageStats {
 LanguageStats analyze_languages(const Study& study);
 
 // The language the identifier assigns to one registered domain.
-langid::Language identify_domain_language(const std::string& ace_domain);
+langid::Language identify_domain_language(std::string_view ace_domain);
 
 }  // namespace idnscope::core

@@ -8,15 +8,15 @@ namespace idnscope::core {
 
 std::vector<YearCount> registration_timeline(const Study& study) {
   std::map<int, YearCount> by_year;
-  for (const std::string& idn : study.idns()) {
-    const whois::WhoisRecord* record = study.eco().whois.lookup(idn);
+  for (const runtime::DomainId id : study.idns()) {
+    const whois::WhoisRecord* record = study.eco().whois.lookup(study.domain(id));
     if (record == nullptr) {
       continue;
     }
     YearCount& bucket = by_year[record->creation_date.year];
     bucket.year = record->creation_date.year;
     ++bucket.all;
-    if (study.is_malicious(idn)) {
+    if (study.is_malicious(id)) {
       ++bucket.malicious;
     }
   }
@@ -31,8 +31,8 @@ std::vector<YearCount> registration_timeline(const Study& study) {
 double fraction_created_before(const Study& study, int year) {
   std::uint64_t covered = 0;
   std::uint64_t before = 0;
-  for (const std::string& idn : study.idns()) {
-    const whois::WhoisRecord* record = study.eco().whois.lookup(idn);
+  for (const runtime::DomainId id : study.idns()) {
+    const whois::WhoisRecord* record = study.eco().whois.lookup(study.domain(id));
     if (record == nullptr) {
       continue;
     }
@@ -47,16 +47,16 @@ double fraction_created_before(const Study& study, int year) {
 
 namespace {
 
-std::unordered_map<std::string, std::vector<const std::string*>>
+std::unordered_map<std::string, std::vector<runtime::DomainId>>
 group_by_email(const Study& study) {
-  std::unordered_map<std::string, std::vector<const std::string*>> groups;
-  for (const std::string& idn : study.idns()) {
-    const whois::WhoisRecord* record = study.eco().whois.lookup(idn);
+  std::unordered_map<std::string, std::vector<runtime::DomainId>> groups;
+  for (const runtime::DomainId id : study.idns()) {
+    const whois::WhoisRecord* record = study.eco().whois.lookup(study.domain(id));
     if (record == nullptr || record->privacy_protected ||
         record->registrant_email.empty()) {
       continue;
     }
-    groups[record->registrant_email].push_back(&idn);
+    groups[record->registrant_email].push_back(id);
   }
   return groups;
 }
@@ -66,6 +66,7 @@ group_by_email(const Study& study) {
 std::vector<RegistrantPortfolio> top_registrants(const Study& study,
                                                  std::size_t n) {
   auto groups = group_by_email(study);
+  const runtime::DomainTable& table = study.table();
   std::vector<RegistrantPortfolio> portfolios;
   portfolios.reserve(groups.size());
   for (auto& [email, domains] : groups) {
@@ -73,9 +74,11 @@ std::vector<RegistrantPortfolio> top_registrants(const Study& study,
     portfolio.email = email;
     portfolio.idn_count = domains.size();
     std::sort(domains.begin(), domains.end(),
-              [](const std::string* a, const std::string* b) { return *a < *b; });
+              [&](runtime::DomainId a, runtime::DomainId b) {
+                return table.str(a) < table.str(b);
+              });
     for (std::size_t i = 0; i < std::min<std::size_t>(3, domains.size()); ++i) {
-      portfolio.sample.push_back(*domains[i]);
+      portfolio.sample.emplace_back(table.str(domains[i]));
     }
     portfolios.push_back(std::move(portfolio));
   }
@@ -106,8 +109,8 @@ std::uint64_t opportunistic_idn_count(const Study& study,
 RegistrarStats registrar_stats(const Study& study, std::size_t top_n) {
   std::unordered_map<std::string, std::uint64_t> counts;
   std::uint64_t covered = 0;
-  for (const std::string& idn : study.idns()) {
-    const whois::WhoisRecord* record = study.eco().whois.lookup(idn);
+  for (const runtime::DomainId id : study.idns()) {
+    const whois::WhoisRecord* record = study.eco().whois.lookup(study.domain(id));
     if (record == nullptr || record->registrar.empty()) {
       continue;
     }

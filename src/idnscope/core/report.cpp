@@ -174,7 +174,7 @@ std::string build_markdown_report(const Study& study,
                   std::to_string(report.matches.size()) + " across " +
                   std::to_string(report.brands_targeted) + " brands");
     const Type2Detector type2;
-    const auto type2_matches = type2.scan(study.idns());
+    const auto type2_matches = type2.scan(study.table(), study.idns());
     line(out, "- Type-2 (translated brand) IDNs: " +
                   std::to_string(type2_matches.size()) +
                   " against the curated dictionary");

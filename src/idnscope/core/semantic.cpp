@@ -4,6 +4,7 @@
 
 #include "idnscope/idna/idna.h"
 #include "idnscope/idna/punycode.h"
+#include "idnscope/runtime/parallel.h"
 #include "idnscope/unicode/utf8.h"
 
 namespace idnscope::core {
@@ -15,13 +16,13 @@ SemanticDetector::SemanticDetector(std::span<const ecosystem::Brand> brands) {
 }
 
 std::optional<SemanticMatch> SemanticDetector::match(
-    const std::string& ace_domain) const {
+    std::string_view ace_domain) const {
   const std::size_t dot = ace_domain.find('.');
-  if (dot == std::string::npos) {
+  if (dot == std::string_view::npos) {
     return std::nullopt;
   }
-  const std::string sld_label = ace_domain.substr(0, dot);
-  const std::string suffix = ace_domain.substr(dot);  // ".com"
+  const std::string_view sld_label = ace_domain.substr(0, dot);
+  const std::string suffix(ace_domain.substr(dot));  // ".com"
   if (!idna::has_ace_prefix(sld_label)) {
     return std::nullopt;  // not an IDN label
   }
@@ -46,7 +47,7 @@ std::optional<SemanticMatch> SemanticDetector::match(
     return std::nullopt;
   }
   SemanticMatch match;
-  match.domain = ace_domain;
+  match.domain = std::string(ace_domain);
   match.brand = it->second;
   match.keyword_utf8 = unicode::encode(stripped);
   return match;
@@ -58,6 +59,22 @@ std::vector<SemanticMatch> SemanticDetector::scan(
   for (const std::string& domain : domains) {
     if (auto hit = match(domain)) {
       matches.push_back(std::move(*hit));
+    }
+  }
+  return matches;
+}
+
+std::vector<SemanticMatch> SemanticDetector::scan(
+    const runtime::DomainTable& table,
+    std::span<const runtime::DomainId> domains, unsigned threads) const {
+  std::vector<std::optional<SemanticMatch>> slots(domains.size());
+  runtime::parallel_for(domains.size(), threads, [&](std::size_t i) {
+    slots[i] = match(table.str(domains[i]));
+  });
+  std::vector<SemanticMatch> matches;
+  for (std::optional<SemanticMatch>& slot : slots) {
+    if (slot) {
+      matches.push_back(std::move(*slot));
     }
   }
   return matches;
@@ -84,7 +101,7 @@ SemanticReport analyze_semantics(const Study& study,
                                  const SemanticDetector& detector,
                                  std::size_t top_n) {
   SemanticReport report;
-  report.matches = detector.scan(study.idns());
+  report.matches = detector.scan(study.table(), study.idns());
 
   struct Accum {
     std::uint64_t count = 0;

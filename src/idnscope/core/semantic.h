@@ -15,6 +15,7 @@
 
 #include "idnscope/core/study.h"
 #include "idnscope/ecosystem/brands.h"
+#include "idnscope/runtime/domain_table.h"
 
 namespace idnscope::core {
 
@@ -31,9 +32,15 @@ class SemanticDetector {
   // Type-1 test for one domain: strip non-ASCII from the display form of
   // the SLD; a hit requires (a) at least one non-ASCII character stripped,
   // (b) the ASCII remainder identical to a brand SLD, and (c) the same TLD.
-  std::optional<SemanticMatch> match(const std::string& ace_domain) const;
+  std::optional<SemanticMatch> match(std::string_view ace_domain) const;
 
   std::vector<SemanticMatch> scan(std::span<const std::string> domains) const;
+
+  // Interned scan on the shared deterministic executor; matches come back
+  // in input order, identical at any thread count (0 = hardware).
+  std::vector<SemanticMatch> scan(const runtime::DomainTable& table,
+                                  std::span<const runtime::DomainId> domains,
+                                  unsigned threads = 0) const;
 
  private:
   // brand SLD + tld -> brand domain

@@ -2,6 +2,7 @@
 
 #include "idnscope/idna/idna.h"
 #include "idnscope/idna/punycode.h"
+#include "idnscope/runtime/parallel.h"
 #include "idnscope/unicode/utf8.h"
 
 namespace idnscope::core {
@@ -18,12 +19,12 @@ Type2Detector::Type2Detector(
 }
 
 std::optional<Type2Match> Type2Detector::match(
-    const std::string& ace_domain) const {
+    std::string_view ace_domain) const {
   const std::size_t dot = ace_domain.find('.');
-  if (dot == std::string::npos) {
+  if (dot == std::string_view::npos) {
     return std::nullopt;
   }
-  const std::string label = ace_domain.substr(0, dot);
+  const std::string_view label = ace_domain.substr(0, dot);
   if (!idna::has_ace_prefix(label)) {
     return std::nullopt;
   }
@@ -35,7 +36,7 @@ std::optional<Type2Match> Type2Detector::match(
   for (const Entry& entry : entries_) {
     if (text.find(entry.needle) != std::u32string::npos) {
       Type2Match result;
-      result.domain = ace_domain;
+      result.domain = std::string(ace_domain);
       result.brand = std::string(entry.translation->brand);
       result.translated = std::string(entry.translation->translated);
       result.description = std::string(entry.translation->description);
@@ -51,6 +52,22 @@ std::vector<Type2Match> Type2Detector::scan(
   for (const std::string& domain : domains) {
     if (auto hit = match(domain)) {
       matches.push_back(std::move(*hit));
+    }
+  }
+  return matches;
+}
+
+std::vector<Type2Match> Type2Detector::scan(
+    const runtime::DomainTable& table,
+    std::span<const runtime::DomainId> domains, unsigned threads) const {
+  std::vector<std::optional<Type2Match>> slots(domains.size());
+  runtime::parallel_for(domains.size(), threads, [&](std::size_t i) {
+    slots[i] = match(table.str(domains[i]));
+  });
+  std::vector<Type2Match> matches;
+  for (std::optional<Type2Match>& slot : slots) {
+    if (slot) {
+      matches.push_back(std::move(*slot));
     }
   }
   return matches;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "idnscope/ecosystem/vocab.h"
+#include "idnscope/runtime/domain_table.h"
 
 namespace idnscope::core {
 
@@ -40,9 +41,15 @@ class Type2Detector {
   // A hit requires the display form of the SLD to *contain* a translated
   // brand name (attackers pad translations with category words, e.g.
   // 奔驰汽车 = "Mercedes-Benz" + "automobile").
-  std::optional<Type2Match> match(const std::string& ace_domain) const;
+  std::optional<Type2Match> match(std::string_view ace_domain) const;
 
   std::vector<Type2Match> scan(std::span<const std::string> domains) const;
+
+  // Interned scan on the shared deterministic executor; matches come back
+  // in input order, identical at any thread count (0 = hardware).
+  std::vector<Type2Match> scan(const runtime::DomainTable& table,
+                               std::span<const runtime::DomainId> domains,
+                               unsigned threads = 0) const;
 
  private:
   struct Entry {

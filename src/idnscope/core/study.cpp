@@ -12,64 +12,82 @@ Study::Study(const ecosystem::Ecosystem& eco) : eco_(&eco) {
 
   for (const dns::Zone& zone : eco.zones) {
     TldGroup* group;
+    std::uint8_t group_id;
     if (zone.origin() == "com") {
       group = &com;
+      group_id = kTldCom;
     } else if (zone.origin() == "net") {
       group = &net;
+      group_id = kTldNet;
     } else if (zone.origin() == "org") {
       group = &org;
+      group_id = kTldOrg;
     } else {
       group = &itld;
+      group_id = kTldItld;
     }
     const auto slds = dns::scan_slds(zone);
     group->sld_count += slds.size();
     for (const std::string& domain : slds) {
-      registered_.insert(domain);
+      const runtime::DomainId id = table_.intern(domain);
+      table_.set_registered(id, true);
+      table_.set_tld_group(id, group_id);
     }
-    for (std::string& idn : dns::scan_idns(zone)) {
+    for (const std::string& idn : dns::scan_idns(zone)) {
       ++group->idn_count;
+      const runtime::DomainId id = table_.intern(idn);
+      table_.set_registered(id, true);
+      table_.set_tld_group(id, group_id);
+      table_.set_idn(id, true);
       if (eco.whois.lookup(idn) != nullptr) {
         ++group->whois_count;
       }
-      const std::uint8_t mask = blacklist_mask(idn);
+      const auto blacklisted = eco.blacklist.find(idn);
+      const std::uint8_t mask =
+          blacklisted == eco.blacklist.end() ? 0 : blacklisted->second;
       if (mask != 0) {
+        table_.set_blacklist_mask(id, mask);
         ++group->blacklist_total;
         if (mask & ecosystem::kBlVirusTotal) ++group->blacklist_virustotal;
         if (mask & ecosystem::kBl360) ++group->blacklist_360;
         if (mask & ecosystem::kBlBaidu) ++group->blacklist_baidu;
-        malicious_idns_.push_back(idn);
+        malicious_idns_.push_back(id);
       }
-      idns_.push_back(std::move(idn));
+      idns_.push_back(id);
     }
   }
   groups_ = {std::move(com), std::move(net), std::move(org), std::move(itld)};
 }
 
-std::vector<std::string> Study::idns_under(std::string_view tld) const {
-  std::vector<std::string> out;
+std::vector<runtime::DomainId> Study::idns_under(std::string_view tld) const {
+  std::vector<runtime::DomainId> out;
   const std::string suffix = "." + std::string(tld);
-  for (const std::string& idn : idns_) {
-    if (idn.ends_with(suffix)) {
-      out.push_back(idn);
+  for (const runtime::DomainId id : idns_) {
+    if (table_.str(id).ends_with(suffix)) {
+      out.push_back(id);
     }
   }
   return out;
 }
 
-std::vector<std::string> Study::idns_under_itlds() const {
-  std::vector<std::string> out;
-  for (const std::string& idn : idns_) {
-    const std::size_t dot = idn.rfind('.');
-    if (dot != std::string::npos &&
-        idna::has_ace_prefix(std::string_view(idn).substr(dot + 1))) {
-      out.push_back(idn);
+std::vector<runtime::DomainId> Study::idns_under_itlds() const {
+  std::vector<runtime::DomainId> out;
+  for (const runtime::DomainId id : idns_) {
+    if (table_.tld_group(id) == kTldItld) {
+      out.push_back(id);
     }
   }
   return out;
 }
 
-std::uint8_t Study::blacklist_mask(const std::string& domain) const {
-  auto it = eco_->blacklist.find(domain);
+std::uint8_t Study::blacklist_mask(std::string_view domain) const {
+  // The side table is only populated for scanned IDNs; fall back to the raw
+  // blacklist join for anything else (same verdicts as the seed pipeline).
+  if (const runtime::DomainId id = table_.find(domain);
+      id != runtime::kInvalidDomainId && table_.blacklist_mask(id) != 0) {
+    return table_.blacklist_mask(id);
+  }
+  auto it = eco_->blacklist.find(std::string(domain));
   return it == eco_->blacklist.end() ? 0 : it->second;
 }
 

@@ -4,14 +4,21 @@
 // the IDN population, and join the auxiliary sources.  Everything in
 // idnscope::core works from a Study; nothing in core reads
 // ecosystem::Ecosystem::truth (ground truth exists only for tests).
+//
+// The scan interns every discovered "sld.tld" into a shared
+// runtime::DomainTable exactly once; all downstream stages address domains
+// by runtime::DomainId and pass std::span<const DomainId> between stages,
+// resolving strings only at report boundaries (see DESIGN.md §3).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
-#include <unordered_set>
+#include <string_view>
 #include <vector>
 
 #include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/runtime/domain_table.h"
 
 namespace idnscope::core {
 
@@ -27,6 +34,12 @@ struct TldGroup {
   std::uint64_t blacklist_total = 0;
 };
 
+// Side-table values for DomainTable::tld_group, Table I row order.
+inline constexpr std::uint8_t kTldCom = 0;
+inline constexpr std::uint8_t kTldNet = 1;
+inline constexpr std::uint8_t kTldOrg = 2;
+inline constexpr std::uint8_t kTldItld = 3;
+
 class Study {
  public:
   // Scans every zone in the ecosystem and joins WHOIS + blacklists.
@@ -34,24 +47,43 @@ class Study {
 
   const ecosystem::Ecosystem& eco() const { return *eco_; }
 
-  // All IDNs discovered by zone scanning ("sld.tld"), zone order.
-  const std::vector<std::string>& idns() const { return idns_; }
+  // The interned domain universe (every registered SLD, not just IDNs).
+  const runtime::DomainTable& table() const { return table_; }
+
+  // All IDNs discovered by zone scanning, zone order.
+  std::span<const runtime::DomainId> idns() const { return idns_; }
+  std::span<const runtime::DomainId> malicious_idns() const {
+    return malicious_idns_;
+  }
+
+  // The interned "sld.tld" string for an id (valid for the Study lifetime).
+  std::string_view domain(runtime::DomainId id) const { return table_.str(id); }
+
+  // Report boundary: materialize ids back into owned strings.
+  std::vector<std::string> resolve(std::span<const runtime::DomainId> ids) const {
+    return table_.resolve(ids);
+  }
+  std::vector<std::string> idn_strings() const { return resolve(idns_); }
 
   // IDNs under one gTLD (by tld label) / under any iTLD.
-  std::vector<std::string> idns_under(std::string_view tld) const;
-  std::vector<std::string> idns_under_itlds() const;
+  std::vector<runtime::DomainId> idns_under(std::string_view tld) const;
+  std::vector<runtime::DomainId> idns_under_itlds() const;
 
-  bool is_registered(const std::string& domain) const {
-    return registered_.contains(domain);
+  bool is_registered(std::string_view domain) const {
+    const runtime::DomainId id = table_.find(domain);
+    return id != runtime::kInvalidDomainId && table_.is_registered(id);
   }
 
   // Blacklist verdict (source mask; 0 = clean).
-  std::uint8_t blacklist_mask(const std::string& domain) const;
-  bool is_malicious(const std::string& domain) const {
-    return blacklist_mask(domain) != 0;
+  std::uint8_t blacklist_mask(runtime::DomainId id) const {
+    return table_.blacklist_mask(id);
   }
-  const std::vector<std::string>& malicious_idns() const {
-    return malicious_idns_;
+  std::uint8_t blacklist_mask(std::string_view domain) const;
+  bool is_malicious(runtime::DomainId id) const {
+    return table_.blacklist_mask(id) != 0;
+  }
+  bool is_malicious(std::string_view domain) const {
+    return blacklist_mask(domain) != 0;
   }
 
   // Table I rows (com, net, org, iTLD aggregate) + total.
@@ -60,9 +92,9 @@ class Study {
 
  private:
   const ecosystem::Ecosystem* eco_;
-  std::vector<std::string> idns_;
-  std::vector<std::string> malicious_idns_;
-  std::unordered_set<std::string> registered_;
+  runtime::DomainTable table_;
+  std::vector<runtime::DomainId> idns_;
+  std::vector<runtime::DomainId> malicious_idns_;
   std::vector<TldGroup> groups_;
 };
 

@@ -1,0 +1,58 @@
+#include "idnscope/runtime/domain_table.h"
+
+#include <cstring>
+
+namespace idnscope::runtime {
+
+std::string_view DomainTable::store(std::string_view domain) {
+  if (domain.size() > kChunkSize) {
+    // Oversized strings (never real domains, but stay safe) get a private
+    // chunk so the bump allocator's invariants hold.
+    auto chunk = std::make_unique<char[]>(domain.size());
+    std::memcpy(chunk.get(), domain.data(), domain.size());
+    std::string_view view(chunk.get(), domain.size());
+    // Insert before the active chunk so chunk_used_ keeps describing back().
+    chunks_.insert(chunks_.empty() ? chunks_.end() : chunks_.end() - 1,
+                   std::move(chunk));
+    return view;
+  }
+  if (chunk_used_ + domain.size() > kChunkSize) {
+    chunks_.push_back(std::make_unique<char[]>(kChunkSize));
+    chunk_used_ = 0;
+  }
+  char* dest = chunks_.back().get() + chunk_used_;
+  std::memcpy(dest, domain.data(), domain.size());
+  chunk_used_ += domain.size();
+  return std::string_view(dest, domain.size());
+}
+
+DomainId DomainTable::intern(std::string_view domain) {
+  if (auto it = index_.find(domain); it != index_.end()) {
+    return it->second;
+  }
+  const std::string_view stored = store(domain);
+  const DomainId id = static_cast<DomainId>(entries_.size());
+  entries_.push_back(stored);
+  tld_group_.push_back(0);
+  blacklist_mask_.push_back(0);
+  flags_.push_back(0);
+  index_.emplace(stored, id);
+  return id;
+}
+
+DomainId DomainTable::find(std::string_view domain) const {
+  auto it = index_.find(domain);
+  return it == index_.end() ? kInvalidDomainId : it->second;
+}
+
+std::vector<std::string> DomainTable::resolve(
+    std::span<const DomainId> ids) const {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (DomainId id : ids) {
+    out.emplace_back(entries_[id]);
+  }
+  return out;
+}
+
+}  // namespace idnscope::runtime

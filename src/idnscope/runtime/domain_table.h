@@ -1,0 +1,102 @@
+// DomainTable: the pipeline's shared, interned view of the domain space.
+//
+// Every "sld.tld" discovered during the zone scan is interned exactly once
+// into a chunked character arena and addressed by a stable 32-bit DomainId.
+// Analysis stages pass std::span<const DomainId> around instead of copying
+// std::vector<std::string> per stage; strings are resolved back only at
+// report boundaries.  Side tables carry the per-domain facts every stage
+// needs (TLD group, blacklist source mask, registered/IDN flags) as flat
+// arrays indexed by DomainId, so joins are O(1) loads instead of hash
+// probes on full strings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace idnscope::runtime {
+
+using DomainId = std::uint32_t;
+inline constexpr DomainId kInvalidDomainId = 0xFFFFFFFFu;
+
+class DomainTable {
+ public:
+  DomainTable() = default;
+
+  // Non-copyable (the lookup map holds views into the arena); movable.
+  DomainTable(const DomainTable&) = delete;
+  DomainTable& operator=(const DomainTable&) = delete;
+  DomainTable(DomainTable&&) = default;
+  DomainTable& operator=(DomainTable&&) = default;
+
+  // Intern `domain`, returning its stable id.  Re-interning an existing
+  // string returns the original id; side-table values are preserved.
+  DomainId intern(std::string_view domain);
+
+  // Id of an already-interned string, or kInvalidDomainId.
+  DomainId find(std::string_view domain) const;
+  bool contains(std::string_view domain) const {
+    return find(domain) != kInvalidDomainId;
+  }
+
+  // The interned string.  Views stay valid for the table's lifetime.
+  std::string_view str(DomainId id) const { return entries_[id]; }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // --- side tables (defaults: group 0, mask 0, no flags) -----------------
+  void set_tld_group(DomainId id, std::uint8_t group) {
+    tld_group_[id] = group;
+  }
+  std::uint8_t tld_group(DomainId id) const { return tld_group_[id]; }
+
+  void set_blacklist_mask(DomainId id, std::uint8_t mask) {
+    blacklist_mask_[id] = mask;
+  }
+  std::uint8_t blacklist_mask(DomainId id) const { return blacklist_mask_[id]; }
+
+  void set_registered(DomainId id, bool registered) {
+    set_flag(id, kRegisteredFlag, registered);
+  }
+  bool is_registered(DomainId id) const { return flags_[id] & kRegisteredFlag; }
+
+  void set_idn(DomainId id, bool idn) { set_flag(id, kIdnFlag, idn); }
+  bool is_idn(DomainId id) const { return flags_[id] & kIdnFlag; }
+
+  // Report boundary: materialize a span of ids back into owned strings.
+  std::vector<std::string> resolve(std::span<const DomainId> ids) const;
+
+ private:
+  static constexpr std::uint8_t kRegisteredFlag = 1;
+  static constexpr std::uint8_t kIdnFlag = 2;
+  static constexpr std::size_t kChunkSize = 1u << 16;
+
+  void set_flag(DomainId id, std::uint8_t flag, bool value) {
+    if (value) {
+      flags_[id] |= flag;
+    } else {
+      flags_[id] &= static_cast<std::uint8_t>(~flag);
+    }
+  }
+
+  // Copy `domain` into the arena; the returned view is stable forever
+  // (chunks are never reallocated, only appended).
+  std::string_view store(std::string_view domain);
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t chunk_used_ = kChunkSize;  // current chunk fill (full = none yet)
+
+  std::vector<std::string_view> entries_;             // DomainId -> string
+  std::unordered_map<std::string_view, DomainId> index_;  // string -> DomainId
+
+  std::vector<std::uint8_t> tld_group_;
+  std::vector<std::uint8_t> blacklist_mask_;
+  std::vector<std::uint8_t> flags_;
+};
+
+}  // namespace idnscope::runtime

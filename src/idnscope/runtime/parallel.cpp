@@ -1,0 +1,20 @@
+#include "idnscope/runtime/parallel.h"
+
+namespace idnscope::runtime {
+
+unsigned resolve_threads(unsigned threads, std::size_t items) {
+  if (items <= 1) {
+    return 1;
+  }
+  unsigned workers =
+      threads != 0 ? threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, kMaxThreads);
+  // Never spawn more workers than there are items to process.
+  if (items < workers) {
+    workers = static_cast<unsigned>(items);
+  }
+  return std::max(1u, workers);
+}
+
+}  // namespace idnscope::runtime

@@ -1,0 +1,117 @@
+// Deterministic parallel executor for the analysis pipeline.
+//
+// Work over an index range is split into fixed-size chunks that do NOT
+// depend on the worker count; workers claim chunks dynamically (so skewed
+// per-item cost still balances) and reductions fold per-chunk partials in
+// chunk order on the calling thread.  Consequence: parallel_for into
+// per-index slots and parallel_reduce both produce bit-for-bit identical
+// results at any `threads` value — the determinism contract of DESIGN.md §6
+// extends to the whole parallel pipeline, not just the generators.
+//
+// `threads` knob convention (used by every analysis options struct):
+//   0  = one worker per hardware thread (capped at kMaxThreads)
+//   n  = exactly n workers, clamped to the number of items so tiny inputs
+//        never spawn idle threads.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace idnscope::runtime {
+
+inline constexpr unsigned kMaxThreads = 32;
+
+// Items processed per chunk claim.  Fixed (never derived from the worker
+// count) so chunk boundaries — and therefore reduction order — are a pure
+// function of the item count.
+inline constexpr std::size_t kParallelChunk = 64;
+
+// Resolve a `threads` knob against the actual amount of work.
+unsigned resolve_threads(unsigned threads, std::size_t items);
+
+// Invoke fn(i) for every i in [0, count).  fn runs concurrently; callers
+// must only write state owned by index i (e.g. out[i]).  Exceptions from fn
+// are rethrown on the calling thread (first one wins).
+template <typename Fn>
+void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
+  const unsigned workers = resolve_threads(threads, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto work = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t begin =
+          next.fetch_add(kParallelChunk, std::memory_order_relaxed);
+      if (begin >= count) {
+        return;
+      }
+      const std::size_t end = std::min(count, begin + kParallelChunk);
+      try {
+        for (std::size_t i = begin; i < end; ++i) {
+          fn(i);
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) {
+            error = std::current_exception();
+          }
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned i = 1; i < workers; ++i) {
+    pool.emplace_back(work);
+  }
+  work();
+  for (std::thread& thread : pool) {
+    thread.join();
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+// Fold map(i) over [0, count) into an accumulator of type T.
+// combine(acc, value) is applied left-to-right within each fixed chunk, and
+// the per-chunk partials are combined left-to-right in chunk order — so the
+// association is fixed and the result is identical at any thread count,
+// even for non-associative operations like floating-point addition.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t count, unsigned threads, T identity, Map&& map,
+                  Combine&& combine) {
+  const std::size_t chunks = (count + kParallelChunk - 1) / kParallelChunk;
+  std::vector<T> partials(chunks, identity);
+  parallel_for(chunks, threads, [&](std::size_t c) {
+    const std::size_t begin = c * kParallelChunk;
+    const std::size_t end = std::min(count, begin + kParallelChunk);
+    T acc = identity;
+    for (std::size_t i = begin; i < end; ++i) {
+      acc = combine(std::move(acc), map(i));
+    }
+    partials[c] = std::move(acc);
+  });
+  T result = std::move(identity);
+  for (T& partial : partials) {
+    result = combine(std::move(result), std::move(partial));
+  }
+  return result;
+}
+
+}  // namespace idnscope::runtime

@@ -70,7 +70,7 @@ TEST(Type2, DictionaryCoversTableX) {
 
 TEST(Type2, FindsAllGeneratorPlants) {
   const Type2Detector detector;
-  const auto matches = detector.scan(tiny_study().idns());
+  const auto matches = detector.scan(tiny_study().table(), tiny_study().idns());
   std::set<std::string> matched;
   for (const Type2Match& match : matches) {
     matched.insert(match.domain);
@@ -87,7 +87,7 @@ TEST(Type2, FindsAllGeneratorPlants) {
 
 TEST(Type2, MatchedBrandAgreesWithPlantTarget) {
   const Type2Detector detector;
-  for (const Type2Match& match : detector.scan(tiny_study().idns())) {
+  for (const Type2Match& match : detector.scan(tiny_study().table(), tiny_study().idns())) {
     auto it = tiny_eco().truth.find(match.domain);
     ASSERT_NE(it, tiny_eco().truth.end());
     if (it->second.abuse == ecosystem::AbuseKind::kSemanticT2) {

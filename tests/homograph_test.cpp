@@ -65,7 +65,7 @@ TEST(Homograph, RejectsLengthMismatch) {
 
 TEST(Homograph, FindsAllPlantedIdenticalHomographs) {
   // Every identical-class plant must be recalled (SSIM is exactly 1.0).
-  const auto matches = detector().scan(tiny_study().idns());
+  const auto matches = detector().scan(tiny_study().table(), tiny_study().idns());
   std::set<std::string> matched;
   for (const HomographMatch& match : matches) {
     matched.insert(match.domain);
@@ -79,7 +79,7 @@ TEST(Homograph, FindsAllPlantedIdenticalHomographs) {
 }
 
 TEST(Homograph, HighRecallOnAllPlants) {
-  const auto matches = detector().scan(tiny_study().idns());
+  const auto matches = detector().scan(tiny_study().table(), tiny_study().idns());
   std::set<std::string> matched;
   for (const HomographMatch& match : matches) {
     matched.insert(match.domain);
@@ -100,7 +100,7 @@ TEST(Homograph, HighRecallOnAllPlants) {
 }
 
 TEST(Homograph, MatchedBrandAgreesWithPlantTarget) {
-  const auto matches = detector().scan(tiny_study().idns());
+  const auto matches = detector().scan(tiny_study().table(), tiny_study().idns());
   for (const HomographMatch& match : matches) {
     auto it = tiny_eco().truth.find(match.domain);
     ASSERT_NE(it, tiny_eco().truth.end());
@@ -116,7 +116,7 @@ TEST(Homograph, PrefilterMatchesExhaustiveScan) {
   std::vector<std::string> slice;
   for (std::size_t i = 0; i < tiny_study().idns().size() && slice.size() < 400;
        i += 3) {
-    slice.push_back(tiny_study().idns()[i]);
+    slice.emplace_back(tiny_study().domain(tiny_study().idns()[i]));
   }
   HomographOptions exhaustive;
   exhaustive.use_prefilter = false;
@@ -137,7 +137,8 @@ TEST(Homograph, ThresholdIsRespected) {
   HomographOptions strict;
   strict.threshold = 0.999;
   const HomographDetector high_bar(ecosystem::alexa_top1k(), strict);
-  for (const HomographMatch& match : high_bar.scan(tiny_study().idns())) {
+  for (const HomographMatch& match :
+       high_bar.scan(tiny_study().table(), tiny_study().idns())) {
     EXPECT_GE(match.ssim, 0.999);
     EXPECT_TRUE(match.identical);
   }

@@ -1,0 +1,186 @@
+// Runtime layer tests: DomainTable interning and the determinism contract
+// of the shared parallel executor (results identical at 1, 2 and 8 threads).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "idnscope/core/availability.h"
+#include "idnscope/core/homograph.h"
+#include "idnscope/runtime/domain_table.h"
+#include "idnscope/runtime/parallel.h"
+
+namespace idnscope {
+namespace {
+
+TEST(DomainTable, InternLookupRoundTrip) {
+  runtime::DomainTable table;
+  std::vector<runtime::DomainId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(table.intern("domain-" + std::to_string(i) + ".com"));
+  }
+  ASSERT_EQ(table.size(), 5000U);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string expected = "domain-" + std::to_string(i) + ".com";
+    EXPECT_EQ(table.str(ids[i]), expected);
+    EXPECT_EQ(table.find(expected), ids[i]);
+  }
+  EXPECT_EQ(table.find("never-interned.org"), runtime::kInvalidDomainId);
+  EXPECT_FALSE(table.contains("never-interned.org"));
+}
+
+TEST(DomainTable, ReinternReturnsSameIdAndKeepsSideTables) {
+  runtime::DomainTable table;
+  const runtime::DomainId id = table.intern("xn--74h.net");
+  table.set_tld_group(id, 1);
+  table.set_blacklist_mask(id, 5);
+  table.set_registered(id, true);
+  table.set_idn(id, true);
+  EXPECT_EQ(table.intern("xn--74h.net"), id);
+  EXPECT_EQ(table.size(), 1U);
+  EXPECT_EQ(table.tld_group(id), 1);
+  EXPECT_EQ(table.blacklist_mask(id), 5);
+  EXPECT_TRUE(table.is_registered(id));
+  EXPECT_TRUE(table.is_idn(id));
+  table.set_registered(id, false);
+  EXPECT_FALSE(table.is_registered(id));
+  EXPECT_TRUE(table.is_idn(id));  // flags are independent bits
+}
+
+TEST(DomainTable, ViewsStayStableAcrossArenaGrowth) {
+  runtime::DomainTable table;
+  const std::string_view first = table.str(table.intern("first.com"));
+  // Force many chunk allocations.
+  for (int i = 0; i < 20000; ++i) {
+    table.intern("filler-" + std::to_string(i) + ".example.org");
+  }
+  EXPECT_EQ(first, "first.com");
+  EXPECT_EQ(table.find("first.com"), 0U);
+}
+
+TEST(DomainTable, ResolveMaterializesInOrder) {
+  runtime::DomainTable table;
+  const runtime::DomainId a = table.intern("a.com");
+  const runtime::DomainId b = table.intern("b.net");
+  const std::vector<runtime::DomainId> ids{b, a, b};
+  const auto strings = table.resolve(ids);
+  ASSERT_EQ(strings.size(), 3U);
+  EXPECT_EQ(strings[0], "b.net");
+  EXPECT_EQ(strings[1], "a.com");
+  EXPECT_EQ(strings[2], "b.net");
+}
+
+TEST(Parallel, ResolveThreadsClampsToItems) {
+  EXPECT_EQ(runtime::resolve_threads(8, 3), 3U);
+  EXPECT_EQ(runtime::resolve_threads(8, 0), 1U);
+  EXPECT_EQ(runtime::resolve_threads(8, 1), 1U);
+  EXPECT_EQ(runtime::resolve_threads(2, 1000), 2U);
+  EXPECT_GE(runtime::resolve_threads(0, 1000), 1U);
+  EXPECT_LE(runtime::resolve_threads(0, 1000), runtime::kMaxThreads);
+}
+
+TEST(Parallel, ForCoversEveryIndexOnce) {
+  for (unsigned threads : {1U, 2U, 8U}) {
+    std::vector<int> hits(10007, 0);
+    runtime::parallel_for(hits.size(), threads,
+                          [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(hits.size()))
+        << "threads=" << threads;
+    for (int hit : hits) {
+      ASSERT_EQ(hit, 1);
+    }
+  }
+}
+
+TEST(Parallel, FloatReductionIsBitIdenticalAcrossThreadCounts) {
+  // Non-associative combine (double addition): the fixed chunking must make
+  // the result a pure function of the item count.
+  auto run = [](unsigned threads) {
+    return runtime::parallel_reduce(
+        100000, threads, 0.0,
+        [](std::size_t i) { return 1.0 / static_cast<double>(i + 1); },
+        [](double a, double b) { return a + b; });
+  };
+  const double at1 = run(1);
+  const double at2 = run(2);
+  const double at8 = run(8);
+  EXPECT_EQ(at1, at2);  // bit-for-bit, not EXPECT_NEAR
+  EXPECT_EQ(at1, at8);
+}
+
+TEST(Parallel, ForPropagatesExceptions) {
+  EXPECT_THROW(
+      runtime::parallel_for(1000, 4,
+                            [](std::size_t i) {
+                              if (i == 777) {
+                                throw std::runtime_error("boom");
+                              }
+                            }),
+      std::runtime_error);
+}
+
+// --- end-to-end determinism over the real pipeline -------------------------
+
+const ecosystem::Ecosystem& tiny_eco() {
+  static const ecosystem::Ecosystem eco =
+      ecosystem::generate(ecosystem::Scenario::tiny());
+  return eco;
+}
+
+const core::Study& tiny_study() {
+  static const core::Study study(tiny_eco());
+  return study;
+}
+
+TEST(RuntimeDeterminism, HomographScanIdenticalAt1_2_8Threads) {
+  std::vector<std::vector<core::HomographMatch>> runs;
+  for (unsigned threads : {1U, 2U, 8U}) {
+    core::HomographOptions options;
+    options.threads = threads;
+    const core::HomographDetector detector(ecosystem::alexa_top(200), options);
+    runs.push_back(detector.scan(tiny_study().table(), tiny_study().idns()));
+  }
+  ASSERT_FALSE(runs[0].empty());
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[run][i].domain, runs[0][i].domain);
+      EXPECT_EQ(runs[run][i].brand, runs[0][i].brand);
+      EXPECT_EQ(runs[run][i].ssim, runs[0][i].ssim);  // bit-for-bit
+      EXPECT_EQ(runs[run][i].identical, runs[0][i].identical);
+    }
+  }
+}
+
+TEST(RuntimeDeterminism, AvailabilitySweepIdenticalAt1_2_8Threads) {
+  std::vector<core::AvailabilityReport> runs;
+  for (unsigned threads : {1U, 2U, 8U}) {
+    core::AvailabilityOptions options;
+    options.threads = threads;
+    runs.push_back(core::availability_sweep(tiny_study(),
+                                            ecosystem::alexa_top(12), options));
+  }
+  ASSERT_FALSE(runs[0].per_brand.empty());
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    EXPECT_EQ(runs[run].total_candidates, runs[0].total_candidates);
+    EXPECT_EQ(runs[run].total_homographic, runs[0].total_homographic);
+    EXPECT_EQ(runs[run].total_registered, runs[0].total_registered);
+    ASSERT_EQ(runs[run].per_brand.size(), runs[0].per_brand.size());
+    for (std::size_t i = 0; i < runs[0].per_brand.size(); ++i) {
+      EXPECT_EQ(runs[run].per_brand[i].brand, runs[0].per_brand[i].brand);
+      EXPECT_EQ(runs[run].per_brand[i].candidates,
+                runs[0].per_brand[i].candidates);
+      EXPECT_EQ(runs[run].per_brand[i].homographic,
+                runs[0].per_brand[i].homographic);
+      EXPECT_EQ(runs[run].per_brand[i].registered,
+                runs[0].per_brand[i].registered);
+      EXPECT_EQ(runs[run].per_brand[i].available_samples,
+                runs[0].per_brand[i].available_samples);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idnscope

@@ -83,7 +83,7 @@ TEST(Semantic, RejectsHomographs) {
 }
 
 TEST(Semantic, FindsAllPlants) {
-  const auto matches = detector().scan(tiny_study().idns());
+  const auto matches = detector().scan(tiny_study().table(), tiny_study().idns());
   std::set<std::string> matched;
   for (const SemanticMatch& match : matches) {
     matched.insert(match.domain);
@@ -96,7 +96,7 @@ TEST(Semantic, FindsAllPlants) {
 }
 
 TEST(Semantic, MatchedBrandAgreesWithPlantTarget) {
-  for (const SemanticMatch& match : detector().scan(tiny_study().idns())) {
+  for (const SemanticMatch& match : detector().scan(tiny_study().table(), tiny_study().idns())) {
     auto it = tiny_eco().truth.find(match.domain);
     ASSERT_NE(it, tiny_eco().truth.end());
     if (it->second.abuse == ecosystem::AbuseKind::kSemanticT1) {

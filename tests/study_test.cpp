@@ -20,8 +20,8 @@ const Study& tiny_study() {
 }
 
 TEST(Study, ZoneScanRecoversGeneratedIdns) {
-  const std::set<std::string> scanned(tiny_study().idns().begin(),
-                                      tiny_study().idns().end());
+  const auto idn_strings = tiny_study().idn_strings();
+  const std::set<std::string> scanned(idn_strings.begin(), idn_strings.end());
   const std::set<std::string> generated(tiny_eco().idns.begin(),
                                         tiny_eco().idns.end());
   EXPECT_EQ(scanned, generated);
@@ -54,10 +54,12 @@ TEST(Study, FourGroupsInTableOrder) {
 TEST(Study, BlacklistJoinMatchesEcosystem) {
   const Study& study = tiny_study();
   std::size_t malicious = 0;
-  for (const std::string& idn : study.idns()) {
-    if (study.is_malicious(idn)) {
+  for (const runtime::DomainId id : study.idns()) {
+    if (study.is_malicious(id)) {
       ++malicious;
-      EXPECT_NE(study.blacklist_mask(idn), 0U);
+      EXPECT_NE(study.blacklist_mask(id), 0U);
+      // The id-based verdict agrees with the string-based join.
+      EXPECT_EQ(study.blacklist_mask(id), study.blacklist_mask(study.domain(id)));
     }
   }
   EXPECT_EQ(malicious, study.malicious_idns().size());
@@ -75,8 +77,8 @@ TEST(Study, SourceCountsAtLeastTotal) {
 TEST(Study, IdnsUnderFiltersByTld) {
   const Study& study = tiny_study();
   const auto com = study.idns_under("com");
-  for (const std::string& domain : com) {
-    EXPECT_TRUE(domain.ends_with(".com"));
+  for (const runtime::DomainId id : com) {
+    EXPECT_TRUE(study.domain(id).ends_with(".com"));
   }
   const auto itld = study.idns_under_itlds();
   EXPECT_EQ(itld.size(), study.tld_groups()[3].idn_count);
