@@ -15,6 +15,7 @@
 #include "idnscope/core/study.h"
 #include "idnscope/ecosystem/ecosystem.h"
 #include "idnscope/ecosystem/paper.h"
+#include "idnscope/obs/export.h"
 #include "idnscope/runtime/parallel.h"
 #include "idnscope/stats/table.h"
 
@@ -48,6 +49,9 @@ class Stopwatch {
 // Machine-readable timing record. Written to stderr (stdout stays
 // byte-identical across thread counts — it carries only study results) and
 // mirrored to BENCH_<name>.json in the working directory for harnesses.
+// Also dumps the metrics-registry snapshot (METRICS_<name>.json, stderr
+// METRICS_JSON/TRACE_JSON lines); CI diffs the snapshot across thread
+// counts to enforce the determinism contract (docs/OBSERVABILITY.md).
 inline void emit_bench_json(const char* name, double wall_ms,
                             unsigned threads) {
   const unsigned resolved =
@@ -63,6 +67,7 @@ inline void emit_bench_json(const char* name, double wall_ms,
     std::fprintf(out, "%s\n", line);
     std::fclose(out);
   }
+  obs::emit_metrics(name);
 }
 
 inline ecosystem::Scenario bench_scenario() {

@@ -13,6 +13,7 @@ int main() {
                       "through a registry-side resemblance check "
                       "(visual SSIM + Type-1 semantic rule)",
                       scenario);
+  const bench::Stopwatch stopwatch;
   bench::World world(scenario);
   const core::BrandProtectionGate gate(ecosystem::alexa_top1k());
 
@@ -69,5 +70,7 @@ int main() {
       "note: generic malicious IDNs (gambling promotion etc.) do not "
       "impersonate brands and are invisible to this gate, so blacklists "
       "remain necessary.\n");
+  bench::emit_bench_json("ext_brand_protection", stopwatch.elapsed_ms(),
+                         bench::bench_threads());
   return 0;
 }

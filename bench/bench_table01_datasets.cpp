@@ -7,6 +7,7 @@ int main() {
   const auto scenario = bench::bench_scenario();
   bench::print_header("Table I", "Datasets collected per TLD group",
                       scenario);
+  const bench::Stopwatch stopwatch;
   bench::World world(scenario);
 
   stats::Table table({"TLD", "# SLD", "# IDN", "WHOIS", "VirusTotal", "360",
@@ -59,5 +60,7 @@ int main() {
   std::printf("blacklisted IDNs: measured %.2f%%, paper 0.42%%\n",
               100.0 * static_cast<double>(total.blacklist_total) /
                   static_cast<double>(total.idn_count));
+  bench::emit_bench_json("table01_datasets", stopwatch.elapsed_ms(),
+                         bench::bench_threads());
   return 0;
 }

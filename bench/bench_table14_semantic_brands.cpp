@@ -10,6 +10,7 @@ int main() {
                       "Type-1 semantic IDNs per brand (strip non-ASCII; "
                       "ASCII part must equal a brand domain)",
                       scenario);
+  const bench::Stopwatch stopwatch;
   bench::World world(scenario);
 
   core::SemanticDetector detector(ecosystem::alexa_top1k());
@@ -49,5 +50,7 @@ int main() {
       static_cast<unsigned long long>(report.personal_email),
       stats::format_count(paper::kSemanticPersonalEmail).c_str(),
       static_cast<unsigned long long>(report.blacklisted));
+  bench::emit_bench_json("table14_semantic_brands", stopwatch.elapsed_ms(),
+                         bench::bench_threads());
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "idnscope/core/ssl_study.h"
 #include "idnscope/core/study.h"
 #include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/obs/export.h"
 
 using namespace idnscope;
 
@@ -113,5 +114,8 @@ int main(int argc, char** argv) {
     out << core::build_markdown_report(study);
     std::printf("\nfull markdown report written to %s\n", argv[3]);
   }
+  // Pipeline-effort snapshot (stderr + METRICS_ecosystem_report.json);
+  // stdout above stays byte-identical across thread counts.
+  obs::emit_metrics("ecosystem_report");
   return 0;
 }

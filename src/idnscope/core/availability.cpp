@@ -3,11 +3,35 @@
 #include <cstdlib>
 
 #include "idnscope/idna/lookalike.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
 #include "idnscope/runtime/parallel.h"
 
 namespace idnscope::core {
 
 namespace {
+
+// Sweep effort counters (Fig 7 provenance).  Counted exactly once, at the
+// per-candidate decision sites inside sweep_brand()/candidate_traffic() —
+// never in the parallel dispatch wrapper — so the executor's serial
+// fallback for small brand lists tallies identically to the threaded path
+// (regression-tested in tests/obs_test.cpp).  Both entry points do real
+// render+SSIM work, so both report into the same cells.
+struct SweepMetrics {
+  obs::Counter candidates =
+      obs::Registry::global().counter("core.availability.candidates");
+  obs::Counter prefilter_skips =
+      obs::Registry::global().counter("core.availability.prefilter_skips");
+  obs::Counter ssim_evaluations =
+      obs::Registry::global().counter("core.availability.ssim_evaluations");
+  obs::Counter homographic =
+      obs::Registry::global().counter("core.availability.homographic");
+};
+
+SweepMetrics& sweep_metrics() {
+  static SweepMetrics metrics;
+  return metrics;
+}
 
 bool eligible_brand(const ecosystem::Brand& brand) {
   const std::string_view suffix =
@@ -62,17 +86,21 @@ BrandAvailability sweep_brand(const ecosystem::Brand& brand,
   }
   const std::vector<int> brand_profile = render::column_profile(brand_u32);
 
+  SweepMetrics& metrics = sweep_metrics();
   for (const auto& candidate :
        idna::single_substitution_candidates(brand.domain)) {
     ++row.candidates;
+    metrics.candidates.add(1);
     const std::u32string display = candidate_display(candidate, brand.domain);
     if (options.profile_budget > 0 &&
         profile_l1(render::column_profile(display), brand_profile) >
             options.profile_budget) {
+      metrics.prefilter_skips.add(1);
       continue;  // cannot reach the SSIM threshold (bound tested)
     }
     const render::GrayImage image =
         render::render_label(display, options.render);
+    metrics.ssim_evaluations.add(1);
     if (brand_image.compare(image,
                             changed_begin(candidate.position, options.render),
                             changed_end(candidate.position, options.render)) <
@@ -80,6 +108,7 @@ BrandAvailability sweep_brand(const ecosystem::Brand& brand,
       continue;
     }
     ++row.homographic;
+    metrics.homographic.add(1);
     if (study.is_registered(candidate.ace_domain)) {
       ++row.registered;
     } else if (row.available_samples.size() < 3) {
@@ -94,6 +123,7 @@ BrandAvailability sweep_brand(const ecosystem::Brand& brand,
 AvailabilityReport availability_sweep(const Study& study,
                                       std::span<const ecosystem::Brand> brands,
                                       const AvailabilityOptions& options) {
+  const obs::StageTimer stage("core.availability.sweep");
   std::vector<const ecosystem::Brand*> eligible;
   for (const ecosystem::Brand& brand : brands) {
     if (eligible_brand(brand)) {
@@ -119,6 +149,8 @@ AvailabilityReport availability_sweep(const Study& study,
 CandidateTraffic candidate_traffic(const Study& study,
                                    std::span<const ecosystem::Brand> brands,
                                    const AvailabilityOptions& options) {
+  const obs::StageTimer stage("core.availability.traffic");
+  SweepMetrics& metrics = sweep_metrics();
   CandidateTraffic traffic;
   const dns::PassiveDnsDb& pdns = study.eco().pdns;
   for (const ecosystem::Brand& brand : brands) {
@@ -134,20 +166,24 @@ CandidateTraffic candidate_traffic(const Study& study,
     const std::vector<int> brand_profile = render::column_profile(brand_u32);
     for (const auto& candidate :
          idna::single_substitution_candidates(brand.domain)) {
+      metrics.candidates.add(1);
       const std::u32string display = candidate_display(candidate, brand.domain);
       if (options.profile_budget > 0 &&
           profile_l1(render::column_profile(display), brand_profile) >
               options.profile_budget) {
+        metrics.prefilter_skips.add(1);
         continue;
       }
       const render::GrayImage image =
           render::render_label(display, options.render);
+      metrics.ssim_evaluations.add(1);
       if (brand_image.compare(
               image, changed_begin(candidate.position, options.render),
               changed_end(candidate.position, options.render)) <
           options.threshold) {
         continue;
       }
+      metrics.homographic.add(1);
       const dns::DnsAggregate* aggregate = pdns.lookup(candidate.ace_domain);
       const double queries =
           aggregate == nullptr ? 0.0

@@ -1,11 +1,39 @@
 #include "idnscope/core/brand_protection.h"
 
 #include "idnscope/idna/idna.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
 #include "idnscope/runtime/parallel.h"
 #include "idnscope/stats/table.h"
 #include "idnscope/unicode/utf8.h"
 
 namespace idnscope::core {
+
+namespace {
+
+// Gate effort.  `checks` and the verdict counters tick once per check();
+// `audited` ticks once per audited domain, at the per-domain body shared by
+// the serial loop and the executor's map function, so audits tally
+// identically at any thread count (including the serial fallback).
+struct GateMetrics {
+  obs::Counter checks =
+      obs::Registry::global().counter("core.brand_protection.checks");
+  obs::Counter rejected_visual =
+      obs::Registry::global().counter("core.brand_protection.rejected_visual");
+  obs::Counter rejected_semantic = obs::Registry::global().counter(
+      "core.brand_protection.rejected_semantic");
+  obs::Counter rejected_invalid = obs::Registry::global().counter(
+      "core.brand_protection.rejected_invalid");
+  obs::Counter audited =
+      obs::Registry::global().counter("core.brand_protection.audited");
+};
+
+GateMetrics& gate_metrics() {
+  static GateMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 std::string_view verdict_name(RegistrationVerdict verdict) {
   switch (verdict) {
@@ -31,15 +59,19 @@ BrandProtectionGate::BrandProtectionGate(
 RegistrationDecision BrandProtectionGate::check(
     std::string_view label_utf8, std::string_view tld,
     std::string_view registrant_email) const {
+  GateMetrics& metrics = gate_metrics();
+  metrics.checks.add(1);
   RegistrationDecision decision;
   auto decoded = unicode::decode(label_utf8);
   if (!decoded.ok()) {
+    metrics.rejected_invalid.add(1);
     decision.verdict = RegistrationVerdict::kRejectInvalid;
     decision.detail = "label is not valid UTF-8";
     return decision;
   }
   auto ace = idna::label_to_ascii(decoded.value());
   if (!ace.ok()) {
+    metrics.rejected_invalid.add(1);
     decision.verdict = RegistrationVerdict::kRejectInvalid;
     decision.detail = "label fails IDNA validation: " + ace.error().message;
     return decision;
@@ -53,6 +85,7 @@ RegistrationDecision BrandProtectionGate::check(
 
   if (auto match = homograph_.best_match(domain)) {
     if (!owner_allowed(match->brand)) {
+      metrics.rejected_visual.add(1);
       decision.verdict = RegistrationVerdict::kRejectVisual;
       decision.matched_brand = match->brand;
       decision.ssim = match->ssim;
@@ -63,6 +96,7 @@ RegistrationDecision BrandProtectionGate::check(
   }
   if (auto match = semantic_.match(domain)) {
     if (!owner_allowed(match->brand)) {
+      metrics.rejected_semantic.add(1);
       decision.verdict = RegistrationVerdict::kRejectSemantic;
       decision.matched_brand = match->brand;
       decision.detail = "composes brand '" + match->brand + "' with keyword '" +
@@ -89,8 +123,10 @@ BrandProtectionGate::AuditResult combine_audits(
 
 BrandProtectionGate::AuditResult BrandProtectionGate::audit(
     std::span<const std::string> ace_domains) const {
+  const obs::StageTimer stage("core.brand_protection.audit");
   AuditResult result;
   for (const std::string& domain : ace_domains) {
+    gate_metrics().audited.add(1);
     ++result.total;
     if (auto match = homograph_.best_match(domain)) {
       ++result.rejected_visual;
@@ -106,9 +142,11 @@ BrandProtectionGate::AuditResult BrandProtectionGate::audit(
 BrandProtectionGate::AuditResult BrandProtectionGate::audit(
     const runtime::DomainTable& table,
     std::span<const runtime::DomainId> ace_domains, unsigned threads) const {
+  const obs::StageTimer stage("core.brand_protection.audit");
   return runtime::parallel_reduce(
       ace_domains.size(), threads, AuditResult{},
       [&](std::size_t i) {
+        gate_metrics().audited.add(1);
         AuditResult one;
         one.total = 1;
         const std::string_view domain = table.str(ace_domains[i]);

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "idnscope/idna/idna.h"
+#include "idnscope/obs/trace.h"
 #include "idnscope/runtime/parallel.h"
 #include "idnscope/unicode/utf8.h"
 
@@ -39,7 +40,16 @@ std::optional<std::u32string> display_form(std::string_view ace_domain) {
 
 HomographDetector::HomographDetector(
     std::span<const ecosystem::Brand> brands, HomographOptions options)
-    : options_(options) {
+    : options_(options),
+      ssim_evaluations_(
+          obs::Registry::global().counter("core.homograph.ssim_evaluations")),
+      prefilter_skips_(
+          obs::Registry::global().counter("core.homograph.prefilter_skips")),
+      domains_scanned_(
+          obs::Registry::global().counter("core.homograph.domains_scanned")),
+      matches_(obs::Registry::global().counter("core.homograph.matches")),
+      ssim_score_(obs::Registry::global().histogram(
+          "core.homograph.ssim_score", {0.5, 0.8, 0.9, 0.95, 0.99})) {
   for (const ecosystem::Brand& brand : brands) {
     const std::size_t length = brand.domain.size();
     if (by_length_.size() <= length) {
@@ -75,14 +85,19 @@ std::optional<HomographMatch> HomographDetector::best_match(
     }
     if (options_.use_prefilter &&
         profile_l1(profile, brand.profile) > options_.profile_budget) {
-      prefilter_skips_.fetch_add(1, std::memory_order_relaxed);
+      prefilter_skips_.add(1);
       continue;
     }
     if (!image) {
       image = render::render_label(*display, options_.render);
     }
-    ssim_evaluations_.fetch_add(1, std::memory_order_relaxed);
+    // Effort is tallied here and only here: scan() wrappers — serial,
+    // parallel, and the executor's serial fallback — all funnel through
+    // best_match, so no execution path can double-count an evaluation
+    // (regression-tested in tests/obs_test.cpp).
+    ssim_evaluations_.add(1);
     const double score = render::ssim(*image, brand.image, options_.ssim);
+    ssim_score_.observe(score);
     if (score > best.ssim) {
       best.ssim = score;
       best.brand = brand.brand.domain;
@@ -91,6 +106,7 @@ std::optional<HomographMatch> HomographDetector::best_match(
   if (best.brand.empty() || best.ssim < options_.threshold) {
     return std::nullopt;
   }
+  matches_.add(1);
   best.domain = std::string(ace_domain);
   best.identical = best.ssim >= 1.0 - 1e-9;
   return best;
@@ -98,6 +114,8 @@ std::optional<HomographMatch> HomographDetector::best_match(
 
 std::vector<HomographMatch> HomographDetector::scan(
     std::span<const std::string> domains) const {
+  const obs::StageTimer stage("core.homograph.scan");
+  domains_scanned_.add(domains.size());
   std::vector<HomographMatch> matches;
   for (const std::string& domain : domains) {
     if (auto match = best_match(domain)) {
@@ -110,6 +128,8 @@ std::vector<HomographMatch> HomographDetector::scan(
 std::vector<HomographMatch> HomographDetector::scan(
     const runtime::DomainTable& table,
     std::span<const runtime::DomainId> domains) const {
+  const obs::StageTimer stage("core.homograph.scan");
+  domains_scanned_.add(domains.size());
   // Each worker fills only its own slots; the serial compaction below
   // restores input order, so the result is identical at any thread count.
   std::vector<std::optional<HomographMatch>> slots(domains.size());

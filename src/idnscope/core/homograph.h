@@ -14,7 +14,6 @@
 //      exhaustive scan.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -23,6 +22,7 @@
 
 #include "idnscope/core/study.h"
 #include "idnscope/ecosystem/brands.h"
+#include "idnscope/obs/metrics.h"
 #include "idnscope/render/renderer.h"
 #include "idnscope/render/ssim.h"
 #include "idnscope/runtime/domain_table.h"
@@ -67,12 +67,16 @@ class HomographDetector {
       std::span<const runtime::DomainId> domains) const;
 
   const HomographOptions& options() const { return options_; }
-  std::uint64_t ssim_evaluations() const {
-    return ssim_evaluations_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t prefilter_skips() const {
-    return prefilter_skips_.load(std::memory_order_relaxed);
-  }
+
+  // Detector effort, read back from the process-wide metrics registry
+  // (`core.homograph.*`, docs/OBSERVABILITY.md).  Every detector instance
+  // reports into the same cells; the totals are deterministic because the
+  // per-domain work is a pure function of the input, and they are counted
+  // exactly once — at the comparison site inside best_match() — so serial
+  // and parallel scan paths (including the executor's serial fallback for
+  // small inputs) tally identically.
+  std::uint64_t ssim_evaluations() const { return ssim_evaluations_.value(); }
+  std::uint64_t prefilter_skips() const { return prefilter_skips_.value(); }
 
  private:
   struct BrandImage {
@@ -84,10 +88,12 @@ class HomographDetector {
   HomographOptions options_;
   // Brand images bucketed by character count.
   std::vector<std::vector<BrandImage>> by_length_;
-  // Effort counters; totals are deterministic (per-domain work is fixed),
-  // atomics only make the concurrent increments race-free.
-  mutable std::atomic<std::uint64_t> ssim_evaluations_{0};
-  mutable std::atomic<std::uint64_t> prefilter_skips_{0};
+  // Registry handles (shared cells, cheap copies).
+  obs::Counter ssim_evaluations_;
+  obs::Counter prefilter_skips_;
+  obs::Counter domains_scanned_;
+  obs::Counter matches_;
+  obs::Histogram ssim_score_;
 };
 
 // Section VI-C aggregations over detector output.

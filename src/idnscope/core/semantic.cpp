@@ -4,10 +4,30 @@
 
 #include "idnscope/idna/idna.h"
 #include "idnscope/idna/punycode.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
 #include "idnscope/runtime/parallel.h"
 #include "idnscope/unicode/utf8.h"
 
 namespace idnscope::core {
+
+namespace {
+
+// Type-1 effort: counted once, in match() — every scan path (serial,
+// parallel, executor serial-fallback) funnels through it.
+struct SemanticMetrics {
+  obs::Counter checked =
+      obs::Registry::global().counter("core.semantic.domains_checked");
+  obs::Counter matches =
+      obs::Registry::global().counter("core.semantic.matches");
+};
+
+SemanticMetrics& semantic_metrics() {
+  static SemanticMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 SemanticDetector::SemanticDetector(std::span<const ecosystem::Brand> brands) {
   for (const ecosystem::Brand& brand : brands) {
@@ -17,6 +37,7 @@ SemanticDetector::SemanticDetector(std::span<const ecosystem::Brand> brands) {
 
 std::optional<SemanticMatch> SemanticDetector::match(
     std::string_view ace_domain) const {
+  semantic_metrics().checked.add(1);
   const std::size_t dot = ace_domain.find('.');
   if (dot == std::string_view::npos) {
     return std::nullopt;
@@ -46,6 +67,7 @@ std::optional<SemanticMatch> SemanticDetector::match(
   if (it == brand_by_sld_.end()) {
     return std::nullopt;
   }
+  semantic_metrics().matches.add(1);
   SemanticMatch match;
   match.domain = std::string(ace_domain);
   match.brand = it->second;
@@ -67,6 +89,7 @@ std::vector<SemanticMatch> SemanticDetector::scan(
 std::vector<SemanticMatch> SemanticDetector::scan(
     const runtime::DomainTable& table,
     std::span<const runtime::DomainId> domains, unsigned threads) const {
+  const obs::StageTimer stage("core.semantic.scan");
   std::vector<std::optional<SemanticMatch>> slots(domains.size());
   runtime::parallel_for(domains.size(), threads, [&](std::size_t i) {
     slots[i] = match(table.str(domains[i]));

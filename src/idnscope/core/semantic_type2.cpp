@@ -2,10 +2,30 @@
 
 #include "idnscope/idna/idna.h"
 #include "idnscope/idna/punycode.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
 #include "idnscope/runtime/parallel.h"
 #include "idnscope/unicode/utf8.h"
 
 namespace idnscope::core {
+
+namespace {
+
+// Type-2 effort: counted once, in match() (same single-site rule as the
+// other detectors).
+struct Type2Metrics {
+  obs::Counter checked =
+      obs::Registry::global().counter("core.semantic_type2.domains_checked");
+  obs::Counter matches =
+      obs::Registry::global().counter("core.semantic_type2.matches");
+};
+
+Type2Metrics& type2_metrics() {
+  static Type2Metrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 Type2Detector::Type2Detector(
     std::span<const ecosystem::BrandTranslation> dictionary) {
@@ -20,6 +40,7 @@ Type2Detector::Type2Detector(
 
 std::optional<Type2Match> Type2Detector::match(
     std::string_view ace_domain) const {
+  type2_metrics().checked.add(1);
   const std::size_t dot = ace_domain.find('.');
   if (dot == std::string_view::npos) {
     return std::nullopt;
@@ -35,6 +56,7 @@ std::optional<Type2Match> Type2Detector::match(
   const std::u32string& text = decoded.value();
   for (const Entry& entry : entries_) {
     if (text.find(entry.needle) != std::u32string::npos) {
+      type2_metrics().matches.add(1);
       Type2Match result;
       result.domain = std::string(ace_domain);
       result.brand = std::string(entry.translation->brand);
@@ -60,6 +82,7 @@ std::vector<Type2Match> Type2Detector::scan(
 std::vector<Type2Match> Type2Detector::scan(
     const runtime::DomainTable& table,
     std::span<const runtime::DomainId> domains, unsigned threads) const {
+  const obs::StageTimer stage("core.semantic_type2.scan");
   std::vector<std::optional<Type2Match>> slots(domains.size());
   runtime::parallel_for(domains.size(), threads, [&](std::size_t i) {
     slots[i] = match(table.str(domains[i]));

@@ -1,16 +1,43 @@
 #include "idnscope/core/study.h"
 
 #include "idnscope/idna/punycode.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
 
 namespace idnscope::core {
 
+namespace {
+
+// Coverage counters for the zone-scan/join stage (Table I provenance).
+// Registered once; the scan is serial, so plain adds are exact.
+struct ScanMetrics {
+  obs::Counter zones = obs::Registry::global().counter("core.study.zones_scanned");
+  obs::Counter slds = obs::Registry::global().counter("core.study.slds_scanned");
+  obs::Counter idns = obs::Registry::global().counter("core.study.idns_found");
+  obs::Counter whois =
+      obs::Registry::global().counter("core.study.whois_joined");
+  obs::Counter blacklisted =
+      obs::Registry::global().counter("core.study.blacklist_hits");
+};
+
+ScanMetrics& scan_metrics() {
+  static ScanMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
 Study::Study(const ecosystem::Ecosystem& eco) : eco_(&eco) {
+  const obs::StageTimer stage("core.study.scan");
+  ScanMetrics& metrics = scan_metrics();
   TldGroup com{"com"};
   TldGroup net{"net"};
   TldGroup org{"org"};
   TldGroup itld{"iTLD (53)"};
 
   for (const dns::Zone& zone : eco.zones) {
+    const obs::StageTimer zone_span("zone");
+    metrics.zones.add(1);
     TldGroup* group;
     std::uint8_t group_id;
     if (zone.origin() == "com") {
@@ -28,6 +55,7 @@ Study::Study(const ecosystem::Ecosystem& eco) : eco_(&eco) {
     }
     const auto slds = dns::scan_slds(zone);
     group->sld_count += slds.size();
+    metrics.slds.add(slds.size());
     for (const std::string& domain : slds) {
       const runtime::DomainId id = table_.intern(domain);
       table_.set_registered(id, true);
@@ -35,12 +63,14 @@ Study::Study(const ecosystem::Ecosystem& eco) : eco_(&eco) {
     }
     for (const std::string& idn : dns::scan_idns(zone)) {
       ++group->idn_count;
+      metrics.idns.add(1);
       const runtime::DomainId id = table_.intern(idn);
       table_.set_registered(id, true);
       table_.set_tld_group(id, group_id);
       table_.set_idn(id, true);
       if (eco.whois.lookup(idn) != nullptr) {
         ++group->whois_count;
+        metrics.whois.add(1);
       }
       const auto blacklisted = eco.blacklist.find(idn);
       const std::uint8_t mask =
@@ -48,6 +78,7 @@ Study::Study(const ecosystem::Ecosystem& eco) : eco_(&eco) {
       if (mask != 0) {
         table_.set_blacklist_mask(id, mask);
         ++group->blacklist_total;
+        metrics.blacklisted.add(1);
         if (mask & ecosystem::kBlVirusTotal) ++group->blacklist_virustotal;
         if (mask & ecosystem::kBl360) ++group->blacklist_360;
         if (mask & ecosystem::kBlBaidu) ++group->blacklist_baidu;

@@ -1,0 +1,237 @@
+#include "idnscope/obs/export.h"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+#include "idnscope/obs/trace.h"
+
+namespace idnscope::obs {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  out.append(s);  // metric names are [a-z0-9._/-]; nothing to escape
+  out.push_back('"');
+}
+
+void append_uint_array(std::string& out, const std::vector<std::uint64_t>& v) {
+  out.push_back('[');
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) {
+      out.push_back(',');
+    }
+    out += std::to_string(v[i]);
+  }
+  out.push_back(']');
+}
+
+// Strict, format-directed parser for the canonical serialization above.
+// Not a general JSON parser: key order, spacing and number shapes must be
+// exactly what snapshot_to_json produces.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  bool literal(std::string_view expected) {
+    if (input_.substr(pos_, expected.size()) != expected) {
+      return false;
+    }
+    pos_ += expected.size();
+    return true;
+  }
+
+  bool peek(char c) const { return pos_ < input_.size() && input_[pos_] == c; }
+
+  bool string(std::string& out) {
+    if (!literal("\"")) {
+      return false;
+    }
+    const std::size_t end = input_.find('"', pos_);
+    if (end == std::string_view::npos) {
+      return false;
+    }
+    out.assign(input_, pos_, end - pos_);
+    pos_ = end + 1;
+    return out.find('\\') == std::string::npos;
+  }
+
+  template <typename Int>
+  bool number(Int& out) {
+    const char* begin = input_.data() + pos_;
+    const char* end = input_.data() + input_.size();
+    const auto [next, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc()) {
+      return false;
+    }
+    pos_ += static_cast<std::size_t>(next - begin);
+    return true;
+  }
+
+  bool uint_array(std::vector<std::uint64_t>& out) {
+    if (!literal("[")) {
+      return false;
+    }
+    if (literal("]")) {
+      return true;
+    }
+    while (true) {
+      std::uint64_t value = 0;
+      if (!number(value)) {
+        return false;
+      }
+      out.push_back(value);
+      if (literal("]")) {
+        return true;
+      }
+      if (!literal(",")) {
+        return false;
+      }
+    }
+  }
+
+  // {"key":<number>,...} for counters/gauges.
+  template <typename Int>
+  bool flat_object(std::map<std::string, Int>& out) {
+    if (!literal("{")) {
+      return false;
+    }
+    if (literal("}")) {
+      return true;
+    }
+    while (true) {
+      std::string key;
+      Int value{};
+      if (!string(key) || !literal(":") || !number(value)) {
+        return false;
+      }
+      out.emplace(std::move(key), value);
+      if (literal("}")) {
+        return true;
+      }
+      if (!literal(",")) {
+        return false;
+      }
+    }
+  }
+
+  bool done() const { return pos_ == input_.size(); }
+
+ private:
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string snapshot_to_json(const Snapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"bounds_micros\":";
+    append_uint_array(out, hist.bounds_micros);
+    out += ",\"counts\":";
+    append_uint_array(out, hist.counts);
+    out += ",\"count\":" + std::to_string(hist.count);
+    out += ",\"sum_micros\":" + std::to_string(hist.sum_micros);
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+std::optional<Snapshot> parse_snapshot(std::string_view json) {
+  Parser parser(json);
+  Snapshot snap;
+  if (!parser.literal("{\"counters\":") || !parser.flat_object(snap.counters) ||
+      !parser.literal(",\"gauges\":") || !parser.flat_object(snap.gauges) ||
+      !parser.literal(",\"histograms\":{")) {
+    return std::nullopt;
+  }
+  if (!parser.literal("}")) {
+    while (true) {
+      std::string name;
+      HistogramSnapshot hist;
+      if (!parser.string(name) || !parser.literal(":{\"bounds_micros\":") ||
+          !parser.uint_array(hist.bounds_micros) ||
+          !parser.literal(",\"counts\":") || !parser.uint_array(hist.counts) ||
+          !parser.literal(",\"count\":") || !parser.number(hist.count) ||
+          !parser.literal(",\"sum_micros\":") ||
+          !parser.number(hist.sum_micros) || !parser.literal("}")) {
+        return std::nullopt;
+      }
+      snap.histograms.emplace(std::move(name), std::move(hist));
+      if (parser.literal("}")) {
+        break;
+      }
+      if (!parser.literal(",")) {
+        return std::nullopt;
+      }
+    }
+  }
+  if (!parser.literal("}") || !parser.done()) {
+    return std::nullopt;
+  }
+  return snap;
+}
+
+std::string trace_to_json() {
+  std::string out = "{\"spans\":{";
+  bool first = true;
+  for (const auto& [path, stats] : trace_table()) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    append_json_string(out, path);
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), ":{\"calls\":%llu,\"wall_ms\":%.3f}",
+                  static_cast<unsigned long long>(stats.calls),
+                  static_cast<double>(stats.total_ns) / 1e6);
+    out += buffer;
+  }
+  out += "}}";
+  return out;
+}
+
+void emit_metrics(const char* name) {
+  const std::string metrics =
+      snapshot_to_json(Registry::global().snapshot());
+  std::fprintf(stderr, "METRICS_JSON %s\n", metrics.c_str());
+  std::fprintf(stderr, "TRACE_JSON %s\n", trace_to_json().c_str());
+  const std::string path = std::string("METRICS_") + name + ".json";
+  if (std::FILE* out = std::fopen(path.c_str(), "w"); out != nullptr) {
+    std::fprintf(out, "%s\n", metrics.c_str());
+    std::fclose(out);
+  }
+}
+
+}  // namespace idnscope::obs

@@ -1,0 +1,40 @@
+// Observability layer: snapshot serialization and emission.
+//
+// The snapshot format (docs/OBSERVABILITY.md) is all-integer JSON with
+// sorted keys — real-valued data is fixed-point micro-units — so equal
+// snapshots serialize to identical bytes and a byte diff of two files is a
+// semantic diff of the metrics.  parse_snapshot() inverts snapshot_to_json()
+// exactly (round-trip tested), for harnesses that want to join snapshots
+// across runs.
+//
+// emit_metrics() is the convention every bench and example follows:
+//   stderr   METRICS_JSON {...}   deterministic metrics plane, one line
+//   stderr   TRACE_JSON {...}     wall-clock trace plane, one line
+//   cwd      METRICS_<name>.json  the metrics line again, for harnesses
+// stdout is never touched (it carries study results and must stay
+// byte-identical across thread counts).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "idnscope/obs/metrics.h"
+
+namespace idnscope::obs {
+
+// Canonical serialization: single line, keys sorted, integers only.
+std::string snapshot_to_json(const Snapshot& snapshot);
+
+// Strict inverse of snapshot_to_json; nullopt on malformed input.
+std::optional<Snapshot> parse_snapshot(std::string_view json);
+
+// The trace plane: {"spans":{"path":{"calls":N,"wall_ms":X.XXX},...}}.
+// Wall times make this line non-deterministic by nature; it is emitted to
+// stderr only, never into METRICS_<name>.json.
+std::string trace_to_json();
+
+// Emit the global registry + trace table as described above.  `name`
+// becomes the METRICS_<name>.json file name.
+void emit_metrics(const char* name);
+
+}  // namespace idnscope::obs

@@ -1,0 +1,120 @@
+#include "idnscope/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idnscope::obs {
+
+namespace internal {
+
+unsigned shard_index() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+void HistogramCell::observe(double value) {
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), value);
+  buckets[static_cast<std::size_t>(it - bounds.begin())]->add(1);
+  count.add(1);
+  sum_micros.add(to_micros(value));
+}
+
+}  // namespace internal
+
+std::uint64_t to_micros(double value) {
+  if (!(value > 0.0)) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(std::llround(value * 1e6));
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry;  // leaked deliberately
+  return *registry;
+}
+
+Counter Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<internal::CounterCell>())
+             .first;
+  }
+  return Counter(it->second.get());
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::make_unique<internal::GaugeCell>())
+             .first;
+  }
+  return Gauge(it->second.get());
+}
+
+Histogram Registry::histogram(std::string_view name,
+                              std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    auto cell = std::make_unique<internal::HistogramCell>();
+    cell->bounds = std::move(bounds);
+    cell->buckets.reserve(cell->bounds.size() + 1);
+    for (std::size_t i = 0; i < cell->bounds.size() + 1; ++i) {
+      cell->buckets.push_back(std::make_unique<internal::CounterCell>());
+    }
+    it = histograms_.emplace(std::string(name), std::move(cell)).first;
+  }
+  return Histogram(it->second.get());
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, cell] : counters_) {
+    snap.counters.emplace(name, cell->total());
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges.emplace(name, cell->value.load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, cell] : histograms_) {
+    HistogramSnapshot hist;
+    hist.bounds_micros.reserve(cell->bounds.size());
+    for (double bound : cell->bounds) {
+      hist.bounds_micros.push_back(to_micros(bound));
+    }
+    hist.counts.reserve(cell->buckets.size());
+    for (const auto& bucket : cell->buckets) {
+      hist.counts.push_back(bucket->total());
+    }
+    hist.count = cell->count.total();
+    hist.sum_micros = cell->sum_micros.total();
+    snap.histograms.emplace(name, std::move(hist));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, cell] : counters_) {
+    cell->reset();
+  }
+  for (const auto& [name, cell] : gauges_) {
+    cell->value.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& [name, cell] : histograms_) {
+    for (const auto& bucket : cell->buckets) {
+      bucket->reset();
+    }
+    cell->count.reset();
+    cell->sum_micros.reset();
+  }
+}
+
+}  // namespace idnscope::obs

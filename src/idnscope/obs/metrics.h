@@ -1,0 +1,208 @@
+// Observability layer, plane 1: the metrics registry.
+//
+// Process-wide registry of named counters, gauges and fixed-bucket
+// histograms covering the measurement pipeline (zone scan coverage,
+// executor chunk accounting, detector effort).  Names follow the
+// `layer.stage.metric` scheme documented in docs/OBSERVABILITY.md, which
+// also lists every metric the code emits.
+//
+// Determinism contract (same as runtime/parallel.h): every value in a
+// registry snapshot is a pure function of the workload — never of the
+// worker count, scheduling order, or wall clock.  Three mechanisms enforce
+// this:
+//   * counters and histogram bucket tallies are unsigned 64-bit sums of
+//     per-event increments, sharded per thread and merged in fixed shard
+//     order (integer addition commutes, so any interleaving yields the
+//     same bits);
+//   * real-valued observations (e.g. SSIM scores) are converted to
+//     fixed-point micro-units *before* summation, so no float-addition
+//     order dependence can creep in;
+//   * wall-clock timing never enters the registry at all — it lives on the
+//     trace plane (obs/trace.h), which is reported separately and exempt
+//     from the bit-identity guarantee.
+// Consequence: METRICS_<name>.json snapshots are byte-identical at 1, 2
+// or N threads (CI-enforced alongside the stdout diff).
+//
+// Hot-path cost: one relaxed fetch_add on a cache-line-padded per-thread
+// shard.  Registration (name lookup) takes a mutex and is meant to be done
+// once, at construction time or through a function-local static.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idnscope::obs {
+
+namespace internal {
+
+// Shards striped across threads so concurrent increments do not contend
+// on one cache line.  16 shards cover kMaxThreads=32 workers well enough:
+// the goal is to take false sharing off the hot path, not perfect privacy.
+inline constexpr unsigned kShards = 16;
+
+struct alignas(64) Shard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+// Stable per-thread shard slot, assigned on first use.
+unsigned shard_index();
+
+struct CounterCell {
+  Shard shards[kShards];
+
+  void add(std::uint64_t n) {
+    shards[shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  // Merge in fixed shard order (commutative anyway; the order is fixed so
+  // the statement is checkable, not just arguable).
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const Shard& shard : shards) {
+      sum += shard.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+  void reset() {
+    for (Shard& shard : shards) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+struct GaugeCell {
+  std::atomic<std::int64_t> value{0};
+};
+
+struct HistogramCell {
+  // Bucket boundaries, strictly increasing.  buckets[i] counts values in
+  // [bounds[i-1], bounds[i]); buckets.front() is (-inf, bounds[0]) and
+  // buckets.back() is [bounds.back(), +inf), so there are bounds.size()+1
+  // buckets.  Each bucket is a sharded counter; the sum of observed values
+  // is kept in fixed-point micro-units so it stays an integer sum
+  // (deterministic under any interleaving).
+  std::vector<double> bounds;
+  std::vector<std::unique_ptr<CounterCell>> buckets;
+  CounterCell count;
+  CounterCell sum_micros;
+
+  void observe(double value);
+};
+
+}  // namespace internal
+
+// Cheap copyable handles; the cells live in (and are owned by) the
+// Registry for the process lifetime.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) const { cell_->add(n); }
+  std::uint64_t value() const { return cell_->total(); }
+
+ private:
+  friend class Registry;
+  explicit Counter(internal::CounterCell* cell) : cell_(cell) {}
+  internal::CounterCell* cell_ = nullptr;
+};
+
+// Last-write-wins level value.  To stay inside the determinism contract,
+// set gauges only from serial code (or with values that are pure functions
+// of the workload); the registry cannot order concurrent set() calls.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) const {
+    cell_->value.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return cell_->value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(internal::GaugeCell* cell) : cell_(cell) {}
+  internal::GaugeCell* cell_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) const { cell_->observe(value); }
+  std::uint64_t count() const { return cell_->count.total(); }
+  std::uint64_t sum_micros() const { return cell_->sum_micros.total(); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return cell_->buckets[i]->total();
+  }
+  std::size_t buckets() const { return cell_->buckets.size(); }
+  const std::vector<double>& bounds() const { return cell_->bounds; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(internal::HistogramCell* cell) : cell_(cell) {}
+  internal::HistogramCell* cell_ = nullptr;
+};
+
+// A snapshot is plain data: everything needed to serialize, diff or merge
+// without touching live cells.  Keys are metric names; maps keep the
+// serialization order sorted and therefore deterministic.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> bounds_micros;  // fixed-point, bucket upper bounds
+  std::vector<std::uint64_t> counts;         // bounds_micros.size()+1 entries
+  std::uint64_t count = 0;
+  std::uint64_t sum_micros = 0;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+class Registry {
+ public:
+  // The process-wide registry every pipeline stage reports into.
+  // Intentionally leaked so metrics recorded during static destruction
+  // cannot touch a dead object.
+  static Registry& global();
+
+  // Find-or-create by name.  Re-registering an existing name returns a
+  // handle to the same cell; a histogram re-registered with different
+  // bounds keeps the original bounds (first registration wins).
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name, std::vector<double> bounds);
+
+  // Consistent-enough copy of every registered metric, keys sorted.
+  // (Individual loads are relaxed; call from a quiesced point — end of a
+  // stage, end of a bench — for exact totals.)
+  Snapshot snapshot() const;
+
+  // Zero every value, keeping registrations (handles stay valid).
+  // For tests that measure per-stage deltas.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<internal::CounterCell>, std::less<>>
+      counters_;
+  std::map<std::string, std::unique_ptr<internal::GaugeCell>, std::less<>>
+      gauges_;
+  std::map<std::string, std::unique_ptr<internal::HistogramCell>, std::less<>>
+      histograms_;
+};
+
+// Fixed-point conversion used for all real-valued metric data
+// (micro-units, round-to-nearest).  Negative inputs clamp to zero: every
+// instrumented quantity is non-negative by construction.
+std::uint64_t to_micros(double value);
+
+}  // namespace idnscope::obs

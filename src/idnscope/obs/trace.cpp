@@ -1,0 +1,76 @@
+#include "idnscope/obs/trace.h"
+
+#include <mutex>
+#include <utility>
+
+namespace idnscope::obs {
+
+namespace {
+
+struct TraceTable {
+  std::mutex mutex;
+  std::map<std::string, SpanStats> spans;
+};
+
+TraceTable& table() {
+  static TraceTable* t = new TraceTable;  // leaked, like the registry
+  return *t;
+}
+
+std::string& thread_path() {
+  thread_local std::string path;
+  return path;
+}
+
+void record(const std::string& path, std::uint64_t elapsed_ns) {
+  TraceTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  SpanStats& stats = t.spans[path];
+  ++stats.calls;
+  stats.total_ns += elapsed_ns;
+}
+
+}  // namespace
+
+StageTimer::StageTimer(const char* name)
+    : start_(std::chrono::steady_clock::now()),
+      previous_path_(std::move(thread_path())) {
+  std::string& path = thread_path();
+  if (previous_path_.empty()) {
+    path = name;
+  } else {
+    path = previous_path_ + "/" + name;
+  }
+}
+
+StageTimer::~StageTimer() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  record(thread_path(),
+         static_cast<std::uint64_t>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()));
+  thread_path() = std::move(previous_path_);
+}
+
+ThreadTraceRoot::ThreadTraceRoot(std::string path)
+    : previous_path_(std::move(thread_path())) {
+  thread_path() = std::move(path);
+}
+
+ThreadTraceRoot::~ThreadTraceRoot() { thread_path() = std::move(previous_path_); }
+
+const std::string& current_trace_path() { return thread_path(); }
+
+std::map<std::string, SpanStats> trace_table() {
+  TraceTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  return t.spans;
+}
+
+void reset_trace() {
+  TraceTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  t.spans.clear();
+}
+
+}  // namespace idnscope::obs

@@ -1,0 +1,73 @@
+// Observability layer, plane 2: stage tracing.
+//
+// RAII spans that time pipeline stages and nest: a StageTimer opened while
+// another is live on the same thread records under the parent's path
+// ("core.study.scan/zone").  Worker threads spawned by the runtime
+// executor inherit the spawning stage's path via ThreadTraceRoot, so
+// per-worker busy time shows up *under* the stage that paid for it.
+//
+// Aggregation is per-thread then merged: each span accumulates on its own
+// stack frame (no shared state while running) and folds into the global
+// table exactly once, at destruction; reports serialize paths in sorted
+// order.  Invocation *counts* of serial stage spans are deterministic, but
+// wall times — and the call counts of per-worker spans, which scale with
+// the worker count — are not.  That is why the trace plane is reported on
+// stderr (TRACE_JSON) only and is never written into METRICS_<name>.json:
+// the snapshot file carries the deterministic metrics plane exclusively
+// (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace idnscope::obs {
+
+struct SpanStats {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+};
+
+// Times one stage from construction to destruction and records it under
+// the current thread's span path.
+class StageTimer {
+ public:
+  explicit StageTimer(const char* name);
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer();
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::string previous_path_;  // restored on close
+};
+
+// Span is the conventional tracing name for the same RAII shape.
+using Span = StageTimer;
+
+// Seeds a fresh thread's span path with the spawning stage's path (the
+// executor wraps each worker in one), restoring the previous value on
+// destruction.
+class ThreadTraceRoot {
+ public:
+  explicit ThreadTraceRoot(std::string path);
+  ThreadTraceRoot(const ThreadTraceRoot&) = delete;
+  ThreadTraceRoot& operator=(const ThreadTraceRoot&) = delete;
+  ~ThreadTraceRoot();
+
+ private:
+  std::string previous_path_;
+};
+
+// The calling thread's current span path ("" outside any span).  Captured
+// by the executor before spawning workers.
+const std::string& current_trace_path();
+
+// Sorted copy of every recorded span path -> stats.
+std::map<std::string, SpanStats> trace_table();
+
+// Drop all recorded spans (tests, or scoping a report to one stage).
+void reset_trace();
+
+}  // namespace idnscope::obs

@@ -2,7 +2,34 @@
 
 #include <cstring>
 
+#include "idnscope/obs/metrics.h"
+
 namespace idnscope::runtime {
+
+namespace {
+
+// Interning metrics: `interned` counts distinct strings, `hits` re-intern
+// lookups that found an existing id; the gauges track arena growth.  All
+// are pure functions of the intern call sequence, which is serial
+// (single-writer invariant above), so they sit inside the determinism
+// contract of docs/OBSERVABILITY.md.
+struct TableMetrics {
+  obs::Counter interned =
+      obs::Registry::global().counter("runtime.domain_table.interned");
+  obs::Counter hits =
+      obs::Registry::global().counter("runtime.domain_table.hits");
+  obs::Gauge entries =
+      obs::Registry::global().gauge("runtime.domain_table.entries");
+  obs::Gauge arena_bytes =
+      obs::Registry::global().gauge("runtime.domain_table.arena_bytes");
+};
+
+TableMetrics& table_metrics() {
+  static TableMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 std::string_view DomainTable::store(std::string_view domain) {
   if (domain.size() > kChunkSize) {
@@ -19,6 +46,8 @@ std::string_view DomainTable::store(std::string_view domain) {
   if (chunk_used_ + domain.size() > kChunkSize) {
     chunks_.push_back(std::make_unique<char[]>(kChunkSize));
     chunk_used_ = 0;
+    table_metrics().arena_bytes.set(
+        static_cast<std::int64_t>(chunks_.size() * kChunkSize));
   }
   char* dest = chunks_.back().get() + chunk_used_;
   std::memcpy(dest, domain.data(), domain.size());
@@ -28,6 +57,7 @@ std::string_view DomainTable::store(std::string_view domain) {
 
 DomainId DomainTable::intern(std::string_view domain) {
   if (auto it = index_.find(domain); it != index_.end()) {
+    table_metrics().hits.add(1);
     return it->second;
   }
   const std::string_view stored = store(domain);
@@ -37,6 +67,8 @@ DomainId DomainTable::intern(std::string_view domain) {
   blacklist_mask_.push_back(0);
   flags_.push_back(0);
   index_.emplace(stored, id);
+  table_metrics().interned.add(1);
+  table_metrics().entries.set(static_cast<std::int64_t>(entries_.size()));
   return id;
 }
 

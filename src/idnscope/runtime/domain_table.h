@@ -8,6 +8,30 @@
 // needs (TLD group, blacklist source mask, registered/IDN flags) as flat
 // arrays indexed by DomainId, so joins are O(1) loads instead of hash
 // probes on full strings.
+//
+// ## Public API invariants (the DomainId stability contract)
+//
+// *Dense, first-intern-order ids.*  Ids are assigned 0, 1, 2, … in the
+// order strings are first interned; re-interning returns the original id
+// and preserves every side-table value.  Because the zone scan order is
+// deterministic (DESIGN.md §6), the string↔id mapping is identical across
+// runs — ids can be stored, compared and used as array indices by any
+// downstream stage.
+//
+// *Ids are never invalidated.*  Nothing removes or renumbers an entry;
+// every id below size() stays valid for the table's lifetime.
+//
+// *Views are stable.*  str() returns a view into the arena; arena chunks
+// are only ever appended, never reallocated or freed, so views (and
+// pointers derived from them) survive arbitrary further intern() calls.
+//
+// *Writes are single-threaded, reads are parallel-safe.*  intern() and the
+// side-table setters mutate and must run serially (the Study constructor
+// is the one writer).  After the build, concurrent str()/find()/flag reads
+// from executor workers are safe because nothing mutates.
+//
+// Interning effort is counted in the metrics registry
+// (`runtime.domain_table.*`, see docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdint>

@@ -8,6 +8,40 @@
 // results at any `threads` value — the determinism contract of DESIGN.md §6
 // extends to the whole parallel pipeline, not just the generators.
 //
+// ## Public API invariants (relied on by core/ and by the metrics contract)
+//
+// *Fixed chunking.*  Chunk boundaries are [k*kParallelChunk,
+// (k+1)*kParallelChunk) ∩ [0, count) — a pure function of `count`.  The
+// worker count decides only *which thread* claims a chunk, never where the
+// chunk starts or ends.  Every chunk is claimed exactly once, so the total
+// number of claims is ceil(count / kParallelChunk) at any thread count
+// (asserted against the `runtime.parallel.chunks` metric in
+// tests/runtime_test.cpp).
+//
+// *Fixed reduction order.*  parallel_reduce combines left-to-right within
+// a chunk and folds the per-chunk partials left-to-right in chunk order on
+// the calling thread, so even non-associative combines (floating-point
+// addition) give identical bits at 1, 2 or N threads.
+//
+// *Serial fallback.*  When the resolved worker count is 1 (one item, one
+// hardware thread, or threads=1) the loop body runs inline on the calling
+// thread — same iteration order, same chunk accounting, no pool.  Callers
+// must not observe which path ran; anything counted per-item or per-chunk
+// is counted identically on both paths.
+//
+// *Exceptions.*  The first exception thrown by `fn` wins, remaining chunks
+// are abandoned, and the exception is rethrown on the calling thread.
+//
+// ## Observability
+//
+// Each call records deterministic effort into the metrics registry
+// (`runtime.parallel.invocations` / `.items` / `.chunks`, plus the
+// `runtime.parallel.items_per_call` histogram — all pure chunk math, see
+// docs/OBSERVABILITY.md) and times each worker's busy span on the trace
+// plane ("<caller stage>/runtime.parallel.worker").  parallel_reduce is
+// implemented on parallel_for, so it surfaces as one invocation whose item
+// count is its chunk count.
+//
 // `threads` knob convention (used by every analysis options struct):
 //   0  = one worker per hardware thread (capped at kMaxThreads)
 //   n  = exactly n workers, clamped to the number of items so tiny inputs
@@ -22,6 +56,9 @@
 #include <thread>
 #include <vector>
 
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
+
 namespace idnscope::runtime {
 
 inline constexpr unsigned kMaxThreads = 32;
@@ -34,13 +71,39 @@ inline constexpr std::size_t kParallelChunk = 64;
 // Resolve a `threads` knob against the actual amount of work.
 unsigned resolve_threads(unsigned threads, std::size_t items);
 
+namespace detail {
+
+// Deterministic dispatch accounting, identical on the serial and parallel
+// paths: chunk claims are counted as chunk *math*, not observed claims, so
+// the registry cannot drift with the worker count.
+inline void note_dispatch(std::size_t count) {
+  static const obs::Counter invocations =
+      obs::Registry::global().counter("runtime.parallel.invocations");
+  static const obs::Counter items =
+      obs::Registry::global().counter("runtime.parallel.items");
+  static const obs::Counter chunks =
+      obs::Registry::global().counter("runtime.parallel.chunks");
+  static const obs::Histogram items_per_call =
+      obs::Registry::global().histogram(
+          "runtime.parallel.items_per_call",
+          {1.0, 64.0, 1024.0, 16384.0, 262144.0});
+  invocations.add(1);
+  items.add(count);
+  chunks.add((count + kParallelChunk - 1) / kParallelChunk);
+  items_per_call.observe(static_cast<double>(count));
+}
+
+}  // namespace detail
+
 // Invoke fn(i) for every i in [0, count).  fn runs concurrently; callers
 // must only write state owned by index i (e.g. out[i]).  Exceptions from fn
 // are rethrown on the calling thread (first one wins).
 template <typename Fn>
 void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
+  detail::note_dispatch(count);
   const unsigned workers = resolve_threads(threads, count);
   if (workers <= 1) {
+    const obs::StageTimer busy("runtime.parallel.worker");
     for (std::size_t i = 0; i < count; ++i) {
       fn(i);
     }
@@ -50,7 +113,12 @@ void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
   std::atomic<bool> failed{false};
   std::exception_ptr error;
   std::mutex error_mutex;
+  // Workers inherit the calling stage's trace path so their busy time is
+  // attributed to the stage that spawned them.
+  const std::string trace_parent = obs::current_trace_path();
   auto work = [&] {
+    const obs::ThreadTraceRoot trace_root(trace_parent);
+    const obs::StageTimer busy("runtime.parallel.worker");
     while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t begin =
           next.fetch_add(kParallelChunk, std::memory_order_relaxed);

@@ -1,0 +1,261 @@
+// Observability layer tests: registry merge determinism across thread
+// counts, span nesting, snapshot serialization round-trip, and the
+// count-effort-exactly-once contract the detectors rely on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "idnscope/core/homograph.h"
+#include "idnscope/ecosystem/brands.h"
+#include "idnscope/obs/export.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
+#include "idnscope/runtime/domain_table.h"
+#include "idnscope/runtime/parallel.h"
+
+namespace idnscope {
+namespace {
+
+// The registry is process-global and shared by every test in this binary;
+// each test that measures absolute values starts from a clean slate.
+void reset_all() {
+  obs::Registry::global().reset();
+  obs::reset_trace();
+}
+
+TEST(Metrics, ToMicrosFixedPoint) {
+  EXPECT_EQ(obs::to_micros(0.0), 0U);
+  EXPECT_EQ(obs::to_micros(1.0), 1000000U);
+  EXPECT_EQ(obs::to_micros(0.95), 950000U);
+  EXPECT_EQ(obs::to_micros(-3.5), 0U);      // non-negative by contract
+  EXPECT_EQ(obs::to_micros(4e-7), 0U);      // round to nearest
+  EXPECT_EQ(obs::to_micros(6e-7), 1U);
+}
+
+TEST(Metrics, CounterMergeIdenticalAt1_2_8Threads) {
+  const obs::Counter counter =
+      obs::Registry::global().counter("test.obs.counter_merge");
+  for (unsigned threads : {1U, 2U, 8U}) {
+    reset_all();
+    runtime::parallel_for(10007, threads,
+                          [&](std::size_t) { counter.add(1); });
+    EXPECT_EQ(counter.value(), 10007U) << "threads=" << threads;
+  }
+}
+
+TEST(Metrics, HistogramMergeIdenticalAt1_2_8Threads) {
+  const obs::Histogram hist = obs::Registry::global().histogram(
+      "test.obs.hist_merge", {0.25, 0.5, 0.75});
+  std::vector<obs::HistogramSnapshot> runs;
+  for (unsigned threads : {1U, 2U, 8U}) {
+    reset_all();
+    runtime::parallel_for(4001, threads, [&](std::size_t i) {
+      hist.observe(static_cast<double>(i) / 4000.0);
+    });
+    runs.push_back(obs::Registry::global().snapshot().histograms.at(
+        "test.obs.hist_merge"));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+  EXPECT_EQ(runs[0].count, 4001U);
+}
+
+TEST(Metrics, HistogramBucketSemantics) {
+  reset_all();
+  const obs::Histogram hist =
+      obs::Registry::global().histogram("test.obs.hist_buckets", {1.0, 2.0});
+  ASSERT_EQ(hist.buckets(), 3U);  // (-inf,1), [1,2), [2,+inf)
+  hist.observe(0.5);
+  hist.observe(1.0);  // boundary lands in [1,2)
+  hist.observe(1.5);
+  hist.observe(2.0);  // boundary lands in [2,+inf)
+  EXPECT_EQ(hist.bucket_count(0), 1U);
+  EXPECT_EQ(hist.bucket_count(1), 2U);
+  EXPECT_EQ(hist.bucket_count(2), 1U);
+  EXPECT_EQ(hist.count(), 4U);
+  EXPECT_EQ(hist.sum_micros(), obs::to_micros(0.5) + obs::to_micros(1.0) +
+                                   obs::to_micros(1.5) + obs::to_micros(2.0));
+}
+
+TEST(Metrics, RegistrationIsIdempotent) {
+  reset_all();
+  const obs::Counter a = obs::Registry::global().counter("test.obs.same");
+  const obs::Counter b = obs::Registry::global().counter("test.obs.same");
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(a.value(), 5U);  // both handles share one cell
+  EXPECT_EQ(b.value(), 5U);
+
+  const obs::Histogram first =
+      obs::Registry::global().histogram("test.obs.same_hist", {1.0, 2.0});
+  const obs::Histogram second =
+      obs::Registry::global().histogram("test.obs.same_hist", {9.0});
+  EXPECT_EQ(second.bounds(), first.bounds());  // first registration wins
+  EXPECT_EQ(second.buckets(), 3U);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsHandlesValid) {
+  const obs::Counter counter =
+      obs::Registry::global().counter("test.obs.reset");
+  counter.add(7);
+  obs::Registry::global().reset();
+  EXPECT_EQ(counter.value(), 0U);
+  counter.add(1);  // handle still points at a live cell
+  EXPECT_EQ(counter.value(), 1U);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  reset_all();
+  const obs::Gauge gauge = obs::Registry::global().gauge("test.obs.gauge");
+  gauge.set(42);
+  gauge.set(-17);
+  EXPECT_EQ(gauge.value(), -17);
+  EXPECT_EQ(obs::Registry::global().snapshot().gauges.at("test.obs.gauge"),
+            -17);
+}
+
+TEST(Export, SnapshotJsonRoundTrip) {
+  reset_all();
+  obs::Registry::global().counter("test.obs.rt_counter").add(123);
+  obs::Registry::global().gauge("test.obs.rt_gauge").set(-456);
+  const obs::Histogram hist =
+      obs::Registry::global().histogram("test.obs.rt_hist", {0.5, 0.9});
+  hist.observe(0.25);
+  hist.observe(0.95);
+
+  const obs::Snapshot original = obs::Registry::global().snapshot();
+  const std::string json = obs::snapshot_to_json(original);
+  const auto parsed = obs::parse_snapshot(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+  // Canonical form: re-serializing the parse gives identical bytes.
+  EXPECT_EQ(obs::snapshot_to_json(*parsed), json);
+}
+
+TEST(Export, EmptyRegistrySerializesAndParses) {
+  const obs::Snapshot empty;
+  const std::string json = obs::snapshot_to_json(empty);
+  EXPECT_EQ(json, "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  const auto parsed = obs::parse_snapshot(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, empty);
+}
+
+TEST(Export, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(obs::parse_snapshot("").has_value());
+  EXPECT_FALSE(obs::parse_snapshot("{}").has_value());
+  EXPECT_FALSE(obs::parse_snapshot("not json at all").has_value());
+  EXPECT_FALSE(
+      obs::parse_snapshot("{\"counters\":{\"a\":1},\"gauges\":{}}").has_value());
+  // Trailing garbage after a valid snapshot is an error, not ignored.
+  EXPECT_FALSE(obs::parse_snapshot(
+                   "{\"counters\":{},\"gauges\":{},\"histograms\":{}} ")
+                   .has_value());
+}
+
+TEST(Trace, SpansNestByPath) {
+  reset_all();
+  EXPECT_EQ(obs::current_trace_path(), "");
+  {
+    const obs::StageTimer outer("outer");
+    EXPECT_EQ(obs::current_trace_path(), "outer");
+    {
+      const obs::StageTimer inner("inner");
+      EXPECT_EQ(obs::current_trace_path(), "outer/inner");
+    }
+    EXPECT_EQ(obs::current_trace_path(), "outer");
+  }
+  EXPECT_EQ(obs::current_trace_path(), "");
+  const auto table = obs::trace_table();
+  ASSERT_TRUE(table.contains("outer"));
+  ASSERT_TRUE(table.contains("outer/inner"));
+  EXPECT_EQ(table.at("outer").calls, 1U);
+  EXPECT_EQ(table.at("outer/inner").calls, 1U);
+}
+
+TEST(Trace, ThreadTraceRootSeedsWorkerPath) {
+  reset_all();
+  {
+    const obs::StageTimer stage("stage");
+    const std::string parent = obs::current_trace_path();
+    std::thread worker([&] {
+      const obs::ThreadTraceRoot root(parent);
+      const obs::StageTimer busy("worker");
+      EXPECT_EQ(obs::current_trace_path(), "stage/worker");
+    });
+    worker.join();
+  }
+  EXPECT_EQ(obs::trace_table().at("stage/worker").calls, 1U);
+}
+
+TEST(Trace, ExecutorAttributesWorkerBusyTimeToCallingStage) {
+  reset_all();
+  {
+    const obs::StageTimer stage("teststage");
+    runtime::parallel_for(1000, 2, [](std::size_t) {});
+  }
+  const auto table = obs::trace_table();
+  ASSERT_TRUE(table.contains("teststage/runtime.parallel.worker"));
+  // One span per worker; the count scales with the worker count, which is
+  // exactly why this lives on the trace plane, not in the snapshot file.
+  EXPECT_GE(table.at("teststage/runtime.parallel.worker").calls, 1U);
+}
+
+// --- the count-effort-exactly-once regression ------------------------------
+
+// Detector effort must land in the registry exactly once per unit of work,
+// on every execution path: the serial scan overload, the interned scan when
+// the executor falls back to serial (threads=1 / tiny input), and the
+// threaded path.  A double count on any path would show up as differing
+// core.homograph.* totals below.
+std::map<std::string, std::uint64_t> homograph_counters() {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, value] :
+       obs::Registry::global().snapshot().counters) {
+    if (name.starts_with("core.homograph.")) {
+      out.emplace(name, value);
+    }
+  }
+  return out;
+}
+
+TEST(EffortAccounting, HomographEffortIdenticalOnSerialAndParallelPaths) {
+  const auto brands = ecosystem::alexa_top(100);
+  core::HomographOptions options;
+  const core::HomographDetector detector(brands, options);
+
+  std::vector<std::string> domains;
+  for (std::size_t i = 0; i < 40 && i < brands.size(); ++i) {
+    domains.push_back(brands[i].domain);
+  }
+  domains.push_back("xn--pple-43d.com");   // аpple.com (Cyrillic а)
+  domains.push_back("xn--gogle-n4a.net");  // goǫgle-like filler
+  runtime::DomainTable table;
+  std::vector<runtime::DomainId> ids;
+  for (const std::string& domain : domains) {
+    ids.push_back(table.intern(domain));
+  }
+
+  reset_all();
+  const auto serial_matches = detector.scan(domains);
+  const auto serial = homograph_counters();
+  ASSERT_GT(serial.at("core.homograph.domains_scanned"), 0U);
+
+  std::vector<std::map<std::string, std::uint64_t>> interned_runs;
+  for (unsigned threads : {1U, 8U}) {
+    core::HomographOptions threaded = options;
+    threaded.threads = threads;
+    const core::HomographDetector interned_detector(brands, threaded);
+    reset_all();
+    const auto matches = interned_detector.scan(table, ids);
+    EXPECT_EQ(matches.size(), serial_matches.size()) << "threads=" << threads;
+    interned_runs.push_back(homograph_counters());
+  }
+  EXPECT_EQ(interned_runs[0], serial);  // executor serial fallback == serial
+  EXPECT_EQ(interned_runs[1], serial);  // threaded == serial
+}
+
+}  // namespace
+}  // namespace idnscope

@@ -8,6 +8,7 @@
 
 #include "idnscope/core/availability.h"
 #include "idnscope/core/homograph.h"
+#include "idnscope/obs/metrics.h"
 #include "idnscope/runtime/domain_table.h"
 #include "idnscope/runtime/parallel.h"
 
@@ -108,6 +109,52 @@ TEST(Parallel, FloatReductionIsBitIdenticalAcrossThreadCounts) {
   const double at8 = run(8);
   EXPECT_EQ(at1, at2);  // bit-for-bit, not EXPECT_NEAR
   EXPECT_EQ(at1, at8);
+}
+
+TEST(Parallel, ExecutorMetricsMatchChunkMath) {
+  // The dispatch counters are defined as chunk *math* — ceil(count/chunk)
+  // per call, a pure function of the workload — so they must come out
+  // identical whether the executor runs serial, with 2 workers or with 8.
+  const obs::Counter invocations =
+      obs::Registry::global().counter("runtime.parallel.invocations");
+  const obs::Counter items =
+      obs::Registry::global().counter("runtime.parallel.items");
+  const obs::Counter chunks =
+      obs::Registry::global().counter("runtime.parallel.chunks");
+  const std::vector<std::size_t> counts{0, 1, 63, 64, 65, 10007};
+  for (unsigned threads : {1U, 2U, 8U}) {
+    obs::Registry::global().reset();
+    std::size_t expected_items = 0;
+    std::size_t expected_chunks = 0;
+    for (const std::size_t count : counts) {
+      runtime::parallel_for(count, threads, [](std::size_t) {});
+      expected_items += count;
+      expected_chunks +=
+          (count + runtime::kParallelChunk - 1) / runtime::kParallelChunk;
+    }
+    EXPECT_EQ(invocations.value(), counts.size()) << "threads=" << threads;
+    EXPECT_EQ(items.value(), expected_items) << "threads=" << threads;
+    EXPECT_EQ(chunks.value(), expected_chunks) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, ReduceSurfacesAsInvocationOverChunks) {
+  // parallel_reduce is built on parallel_for over the chunk indices, so one
+  // reduce over N items records one invocation of ceil(N/chunk) items.
+  const obs::Counter invocations =
+      obs::Registry::global().counter("runtime.parallel.invocations");
+  const obs::Counter items =
+      obs::Registry::global().counter("runtime.parallel.items");
+  obs::Registry::global().reset();
+  const std::size_t count = 1000;
+  const std::size_t chunks =
+      (count + runtime::kParallelChunk - 1) / runtime::kParallelChunk;
+  const auto total = runtime::parallel_reduce(
+      count, 4, std::uint64_t{0}, [](std::size_t i) { return std::uint64_t{i}; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, count * (count - 1) / 2);
+  EXPECT_EQ(invocations.value(), 1U);
+  EXPECT_EQ(items.value(), chunks);
 }
 
 TEST(Parallel, ForPropagatesExceptions) {
