@@ -48,10 +48,14 @@ class Stopwatch {
 
 // Machine-readable timing record. Written to stderr (stdout stays
 // byte-identical across thread counts — it carries only study results) and
-// mirrored to BENCH_<name>.json in the working directory for harnesses.
-// Also dumps the metrics-registry snapshot (METRICS_<name>.json, stderr
-// METRICS_JSON/TRACE_JSON lines); CI diffs the snapshot across thread
-// counts to enforce the determinism contract (docs/OBSERVABILITY.md).
+// mirrored to BENCH_<name>.json in $IDNSCOPE_OBS_DIR (created if missing;
+// working directory otherwise) for harnesses.  Also dumps the
+// metrics-registry snapshot (METRICS_<name>.json, stderr
+// METRICS_JSON/TRACE_JSON lines) and the Chrome trace-event timeline
+// (TRACE_<name>.json, loadable in Perfetto); CI diffs the snapshot across
+// thread counts to enforce the determinism contract and gates
+// METRICS/BENCH pairs against bench/baselines/ via `obsctl gate`
+// (docs/OBSERVABILITY.md).
 inline void emit_bench_json(const char* name, double wall_ms,
                             unsigned threads) {
   const unsigned resolved =
@@ -62,7 +66,8 @@ inline void emit_bench_json(const char* name, double wall_ms,
                 "{\"bench\":\"%s\",\"wall_ms\":%.3f,\"threads\":%u}", name,
                 wall_ms, resolved);
   std::fprintf(stderr, "BENCH_JSON %s\n", line);
-  const std::string path = std::string("BENCH_") + name + ".json";
+  const std::string path =
+      obs::output_path(std::string("BENCH_") + name + ".json");
   if (std::FILE* out = std::fopen(path.c_str(), "w"); out != nullptr) {
     std::fprintf(out, "%s\n", line);
     std::fclose(out);

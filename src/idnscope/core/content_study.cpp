@@ -1,14 +1,34 @@
 #include "idnscope/core/content_study.h"
 
 #include "idnscope/common/rng.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
 
 namespace idnscope::core {
 
+namespace {
+
+// Content-study effort: one fetch per classified page (the Table V loop is
+// serial, plain adds are exact).
+struct ContentStudyMetrics {
+  obs::Counter fetched =
+      obs::Registry::global().counter("core.content_study.pages_fetched");
+};
+
+ContentStudyMetrics& content_study_metrics() {
+  static ContentStudyMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
 ContentBreakdown classify_content(const Study& study,
                                   std::span<const std::string> domains) {
+  const obs::StageTimer stage("core.content_study.classify");
   ContentBreakdown out;
   const auto& eco = study.eco();
   for (const std::string& domain : domains) {
+    content_study_metrics().fetched.add(1);
     const web::FetchOutcome outcome = eco.web.fetch(domain, eco.resolver);
     const web::PageCategory category = web::classify_page(outcome, domain);
     ++out.counts[static_cast<std::size_t>(category)];
@@ -35,6 +55,7 @@ std::vector<T> sample(std::span<const T> population, std::size_t n, Rng& rng) {
 
 ContentComparison sampled_content_comparison(const Study& study, std::size_t n,
                                              std::uint64_t seed) {
+  const obs::StageTimer stage("core.content_study.sample");
   Rng rng(seed);
   Rng idn_rng = rng.fork("idn-sample");
   Rng non_idn_rng = rng.fork("non-idn-sample");

@@ -4,16 +4,36 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
+
 namespace idnscope::core {
 
 namespace {
 
+// Passive-DNS join effort: lookups at every pdns probe in this module,
+// covered per aggregate found.  All loops here are serial, so plain adds
+// are exact (docs/OBSERVABILITY.md inventory).
+struct DnsStudyMetrics {
+  obs::Counter lookups =
+      obs::Registry::global().counter("core.dns_study.pdns_lookups");
+  obs::Counter covered =
+      obs::Registry::global().counter("core.dns_study.pdns_covered");
+};
+
+DnsStudyMetrics& dns_study_metrics() {
+  static DnsStudyMetrics metrics;
+  return metrics;
+}
+
 void add_activity(ActivityEcdfs& out, const dns::PassiveDnsDb& pdns,
                   std::string_view domain) {
+  dns_study_metrics().lookups.add(1);
   const dns::DnsAggregate* aggregate = pdns.lookup(domain);
   if (aggregate == nullptr) {
     return;
   }
+  dns_study_metrics().covered.add(1);
   ++out.covered;
   out.active_days.add(static_cast<double>(aggregate->active_days()));
   out.query_volume.add(static_cast<double>(aggregate->query_count));
@@ -23,6 +43,7 @@ void add_activity(ActivityEcdfs& out, const dns::PassiveDnsDb& pdns,
 
 ActivityEcdfs activity_ecdfs(const Study& study,
                              std::span<const std::string> domains) {
+  const obs::StageTimer stage("core.dns_study.activity");
   ActivityEcdfs out;
   const dns::PassiveDnsDb& pdns = study.eco().pdns;
   for (const std::string& domain : domains) {
@@ -33,6 +54,7 @@ ActivityEcdfs activity_ecdfs(const Study& study,
 
 ActivityEcdfs activity_ecdfs(const Study& study,
                              std::span<const runtime::DomainId> domains) {
+  const obs::StageTimer stage("core.dns_study.activity");
   ActivityEcdfs out;
   const dns::PassiveDnsDb& pdns = study.eco().pdns;
   for (const runtime::DomainId id : domains) {
@@ -64,14 +86,17 @@ ActivityEcdfs non_idn_activity(const Study& study, std::string_view tld) {
 }
 
 HostingConcentration hosting_concentration(const Study& study) {
+  const obs::StageTimer stage("core.dns_study.hosting");
   std::unordered_set<std::uint32_t> ips;
   std::unordered_map<std::uint32_t, std::uint64_t> per_segment;
   const dns::PassiveDnsDb& pdns = study.eco().pdns;
   for (const runtime::DomainId id : study.idns()) {
+    dns_study_metrics().lookups.add(1);
     const dns::DnsAggregate* aggregate = pdns.lookup(study.domain(id));
     if (aggregate == nullptr || aggregate->resolved_ips.empty()) {
       continue;
     }
+    dns_study_metrics().covered.add(1);
     // One segment vote per IDN (the paper counts IDNs per segment); the IP
     // census counts every distinct address.
     for (const dns::Ipv4& ip : aggregate->resolved_ips) {

@@ -63,6 +63,20 @@ HomographDetector::HomographDetector(
                      render::column_profile(as_u32)};
     by_length_[length].push_back(std::move(entry));
   }
+  // Working set of the pre-rendered brand table, as pure size math (pixel
+  // buffers + column profiles + brand strings) — a function of the brand
+  // set and render options only, so it sits on the metrics plane.
+  std::int64_t table_bytes = 0;
+  for (const auto& bucket : by_length_) {
+    for (const BrandImage& entry : bucket) {
+      table_bytes += static_cast<std::int64_t>(
+          entry.image.pixels().size() * sizeof(std::uint8_t) +
+          entry.profile.size() * sizeof(int) + entry.brand.domain.size());
+    }
+  }
+  obs::Registry::global()
+      .gauge("core.homograph.brand_table_bytes")
+      .set(table_bytes);
 }
 
 std::optional<HomographMatch> HomographDetector::best_match(

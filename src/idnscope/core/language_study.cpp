@@ -2,10 +2,29 @@
 
 #include "idnscope/idna/idna.h"
 #include "idnscope/langid/classifier.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
 
 namespace idnscope::core {
 
+namespace {
+
+// LangID effort: counted once, at the innermost classification site, so
+// every caller of identify_domain_language tallies identically.
+struct LanguageStudyMetrics {
+  obs::Counter classified =
+      obs::Registry::global().counter("core.language_study.domains_classified");
+};
+
+LanguageStudyMetrics& language_study_metrics() {
+  static LanguageStudyMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
 langid::Language identify_domain_language(std::string_view ace_domain) {
+  language_study_metrics().classified.add(1);
   // Classify the display form of the SLD label only: the TLD is shared
   // infrastructure, not registrant language choice.
   const std::size_t dot = ace_domain.find('.');
@@ -17,6 +36,7 @@ langid::Language identify_domain_language(std::string_view ace_domain) {
 }
 
 LanguageStats analyze_languages(const Study& study) {
+  const obs::StageTimer stage("core.language_study.analyze");
   LanguageStats stats;
   for (const runtime::DomainId id : study.idns()) {
     const auto lang =

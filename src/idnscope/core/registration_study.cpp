@@ -4,12 +4,45 @@
 #include <map>
 #include <unordered_map>
 
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
+
 namespace idnscope::core {
 
+namespace {
+
+// WHOIS join effort: lookups at every probe in this module, records_joined
+// per record found.  Serial loops, plain adds are exact.
+struct RegistrationMetrics {
+  obs::Counter lookups =
+      obs::Registry::global().counter("core.registration_study.whois_lookups");
+  obs::Counter joined =
+      obs::Registry::global().counter("core.registration_study.records_joined");
+};
+
+RegistrationMetrics& registration_metrics() {
+  static RegistrationMetrics metrics;
+  return metrics;
+}
+
+const whois::WhoisRecord* counted_lookup(const Study& study,
+                                         runtime::DomainId id) {
+  registration_metrics().lookups.add(1);
+  const whois::WhoisRecord* record =
+      study.eco().whois.lookup(study.domain(id));
+  if (record != nullptr) {
+    registration_metrics().joined.add(1);
+  }
+  return record;
+}
+
+}  // namespace
+
 std::vector<YearCount> registration_timeline(const Study& study) {
+  const obs::StageTimer stage("core.registration_study.timeline");
   std::map<int, YearCount> by_year;
   for (const runtime::DomainId id : study.idns()) {
-    const whois::WhoisRecord* record = study.eco().whois.lookup(study.domain(id));
+    const whois::WhoisRecord* record = counted_lookup(study, id);
     if (record == nullptr) {
       continue;
     }
@@ -32,7 +65,7 @@ double fraction_created_before(const Study& study, int year) {
   std::uint64_t covered = 0;
   std::uint64_t before = 0;
   for (const runtime::DomainId id : study.idns()) {
-    const whois::WhoisRecord* record = study.eco().whois.lookup(study.domain(id));
+    const whois::WhoisRecord* record = counted_lookup(study, id);
     if (record == nullptr) {
       continue;
     }
@@ -51,7 +84,7 @@ std::unordered_map<std::string, std::vector<runtime::DomainId>>
 group_by_email(const Study& study) {
   std::unordered_map<std::string, std::vector<runtime::DomainId>> groups;
   for (const runtime::DomainId id : study.idns()) {
-    const whois::WhoisRecord* record = study.eco().whois.lookup(study.domain(id));
+    const whois::WhoisRecord* record = counted_lookup(study, id);
     if (record == nullptr || record->privacy_protected ||
         record->registrant_email.empty()) {
       continue;
@@ -65,6 +98,7 @@ group_by_email(const Study& study) {
 
 std::vector<RegistrantPortfolio> top_registrants(const Study& study,
                                                  std::size_t n) {
+  const obs::StageTimer stage("core.registration_study.registrants");
   auto groups = group_by_email(study);
   const runtime::DomainTable& table = study.table();
   std::vector<RegistrantPortfolio> portfolios;
@@ -107,10 +141,11 @@ std::uint64_t opportunistic_idn_count(const Study& study,
 }
 
 RegistrarStats registrar_stats(const Study& study, std::size_t top_n) {
+  const obs::StageTimer stage("core.registration_study.registrars");
   std::unordered_map<std::string, std::uint64_t> counts;
   std::uint64_t covered = 0;
   for (const runtime::DomainId id : study.idns()) {
-    const whois::WhoisRecord* record = study.eco().whois.lookup(study.domain(id));
+    const whois::WhoisRecord* record = counted_lookup(study, id);
     if (record == nullptr || record->registrar.empty()) {
       continue;
     }

@@ -33,6 +33,15 @@ SemanticDetector::SemanticDetector(std::span<const ecosystem::Brand> brands) {
   for (const ecosystem::Brand& brand : brands) {
     brand_by_sld_.emplace(brand.domain, brand.domain);
   }
+  // Working set of the brand lookup table as pure size math (key + value
+  // characters) — a function of the brand set only (metrics plane).
+  std::int64_t table_bytes = 0;
+  for (const auto& [key, value] : brand_by_sld_) {
+    table_bytes += static_cast<std::int64_t>(key.size() + value.size());
+  }
+  obs::Registry::global()
+      .gauge("core.semantic.brand_table_bytes")
+      .set(table_bytes);
 }
 
 std::optional<SemanticMatch> SemanticDetector::match(

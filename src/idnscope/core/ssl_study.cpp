@@ -1,19 +1,41 @@
 #include "idnscope/core/ssl_study.h"
 
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
+
 namespace idnscope::core {
 
+namespace {
+
+// Certificate-study effort: every certificate classified by the Table VI
+// comparison.  Serial code, plain adds are exact.
+struct SslStudyMetrics {
+  obs::Counter classified =
+      obs::Registry::global().counter("core.ssl_study.certs_classified");
+};
+
+SslStudyMetrics& ssl_study_metrics() {
+  static SslStudyMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
 SslComparison ssl_comparison(const Study& study) {
+  const obs::StageTimer stage("core.ssl_study.compare");
   const auto& eco = study.eco();
   SslComparison out;
   out.idn = eco.idn_certs.classify(eco.scenario.snapshot);
   out.non_idn = eco.non_idn_certs.classify(eco.scenario.snapshot);
   out.idn_certs = eco.idn_certs.size();
   out.non_idn_certs = eco.non_idn_certs.size();
+  ssl_study_metrics().classified.add(out.idn_certs + out.non_idn_certs);
   return out;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> shared_cert_table(
     const Study& study, std::size_t top_n) {
+  const obs::StageTimer stage("core.ssl_study.shared_certs");
   auto shared =
       study.eco().idn_certs.shared_certificates(study.eco().scenario.snapshot);
   if (shared.size() > top_n) {

@@ -1,7 +1,11 @@
 #include "idnscope/obs/export.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
 #include <vector>
 
 #include "idnscope/obs/trace.h"
@@ -218,20 +222,146 @@ std::string trace_to_json() {
                   static_cast<double>(stats.total_ns) / 1e6);
     out += buffer;
   }
-  out += "}}";
+  out += "},\"peak_rss_kb\":" + std::to_string(peak_rss_kb()) + "}";
   return out;
 }
+
+std::string trace_events_to_json() {
+  const std::vector<TraceEvent> events = trace_events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                    "\"dropped_events\":" +
+                    std::to_string(trace_events_dropped()) +
+                    "},\"traceEvents\":[";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"idnscope\"}}";
+  // One thread_name metadata event per lane, so Perfetto labels the main
+  // thread and the executor workers distinctly.
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& event : events) {
+    tids.insert(event.tid);
+  }
+  for (const std::uint32_t tid : tids) {
+    out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":";
+    append_json_string(out, tid == 0 ? std::string("main")
+                                     : "worker-" + std::to_string(tid));
+    out += "}}";
+  }
+  std::uint64_t last_us = 0;
+  for (const TraceEvent& event : events) {
+    out += ",{\"name\":";
+    append_json_string(out, event.path);
+    out += ",\"cat\":\"idnscope\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(event.tid) + ",\"ts\":" +
+           std::to_string(event.start_us) + ",\"dur\":" +
+           std::to_string(event.dur_us) + "}";
+    last_us = std::max(last_us, event.start_us + event.dur_us);
+  }
+  out += ",{\"name\":\"peak_rss_kb\",\"ph\":\"C\",\"pid\":1,\"tid\":0,"
+         "\"ts\":" +
+         std::to_string(last_us) + ",\"args\":{\"kb\":" +
+         std::to_string(peak_rss_kb()) + "}}]}";
+  return out;
+}
+
+std::optional<std::vector<TraceEvent>> parse_trace_events(
+    std::string_view json) {
+  Parser parser(json);
+  std::uint64_t dropped = 0;
+  if (!parser.literal("{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                      "\"dropped_events\":") ||
+      !parser.number(dropped) || !parser.literal("},\"traceEvents\":[")) {
+    return std::nullopt;
+  }
+  std::vector<TraceEvent> events;
+  bool first = true;
+  while (true) {
+    if (parser.literal("]}")) {
+      break;
+    }
+    if (!first && !parser.literal(",")) {
+      return std::nullopt;
+    }
+    first = false;
+    std::string name;
+    if (!parser.literal("{\"name\":") || !parser.string(name)) {
+      return std::nullopt;
+    }
+    if (name == "process_name" || name == "thread_name") {
+      std::uint32_t tid = 0;
+      std::string label;
+      if (!parser.literal(",\"ph\":\"M\",\"pid\":1,\"tid\":") ||
+          !parser.number(tid) || !parser.literal(",\"args\":{\"name\":") ||
+          !parser.string(label) || !parser.literal("}}")) {
+        return std::nullopt;
+      }
+    } else if (name == "peak_rss_kb") {
+      std::uint64_t ts = 0;
+      std::uint64_t kb = 0;
+      if (!parser.literal(",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":") ||
+          !parser.number(ts) || !parser.literal(",\"args\":{\"kb\":") ||
+          !parser.number(kb) || !parser.literal("}}")) {
+        return std::nullopt;
+      }
+    } else {
+      TraceEvent event;
+      event.path = std::move(name);
+      if (!parser.literal(",\"cat\":\"idnscope\",\"ph\":\"X\",\"pid\":1,"
+                          "\"tid\":") ||
+          !parser.number(event.tid) || !parser.literal(",\"ts\":") ||
+          !parser.number(event.start_us) || !parser.literal(",\"dur\":") ||
+          !parser.number(event.dur_us) || !parser.literal("}")) {
+        return std::nullopt;
+      }
+      events.push_back(std::move(event));
+    }
+  }
+  if (!parser.done()) {
+    return std::nullopt;
+  }
+  return events;
+}
+
+std::string output_dir() {
+  const char* env = std::getenv("IDNSCOPE_OBS_DIR");
+  if (env == nullptr || env[0] == '\0') {
+    return {};
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(env, ec);
+  if (!std::filesystem::is_directory(env)) {
+    return {};  // creation failed; fall back to the working directory
+  }
+  return env;
+}
+
+std::string output_path(const std::string& filename) {
+  const std::string dir = output_dir();
+  if (dir.empty()) {
+    return filename;
+  }
+  return (std::filesystem::path(dir) / filename).string();
+}
+
+namespace {
+
+void write_file(const std::string& path, const std::string& line) {
+  if (std::FILE* out = std::fopen(path.c_str(), "w"); out != nullptr) {
+    std::fprintf(out, "%s\n", line.c_str());
+    std::fclose(out);
+  }
+}
+
+}  // namespace
 
 void emit_metrics(const char* name) {
   const std::string metrics =
       snapshot_to_json(Registry::global().snapshot());
   std::fprintf(stderr, "METRICS_JSON %s\n", metrics.c_str());
   std::fprintf(stderr, "TRACE_JSON %s\n", trace_to_json().c_str());
-  const std::string path = std::string("METRICS_") + name + ".json";
-  if (std::FILE* out = std::fopen(path.c_str(), "w"); out != nullptr) {
-    std::fprintf(out, "%s\n", metrics.c_str());
-    std::fclose(out);
-  }
+  write_file(output_path(std::string("METRICS_") + name + ".json"), metrics);
+  write_file(output_path(std::string("TRACE_") + name + ".json"),
+             trace_events_to_json());
 }
 
 }  // namespace idnscope::obs

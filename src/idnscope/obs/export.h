@@ -10,15 +10,19 @@
 // emit_metrics() is the convention every bench and example follows:
 //   stderr   METRICS_JSON {...}   deterministic metrics plane, one line
 //   stderr   TRACE_JSON {...}     wall-clock trace plane, one line
-//   cwd      METRICS_<name>.json  the metrics line again, for harnesses
+//   <dir>    METRICS_<name>.json  the metrics line again, for harnesses
+//   <dir>    TRACE_<name>.json    Chrome trace-event file (Perfetto-loadable)
+// <dir> is $IDNSCOPE_OBS_DIR (created if missing) or the working directory.
 // stdout is never touched (it carries study results and must stay
 // byte-identical across thread counts).
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
 
 namespace idnscope::obs {
 
@@ -28,13 +32,34 @@ std::string snapshot_to_json(const Snapshot& snapshot);
 // Strict inverse of snapshot_to_json; nullopt on malformed input.
 std::optional<Snapshot> parse_snapshot(std::string_view json);
 
-// The trace plane: {"spans":{"path":{"calls":N,"wall_ms":X.XXX},...}}.
-// Wall times make this line non-deterministic by nature; it is emitted to
-// stderr only, never into METRICS_<name>.json.
+// The trace plane, aggregate form:
+// {"spans":{"path":{"calls":N,"wall_ms":X.XXX},...},"peak_rss_kb":N}.
+// Wall times and RSS make this line non-deterministic by nature; it is
+// emitted to stderr only, never into METRICS_<name>.json.
 std::string trace_to_json();
 
+// The trace plane, timeline form: the recorded span events serialized as
+// Chrome trace-event JSON (the JSON Array Format wrapped in an object, as
+// chrome://tracing and Perfetto load it).  Every span is a complete ("X")
+// event in microseconds; thread-name metadata labels worker lanes; peak
+// RSS rides along as one counter ("C") event.  docs/OBSERVABILITY.md
+// documents the format.
+std::string trace_events_to_json();
+
+// Inverse of trace_events_to_json, strict like parse_snapshot: returns the
+// complete-phase events (metadata and counter events are checked, then
+// skipped); nullopt on anything the serializer would not produce.
+std::optional<std::vector<TraceEvent>> parse_trace_events(
+    std::string_view json);
+
+// Snapshot-file placement: $IDNSCOPE_OBS_DIR if set (created when missing;
+// falls back to the working directory if creation fails), else the working
+// directory.  output_path joins it with a file name.
+std::string output_dir();
+std::string output_path(const std::string& filename);
+
 // Emit the global registry + trace table as described above.  `name`
-// becomes the METRICS_<name>.json file name.
+// becomes the METRICS_<name>.json / TRACE_<name>.json file names.
 void emit_metrics(const char* name);
 
 }  // namespace idnscope::obs

@@ -115,6 +115,7 @@ void Registry::reset() {
     cell->count.reset();
     cell->sum_micros.reset();
   }
+  generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace idnscope::obs

@@ -190,8 +190,17 @@ class Registry {
   // For tests that measure per-stage deltas.
   void reset();
 
+  // Bumped by every reset().  Gauges for static tables (working sets that
+  // are constants of the build, noted lazily from hot paths) compare this
+  // against the generation they last noted, so a reset does not leave them
+  // stale at zero for the rest of the process.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
  private:
   mutable std::mutex mutex_;
+  std::atomic<std::uint64_t> generation_{0};
   std::map<std::string, std::unique_ptr<internal::CounterCell>, std::less<>>
       counters_;
   std::map<std::string, std::unique_ptr<internal::GaugeCell>, std::less<>>

@@ -1,0 +1,439 @@
+#include "idnscope/obs/obsctl.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+namespace idnscope::obs {
+
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return std::nullopt;
+  }
+  std::string content;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    content.append(buffer, got);
+  }
+  std::fclose(in);
+  while (!content.empty() && (content.back() == '\n' || content.back() == '\r')) {
+    content.pop_back();
+  }
+  return content;
+}
+
+bool write_line(const std::string& path, const std::string& line) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return false;
+  }
+  std::fprintf(out, "%s\n", line.c_str());
+  std::fclose(out);
+  return true;
+}
+
+// Both maps keyed by metric name; emits "kind name: a -> b" per difference.
+template <typename V>
+void diff_flat(const char* kind, const std::map<std::string, V>& a,
+               const std::map<std::string, V>& b,
+               std::vector<std::string>& lines) {
+  auto it_a = a.begin();
+  auto it_b = b.begin();
+  const auto emit = [&](const std::string& name, const std::string& lhs,
+                        const std::string& rhs) {
+    lines.push_back(std::string(kind) + " " + name + ": " + lhs + " -> " + rhs);
+  };
+  while (it_a != a.end() || it_b != b.end()) {
+    if (it_b == b.end() || (it_a != a.end() && it_a->first < it_b->first)) {
+      emit(it_a->first, std::to_string(it_a->second), "absent");
+      ++it_a;
+    } else if (it_a == a.end() || it_b->first < it_a->first) {
+      emit(it_b->first, "absent", std::to_string(it_b->second));
+      ++it_b;
+    } else {
+      if (it_a->second != it_b->second) {
+        emit(it_a->first, std::to_string(it_a->second),
+             std::to_string(it_b->second));
+      }
+      ++it_a;
+      ++it_b;
+    }
+  }
+}
+
+std::string histogram_brief(const HistogramSnapshot& hist) {
+  std::string out = "count=" + std::to_string(hist.count) +
+                    " sum_micros=" + std::to_string(hist.sum_micros) +
+                    " counts=[";
+  for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+    if (i != 0) {
+      out.push_back(',');
+    }
+    out += std::to_string(hist.counts[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+// Pull one number field ("wall_ms") out of a BENCH_<name>.json line
+// ({"bench":"...","wall_ms":X.XXX,"threads":N}).
+std::optional<double> parse_bench_wall_ms(const std::string& json) {
+  const std::string key = "\"wall_ms\":";
+  const std::size_t pos = json.find(key);
+  if (pos == std::string::npos) {
+    return std::nullopt;
+  }
+  const char* begin = json.c_str() + pos + key.size();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(begin, &end);
+  if (end == begin || errno != 0) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::vector<Ranked> rank_descending(std::vector<Ranked> rows, std::size_t n) {
+  std::sort(rows.begin(), rows.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.value != b.value) {
+      return a.value > b.value;
+    }
+    return a.name < b.name;
+  });
+  if (rows.size() > n) {
+    rows.resize(n);
+  }
+  return rows;
+}
+
+// --- verbs -----------------------------------------------------------------
+
+int run_diff(std::span<const std::string> args, std::string& out,
+             std::string& err) {
+  if (args.size() != 2) {
+    err += "usage: obsctl diff <metrics_a.json> <metrics_b.json>\n";
+    return kObsctlError;
+  }
+  Snapshot snaps[2];
+  for (int i = 0; i < 2; ++i) {
+    const auto content = read_file(args[i]);
+    if (!content) {
+      err += "obsctl diff: cannot read " + args[i] + "\n";
+      return kObsctlError;
+    }
+    const auto parsed = parse_snapshot(*content);
+    if (!parsed) {
+      err += "obsctl diff: not a metrics snapshot: " + args[i] + "\n";
+      return kObsctlError;
+    }
+    snaps[i] = *parsed;
+  }
+  const auto lines = diff_snapshot_lines(snaps[0], snaps[1]);
+  for (const std::string& line : lines) {
+    out += line + "\n";
+  }
+  if (lines.empty()) {
+    out += "snapshots identical\n";
+    return kObsctlOk;
+  }
+  return kObsctlDiffers;
+}
+
+int run_top(std::span<const std::string> args, std::string& out,
+            std::string& err) {
+  std::size_t n = 10;
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-n") {
+      if (i + 1 >= args.size()) {
+        err += "obsctl top: -n needs a value\n";
+        return kObsctlError;
+      }
+      n = static_cast<std::size_t>(std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (files.size() != 1 || n == 0) {
+    err += "usage: obsctl top <metrics_or_trace.json> [-n N]\n";
+    return kObsctlError;
+  }
+  const auto content = read_file(files[0]);
+  if (!content) {
+    err += "obsctl top: cannot read " + files[0] + "\n";
+    return kObsctlError;
+  }
+  if (const auto snapshot = parse_snapshot(*content)) {
+    for (const Ranked& row : top_counters(*snapshot, n)) {
+      out += std::to_string(row.value) + "\t" + row.name + "\n";
+    }
+    return kObsctlOk;
+  }
+  if (const auto events = parse_trace_events(*content)) {
+    for (const Ranked& row : top_span_totals(*events, n)) {
+      out += std::to_string(row.value) + "us\t" + row.name + "\n";
+    }
+    return kObsctlOk;
+  }
+  err += "obsctl top: " + files[0] +
+         " is neither a metrics snapshot nor a trace-event file\n";
+  return kObsctlError;
+}
+
+int run_merge(std::span<const std::string> args, std::string& out,
+              std::string& err) {
+  if (args.size() < 2) {
+    err += "usage: obsctl merge <out.json> <in1.json> [in2.json ...]\n";
+    return kObsctlError;
+  }
+  std::vector<Snapshot> parts;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const auto content = read_file(args[i]);
+    if (!content) {
+      err += "obsctl merge: cannot read " + args[i] + "\n";
+      return kObsctlError;
+    }
+    const auto parsed = parse_snapshot(*content);
+    if (!parsed) {
+      err += "obsctl merge: not a metrics snapshot: " + args[i] + "\n";
+      return kObsctlError;
+    }
+    parts.push_back(std::move(*parsed));
+  }
+  const auto merged = merge_snapshots(parts);
+  if (!merged) {
+    err += "obsctl merge: histogram bounds differ across inputs\n";
+    return kObsctlError;
+  }
+  if (!write_line(args[0], snapshot_to_json(*merged))) {
+    err += "obsctl merge: cannot write " + args[0] + "\n";
+    return kObsctlError;
+  }
+  out += "merged " + std::to_string(parts.size()) + " snapshots into " +
+         args[0] + "\n";
+  return kObsctlOk;
+}
+
+int run_gate(std::span<const std::string> args, std::string& out,
+             std::string& err) {
+  std::vector<std::string> positional;
+  double wall_tolerance = 25.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--wall-tolerance") {
+      if (i + 1 >= args.size()) {
+        err += "obsctl gate: --wall-tolerance needs a value\n";
+        return kObsctlError;
+      }
+      char* end = nullptr;
+      wall_tolerance = std::strtod(args[++i].c_str(), &end);
+      if (end == args[i].c_str() || wall_tolerance <= 0.0) {
+        err += "obsctl gate: bad --wall-tolerance\n";
+        return kObsctlError;
+      }
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() != 3) {
+    err += "usage: obsctl gate <baseline_dir> <fresh_dir> <name> "
+           "[--wall-tolerance F]\n";
+    return kObsctlError;
+  }
+  const std::string& baseline_dir = positional[0];
+  const std::string& fresh_dir = positional[1];
+  const std::string& name = positional[2];
+  const auto path = [](const std::string& dir, const char* prefix,
+                       const std::string& bench) {
+    return dir + "/" + prefix + bench + ".json";
+  };
+
+  // Metrics plane: deterministic by contract, so the gate is exact match.
+  const std::string baseline_metrics_path =
+      path(baseline_dir, "METRICS_", name);
+  const auto baseline_metrics = read_file(baseline_metrics_path);
+  if (!baseline_metrics) {
+    err += "obsctl gate: missing baseline " + baseline_metrics_path + "\n";
+    return kObsctlError;
+  }
+  const std::string fresh_metrics_path = path(fresh_dir, "METRICS_", name);
+  const auto fresh_metrics = read_file(fresh_metrics_path);
+  if (!fresh_metrics) {
+    err += "obsctl gate: missing fresh snapshot " + fresh_metrics_path + "\n";
+    return kObsctlError;
+  }
+  const auto baseline_snap = parse_snapshot(*baseline_metrics);
+  const auto fresh_snap = parse_snapshot(*fresh_metrics);
+  if (!baseline_snap || !fresh_snap) {
+    err += "obsctl gate: malformed metrics snapshot\n";
+    return kObsctlError;
+  }
+  const auto lines = diff_snapshot_lines(*baseline_snap, *fresh_snap);
+  if (!lines.empty()) {
+    for (const std::string& line : lines) {
+      err += line + "\n";
+    }
+    err += "obsctl gate: METRICS_" + name +
+           " drifted from the committed baseline (metrics are deterministic "
+           "— either a real coverage change, or the baseline needs "
+           "regenerating)\n";
+    return kObsctlDiffers;
+  }
+
+  // Wall plane: tolerance-gated, machines differ.
+  const std::string baseline_bench_path = path(baseline_dir, "BENCH_", name);
+  const auto baseline_bench = read_file(baseline_bench_path);
+  if (!baseline_bench) {
+    err += "obsctl gate: missing baseline " + baseline_bench_path + "\n";
+    return kObsctlError;
+  }
+  const auto fresh_bench = read_file(path(fresh_dir, "BENCH_", name));
+  if (!fresh_bench) {
+    err += "obsctl gate: missing fresh bench " +
+           path(fresh_dir, "BENCH_", name) + "\n";
+    return kObsctlError;
+  }
+  const auto baseline_wall = parse_bench_wall_ms(*baseline_bench);
+  const auto fresh_wall = parse_bench_wall_ms(*fresh_bench);
+  if (!baseline_wall || !fresh_wall) {
+    err += "obsctl gate: malformed BENCH json\n";
+    return kObsctlError;
+  }
+  const double budget_ms = *baseline_wall * wall_tolerance;
+  char line[256];
+  if (*fresh_wall > budget_ms) {
+    std::snprintf(line, sizeof(line),
+                  "obsctl gate: %s wall time %.3f ms exceeds budget %.3f ms "
+                  "(baseline %.3f ms x tolerance %.1f)\n",
+                  name.c_str(), *fresh_wall, budget_ms, *baseline_wall,
+                  wall_tolerance);
+    err += line;
+    return kObsctlDiffers;
+  }
+  std::snprintf(line, sizeof(line),
+                "gate ok: %s metrics exact-match (%zu counters, %zu gauges, "
+                "%zu histograms), wall %.3f ms within %.3f ms budget\n",
+                name.c_str(), fresh_snap->counters.size(),
+                fresh_snap->gauges.size(), fresh_snap->histograms.size(),
+                *fresh_wall, budget_ms);
+  out += line;
+  return kObsctlOk;
+}
+
+}  // namespace
+
+std::vector<std::string> diff_snapshot_lines(const Snapshot& a,
+                                             const Snapshot& b) {
+  std::vector<std::string> lines;
+  diff_flat("counter", a.counters, b.counters, lines);
+  diff_flat("gauge", a.gauges, b.gauges, lines);
+  auto it_a = a.histograms.begin();
+  auto it_b = b.histograms.begin();
+  while (it_a != a.histograms.end() || it_b != b.histograms.end()) {
+    if (it_b == b.histograms.end() ||
+        (it_a != a.histograms.end() && it_a->first < it_b->first)) {
+      lines.push_back("histogram " + it_a->first + ": " +
+                      histogram_brief(it_a->second) + " -> absent");
+      ++it_a;
+    } else if (it_a == a.histograms.end() || it_b->first < it_a->first) {
+      lines.push_back("histogram " + it_b->first + ": absent -> " +
+                      histogram_brief(it_b->second));
+      ++it_b;
+    } else {
+      if (!(it_a->second == it_b->second)) {
+        lines.push_back("histogram " + it_a->first + ": " +
+                        histogram_brief(it_a->second) + " -> " +
+                        histogram_brief(it_b->second));
+      }
+      ++it_a;
+      ++it_b;
+    }
+  }
+  return lines;
+}
+
+std::optional<Snapshot> merge_snapshots(std::span<const Snapshot> parts) {
+  Snapshot merged;
+  for (const Snapshot& part : parts) {
+    for (const auto& [name, value] : part.counters) {
+      merged.counters[name] += value;
+    }
+    for (const auto& [name, value] : part.gauges) {
+      auto [it, inserted] = merged.gauges.emplace(name, value);
+      if (!inserted) {
+        it->second = std::max(it->second, value);
+      }
+    }
+    for (const auto& [name, hist] : part.histograms) {
+      auto [it, inserted] = merged.histograms.emplace(name, hist);
+      if (inserted) {
+        continue;
+      }
+      HistogramSnapshot& into = it->second;
+      if (into.bounds_micros != hist.bounds_micros ||
+          into.counts.size() != hist.counts.size()) {
+        return std::nullopt;
+      }
+      for (std::size_t i = 0; i < into.counts.size(); ++i) {
+        into.counts[i] += hist.counts[i];
+      }
+      into.count += hist.count;
+      into.sum_micros += hist.sum_micros;
+    }
+  }
+  return merged;
+}
+
+std::vector<Ranked> top_counters(const Snapshot& snapshot, std::size_t n) {
+  std::vector<Ranked> rows;
+  rows.reserve(snapshot.counters.size());
+  for (const auto& [name, value] : snapshot.counters) {
+    rows.push_back(Ranked{name, value});
+  }
+  return rank_descending(std::move(rows), n);
+}
+
+std::vector<Ranked> top_span_totals(std::span<const TraceEvent> events,
+                                    std::size_t n) {
+  std::map<std::string, std::uint64_t> totals;
+  for (const TraceEvent& event : events) {
+    totals[event.path] += event.dur_us;
+  }
+  std::vector<Ranked> rows;
+  rows.reserve(totals.size());
+  for (const auto& [name, value] : totals) {
+    rows.push_back(Ranked{name, value});
+  }
+  return rank_descending(std::move(rows), n);
+}
+
+int run_obsctl(std::span<const std::string> args, std::string& out,
+               std::string& err) {
+  if (args.empty()) {
+    err += "usage: obsctl <diff|top|merge|gate> ...\n";
+    return kObsctlError;
+  }
+  const std::span<const std::string> rest = args.subspan(1);
+  if (args[0] == "diff") {
+    return run_diff(rest, out, err);
+  }
+  if (args[0] == "top") {
+    return run_top(rest, out, err);
+  }
+  if (args[0] == "merge") {
+    return run_merge(rest, out, err);
+  }
+  if (args[0] == "gate") {
+    return run_gate(rest, out, err);
+  }
+  err += "obsctl: unknown verb '" + args[0] + "'\n";
+  return kObsctlError;
+}
+
+}  // namespace idnscope::obs

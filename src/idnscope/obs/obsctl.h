@@ -1,0 +1,69 @@
+// Observability layer: snapshot consumption — the obsctl toolbox.
+//
+// Everything the `idnscope_obsctl` CLI does lives here as library code so
+// tests exercise the exact logic the tool ships (tools/idnscope_obsctl.cpp
+// is a thin argv shim).  Four verbs:
+//
+//   diff   two METRICS_*.json snapshots; exit 1 with per-metric lines on
+//          any mismatch.  Because snapshots are canonical (sorted keys,
+//          integers only) this is a *semantic* diff, not a text diff.
+//   top    rank a snapshot's counters by value, or a TRACE_*.json
+//          trace-event file's span paths by total wall time.
+//   merge  sum several snapshots into one (counters and histogram tallies
+//          add; gauges are levels, so the merge takes the max).
+//   gate   the CI perf-regression gate: compare a fresh METRICS/BENCH pair
+//          against a committed baseline under bench/baselines/.  Metrics
+//          must match byte-exactly (they are deterministic by contract);
+//          wall time may drift up to a configurable multiplier (machines
+//          differ — the gate catches order-of-magnitude regressions, the
+//          exact-match metrics catch silent coverage loss).
+//
+// Exit codes: 0 ok/equal, 1 difference/regression, 2 usage, I/O or parse
+// error (including a missing baseline).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "idnscope/obs/export.h"
+#include "idnscope/obs/metrics.h"
+
+namespace idnscope::obs {
+
+inline constexpr int kObsctlOk = 0;
+inline constexpr int kObsctlDiffers = 1;
+inline constexpr int kObsctlError = 2;
+
+// One line per differing metric ("counter core.x.y: 12 -> 15"); empty when
+// the snapshots are equal.  Missing-on-one-side values print as "absent".
+std::vector<std::string> diff_snapshot_lines(const Snapshot& a,
+                                             const Snapshot& b);
+
+// Sum of several snapshots: counters and histogram bucket/count/sum tallies
+// add, gauges take the max across parts.  nullopt when the same histogram
+// appears with different bounds (bounds are fixed at registration, so that
+// only happens across incompatible binaries).
+std::optional<Snapshot> merge_snapshots(std::span<const Snapshot> parts);
+
+struct Ranked {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+// Counters ranked by value (descending, ties by name).
+std::vector<Ranked> top_counters(const Snapshot& snapshot, std::size_t n);
+
+// Span paths ranked by summed duration in microseconds (descending, ties
+// by name).
+std::vector<Ranked> top_span_totals(std::span<const TraceEvent> events,
+                                    std::size_t n);
+
+// The whole CLI: args excludes argv[0].  Output text accumulates into
+// `out` / `err`; the return value is the process exit code above.
+int run_obsctl(std::span<const std::string> args, std::string& out,
+               std::string& err);
+
+}  // namespace idnscope::obs

@@ -1,7 +1,12 @@
 #include "idnscope/obs/trace.h"
 
+#include <atomic>
 #include <mutex>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace idnscope::obs {
 
@@ -10,6 +15,8 @@ namespace {
 struct TraceTable {
   std::mutex mutex;
   std::map<std::string, SpanStats> spans;
+  std::vector<TraceEvent> events;
+  std::uint64_t events_dropped = 0;
 };
 
 TraceTable& table() {
@@ -22,12 +29,50 @@ std::string& thread_path() {
   return path;
 }
 
-void record(const std::string& path, std::uint64_t elapsed_ns) {
+// Dense per-thread timeline id, assigned on the first span a thread closes.
+std::uint32_t thread_timeline_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// The trace epoch: all timeline timestamps are microseconds since the
+// first call (in practice the first span open of the process).
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::uint64_t since_epoch_us(std::chrono::steady_clock::time_point t) {
+  // The epoch is pinned from the first StageTimer's constructor body, a few
+  // instructions after its start_ member init — clamp so that first span
+  // cannot land microscopically before the epoch and wrap.
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::microseconds>(t - trace_epoch())
+          .count();
+  return elapsed < 0 ? 0 : static_cast<std::uint64_t>(elapsed);
+}
+
+void record(const std::string& path,
+            std::chrono::steady_clock::time_point start,
+            std::chrono::steady_clock::time_point end) {
+  const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  const std::uint32_t tid = thread_timeline_id();
   TraceTable& t = table();
   std::lock_guard<std::mutex> lock(t.mutex);
   SpanStats& stats = t.spans[path];
   ++stats.calls;
   stats.total_ns += elapsed_ns;
+  if (t.events.size() < kMaxTraceEvents) {
+    const std::uint64_t start_us = since_epoch_us(start);
+    t.events.push_back(TraceEvent{path, tid, start_us,
+                                  since_epoch_us(end) - start_us});
+  } else {
+    ++t.events_dropped;
+  }
 }
 
 }  // namespace
@@ -35,6 +80,7 @@ void record(const std::string& path, std::uint64_t elapsed_ns) {
 StageTimer::StageTimer(const char* name)
     : start_(std::chrono::steady_clock::now()),
       previous_path_(std::move(thread_path())) {
+  trace_epoch();  // pin the epoch no later than the first span open
   std::string& path = thread_path();
   if (previous_path_.empty()) {
     path = name;
@@ -44,11 +90,7 @@ StageTimer::StageTimer(const char* name)
 }
 
 StageTimer::~StageTimer() {
-  const auto elapsed = std::chrono::steady_clock::now() - start_;
-  record(thread_path(),
-         static_cast<std::uint64_t>(
-             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                 .count()));
+  record(thread_path(), start_, std::chrono::steady_clock::now());
   thread_path() = std::move(previous_path_);
 }
 
@@ -67,10 +109,40 @@ std::map<std::string, SpanStats> trace_table() {
   return t.spans;
 }
 
+std::vector<TraceEvent> trace_events() {
+  TraceTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  return t.events;
+}
+
+std::uint64_t trace_events_dropped() {
+  TraceTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  return t.events_dropped;
+}
+
+std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes there
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
 void reset_trace() {
   TraceTable& t = table();
   std::lock_guard<std::mutex> lock(t.mutex);
   t.spans.clear();
+  t.events.clear();
+  t.events_dropped = 0;
 }
 
 }  // namespace idnscope::obs

@@ -21,12 +21,26 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace idnscope::obs {
 
 struct SpanStats {
   std::uint64_t calls = 0;
   std::uint64_t total_ns = 0;
+};
+
+// One closed span on the wall-clock timeline: the span path, a small dense
+// thread id (0 = first thread that opened a span), and start/duration in
+// microseconds since the process's trace epoch (the first span open).
+// These are the raw material of the Chrome trace-event export
+// (obs::trace_events_to_json); like everything on the trace plane they are
+// wall-clock data and exempt from the determinism contract.
+struct TraceEvent {
+  std::string path;
+  std::uint32_t tid = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
 };
 
 // Times one stage from construction to destruction and records it under
@@ -67,7 +81,21 @@ const std::string& current_trace_path();
 // Sorted copy of every recorded span path -> stats.
 std::map<std::string, SpanStats> trace_table();
 
-// Drop all recorded spans (tests, or scoping a report to one stage).
+// Copy of the timeline event log, in span-close order.  The log is bounded
+// (kMaxTraceEvents); spans closing after the cap are still aggregated into
+// trace_table() but drop off the timeline, and trace_events_dropped()
+// counts them so the export can say so instead of silently truncating.
+inline constexpr std::size_t kMaxTraceEvents = 1u << 17;
+std::vector<TraceEvent> trace_events();
+std::uint64_t trace_events_dropped();
+
+// Peak resident-set size of the process in kilobytes (getrusage), 0 where
+// unsupported.  Wall-plane only: RSS depends on allocator and scheduling,
+// so it must never be written into a METRICS_<name>.json snapshot.
+std::uint64_t peak_rss_kb();
+
+// Drop all recorded spans and timeline events (tests, or scoping a report
+// to one stage).
 void reset_trace();
 
 }  // namespace idnscope::obs

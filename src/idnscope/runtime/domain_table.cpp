@@ -22,7 +22,19 @@ struct TableMetrics {
       obs::Registry::global().gauge("runtime.domain_table.entries");
   obs::Gauge arena_bytes =
       obs::Registry::global().gauge("runtime.domain_table.arena_bytes");
+  obs::Gauge index_bytes =
+      obs::Registry::global().gauge("runtime.domain_table.index_bytes");
 };
+
+// Per-entry payload of the id<->string index and side tables, as pure size
+// math (docs/OBSERVABILITY.md "Memory metrics"): the entries_ view, the
+// index_ key+id pair, and one byte each for tld_group/blacklist_mask/flags.
+// Allocator and container overhead are deliberately excluded — they vary
+// by implementation, and the gauge must stay a pure function of the
+// workload.
+inline constexpr std::int64_t kIndexBytesPerEntry =
+    static_cast<std::int64_t>(2 * sizeof(std::string_view) + sizeof(DomainId) +
+                              3 * sizeof(std::uint8_t));
 
 TableMetrics& table_metrics() {
   static TableMetrics metrics;
@@ -69,6 +81,8 @@ DomainId DomainTable::intern(std::string_view domain) {
   index_.emplace(stored, id);
   table_metrics().interned.add(1);
   table_metrics().entries.set(static_cast<std::int64_t>(entries_.size()));
+  table_metrics().index_bytes.set(static_cast<std::int64_t>(entries_.size()) *
+                                  kIndexBytesPerEntry);
   return id;
 }
 

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <limits>
 #include <unordered_map>
+
+#include "idnscope/obs/metrics.h"
 
 namespace idnscope::unicode {
 
@@ -297,11 +301,36 @@ std::string_view visual_class_name(VisualClass visual) {
   return "weak";
 }
 
+namespace {
+
+// Working-set gauge for the UC-SimList stand-in: pure size math over the
+// homoglyph entries, so the value is a constant of the build and sits on
+// the metrics plane.  Registered lazily so a snapshot only carries it when
+// the table was actually touched, and re-noted per registry generation so
+// a reset between runs never leaves it stale at zero.  Steady-state cost
+// on the hot path is two relaxed loads.
+void note_simlist_bytes() {
+  static std::atomic<std::uint64_t> noted_generation{
+      std::numeric_limits<std::uint64_t>::max()};
+  const std::uint64_t generation = obs::Registry::global().generation();
+  if (noted_generation.load(std::memory_order_relaxed) == generation) {
+    return;
+  }
+  obs::Registry::global()
+      .gauge("unicode.confusables.simlist_bytes")
+      .set(static_cast<std::int64_t>(kTableSize * sizeof(Homoglyph)));
+  noted_generation.store(generation, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 std::span<const Homoglyph> all_homoglyphs() {
+  note_simlist_bytes();
   return {kTable, kTableSize};
 }
 
 std::span<const Homoglyph> homoglyphs_of(char ascii) {
+  note_simlist_bytes();
   // The table is sorted by ascii_base; find the contiguous run.
   auto lo = std::lower_bound(
       std::begin(kTable), std::end(kTable), ascii,

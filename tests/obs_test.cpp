@@ -3,6 +3,9 @@
 // count-effort-exactly-once contract the detectors rely on.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +17,7 @@
 #include "idnscope/obs/trace.h"
 #include "idnscope/runtime/domain_table.h"
 #include "idnscope/runtime/parallel.h"
+#include "idnscope/unicode/confusables.h"
 
 namespace idnscope {
 namespace {
@@ -201,6 +205,217 @@ TEST(Trace, ExecutorAttributesWorkerBusyTimeToCallingStage) {
   // One span per worker; the count scales with the worker count, which is
   // exactly why this lives on the trace plane, not in the snapshot file.
   EXPECT_GE(table.at("teststage/runtime.parallel.worker").calls, 1U);
+}
+
+// --- trace-event timeline (Chrome trace export) ----------------------------
+
+TEST(TraceEvents, RecordedInCloseOrderWithFullPaths) {
+  reset_all();
+  {
+    const obs::StageTimer outer("ev_outer");
+    const obs::StageTimer inner("ev_inner");
+  }
+  const auto events = obs::trace_events();
+  ASSERT_EQ(events.size(), 2U);
+  // Spans log at close, so the inner span lands first.
+  EXPECT_EQ(events[0].path, "ev_outer/ev_inner");
+  EXPECT_EQ(events[1].path, "ev_outer");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+  EXPECT_LE(events[0].dur_us, events[1].dur_us);
+  EXPECT_EQ(obs::trace_events_dropped(), 0U);
+}
+
+TEST(TraceEvents, WorkerThreadsGetDistinctTimelineLanes) {
+  reset_all();
+  {
+    const obs::StageTimer stage("ev_stage");
+    const std::string parent = obs::current_trace_path();
+    std::thread worker([&] {
+      const obs::ThreadTraceRoot root(parent);
+      const obs::StageTimer busy("ev_worker");
+    });
+    worker.join();
+  }
+  const auto events = obs::trace_events();
+  ASSERT_EQ(events.size(), 2U);
+  EXPECT_EQ(events[0].path, "ev_stage/ev_worker");
+  EXPECT_EQ(events[1].path, "ev_stage");
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(TraceEvents, ExportRoundTripsThroughChromeTraceJson) {
+  reset_all();
+  {
+    const obs::StageTimer outer("rt_outer");
+    { const obs::StageTimer inner("rt_inner"); }
+    const std::string parent = obs::current_trace_path();
+    std::thread worker([&] {
+      const obs::ThreadTraceRoot root(parent);
+      const obs::StageTimer busy("rt_worker");
+    });
+    worker.join();
+  }
+  const auto original = obs::trace_events();
+  const std::string json = obs::trace_events_to_json();
+  const auto parsed = obs::parse_trace_events(json);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].path, original[i].path) << "event " << i;
+    EXPECT_EQ((*parsed)[i].tid, original[i].tid) << "event " << i;
+    EXPECT_EQ((*parsed)[i].start_us, original[i].start_us) << "event " << i;
+    EXPECT_EQ((*parsed)[i].dur_us, original[i].dur_us) << "event " << i;
+  }
+}
+
+TEST(TraceEvents, ExportIsWellFormedChromeTrace) {
+  reset_all();
+  { const obs::StageTimer stage("wf_stage"); }
+  const std::string json = obs::trace_events_to_json();
+  // Object-wrapped JSON Array Format, as chrome://tracing and Perfetto
+  // load it: metadata names the process and lanes, spans are complete
+  // ("X") events, peak RSS rides along as one counter ("C") event.
+  EXPECT_TRUE(json.starts_with("{\"displayTimeUnit\":\"ms\""));
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\",\"ph\":\"M\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\",\"ph\":\"M\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"wf_stage\",\"cat\":\"idnscope\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"peak_rss_kb\",\"ph\":\"C\""),
+            std::string::npos);
+  EXPECT_TRUE(json.ends_with("]}"));
+}
+
+TEST(TraceEvents, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(obs::parse_trace_events("").has_value());
+  EXPECT_FALSE(obs::parse_trace_events("{}").has_value());
+  EXPECT_FALSE(obs::parse_trace_events("[]").has_value());
+  // A metrics snapshot is not a trace-event file.
+  EXPECT_FALSE(obs::parse_trace_events(
+                   "{\"counters\":{},\"gauges\":{},\"histograms\":{}}")
+                   .has_value());
+}
+
+TEST(TraceEvents, PeakRssIsReportedWhereSupported) {
+#if defined(__linux__) || defined(__APPLE__)
+  EXPECT_GT(obs::peak_rss_kb(), 0U);
+#else
+  SUCCEED();
+#endif
+}
+
+// --- memory accounting (pure size math, metrics plane) ---------------------
+
+TEST(MemoryGauges, DomainTableBytesArePureSizeMath) {
+  reset_all();
+  runtime::DomainTable table;
+  table.intern("xn--e1afmkfd.com");
+  const auto after_one = obs::Registry::global().snapshot().gauges;
+  const std::int64_t arena_one = after_one.at("runtime.domain_table.arena_bytes");
+  const std::int64_t index_one = after_one.at("runtime.domain_table.index_bytes");
+  EXPECT_GT(arena_one, 0);
+  EXPECT_GT(index_one, 0);
+
+  table.intern("xn--80ak6aa92e.net");
+  table.intern("example.org");
+  const auto after_three = obs::Registry::global().snapshot().gauges;
+  EXPECT_EQ(after_three.at("runtime.domain_table.entries"), 3);
+  // Index cost is a per-entry constant: three entries cost exactly 3x one.
+  EXPECT_EQ(after_three.at("runtime.domain_table.index_bytes"), 3 * index_one);
+  EXPECT_GE(after_three.at("runtime.domain_table.arena_bytes"), arena_one);
+}
+
+// The ISSUE acceptance criterion: the working-set gauges are size math, not
+// allocator telemetry, so the gauge map in the snapshot is bit-identical no
+// matter how many workers ran the scan.
+TEST(MemoryGauges, IdenticalAt1_2_8Threads) {
+  const auto brands = ecosystem::alexa_top(50);
+  std::vector<std::string> domains;
+  for (const auto& brand : brands) {
+    domains.push_back(brand.domain);
+  }
+  domains.push_back("xn--pple-43d.com");
+
+  std::vector<std::map<std::string, std::int64_t>> runs;
+  for (unsigned threads : {1U, 2U, 8U}) {
+    reset_all();
+    core::HomographOptions options;
+    options.threads = threads;
+    const core::HomographDetector detector(brands, options);
+    runtime::DomainTable table;
+    std::vector<runtime::DomainId> ids;
+    for (const std::string& domain : domains) {
+      ids.push_back(table.intern(domain));
+    }
+    (void)detector.scan(table, ids);
+    // The UC-SimList table is not on the homograph path; touch it so its
+    // working-set gauge participates in the determinism check too.
+    (void)unicode::all_homoglyphs();
+    auto gauges = obs::Registry::global().snapshot().gauges;
+    std::map<std::string, std::int64_t> run(gauges.begin(), gauges.end());
+    runs.push_back(std::move(run));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+  EXPECT_GT(runs[0].at("runtime.domain_table.arena_bytes"), 0);
+  EXPECT_GT(runs[0].at("runtime.domain_table.index_bytes"), 0);
+  EXPECT_GT(runs[0].at("core.homograph.brand_table_bytes"), 0);
+  // Static-table working sets re-note per registry generation, so they hold
+  // their size-math values even though reset_all() ran between runs.
+  EXPECT_GT(runs[0].at("unicode.confusables.simlist_bytes"), 0);
+  EXPECT_GT(runs[0].at("render.font.glyph_table_bytes"), 0);
+}
+
+// --- snapshot file placement (IDNSCOPE_OBS_DIR) ----------------------------
+
+TEST(ObsDir, OutputDirHonorsEnvAndCreatesIt) {
+  const std::string dir =
+      ::testing::TempDir() + "idnscope_obsdir_test/nested";
+  std::filesystem::remove_all(::testing::TempDir() + "idnscope_obsdir_test");
+  ASSERT_EQ(setenv("IDNSCOPE_OBS_DIR", dir.c_str(), 1), 0);
+  EXPECT_EQ(obs::output_dir(), dir);
+  EXPECT_TRUE(std::filesystem::is_directory(dir));  // created on demand
+  EXPECT_EQ(obs::output_path("METRICS_x.json"), dir + "/METRICS_x.json");
+  ASSERT_EQ(unsetenv("IDNSCOPE_OBS_DIR"), 0);
+  EXPECT_EQ(obs::output_dir(), "");
+  EXPECT_EQ(obs::output_path("METRICS_x.json"), "METRICS_x.json");
+}
+
+TEST(ObsDir, EmitMetricsWritesMetricsAndTraceFilesIntoObsDir) {
+  reset_all();
+  obs::Registry::global().counter("test.obs.emit_env").add(1);
+  { const obs::StageTimer stage("emit_env_stage"); }
+  const std::string dir = ::testing::TempDir() + "idnscope_emit_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(setenv("IDNSCOPE_OBS_DIR", dir.c_str(), 1), 0);
+  obs::emit_metrics("obs_env_test");
+  ASSERT_EQ(unsetenv("IDNSCOPE_OBS_DIR"), 0);
+
+  const std::string metrics_path = dir + "/METRICS_obs_env_test.json";
+  const std::string trace_path = dir + "/TRACE_obs_env_test.json";
+  ASSERT_TRUE(std::filesystem::exists(metrics_path));
+  ASSERT_TRUE(std::filesystem::exists(trace_path));
+  // The METRICS file carries the deterministic plane: it parses back and
+  // contains the counter; the TRACE file parses as trace events.
+  std::string metrics_json;
+  {
+    std::FILE* in = std::fopen(metrics_path.c_str(), "rb");
+    ASSERT_NE(in, nullptr);
+    char buffer[65536];
+    const std::size_t got = std::fread(buffer, 1, sizeof(buffer), in);
+    std::fclose(in);
+    metrics_json.assign(buffer, got);
+    while (!metrics_json.empty() && metrics_json.back() == '\n') {
+      metrics_json.pop_back();
+    }
+  }
+  const auto snapshot = obs::parse_snapshot(metrics_json);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->counters.at("test.obs.emit_env"), 1U);
+  std::filesystem::remove_all(dir);
 }
 
 // --- the count-effort-exactly-once regression ------------------------------

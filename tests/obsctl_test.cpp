@@ -1,0 +1,263 @@
+// obsctl toolbox tests: the diff/top/merge verbs and the CI perf gate,
+// driven through run_obsctl — the exact code path the shipped CLI uses —
+// including the golden exit-code cases the gate contract promises (pass,
+// injected metric regression, wall-time regression, missing baseline).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "idnscope/obs/export.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/obsctl.h"
+#include "idnscope/obs/trace.h"
+
+namespace idnscope {
+namespace {
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::vector<std::string> args) {
+  CliResult result;
+  result.code = obs::run_obsctl(args, result.out, result.err);
+  return result;
+}
+
+// Per-test scratch directory under gtest's temp root.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "obsctl_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr) << path;
+  std::fprintf(out, "%s\n", content.c_str());
+  std::fclose(out);
+}
+
+obs::Snapshot sample_snapshot() {
+  obs::Snapshot snapshot;
+  snapshot.counters["core.homograph.domains_scanned"] = 120;
+  snapshot.counters["core.homograph.pairs_compared"] = 960;
+  snapshot.gauges["runtime.domain_table.entries"] = 120;
+  obs::HistogramSnapshot hist;
+  hist.bounds_micros = {obs::to_micros(0.5), obs::to_micros(0.9)};
+  hist.counts = {10, 20, 30};
+  hist.count = 60;
+  hist.sum_micros = 123456;
+  snapshot.histograms["core.homograph.ssim"] = hist;
+  return snapshot;
+}
+
+// --- diff ------------------------------------------------------------------
+
+TEST(ObsctlDiff, EqualSnapshotsExitZero) {
+  const std::string dir = scratch_dir("diff_equal");
+  const std::string json = obs::snapshot_to_json(sample_snapshot());
+  write_file(dir + "/a.json", json);
+  write_file(dir + "/b.json", json);
+  const auto result = run({"diff", dir + "/a.json", dir + "/b.json"});
+  EXPECT_EQ(result.code, obs::kObsctlOk);
+  EXPECT_NE(result.out.find("snapshots identical"), std::string::npos);
+  EXPECT_EQ(result.err, "");
+}
+
+TEST(ObsctlDiff, ReportsChangedAndAbsentMetrics) {
+  const std::string dir = scratch_dir("diff_changed");
+  obs::Snapshot a = sample_snapshot();
+  obs::Snapshot b = a;
+  b.counters["core.homograph.pairs_compared"] = 959;  // drifted
+  b.gauges.erase("runtime.domain_table.entries");     // vanished
+  write_file(dir + "/a.json", obs::snapshot_to_json(a));
+  write_file(dir + "/b.json", obs::snapshot_to_json(b));
+  const auto result = run({"diff", dir + "/a.json", dir + "/b.json"});
+  EXPECT_EQ(result.code, obs::kObsctlDiffers);
+  EXPECT_NE(
+      result.out.find("counter core.homograph.pairs_compared: 960 -> 959"),
+      std::string::npos);
+  EXPECT_NE(result.out.find("gauge runtime.domain_table.entries: 120 -> absent"),
+            std::string::npos);
+}
+
+TEST(ObsctlDiff, MalformedOrMissingInputExitsTwo) {
+  const std::string dir = scratch_dir("diff_bad");
+  write_file(dir + "/garbage.json", "not a snapshot");
+  write_file(dir + "/ok.json", obs::snapshot_to_json(sample_snapshot()));
+  EXPECT_EQ(run({"diff", dir + "/garbage.json", dir + "/ok.json"}).code,
+            obs::kObsctlError);
+  EXPECT_EQ(run({"diff", dir + "/ok.json", dir + "/does_not_exist.json"}).code,
+            obs::kObsctlError);
+  EXPECT_EQ(run({"diff", dir + "/ok.json"}).code, obs::kObsctlError);
+}
+
+// --- top -------------------------------------------------------------------
+
+TEST(ObsctlTop, RanksCountersDescending) {
+  const std::string dir = scratch_dir("top_counters");
+  write_file(dir + "/m.json", obs::snapshot_to_json(sample_snapshot()));
+  const auto result = run({"top", dir + "/m.json", "-n", "1"});
+  EXPECT_EQ(result.code, obs::kObsctlOk);
+  EXPECT_EQ(result.out, "960\tcore.homograph.pairs_compared\n");
+}
+
+TEST(ObsctlTop, RanksTraceSpansByTotalDuration) {
+  obs::reset_trace();
+  { const obs::StageTimer stage("obsctl_top_stage"); }
+  const std::string dir = scratch_dir("top_trace");
+  write_file(dir + "/t.json", obs::trace_events_to_json());
+  const auto result = run({"top", dir + "/t.json"});
+  EXPECT_EQ(result.code, obs::kObsctlOk);
+  EXPECT_NE(result.out.find("us\tobsctl_top_stage\n"), std::string::npos);
+}
+
+TEST(ObsctlTop, RejectsFilesThatAreNeitherFormat) {
+  const std::string dir = scratch_dir("top_bad");
+  write_file(dir + "/x.json", "{\"neither\":true}");
+  const auto result = run({"top", dir + "/x.json"});
+  EXPECT_EQ(result.code, obs::kObsctlError);
+  EXPECT_NE(result.err.find("neither"), std::string::npos);
+}
+
+// --- merge -----------------------------------------------------------------
+
+TEST(ObsctlMerge, AddsCountersAndHistogramsMaxesGauges) {
+  obs::Snapshot a = sample_snapshot();
+  obs::Snapshot b = sample_snapshot();
+  b.counters["core.homograph.domains_scanned"] = 30;
+  b.gauges["runtime.domain_table.entries"] = 150;
+
+  const std::string dir = scratch_dir("merge");
+  write_file(dir + "/a.json", obs::snapshot_to_json(a));
+  write_file(dir + "/b.json", obs::snapshot_to_json(b));
+  const auto result =
+      run({"merge", dir + "/out.json", dir + "/a.json", dir + "/b.json"});
+  ASSERT_EQ(result.code, obs::kObsctlOk);
+
+  std::FILE* in = std::fopen((dir + "/out.json").c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  char buffer[65536];
+  const std::size_t got = std::fread(buffer, 1, sizeof(buffer), in);
+  std::fclose(in);
+  std::string json(buffer, got);
+  while (!json.empty() && json.back() == '\n') {
+    json.pop_back();
+  }
+  const auto merged = obs::parse_snapshot(json);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->counters.at("core.homograph.domains_scanned"), 150U);
+  EXPECT_EQ(merged->counters.at("core.homograph.pairs_compared"), 1920U);
+  EXPECT_EQ(merged->gauges.at("runtime.domain_table.entries"), 150);
+  EXPECT_EQ(merged->histograms.at("core.homograph.ssim").count, 120U);
+}
+
+TEST(ObsctlMerge, HistogramBoundsMismatchIsAnError) {
+  obs::Snapshot a = sample_snapshot();
+  obs::Snapshot b = sample_snapshot();
+  b.histograms["core.homograph.ssim"].bounds_micros = {obs::to_micros(0.25),
+                                                       obs::to_micros(0.75)};
+  const std::string dir = scratch_dir("merge_bounds");
+  write_file(dir + "/a.json", obs::snapshot_to_json(a));
+  write_file(dir + "/b.json", obs::snapshot_to_json(b));
+  const auto result =
+      run({"merge", dir + "/out.json", dir + "/a.json", dir + "/b.json"});
+  EXPECT_EQ(result.code, obs::kObsctlError);
+  EXPECT_NE(result.err.find("bounds differ"), std::string::npos);
+}
+
+// --- gate: the CI perf-regression contract ---------------------------------
+
+constexpr char kBench[] = "unit_bench";
+
+void seed_gate_dirs(const std::string& baseline_dir,
+                    const std::string& fresh_dir, const obs::Snapshot& fresh,
+                    double baseline_wall_ms, double fresh_wall_ms) {
+  const auto bench_line = [](double wall_ms) {
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "{\"bench\":\"%s\",\"wall_ms\":%.3f,\"threads\":1}", kBench,
+                  wall_ms);
+    return std::string(line);
+  };
+  write_file(baseline_dir + "/METRICS_" + kBench + ".json",
+             obs::snapshot_to_json(sample_snapshot()));
+  write_file(baseline_dir + "/BENCH_" + kBench + ".json",
+             bench_line(baseline_wall_ms));
+  write_file(fresh_dir + "/METRICS_" + kBench + ".json",
+             obs::snapshot_to_json(fresh));
+  write_file(fresh_dir + "/BENCH_" + kBench + ".json",
+             bench_line(fresh_wall_ms));
+}
+
+TEST(ObsctlGate, PassesWhenMetricsMatchAndWallWithinTolerance) {
+  const std::string baseline = scratch_dir("gate_pass_baseline");
+  const std::string fresh = scratch_dir("gate_pass_fresh");
+  seed_gate_dirs(baseline, fresh, sample_snapshot(), 10.0, 20.0);
+  const auto result = run({"gate", baseline, fresh, kBench});
+  EXPECT_EQ(result.code, obs::kObsctlOk);
+  EXPECT_NE(result.out.find("gate ok"), std::string::npos);
+  EXPECT_EQ(result.err, "");
+}
+
+TEST(ObsctlGate, InjectedMetricRegressionFailsWithDiff) {
+  const std::string baseline = scratch_dir("gate_metric_baseline");
+  const std::string fresh = scratch_dir("gate_metric_fresh");
+  obs::Snapshot regressed = sample_snapshot();
+  // The injected regression: the scan silently covered one domain fewer.
+  regressed.counters["core.homograph.domains_scanned"] = 119;
+  seed_gate_dirs(baseline, fresh, regressed, 10.0, 10.0);
+  const auto result = run({"gate", baseline, fresh, kBench});
+  EXPECT_EQ(result.code, obs::kObsctlDiffers);
+  EXPECT_NE(
+      result.err.find("counter core.homograph.domains_scanned: 120 -> 119"),
+      std::string::npos);
+  EXPECT_NE(result.err.find("drifted"), std::string::npos);
+}
+
+TEST(ObsctlGate, WallTimeRegressionBeyondToleranceFails) {
+  const std::string baseline = scratch_dir("gate_wall_baseline");
+  const std::string fresh = scratch_dir("gate_wall_fresh");
+  seed_gate_dirs(baseline, fresh, sample_snapshot(), 1.0, 100.0);
+  const auto result =
+      run({"gate", baseline, fresh, kBench, "--wall-tolerance", "2.0"});
+  EXPECT_EQ(result.code, obs::kObsctlDiffers);
+  EXPECT_NE(result.err.find("exceeds budget"), std::string::npos);
+
+  // The same pair passes once the tolerance covers the gap.
+  const auto relaxed =
+      run({"gate", baseline, fresh, kBench, "--wall-tolerance", "200"});
+  EXPECT_EQ(relaxed.code, obs::kObsctlOk);
+}
+
+TEST(ObsctlGate, MissingBaselineExitsTwo) {
+  const std::string baseline = scratch_dir("gate_missing_baseline");
+  const std::string fresh = scratch_dir("gate_missing_fresh");
+  write_file(fresh + "/METRICS_" + kBench + ".json",
+             obs::snapshot_to_json(sample_snapshot()));
+  write_file(fresh + "/BENCH_" + kBench + ".json",
+             "{\"bench\":\"unit_bench\",\"wall_ms\":10.000,\"threads\":1}");
+  const auto result = run({"gate", baseline, fresh, kBench});
+  EXPECT_EQ(result.code, obs::kObsctlError);
+  EXPECT_NE(result.err.find("missing baseline"), std::string::npos);
+}
+
+// --- argument handling -----------------------------------------------------
+
+TEST(Obsctl, UnknownVerbAndEmptyArgsExitTwo) {
+  EXPECT_EQ(run({}).code, obs::kObsctlError);
+  const auto result = run({"frobnicate"});
+  EXPECT_EQ(result.code, obs::kObsctlError);
+  EXPECT_NE(result.err.find("unknown verb"), std::string::npos);
+  EXPECT_EQ(run({"gate", "a", "b"}).code, obs::kObsctlError);  // usage
+}
+
+}  // namespace
+}  // namespace idnscope

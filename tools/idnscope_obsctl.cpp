@@ -1,0 +1,29 @@
+// obsctl — snapshot tooling for the observability planes.
+//
+//   idnscope_obsctl diff  <metrics_a.json> <metrics_b.json>
+//   idnscope_obsctl top   <metrics_or_trace.json> [-n N]
+//   idnscope_obsctl merge <out.json> <in1.json> [in2.json ...]
+//   idnscope_obsctl gate  <baseline_dir> <fresh_dir> <name>
+//                         [--wall-tolerance F]
+//
+// All logic lives in src/idnscope/obs/obsctl.{h,cpp} (tested there); this
+// file only adapts argv and exit codes.  See docs/OBSERVABILITY.md.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "idnscope/obs/obsctl.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out;
+  std::string err;
+  const int code = idnscope::obs::run_obsctl(args, out, err);
+  if (!out.empty()) {
+    std::fputs(out.c_str(), stdout);
+  }
+  if (!err.empty()) {
+    std::fputs(err.c_str(), stderr);
+  }
+  return code;
+}
