@@ -92,7 +92,8 @@ struct World {
   core::Study study;
 
   explicit World(const ecosystem::Scenario& scenario)
-      : eco(ecosystem::generate(scenario)), study(eco) {}
+      : eco(ecosystem::generate(scenario)),
+        study(eco, core::StudyOptions{bench_threads()}) {}
 };
 
 inline World make_world() { return World(bench_scenario()); }

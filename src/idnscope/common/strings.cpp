@@ -20,6 +20,13 @@ std::vector<std::string_view> split(std::string_view text, char delim) {
 
 std::vector<std::string_view> split_whitespace(std::string_view text) {
   std::vector<std::string_view> out;
+  split_whitespace_into(text, out);
+  return out;
+}
+
+void split_whitespace_into(std::string_view text,
+                           std::vector<std::string_view>& out) {
+  out.clear();
   std::size_t i = 0;
   while (i < text.size()) {
     while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
@@ -33,7 +40,6 @@ std::vector<std::string_view> split_whitespace(std::string_view text) {
       out.push_back(text.substr(start, i - start));
     }
   }
-  return out;
 }
 
 std::string_view trim(std::string_view text) {

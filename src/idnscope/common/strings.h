@@ -14,6 +14,11 @@ std::vector<std::string_view> split(std::string_view text, char delim);
 // Split on runs of ASCII whitespace; empty fields are dropped.
 std::vector<std::string_view> split_whitespace(std::string_view text);
 
+// Allocation-reusing variant for per-line hot loops (the zone scanners):
+// clears `out` and refills it, keeping its capacity across calls.
+void split_whitespace_into(std::string_view text,
+                           std::vector<std::string_view>& out);
+
 std::string_view trim(std::string_view text);
 
 std::string to_lower_ascii(std::string_view text);

@@ -1,5 +1,6 @@
 #include "idnscope/core/study.h"
 
+#include "idnscope/dns/zone_io.h"
 #include "idnscope/idna/punycode.h"
 #include "idnscope/obs/metrics.h"
 #include "idnscope/obs/trace.h"
@@ -27,13 +28,20 @@ ScanMetrics& scan_metrics() {
 
 }  // namespace
 
-Study::Study(const ecosystem::Ecosystem& eco) : eco_(&eco) {
+Study::Study(const ecosystem::Ecosystem& eco, const StudyOptions& options)
+    : eco_(&eco) {
   const obs::StageTimer stage("core.study.scan");
   ScanMetrics& metrics = scan_metrics();
   TldGroup com{"com"};
   TldGroup net{"net"};
   TldGroup org{"org"};
   TldGroup itld{"iTLD (53)"};
+
+  dns::ZoneScanOptions scan_options;
+  scan_options.threads = options.threads;
+
+  std::vector<runtime::DomainId> batch_ids;
+  std::string domain_str;  // owned copy for the string-keyed blacklist map
 
   for (const dns::Zone& zone : eco.zones) {
     const obs::StageTimer zone_span("zone");
@@ -53,38 +61,55 @@ Study::Study(const ecosystem::Ecosystem& eco) : eco_(&eco) {
       group = &itld;
       group_id = kTldItld;
     }
-    const auto slds = dns::scan_slds(zone);
-    group->sld_count += slds.size();
-    metrics.slds.add(slds.size());
-    for (const std::string& domain : slds) {
-      const runtime::DomainId id = table_.intern(domain);
-      table_.set_registered(id, true);
-      table_.set_tld_group(id, group_id);
-    }
-    for (const std::string& idn : dns::scan_idns(zone)) {
-      ++group->idn_count;
-      metrics.idns.add(1);
-      const runtime::DomainId id = table_.intern(idn);
-      table_.set_registered(id, true);
-      table_.set_tld_group(id, group_id);
-      table_.set_idn(id, true);
-      if (eco.whois.lookup(idn) != nullptr) {
-        ++group->whois_count;
-        metrics.whois.add(1);
-      }
-      const auto blacklisted = eco.blacklist.find(idn);
-      const std::uint8_t mask =
-          blacklisted == eco.blacklist.end() ? 0 : blacklisted->second;
-      if (mask != 0) {
-        table_.set_blacklist_mask(id, mask);
-        ++group->blacklist_total;
-        metrics.blacklisted.add(1);
-        if (mask & ecosystem::kBlVirusTotal) ++group->blacklist_virustotal;
-        if (mask & ecosystem::kBl360) ++group->blacklist_360;
-        if (mask & ecosystem::kBlBaidu) ++group->blacklist_baidu;
-        malicious_idns_.push_back(id);
-      }
-      idns_.push_back(id);
+
+    // Sharded scan over the zone's master-file text.  Batches arrive in the
+    // serial path's first-appearance order, so DomainId assignment is
+    // identical to interning dns::scan_slds(zone) one string at a time.
+    const std::string text = dns::serialize_zone(zone);
+    bool reserved = false;
+    const auto scanned = dns::scan_zone_buffer(
+        text, scan_options, [&](const dns::SldBatch& batch) {
+          if (!reserved) {
+            table_.reserve(batch.total_distinct);
+            reserved = true;
+          }
+          batch_ids.resize(batch.size());
+          table_.intern_batch(batch.domains, batch_ids.data());
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            const runtime::DomainId id = batch_ids[i];
+            table_.set_registered(id, true);
+            table_.set_tld_group(id, group_id);
+            if (!batch.is_idn[i]) {
+              continue;
+            }
+            ++group->idn_count;
+            metrics.idns.add(1);
+            table_.set_idn(id, true);
+            domain_str.assign(batch.domains[i]);
+            if (eco.whois.lookup(domain_str) != nullptr) {
+              ++group->whois_count;
+              metrics.whois.add(1);
+            }
+            const auto blacklisted = eco.blacklist.find(domain_str);
+            const std::uint8_t mask =
+                blacklisted == eco.blacklist.end() ? 0 : blacklisted->second;
+            if (mask != 0) {
+              table_.set_blacklist_mask(id, mask);
+              ++group->blacklist_total;
+              metrics.blacklisted.add(1);
+              if (mask & ecosystem::kBlVirusTotal) ++group->blacklist_virustotal;
+              if (mask & ecosystem::kBl360) ++group->blacklist_360;
+              if (mask & ecosystem::kBlBaidu) ++group->blacklist_baidu;
+              malicious_idns_.push_back(id);
+            }
+            idns_.push_back(id);
+          }
+        });
+    // serialize_zone output always carries an $ORIGIN and well-formed
+    // directives, so a scan failure here means a bug, not bad input.
+    if (scanned.ok()) {
+      group->sld_count += scanned.value().distinct_slds;
+      metrics.slds.add(scanned.value().distinct_slds);
     }
   }
   groups_ = {std::move(com), std::move(net), std::move(org), std::move(itld)};

@@ -40,10 +40,18 @@ inline constexpr std::uint8_t kTldNet = 1;
 inline constexpr std::uint8_t kTldOrg = 2;
 inline constexpr std::uint8_t kTldItld = 3;
 
+// Pipeline knobs.  Thread count only affects wall time: the scan results,
+// DomainId assignment and every metric are identical at any value
+// (dns::scan_zone_buffer's determinism contract).
+struct StudyOptions {
+  unsigned threads = 0;  // runtime::resolve_threads knob (0 = env/default)
+};
+
 class Study {
  public:
   // Scans every zone in the ecosystem and joins WHOIS + blacklists.
-  explicit Study(const ecosystem::Ecosystem& eco);
+  explicit Study(const ecosystem::Ecosystem& eco,
+                 const StudyOptions& options = {});
 
   const ecosystem::Ecosystem& eco() const { return *eco_; }
 

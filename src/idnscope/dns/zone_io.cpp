@@ -1,12 +1,19 @@
 #include "idnscope/dns/zone_io.h"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
+#include <istream>
 #include <sstream>
 #include <unordered_set>
+#include <vector>
 
 #include "idnscope/common/rng.h"
 #include "idnscope/common/strings.h"
 #include "idnscope/idna/punycode.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
+#include "idnscope/runtime/parallel.h"
 
 namespace idnscope::dns {
 
@@ -33,6 +40,171 @@ Result<Zone> load_zone_file(const std::string& path) {
   return parse_zone(buffer.str());
 }
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// The per-line core shared by the serial scanner, the sharded prescan and
+// the shard parsers.  Everything the scanners might disagree on — comment
+// stripping, directive semantics, owner qualification, SLD reduction, IDN
+// classification, error text — lives here exactly once, so "sharded output
+// equals serial output byte-for-byte" holds by construction.
+
+// Comment + whitespace stripping; empty result means "skip this line".
+std::string_view strip_zone_line(std::string_view raw) {
+  const std::size_t comment = raw.find(';');
+  return trim(comment == std::string_view::npos ? raw
+                                                : raw.substr(0, comment));
+}
+
+// $ORIGIN/$TTL handling.  Returns true when the line was a directive
+// (consumed), false when it should be treated as a record line.  Only
+// $ORIGIN can fail, and the error carries the 1-based line number exactly
+// like the historical serial scanner.
+Result<bool> apply_zone_directive(std::span<const std::string_view> fields,
+                                  std::uint64_t line_no, std::string& origin) {
+  if (fields[0] == "$ORIGIN") {
+    if (fields.size() != 2) {
+      return Err("zone.bad_directive", "$ORIGIN needs one argument (line " +
+                                           std::to_string(line_no) + ")");
+    }
+    origin = to_lower_ascii(fields[1]);
+    if (!origin.empty() && origin.back() == '.') {
+      origin.pop_back();
+    }
+    return true;
+  }
+  if (fields[0] == "$TTL") {
+    return true;
+  }
+  return false;
+}
+
+// Qualify a record owner against the active origin and reduce it to the
+// registered domain "sld.tld".  Returns false for apex records or while no
+// origin is active.  On success `domain` views into `owner_buf` (valid
+// until its next reuse) and `is_idn` carries the ACE classification.
+bool reduce_owner_to_sld(std::string_view owner_field,
+                         const std::string& origin, std::string& owner_buf,
+                         std::string_view& domain, bool& is_idn) {
+  // Lowercase in place (no temporaries — this runs once per record line).
+  owner_buf.assign(owner_field);
+  for (char& c : owner_buf) {
+    if (c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+  }
+  if (!owner_buf.empty() && owner_buf.back() == '.') {
+    owner_buf.pop_back();
+  }
+  const bool already_qualified =
+      owner_buf == origin ||
+      (owner_buf.size() >= origin.size() + 1 &&
+       owner_buf[owner_buf.size() - origin.size() - 1] == '.' &&
+       owner_buf.ends_with(origin));
+  if (!origin.empty() && !already_qualified) {
+    owner_buf += '.';
+    owner_buf += origin;
+  }
+  if (origin.empty() || owner_buf == origin) {
+    return false;  // apex records (SOA/NS of the TLD itself), or no $ORIGIN yet
+  }
+  // Reduce to the label directly below the origin.
+  std::string_view below(owner_buf);
+  below.remove_suffix(origin.size() + 1);
+  const std::size_t last_dot = below.rfind('.');
+  const std::string_view sld_label =
+      last_dot == std::string_view::npos ? below : below.substr(last_dot + 1);
+  domain = std::string_view(
+      owner_buf.data() + (sld_label.data() - owner_buf.data()),
+      sld_label.size() + 1 + origin.size());
+  is_idn = idna::has_ace_prefix(sld_label) || idna::has_ace_prefix(origin);
+  return true;
+}
+
+// getline-compatible walk over `text`: fn(offset, line) for every line
+// without its '\n'.  A final unterminated line is visited like any other
+// line, and a trailing '\n' does not produce a phantom empty line — the
+// exact semantics of the istream reference path, covered for both scanners
+// in tests/zone_io_test.cpp.
+template <typename Fn>
+void for_each_line(std::string_view text, std::size_t base_offset, Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    fn(base_offset + pos, text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+}
+
+constexpr const char* kNoOriginMessage = "stream has no $ORIGIN directive";
+
+// ---------------------------------------------------------------------------
+// Sharded-scan instrumentation (docs/OBSERVABILITY.md, core.zone_scan.*).
+// Every add/set happens on the calling thread from values that are pure
+// functions of (input bytes, options), so the registry stays inside the
+// determinism contract at any thread count.
+
+struct ZoneScanMetrics {
+  obs::Counter invocations =
+      obs::Registry::global().counter("core.zone_scan.invocations");
+  obs::Counter bytes = obs::Registry::global().counter("core.zone_scan.bytes");
+  obs::Counter lines = obs::Registry::global().counter("core.zone_scan.lines");
+  obs::Counter record_lines =
+      obs::Registry::global().counter("core.zone_scan.record_lines");
+  obs::Counter slds = obs::Registry::global().counter("core.zone_scan.slds");
+  obs::Counter idns = obs::Registry::global().counter("core.zone_scan.idns");
+  obs::Counter shard_candidates =
+      obs::Registry::global().counter("core.zone_scan.shard_candidates");
+  obs::Counter seam_dups =
+      obs::Registry::global().counter("core.zone_scan.seam_dups");
+  obs::Counter batches =
+      obs::Registry::global().counter("core.zone_scan.batches");
+  obs::Gauge shards = obs::Registry::global().gauge("core.zone_scan.shards");
+  obs::Gauge shard_bytes =
+      obs::Registry::global().gauge("core.zone_scan.shard_bytes");
+};
+
+ZoneScanMetrics& zone_scan_metrics() {
+  static ZoneScanMetrics metrics;
+  return metrics;
+}
+
+// A $ORIGIN change recorded by the prescan: `offset` is the byte offset of
+// the first line *after* the directive, so the origin active at any
+// line-start offset b is the last point with point.offset <= b.
+struct OriginPoint {
+  std::size_t offset = 0;
+  std::string origin;
+};
+
+// Per-shard parse output.  Candidates are the shard's *locally distinct*
+// SLDs in first-appearance order; their bytes live in `blob` so the merge
+// pass can emit views without per-domain allocations.
+struct ShardScan {
+  std::string blob;
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> lengths;
+  std::vector<std::uint64_t> hashes;
+  std::vector<std::uint8_t> idn;
+  std::uint64_t record_lines = 0;
+};
+
+const std::string& origin_at(const std::vector<OriginPoint>& points,
+                             std::size_t offset) {
+  static const std::string empty;
+  const std::string* active = &empty;
+  for (const OriginPoint& point : points) {
+    if (point.offset > offset) {
+      break;
+    }
+    active = &point.origin;
+  }
+  return *active;
+}
+
+}  // namespace
+
 Result<ZoneScanStats> scan_zone_stream(
     std::istream& input,
     const std::function<void(std::string_view domain, bool is_idn)>& on_sld) {
@@ -42,66 +214,40 @@ Result<ZoneScanStats> scan_zone_stream(
   // domain string, so a com-scale file fits comfortably in memory.
   std::unordered_set<std::uint64_t> seen;
   std::string line;
+  std::string owner;
+  std::vector<std::string_view> fields;
   std::uint64_t line_no = 0;
   while (std::getline(input, line)) {
     ++line_no;
-    std::string_view view = line;
-    const std::size_t comment = view.find(';');
-    view = trim(comment == std::string_view::npos ? view
-                                                  : view.substr(0, comment));
+    const std::string_view view = strip_zone_line(line);
     if (view.empty()) {
       continue;
     }
-    auto fields = split_whitespace(view);
-    if (fields[0] == "$ORIGIN") {
-      if (fields.size() != 2) {
-        return Err("zone.bad_directive",
-                   "$ORIGIN needs one argument (line " +
-                       std::to_string(line_no) + ")");
-      }
-      origin = to_lower_ascii(fields[1]);
-      if (!origin.empty() && origin.back() == '.') {
-        origin.pop_back();
-      }
-      continue;
+    split_whitespace_into(view, fields);
+    auto directive = apply_zone_directive(fields, line_no, origin);
+    if (!directive.ok()) {
+      return directive.error();
     }
-    if (fields[0] == "$TTL") {
+    if (directive.value()) {
       continue;
     }
     ++stats.record_lines;
-    std::string owner = to_lower_ascii(fields[0]);
-    if (!owner.empty() && owner.back() == '.') {
-      owner.pop_back();
+    std::string_view domain;
+    bool is_idn = false;
+    if (!reduce_owner_to_sld(fields[0], origin, owner, domain, is_idn)) {
+      continue;
     }
-    if (!origin.empty() && owner != origin &&
-        !owner.ends_with("." + origin)) {
-      owner += "." + origin;
-    }
-    if (origin.empty() || owner == origin) {
-      continue;  // apex records (SOA/NS of the TLD itself)
-    }
-    // Reduce to the label directly below the origin.
-    std::string_view below(owner);
-    below.remove_suffix(origin.size() + 1);
-    const std::size_t last_dot = below.rfind('.');
-    const std::string_view sld_label =
-        last_dot == std::string_view::npos ? below
-                                           : below.substr(last_dot + 1);
-    const std::string_view domain(owner.data() + (sld_label.data() - owner.data()),
-                                  sld_label.size() + 1 + origin.size());
     if (!seen.insert(stable_hash64(domain)).second) {
       continue;
     }
     ++stats.distinct_slds;
-    const bool is_idn =
-        idna::has_ace_prefix(sld_label) || idna::has_ace_prefix(origin);
     if (is_idn) {
       ++stats.idns;
     }
     on_sld(domain, is_idn);
   }
   if (origin.empty()) {
-    return Err("zone.no_origin", "stream has no $ORIGIN directive");
+    return Err("zone.no_origin", kNoOriginMessage);
   }
   stats.origin = origin;
   return stats;
@@ -115,6 +261,288 @@ Result<ZoneScanStats> scan_zone_file(
     return Err("zone.io", "cannot open " + path);
   }
   return scan_zone_stream(in, on_sld);
+}
+
+Result<ZoneScanStats> scan_zone_buffer(
+    std::string_view text, const ZoneScanOptions& options,
+    const std::function<void(const SldBatch&)>& on_batch) {
+  const obs::StageTimer stage("core.zone_scan");
+  ZoneScanMetrics& metrics = zone_scan_metrics();
+  metrics.invocations.add(1);
+  metrics.bytes.add(text.size());
+
+  const std::size_t shard_bytes = std::max<std::size_t>(1, options.shard_bytes);
+  const std::size_t batch_size = std::max<std::size_t>(1, options.batch_size);
+
+  // Phase 1 — serial directive prescan: establish the $ORIGIN timeline (and
+  // surface malformed directives with the serial path's line numbers) so
+  // every shard knows its starting origin without seeing earlier shards.
+  // Directive lines are rare, so instead of walking every line this jumps
+  // between '$' occurrences and inspects only their lines; line numbers are
+  // recovered by counting newlines up to each hit.
+  std::vector<OriginPoint> origin_points;
+  std::uint64_t total_lines = 0;
+  // A malformed directive is surfaced only after the lines *before* it have
+  // been scanned and delivered — the serial scanner streams SLDs as it
+  // walks, so by the time it fails the sink has already seen that prefix.
+  // Deferring the error (and truncating the input to the bad line) keeps
+  // the two paths identical on the error case too.
+  bool has_directive_error = false;
+  Error directive_error;
+  {
+    const obs::StageTimer prescan_stage("prescan");
+    for (std::size_t pos = 0;
+         (pos = text.find('\n', pos)) != std::string_view::npos; ++pos) {
+      ++total_lines;
+    }
+    if (!text.empty() && text.back() != '\n') {
+      ++total_lines;  // getline semantics: a final unterminated line counts
+    }
+    std::string origin;
+    std::vector<std::string_view> fields;
+    std::uint64_t newlines_before = 0;
+    std::size_t counted_to = 0;
+    std::size_t pos = 0;
+    while ((pos = text.find('$', pos)) != std::string_view::npos) {
+      const std::size_t prev_nl = pos == 0 ? std::string_view::npos
+                                           : text.rfind('\n', pos - 1);
+      const std::size_t line_start =
+          prev_nl == std::string_view::npos ? 0 : prev_nl + 1;
+      std::size_t line_end = text.find('\n', pos);
+      if (line_end == std::string_view::npos) {
+        line_end = text.size();
+      }
+      const std::string_view view =
+          strip_zone_line(text.substr(line_start, line_end - line_start));
+      if (!view.empty() && view.front() == '$') {
+        while (counted_to < line_start) {
+          newlines_before += text[counted_to] == '\n';
+          ++counted_to;
+        }
+        split_whitespace_into(view, fields);
+        auto directive =
+            apply_zone_directive(fields, newlines_before + 1, origin);
+        if (!directive.ok()) {
+          has_directive_error = true;
+          directive_error = directive.error();
+          text = text.substr(0, line_start);
+          break;
+        }
+        if (directive.value() && fields[0] == "$ORIGIN") {
+          origin_points.push_back(OriginPoint{line_end + 1, origin});
+        }
+      }
+      pos = line_end;  // one inspection per line, however many '$' it holds
+      if (pos >= text.size()) {
+        break;
+      }
+    }
+  }
+  metrics.lines.add(total_lines);
+
+  // Shard boundaries: the first line start at or after every multiple of
+  // shard_bytes — a pure function of (text, shard_bytes), never of the
+  // thread count.
+  std::vector<std::size_t> starts{0};
+  for (std::size_t mark = shard_bytes; mark < text.size();
+       mark += shard_bytes) {
+    const std::size_t nl = text.find('\n', mark);
+    if (nl == std::string_view::npos) {
+      break;
+    }
+    const std::size_t start = nl + 1;
+    if (start >= text.size()) {
+      break;
+    }
+    if (start > starts.back()) {
+      starts.push_back(start);
+    }
+  }
+  const std::size_t shard_count = starts.size();
+  metrics.shards.set(static_cast<std::int64_t>(shard_count));
+  metrics.shard_bytes.set(static_cast<std::int64_t>(shard_bytes));
+
+  // Phase 2 — parallel per-shard parse.  Each shard dedups its own owner
+  // runs (and non-adjacent repeats) locally; results land in per-shard
+  // slots, so the worker count cannot reorder anything.
+  std::vector<ShardScan> shards(shard_count);
+  {
+    const obs::StageTimer shard_stage("shards");
+    runtime::parallel_for_grain(
+        shard_count, options.threads, 1, [&](std::size_t s) {
+          const std::size_t begin = starts[s];
+          const std::size_t end =
+              s + 1 < shard_count ? starts[s + 1] : text.size();
+          ShardScan& out = shards[s];
+          std::string origin = origin_at(origin_points, begin);
+          std::string owner;
+          std::vector<std::string_view> fields;
+          std::unordered_set<std::uint64_t> local_seen;
+          // Capacity hints only — pure functions of the shard's byte range,
+          // and invisible to every output and metric.
+          const std::size_t capacity_hint = (end - begin) / 48;
+          local_seen.reserve(capacity_hint);
+          out.offsets.reserve(capacity_hint);
+          out.lengths.reserve(capacity_hint);
+          out.hashes.reserve(capacity_hint);
+          out.idn.reserve(capacity_hint);
+          // std::isspace in the C locale, without the per-call locale
+          // lookup ('\n' cannot appear inside a line).
+          const auto is_ws = [](char c) {
+            return c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+                   c == '\f' || c == '\n';
+          };
+          // Consecutive-owner fast path: master files group records by
+          // owner, so a record line whose owner field is byte-identical to
+          // the previous record line's (same origin in effect) reduces to
+          // the same domain — a guaranteed local duplicate.  The view
+          // points into `text`, so it stays valid across lines.
+          std::string_view prev_owner;
+          for_each_line(
+              text.substr(begin, end - begin), begin,
+              [&](std::size_t, std::string_view raw) {
+                // Owner extraction without strip/split: the owner is the
+                // first field, and a ';' anywhere at or after it opens a
+                // comment, so nothing past the token can matter.  Agrees
+                // with strip_zone_line + split_whitespace_into on every
+                // line (the corpus and equivalence tests pin this down).
+                std::size_t i = 0;
+                while (i < raw.size() && is_ws(raw[i])) {
+                  ++i;
+                }
+                if (i == raw.size() || raw[i] == ';') {
+                  return;  // blank or comment-only line
+                }
+                std::string_view owner_field;
+                if (raw[i] == '$') {
+                  // Prescan already validated every directive line.
+                  const std::string_view view = strip_zone_line(raw);
+                  split_whitespace_into(view, fields);
+                  auto directive = apply_zone_directive(fields, 0, origin);
+                  if (directive.ok() && directive.value()) {
+                    prev_owner = {};  // the origin may have changed
+                    return;
+                  }
+                  owner_field = fields[0];
+                } else {
+                  std::size_t tok = i;
+                  while (tok < raw.size() && !is_ws(raw[tok]) &&
+                         raw[tok] != ';') {
+                    ++tok;
+                  }
+                  owner_field = raw.substr(i, tok - i);
+                }
+                ++out.record_lines;
+                if (owner_field == prev_owner) {
+                  return;  // same owner, same origin → same domain: local dup
+                }
+                prev_owner = owner_field;
+                std::string_view domain;
+                bool is_idn = false;
+                if (!reduce_owner_to_sld(owner_field, origin, owner, domain,
+                                         is_idn)) {
+                  return;
+                }
+                const std::uint64_t hash = stable_hash64(domain);
+                if (!local_seen.insert(hash).second) {
+                  return;
+                }
+                out.offsets.push_back(
+                    static_cast<std::uint32_t>(out.blob.size()));
+                out.lengths.push_back(static_cast<std::uint32_t>(domain.size()));
+                out.hashes.push_back(hash);
+                out.idn.push_back(is_idn ? 1 : 0);
+                out.blob.append(domain);
+              });
+        });
+  }
+
+  // Phase 3 — serial bounded boundary merge: fold the per-shard candidate
+  // lists in shard order through one global seen-set (work is proportional
+  // to locally-distinct SLDs, not record lines), then emit the survivors
+  // in first-appearance order as batches.  Resolving duplicates before
+  // emitting means every batch can carry the final distinct count, so
+  // sinks pre-size their tables.
+  ZoneScanStats stats;
+  std::uint64_t candidates = 0;
+  {
+    const obs::StageTimer merge_stage("merge");
+    std::size_t candidate_total = 0;
+    for (const ShardScan& shard : shards) {
+      candidate_total += shard.hashes.size();
+    }
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(candidate_total);
+    std::vector<std::vector<std::uint32_t>> keep(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const ShardScan& shard = shards[s];
+      stats.record_lines += shard.record_lines;
+      candidates += shard.hashes.size();
+      for (std::size_t i = 0; i < shard.hashes.size(); ++i) {
+        if (!seen.insert(shard.hashes[i]).second) {
+          continue;
+        }
+        ++stats.distinct_slds;
+        stats.idns += shard.idn[i];
+        keep[s].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    std::vector<std::string_view> batch_domains;
+    std::vector<std::uint8_t> batch_idn;
+    batch_domains.reserve(batch_size);
+    batch_idn.reserve(batch_size);
+    auto flush = [&] {
+      if (batch_domains.empty()) {
+        return;
+      }
+      metrics.batches.add(1);
+      on_batch(SldBatch{batch_domains, batch_idn,
+                        static_cast<std::size_t>(stats.distinct_slds)});
+      batch_domains.clear();
+      batch_idn.clear();
+    };
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const ShardScan& shard = shards[s];
+      for (const std::uint32_t i : keep[s]) {
+        batch_domains.push_back(std::string_view(
+            shard.blob.data() + shard.offsets[i], shard.lengths[i]));
+        batch_idn.push_back(shard.idn[i]);
+        if (batch_domains.size() >= batch_size) {
+          flush();
+        }
+      }
+    }
+    flush();
+  }
+  metrics.record_lines.add(stats.record_lines);
+  metrics.shard_candidates.add(candidates);
+  metrics.seam_dups.add(candidates - stats.distinct_slds);
+  metrics.slds.add(stats.distinct_slds);
+  metrics.idns.add(stats.idns);
+
+  if (has_directive_error) {
+    return directive_error;
+  }
+  if (origin_points.empty() || origin_points.back().origin.empty()) {
+    return Err("zone.no_origin", kNoOriginMessage);
+  }
+  stats.origin = origin_points.back().origin;
+  return stats;
+}
+
+Result<ZoneScanStats> scan_zone_file_sharded(
+    const std::string& path, const ZoneScanOptions& options,
+    const std::function<void(const SldBatch&)>& on_batch) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Err("zone.io", "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Err("zone.io", "read from " + path + " failed");
+  }
+  return scan_zone_buffer(buffer.str(), options, on_batch);
 }
 
 }  // namespace idnscope::dns

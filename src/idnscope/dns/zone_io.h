@@ -1,15 +1,35 @@
 // Zone-file disk I/O and streaming scanning.
 //
 // The paper downloaded zone-file snapshots (129M entries for com alone) —
-// far too large to hold as parsed records.  scan_zone_file_stream() walks a
-// master file line by line, tracking only the distinct-SLD window it needs,
-// and invokes a callback per registered domain; this is the entry point a
-// user with real zone snapshots would call.
+// far too large to hold as parsed records.  Two scan paths share one
+// per-line core (so they agree byte-for-byte on every input):
+//
+//   * scan_zone_stream() / scan_zone_file(): the serial reference path — a
+//     line-by-line istream walk invoking a callback per distinct
+//     registered domain.  Works on non-seekable streams; never
+//     materializes the zone.
+//   * scan_zone_buffer() / scan_zone_file_sharded(): the parallel
+//     block-sharded path (DESIGN.md §7).  The input is split into
+//     byte-range shards aligned to line boundaries, shards are parsed
+//     concurrently on the runtime::parallel executor, and the distinct
+//     SLDs are delivered as *ordered batches* — built to feed
+//     runtime::DomainTable via batched interning instead of per-string
+//     callbacks.
+//
+// Determinism contract: the sharded scan returns a ZoneScanStats that is
+// byte-identical to the serial path's, emits the same (domain, is_idn)
+// sequence in the same order, and reports the same errors — at any thread
+// count.  Shard boundaries, batch splits and every core.zone_scan.* metric
+// are pure functions of (input bytes, options); the thread count only
+// decides which worker parses which shard.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "idnscope/common/result.h"
 #include "idnscope/dns/zone.h"
@@ -34,6 +54,7 @@ struct ZoneScanStats {
 // call `on_sld(domain, is_idn)`.  Consecutive-owner runs are deduplicated
 // exactly (zone files group records by owner); a bounded recent-owner
 // cache absorbs non-adjacent repeats.  Never materializes the zone.
+// Handles a final line without a trailing newline like any other line.
 Result<ZoneScanStats> scan_zone_stream(
     std::istream& input,
     const std::function<void(std::string_view domain, bool is_idn)>& on_sld);
@@ -41,5 +62,52 @@ Result<ZoneScanStats> scan_zone_stream(
 Result<ZoneScanStats> scan_zone_file(
     const std::string& path,
     const std::function<void(std::string_view domain, bool is_idn)>& on_sld);
+
+// --- parallel block-sharded scan --------------------------------------------
+
+// Default target shard size.  At com scale (GBs of master file) this yields
+// tens of thousands of shards; a file smaller than one shard degenerates to
+// a single-shard (serial) parse with identical output.
+inline constexpr std::size_t kZoneShardBytes = 1u << 18;
+
+// Default number of SLDs per delivered batch.
+inline constexpr std::size_t kZoneScanBatch = 4096;
+
+// Tuning knobs.  Every field is part of the *workload description*: two
+// scans over the same bytes with the same options produce bit-identical
+// stats, batches and metrics regardless of `threads`.
+struct ZoneScanOptions {
+  unsigned threads = 0;                      // runtime::resolve_threads knob
+  std::size_t shard_bytes = kZoneShardBytes; // target shard size, line-aligned
+  std::size_t batch_size = kZoneScanBatch;   // SLDs per delivered batch
+};
+
+// One ordered batch of distinct SLDs.  The views borrow the scanner's
+// internal shard storage and are valid only during the callback — intern or
+// copy them before returning (runtime::DomainTable::intern_batch copies).
+// `total_distinct` carries the scan's final distinct-SLD count (known
+// before the first batch is emitted; identical on every batch) so sinks
+// can pre-size their tables instead of growing through rehashes.
+struct SldBatch {
+  std::span<const std::string_view> domains;
+  std::span<const std::uint8_t> is_idn;  // 1 where domains[i] is an IDN
+  std::size_t total_distinct = 0;
+  std::size_t size() const { return domains.size(); }
+};
+
+// Scan a whole master file held in memory with the sharded parallel reader:
+// three phases — a serial directive prescan ($ORIGIN/$TTL positions and
+// validation), a parallel per-shard parse (each shard dedups its own
+// owner runs), and a serial bounded boundary-merge that resolves
+// cross-shard duplicates and emits distinct SLDs in first-appearance order
+// as batches of at most options.batch_size.
+Result<ZoneScanStats> scan_zone_buffer(
+    std::string_view text, const ZoneScanOptions& options,
+    const std::function<void(const SldBatch&)>& on_batch);
+
+// Read `path` fully into memory and scan_zone_buffer it.
+Result<ZoneScanStats> scan_zone_file_sharded(
+    const std::string& path, const ZoneScanOptions& options,
+    const std::function<void(const SldBatch&)>& on_batch);
 
 }  // namespace idnscope::dns

@@ -67,9 +67,11 @@ std::string_view DomainTable::store(std::string_view domain) {
   return std::string_view(dest, domain.size());
 }
 
-DomainId DomainTable::intern(std::string_view domain) {
+DomainId DomainTable::intern_one(std::string_view domain,
+                                 std::uint64_t& new_entries,
+                                 std::uint64_t& hit_entries) {
   if (auto it = index_.find(domain); it != index_.end()) {
-    table_metrics().hits.add(1);
+    ++hit_entries;
     return it->second;
   }
   const std::string_view stored = store(domain);
@@ -79,11 +81,52 @@ DomainId DomainTable::intern(std::string_view domain) {
   blacklist_mask_.push_back(0);
   flags_.push_back(0);
   index_.emplace(stored, id);
-  table_metrics().interned.add(1);
-  table_metrics().entries.set(static_cast<std::int64_t>(entries_.size()));
-  table_metrics().index_bytes.set(static_cast<std::int64_t>(entries_.size()) *
-                                  kIndexBytesPerEntry);
+  ++new_entries;
   return id;
+}
+
+DomainId DomainTable::intern(std::string_view domain) {
+  std::uint64_t new_entries = 0;
+  std::uint64_t hit_entries = 0;
+  const DomainId id = intern_one(domain, new_entries, hit_entries);
+  TableMetrics& metrics = table_metrics();
+  if (hit_entries != 0) {
+    metrics.hits.add(hit_entries);
+    return id;
+  }
+  metrics.interned.add(new_entries);
+  metrics.entries.set(static_cast<std::int64_t>(entries_.size()));
+  metrics.index_bytes.set(static_cast<std::int64_t>(entries_.size()) *
+                          kIndexBytesPerEntry);
+  return id;
+}
+
+void DomainTable::intern_batch(std::span<const std::string_view> domains,
+                               DomainId* out) {
+  std::uint64_t new_entries = 0;
+  std::uint64_t hit_entries = 0;
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    out[i] = intern_one(domains[i], new_entries, hit_entries);
+  }
+  TableMetrics& metrics = table_metrics();
+  if (hit_entries != 0) {
+    metrics.hits.add(hit_entries);
+  }
+  if (new_entries != 0) {
+    metrics.interned.add(new_entries);
+    metrics.entries.set(static_cast<std::int64_t>(entries_.size()));
+    metrics.index_bytes.set(static_cast<std::int64_t>(entries_.size()) *
+                            kIndexBytesPerEntry);
+  }
+}
+
+void DomainTable::reserve(std::size_t expected) {
+  const std::size_t total = entries_.size() + expected;
+  entries_.reserve(total);
+  tld_group_.reserve(total);
+  blacklist_mask_.reserve(total);
+  flags_.reserve(total);
+  index_.reserve(total);
 }
 
 DomainId DomainTable::find(std::string_view domain) const {

@@ -61,6 +61,18 @@ class DomainTable {
   // string returns the original id; side-table values are preserved.
   DomainId intern(std::string_view domain);
 
+  // Batched interning — the sharded zone scanner's entry point.  Equivalent
+  // to calling intern() on every element in order (same ids, same metric
+  // totals, same single-writer requirement), but amortizes the metric
+  // bookkeeping over the batch.  out[i] receives the id of domains[i]; the
+  // input views may borrow transient storage (the table copies into its
+  // arena).
+  void intern_batch(std::span<const std::string_view> domains, DomainId* out);
+
+  // Pre-size the id/side tables and lookup index for `expected` additional
+  // entries (the arena grows in fixed chunks regardless).
+  void reserve(std::size_t expected);
+
   // Id of an already-interned string, or kInvalidDomainId.
   DomainId find(std::string_view domain) const;
   bool contains(std::string_view domain) const {
@@ -111,6 +123,11 @@ class DomainTable {
   // Copy `domain` into the arena; the returned view is stable forever
   // (chunks are never reallocated, only appended).
   std::string_view store(std::string_view domain);
+
+  // intern() without the per-call gauge updates (shared by intern and
+  // intern_batch; callers refresh the size gauges afterwards).
+  DomainId intern_one(std::string_view domain, std::uint64_t& new_entries,
+                      std::uint64_t& hit_entries);
 
   std::vector<std::unique_ptr<char[]>> chunks_;
   std::size_t chunk_used_ = kChunkSize;  // current chunk fill (full = none yet)

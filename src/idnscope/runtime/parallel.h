@@ -10,13 +10,17 @@
 //
 // ## Public API invariants (relied on by core/ and by the metrics contract)
 //
-// *Fixed chunking.*  Chunk boundaries are [k*kParallelChunk,
-// (k+1)*kParallelChunk) ∩ [0, count) — a pure function of `count`.  The
-// worker count decides only *which thread* claims a chunk, never where the
-// chunk starts or ends.  Every chunk is claimed exactly once, so the total
-// number of claims is ceil(count / kParallelChunk) at any thread count
-// (asserted against the `runtime.parallel.chunks` metric in
-// tests/runtime_test.cpp).
+// *Fixed chunking.*  Chunk boundaries are [k*grain, (k+1)*grain) ∩
+// [0, count) — a pure function of `count` and the chunk grain (the default
+// parallel_for uses kParallelChunk; parallel_for_grain lets callers with
+// coarse items — e.g. the sharded zone reader, whose items are whole byte
+// shards — pass their own).  The grain must itself be a pure function of
+// the workload (a constant, or derived from the item count), never of the
+// worker count.  The worker count decides only *which thread* claims a
+// chunk, never where the chunk starts or ends.  Every chunk is claimed
+// exactly once, so the total number of claims is ceil(count / grain) at
+// any thread count (asserted against the `runtime.parallel.chunks` metric
+// in tests/runtime_test.cpp).
 //
 // *Fixed reduction order.*  parallel_reduce combines left-to-right within
 // a chunk and folds the per-chunk partials left-to-right in chunk order on
@@ -76,7 +80,7 @@ namespace detail {
 // Deterministic dispatch accounting, identical on the serial and parallel
 // paths: chunk claims are counted as chunk *math*, not observed claims, so
 // the registry cannot drift with the worker count.
-inline void note_dispatch(std::size_t count) {
+inline void note_dispatch(std::size_t count, std::size_t grain) {
   static const obs::Counter invocations =
       obs::Registry::global().counter("runtime.parallel.invocations");
   static const obs::Counter items =
@@ -89,18 +93,26 @@ inline void note_dispatch(std::size_t count) {
           {1.0, 64.0, 1024.0, 16384.0, 262144.0});
   invocations.add(1);
   items.add(count);
-  chunks.add((count + kParallelChunk - 1) / kParallelChunk);
+  chunks.add((count + grain - 1) / grain);
   items_per_call.observe(static_cast<double>(count));
 }
 
 }  // namespace detail
 
-// Invoke fn(i) for every i in [0, count).  fn runs concurrently; callers
-// must only write state owned by index i (e.g. out[i]).  Exceptions from fn
-// are rethrown on the calling thread (first one wins).
+// parallel_for with an explicit chunk grain: workers claim [k*grain,
+// (k+1)*grain) slices.  `grain` must be a pure function of the workload
+// (pass a constant), never of the worker count — it defines the chunk
+// boundaries and therefore the chunk accounting of the determinism
+// contract.  Use the plain parallel_for unless the items are themselves
+// coarse units of work (e.g. zone-file byte shards, where grain = 1 lets
+// every worker claim individual shards).
 template <typename Fn>
-void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
-  detail::note_dispatch(count);
+void parallel_for_grain(std::size_t count, unsigned threads, std::size_t grain,
+                        Fn&& fn) {
+  if (grain == 0) {
+    grain = 1;
+  }
+  detail::note_dispatch(count, grain);
   const unsigned workers = resolve_threads(threads, count);
   if (workers <= 1) {
     const obs::StageTimer busy("runtime.parallel.worker");
@@ -121,11 +133,11 @@ void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
     const obs::StageTimer busy("runtime.parallel.worker");
     while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t begin =
-          next.fetch_add(kParallelChunk, std::memory_order_relaxed);
+          next.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= count) {
         return;
       }
-      const std::size_t end = std::min(count, begin + kParallelChunk);
+      const std::size_t end = std::min(count, begin + grain);
       try {
         for (std::size_t i = begin; i < end; ++i) {
           fn(i);
@@ -154,6 +166,14 @@ void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
   if (error) {
     std::rethrow_exception(error);
   }
+}
+
+// Invoke fn(i) for every i in [0, count).  fn runs concurrently; callers
+// must only write state owned by index i (e.g. out[i]).  Exceptions from fn
+// are rethrown on the calling thread (first one wins).
+template <typename Fn>
+void parallel_for(std::size_t count, unsigned threads, Fn&& fn) {
+  parallel_for_grain(count, threads, kParallelChunk, std::forward<Fn>(fn));
 }
 
 // Fold map(i) over [0, count) into an accumulator of type T.

@@ -1,0 +1,75 @@
+// Seeded property-test harness.
+//
+// A property test draws N cases from a deterministic Rng stream, checks a
+// boolean property for each, and — on the first failure — greedily shrinks
+// the counterexample before reporting.  Everything is reproducible from
+// (seed, property name, case index): the per-case generator forks the base
+// Rng by "name/index", so adding cases or properties never perturbs the
+// values other cases see, and the failure report carries enough to replay
+// a single case in isolation.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "idnscope/common/rng.h"
+
+namespace idnscope::testing {
+
+struct PropertyConfig {
+  std::uint64_t seed = 0x1d75c0de2017ULL;
+  std::size_t cases = 10000;
+  // Bound on property evaluations spent minimizing one counterexample.
+  std::size_t max_shrink_evals = 10000;
+};
+
+// Check `prop` over `config.cases` generated values.
+//   gen(rng)        -> T            draw one case
+//   prop(value)     -> bool         true = property holds
+//   shrink(value)   -> vector<T>    smaller candidates (may be empty)
+//   print(value)    -> string       human-readable form for the report
+// Reports (via ADD_FAILURE) the seed, case index, original and minimized
+// counterexample of the first failing case, then returns.
+template <typename T, typename Gen, typename Prop, typename Shrink,
+          typename Print>
+void check_property(const std::string& name, const PropertyConfig& config,
+                    Gen&& gen, Prop&& prop, Shrink&& shrink, Print&& print) {
+  const Rng base(config.seed);
+  for (std::size_t index = 0; index < config.cases; ++index) {
+    Rng rng = base.fork(name + "/" + std::to_string(index));
+    const T original = gen(rng);
+    if (prop(original)) {
+      continue;
+    }
+    // Greedy shrink: take the first failing candidate each round until no
+    // candidate fails (or the evaluation budget runs out).
+    T minimized = original;
+    std::size_t evals = 0;
+    bool progressed = true;
+    while (progressed && evals < config.max_shrink_evals) {
+      progressed = false;
+      for (const T& candidate : shrink(minimized)) {
+        if (++evals > config.max_shrink_evals) {
+          break;
+        }
+        if (!prop(candidate)) {
+          minimized = candidate;
+          progressed = true;
+          break;
+        }
+      }
+    }
+    ADD_FAILURE() << "property '" << name << "' failed\n"
+                  << "  seed=" << config.seed << " case=" << index
+                  << " (replay: PropertyConfig{.seed = " << config.seed
+                  << "}, fork tag \"" << name << "/" << index << "\")\n"
+                  << "  original:  " << print(original) << "\n"
+                  << "  minimized: " << print(minimized);
+    return;
+  }
+}
+
+}  // namespace idnscope::testing

@@ -2,8 +2,10 @@
 // of the shared parallel executor (results identical at 1, 2 and 8 threads).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "idnscope/core/availability.h"
@@ -72,6 +74,56 @@ TEST(DomainTable, ResolveMaterializesInOrder) {
   EXPECT_EQ(strings[2], "b.net");
 }
 
+TEST(DomainTable, InternBatchMatchesSequentialIntern) {
+  // Batched interning is an amortization, not a semantic change: same ids,
+  // same table contents, same metric totals as one intern() per string.
+  std::vector<std::string> domains;
+  for (int i = 0; i < 500; ++i) {
+    domains.push_back("batch-" + std::to_string(i % 200) + ".com");
+  }
+  std::vector<std::string_view> views(domains.begin(), domains.end());
+
+  obs::Registry::global().reset();
+  runtime::DomainTable sequential;
+  std::vector<runtime::DomainId> expected_ids;
+  for (const std::string& domain : domains) {
+    expected_ids.push_back(sequential.intern(domain));
+  }
+  const auto hits = obs::Registry::global().counter("runtime.domain_table.hits");
+  const auto interned =
+      obs::Registry::global().counter("runtime.domain_table.interned");
+  const std::uint64_t sequential_hits = hits.value();
+  const std::uint64_t sequential_interned = interned.value();
+
+  obs::Registry::global().reset();
+  runtime::DomainTable batched;
+  batched.reserve(domains.size());
+  std::vector<runtime::DomainId> batch_ids(views.size());
+  batched.intern_batch(views, batch_ids.data());
+  EXPECT_EQ(batch_ids, expected_ids);
+  EXPECT_EQ(batched.size(), sequential.size());
+  EXPECT_EQ(hits.value(), sequential_hits);
+  EXPECT_EQ(interned.value(), sequential_interned);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(batched.str(batch_ids[i]), views[i]);
+  }
+}
+
+TEST(DomainTable, InternBatchAcceptsEmptyAndRepeatedBatches) {
+  runtime::DomainTable table;
+  table.intern_batch({}, nullptr);
+  EXPECT_EQ(table.size(), 0U);
+  const std::vector<std::string_view> views{"a.com", "a.com", "b.com"};
+  std::vector<runtime::DomainId> ids(views.size());
+  table.intern_batch(views, ids.data());
+  EXPECT_EQ(table.size(), 2U);
+  EXPECT_EQ(ids[0], ids[1]);
+  std::vector<runtime::DomainId> again(views.size());
+  table.intern_batch(views, again.data());
+  EXPECT_EQ(table.size(), 2U);
+  EXPECT_EQ(again, ids);
+}
+
 TEST(Parallel, ResolveThreadsClampsToItems) {
   EXPECT_EQ(runtime::resolve_threads(8, 3), 3U);
   EXPECT_EQ(runtime::resolve_threads(8, 0), 1U);
@@ -135,6 +187,26 @@ TEST(Parallel, ExecutorMetricsMatchChunkMath) {
     EXPECT_EQ(invocations.value(), counts.size()) << "threads=" << threads;
     EXPECT_EQ(items.value(), expected_items) << "threads=" << threads;
     EXPECT_EQ(chunks.value(), expected_chunks) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, ForGrainCoversEveryIndexOnceAndCountsChunks) {
+  // grain=1 is what the sharded zone scanner uses: a handful of coarse work
+  // items must still fan out instead of collapsing into one kParallelChunk.
+  const obs::Counter chunks =
+      obs::Registry::global().counter("runtime.parallel.chunks");
+  for (unsigned threads : {1U, 2U, 8U}) {
+    for (const std::size_t grain : {std::size_t{1}, std::size_t{3}}) {
+      obs::Registry::global().reset();
+      std::vector<int> hits(11, 0);
+      runtime::parallel_for_grain(hits.size(), threads, grain,
+                                  [&](std::size_t i) { ++hits[i]; });
+      for (int hit : hits) {
+        ASSERT_EQ(hit, 1) << "threads=" << threads << " grain=" << grain;
+      }
+      EXPECT_EQ(chunks.value(), (hits.size() + grain - 1) / grain)
+          << "threads=" << threads << " grain=" << grain;
+    }
   }
 }
 

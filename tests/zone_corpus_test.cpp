@@ -1,0 +1,172 @@
+// Malformed-zone corpus: every file under tests/data/zone_corpus/ is fed
+// to the serial scanner and to the sharded scanner (at several shard/batch
+// geometries and thread counts), asserting the two return *identical*
+// results — same (domain, is_idn) sequence, same stats, same error code
+// and message — and never crash.  The corpus covers truncation, CRLF,
+// directive edge cases, oversize labels, embedded NUL and non-UTF-8 bytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "idnscope/dns/zone_io.h"
+
+#ifndef IDNSCOPE_ZONE_CORPUS_DIR
+#error "IDNSCOPE_ZONE_CORPUS_DIR must point at tests/data/zone_corpus"
+#endif
+
+namespace idnscope::dns {
+namespace {
+
+struct ScanResult {
+  bool ok = false;
+  std::string error_code;
+  std::string error_message;
+  ZoneScanStats stats;
+  std::vector<std::pair<std::string, bool>> slds;
+
+  bool operator==(const ScanResult& other) const {
+    return ok == other.ok && error_code == other.error_code &&
+           error_message == other.error_message &&
+           stats.origin == other.stats.origin &&
+           stats.record_lines == other.stats.record_lines &&
+           stats.distinct_slds == other.stats.distinct_slds &&
+           stats.idns == other.stats.idns && slds == other.slds;
+  }
+};
+
+ScanResult run_serial(const std::string& path) {
+  ScanResult out;
+  const auto scanned =
+      scan_zone_file(path, [&](std::string_view domain, bool is_idn) {
+        out.slds.emplace_back(std::string(domain), is_idn);
+      });
+  out.ok = scanned.ok();
+  if (scanned.ok()) {
+    out.stats = scanned.value();
+  } else {
+    out.error_code = scanned.error().code;
+    out.error_message = scanned.error().message;
+  }
+  return out;
+}
+
+ScanResult run_sharded(const std::string& path, const ZoneScanOptions& options) {
+  ScanResult out;
+  const auto scanned =
+      scan_zone_file_sharded(path, options, [&](const SldBatch& batch) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          out.slds.emplace_back(std::string(batch.domains[i]),
+                                batch.is_idn[i] != 0);
+        }
+      });
+  out.ok = scanned.ok();
+  if (scanned.ok()) {
+    out.stats = scanned.value();
+  } else {
+    out.error_code = scanned.error().code;
+    out.error_message = scanned.error().message;
+  }
+  return out;
+}
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(IDNSCOPE_ZONE_CORPUS_DIR)) {
+    if (entry.is_regular_file()) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string base_name(const std::string& path) {
+  return std::filesystem::path(path).filename().string();
+}
+
+TEST(ZoneCorpus, CorpusIsPresent) {
+  // Guard against a silently-empty directory making every test vacuous.
+  EXPECT_GE(corpus_files().size(), 12U);
+}
+
+TEST(ZoneCorpus, ShardedMatchesSerialOnEveryFile) {
+  // Tiny shard_bytes forces seams through the middle of records and owner
+  // runs; tiny batch_size forces many flushes; the thread counts cover
+  // serial fallback, partial and full parallelism.
+  const std::vector<ZoneScanOptions> geometries = {
+      ZoneScanOptions{},
+      ZoneScanOptions{1, 48, 3},
+      ZoneScanOptions{2, 48, 3},
+      ZoneScanOptions{8, 16, 1},
+      ZoneScanOptions{8, 4096, 64},
+  };
+  for (const std::string& path : corpus_files()) {
+    const ScanResult serial = run_serial(path);
+    for (const ZoneScanOptions& options : geometries) {
+      const ScanResult sharded = run_sharded(path, options);
+      EXPECT_TRUE(serial == sharded)
+          << base_name(path) << " diverged at shard_bytes="
+          << options.shard_bytes << " batch_size=" << options.batch_size
+          << " threads=" << options.threads << "\n  serial: ok=" << serial.ok
+          << " err=" << serial.error_code << " slds=" << serial.slds.size()
+          << "\n  sharded: ok=" << sharded.ok << " err=" << sharded.error_code
+          << " slds=" << sharded.slds.size();
+    }
+  }
+}
+
+// Targeted expectations for the known files, so the corpus cannot rot into
+// "everything errors and trivially matches".
+
+TEST(ZoneCorpus, BadOriginArityReportsSerialLineNumber) {
+  const std::string path =
+      std::string(IDNSCOPE_ZONE_CORPUS_DIR) + "/bad_origin_args.zone";
+  const ScanResult serial = run_serial(path);
+  ASSERT_FALSE(serial.ok);
+  EXPECT_EQ(serial.error_code, "zone.bad_directive");
+  EXPECT_NE(serial.error_message.find("line 4"), std::string::npos)
+      << serial.error_message;
+}
+
+TEST(ZoneCorpus, MissingAndEmptyOriginsFail) {
+  for (const char* name :
+       {"/no_origin.zone", "/origin_dot.zone", "/empty.zone",
+        "/comments_only.zone", "/whitespace_only.zone"}) {
+    const ScanResult serial =
+        run_serial(std::string(IDNSCOPE_ZONE_CORPUS_DIR) + name);
+    EXPECT_FALSE(serial.ok) << name;
+    EXPECT_EQ(serial.error_code, "zone.no_origin") << name;
+  }
+}
+
+TEST(ZoneCorpus, WellFormedFilesScan) {
+  struct Expectation {
+    const char* name;
+    std::uint64_t distinct;
+    std::uint64_t idns;
+  };
+  // crlf: 3 owners, one ACE.  truncated_no_newline: the final unterminated
+  // record line still counts.  origin_changes: alpha.com dedups across
+  // origin switches; alpha.net is distinct; apex SOA is skipped.
+  const std::vector<Expectation> expectations = {
+      {"/crlf.zone", 3, 1},
+      {"/truncated_no_newline.zone", 2, 0},
+      {"/origin_changes.zone", 5, 0},
+      {"/oversize_labels.zone", 3, 0},
+  };
+  for (const Expectation& expected : expectations) {
+    const ScanResult serial =
+        run_serial(std::string(IDNSCOPE_ZONE_CORPUS_DIR) + expected.name);
+    ASSERT_TRUE(serial.ok) << expected.name << ": " << serial.error_message;
+    EXPECT_EQ(serial.stats.distinct_slds, expected.distinct) << expected.name;
+    EXPECT_EQ(serial.stats.idns, expected.idns) << expected.name;
+  }
+}
+
+}  // namespace
+}  // namespace idnscope::dns

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "idnscope/dns/zone_io.h"
 #include "idnscope/ecosystem/ecosystem.h"
@@ -110,6 +112,154 @@ TEST(ZoneIo, StreamScanItldZone) {
       stream, [&](std::string_view, bool is_idn) { idns += is_idn; });
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(idns, 2U);  // everything under an iTLD is an IDN
+}
+
+TEST(ZoneIo, StreamScanHandlesMissingFinalNewline) {
+  // The last line of a snapshot is often cut without a trailing '\n'; it
+  // must scan exactly like a terminated line.
+  const std::string with_newline =
+      "$ORIGIN com.\na IN NS ns1.h.net\nb IN NS ns1.h.net\n";
+  const std::string without_newline =
+      "$ORIGIN com.\na IN NS ns1.h.net\nb IN NS ns1.h.net";
+  for (const std::string* text : {&with_newline, &without_newline}) {
+    std::istringstream stream(*text);
+    std::vector<std::string> streamed;
+    auto stats = scan_zone_stream(
+        stream, [&](std::string_view domain, bool) {
+          streamed.emplace_back(domain);
+        });
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().record_lines, 2U);
+    EXPECT_EQ(streamed, (std::vector<std::string>{"a.com", "b.com"}));
+  }
+}
+
+// --- sharded scanner ---------------------------------------------------------
+
+struct CollectedScan {
+  ZoneScanStats stats;
+  std::vector<std::pair<std::string, bool>> slds;
+  std::vector<std::size_t> batch_sizes;
+};
+
+CollectedScan collect_sharded(std::string_view text,
+                              const ZoneScanOptions& options) {
+  CollectedScan out;
+  auto scanned = scan_zone_buffer(text, options, [&](const SldBatch& batch) {
+    out.batch_sizes.push_back(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out.slds.emplace_back(std::string(batch.domains[i]),
+                            batch.is_idn[i] != 0);
+    }
+  });
+  EXPECT_TRUE(scanned.ok()) << scanned.error().message;
+  if (scanned.ok()) {
+    out.stats = scanned.value();
+  }
+  return out;
+}
+
+CollectedScan collect_serial(std::string_view text) {
+  CollectedScan out;
+  std::istringstream stream{std::string(text)};
+  auto scanned =
+      scan_zone_stream(stream, [&](std::string_view domain, bool is_idn) {
+        out.slds.emplace_back(std::string(domain), is_idn);
+      });
+  EXPECT_TRUE(scanned.ok()) << scanned.error().message;
+  if (scanned.ok()) {
+    out.stats = scanned.value();
+  }
+  return out;
+}
+
+TEST(ZoneIoSharded, MatchesSerialOnGeneratedZoneAtAnyGeometry) {
+  auto scenario = ecosystem::Scenario::tiny();
+  scenario.generate_filler = true;
+  const auto eco = ecosystem::generate(scenario);
+  const std::string text = serialize_zone(eco.zones[0]);
+  const CollectedScan serial = collect_serial(text);
+  ASSERT_FALSE(serial.slds.empty());
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const std::size_t shard_bytes :
+         {std::size_t{64}, std::size_t{512}, kZoneShardBytes}) {
+      const CollectedScan sharded =
+          collect_sharded(text, ZoneScanOptions{threads, shard_bytes, 7});
+      EXPECT_EQ(serial.slds, sharded.slds)
+          << "threads=" << threads << " shard_bytes=" << shard_bytes;
+      EXPECT_EQ(serial.stats.origin, sharded.stats.origin);
+      EXPECT_EQ(serial.stats.record_lines, sharded.stats.record_lines);
+      EXPECT_EQ(serial.stats.distinct_slds, sharded.stats.distinct_slds);
+      EXPECT_EQ(serial.stats.idns, sharded.stats.idns);
+    }
+  }
+}
+
+TEST(ZoneIoSharded, DeduplicatesAcrossShardSeams) {
+  // shard_bytes=32 puts the repeats of "alpha" in different shards; the
+  // boundary merge must keep only the first appearance.
+  const std::string text =
+      "$ORIGIN com.\n"
+      "alpha 86400 IN NS ns1.h.net\n"
+      "beta 86400 IN NS ns1.h.net\n"
+      "alpha 86400 IN NS ns2.h.net\n"
+      "gamma 86400 IN NS ns1.h.net\n"
+      "alpha 86400 IN NS ns3.h.net\n";
+  const CollectedScan sharded =
+      collect_sharded(text, ZoneScanOptions{2, 32, 4096});
+  EXPECT_EQ(sharded.stats.distinct_slds, 3U);
+  EXPECT_EQ(sharded.stats.record_lines, 5U);
+  ASSERT_EQ(sharded.slds.size(), 3U);
+  EXPECT_EQ(sharded.slds[0].first, "alpha.com");
+  EXPECT_EQ(sharded.slds[1].first, "beta.com");
+  EXPECT_EQ(sharded.slds[2].first, "gamma.com");
+}
+
+TEST(ZoneIoSharded, RespectsBatchSizeAndReportsTotal) {
+  std::string text = "$ORIGIN com.\n";
+  for (int i = 0; i < 10; ++i) {
+    text += "owner" + std::to_string(i) + " IN NS ns1.h.net\n";
+  }
+  std::size_t total_distinct = 0;
+  auto scanned = scan_zone_buffer(
+      text, ZoneScanOptions{1, kZoneShardBytes, 4},
+      [&](const SldBatch& batch) {
+        EXPECT_LE(batch.size(), 4U);
+        total_distinct = batch.total_distinct;
+      });
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(total_distinct, 10U);
+  EXPECT_EQ(scanned.value().distinct_slds, 10U);
+}
+
+TEST(ZoneIoSharded, MissingFinalNewlineMatchesSerial) {
+  const std::string text =
+      "$ORIGIN com.\na IN NS ns1.h.net\nb IN NS ns1.h.net";
+  const CollectedScan serial = collect_serial(text);
+  const CollectedScan sharded =
+      collect_sharded(text, ZoneScanOptions{2, 16, 4096});
+  EXPECT_EQ(serial.slds, sharded.slds);
+  EXPECT_EQ(serial.stats.record_lines, sharded.stats.record_lines);
+  EXPECT_EQ(serial.stats.distinct_slds, sharded.stats.distinct_slds);
+}
+
+TEST(ZoneIoSharded, ErrorParityWithSerial) {
+  const std::string no_origin = "a.com. IN NS ns1.h.net\n";
+  auto sharded = scan_zone_buffer(no_origin, ZoneScanOptions{},
+                                  [](const SldBatch&) {});
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_EQ(sharded.error().code, "zone.no_origin");
+
+  const std::string bad = "$ORIGIN com.\na IN NS ns1.h.net\n$ORIGIN a b\n";
+  std::istringstream stream(bad);
+  auto serial = scan_zone_stream(stream, [](std::string_view, bool) {});
+  auto sharded_bad =
+      scan_zone_buffer(bad, ZoneScanOptions{2, 16, 4096}, [](const SldBatch&) {});
+  ASSERT_FALSE(serial.ok());
+  ASSERT_FALSE(sharded_bad.ok());
+  EXPECT_EQ(serial.error().code, sharded_bad.error().code);
+  EXPECT_EQ(serial.error().message, sharded_bad.error().message);
+  EXPECT_NE(sharded_bad.error().message.find("line 3"), std::string::npos);
 }
 
 TEST(ZoneIo, EndToEndWithGeneratedZone) {

@@ -83,8 +83,9 @@ int cmd_scan_zone(const std::string& path, bool audit) {
     semantic = &semantic_instance;
   }
   std::uint64_t flagged = 0;
-  auto stats = dns::scan_zone_file(
-      path, [&](std::string_view domain, bool is_idn) {
+  // Sharded scan (default options: hardware threads); the batch sequence is
+  // contractually identical to the serial scanner's per-SLD order.
+  auto on_sld = [&](std::string_view domain, bool is_idn) {
         if (!is_idn) {
           return;
         }
@@ -105,6 +106,12 @@ int cmd_scan_zone(const std::string& path, bool audit) {
                       ascii.c_str(), display.c_str(), hit->brand.c_str(),
                       hit->keyword_utf8.c_str());
           ++flagged;
+        }
+      };
+  auto stats = dns::scan_zone_file_sharded(
+      path, dns::ZoneScanOptions{}, [&](const dns::SldBatch& batch) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          on_sld(batch.domains[i], batch.is_idn[i] != 0);
         }
       });
   if (!stats.ok()) {
