@@ -1,0 +1,185 @@
+// Scale-readiness trajectory: the full ingest+study pipeline run the way a
+// scale-1 reproduction would run it — zone files on disk, streamed through
+// the mmap-backed sharded reader into the compacted DomainTable, and the
+// downstream joins executed as budgeted StreamJoin merge passes.
+//
+// Default mode is scale=1 (the paper's full population, ~154M zone entries
+// with filler — see EXPERIMENTS.md "Running at scale=1" for the expected
+// RSS and wall-time envelopes).  IDNSCOPE_BENCH_FAST=1 runs the same
+// trajectory at scale=10 without filler and with a deliberately small join
+// budget so the spill path is exercised; CI gates that mode's METRICS and
+// byte budgets via `obsctl gate --budget` against bench/baselines/.
+//
+// stdout carries only workload-determined results (thread-invariant, CI
+// diffs it); timings go to stderr.  Unlike the other benches this one's
+// BENCH_ line carries a peak_rss_kb field — RSS is machine- and
+// thread-dependent, so it rides the tolerance/budget plane, never METRICS.
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "idnscope/core/dns_study.h"
+#include "idnscope/core/registration_study.h"
+#include "idnscope/dns/zone_io.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
+
+using namespace idnscope;
+
+namespace {
+
+// Like bench::emit_bench_json, plus the peak_rss_kb field the budget gate
+// checks (reserved budget name "bench.peak_rss_kb").
+void emit_bench_json_with_rss(const char* name, double wall_ms,
+                              unsigned threads) {
+  const unsigned resolved =
+      threads != 0 ? threads
+                   : runtime::resolve_threads(0, runtime::kMaxThreads);
+  char line[256];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"%s\",\"wall_ms\":%.3f,\"threads\":%u,"
+      "\"peak_rss_kb\":%llu}",
+      name, wall_ms, resolved,
+      static_cast<unsigned long long>(obs::peak_rss_kb()));
+  std::fprintf(stderr, "BENCH_JSON %s\n", line);
+  const std::string path =
+      obs::output_path(std::string("BENCH_") + name + ".json");
+  if (std::FILE* out = std::fopen(path.c_str(), "w"); out != nullptr) {
+    std::fprintf(out, "%s\n", line);
+    std::fclose(out);
+  }
+  obs::emit_metrics(name);
+}
+
+std::string make_zone_dir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = (base != nullptr && base[0] != '\0') ? base : "/tmp";
+  dir += "/idnscope_full_scale_XXXXXX";
+  std::vector<char> buffer(dir.begin(), dir.end());
+  buffer.push_back('\0');
+  if (mkdtemp(buffer.data()) == nullptr) {
+    return {};
+  }
+  return std::string(buffer.data());
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = [] {
+    const char* env = std::getenv("IDNSCOPE_BENCH_FAST");
+    return env != nullptr && env[0] == '1';
+  }();
+
+  ecosystem::Scenario scenario = ecosystem::Scenario::paper2017();
+  std::size_t join_budget = 256u << 20;
+  if (fast) {
+    scenario.bulk_scale = 10;
+    scenario.abuse_scale = 10;
+    scenario.generate_filler = false;
+    // Small enough that the email/registrar/hosting joins overflow their
+    // buffers and take the spill path (the budget is part of the workload
+    // description, so METRICS stays byte-identical across machines).
+    join_budget = 512u << 10;
+  } else {
+    scenario.bulk_scale = 1;
+    scenario.abuse_scale = 1;
+  }
+
+  bench::print_header(
+      "full_scale",
+      "Scale-readiness: file-based streaming ingest + budgeted study joins",
+      scenario);
+
+  const bench::Stopwatch generate_watch;
+  const ecosystem::Ecosystem eco = ecosystem::generate(scenario);
+  std::fprintf(stderr, "generate: %.3fms (%zu zones)\n",
+               generate_watch.elapsed_ms(), eco.zones.size());
+
+  const std::string dir = make_zone_dir();
+  if (dir.empty()) {
+    std::fprintf(stderr, "mkdtemp failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  std::vector<std::string> zone_files;
+  const bench::Stopwatch write_watch;
+  for (const dns::Zone& zone : eco.zones) {
+    std::string path = dir + "/" + zone.origin() + ".zone";
+    const auto written = dns::write_zone_file(zone, path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "write_zone_file: %s\n",
+                   written.error().message.c_str());
+      return 1;
+    }
+    zone_files.push_back(std::move(path));
+  }
+  std::fprintf(stderr, "write zones: %.3fms (%zu files)\n",
+               write_watch.elapsed_ms(), zone_files.size());
+
+  // Gated pass: reset the registry so the snapshot is a pure function of
+  // (scenario, join_budget), then stream the files into a Study and run
+  // every StreamJoin consumer.
+  obs::Registry::global().reset();
+  core::StudyOptions options;
+  options.threads = bench::bench_threads();
+  options.join_budget_bytes = join_budget;
+  const bench::Stopwatch stopwatch;
+  const core::Study study(eco, zone_files, options);
+  const double ingest_ms = stopwatch.elapsed_ms();
+
+  const core::TldGroup totals = study.totals();
+  std::printf("ingest: slds=%llu idns=%llu whois=%llu blacklisted=%llu\n",
+              static_cast<unsigned long long>(totals.sld_count),
+              static_cast<unsigned long long>(totals.idn_count),
+              static_cast<unsigned long long>(totals.whois_count),
+              static_cast<unsigned long long>(totals.blacklist_total));
+
+  const auto registrants = core::top_registrants(study, 10);
+  const std::uint64_t opportunistic = core::opportunistic_idn_count(study, 100);
+  const auto registrars = core::registrar_stats(study, 10);
+  const auto hosting = core::hosting_concentration(study);
+  const double wall_ms = stopwatch.elapsed_ms();
+
+  std::printf("registrants: top=%llu opportunistic_idns=%llu\n",
+              registrants.empty()
+                  ? 0ULL
+                  : static_cast<unsigned long long>(registrants[0].idn_count),
+              static_cast<unsigned long long>(opportunistic));
+  std::printf("registrars: distinct=%llu top10_share=%.4f\n",
+              static_cast<unsigned long long>(registrars.distinct_registrars),
+              registrars.top10_share);
+  std::printf("hosting: distinct_ips=%llu distinct_segments=%llu "
+              "top10_fraction=%.4f\n",
+              static_cast<unsigned long long>(hosting.distinct_ips),
+              static_cast<unsigned long long>(hosting.distinct_segments),
+              hosting.fraction_in_top(10));
+  const auto snapshot = obs::Registry::global().snapshot();
+  const auto counter = [&](const char* name) -> long long {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : it->second;
+  };
+  std::printf("joins: records=%lld groups=%lld spill_runs=%lld "
+              "spilled_bytes=%lld\n",
+              counter("core.study.join.records"),
+              counter("core.study.join.groups"),
+              counter("core.study.join.spill_runs"),
+              counter("core.study.join.spilled_bytes"));
+
+  std::fprintf(stderr, "ingest=%.3fms ingest+joins=%.3fms peak_rss=%llukB\n",
+               ingest_ms, wall_ms,
+               static_cast<unsigned long long>(obs::peak_rss_kb()));
+  emit_bench_json_with_rss("full_scale", wall_ms, options.threads);
+
+  for (const std::string& path : zone_files) {
+    ::unlink(path.c_str());
+  }
+  ::rmdir(dir.c_str());
+  return 0;
+}

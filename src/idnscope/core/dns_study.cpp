@@ -1,9 +1,8 @@
 #include "idnscope/core/dns_study.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "idnscope/core/stream_join.h"
 #include "idnscope/obs/metrics.h"
 #include "idnscope/obs/trace.h"
 
@@ -87,8 +86,12 @@ ActivityEcdfs non_idn_activity(const Study& study, std::string_view tld) {
 
 HostingConcentration hosting_concentration(const Study& study) {
   const obs::StageTimer stage("core.dns_study.hosting");
-  std::unordered_set<std::uint32_t> ips;
-  std::unordered_map<std::uint32_t, std::uint64_t> per_segment;
+  // Streaming replacements for the whole-map census (DESIGN.md §9): the IP
+  // set and the per-/24 vote map become two budgeted sort-merge joins — a
+  // distinct-IP census (group count) and a segment tally (group sizes).
+  StreamJoin ips("core.dns_study.ip_join", study.join_budget_bytes());
+  StreamJoin segments("core.dns_study.segment_join",
+                      study.join_budget_bytes());
   const dns::PassiveDnsDb& pdns = study.eco().pdns;
   for (const runtime::DomainId id : study.idns()) {
     dns_study_metrics().lookups.add(1);
@@ -100,15 +103,22 @@ HostingConcentration hosting_concentration(const Study& study) {
     // One segment vote per IDN (the paper counts IDNs per segment); the IP
     // census counts every distinct address.
     for (const dns::Ipv4& ip : aggregate->resolved_ips) {
-      ips.insert(ip.bits());
+      ips.add(ip.bits(), 0);
     }
-    ++per_segment[aggregate->resolved_ips.front().segment24()];
+    segments.add(aggregate->resolved_ips.front().segment24(), 0);
   }
   HostingConcentration out;
-  out.distinct_ips = ips.size();
-  out.distinct_segments = per_segment.size();
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> sorted(
-      per_segment.begin(), per_segment.end());
+  ips.for_each_group(
+      [&](std::uint32_t, std::span<const std::uint32_t>) { ++out.distinct_ips; });
+  // Groups stream in ascending segment order; the paper's ranking wants
+  // (size desc, segment asc), so collect and re-sort the per-segment pairs
+  // — bounded by distinct /24s, not by IDNs.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> sorted;
+  segments.for_each_group(
+      [&](std::uint32_t segment, std::span<const std::uint32_t> votes) {
+        sorted.emplace_back(segment, votes.size());
+      });
+  out.distinct_segments = sorted.size();
   std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) {
       return a.second > b.second;

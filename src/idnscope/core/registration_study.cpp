@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
 
+#include "idnscope/core/stream_join.h"
 #include "idnscope/obs/metrics.h"
 #include "idnscope/obs/trace.h"
 
@@ -80,18 +80,20 @@ double fraction_created_before(const Study& study, int year) {
 
 namespace {
 
-std::unordered_map<std::string, std::vector<runtime::DomainId>>
-group_by_email(const Study& study) {
-  std::unordered_map<std::string, std::vector<runtime::DomainId>> groups;
+// Stream the WHOIS email join: one record per covered, public-email IDN,
+// grouped by registrant email through the budgeted spill sorter instead of
+// a whole map of email -> domain vectors (DESIGN.md §9).  The lookup
+// sequence — and with it every core.registration_study.* counter — is the
+// id order of study.idns(), exactly as the map-based join probed.
+void feed_email_groups(const Study& study, StreamJoin& join) {
   for (const runtime::DomainId id : study.idns()) {
     const whois::WhoisRecord* record = counted_lookup(study, id);
     if (record == nullptr || record->privacy_protected ||
         record->registrant_email.empty()) {
       continue;
     }
-    groups[record->registrant_email].push_back(id);
+    join.add(join.key_of(record->registrant_email), id);
   }
-  return groups;
 }
 
 }  // namespace
@@ -99,14 +101,17 @@ group_by_email(const Study& study) {
 std::vector<RegistrantPortfolio> top_registrants(const Study& study,
                                                  std::size_t n) {
   const obs::StageTimer stage("core.registration_study.registrants");
-  auto groups = group_by_email(study);
+  StreamJoin join("core.registration_study.email_join",
+                  study.join_budget_bytes());
+  feed_email_groups(study, join);
   const runtime::DomainTable& table = study.table();
   std::vector<RegistrantPortfolio> portfolios;
-  portfolios.reserve(groups.size());
-  for (auto& [email, domains] : groups) {
+  join.for_each_group([&](std::uint32_t key,
+                          std::span<const std::uint32_t> ids) {
     RegistrantPortfolio portfolio;
-    portfolio.email = email;
-    portfolio.idn_count = domains.size();
+    portfolio.email = join.key_text(key);
+    portfolio.idn_count = ids.size();
+    std::vector<runtime::DomainId> domains(ids.begin(), ids.end());
     std::sort(domains.begin(), domains.end(),
               [&](runtime::DomainId a, runtime::DomainId b) {
                 return table.str(a) < table.str(b);
@@ -115,7 +120,7 @@ std::vector<RegistrantPortfolio> top_registrants(const Study& study,
       portfolio.sample.emplace_back(table.str(domains[i]));
     }
     portfolios.push_back(std::move(portfolio));
-  }
+  });
   std::sort(portfolios.begin(), portfolios.end(),
             [](const RegistrantPortfolio& a, const RegistrantPortfolio& b) {
               if (a.idn_count != b.idn_count) {
@@ -131,35 +136,41 @@ std::vector<RegistrantPortfolio> top_registrants(const Study& study,
 
 std::uint64_t opportunistic_idn_count(const Study& study,
                                       std::uint64_t threshold) {
+  StreamJoin join("core.registration_study.email_join",
+                  study.join_budget_bytes());
+  feed_email_groups(study, join);
   std::uint64_t total = 0;
-  for (const auto& [_, domains] : group_by_email(study)) {
-    if (domains.size() >= threshold) {
-      total += domains.size();
-    }
-  }
+  join.for_each_group(
+      [&](std::uint32_t, std::span<const std::uint32_t> ids) {
+        if (ids.size() >= threshold) {
+          total += ids.size();
+        }
+      });
   return total;
 }
 
 RegistrarStats registrar_stats(const Study& study, std::size_t top_n) {
   const obs::StageTimer stage("core.registration_study.registrars");
-  std::unordered_map<std::string, std::uint64_t> counts;
+  StreamJoin join("core.registration_study.registrar_join",
+                  study.join_budget_bytes());
   std::uint64_t covered = 0;
   for (const runtime::DomainId id : study.idns()) {
     const whois::WhoisRecord* record = counted_lookup(study, id);
     if (record == nullptr || record->registrar.empty()) {
       continue;
     }
-    ++counts[record->registrar];
+    join.add(join.key_of(record->registrar), id);
     ++covered;
   }
   std::vector<RegistrarShare> shares;
-  shares.reserve(counts.size());
-  for (auto& [name, count] : counts) {
+  join.for_each_group([&](std::uint32_t key,
+                          std::span<const std::uint32_t> ids) {
     shares.push_back(RegistrarShare{
-        name, count,
+        join.key_text(key), ids.size(),
         covered == 0 ? 0.0
-                     : static_cast<double>(count) / static_cast<double>(covered)});
-  }
+                     : static_cast<double>(ids.size()) /
+                           static_cast<double>(covered)});
+  });
   std::sort(shares.begin(), shares.end(),
             [](const RegistrarShare& a, const RegistrarShare& b) {
               if (a.idn_count != b.idn_count) {

@@ -1,0 +1,193 @@
+#include "idnscope/core/stream_join.h"
+
+#include <algorithm>
+
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/trace.h"
+
+namespace idnscope::core {
+
+namespace {
+
+// Join effort and spill accounting (docs/OBSERVABILITY.md).  Counters are
+// pure functions of the add() sequence and the configured budget; the
+// gauges are pure size math (records * sizeof(Record), key pool bytes) —
+// never allocator telemetry.
+struct JoinMetrics {
+  obs::Counter records =
+      obs::Registry::global().counter("core.study.join.records");
+  obs::Counter groups =
+      obs::Registry::global().counter("core.study.join.groups");
+  obs::Counter spill_runs =
+      obs::Registry::global().counter("core.study.join.spill_runs");
+  obs::Counter spilled_bytes =
+      obs::Registry::global().counter("core.study.join.spilled_bytes");
+  obs::Gauge budget_bytes =
+      obs::Registry::global().gauge("core.study.join.budget_bytes");
+  obs::Gauge peak_buffer_bytes =
+      obs::Registry::global().gauge("core.study.join.peak_buffer_bytes");
+};
+
+JoinMetrics& join_metrics() {
+  static JoinMetrics metrics;
+  return metrics;
+}
+
+bool record_before(std::uint32_t key_a, std::uint32_t seq_a,
+                   std::uint32_t key_b, std::uint32_t seq_b) {
+  if (key_a != key_b) {
+    return key_a < key_b;
+  }
+  return seq_a < seq_b;
+}
+
+}  // namespace
+
+StreamJoin::StreamJoin(const char* stage, std::size_t budget_bytes)
+    : stage_(stage),
+      // The floor bounds the spilled-run count (each run holds an open
+      // FILE* until the merge), it is not a budget escape hatch.
+      capacity_records_(
+          std::max<std::size_t>(64, budget_bytes / sizeof(Record))) {
+  join_metrics().budget_bytes.set(static_cast<std::int64_t>(budget_bytes));
+}
+
+StreamJoin::~StreamJoin() {
+  for (std::FILE* run : runs_) {
+    std::fclose(run);  // tmpfile() storage is reclaimed on close
+  }
+}
+
+std::uint32_t StreamJoin::key_of(std::string_view text) {
+  const auto it = key_ids_.find(std::string(text));
+  if (it != key_ids_.end()) {
+    return it->second;
+  }
+  const std::uint32_t id = static_cast<std::uint32_t>(key_texts_.size());
+  key_texts_.emplace_back(text);
+  key_ids_.emplace(key_texts_.back(), id);
+  key_pool_bytes_ += text.size() + sizeof(std::uint32_t);
+  return id;
+}
+
+void StreamJoin::add(std::uint32_t key, std::uint32_t value) {
+  join_metrics().records.add(1);
+  buffer_.push_back(Record{key, next_seq_++, value});
+  peak_buffer_records_ = std::max(peak_buffer_records_, buffer_.size());
+  if (buffer_.size() >= capacity_records_) {
+    spill();
+  }
+}
+
+void StreamJoin::spill() {
+  // The spill *attempt* is counted before the environment gets a say, so
+  // the counters stay pure functions of (inputs, budget).
+  JoinMetrics& metrics = join_metrics();
+  metrics.spill_runs.add(1);
+  metrics.spilled_bytes.add(buffer_.size() * sizeof(Record));
+  std::FILE* run = std::tmpfile();
+  if (run == nullptr) {
+    // No temp storage: keep accumulating in memory.  The budget becomes
+    // advisory; outputs and metrics are unaffected.
+    capacity_records_ *= 2;
+    return;
+  }
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const Record& a, const Record& b) {
+              return record_before(a.key, a.seq, b.key, b.seq);
+            });
+  std::fwrite(buffer_.data(), sizeof(Record), buffer_.size(), run);
+  runs_.push_back(run);
+  buffer_.clear();
+}
+
+void StreamJoin::for_each_group(
+    const std::function<void(std::uint32_t, std::span<const std::uint32_t>)>&
+        visit) {
+  const obs::StageTimer stage(stage_);
+  JoinMetrics& metrics = join_metrics();
+  metrics.peak_buffer_bytes.set(
+      static_cast<std::int64_t>(peak_buffer_records_ * sizeof(Record) +
+                                key_pool_bytes_));
+
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const Record& a, const Record& b) {
+              return record_before(a.key, a.seq, b.key, b.seq);
+            });
+
+  // K-way merge: the sorted in-memory tail plus one streaming cursor per
+  // spilled run, ordered by (key, seq).  (key, seq) pairs are unique, so
+  // the merge order — and therefore every emitted group — is independent
+  // of how records were distributed across runs.
+  struct Cursor {
+    std::FILE* run = nullptr;  // nullptr: the in-memory buffer
+    std::size_t index = 0;     // buffer position (in-memory cursor only)
+    Record current;
+    bool live = false;
+  };
+  std::vector<Cursor> cursors(runs_.size() + 1);
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    cursors[i].run = runs_[i];
+    std::rewind(runs_[i]);
+    cursors[i].live =
+        std::fread(&cursors[i].current, sizeof(Record), 1, runs_[i]) == 1;
+  }
+  Cursor& memory = cursors.back();
+  if (!buffer_.empty()) {
+    memory.current = buffer_.front();
+    memory.index = 1;
+    memory.live = true;
+  }
+  const auto advance = [&](Cursor& cursor) {
+    if (cursor.run != nullptr) {
+      cursor.live =
+          std::fread(&cursor.current, sizeof(Record), 1, cursor.run) == 1;
+    } else if (cursor.index < buffer_.size()) {
+      cursor.current = buffer_[cursor.index++];
+    } else {
+      cursor.live = false;
+    }
+  };
+
+  std::vector<std::uint32_t> values;
+  std::uint32_t group_key = 0;
+  bool group_open = false;
+  const auto close_group = [&] {
+    if (!group_open) {
+      return;
+    }
+    metrics.groups.add(1);
+    visit(group_key, values);
+    values.clear();
+  };
+  while (true) {
+    Cursor* best = nullptr;
+    for (Cursor& cursor : cursors) {
+      if (cursor.live &&
+          (best == nullptr ||
+           record_before(cursor.current.key, cursor.current.seq,
+                         best->current.key, best->current.seq))) {
+        best = &cursor;
+      }
+    }
+    if (best == nullptr) {
+      break;
+    }
+    if (!group_open || best->current.key != group_key) {
+      close_group();
+      group_key = best->current.key;
+      group_open = true;
+    }
+    values.push_back(best->current.value);
+    advance(*best);
+  }
+  close_group();
+
+  buffer_.clear();
+  for (std::FILE* run : runs_) {
+    std::fclose(run);
+  }
+  runs_.clear();
+}
+
+}  // namespace idnscope::core

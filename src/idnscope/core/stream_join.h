@@ -1,0 +1,98 @@
+// StreamJoin: deterministic budgeted group-by for the study's join passes.
+//
+// The registration and pDNS studies used to materialize whole hash maps
+// keyed by registrant email / registrar / hosting segment before reducing
+// them.  At bulk_scale=1 (the paper's full zone coverage) those maps are
+// the peak-memory step of the pipeline.  StreamJoin replaces them with an
+// external-memory sort-merge pass:
+//
+//   * add(key, value) appends a fixed-size 12-byte record to an in-memory
+//     buffer.  String group keys (emails, registrars) are first interned
+//     into a local pool via key_of() in first-appearance order, so the
+//     buffer holds only integers.
+//   * When the buffer reaches the byte budget it is sorted by (key, seq)
+//     and spilled as one run to an anonymous tmpfile (auto-deleted by the
+//     OS, never visible in the working directory).
+//   * for_each_group() k-way-merges the spilled runs with the final
+//     in-memory buffer and streams each group — ascending key order,
+//     values in insertion order — through the visitor exactly once.
+//
+// ## Determinism contract (docs/OBSERVABILITY.md)
+//
+// The emitted group sequence is a pure function of the add() call sequence
+// — the spill geometry (budget, run count) re-orders nothing, because every
+// record carries its global insertion sequence number and all comparisons
+// are by (key, seq).  The budget is part of the workload description, like
+// ZoneScanOptions::shard_bytes: two runs with the same inputs and budget
+// produce bit-identical groups and `core.study.join.*` metrics.  Spill
+// *attempts* are counted at the moment the buffer fills, so the counters
+// stay workload-pure even if the environment cannot provide a temp file
+// (in which case the buffer grows in memory and the budget degrades to
+// advisory — behavior changes, metrics do not).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace idnscope::core {
+
+// Default per-join buffer budget; StudyOptions::join_budget_bytes overrides
+// it pipeline-wide.
+inline constexpr std::size_t kDefaultJoinBudgetBytes = 64u << 20;
+
+class StreamJoin {
+ public:
+  // `stage` names the trace span under which the merge runs.
+  StreamJoin(const char* stage, std::size_t budget_bytes);
+  ~StreamJoin();
+
+  StreamJoin(const StreamJoin&) = delete;
+  StreamJoin& operator=(const StreamJoin&) = delete;
+
+  // Intern a string group key in first-appearance order.  The pool is
+  // bounded by the number of *distinct* keys (emails, registrars), not by
+  // the record count.
+  std::uint32_t key_of(std::string_view text);
+  const std::string& key_text(std::uint32_t key) const {
+    return key_texts_[key];
+  }
+
+  // Append one record.  `key` is either a key_of() id or any raw 32-bit
+  // key (IP address, /24 segment); the two styles must not be mixed within
+  // one join.
+  void add(std::uint32_t key, std::uint32_t value);
+
+  // Merge and stream every group exactly once, ascending key order, values
+  // in insertion order.  Consumes the join (add() must not follow).
+  void for_each_group(
+      const std::function<void(std::uint32_t key,
+                               std::span<const std::uint32_t> values)>& visit);
+
+ private:
+  struct Record {
+    std::uint32_t key = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t value = 0;
+  };
+
+  void spill();
+
+  const char* stage_;
+  std::size_t capacity_records_;  // budget_bytes / sizeof(Record), floor 64
+  std::vector<Record> buffer_;
+  std::vector<std::FILE*> runs_;
+  std::uint32_t next_seq_ = 0;
+  std::size_t peak_buffer_records_ = 0;
+
+  std::unordered_map<std::string, std::uint32_t> key_ids_;
+  std::vector<std::string> key_texts_;
+  std::size_t key_pool_bytes_ = 0;
+};
+
+}  // namespace idnscope::core

@@ -28,91 +28,130 @@ ScanMetrics& scan_metrics() {
 
 }  // namespace
 
-Study::Study(const ecosystem::Ecosystem& eco, const StudyOptions& options)
-    : eco_(&eco) {
-  const obs::StageTimer stage("core.study.scan");
+void Study::ingest_zone(
+    std::string_view origin_hint,
+    const std::function<Result<dns::ZoneScanStats>(
+        const std::function<void(const dns::SldBatch&)>&)>& scan) {
+  const obs::StageTimer zone_span("zone");
   ScanMetrics& metrics = scan_metrics();
-  TldGroup com{"com"};
-  TldGroup net{"net"};
-  TldGroup org{"org"};
-  TldGroup itld{"iTLD (53)"};
+  metrics.zones.add(1);
 
-  dns::ZoneScanOptions scan_options;
-  scan_options.threads = options.threads;
+  // TLD group rows were pre-seeded by the constructor in Table I order
+  // (kTldCom..kTldItld double as groups_ indices).
+  const auto group_index = [](std::string_view origin) -> std::uint8_t {
+    if (origin == "com") {
+      return kTldCom;
+    }
+    if (origin == "net") {
+      return kTldNet;
+    }
+    if (origin == "org") {
+      return kTldOrg;
+    }
+    return kTldItld;
+  };
+  TldGroup* group = nullptr;
+  std::uint8_t group_id = kTldItld;
+  if (!origin_hint.empty()) {
+    group_id = group_index(origin_hint);
+    group = &groups_[group_id];
+  }
 
   std::vector<runtime::DomainId> batch_ids;
   std::string domain_str;  // owned copy for the string-keyed blacklist map
 
-  for (const dns::Zone& zone : eco.zones) {
-    const obs::StageTimer zone_span("zone");
-    metrics.zones.add(1);
-    TldGroup* group;
-    std::uint8_t group_id;
-    if (zone.origin() == "com") {
-      group = &com;
-      group_id = kTldCom;
-    } else if (zone.origin() == "net") {
-      group = &net;
-      group_id = kTldNet;
-    } else if (zone.origin() == "org") {
-      group = &org;
-      group_id = kTldOrg;
-    } else {
-      group = &itld;
-      group_id = kTldItld;
+  // Sharded scan over the zone's master-file bytes.  Batches arrive in the
+  // serial path's first-appearance order, so DomainId assignment is
+  // identical to interning dns::scan_slds(zone) one string at a time.
+  bool reserved = false;
+  const auto scanned = scan([&](const dns::SldBatch& batch) {
+    if (group == nullptr && batch.size() > 0) {
+      // File-based ingest: derive the group from the first scanned domain.
+      // SLD labels never contain '.', so everything past the first dot is
+      // the zone origin.
+      const std::string_view first = batch.domains[0];
+      const std::size_t dot = first.find('.');
+      group_id = group_index(
+          dot == std::string_view::npos ? std::string_view{}
+                                        : first.substr(dot + 1));
+      group = &groups_[group_id];
     }
-
-    // Sharded scan over the zone's master-file text.  Batches arrive in the
-    // serial path's first-appearance order, so DomainId assignment is
-    // identical to interning dns::scan_slds(zone) one string at a time.
-    const std::string text = dns::serialize_zone(zone);
-    bool reserved = false;
-    const auto scanned = dns::scan_zone_buffer(
-        text, scan_options, [&](const dns::SldBatch& batch) {
-          if (!reserved) {
-            table_.reserve(batch.total_distinct);
-            reserved = true;
-          }
-          batch_ids.resize(batch.size());
-          table_.intern_batch(batch.domains, batch_ids.data());
-          for (std::size_t i = 0; i < batch.size(); ++i) {
-            const runtime::DomainId id = batch_ids[i];
-            table_.set_registered(id, true);
-            table_.set_tld_group(id, group_id);
-            if (!batch.is_idn[i]) {
-              continue;
-            }
-            ++group->idn_count;
-            metrics.idns.add(1);
-            table_.set_idn(id, true);
-            domain_str.assign(batch.domains[i]);
-            if (eco.whois.lookup(domain_str) != nullptr) {
-              ++group->whois_count;
-              metrics.whois.add(1);
-            }
-            const auto blacklisted = eco.blacklist.find(domain_str);
-            const std::uint8_t mask =
-                blacklisted == eco.blacklist.end() ? 0 : blacklisted->second;
-            if (mask != 0) {
-              table_.set_blacklist_mask(id, mask);
-              ++group->blacklist_total;
-              metrics.blacklisted.add(1);
-              if (mask & ecosystem::kBlVirusTotal) ++group->blacklist_virustotal;
-              if (mask & ecosystem::kBl360) ++group->blacklist_360;
-              if (mask & ecosystem::kBlBaidu) ++group->blacklist_baidu;
-              malicious_idns_.push_back(id);
-            }
-            idns_.push_back(id);
-          }
-        });
-    // serialize_zone output always carries an $ORIGIN and well-formed
-    // directives, so a scan failure here means a bug, not bad input.
-    if (scanned.ok()) {
+    if (!reserved) {
+      table_.reserve(batch.total_distinct);
+      reserved = true;
+    }
+    batch_ids.resize(batch.size());
+    table_.intern_batch(batch.domains, batch_ids.data());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const runtime::DomainId id = batch_ids[i];
+      table_.set_registered(id, true);
+      table_.set_tld_group(id, group_id);
+      if (!batch.is_idn[i]) {
+        continue;
+      }
+      ++group->idn_count;
+      metrics.idns.add(1);
+      table_.set_idn(id, true);
+      domain_str.assign(batch.domains[i]);
+      if (eco_->whois.lookup(domain_str) != nullptr) {
+        ++group->whois_count;
+        metrics.whois.add(1);
+      }
+      const auto blacklisted = eco_->blacklist.find(domain_str);
+      const std::uint8_t mask =
+          blacklisted == eco_->blacklist.end() ? 0 : blacklisted->second;
+      if (mask != 0) {
+        table_.set_blacklist_mask(id, mask);
+        ++group->blacklist_total;
+        metrics.blacklisted.add(1);
+        if (mask & ecosystem::kBlVirusTotal) ++group->blacklist_virustotal;
+        if (mask & ecosystem::kBl360) ++group->blacklist_360;
+        if (mask & ecosystem::kBlBaidu) ++group->blacklist_baidu;
+        malicious_idns_.push_back(id);
+      }
+      idns_.push_back(id);
+    }
+  });
+  // serialize_zone output always carries an $ORIGIN and well-formed
+  // directives, so a scan failure here means a bug (or a damaged file on
+  // the streaming path), not a crash.
+  if (scanned.ok()) {
+    metrics.slds.add(scanned.value().distinct_slds);
+    if (group != nullptr) {
       group->sld_count += scanned.value().distinct_slds;
-      metrics.slds.add(scanned.value().distinct_slds);
     }
   }
-  groups_ = {std::move(com), std::move(net), std::move(org), std::move(itld)};
+}
+
+Study::Study(const ecosystem::Ecosystem& eco, const StudyOptions& options)
+    : eco_(&eco), join_budget_bytes_(options.join_budget_bytes) {
+  const obs::StageTimer stage("core.study.scan");
+  groups_ = {TldGroup{"com"}, TldGroup{"net"}, TldGroup{"org"},
+             TldGroup{"iTLD (53)"}};
+  dns::ZoneScanOptions scan_options;
+  scan_options.threads = options.threads;
+  for (const dns::Zone& zone : eco.zones) {
+    const std::string text = dns::serialize_zone(zone);
+    ingest_zone(zone.origin(), [&](const auto& on_batch) {
+      return dns::scan_zone_buffer(text, scan_options, on_batch);
+    });
+  }
+}
+
+Study::Study(const ecosystem::Ecosystem& eco,
+             std::span<const std::string> zone_files,
+             const StudyOptions& options)
+    : eco_(&eco), join_budget_bytes_(options.join_budget_bytes) {
+  const obs::StageTimer stage("core.study.scan");
+  groups_ = {TldGroup{"com"}, TldGroup{"net"}, TldGroup{"org"},
+             TldGroup{"iTLD (53)"}};
+  dns::ZoneScanOptions scan_options;
+  scan_options.threads = options.threads;
+  for (const std::string& path : zone_files) {
+    ingest_zone({}, [&](const auto& on_batch) {
+      return dns::scan_zone_file_sharded(path, scan_options, on_batch);
+    });
+  }
 }
 
 std::vector<runtime::DomainId> Study::idns_under(std::string_view tld) const {

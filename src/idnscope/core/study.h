@@ -12,11 +12,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "idnscope/core/stream_join.h"
+#include "idnscope/dns/zone_io.h"
 #include "idnscope/ecosystem/ecosystem.h"
 #include "idnscope/runtime/domain_table.h"
 
@@ -42,9 +45,13 @@ inline constexpr std::uint8_t kTldItld = 3;
 
 // Pipeline knobs.  Thread count only affects wall time: the scan results,
 // DomainId assignment and every metric are identical at any value
-// (dns::scan_zone_buffer's determinism contract).
+// (dns::scan_zone_buffer's determinism contract).  The join budget is part
+// of the *workload description* (like ZoneScanOptions::shard_bytes): it
+// bounds the in-memory buffer of every downstream StreamJoin pass, and two
+// runs with the same budget produce bit-identical outputs and metrics.
 struct StudyOptions {
   unsigned threads = 0;  // runtime::resolve_threads knob (0 = env/default)
+  std::size_t join_budget_bytes = kDefaultJoinBudgetBytes;
 };
 
 class Study {
@@ -52,6 +59,18 @@ class Study {
   // Scans every zone in the ecosystem and joins WHOIS + blacklists.
   explicit Study(const ecosystem::Ecosystem& eco,
                  const StudyOptions& options = {});
+
+  // Streaming construction for scale-1 runs: scan zone *files* through the
+  // mmap-backed sharded reader instead of serializing eco.zones into one
+  // in-memory string per zone.  The ecosystem still provides the WHOIS,
+  // blacklist and pDNS stores.  When the files hold write_zone_file()
+  // output of eco.zones, the resulting Study — ids, side tables, groups,
+  // every metric — is identical to the in-memory constructor's.  Zones
+  // whose files fail to scan contribute nothing (same stance as the
+  // in-memory path: a failure is a bug or a bad file, not a crash).
+  Study(const ecosystem::Ecosystem& eco,
+        std::span<const std::string> zone_files,
+        const StudyOptions& options = {});
 
   const ecosystem::Ecosystem& eco() const { return *eco_; }
 
@@ -98,12 +117,26 @@ class Study {
   const std::vector<TldGroup>& tld_groups() const { return groups_; }
   TldGroup totals() const;
 
+  // StreamJoin buffer budget for the downstream study modules
+  // (StudyOptions::join_budget_bytes).
+  std::size_t join_budget_bytes() const { return join_budget_bytes_; }
+
  private:
+  // Scan one zone through `scan` (in-memory buffer or mmap'd file — both
+  // feed dns::scan_zone_buffer) and fold its SLDs into the table.  When
+  // `origin_hint` is empty the TLD group is derived from the first scanned
+  // domain's suffix.
+  void ingest_zone(
+      std::string_view origin_hint,
+      const std::function<Result<dns::ZoneScanStats>(
+          const std::function<void(const dns::SldBatch&)>&)>& scan);
+
   const ecosystem::Ecosystem* eco_;
   runtime::DomainTable table_;
   std::vector<runtime::DomainId> idns_;
   std::vector<runtime::DomainId> malicious_idns_;
   std::vector<TldGroup> groups_;
+  std::size_t join_budget_bytes_ = kDefaultJoinBudgetBytes;
 };
 
 }  // namespace idnscope::core

@@ -16,6 +16,8 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cmath>
 #include <unordered_set>
 
@@ -1321,6 +1323,19 @@ class Generator {
 }  // namespace
 
 Ecosystem generate(const Scenario& scenario) {
+  // Scale divisors feed scaled() and the budget arithmetic above; zero
+  // would be a silent division-by-zero UB deep in a planner, so reject it
+  // here, loudly.  scale=1 (the paper's full population) is the largest
+  // world: every budget is a uint64 derived from uint64 paper constants,
+  // so no intermediate narrows to 32 bits on the way down.
+  if (scenario.bulk_scale == 0 || scenario.abuse_scale == 0) {
+    std::fprintf(stderr,
+                 "ecosystem::generate: bulk_scale/abuse_scale are divisors "
+                 "and must be >= 1 (1 = full paper scale); got bulk=%u "
+                 "abuse=%u\n",
+                 scenario.bulk_scale, scenario.abuse_scale);
+    std::abort();
+  }
   return Generator(scenario).run();
 }
 

@@ -82,10 +82,11 @@ std::string histogram_brief(const HistogramSnapshot& hist) {
   return out;
 }
 
-// Pull one number field ("wall_ms") out of a BENCH_<name>.json line
-// ({"bench":"...","wall_ms":X.XXX,"threads":N}).
-std::optional<double> parse_bench_wall_ms(const std::string& json) {
-  const std::string key = "\"wall_ms\":";
+// Pull one number field out of a BENCH_<name>.json line
+// ({"bench":"...","wall_ms":X.XXX,"threads":N[,"peak_rss_kb":N]}).
+std::optional<double> parse_bench_field(const std::string& json,
+                                        const char* field) {
+  const std::string key = std::string("\"") + field + "\":";
   const std::size_t pos = json.find(key);
   if (pos == std::string::npos) {
     return std::nullopt;
@@ -225,8 +226,11 @@ int run_gate(std::span<const std::string> args, std::string& out,
              std::string& err) {
   std::vector<std::string> positional;
   double wall_tolerance = 25.0;
+  bool check_budget = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--wall-tolerance") {
+    if (args[i] == "--budget") {
+      check_budget = true;
+    } else if (args[i] == "--wall-tolerance") {
       if (i + 1 >= args.size()) {
         err += "obsctl gate: --wall-tolerance needs a value\n";
         return kObsctlError;
@@ -243,7 +247,7 @@ int run_gate(std::span<const std::string> args, std::string& out,
   }
   if (positional.size() != 3) {
     err += "usage: obsctl gate <baseline_dir> <fresh_dir> <name> "
-           "[--wall-tolerance F]\n";
+           "[--wall-tolerance F] [--budget]\n";
     return kObsctlError;
   }
   const std::string& baseline_dir = positional[0];
@@ -299,8 +303,8 @@ int run_gate(std::span<const std::string> args, std::string& out,
            path(fresh_dir, "BENCH_", name) + "\n";
     return kObsctlError;
   }
-  const auto baseline_wall = parse_bench_wall_ms(*baseline_bench);
-  const auto fresh_wall = parse_bench_wall_ms(*fresh_bench);
+  const auto baseline_wall = parse_bench_field(*baseline_bench, "wall_ms");
+  const auto fresh_wall = parse_bench_field(*fresh_bench, "wall_ms");
   if (!baseline_wall || !fresh_wall) {
     err += "obsctl gate: malformed BENCH json\n";
     return kObsctlError;
@@ -316,6 +320,58 @@ int run_gate(std::span<const std::string> args, std::string& out,
     err += line;
     return kObsctlDiffers;
   }
+
+  // Memory plane (--budget): per-stage byte ceilings from the committed
+  // BUDGET_<name>.json, snapshot-format with the ceilings in "gauges".
+  // Each named gauge must exist in the fresh METRICS snapshot and sit at
+  // or under its ceiling; the reserved name "bench.peak_rss_kb" is
+  // checked against the fresh BENCH line's peak_rss_kb field instead
+  // (docs/OBSERVABILITY.md, exit-code contract: 1 = over budget,
+  // 2 = missing/malformed budget or gauge).
+  std::size_t budget_checks = 0;
+  if (check_budget) {
+    const std::string budget_path = path(baseline_dir, "BUDGET_", name);
+    const auto budget_text = read_file(budget_path);
+    if (!budget_text) {
+      err += "obsctl gate: missing budget " + budget_path + "\n";
+      return kObsctlError;
+    }
+    const auto budget_snap = parse_snapshot(*budget_text);
+    if (!budget_snap || budget_snap->gauges.empty()) {
+      err += "obsctl gate: malformed budget " + budget_path +
+             " (want snapshot-format json with ceilings in \"gauges\")\n";
+      return kObsctlError;
+    }
+    for (const auto& [gauge, ceiling] : budget_snap->gauges) {
+      double actual = 0.0;
+      if (gauge == "bench.peak_rss_kb") {
+        const auto rss = parse_bench_field(*fresh_bench, "peak_rss_kb");
+        if (!rss) {
+          err += "obsctl gate: budget names bench.peak_rss_kb but the "
+                 "fresh BENCH line carries no peak_rss_kb field\n";
+          return kObsctlError;
+        }
+        actual = *rss;
+      } else {
+        const auto it = fresh_snap->gauges.find(gauge);
+        if (it == fresh_snap->gauges.end()) {
+          err += "obsctl gate: budget names unknown gauge " + gauge + "\n";
+          return kObsctlError;
+        }
+        actual = static_cast<double>(it->second);
+      }
+      if (actual > static_cast<double>(ceiling)) {
+        std::snprintf(line, sizeof(line),
+                      "obsctl gate: %s %s = %.0f exceeds budget %lld\n",
+                      name.c_str(), gauge.c_str(), actual,
+                      static_cast<long long>(ceiling));
+        err += line;
+        return kObsctlDiffers;
+      }
+      ++budget_checks;
+    }
+  }
+
   std::snprintf(line, sizeof(line),
                 "gate ok: %s metrics exact-match (%zu counters, %zu gauges, "
                 "%zu histograms), wall %.3f ms within %.3f ms budget\n",
@@ -323,6 +379,12 @@ int run_gate(std::span<const std::string> args, std::string& out,
                 fresh_snap->gauges.size(), fresh_snap->histograms.size(),
                 *fresh_wall, budget_ms);
   out += line;
+  if (budget_checks > 0) {
+    std::snprintf(line, sizeof(line),
+                  "gate ok: %s %zu byte budgets honored\n", name.c_str(),
+                  budget_checks);
+    out += line;
+  }
   return kObsctlOk;
 }
 

@@ -1,7 +1,8 @@
 #include "idnscope/runtime/domain_table.h"
 
-#include <cstring>
+#include <algorithm>
 
+#include "idnscope/common/rng.h"
 #include "idnscope/obs/metrics.h"
 
 namespace idnscope::runtime {
@@ -26,63 +27,195 @@ struct TableMetrics {
       obs::Registry::global().gauge("runtime.domain_table.index_bytes");
 };
 
-// Per-entry payload of the id<->string index and side tables, as pure size
-// math (docs/OBSERVABILITY.md "Memory metrics"): the entries_ view, the
-// index_ key+id pair, and one byte each for tld_group/blacklist_mask/flags.
-// Allocator and container overhead are deliberately excluded — they vary
-// by implementation, and the gauge must stay a pure function of the
-// workload.
-inline constexpr std::int64_t kIndexBytesPerEntry =
-    static_cast<std::int64_t>(2 * sizeof(std::string_view) + sizeof(DomainId) +
-                              3 * sizeof(std::uint8_t));
-
 TableMetrics& table_metrics() {
   static TableMetrics metrics;
   return metrics;
 }
 
+// Gauge payloads as pure size math (docs/OBSERVABILITY.md "Memory
+// metrics"): one id + one hash tag per open-addressing slot, one byte each
+// for tld_group/blacklist_mask/flags per entry.  Allocator and container
+// overhead are deliberately excluded — they vary by implementation, and
+// the gauge must stay a pure function of the workload.
+inline constexpr std::int64_t kIndexSlotBytes =
+    static_cast<std::int64_t>(sizeof(std::uint32_t) + sizeof(std::uint8_t));
+inline constexpr std::int64_t kSideTableBytesPerEntry = 3;
+
+// LEB128 length encoding for the front-coded arena: 1 byte for values
+// below 128, which covers every real domain label length.
+void write_varint(std::vector<char>& out, std::uint32_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>(0x80 | (value & 0x7F)));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::uint32_t read_varint(const char*& p) {
+  std::uint32_t value = 0;
+  unsigned shift = 0;
+  while (true) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(*p++);
+    value |= static_cast<std::uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+}
+
 }  // namespace
 
-std::string_view DomainTable::store(std::string_view domain) {
-  if (domain.size() > kChunkSize) {
-    // Oversized strings (never real domains, but stay safe) get a private
-    // chunk so the bump allocator's invariants hold.
-    auto chunk = std::make_unique<char[]>(domain.size());
-    std::memcpy(chunk.get(), domain.data(), domain.size());
-    std::string_view view(chunk.get(), domain.size());
-    // Insert before the active chunk so chunk_used_ keeps describing back().
-    chunks_.insert(chunks_.empty() ? chunks_.end() : chunks_.end() - 1,
-                   std::move(chunk));
-    return view;
+void DomainTable::decode_entry(DomainId id, std::string& out) const {
+  const char* p = arena_.data() + block_offsets_[id >> kBlockShift];
+  const std::uint32_t head_len = read_varint(p);
+  out.assign(p, head_len);
+  p += head_len;
+  const std::uint32_t idx = id & kBlockMask;
+  for (std::uint32_t i = 0; i < idx; ++i) {
+    const std::uint32_t lcp = read_varint(p);
+    const std::uint32_t suffix = read_varint(p);
+    out.resize(lcp);
+    out.append(p, suffix);
+    p += suffix;
   }
-  if (chunk_used_ + domain.size() > kChunkSize) {
-    chunks_.push_back(std::make_unique<char[]>(kChunkSize));
-    chunk_used_ = 0;
-    table_metrics().arena_bytes.set(
-        static_cast<std::int64_t>(chunks_.size() * kChunkSize));
+}
+
+DomainId DomainTable::lookup(std::string_view domain,
+                             std::uint64_t hash) const {
+  if (index_slots_.empty()) {
+    return kInvalidDomainId;
   }
-  char* dest = chunks_.back().get() + chunk_used_;
-  std::memcpy(dest, domain.data(), domain.size());
-  chunk_used_ += domain.size();
-  return std::string_view(dest, domain.size());
+  const std::size_t mask = index_slots_.size() - 1;
+  const std::uint8_t tag = static_cast<std::uint8_t>(hash >> 56);
+  // Probe scratch, distinct from the str() ring so lookups (including the
+  // ones inside intern and blacklist joins) never invalidate caller views.
+  thread_local std::string probe;
+  for (std::size_t slot = hash & mask;; slot = (slot + 1) & mask) {
+    const std::uint32_t candidate = index_slots_[slot];
+    if (candidate == kEmptySlot) {
+      return kInvalidDomainId;
+    }
+    if (index_tags_[slot] == tag) {
+      decode_entry(candidate, probe);
+      if (probe == domain) {
+        return candidate;
+      }
+    }
+  }
+}
+
+void DomainTable::index_insert(std::uint64_t hash, DomainId id) {
+  const std::size_t mask = index_slots_.size() - 1;
+  std::size_t slot = hash & mask;
+  while (index_slots_[slot] != kEmptySlot) {
+    slot = (slot + 1) & mask;
+  }
+  index_slots_[slot] = id;
+  index_tags_[slot] = static_cast<std::uint8_t>(hash >> 56);
+}
+
+void DomainTable::index_grow_to(std::size_t entries) {
+  // Capacity keeps the load factor at or below 3/4; power-of-two growth
+  // from 64, a pure function of the intern/reserve call sequence.
+  const std::size_t needed = entries + entries / 3 + 1;
+  std::size_t capacity = index_slots_.empty() ? 64 : index_slots_.size();
+  while (capacity < needed) {
+    capacity <<= 1;
+  }
+  if (capacity <= index_slots_.size()) {
+    return;
+  }
+  index_slots_.assign(capacity, kEmptySlot);
+  index_tags_.assign(capacity, 0);
+  // Rehash by one sequential arena walk (each entry decoded incrementally
+  // from its predecessor, so the walk is linear in arena bytes).
+  std::string buf;
+  const char* p = arena_.data();
+  for (DomainId id = 0; id < size_; ++id) {
+    if ((id & kBlockMask) == 0) {
+      p = arena_.data() + block_offsets_[id >> kBlockShift];
+      const std::uint32_t len = read_varint(p);
+      buf.assign(p, len);
+      p += len;
+    } else {
+      const std::uint32_t lcp = read_varint(p);
+      const std::uint32_t suffix = read_varint(p);
+      buf.resize(lcp);
+      buf.append(p, suffix);
+      p += suffix;
+    }
+    index_insert(stable_hash64(buf), id);
+  }
+}
+
+void DomainTable::append_entry(std::string_view domain) {
+  if ((size_ & kBlockMask) == 0) {
+    block_offsets_.push_back(static_cast<std::uint32_t>(arena_.size()));
+    write_varint(arena_, static_cast<std::uint32_t>(domain.size()));
+    arena_.insert(arena_.end(), domain.begin(), domain.end());
+  } else {
+    const std::size_t limit = std::min(last_.size(), domain.size());
+    std::size_t lcp = 0;
+    while (lcp < limit && last_[lcp] == domain[lcp]) {
+      ++lcp;
+    }
+    write_varint(arena_, static_cast<std::uint32_t>(lcp));
+    write_varint(arena_, static_cast<std::uint32_t>(domain.size() - lcp));
+    arena_.insert(arena_.end(), domain.begin() + lcp, domain.end());
+  }
+  last_.assign(domain);
 }
 
 DomainId DomainTable::intern_one(std::string_view domain,
                                  std::uint64_t& new_entries,
                                  std::uint64_t& hit_entries) {
-  if (auto it = index_.find(domain); it != index_.end()) {
+  const std::uint64_t hash = stable_hash64(domain);
+  if (const DomainId existing = lookup(domain, hash);
+      existing != kInvalidDomainId) {
     ++hit_entries;
-    return it->second;
+    return existing;
   }
-  const std::string_view stored = store(domain);
-  const DomainId id = static_cast<DomainId>(entries_.size());
-  entries_.push_back(stored);
+  if (size_ >= max_entries_ ||
+      size_ >= static_cast<std::size_t>(kInvalidDomainId)) {
+    if (!capacity_error_) {
+      capacity_error_ =
+          Err("domain_table.capacity",
+              "DomainTable is full at " + std::to_string(size_) +
+                  " entries (cap " + std::to_string(max_entries_) +
+                  "); cannot intern \"" + std::string(domain) + "\"");
+    }
+    return kInvalidDomainId;
+  }
+  if ((size_ & kBlockMask) == 0 && arena_.size() > 0xFFFFFFFFull) {
+    if (!capacity_error_) {
+      capacity_error_ = Err("domain_table.capacity",
+                            "DomainTable arena exceeds the 32-bit offset "
+                            "range; cannot start a new block");
+    }
+    return kInvalidDomainId;
+  }
+  index_grow_to(size_ + 1);
+  const DomainId id = static_cast<DomainId>(size_);
+  append_entry(domain);
+  ++size_;
   tld_group_.push_back(0);
   blacklist_mask_.push_back(0);
   flags_.push_back(0);
-  index_.emplace(stored, id);
+  index_insert(hash, id);
   ++new_entries;
   return id;
+}
+
+std::int64_t DomainTable::arena_bytes() const {
+  return static_cast<std::int64_t>(arena_.size()) +
+         static_cast<std::int64_t>(block_offsets_.size() *
+                                   sizeof(std::uint32_t));
+}
+
+std::int64_t DomainTable::index_bytes() const {
+  return static_cast<std::int64_t>(index_slots_.size()) * kIndexSlotBytes +
+         static_cast<std::int64_t>(size_) * kSideTableBytesPerEntry;
 }
 
 DomainId DomainTable::intern(std::string_view domain) {
@@ -94,10 +227,21 @@ DomainId DomainTable::intern(std::string_view domain) {
     metrics.hits.add(hit_entries);
     return id;
   }
+  if (new_entries == 0) {
+    return id;  // capacity failure: no coverage to record
+  }
   metrics.interned.add(new_entries);
-  metrics.entries.set(static_cast<std::int64_t>(entries_.size()));
-  metrics.index_bytes.set(static_cast<std::int64_t>(entries_.size()) *
-                          kIndexBytesPerEntry);
+  metrics.entries.set(static_cast<std::int64_t>(size_));
+  metrics.arena_bytes.set(arena_bytes());
+  metrics.index_bytes.set(index_bytes());
+  return id;
+}
+
+Result<DomainId> DomainTable::try_intern(std::string_view domain) {
+  const DomainId id = intern(domain);
+  if (id == kInvalidDomainId && capacity_error_) {
+    return *capacity_error_;
+  }
   return id;
 }
 
@@ -114,32 +258,45 @@ void DomainTable::intern_batch(std::span<const std::string_view> domains,
   }
   if (new_entries != 0) {
     metrics.interned.add(new_entries);
-    metrics.entries.set(static_cast<std::int64_t>(entries_.size()));
-    metrics.index_bytes.set(static_cast<std::int64_t>(entries_.size()) *
-                            kIndexBytesPerEntry);
+    metrics.entries.set(static_cast<std::int64_t>(size_));
+    metrics.arena_bytes.set(arena_bytes());
+    metrics.index_bytes.set(index_bytes());
   }
 }
 
 void DomainTable::reserve(std::size_t expected) {
-  const std::size_t total = entries_.size() + expected;
-  entries_.reserve(total);
+  const std::size_t total = size_ + expected;
+  block_offsets_.reserve((total + kBlockEntries - 1) / kBlockEntries);
   tld_group_.reserve(total);
   blacklist_mask_.reserve(total);
   flags_.reserve(total);
-  index_.reserve(total);
+  index_grow_to(total);
 }
 
 DomainId DomainTable::find(std::string_view domain) const {
-  auto it = index_.find(domain);
-  return it == index_.end() ? kInvalidDomainId : it->second;
+  return lookup(domain, stable_hash64(domain));
+}
+
+std::string_view DomainTable::str(DomainId id) const {
+  // Per-thread decode ring: 8 live views per thread, enough for sort
+  // comparators and short call chains (header contract).
+  constexpr unsigned kRingSize = 8;
+  thread_local std::string ring[kRingSize];
+  thread_local unsigned next = 0;
+  std::string& buf = ring[next];
+  next = (next + 1) % kRingSize;
+  decode_entry(id, buf);
+  return buf;
 }
 
 std::vector<std::string> DomainTable::resolve(
     std::span<const DomainId> ids) const {
   std::vector<std::string> out;
   out.reserve(ids.size());
-  for (DomainId id : ids) {
-    out.emplace_back(entries_[id]);
+  for (const DomainId id : ids) {
+    std::string decoded;
+    decode_entry(id, decoded);
+    out.push_back(std::move(decoded));
   }
   return out;
 }

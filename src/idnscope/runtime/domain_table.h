@@ -1,13 +1,27 @@
 // DomainTable: the pipeline's shared, interned view of the domain space.
 //
 // Every "sld.tld" discovered during the zone scan is interned exactly once
-// into a chunked character arena and addressed by a stable 32-bit DomainId.
-// Analysis stages pass std::span<const DomainId> around instead of copying
-// std::vector<std::string> per stage; strings are resolved back only at
-// report boundaries.  Side tables carry the per-domain facts every stage
-// needs (TLD group, blacklist source mask, registered/IDN flags) as flat
-// arrays indexed by DomainId, so joins are O(1) loads instead of hash
+// into a front-coded character arena and addressed by a stable 32-bit
+// DomainId.  Analysis stages pass std::span<const DomainId> around instead
+// of copying std::vector<std::string> per stage; strings are resolved back
+// only at report boundaries.  Side tables carry the per-domain facts every
+// stage needs (TLD group, blacklist source mask, registered/IDN flags) as
+// flat arrays indexed by DomainId, so joins are O(1) loads instead of hash
 // probes on full strings.
+//
+// ## Front-coded arena (DESIGN.md §8)
+//
+// Entries are grouped into blocks of 16 in id order.  A block's head entry
+// is stored verbatim (varint length + bytes); every following entry stores
+// only the length of its common prefix with the *previous* entry plus its
+// suffix (two varints + suffix bytes).  Zone scans deliver domains in
+// first-appearance order, which clusters shared prefixes ("label1.com",
+// "label10.com", …), so the suffix bytes are a fraction of the full
+// strings.  The only per-entry index overhead is a 32-bit arena offset per
+// *block* — 4 bytes per 16 entries — and the string→id lookup is an
+// open-addressed table of (id, 8-bit hash tag) pairs, 5 bytes per slot,
+// instead of an unordered_map keyed by string_view.  At com scale this
+// replaces ~39 bytes/entry of index overhead with ~10.
 //
 // ## Public API invariants (the DomainId stability contract)
 //
@@ -21,26 +35,37 @@
 // *Ids are never invalidated.*  Nothing removes or renumbers an entry;
 // every id below size() stays valid for the table's lifetime.
 //
-// *Views are stable.*  str() returns a view into the arena; arena chunks
-// are only ever appended, never reallocated or freed, so views (and
-// pointers derived from them) survive arbitrary further intern() calls.
+// *Views are transient.*  str() decodes the entry into a per-thread ring
+// of 8 buffers and returns a view of the decoded bytes.  The view stays
+// valid until the same thread's 8th subsequent str() call; find(),
+// contains(), intern() and resolve() never touch the ring.  Copy into a
+// std::string for longer retention.  (This replaces the pre-compaction
+// "views live forever" guarantee — the price of front coding; the ring
+// keeps short view chains like sort comparators working unchanged.)
 //
 // *Writes are single-threaded, reads are parallel-safe.*  intern() and the
 // side-table setters mutate and must run serially (the Study constructor
 // is the one writer).  After the build, concurrent str()/find()/flag reads
-// from executor workers are safe because nothing mutates.
+// from executor workers are safe: nothing mutates, and every thread
+// decodes into its own ring.
+//
+// *Interning is capacity-guarded.*  The id space is 32-bit; interning past
+// max_entries() (default: the full DomainId range) fails loudly — intern()
+// returns kInvalidDomainId, capacity_error() carries the structured error,
+// and try_intern() surfaces it as a Result.  Nothing wraps silently.
 //
 // Interning effort is counted in the metrics registry
 // (`runtime.domain_table.*`, see docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "idnscope/common/result.h"
 
 namespace idnscope::runtime {
 
@@ -51,7 +76,7 @@ class DomainTable {
  public:
   DomainTable() = default;
 
-  // Non-copyable (the lookup map holds views into the arena); movable.
+  // Non-copyable (no reason to duplicate an arena); movable.
   DomainTable(const DomainTable&) = delete;
   DomainTable& operator=(const DomainTable&) = delete;
   DomainTable(DomainTable&&) = default;
@@ -59,18 +84,24 @@ class DomainTable {
 
   // Intern `domain`, returning its stable id.  Re-interning an existing
   // string returns the original id; side-table values are preserved.
+  // Returns kInvalidDomainId when the table is at capacity (the structured
+  // error is retained in capacity_error()).
   DomainId intern(std::string_view domain);
+
+  // intern() that surfaces the capacity guard as a Result instead of the
+  // kInvalidDomainId sentinel.
+  Result<DomainId> try_intern(std::string_view domain);
 
   // Batched interning — the sharded zone scanner's entry point.  Equivalent
   // to calling intern() on every element in order (same ids, same metric
   // totals, same single-writer requirement), but amortizes the metric
   // bookkeeping over the batch.  out[i] receives the id of domains[i]; the
   // input views may borrow transient storage (the table copies into its
-  // arena).
+  // arena).  At capacity, remaining slots receive kInvalidDomainId.
   void intern_batch(std::span<const std::string_view> domains, DomainId* out);
 
   // Pre-size the id/side tables and lookup index for `expected` additional
-  // entries (the arena grows in fixed chunks regardless).
+  // entries (the arena itself grows amortized regardless).
   void reserve(std::size_t expected);
 
   // Id of an already-interned string, or kInvalidDomainId.
@@ -79,11 +110,22 @@ class DomainTable {
     return find(domain) != kInvalidDomainId;
   }
 
-  // The interned string.  Views stay valid for the table's lifetime.
-  std::string_view str(DomainId id) const { return entries_[id]; }
+  // The interned string, decoded into the calling thread's view ring (see
+  // "Views are transient" above).
+  std::string_view str(DomainId id) const;
 
-  std::size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // --- capacity guard ----------------------------------------------------
+  // Lower the id-space cap (test injection; the default is the full 32-bit
+  // DomainId range).  Only affects future intern() calls.
+  void set_max_entries(std::size_t cap) { max_entries_ = cap; }
+  std::size_t max_entries() const { return max_entries_; }
+  // First capacity failure, if interning ever hit the cap.
+  const std::optional<Error>& capacity_error() const {
+    return capacity_error_;
+  }
 
   // --- side tables (defaults: group 0, mask 0, no flags) -----------------
   void set_tld_group(DomainId id, std::uint8_t group) {
@@ -110,7 +152,17 @@ class DomainTable {
  private:
   static constexpr std::uint8_t kRegisteredFlag = 1;
   static constexpr std::uint8_t kIdnFlag = 2;
-  static constexpr std::size_t kChunkSize = 1u << 16;
+
+  // Front-coding geometry: 16 entries per block.  Larger blocks compress
+  // marginally better but make every str() decode walk more deltas; 16
+  // keeps decode cost bounded while amortizing the head entry and the
+  // 4-byte block offset.
+  static constexpr std::uint32_t kBlockShift = 4;
+  static constexpr std::uint32_t kBlockEntries = 1u << kBlockShift;
+  static constexpr std::uint32_t kBlockMask = kBlockEntries - 1;
+
+  // Open-addressed index slot marker (no entry).
+  static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
 
   void set_flag(DomainId id, std::uint8_t flag, bool value) {
     if (value) {
@@ -120,20 +172,42 @@ class DomainTable {
     }
   }
 
-  // Copy `domain` into the arena; the returned view is stable forever
-  // (chunks are never reallocated, only appended).
-  std::string_view store(std::string_view domain);
+  // Decode entry `id` from the front-coded arena into `out`.
+  void decode_entry(DomainId id, std::string& out) const;
+
+  // Hash-probe the index for `domain`; kInvalidDomainId on miss.  Uses a
+  // private scratch buffer, never the str() ring.
+  DomainId lookup(std::string_view domain, std::uint64_t hash) const;
+
+  // Grow the slot array so `entries` fit under the 3/4 load ceiling and
+  // rehash by one sequential arena walk.  Deterministic: capacity is a
+  // pure function of the intern/reserve call sequence.
+  void index_grow_to(std::size_t entries);
+  void index_insert(std::uint64_t hash, DomainId id);
+
+  // Append `domain` to the arena as a block head or a front-coded delta
+  // against the previously interned string.
+  void append_entry(std::string_view domain);
 
   // intern() without the per-call gauge updates (shared by intern and
   // intern_batch; callers refresh the size gauges afterwards).
   DomainId intern_one(std::string_view domain, std::uint64_t& new_entries,
                       std::uint64_t& hit_entries);
 
-  std::vector<std::unique_ptr<char[]>> chunks_;
-  std::size_t chunk_used_ = kChunkSize;  // current chunk fill (full = none yet)
+  // Pure size math for the memory gauges (docs/OBSERVABILITY.md).
+  std::int64_t arena_bytes() const;
+  std::int64_t index_bytes() const;
 
-  std::vector<std::string_view> entries_;             // DomainId -> string
-  std::unordered_map<std::string_view, DomainId> index_;  // string -> DomainId
+  std::vector<char> arena_;                   // front-coded string bytes
+  std::vector<std::uint32_t> block_offsets_;  // block -> arena start offset
+  std::string last_;                          // previous entry (LCP source)
+  std::size_t size_ = 0;
+
+  std::vector<std::uint32_t> index_slots_;  // open addressing: DomainId
+  std::vector<std::uint8_t> index_tags_;    // 8-bit hash tag per slot
+
+  std::size_t max_entries_ = kInvalidDomainId;
+  std::optional<Error> capacity_error_;
 
   std::vector<std::uint8_t> tld_group_;
   std::vector<std::uint8_t> blacklist_mask_;

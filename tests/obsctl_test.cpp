@@ -249,6 +249,76 @@ TEST(ObsctlGate, MissingBaselineExitsTwo) {
   EXPECT_NE(result.err.find("missing baseline"), std::string::npos);
 }
 
+// --- gate --budget: byte-budget ceilings (docs/OBSERVABILITY.md) -----------
+
+TEST(ObsctlGate, BudgetPassesAtOrUnderCeilingFailsOver) {
+  const std::string baseline = scratch_dir("gate_budget_baseline");
+  const std::string fresh = scratch_dir("gate_budget_fresh");
+  seed_gate_dirs(baseline, fresh, sample_snapshot(), 10.0, 10.0);
+  // Ceilings ride the snapshot format, in "gauges".  entries is 120.
+  obs::Snapshot budget;
+  budget.gauges["runtime.domain_table.entries"] = 120;
+  write_file(baseline + "/BUDGET_" + kBench + ".json",
+             obs::snapshot_to_json(budget));
+  const auto at_ceiling = run({"gate", baseline, fresh, kBench, "--budget"});
+  EXPECT_EQ(at_ceiling.code, obs::kObsctlOk);
+  EXPECT_NE(at_ceiling.out.find("1 byte budgets honored"), std::string::npos);
+
+  budget.gauges["runtime.domain_table.entries"] = 119;
+  write_file(baseline + "/BUDGET_" + kBench + ".json",
+             obs::snapshot_to_json(budget));
+  const auto over = run({"gate", baseline, fresh, kBench, "--budget"});
+  EXPECT_EQ(over.code, obs::kObsctlDiffers);
+  EXPECT_NE(over.err.find("exceeds budget 119"), std::string::npos);
+}
+
+TEST(ObsctlGate, BudgetChecksPeakRssFromBenchLine) {
+  const std::string baseline = scratch_dir("gate_rss_baseline");
+  const std::string fresh = scratch_dir("gate_rss_fresh");
+  seed_gate_dirs(baseline, fresh, sample_snapshot(), 10.0, 10.0);
+  obs::Snapshot budget;
+  budget.gauges["bench.peak_rss_kb"] = 500000;
+  write_file(baseline + "/BUDGET_" + kBench + ".json",
+             obs::snapshot_to_json(budget));
+  // The seeded fresh BENCH line has no peak_rss_kb field: error, not pass.
+  const auto no_field = run({"gate", baseline, fresh, kBench, "--budget"});
+  EXPECT_EQ(no_field.code, obs::kObsctlError);
+  EXPECT_NE(no_field.err.find("peak_rss_kb"), std::string::npos);
+
+  write_file(fresh + "/BENCH_" + kBench + ".json",
+             "{\"bench\":\"unit_bench\",\"wall_ms\":10.000,\"threads\":1,"
+             "\"peak_rss_kb\":400000}");
+  EXPECT_EQ(run({"gate", baseline, fresh, kBench, "--budget"}).code,
+            obs::kObsctlOk);
+
+  write_file(fresh + "/BENCH_" + kBench + ".json",
+             "{\"bench\":\"unit_bench\",\"wall_ms\":10.000,\"threads\":1,"
+             "\"peak_rss_kb\":600000}");
+  EXPECT_EQ(run({"gate", baseline, fresh, kBench, "--budget"}).code,
+            obs::kObsctlDiffers);
+}
+
+TEST(ObsctlGate, BudgetMissingFileOrUnknownGaugeExitsTwo) {
+  const std::string baseline = scratch_dir("gate_nobudget_baseline");
+  const std::string fresh = scratch_dir("gate_nobudget_fresh");
+  seed_gate_dirs(baseline, fresh, sample_snapshot(), 10.0, 10.0);
+  // --budget without a committed BUDGET_<name>.json is a setup error.
+  const auto missing = run({"gate", baseline, fresh, kBench, "--budget"});
+  EXPECT_EQ(missing.code, obs::kObsctlError);
+  EXPECT_NE(missing.err.find("missing budget"), std::string::npos);
+  // Without the flag the same directories still gate clean.
+  EXPECT_EQ(run({"gate", baseline, fresh, kBench}).code, obs::kObsctlOk);
+
+  obs::Snapshot budget;
+  budget.gauges["no.such.gauge"] = 1;
+  write_file(baseline + "/BUDGET_" + kBench + ".json",
+             obs::snapshot_to_json(budget));
+  const auto unknown = run({"gate", baseline, fresh, kBench, "--budget"});
+  EXPECT_EQ(unknown.code, obs::kObsctlError);
+  EXPECT_NE(unknown.err.find("unknown gauge no.such.gauge"),
+            std::string::npos);
+}
+
 // --- argument handling -----------------------------------------------------
 
 TEST(Obsctl, UnknownVerbAndEmptyArgsExitTwo) {

@@ -51,15 +51,63 @@ TEST(DomainTable, ReinternReturnsSameIdAndKeepsSideTables) {
   EXPECT_TRUE(table.is_idn(id));  // flags are independent bits
 }
 
-TEST(DomainTable, ViewsStayStableAcrossArenaGrowth) {
+TEST(DomainTable, StrViewsFollowTheRingContract) {
+  // The front-coded arena decodes on demand: a str() view lives until the
+  // calling thread's 8th subsequent str() call, and intern()/find() never
+  // touch the ring (domain_table.h "Views are transient").
   runtime::DomainTable table;
-  const std::string_view first = table.str(table.intern("first.com"));
-  // Force many chunk allocations.
+  const runtime::DomainId first = table.intern("first.com");
+  // Force many blocks and index rehashes.
   for (int i = 0; i < 20000; ++i) {
     table.intern("filler-" + std::to_string(i) + ".example.org");
   }
-  EXPECT_EQ(first, "first.com");
+  const std::string_view view = table.str(first);
+  ASSERT_EQ(table.find("filler-19999.example.org"), 20000U);
+  EXPECT_EQ(table.intern("filler-0.example.org"), 1U);
+  EXPECT_EQ(view, "first.com");  // lookups and re-interns left it intact
+  for (int i = 0; i < 7; ++i) {  // seven further views: ring not yet reused
+    (void)table.str(static_cast<runtime::DomainId>(i + 1));
+  }
+  EXPECT_EQ(view, "first.com");
   EXPECT_EQ(table.find("first.com"), 0U);
+  // Two simultaneously live views — the sort-comparator shape.
+  const std::string_view a = table.str(first);
+  const std::string_view b = table.str(1U);
+  EXPECT_EQ(a, "first.com");
+  EXPECT_EQ(b, "filler-0.example.org");
+}
+
+TEST(DomainTable, CapacityGuardFailsLoudly) {
+  runtime::DomainTable table;
+  table.set_max_entries(3);
+  const obs::Counter interned =
+      obs::Registry::global().counter("runtime.domain_table.interned");
+  EXPECT_EQ(table.intern("a.com"), 0U);
+  EXPECT_EQ(table.intern("b.com"), 1U);
+  EXPECT_EQ(table.intern("c.com"), 2U);
+  EXPECT_FALSE(table.capacity_error().has_value());
+  const std::uint64_t interned_at_cap = interned.value();
+
+  EXPECT_EQ(table.intern("d.com"), runtime::kInvalidDomainId);
+  ASSERT_TRUE(table.capacity_error().has_value());
+  EXPECT_EQ(table.capacity_error()->code, "domain_table.capacity");
+  EXPECT_EQ(interned.value(), interned_at_cap);  // failures are not coverage
+  EXPECT_EQ(table.size(), 3U);
+  EXPECT_FALSE(table.contains("d.com"));
+  EXPECT_EQ(table.intern("b.com"), 1U);  // existing entries still resolve
+
+  const auto checked = table.try_intern("e.com");
+  ASSERT_FALSE(checked.ok());
+  EXPECT_EQ(checked.error().code, "domain_table.capacity");
+
+  // Batched interning reports per-slot failures instead of wrapping.
+  const std::vector<std::string_view> views{"a.com", "f.com", "c.com"};
+  std::vector<runtime::DomainId> ids(views.size());
+  table.intern_batch(views, ids.data());
+  EXPECT_EQ(ids[0], 0U);
+  EXPECT_EQ(ids[1], runtime::kInvalidDomainId);
+  EXPECT_EQ(ids[2], 2U);
+  EXPECT_EQ(table.size(), 3U);
 }
 
 TEST(DomainTable, ResolveMaterializesInOrder) {
@@ -104,6 +152,59 @@ TEST(DomainTable, InternBatchMatchesSequentialIntern) {
   EXPECT_EQ(batched.size(), sequential.size());
   EXPECT_EQ(hits.value(), sequential_hits);
   EXPECT_EQ(interned.value(), sequential_interned);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(batched.str(batch_ids[i]), views[i]);
+  }
+}
+
+TEST(DomainTable, InternBatchAdversarialInputsMatchSequential) {
+  // Duplicate-heavy and adversarial batch shapes — an all-duplicates run,
+  // interleaved new/old entries, and an empty batch — must leave ids,
+  // metric totals and the front-coded arena byte-identical to per-string
+  // interning.
+  std::vector<std::string> domains;
+  for (int i = 0; i < 64; ++i) {
+    domains.push_back("dup.com");  // all-duplicates prefix
+  }
+  for (int i = 0; i < 200; ++i) {  // interleaved new/old
+    domains.push_back(i % 2 == 0 ? "new-" + std::to_string(i) + ".net"
+                                 : "dup.com");
+  }
+  for (int i = 0; i < 50; ++i) {  // re-intern everything again, reversed
+    domains.push_back(domains[49 - i]);
+  }
+  std::vector<std::string_view> views(domains.begin(), domains.end());
+
+  obs::Registry::global().reset();
+  runtime::DomainTable sequential;
+  std::vector<runtime::DomainId> expected_ids;
+  for (const std::string& domain : domains) {
+    expected_ids.push_back(sequential.intern(domain));
+  }
+  const auto hits = obs::Registry::global().counter("runtime.domain_table.hits");
+  const auto interned =
+      obs::Registry::global().counter("runtime.domain_table.interned");
+  const auto arena_bytes =
+      obs::Registry::global().gauge("runtime.domain_table.arena_bytes");
+  const auto index_bytes =
+      obs::Registry::global().gauge("runtime.domain_table.index_bytes");
+  const std::uint64_t sequential_hits = hits.value();
+  const std::uint64_t sequential_interned = interned.value();
+  const std::int64_t sequential_arena = arena_bytes.value();
+  const std::int64_t sequential_index = index_bytes.value();
+
+  obs::Registry::global().reset();
+  runtime::DomainTable batched;
+  batched.intern_batch({}, nullptr);  // empty batch: no effect, no metrics
+  EXPECT_EQ(interned.value(), 0U);
+  std::vector<runtime::DomainId> batch_ids(views.size());
+  batched.intern_batch(views, batch_ids.data());
+  EXPECT_EQ(batch_ids, expected_ids);
+  EXPECT_EQ(batched.size(), sequential.size());
+  EXPECT_EQ(hits.value(), sequential_hits);
+  EXPECT_EQ(interned.value(), sequential_interned);
+  EXPECT_EQ(arena_bytes.value(), sequential_arena);
+  EXPECT_EQ(index_bytes.value(), sequential_index);
   for (std::size_t i = 0; i < views.size(); ++i) {
     EXPECT_EQ(batched.str(batch_ids[i]), views[i]);
   }

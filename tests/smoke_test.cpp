@@ -2,6 +2,10 @@
 // the measurement pipeline once.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+#include <vector>
+
 #include "idnscope/core/availability.h"
 #include "idnscope/core/browser.h"
 #include "idnscope/core/content_study.h"
@@ -12,7 +16,9 @@
 #include "idnscope/core/semantic.h"
 #include "idnscope/core/ssl_study.h"
 #include "idnscope/core/study.h"
+#include "idnscope/dns/zone_io.h"
 #include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/obs/metrics.h"
 
 namespace idnscope {
 namespace {
@@ -53,6 +59,102 @@ TEST(Smoke, TinyScenarioRunsEveryStage) {
 
   const auto verdicts = core::run_browser_survey();
   EXPECT_EQ(verdicts.size(), 27U);
+}
+
+// The streaming scale-1 path: writing the zones to disk and scanning them
+// through the mmap-backed file reader must yield the exact Study the
+// in-memory constructor builds — same ids, side tables, Table I groups and
+// core.study.* counters.
+TEST(Smoke, FileBasedStudyMatchesInMemory) {
+  const auto eco = ecosystem::generate(ecosystem::Scenario::tiny());
+
+  const std::string dir = ::testing::TempDir() + "smoke_file_study";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> zone_files;
+  for (const dns::Zone& zone : eco.zones) {
+    std::string path = dir + "/" + zone.origin() + ".zone";
+    ASSERT_TRUE(dns::write_zone_file(zone, path).ok()) << path;
+    zone_files.push_back(std::move(path));
+  }
+
+  obs::Registry::global().reset();
+  const core::Study in_memory(eco);
+  const auto memory_counters = obs::Registry::global().snapshot().counters;
+
+  obs::Registry::global().reset();
+  const core::Study from_files(eco, zone_files);
+  const auto file_counters = obs::Registry::global().snapshot().counters;
+
+  ASSERT_EQ(from_files.table().size(), in_memory.table().size());
+  ASSERT_EQ(from_files.idns().size(), in_memory.idns().size());
+  for (std::size_t i = 0; i < in_memory.idns().size(); ++i) {
+    EXPECT_EQ(from_files.idns()[i], in_memory.idns()[i]);
+  }
+  EXPECT_EQ(from_files.resolve(from_files.idns()),
+            in_memory.resolve(in_memory.idns()));
+  EXPECT_EQ(from_files.resolve(from_files.malicious_idns()),
+            in_memory.resolve(in_memory.malicious_idns()));
+  ASSERT_EQ(from_files.tld_groups().size(), in_memory.tld_groups().size());
+  for (std::size_t i = 0; i < in_memory.tld_groups().size(); ++i) {
+    const core::TldGroup& a = in_memory.tld_groups()[i];
+    const core::TldGroup& b = from_files.tld_groups()[i];
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.sld_count, a.sld_count);
+    EXPECT_EQ(b.idn_count, a.idn_count);
+    EXPECT_EQ(b.whois_count, a.whois_count);
+    EXPECT_EQ(b.blacklist_total, a.blacklist_total);
+  }
+  EXPECT_EQ(file_counters, memory_counters);
+  std::filesystem::remove_all(dir);
+}
+
+// Starving the StreamJoin buffer forces the sorted spill-to-disk path; the
+// join consumers' outputs are contractually independent of spill geometry.
+TEST(Smoke, StudyJoinsIdenticalUnderTinyBudget) {
+  const auto eco = ecosystem::generate(ecosystem::Scenario::tiny());
+  const core::Study roomy(eco);
+  core::StudyOptions starved_options;
+  starved_options.join_budget_bytes = 1;  // floor: 64 records per buffer
+  const core::Study starved(eco, starved_options);
+  EXPECT_EQ(starved.join_budget_bytes(), 1U);
+
+  const auto roomy_registrants = core::top_registrants(roomy, 5);
+  const auto starved_registrants = core::top_registrants(starved, 5);
+  ASSERT_EQ(starved_registrants.size(), roomy_registrants.size());
+  for (std::size_t i = 0; i < roomy_registrants.size(); ++i) {
+    EXPECT_EQ(starved_registrants[i].email, roomy_registrants[i].email);
+    EXPECT_EQ(starved_registrants[i].idn_count,
+              roomy_registrants[i].idn_count);
+    EXPECT_EQ(starved_registrants[i].sample, roomy_registrants[i].sample);
+  }
+  EXPECT_EQ(core::opportunistic_idn_count(starved, 10),
+            core::opportunistic_idn_count(roomy, 10));
+
+  const auto roomy_registrars = core::registrar_stats(roomy, 5);
+  const auto starved_registrars = core::registrar_stats(starved, 5);
+  EXPECT_EQ(starved_registrars.distinct_registrars,
+            roomy_registrars.distinct_registrars);
+  ASSERT_EQ(starved_registrars.top.size(), roomy_registrars.top.size());
+  for (std::size_t i = 0; i < roomy_registrars.top.size(); ++i) {
+    EXPECT_EQ(starved_registrars.top[i].name, roomy_registrars.top[i].name);
+    EXPECT_EQ(starved_registrars.top[i].idn_count,
+              roomy_registrars.top[i].idn_count);
+  }
+
+  const auto roomy_hosting = core::hosting_concentration(roomy);
+  const auto starved_hosting = core::hosting_concentration(starved);
+  EXPECT_EQ(starved_hosting.distinct_ips, roomy_hosting.distinct_ips);
+  EXPECT_EQ(starved_hosting.distinct_segments,
+            roomy_hosting.distinct_segments);
+  EXPECT_EQ(starved_hosting.segment_ids, roomy_hosting.segment_ids);
+  EXPECT_EQ(starved_hosting.segment_sizes, roomy_hosting.segment_sizes);
+
+  // The starved run actually spilled (the counters prove the path ran).
+  EXPECT_GT(obs::Registry::global()
+                .counter("core.study.join.spill_runs")
+                .value(),
+            0U);
 }
 
 }  // namespace

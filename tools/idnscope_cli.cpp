@@ -4,8 +4,12 @@
 //   idnscope check <label> <tld> [email] registry brand-protection verdict
 //   idnscope scan-zone <file>            stream-scan a zone file for IDNs
 //   idnscope audit-zone <file>           scan + homograph/semantic flags
-//   idnscope report [seed] [scale]       full synthetic-study markdown report
+//   idnscope report [seed] [scale] [abuse_scale]
+//                                        full synthetic-study markdown report
+//                                        (scales are divisors; 1 = the
+//                                        paper's full population)
 //   idnscope survey <domain>             browser display survey for a domain
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,7 +38,10 @@ int usage() {
                "  check <label> <tld> [email]  brand-protection verdict\n"
                "  scan-zone <file>             stream-scan a zone file\n"
                "  audit-zone <file>            scan + abuse detection\n"
-               "  report [seed] [scale]        synthetic-study report\n"
+               "  report [seed] [scale] [abuse_scale]\n"
+               "                               synthetic-study report; scales\n"
+               "                               are divisors, 1 = full paper\n"
+               "                               scale (default 100/10)\n"
                "  survey <domain>              browser display survey\n");
   return 2;
 }
@@ -129,10 +136,26 @@ int cmd_scan_zone(const std::string& path, bool audit) {
   return 0;
 }
 
-int cmd_report(std::uint64_t seed, unsigned scale) {
+// Scale divisors must be whole positive integers: 0 would divide by zero
+// in the generator's budget arithmetic, and silently accepting trailing
+// garbage ("1x", "10%") would run a different world than the user asked
+// for.  Returns 0 on any invalid input; callers reject it loudly.
+unsigned parse_scale(const char* arg) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long value = std::strtoul(arg, &end, 10);
+  if (errno != 0 || end == arg || *end != '\0' || value == 0 ||
+      value > 0xFFFFFFFFUL) {
+    return 0;
+  }
+  return static_cast<unsigned>(value);
+}
+
+int cmd_report(std::uint64_t seed, unsigned scale, unsigned abuse_scale) {
   ecosystem::Scenario scenario = ecosystem::Scenario::paper2017();
   scenario.seed = seed;
   scenario.bulk_scale = scale;
+  scenario.abuse_scale = abuse_scale;
   const auto eco = ecosystem::generate(scenario);
   const core::Study study(eco);
   std::fputs(core::build_markdown_report(study).c_str(), stdout);
@@ -176,13 +199,19 @@ int main(int argc, char** argv) {
   if (command == "audit-zone" && argc == 3) {
     return cmd_scan_zone(argv[2], /*audit=*/true);
   }
-  if (command == "report" && argc <= 4) {
+  if (command == "report" && argc <= 5) {
     const std::uint64_t seed =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20170921ULL;
-    const unsigned scale =
-        argc > 3 ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10))
-                 : 100U;
-    return cmd_report(seed, scale);
+    const unsigned scale = argc > 3 ? parse_scale(argv[3]) : 100U;
+    const unsigned abuse_scale = argc > 4 ? parse_scale(argv[4]) : 10U;
+    if (scale == 0 || abuse_scale == 0) {
+      std::fprintf(stderr,
+                   "report: scale arguments are divisors and must be whole "
+                   "integers >= 1 (1 = full paper scale); got \"%s\"\n",
+                   scale == 0 ? argv[3] : argv[4]);
+      return 2;
+    }
+    return cmd_report(seed, scale, abuse_scale);
   }
   if (command == "survey" && argc == 3) {
     return cmd_survey(argv[2]);
