@@ -1,10 +1,14 @@
 #include "idnscope/core/availability.h"
 
 #include <cstdlib>
+#include <optional>
+#include <unordered_set>
 
+#include "idnscope/core/skeleton_index.h"
 #include "idnscope/idna/lookalike.h"
 #include "idnscope/obs/metrics.h"
 #include "idnscope/obs/trace.h"
+#include "idnscope/render/ssim_sweep.h"
 #include "idnscope/runtime/parallel.h"
 
 namespace idnscope::core {
@@ -16,7 +20,10 @@ namespace {
 // never in the parallel dispatch wrapper — so the executor's serial
 // fallback for small brand lists tallies identically to the threaded path
 // (regression-tested in tests/obs_test.cpp).  Both entry points do real
-// render+SSIM work, so both report into the same cells.
+// render+SSIM work, so both report into the same cells.  The counters are
+// engine-independent: the indexed engine makes the same decisions at the
+// same sites, so candidates/prefilter_skips/ssim_evaluations/homographic
+// are identical with use_skeleton_index on or off.
 struct SweepMetrics {
   obs::Counter candidates =
       obs::Registry::global().counter("core.availability.candidates");
@@ -48,15 +55,13 @@ int profile_l1(const std::vector<int>& a, const std::vector<int>& b) {
 }
 
 // Scaled pixel-column range a substitution at SLD position `pos` can
-// affect (cell columns, upscaling, then the 3x3 smoothing blur).
+// affect — the canonical formulas live in render/ssim_sweep.h so the
+// enumeration engine and the incremental scorer agree on crop geometry.
 int changed_begin(std::size_t pos, const render::RenderOptions& render) {
-  const int base = render::kMargin + static_cast<int>(pos) * render::kCellWidth;
-  return std::max(0, base * render.scale - (render.scale + 2));
+  return render::substitution_begin(pos, render);
 }
 int changed_end(std::size_t pos, const render::RenderOptions& render) {
-  const int base =
-      render::kMargin + (static_cast<int>(pos) + 1) * render::kCellWidth;
-  return base * render.scale + render.scale + 2;
+  return render::substitution_end(pos, render);
 }
 
 std::u32string candidate_display(const idna::LookalikeCandidate& candidate,
@@ -70,46 +75,121 @@ std::u32string candidate_display(const idna::LookalikeCandidate& candidate,
   return display;
 }
 
-// Measure one brand's candidate space; `check` is called for homographic
-// candidates and returns true when the candidate counts as registered.
+// Per-brand measurement context shared by both entry points.  The two
+// engines answer the same three per-candidate questions; the decision
+// thresholds, counter sites and loop structure stay with the callers so
+// the engines cannot diverge in what they count.
+//
+//   enumeration (use_skeleton_index = false): render the candidate display,
+//     compare against the brand SsimReference, probe the DomainTable for
+//     registration.  The reference implementation.
+//   indexed (use_skeleton_index = true): SubstitutionScorer re-renders and
+//     re-filters only the substituted cell (bit-identical scores, pinned in
+//     tests/ssim_sweep_test.cpp); registration probes become membership in
+//     the registered-candidate set pulled from the Study's skeleton index.
+//     Correct because every registered UC-SimList candidate is an xn-- IDN,
+//     so it appears in study.idns(), and its display skeleton is one of
+//     idna::candidate_skeletons(brand) by construction (cross-checked
+//     exhaustively in tests/availability_test.cpp).
+class BrandSweep {
+ public:
+  BrandSweep(const ecosystem::Brand& brand, const Study& study,
+             const AvailabilityOptions& options)
+      : brand_(&brand), study_(&study), options_(&options) {
+    std::u32string brand_u32;
+    for (unsigned char c : brand.domain) {
+      brand_u32.push_back(c);
+    }
+    if (options.use_skeleton_index) {
+      scorer_.emplace(brand_u32, options.render, options.ssim);
+      const std::string_view suffix = std::string_view(brand.domain)
+                                          .substr(brand.domain.find('.'));
+      const SkeletonIndex& index = study.skeleton_index();
+      for (const std::string& skeleton :
+           idna::candidate_skeletons(brand.domain)) {
+        for (const runtime::DomainId id : index.lookup(skeleton, suffix)) {
+          registered_.insert(std::string(study.table().str(id)));
+        }
+      }
+    } else {
+      reference_.emplace(render::render_ascii(brand.domain, options.render),
+                         options.ssim);
+      brand_profile_ = render::column_profile(brand_u32);
+    }
+  }
+
+  // Called once per candidate before the other accessors.
+  void prepare(const idna::LookalikeCandidate& candidate) {
+    if (!options_->use_skeleton_index) {
+      display_ = candidate_display(candidate, brand_->domain);
+    }
+  }
+
+  int profile_distance(const idna::LookalikeCandidate& candidate) {
+    if (options_->use_skeleton_index) {
+      return scorer_->profile_delta(candidate.position, candidate.glyph);
+    }
+    return profile_l1(render::column_profile(display_), brand_profile_);
+  }
+
+  double ssim_score(const idna::LookalikeCandidate& candidate) {
+    if (options_->use_skeleton_index) {
+      return scorer_->score(candidate.position, candidate.glyph);
+    }
+    const render::GrayImage image =
+        render::render_label(display_, options_->render);
+    return reference_->compare(
+        image, changed_begin(candidate.position, options_->render),
+        changed_end(candidate.position, options_->render));
+  }
+
+  bool is_registered(const idna::LookalikeCandidate& candidate) const {
+    if (options_->use_skeleton_index) {
+      return registered_.contains(candidate.ace_domain);
+    }
+    return study_->is_registered(candidate.ace_domain);
+  }
+
+ private:
+  const ecosystem::Brand* brand_;
+  const Study* study_;
+  const AvailabilityOptions* options_;
+  // Indexed engine.
+  std::optional<render::SubstitutionScorer> scorer_;
+  std::unordered_set<std::string> registered_;
+  // Enumeration engine.
+  std::optional<render::SsimReference> reference_;
+  std::vector<int> brand_profile_;
+  std::u32string display_;  // current candidate's display form
+};
+
+// Measure one brand's candidate space.
 BrandAvailability sweep_brand(const ecosystem::Brand& brand,
                               const Study& study,
                               const AvailabilityOptions& options) {
   BrandAvailability row;
   row.brand = brand.domain;
   row.alexa_rank = brand.rank;
-  const render::SsimReference brand_image(
-      render::render_ascii(brand.domain, options.render), options.ssim);
-  std::u32string brand_u32;
-  for (unsigned char c : brand.domain) {
-    brand_u32.push_back(c);
-  }
-  const std::vector<int> brand_profile = render::column_profile(brand_u32);
+  BrandSweep sweep(brand, study, options);
 
   SweepMetrics& metrics = sweep_metrics();
   for (const auto& candidate :
        idna::single_substitution_candidates(brand.domain)) {
     ++row.candidates;
     metrics.candidates.add(1);
-    const std::u32string display = candidate_display(candidate, brand.domain);
+    sweep.prepare(candidate);
     if (options.profile_budget > 0 &&
-        profile_l1(render::column_profile(display), brand_profile) >
-            options.profile_budget) {
+        sweep.profile_distance(candidate) > options.profile_budget) {
       metrics.prefilter_skips.add(1);
       continue;  // cannot reach the SSIM threshold (bound tested)
     }
-    const render::GrayImage image =
-        render::render_label(display, options.render);
     metrics.ssim_evaluations.add(1);
-    if (brand_image.compare(image,
-                            changed_begin(candidate.position, options.render),
-                            changed_end(candidate.position, options.render)) <
-        options.threshold) {
+    if (sweep.ssim_score(candidate) < options.threshold) {
       continue;
     }
     ++row.homographic;
     metrics.homographic.add(1);
-    if (study.is_registered(candidate.ace_domain)) {
+    if (sweep.is_registered(candidate)) {
       ++row.registered;
     } else if (row.available_samples.size() < 3) {
       row.available_samples.push_back(candidate.ace_domain);
@@ -124,6 +204,9 @@ AvailabilityReport availability_sweep(const Study& study,
                                       std::span<const ecosystem::Brand> brands,
                                       const AvailabilityOptions& options) {
   const obs::StageTimer stage("core.availability.sweep");
+  if (options.use_skeleton_index) {
+    study.skeleton_index();  // build (or reuse) before the workers fan out
+  }
   std::vector<const ecosystem::Brand*> eligible;
   for (const ecosystem::Brand& brand : brands) {
     if (eligible_brand(brand)) {
@@ -157,30 +240,18 @@ CandidateTraffic candidate_traffic(const Study& study,
     if (!eligible_brand(brand)) {
       continue;
     }
-    const render::SsimReference brand_image(
-        render::render_ascii(brand.domain, options.render), options.ssim);
-    std::u32string brand_u32;
-    for (unsigned char c : brand.domain) {
-      brand_u32.push_back(c);
-    }
-    const std::vector<int> brand_profile = render::column_profile(brand_u32);
+    BrandSweep sweep(brand, study, options);
     for (const auto& candidate :
          idna::single_substitution_candidates(brand.domain)) {
       metrics.candidates.add(1);
-      const std::u32string display = candidate_display(candidate, brand.domain);
+      sweep.prepare(candidate);
       if (options.profile_budget > 0 &&
-          profile_l1(render::column_profile(display), brand_profile) >
-              options.profile_budget) {
+          sweep.profile_distance(candidate) > options.profile_budget) {
         metrics.prefilter_skips.add(1);
         continue;
       }
-      const render::GrayImage image =
-          render::render_label(display, options.render);
       metrics.ssim_evaluations.add(1);
-      if (brand_image.compare(
-              image, changed_begin(candidate.position, options.render),
-              changed_end(candidate.position, options.render)) <
-          options.threshold) {
+      if (sweep.ssim_score(candidate) < options.threshold) {
         continue;
       }
       metrics.homographic.add(1);
@@ -188,7 +259,7 @@ CandidateTraffic candidate_traffic(const Study& study,
       const double queries =
           aggregate == nullptr ? 0.0
                                : static_cast<double>(aggregate->query_count);
-      if (study.is_registered(candidate.ace_domain)) {
+      if (sweep.is_registered(candidate)) {
         traffic.registered_queries.push_back(queries);
       } else {
         traffic.unregistered_queries.push_back(queries);

@@ -25,10 +25,21 @@ struct AvailabilityOptions {
   // the SSIM threshold and are counted as non-homographic without a full
   // SSIM evaluation.  Set to 0 to disable.
   int profile_budget = 26;
-  // Worker threads for the sweep, routed through runtime::parallel_for
-  // (0 = hardware concurrency, always clamped to the brand count).
-  // Results are bit-for-bit identical regardless of thread count.
+  // Worker threads for the sweep, routed through runtime::parallel_for.
+  // 0 means the IDNSCOPE_THREADS / hardware-concurrency default; any value
+  // is then clamped to the number of *eligible* brands (the per-brand rows
+  // are the unit of parallelism), so tiny sweeps never spawn idle workers
+  // and requesting 64 threads for a 3-brand sweep runs 3.  Results are
+  // bit-for-bit identical regardless of thread count (rows land at fixed
+  // indices; tested in tests/availability_test.cpp).
   unsigned threads = 0;
+  // Use the Study's confusable-skeleton index (core/skeleton_index.h) plus
+  // the incremental SSIM scorer (render/ssim_sweep.h) instead of probing
+  // the DomainTable and re-rendering per candidate.  Same decisions, same
+  // counters, bit-identical report (cross-checked exhaustively in
+  // tests/availability_test.cpp); off switches back to the enumeration
+  // engine, which remains the reference implementation.
+  bool use_skeleton_index = true;
   render::RenderOptions render;
   render::SsimOptions ssim;
 };

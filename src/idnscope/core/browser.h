@@ -52,7 +52,8 @@ struct BrowserConfig {
   bool about_blank_on_confusable = false;  // QQ Android quirk
 };
 
-// The 25 surveyed (browser, platform) combinations of Table XI.
+// The 27 surveyed (browser, platform) combinations of Table XI
+// (10 PC + 9 iOS + 8 Android; pinned in tests/browser_test.cpp).
 const std::vector<BrowserConfig>& surveyed_browsers();
 
 // Outcome of loading one IDN in one browser.

@@ -8,6 +8,8 @@
 #include "idnscope/idna/idna.h"
 #include "idnscope/obs/trace.h"
 #include "idnscope/runtime/parallel.h"
+#include "idnscope/unicode/confusables.h"
+#include "idnscope/unicode/skeleton.h"
 #include "idnscope/unicode/utf8.h"
 
 namespace idnscope::core {
@@ -36,6 +38,33 @@ std::optional<std::u32string> display_form(std::string_view ace_domain) {
   return std::move(decoded).value();
 }
 
+// True when `display` renders pixel-identically to the ASCII `brand`: equal
+// length, and every position is either the brand character itself or a
+// confusable homoglyph of it with Accent::kNone (render_cell then blits the
+// unmodified base glyph, so the rasterizations are byte-equal and the full
+// SSIM is exactly 1.0 — num/num per masked window).
+bool renders_identically(const std::u32string& display,
+                         std::string_view brand) {
+  if (display.size() != brand.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < display.size(); ++i) {
+    const char32_t cp = display[i];
+    if (cp < 0x80) {
+      if (static_cast<char>(cp) != brand[i]) {
+        return false;
+      }
+      continue;
+    }
+    const unicode::Homoglyph* glyph = unicode::find_homoglyph(cp);
+    if (glyph == nullptr || glyph->ascii_base != brand[i] ||
+        glyph->accent != unicode::Accent::kNone) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 HomographDetector::HomographDetector(
@@ -48,6 +77,8 @@ HomographDetector::HomographDetector(
       domains_scanned_(
           obs::Registry::global().counter("core.homograph.domains_scanned")),
       matches_(obs::Registry::global().counter("core.homograph.matches")),
+      skeleton_hits_(
+          obs::Registry::global().counter("core.homograph.skeleton_hits")),
       ssim_score_(obs::Registry::global().histogram(
           "core.homograph.ssim_score", {0.5, 0.8, 0.9, 0.95, 0.99})) {
   for (const ecosystem::Brand& brand : brands) {
@@ -63,9 +94,26 @@ HomographDetector::HomographDetector(
                      render::column_profile(as_u32)};
     by_length_[length].push_back(std::move(entry));
   }
+  // Brand-skeleton index: ASCII skeletons are per-character lowercasing, so
+  // a lowercase brand domain is its own skeleton.  On a (theoretical) key
+  // collision the first brand in bucket order wins; renders_identically()
+  // re-checks exact characters at query time, so a "wrong" winner only
+  // costs the fast path, never correctness.
+  for (const auto& bucket : by_length_) {
+    for (const BrandImage& entry : bucket) {
+      std::u32string as_u32;
+      for (unsigned char c : entry.brand.domain) {
+        as_u32.push_back(c);
+      }
+      if (auto skeleton = unicode::label_skeleton(as_u32)) {
+        brand_by_skeleton_.emplace(*std::move(skeleton), &entry);
+      }
+    }
+  }
   // Working set of the pre-rendered brand table, as pure size math (pixel
-  // buffers + column profiles + brand strings) — a function of the brand
-  // set and render options only, so it sits on the metrics plane.
+  // buffers + column profiles + brand strings + skeleton keys) — a function
+  // of the brand set and render options only, so it sits on the metrics
+  // plane.
   std::int64_t table_bytes = 0;
   for (const auto& bucket : by_length_) {
     for (const BrandImage& entry : bucket) {
@@ -73,6 +121,10 @@ HomographDetector::HomographDetector(
           entry.image.pixels().size() * sizeof(std::uint8_t) +
           entry.profile.size() * sizeof(int) + entry.brand.domain.size());
     }
+  }
+  for (const auto& [skeleton, entry] : brand_by_skeleton_) {
+    table_bytes +=
+        static_cast<std::int64_t>(skeleton.size() + sizeof(entry));
   }
   obs::Registry::global()
       .gauge("core.homograph.brand_table_bytes")
@@ -84,6 +136,30 @@ std::optional<HomographMatch> HomographDetector::best_match(
   const auto display = display_form(ace_domain);
   if (!display) {
     return std::nullopt;
+  }
+  if (options_.use_skeleton_index && options_.threshold <= 1.0 &&
+      !brand_by_skeleton_.empty()) {
+    // Identical-twin fast path: a skeleton hit whose substitutions are all
+    // accentless confusables renders byte-identically to the brand, so the
+    // maximum SSIM is exactly 1.0 and no other brand can beat it (distinct
+    // ASCII glyphs render distinct images; asserted in
+    // tests/homograph_test.cpp).  No render, no prefilter, no SSIM — the
+    // per-brand effort counters intentionally stay untouched.
+    if (const auto skeleton = unicode::label_skeleton(*display)) {
+      const auto hit = brand_by_skeleton_.find(*skeleton);
+      if (hit != brand_by_skeleton_.end() &&
+          hit->second->brand.domain != ace_domain &&
+          renders_identically(*display, hit->second->brand.domain)) {
+        skeleton_hits_.add(1);
+        matches_.add(1);
+        HomographMatch match;
+        match.domain = std::string(ace_domain);
+        match.brand = hit->second->brand.domain;
+        match.ssim = 1.0;
+        match.identical = true;
+        return match;
+      }
+    }
   }
   const std::size_t length = display->size();
   if (length >= by_length_.size() || by_length_[length].empty()) {

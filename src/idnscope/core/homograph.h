@@ -18,6 +18,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "idnscope/core/study.h"
@@ -40,6 +41,14 @@ struct HomographOptions {
   double threshold = 0.95;       // the paper's SSIM cut-off
   bool use_prefilter = true;     // disable to run the exhaustive scan
   int profile_budget = 26;       // max L1 column-profile distance per image
+  // Consult the brand-skeleton hash index before the per-brand SSIM loop:
+  // a domain whose display form skeletonizes to a brand and substitutes
+  // only accentless pixel-identical twins renders byte-identically to that
+  // brand, so its best match is exactly 1.0 without any rendering (counted
+  // in core.homograph.skeleton_hits).  Match output is unchanged
+  // (equivalence-tested in tests/homograph_test.cpp); only the effort
+  // metrics shrink.  Off restores the pure scan.
+  bool use_skeleton_index = true;
   // Worker threads for DomainTable scans (0 = hardware concurrency).
   // Results are bit-for-bit identical at any value (runtime/parallel.h).
   unsigned threads = 0;
@@ -77,6 +86,7 @@ class HomographDetector {
   // small inputs) tally identically.
   std::uint64_t ssim_evaluations() const { return ssim_evaluations_.value(); }
   std::uint64_t prefilter_skips() const { return prefilter_skips_.value(); }
+  std::uint64_t skeleton_hits() const { return skeleton_hits_.value(); }
 
  private:
   struct BrandImage {
@@ -88,11 +98,16 @@ class HomographDetector {
   HomographOptions options_;
   // Brand images bucketed by character count.
   std::vector<std::vector<BrandImage>> by_length_;
+  // Brand-skeleton hash index for the identical-twin fast path (see
+  // HomographOptions::use_skeleton_index).  Values point into by_length_;
+  // built after the buckets settle, never mutated afterwards.
+  std::unordered_map<std::string, const BrandImage*> brand_by_skeleton_;
   // Registry handles (shared cells, cheap copies).
   obs::Counter ssim_evaluations_;
   obs::Counter prefilter_skips_;
   obs::Counter domains_scanned_;
   obs::Counter matches_;
+  obs::Counter skeleton_hits_;
   obs::Histogram ssim_score_;
 };
 

@@ -1,0 +1,138 @@
+#include "idnscope/core/skeleton_index.h"
+
+#include <utility>
+
+#include "idnscope/core/study.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/obs/trace.h"
+#include "idnscope/runtime/parallel.h"
+#include "idnscope/unicode/skeleton.h"
+
+namespace idnscope::core {
+
+namespace {
+
+// "skeleton.suffix" key for one registered IDN, or "" when the display
+// form does not decode or contains unskeletonizable code points.  Skeletons
+// are pure ASCII without dots and suffixes start with '.', so the
+// concatenation splits unambiguously at the first dot.
+std::string key_for(std::string_view ace_domain) {
+  const std::size_t dot = ace_domain.find('.');
+  const std::string_view sld =
+      dot == std::string_view::npos ? ace_domain : ace_domain.substr(0, dot);
+  const std::string_view suffix =
+      dot == std::string_view::npos ? std::string_view{}
+                                    : ace_domain.substr(dot);
+  auto display = idna::label_to_unicode(sld);
+  if (!display.ok()) {
+    return {};
+  }
+  auto skeleton = unicode::label_skeleton(display.value());
+  if (!skeleton) {
+    return {};
+  }
+  return *std::move(skeleton) + std::string(suffix);
+}
+
+}  // namespace
+
+SkeletonIndex::SkeletonIndex(const Study& study, unsigned threads)
+    : probes_(obs::Registry::global().counter("core.skeleton_index.probes")),
+      hits_(obs::Registry::global().counter("core.skeleton_index.hits")) {
+  const obs::StageTimer stage("core.skeleton_index.build");
+  const std::span<const runtime::DomainId> ids = study.idns();
+
+  // Key computation is per-id pure work; slots keep the fold below
+  // independent of scheduling.
+  std::vector<std::string> keys(ids.size());
+  runtime::parallel_for(ids.size(), threads, [&](std::size_t i) {
+    keys[i] = key_for(study.table().str(ids[i]));
+  });
+
+  // Serial fold in idns() order: buckets appear in first-appearance order,
+  // posting lists accumulate in scan order.  Nothing below depends on
+  // unordered_map iteration order, so the result is deterministic.
+  std::unordered_map<std::string_view, std::uint32_t> by_key;
+  std::vector<std::vector<runtime::DomainId>> groups;
+  std::vector<std::uint32_t> group_order;  // index into keys[] per group
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (keys[i].empty()) {
+      ++skipped_;
+      continue;
+    }
+    ++indexed_;
+    auto [it, inserted] = by_key.emplace(
+        std::string_view(keys[i]), static_cast<std::uint32_t>(groups.size()));
+    if (inserted) {
+      groups.emplace_back();
+      group_order.push_back(static_cast<std::uint32_t>(i));
+    }
+    groups[it->second].push_back(ids[i]);
+  }
+
+  buckets_.reserve(groups.size());
+  postings_.reserve(static_cast<std::size_t>(indexed_));
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const std::string& key = keys[group_order[g]];
+    Bucket bucket;
+    bucket.key_offset = static_cast<std::uint32_t>(arena_.size());
+    bucket.key_length = static_cast<std::uint32_t>(key.size());
+    bucket.postings_begin = static_cast<std::uint32_t>(postings_.size());
+    arena_.append(key);
+    postings_.insert(postings_.end(), groups[g].begin(), groups[g].end());
+    bucket.postings_end = static_cast<std::uint32_t>(postings_.size());
+    const std::uint64_t hash = unicode::skeleton_hash(key);
+    const std::uint32_t index = static_cast<std::uint32_t>(buckets_.size());
+    auto [it, inserted] = map_.emplace(hash, index);
+    if (!inserted) {
+      // Rare 64-bit collision between distinct keys: chain behind the
+      // existing head.
+      std::uint32_t tail = it->second;
+      while (buckets_[tail].next != 0xFFFFFFFFu) {
+        tail = buckets_[tail].next;
+      }
+      buckets_[tail].next = index;
+    }
+    buckets_.push_back(bucket);
+  }
+
+  obs::Registry::global().counter("core.skeleton_index.labels_indexed")
+      .add(static_cast<std::int64_t>(indexed_));
+  obs::Registry::global().counter("core.skeleton_index.labels_skipped")
+      .add(static_cast<std::int64_t>(skipped_));
+  obs::Registry::global()
+      .gauge("core.skeleton_index.bytes")
+      .set(static_cast<std::int64_t>(bytes()));
+}
+
+std::span<const runtime::DomainId> SkeletonIndex::lookup(
+    std::string_view label_skeleton, std::string_view ace_suffix) const {
+  probes_.add(1);
+  std::string key;
+  key.reserve(label_skeleton.size() + ace_suffix.size());
+  key.append(label_skeleton);
+  key.append(ace_suffix);
+  const auto it = map_.find(unicode::skeleton_hash(key));
+  if (it == map_.end()) {
+    return {};
+  }
+  for (std::uint32_t b = it->second; b != 0xFFFFFFFFu;
+       b = buckets_[b].next) {
+    const Bucket& bucket = buckets_[b];
+    if (bucket_key(bucket) == key) {
+      hits_.add(1);
+      return std::span<const runtime::DomainId>(
+          postings_.data() + bucket.postings_begin,
+          bucket.postings_end - bucket.postings_begin);
+    }
+  }
+  return {};
+}
+
+std::size_t SkeletonIndex::bytes() const {
+  return arena_.size() + buckets_.size() * sizeof(Bucket) +
+         postings_.size() * sizeof(runtime::DomainId) +
+         map_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+}
+
+}  // namespace idnscope::core

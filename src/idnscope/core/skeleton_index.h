@@ -1,0 +1,88 @@
+// Confusable-skeleton index over a Study's registered IDN population.
+//
+// The availability sweep (Fig 7) and the homograph identical-twin path both
+// answer the same question: "which *registered* domains render like this
+// ASCII string?"  Enumerating candidates and probing the DomainTable one
+// ACE string at a time answers it, but every probe re-encodes and re-hashes
+// a full domain.  This index inverts the relationship once per Study: each
+// registered IDN is mapped to its confusable skeleton (unicode/skeleton.h)
+// keyed together with its ACE suffix, so a detector can ask for all
+// registered domains whose display form collapses to a given skeleton under
+// a given TLD and get back DomainId postings.
+//
+// Determinism contract: the index is a pure function of the Study's IDN
+// list.  Key computation runs on the deterministic executor; the fold into
+// buckets and postings is serial in idns() order, so the arena, bucket
+// order and posting order are bit-identical at any thread count
+// (tests/skeleton_test.cpp pins 1/2/8 threads against each other).
+//
+// Metrics (docs/OBSERVABILITY.md): core.skeleton_index.{labels_indexed,
+// labels_skipped,probes,hits} counters, core.skeleton_index.bytes gauge,
+// "core.skeleton_index.build" stage span.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "idnscope/obs/metrics.h"
+#include "idnscope/runtime/domain_table.h"
+
+namespace idnscope::core {
+
+class Study;
+
+class SkeletonIndex {
+ public:
+  // Builds over study.idns().  `threads` only affects wall time.
+  explicit SkeletonIndex(const Study& study, unsigned threads = 0);
+
+  SkeletonIndex(const SkeletonIndex&) = delete;
+  SkeletonIndex& operator=(const SkeletonIndex&) = delete;
+
+  // Registered IDNs whose display SLD skeletonizes to `label_skeleton`
+  // under the ACE suffix `ace_suffix` (leading dot included, e.g. ".com";
+  // kept in ACE form so iTLD zones work unchanged).  Postings are in
+  // idns() order.  Empty span on miss.
+  std::span<const runtime::DomainId> lookup(std::string_view label_skeleton,
+                                            std::string_view ace_suffix) const;
+
+  // Distinct (skeleton, suffix) keys.
+  std::size_t keys() const { return buckets_.size(); }
+  // IDNs indexed / skipped because their display form has no skeleton
+  // (codepoints outside the confusable tables — such labels can never
+  // collide with an ASCII brand, so skipping them loses nothing).
+  std::uint64_t indexed() const { return indexed_; }
+  std::uint64_t skipped() const { return skipped_; }
+  // Working-set size as pure size math (arena + buckets + postings + map),
+  // mirrored into the core.skeleton_index.bytes gauge at build time.
+  std::size_t bytes() const;
+
+ private:
+  struct Bucket {
+    std::uint32_t key_offset = 0;  // into arena_
+    std::uint32_t key_length = 0;
+    std::uint32_t postings_begin = 0;  // into postings_
+    std::uint32_t postings_end = 0;
+    std::uint32_t next = 0xFFFFFFFFu;  // hash-collision chain
+  };
+
+  std::string_view bucket_key(const Bucket& b) const {
+    return std::string_view(arena_).substr(b.key_offset, b.key_length);
+  }
+
+  std::string arena_;                // concatenated "skeleton.suffix" keys
+  std::vector<Bucket> buckets_;      // first-appearance order
+  std::vector<runtime::DomainId> postings_;  // flattened, idns() order
+  std::unordered_map<std::uint64_t, std::uint32_t> map_;  // hash -> bucket
+  std::uint64_t indexed_ = 0;
+  std::uint64_t skipped_ = 0;
+  obs::Counter probes_;
+  obs::Counter hits_;
+};
+
+}  // namespace idnscope::core

@@ -1,5 +1,6 @@
 #include "idnscope/core/study.h"
 
+#include "idnscope/core/skeleton_index.h"
 #include "idnscope/dns/zone_io.h"
 #include "idnscope/idna/punycode.h"
 #include "idnscope/obs/metrics.h"
@@ -123,8 +124,27 @@ void Study::ingest_zone(
   }
 }
 
+struct Study::SkeletonIndexState {
+  std::once_flag once;
+  std::unique_ptr<SkeletonIndex> index;
+};
+
+Study::~Study() = default;
+Study::Study(Study&&) noexcept = default;
+Study& Study::operator=(Study&&) noexcept = default;
+
+const SkeletonIndex& Study::skeleton_index() const {
+  std::call_once(skeleton_state_->once, [&] {
+    skeleton_state_->index = std::make_unique<SkeletonIndex>(*this, threads_);
+  });
+  return *skeleton_state_->index;
+}
+
 Study::Study(const ecosystem::Ecosystem& eco, const StudyOptions& options)
-    : eco_(&eco), join_budget_bytes_(options.join_budget_bytes) {
+    : eco_(&eco),
+      join_budget_bytes_(options.join_budget_bytes),
+      threads_(options.threads),
+      skeleton_state_(std::make_unique<SkeletonIndexState>()) {
   const obs::StageTimer stage("core.study.scan");
   groups_ = {TldGroup{"com"}, TldGroup{"net"}, TldGroup{"org"},
              TldGroup{"iTLD (53)"}};
@@ -141,7 +161,10 @@ Study::Study(const ecosystem::Ecosystem& eco, const StudyOptions& options)
 Study::Study(const ecosystem::Ecosystem& eco,
              std::span<const std::string> zone_files,
              const StudyOptions& options)
-    : eco_(&eco), join_budget_bytes_(options.join_budget_bytes) {
+    : eco_(&eco),
+      join_budget_bytes_(options.join_budget_bytes),
+      threads_(options.threads),
+      skeleton_state_(std::make_unique<SkeletonIndexState>()) {
   const obs::StageTimer stage("core.study.scan");
   groups_ = {TldGroup{"com"}, TldGroup{"net"}, TldGroup{"org"},
              TldGroup{"iTLD (53)"}};

@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -24,6 +26,8 @@
 #include "idnscope/runtime/domain_table.h"
 
 namespace idnscope::core {
+
+class SkeletonIndex;
 
 // One TLD group of Table I.
 struct TldGroup {
@@ -71,6 +75,14 @@ class Study {
   Study(const ecosystem::Ecosystem& eco,
         std::span<const std::string> zone_files,
         const StudyOptions& options = {});
+
+  // Out-of-line: SkeletonIndex is incomplete here.  Movable (the lazy index
+  // state is heap-boxed), not copyable.
+  ~Study();
+  Study(Study&&) noexcept;
+  Study& operator=(Study&&) noexcept;
+  Study(const Study&) = delete;
+  Study& operator=(const Study&) = delete;
 
   const ecosystem::Ecosystem& eco() const { return *eco_; }
 
@@ -121,6 +133,13 @@ class Study {
   // (StudyOptions::join_budget_bytes).
   std::size_t join_budget_bytes() const { return join_budget_bytes_; }
 
+  // Confusable-skeleton index over idns() (core/skeleton_index.h), built
+  // lazily on first use — pipelines that never touch the availability or
+  // homograph detectors pay nothing.  Built once on StudyOptions::threads
+  // workers; the result is bit-identical at any thread count, so laziness
+  // does not perturb determinism.  Thread-safe.
+  const SkeletonIndex& skeleton_index() const;
+
  private:
   // Scan one zone through `scan` (in-memory buffer or mmap'd file — both
   // feed dns::scan_zone_buffer) and fold its SLDs into the table.  When
@@ -137,6 +156,11 @@ class Study {
   std::vector<runtime::DomainId> malicious_idns_;
   std::vector<TldGroup> groups_;
   std::size_t join_budget_bytes_ = kDefaultJoinBudgetBytes;
+  unsigned threads_ = 0;
+  // Lazy skeleton-index state, heap-boxed so Study stays movable (moves
+  // happen only during construction, never while the index is building).
+  struct SkeletonIndexState;
+  mutable std::unique_ptr<SkeletonIndexState> skeleton_state_;
 };
 
 }  // namespace idnscope::core

@@ -1,6 +1,9 @@
 #include "idnscope/idna/lookalike.h"
 
+#include <unordered_set>
+
 #include "idnscope/idna/idna.h"
+#include "idnscope/unicode/skeleton.h"
 
 namespace idnscope::idna {
 
@@ -69,6 +72,41 @@ std::vector<LookalikeCandidate> single_substitution_candidates(
     }
   }
   return candidates;
+}
+
+std::vector<std::string> candidate_skeletons(std::string_view brand_domain) {
+  const auto [sld, suffix] = split_sld(brand_domain);
+  (void)suffix;  // callers pair the skeletons with the ACE suffix themselves
+  // ASCII skeletons are per-character (lowercasing), so the brand skeleton
+  // has one slot per SLD position and substitutions splice in place.
+  std::string base;
+  base.reserve(sld.size());
+  for (char c : sld) {
+    const auto form = unicode::skeleton_form(static_cast<char32_t>(
+        static_cast<unsigned char>(c)));
+    base.append(form ? *form : std::string_view(&c, 1));
+  }
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  out.push_back(base);
+  seen.insert(base);
+  for (std::size_t pos = 0; pos < sld.size(); ++pos) {
+    for (const unicode::Homoglyph* glyph : ucsimlist_pool(sld[pos])) {
+      const auto form = unicode::skeleton_form(glyph->code_point);
+      if (!form) {
+        continue;
+      }
+      std::string candidate;
+      candidate.reserve(base.size() + form->size());
+      candidate.append(base, 0, pos);
+      candidate.append(*form);
+      candidate.append(base, pos + 1, std::string::npos);
+      if (seen.insert(candidate).second) {
+        out.push_back(std::move(candidate));
+      }
+    }
+  }
+  return out;
 }
 
 std::optional<std::string> substitute(

@@ -47,4 +47,14 @@ std::optional<std::string> substitute(
     std::string_view brand_domain,
     std::span<const std::pair<std::size_t, char32_t>> substitutions);
 
+// Every confusable skeleton (unicode/skeleton.h) a single-substitution
+// candidate of `brand_domain` can have, SLD only — the brand's own skeleton
+// first, then one entry per distinct (position, pool-glyph skeleton),
+// position-major in pool order.  Probing core::SkeletonIndex with these
+// keys (plus the brand's ACE suffix) yields a superset of the *registered*
+// UC-SimList candidates: a candidate's display form skeletonizes to the
+// brand skeleton with one position replaced by its glyph's skeleton, which
+// is by construction a member of this list.
+std::vector<std::string> candidate_skeletons(std::string_view brand_domain);
+
 }  // namespace idnscope::idna

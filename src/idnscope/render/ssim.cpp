@@ -230,6 +230,13 @@ SsimReference::SsimReference(GrayImage reference, SsimOptions options)
   }
 }
 
+double SsimReference::masked_count_outside(int core_begin,
+                                           int core_end) const {
+  return mask_col_prefix_.back() -
+         (mask_col_prefix_[static_cast<std::size_t>(core_end)] -
+          mask_col_prefix_[static_cast<std::size_t>(core_begin)]);
+}
+
 double SsimReference::compare(const GrayImage& candidate, int x_begin,
                               int x_end) const {
   assert(candidate.width() == reference_.width() &&
@@ -266,10 +273,7 @@ double SsimReference::compare(const GrayImage& candidate, int x_begin,
       masked_ssim_sums(ref_slice, cand_slice, options_,
                        core_begin - crop_begin, core_end - crop_begin);
 
-  const double outside_count =
-      mask_col_prefix_.back() -
-      (mask_col_prefix_[static_cast<std::size_t>(core_end)] -
-       mask_col_prefix_[static_cast<std::size_t>(core_begin)]);
+  const double outside_count = masked_count_outside(core_begin, core_end);
   const double total_count = inside.count + outside_count;
   if (total_count <= 0.0) {
     return 1.0;

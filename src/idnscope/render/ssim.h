@@ -54,6 +54,12 @@ class SsimReference {
   const GrayImage& image() const { return reference_; }
   const SsimOptions& options() const { return options_; }
 
+  // Masked reference pixels outside image columns [core_begin, core_end) —
+  // compare()'s outside_count term.  Exposed for the substitution scorer
+  // (render/ssim_sweep.h), which must reproduce compare()'s arithmetic
+  // bit-for-bit.
+  double masked_count_outside(int core_begin, int core_end) const;
+
  private:
   GrayImage reference_;
   SsimOptions options_;

@@ -1,0 +1,630 @@
+#include "idnscope/render/ssim_sweep.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace idnscope::render {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bit-identity contract with ssim.cpp
+//
+// Everything below re-derives pieces of ssim.cpp's private machinery
+// (Gaussian kernel, separable filter, pair text-mask, effective window, the
+// local-SSIM ratio expression).  The expressions are kept token-identical to
+// ssim.cpp so both translation units round every intermediate the same way.
+// The filter loops are restructured (kernel-tap-outer, column-inner, three
+// moment fields fused per pass) for range restriction and vectorization;
+// that is bit-identical because each output element still accumulates its
+// own taps in ascending-k order with one multiply-add per tap, exactly as
+// the per-pixel reference loop does, and the three fields never mix.
+// tests/ssim_sweep_test.cpp pins the equality exhaustively.
+// ---------------------------------------------------------------------------
+
+int effective_window(const SsimOptions& options, int width, int height) {
+  int window = std::min({options.window, width, height});
+  return window % 2 == 1 ? window : window - 1;
+}
+
+std::vector<double> gaussian_kernel(int window, double sigma) {
+  const int radius = window / 2;
+  std::vector<double> kernel(static_cast<std::size_t>(window));
+  double sum = 0.0;
+  for (int i = 0; i < window; ++i) {
+    const double d = i - radius;
+    kernel[static_cast<std::size_t>(i)] =
+        std::exp(-(d * d) / (2.0 * sigma * sigma));
+    sum += kernel[static_cast<std::size_t>(i)];
+  }
+  for (double& k : kernel) {
+    k /= sum;
+  }
+  return kernel;
+}
+
+// Horizontal Gaussian pass (replicated edges) over rows [y0, y1), writing
+// output columns [x0, x1), for up to three independent planes at once.
+// Pass nullptr for unused planes.
+void hpass3(const double* in0, const double* in1, const double* in2,
+            int width, int y0, int y1, int x0, int x1,
+            const std::vector<double>& kernel, int radius, double* out0,
+            double* out1, double* out2) {
+  for (int y = y0; y < y1; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * width;
+    const double* s0 = in0 + row;
+    const double* s1 = in1 == nullptr ? nullptr : in1 + row;
+    const double* s2 = in2 == nullptr ? nullptr : in2 + row;
+    double* d0 = out0 + row;
+    double* d1 = out1 == nullptr ? nullptr : out1 + row;
+    double* d2 = out2 == nullptr ? nullptr : out2 + row;
+    std::fill(d0 + x0, d0 + x1, 0.0);
+    if (d1 != nullptr) std::fill(d1 + x0, d1 + x1, 0.0);
+    if (d2 != nullptr) std::fill(d2 + x0, d2 + x1, 0.0);
+    for (int k = -radius; k <= radius; ++k) {
+      const double kv = kernel[static_cast<std::size_t>(k + radius)];
+      // Tap column clamp(x + k, 0, width - 1) splits [x0, x1) into a
+      // left-clamped run, an unclamped run, and a right-clamped run.
+      const int lo = std::min(std::max(0, -k), width);
+      const int hi = std::max(std::min(width, width - k), lo);
+      const int a = std::min(x1, std::max(x0, lo));
+      const int b = std::max(a, std::min(x1, hi));
+      for (int x = x0; x < a; ++x) {
+        d0[x] += kv * s0[0];
+        if (d1 != nullptr) d1[x] += kv * s1[0];
+        if (d2 != nullptr) d2[x] += kv * s2[0];
+      }
+      for (int x = a; x < b; ++x) {
+        d0[x] += kv * s0[x + k];
+      }
+      if (d1 != nullptr) {
+        for (int x = a; x < b; ++x) {
+          d1[x] += kv * s1[x + k];
+        }
+      }
+      if (d2 != nullptr) {
+        for (int x = a; x < b; ++x) {
+          d2[x] += kv * s2[x + k];
+        }
+      }
+      for (int x = b; x < x1; ++x) {
+        d0[x] += kv * s0[width - 1];
+        if (d1 != nullptr) d1[x] += kv * s1[width - 1];
+        if (d2 != nullptr) d2[x] += kv * s2[width - 1];
+      }
+    }
+  }
+}
+
+// Vertical Gaussian pass (replicated edges) over output rows [y0, y1),
+// columns [x0, x1), for up to three planes.  Inputs must be full-height.
+void vpass3(const double* in0, const double* in1, const double* in2,
+            int width, int height, int y0, int y1, int x0, int x1,
+            const std::vector<double>& kernel, int radius, double* out0,
+            double* out1, double* out2) {
+  for (int y = y0; y < y1; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * width;
+    double* d0 = out0 + row;
+    double* d1 = out1 == nullptr ? nullptr : out1 + row;
+    double* d2 = out2 == nullptr ? nullptr : out2 + row;
+    std::fill(d0 + x0, d0 + x1, 0.0);
+    if (d1 != nullptr) std::fill(d1 + x0, d1 + x1, 0.0);
+    if (d2 != nullptr) std::fill(d2 + x0, d2 + x1, 0.0);
+    for (int k = -radius; k <= radius; ++k) {
+      const double kv = kernel[static_cast<std::size_t>(k + radius)];
+      const std::size_t srow =
+          static_cast<std::size_t>(std::clamp(y + k, 0, height - 1)) * width;
+      const double* s0 = in0 + srow;
+      for (int x = x0; x < x1; ++x) {
+        d0[x] += kv * s0[x];
+      }
+      if (d1 != nullptr) {
+        const double* s1 = in1 + srow;
+        for (int x = x0; x < x1; ++x) {
+          d1[x] += kv * s1[x];
+        }
+      }
+      if (d2 != nullptr) {
+        const double* s2 = in2 + srow;
+        for (int x = x0; x < x1; ++x) {
+          d2[x] += kv * s2[x];
+        }
+      }
+    }
+  }
+}
+
+// Horizontal max (OR) pass of the text mask over rows [y0, y1), columns
+// [x0, x1) — same semantics as ssim.cpp's pair_mask first pass.
+void hmax(const unsigned char* in, int width, int y0, int y1, int x0, int x1,
+          int radius, unsigned char* out) {
+  for (int y = y0; y < y1; ++y) {
+    const unsigned char* src = in + static_cast<std::size_t>(y) * width;
+    unsigned char* dst = out + static_cast<std::size_t>(y) * width;
+    for (int x = x0; x < x1; ++x) {
+      unsigned char hit = 0;
+      for (int k = -radius; k <= radius && !hit; ++k) {
+        hit = src[std::clamp(x + k, 0, width - 1)];
+      }
+      dst[x] = hit;
+    }
+  }
+}
+
+// Vertical max (OR) pass over output rows [y0, y1), columns [x0, x1).
+void vmax(const unsigned char* in, int width, int height, int y0, int y1,
+          int x0, int x1, int radius, unsigned char* out) {
+  for (int y = y0; y < y1; ++y) {
+    unsigned char* dst = out + static_cast<std::size_t>(y) * width;
+    for (int x = x0; x < x1; ++x) {
+      unsigned char hit = 0;
+      for (int k = -radius; k <= radius && !hit; ++k) {
+        const int sy = std::clamp(y + k, 0, height - 1);
+        hit = in[static_cast<std::size_t>(sy) * width + x];
+      }
+      dst[x] = hit;
+    }
+  }
+}
+
+}  // namespace
+
+int substitution_begin(std::size_t pos, const RenderOptions& options) {
+  const int base = kMargin + static_cast<int>(pos) * kCellWidth;
+  return std::max(0, base * options.scale - (options.scale + 2));
+}
+
+int substitution_end(std::size_t pos, const RenderOptions& options) {
+  const int base = kMargin + (static_cast<int>(pos) + 1) * kCellWidth;
+  return base * options.scale + options.scale + 2;
+}
+
+// Per-position working set: the reference-side crop geometry, bytes, moment
+// fields, horizontal-pass partials and mask (computed once), plus
+// candidate-side buffers that are kept equal to the reference side between
+// calls so each score() only touches the diff rectangle.
+struct SubstitutionScorer::PositionCache {
+  // Geometry, image coordinates.
+  int x_begin = 0, x_end = 0;        // substitution window
+  int core_begin = 0, core_end = 0;  // compare()'s counted columns
+  int crop_begin = 0, crop_end = 0;  // working slice
+  int ax_begin = 0, ax_end = 0;      // scaled columns the cell can touch
+  bool core_empty = false;
+  int cw = 0;  // crop width; all crop-local buffers are cw * height
+  int win = 0, radius = 0;  // effective window of the crop, and win / 2
+  double outside_count = 0.0;
+  std::vector<double> kernel;
+
+  // Reference side (immutable after construction).  tmp_a_s2 doubles as the
+  // horizontal pass of the cross term: the reference-vs-reference product
+  // plane xa*xa is bitwise xa2.
+  std::vector<std::uint8_t> ref_bytes;
+  std::vector<double> xa, xa2;          // pixel values and squares
+  std::vector<double> tmp_a_mu, tmp_a_s2;  // horizontal-pass partials
+  std::vector<double> mu_a, fa2;        // filtered mean / raw second moment
+  std::vector<std::uint8_t> ref_ink, hmask_a, ref_mask;
+  // Masked reference pixels in the core columns, rows [0, y) — exact
+  // integers, so seeding the accumulator with pref_rows[rr0] reproduces the
+  // sequential "+= 1.0" prefix bitwise.
+  std::vector<double> pref_rows;
+
+  // Candidate side, restored to the reference values after every score().
+  std::vector<double> xb, xb2, xab;
+  std::vector<double> tmp_b_mu, tmp_b_s2, tmp_b_ab;
+  std::vector<std::uint8_t> ink_b, hmask_b;
+
+  // Scratch (contents meaningless between calls).
+  std::vector<std::uint8_t> cand_bytes;  // aw * height
+  std::vector<std::uint8_t> patch_base;  // patched base-res neighbourhood
+  std::vector<int> colsum;               // separable blur partials
+  std::vector<double> mu_b, fb2, fab;
+  std::vector<std::uint8_t> vmask_buf;
+
+  // Candidate-bitmap -> score memo (see SubstitutionScorer::score).
+  std::unordered_map<std::string, double> memo;
+};
+
+SubstitutionScorer::SubstitutionScorer(std::u32string_view text,
+                                       const RenderOptions& render,
+                                       const SsimOptions& ssim)
+    : text_(text),
+      render_(render),
+      ssim_(ssim),
+      base_raster_(render_label(text, RenderOptions{1, false})),
+      reference_(render_label(text, render), ssim) {
+  positions_.resize(text_.size());
+}
+
+SubstitutionScorer::~SubstitutionScorer() = default;
+
+const SubstitutionScorer::CellEntry& SubstitutionScorer::cell_entry(
+    char32_t cp) {
+  auto it = cells_.find(cp);
+  if (it != cells_.end()) {
+    return it->second;
+  }
+  CellEntry entry;
+  const GrayImage cell = render_code_point(cp);
+  for (int y = 0; y < kCellHeight; ++y) {
+    for (int x = 0; x < kGlyphWidth; ++x) {
+      const std::uint8_t v = cell.at(kMargin + x, kMargin + y);
+      entry.pixels[static_cast<std::size_t>(y) * kGlyphWidth + x] = v;
+      if (v > 0) {
+        ++entry.profile[static_cast<std::size_t>(x)];
+      }
+    }
+  }
+  return cells_.emplace(cp, entry).first->second;
+}
+
+int SubstitutionScorer::profile_delta(std::size_t pos, char32_t cp) {
+  assert(pos < text_.size());
+  const CellEntry& cand = cell_entry(cp);
+  const CellEntry& base = cell_entry(text_[pos]);
+  int total = 0;
+  for (int x = 0; x < kGlyphWidth; ++x) {
+    total += std::abs(cand.profile[static_cast<std::size_t>(x)] -
+                      base.profile[static_cast<std::size_t>(x)]);
+  }
+  return total;
+}
+
+SubstitutionScorer::PositionCache& SubstitutionScorer::position_cache(
+    std::size_t pos) {
+  if (positions_[pos]) {
+    return *positions_[pos];
+  }
+  auto cache = std::make_unique<PositionCache>();
+  PositionCache& pc = *cache;
+  const GrayImage& ref = reference_.image();
+  const int width = ref.width();
+  const int height = ref.height();
+  const int window = effective_window(ssim_, width, height);
+
+  pc.x_begin = substitution_begin(pos, render_);
+  pc.x_end = substitution_end(pos, render_);
+  pc.core_begin = std::max(0, pc.x_begin - window);
+  pc.core_end = std::min(width, pc.x_end + window);
+  pc.crop_begin = std::max(0, pc.core_begin - window);
+  pc.crop_end = std::min(width, pc.core_end + window);
+  pc.core_empty = pc.core_begin >= pc.core_end;
+  if (pc.core_empty) {
+    positions_[pos] = std::move(cache);
+    return *positions_[pos];
+  }
+  pc.cw = pc.crop_end - pc.crop_begin;
+  pc.win = effective_window(ssim_, pc.cw, height);
+  pc.radius = pc.win / 2;
+  pc.kernel = gaussian_kernel(pc.win, ssim_.sigma);
+  pc.outside_count =
+      reference_.masked_count_outside(pc.core_begin, pc.core_end);
+
+  const int bleed = render_.smooth ? 1 : 0;
+  const int cell_x0 = kMargin + static_cast<int>(pos) * kCellWidth;
+  pc.ax_begin = std::max(0, cell_x0 * render_.scale - bleed);
+  pc.ax_end =
+      std::min(width, (cell_x0 + kGlyphWidth) * render_.scale + bleed);
+
+  const std::size_t n =
+      static_cast<std::size_t>(pc.cw) * static_cast<std::size_t>(height);
+  pc.ref_bytes.resize(n);
+  pc.xa.resize(n);
+  pc.xa2.resize(n);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < pc.cw; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * pc.cw + x;
+      pc.ref_bytes[i] = ref.at(pc.crop_begin + x, y);
+      pc.xa[i] = pc.ref_bytes[i];
+      pc.xa2[i] = pc.xa[i] * pc.xa[i];
+    }
+  }
+  pc.tmp_a_mu.resize(n);
+  pc.tmp_a_s2.resize(n);
+  pc.mu_a.resize(n);
+  pc.fa2.resize(n);
+  hpass3(pc.xa.data(), pc.xa2.data(), nullptr, pc.cw, 0, height, 0, pc.cw,
+         pc.kernel, pc.radius, pc.tmp_a_mu.data(), pc.tmp_a_s2.data(),
+         nullptr);
+  vpass3(pc.tmp_a_mu.data(), nullptr, nullptr, pc.cw, height, 0, height, 0,
+         pc.cw, pc.kernel, pc.radius, pc.mu_a.data(), nullptr, nullptr);
+  vpass3(pc.tmp_a_s2.data(), nullptr, nullptr, pc.cw, height, 0, height, 0,
+         pc.cw, pc.kernel, pc.radius, pc.fa2.data(), nullptr, nullptr);
+
+  pc.ref_ink.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pc.ref_bytes[i] >= ssim_.ink_threshold) {
+      pc.ref_ink[i] = 1;
+    }
+  }
+  pc.hmask_a.assign(n, 0);
+  pc.ref_mask.assign(n, 1);
+  if (ssim_.text_mask) {
+    hmax(pc.ref_ink.data(), pc.cw, 0, height, 0, pc.cw, pc.radius,
+         pc.hmask_a.data());
+    vmax(pc.hmask_a.data(), pc.cw, height, 0, height, 0, pc.cw, pc.radius,
+         pc.ref_mask.data());
+  }
+  pc.pref_rows.resize(static_cast<std::size_t>(height) + 1);
+  pc.pref_rows[0] = 0.0;
+  const int cb = pc.core_begin - pc.crop_begin;
+  const int ce = pc.core_end - pc.crop_begin;
+  for (int y = 0; y < height; ++y) {
+    double row_count = 0.0;
+    for (int x = cb; x < ce; ++x) {
+      if (pc.ref_mask[static_cast<std::size_t>(y) * pc.cw + x] != 0) {
+        row_count += 1.0;
+      }
+    }
+    pc.pref_rows[static_cast<std::size_t>(y) + 1] =
+        pc.pref_rows[static_cast<std::size_t>(y)] + row_count;
+  }
+
+  pc.xb = pc.xa;
+  pc.xb2 = pc.xa2;
+  pc.xab = pc.xa2;
+  pc.tmp_b_mu = pc.tmp_a_mu;
+  pc.tmp_b_s2 = pc.tmp_a_s2;
+  pc.tmp_b_ab = pc.tmp_a_s2;
+  pc.ink_b = pc.ref_ink;
+  pc.hmask_b = pc.hmask_a;
+  pc.mu_b.resize(n);
+  pc.fb2.resize(n);
+  pc.fab.resize(n);
+  pc.vmask_buf.resize(n);
+  pc.cand_bytes.resize(
+      static_cast<std::size_t>(pc.ax_end - pc.ax_begin) * height);
+  positions_[pos] = std::move(cache);
+  return *positions_[pos];
+}
+
+double SubstitutionScorer::score(std::size_t pos, char32_t cp) {
+  assert(pos < text_.size());
+  const CellEntry& cand = cell_entry(cp);
+  const CellEntry& base = cell_entry(text_[pos]);
+  if (cand.pixels == base.pixels) {
+    // The substituted render is the reference render; compare() of an image
+    // against itself is exactly 1.0 (every masked local ratio is num/num).
+    return 1.0;
+  }
+  PositionCache& pc = position_cache(pos);
+  if (pc.core_empty) {
+    return 1.0;  // compare()'s early-out
+  }
+  // Memo on the candidate's rendered cell: distinct code points frequently
+  // share one bitmap (one glyph recipe serves several scripts), and the
+  // score is a pure function of (position, bitmap), so a repeat costs a
+  // hash probe instead of the incremental SSIM.
+  const std::string key(reinterpret_cast<const char*>(cand.pixels.data()),
+                        cand.pixels.size());
+  if (const auto it = pc.memo.find(key); it != pc.memo.end()) {
+    return it->second;
+  }
+  const double result = score_uncached(pos, cand, base, pc);
+  pc.memo.emplace(key, result);
+  return result;
+}
+
+double SubstitutionScorer::score_uncached(std::size_t pos,
+                                          const CellEntry& cand,
+                                          const CellEntry& base,
+                                          PositionCache& pc) {
+  const int width = reference_.image().width();
+  const int height = reference_.image().height();
+  const int scale = render_.scale;
+  const int cell_x0 = kMargin + static_cast<int>(pos) * kCellWidth;
+
+  // 1. Diff bounding box straight from the cell bitmaps (base resolution),
+  // then mapped to scaled coordinates with the blur bleed.  The box can be
+  // slightly wider than the exact byte diff (blur edges may coincide), but
+  // overwriting with equal values is bitwise neutral, so a superset box
+  // changes nothing except the amount of recomputation.
+  int bd0 = kGlyphWidth, bd1 = 0, bdy0 = kCellHeight, bdy1 = 0;
+  for (int y = 0; y < kCellHeight; ++y) {
+    for (int x = 0; x < kGlyphWidth; ++x) {
+      if (cand.pixels[static_cast<std::size_t>(y) * kGlyphWidth + x] !=
+          base.pixels[static_cast<std::size_t>(y) * kGlyphWidth + x]) {
+        bd0 = std::min(bd0, x);
+        bd1 = std::max(bd1, x + 1);
+        bdy0 = std::min(bdy0, y);
+        bdy1 = std::max(bdy1, y + 1);
+      }
+    }
+  }
+  if (bd0 >= bd1) {
+    return 1.0;  // cells byte-equal (covered above, kept for safety)
+  }
+  const int bleed = render_.smooth ? 1 : 0;
+  const int sd0 =
+      std::max(pc.crop_begin, (cell_x0 + bd0) * scale - bleed);
+  const int sd1 = std::min(pc.crop_end, (cell_x0 + bd1) * scale + bleed);
+  const int dy0 = std::max(0, (kMargin + bdy0) * scale - bleed);
+  const int dy1 = std::min(height, (kMargin + bdy1) * scale + bleed);
+  if (sd0 >= sd1 || dy0 >= dy1) {
+    return 1.0;  // diff falls outside the crop: nothing counted can change
+  }
+  const int d0 = sd0 - pc.crop_begin;
+  const int d1 = sd1 - pc.crop_begin;
+
+  // 2. Patch-render the candidate bytes on the diff box only.  patch_base
+  // is the base-resolution neighbourhood with the cell re-rastered; the
+  // nearest-neighbour upscale plus 3x3 box blur is evaluated separably —
+  // pure integer sums, so regrouping them is exact.
+  const int pb0 = std::max(0, sd0 - bleed) / scale;
+  const int pb1 = std::min(base_raster_.width(), sd1 / scale + 1);
+  const int pbw = pb1 - pb0;
+  const int bh = base_raster_.height();
+  pc.patch_base.resize(static_cast<std::size_t>(pbw) * bh);
+  for (int by = 0; by < bh; ++by) {
+    for (int bx = pb0; bx < pb1; ++bx) {
+      std::uint8_t v;
+      if (bx >= cell_x0 && bx < cell_x0 + kGlyphWidth && by >= kMargin &&
+          by < kMargin + kCellHeight) {
+        v = cand.pixels[static_cast<std::size_t>(by - kMargin) * kGlyphWidth +
+                        (bx - cell_x0)];
+      } else {
+        v = base_raster_.at(bx, by);
+      }
+      pc.patch_base[static_cast<std::size_t>(by) * pbw + (bx - pb0)] = v;
+    }
+  }
+  const int aw = pc.ax_end - pc.ax_begin;
+  if (render_.smooth) {
+    const int cs0 = std::max(0, sd0 - 1);
+    const int cs1 = std::min(width, sd1 + 1);
+    const int csw = cs1 - cs0;
+    pc.colsum.resize(static_cast<std::size_t>(csw) *
+                     static_cast<std::size_t>(dy1 - dy0));
+    for (int u = cs0; u < cs1; ++u) {
+      const std::size_t bu = static_cast<std::size_t>(u / scale - pb0);
+      for (int y = dy0; y < dy1; ++y) {
+        const int ym = std::max(0, y - 1) / scale;
+        const int yc = y / scale;
+        const int yp = std::min(height - 1, y + 1) / scale;
+        pc.colsum[static_cast<std::size_t>(y - dy0) * csw + (u - cs0)] =
+            pc.patch_base[static_cast<std::size_t>(ym) * pbw + bu] +
+            pc.patch_base[static_cast<std::size_t>(yc) * pbw + bu] +
+            pc.patch_base[static_cast<std::size_t>(yp) * pbw + bu];
+      }
+    }
+    for (int y = dy0; y < dy1; ++y) {
+      const std::size_t crow = static_cast<std::size_t>(y - dy0) * csw;
+      for (int sx = sd0; sx < sd1; ++sx) {
+        const int um = std::max(0, sx - 1) - cs0;
+        const int uc = sx - cs0;
+        const int up = std::min(width - 1, sx + 1) - cs0;
+        pc.cand_bytes[static_cast<std::size_t>(y) * aw + (sx - pc.ax_begin)] =
+            static_cast<std::uint8_t>(
+                (pc.colsum[crow + um] + pc.colsum[crow + uc] +
+                 pc.colsum[crow + up]) /
+                9);
+      }
+    }
+  } else {
+    for (int y = dy0; y < dy1; ++y) {
+      const std::size_t brow = static_cast<std::size_t>(y / scale) * pbw;
+      for (int sx = sd0; sx < sd1; ++sx) {
+        pc.cand_bytes[static_cast<std::size_t>(y) * aw + (sx - pc.ax_begin)] =
+            pc.patch_base[brow + (sx / scale - pb0)];
+      }
+    }
+  }
+
+  // 3. Overwrite the candidate-side inputs on the diff rectangle.  Outside
+  // its rows and columns the candidate bytes equal the reference bytes, so
+  // the untouched buffers already hold bitwise the values a full evaluation
+  // would compute.
+  const int thr = ssim_.ink_threshold;
+  const int ax_off = pc.crop_begin - pc.ax_begin;
+  for (int y = dy0; y < dy1; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * pc.cw;
+    const std::size_t crow = static_cast<std::size_t>(y) * aw;
+    for (int x = d0; x < d1; ++x) {
+      const std::size_t i = row + x;
+      const std::uint8_t cbyte = pc.cand_bytes[crow + (x + ax_off)];
+      pc.xb[i] = cbyte;
+      pc.xb2[i] = pc.xb[i] * pc.xb[i];
+      pc.xab[i] = pc.xa[i] * pc.xb[i];
+      pc.ink_b[i] = (pc.ref_bytes[i] >= thr || cbyte >= thr) ? 1 : 0;
+    }
+  }
+
+  // 4. Recompute fields and mask only where they can differ.  The
+  // horizontal pass differs from the cached reference partials only on the
+  // diff rows; the vertical pass and mask dilation reach `radius` beyond.
+  const int r = pc.radius;
+  const int rc0 = std::max(0, d0 - r), rc1 = std::min(pc.cw, d1 + r);
+  const int rr0 = std::max(0, dy0 - r), rr1 = std::min(height, dy1 + r);
+  hpass3(pc.xb.data(), pc.xb2.data(), pc.xab.data(), pc.cw, dy0, dy1, rc0,
+         rc1, pc.kernel, r, pc.tmp_b_mu.data(), pc.tmp_b_s2.data(),
+         pc.tmp_b_ab.data());
+  vpass3(pc.tmp_b_mu.data(), pc.tmp_b_s2.data(), pc.tmp_b_ab.data(), pc.cw,
+         height, rr0, rr1, rc0, rc1, pc.kernel, r, pc.mu_b.data(),
+         pc.fb2.data(), pc.fab.data());
+  if (ssim_.text_mask) {
+    hmax(pc.ink_b.data(), pc.cw, dy0, dy1, rc0, rc1, r, pc.hmask_b.data());
+    vmax(pc.hmask_b.data(), pc.cw, height, rr0, rr1, rc0, rc1, r,
+         pc.vmask_buf.data());
+  }
+
+  // 5. Accumulate in masked_ssim_sums' exact order (row-major over the core
+  // columns).  Outside the recomputed rectangle the candidate fields equal
+  // the reference fields bitwise, so the local ratio is exactly num/num =
+  // 1.0 and the mask is the reference's own; the all-1.0 prefix rows are
+  // integer-exact, so they collapse to the precomputed prefix count.
+  const double c1 = (ssim_.k1 * ssim_.dynamic_range) *
+                    (ssim_.k1 * ssim_.dynamic_range);
+  const double c2 = (ssim_.k2 * ssim_.dynamic_range) *
+                    (ssim_.k2 * ssim_.dynamic_range);
+  const int cb = pc.core_begin - pc.crop_begin;
+  const int ce = pc.core_end - pc.crop_begin;
+  const int s0 = std::clamp(rc0, cb, ce);
+  const int s1 = std::clamp(rc1, s0, ce);
+  double sum = pc.pref_rows[static_cast<std::size_t>(rr0)];
+  double count = sum;
+  for (int y = rr0; y < rr1; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * pc.cw;
+    for (int x = cb; x < s0; ++x) {
+      if (ssim_.text_mask && pc.ref_mask[row + x] == 0) continue;
+      sum += 1.0;
+      count += 1.0;
+    }
+    for (int x = s0; x < s1; ++x) {
+      const std::size_t i = row + x;
+      if (ssim_.text_mask && pc.vmask_buf[i] == 0) continue;
+      const double mu_a2 = pc.mu_a[i] * pc.mu_a[i];
+      const double mu_b2 = pc.mu_b[i] * pc.mu_b[i];
+      const double mu_ab = pc.mu_a[i] * pc.mu_b[i];
+      const double var_a = pc.fa2[i] - mu_a2;
+      const double var_b = pc.fb2[i] - mu_b2;
+      const double cov = pc.fab[i] - mu_ab;
+      sum += ((2.0 * mu_ab + c1) * (2.0 * cov + c2)) /
+             ((mu_a2 + mu_b2 + c1) * (var_a + var_b + c2));
+      count += 1.0;
+    }
+    for (int x = s1; x < ce; ++x) {
+      if (ssim_.text_mask && pc.ref_mask[row + x] == 0) continue;
+      sum += 1.0;
+      count += 1.0;
+    }
+  }
+  for (int y = rr1; y < height; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * pc.cw;
+    for (int x = cb; x < ce; ++x) {
+      if (ssim_.text_mask && pc.ref_mask[row + x] == 0) continue;
+      sum += 1.0;
+      count += 1.0;
+    }
+  }
+
+  // 6. Restore the candidate-side buffers to the reference values.
+  for (int y = dy0; y < dy1; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * pc.cw;
+    for (int x = d0; x < d1; ++x) {
+      const std::size_t i = row + x;
+      pc.xb[i] = pc.xa[i];
+      pc.xb2[i] = pc.xa2[i];
+      pc.xab[i] = pc.xa2[i];
+      pc.ink_b[i] = pc.ref_ink[i];
+    }
+    const std::size_t span = static_cast<std::size_t>(rc1 - rc0);
+    std::memcpy(pc.tmp_b_mu.data() + row + rc0, pc.tmp_a_mu.data() + row + rc0,
+                span * sizeof(double));
+    std::memcpy(pc.tmp_b_s2.data() + row + rc0, pc.tmp_a_s2.data() + row + rc0,
+                span * sizeof(double));
+    std::memcpy(pc.tmp_b_ab.data() + row + rc0, pc.tmp_a_s2.data() + row + rc0,
+                span * sizeof(double));
+    std::memcpy(pc.hmask_b.data() + row + rc0, pc.hmask_a.data() + row + rc0,
+                span * sizeof(unsigned char));
+  }
+
+  const double total = count + pc.outside_count;
+  if (total <= 0.0) {
+    return 1.0;
+  }
+  return (sum + pc.outside_count) / total;
+}
+
+}  // namespace idnscope::render

@@ -1,0 +1,99 @@
+// Incremental SSIM for single-cell substitutions — the render-side engine
+// behind the skeleton-index availability sweep (docs/DETECTORS.md).
+//
+// The Fig 7 sweep scores tens of thousands of candidates per run, each
+// differing from its brand render in exactly one character cell.
+// SsimReference::compare() already restricts the evaluation to a
+// window-padded crop, but it still re-renders the whole candidate label and
+// re-filters the whole crop for every candidate.  SubstitutionScorer goes
+// further by exploiting that only one cell changes:
+//
+//   * the reference-side crop, its Gaussian-filtered moment fields and its
+//     text mask are computed once per position and cached;
+//   * the candidate's pixels are patched locally (one cell re-rastered,
+//     upscaled and blurred in place) instead of re-rendering the label;
+//   * candidate-side fields are recomputed only inside the byte-diff
+//     bounding box dilated by the Gaussian radius — everywhere else the
+//     local SSIM ratio is exactly 1.0 and the mask is the reference's own
+//     (both facts are consequences of IEEE-754 arithmetic on identical
+//     inputs, not approximations).
+//
+// score() is BIT-IDENTICAL to the render_label() + SsimReference::compare()
+// evaluation it replaces; tests/ssim_sweep_test.cpp asserts equality
+// exhaustively over every confusable glyph at every position.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "idnscope/render/renderer.h"
+#include "idnscope/render/ssim.h"
+
+namespace idnscope::render {
+
+// Scaled pixel-column window a substitution at cell `pos` can affect (cell
+// columns, nearest-neighbour upscale, then the 3x3 smoothing blur).  This
+// is the [x_begin, x_end) interval the availability sweep passes to
+// SsimReference::compare(); the scorer uses the same formulas so both
+// engines agree on the crop geometry.
+int substitution_begin(std::size_t pos, const RenderOptions& options);
+int substitution_end(std::size_t pos, const RenderOptions& options);
+
+class SubstitutionScorer {
+ public:
+  // `text` is the full reference label (for the availability sweep: brand
+  // SLD + suffix as code points).  The reference image is rendered once.
+  explicit SubstitutionScorer(std::u32string_view text,
+                              const RenderOptions& render = {},
+                              const SsimOptions& ssim = {});
+  ~SubstitutionScorer();
+
+  SubstitutionScorer(const SubstitutionScorer&) = delete;
+  SubstitutionScorer& operator=(const SubstitutionScorer&) = delete;
+
+  // SSIM of `text` with position `pos` replaced by `cp`, against the
+  // unmodified `text`.  Bit-identical to
+  //   SsimReference(render_label(text), ssim)
+  //       .compare(render_label(substituted),
+  //                substitution_begin(pos), substitution_end(pos))
+  double score(std::size_t pos, char32_t cp);
+
+  // Exact column-profile L1 distance between the substituted label and
+  // `text` — equal to profile_l1(column_profile(substituted),
+  // column_profile(text)) because cells rasterize independently.
+  int profile_delta(std::size_t pos, char32_t cp);
+
+  const SsimReference& reference() const { return reference_; }
+
+ private:
+  struct CellEntry {
+    std::array<std::uint8_t, static_cast<std::size_t>(kCellHeight) *
+                                 kGlyphWidth>
+        pixels{};  // 0 / 255, row-major
+    std::array<int, kGlyphWidth> profile{};
+  };
+  struct PositionCache;  // defined in ssim_sweep.cpp
+
+  const CellEntry& cell_entry(char32_t cp);
+  PositionCache& position_cache(std::size_t pos);
+  // The full incremental computation; score() fronts it with a memo keyed
+  // on the candidate's cell bitmap (code points rendering the same pixels
+  // have bitwise-equal scores by construction).
+  double score_uncached(std::size_t pos, const CellEntry& cand,
+                        const CellEntry& base, PositionCache& pc);
+
+  std::u32string text_;
+  RenderOptions render_;
+  SsimOptions ssim_;
+  GrayImage base_raster_;  // scale-1, unblurred rasterization of text_
+  SsimReference reference_;
+  std::unordered_map<char32_t, CellEntry> cells_;
+  std::vector<std::unique_ptr<PositionCache>> positions_;
+};
+
+}  // namespace idnscope::render

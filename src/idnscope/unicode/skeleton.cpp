@@ -1,0 +1,103 @@
+#include "idnscope/unicode/skeleton.h"
+
+#include <array>
+
+#include "idnscope/unicode/confusables.h"
+
+namespace idnscope::unicode {
+
+namespace {
+
+// Multi-code-point confusable expansions: ligatures and digraph letters
+// whose glyph reads as two or three ASCII letters.  Derived from the
+// Unicode confusables data the same way as the single-character table in
+// confusables.cpp; kept separate because the per-character table feeds the
+// renderer (one glyph recipe per entry) while these only make sense at the
+// skeleton level.
+struct Expansion {
+  char32_t code_point;
+  const char* form;
+};
+
+constexpr Expansion kExpansions[] = {
+    {0x00C6, "ae"},  // Æ LATIN CAPITAL LETTER AE
+    {0x00DF, "ss"},  // ß LATIN SMALL LETTER SHARP S
+    {0x00E6, "ae"},  // æ LATIN SMALL LETTER AE
+    {0x0132, "ij"},  // Ĳ LATIN CAPITAL LIGATURE IJ
+    {0x0133, "ij"},  // ĳ LATIN SMALL LIGATURE IJ
+    {0x0152, "oe"},  // Œ LATIN CAPITAL LIGATURE OE
+    {0x0153, "oe"},  // œ LATIN SMALL LIGATURE OE
+    {0x01C6, "dz"},  // ǆ LATIN SMALL LETTER DZ WITH CARON
+    {0x01C9, "lj"},  // ǉ LATIN SMALL LETTER LJ
+    {0x01CC, "nj"},  // ǌ LATIN SMALL LETTER NJ
+    {0x01F3, "dz"},  // ǳ LATIN SMALL LETTER DZ
+    {0x1E9E, "ss"},  // ẞ LATIN CAPITAL LETTER SHARP S
+    {0x2114, "lb"},  // ℔ L B BAR SYMBOL
+    {0x2116, "no"},  // № NUMERO SIGN
+    {0xFB00, "ff"},  // ﬀ LATIN SMALL LIGATURE FF
+    {0xFB01, "fi"},  // ﬁ LATIN SMALL LIGATURE FI
+    {0xFB02, "fl"},  // ﬂ LATIN SMALL LIGATURE FL
+    {0xFB03, "ffi"}, // ﬃ LATIN SMALL LIGATURE FFI
+    {0xFB04, "ffl"}, // ﬄ LATIN SMALL LIGATURE FFL
+    {0xFB05, "st"},  // ﬅ LATIN SMALL LIGATURE LONG S T
+    {0xFB06, "st"},  // ﬆ LATIN SMALL LIGATURE ST
+};
+
+// One-character string storage for the 128 ASCII forms, so skeleton_form
+// can hand out views without allocating.
+const std::array<char, 128>& ascii_forms() {
+  static const std::array<char, 128> forms = [] {
+    std::array<char, 128> table{};
+    for (int c = 0; c < 128; ++c) {
+      table[static_cast<std::size_t>(c)] =
+          (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a')
+                                 : static_cast<char>(c);
+    }
+    return table;
+  }();
+  return forms;
+}
+
+}  // namespace
+
+std::optional<std::string_view> skeleton_form(char32_t cp) {
+  if (cp < 0x80) {
+    return std::string_view(&ascii_forms()[static_cast<std::size_t>(cp)], 1);
+  }
+  if (const Homoglyph* entry = find_homoglyph(cp)) {
+    const unsigned char base = static_cast<unsigned char>(entry->ascii_base);
+    return std::string_view(&ascii_forms()[base], 1);
+  }
+  for (const Expansion& expansion : kExpansions) {
+    if (expansion.code_point == cp) {
+      return std::string_view(expansion.form);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> label_skeleton(std::u32string_view label) {
+  std::string skeleton;
+  skeleton.reserve(label.size());
+  for (char32_t cp : label) {
+    const auto form = skeleton_form(cp);
+    if (!form) {
+      return std::nullopt;
+    }
+    skeleton.append(*form);
+  }
+  return skeleton;
+}
+
+std::uint64_t skeleton_hash(std::string_view skeleton) noexcept {
+  // FNV-1a, 64-bit.  Chosen for stability (fixed constants, byte-order
+  // free), not for speed: skeleton strings are label-sized.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char byte : skeleton) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace idnscope::unicode

@@ -1,0 +1,46 @@
+// Confusable skeletons — the canonical-form primitive behind the skeleton
+// index (docs/DETECTORS.md).
+//
+// A *skeleton* maps every code point to the ASCII sequence it visually
+// imitates, so that two labels with equal skeletons are candidates for
+// confusion and a hash over skeletons can replace per-candidate
+// enumeration (the ShamFinder / ICU-uspoof idiom).  The mapping is:
+//
+//   * ASCII: the character itself, lowercased ("a" stays "a", "A" -> "a");
+//   * confusable-table entries (unicode/confusables.h): their ascii_base,
+//     regardless of accent or visual class ("а", "á", "ạ" all -> "a");
+//   * a small supplemental table of multi-code-point expansions for
+//     ligature/digraph confusables ("æ" -> "ae", "ß" -> "ss", ...);
+//   * anything else: no skeleton (nullopt).
+//
+// Skeletons are deterministic pure functions of the input — no locale, no
+// Unicode version drift (the tables are embedded) — so skeleton equality
+// and skeleton_hash() are stable across runs, platforms and thread counts.
+// Note the skeleton is a *candidate* signal only: the detectors never
+// trust it for visual similarity (they render and measure SSIM); its job
+// is to make "which registered labels could be confusable with this
+// brand" an O(1) hash probe (core/skeleton_index.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace idnscope::unicode {
+
+// Canonical confusable form of one code point (1-3 ASCII chars), or
+// nullopt when the code point imitates nothing we model.
+std::optional<std::string_view> skeleton_form(char32_t cp);
+
+// Skeleton of a whole label; nullopt if any code point has no skeleton
+// form.  Equal to confusables.h's ascii_skeleton() on inputs without
+// multi-code-point expansions, and defined on strictly more inputs.
+std::optional<std::string> label_skeleton(std::u32string_view label);
+
+// Stable 64-bit FNV-1a hash of a skeleton string.  This is the hash the
+// skeleton indexes key on; it is a pure function of the bytes, so index
+// layouts never depend on libstdc++'s std::hash seed.
+std::uint64_t skeleton_hash(std::string_view skeleton) noexcept;
+
+}  // namespace idnscope::unicode

@@ -98,6 +98,71 @@ TEST(Availability, ThreadCountDoesNotChangeResults) {
   }
 }
 
+TEST(Availability, SkeletonIndexMatchesEnumerationEngineExactly) {
+  // The acceptance bar for the indexed engine: the *entire* report —
+  // every per-brand row, every counter, every sample, bit-for-bit — must
+  // equal the enumeration reference engine's output.
+  AvailabilityOptions indexed;
+  indexed.use_skeleton_index = true;
+  AvailabilityOptions enumerated;
+  enumerated.use_skeleton_index = false;
+  const auto fast =
+      availability_sweep(tiny_study(), ecosystem::alexa_top(25), indexed);
+  const auto slow =
+      availability_sweep(tiny_study(), ecosystem::alexa_top(25), enumerated);
+  EXPECT_EQ(fast.total_candidates, slow.total_candidates);
+  EXPECT_EQ(fast.total_homographic, slow.total_homographic);
+  EXPECT_EQ(fast.total_registered, slow.total_registered);
+  ASSERT_EQ(fast.per_brand.size(), slow.per_brand.size());
+  for (std::size_t i = 0; i < fast.per_brand.size(); ++i) {
+    const BrandAvailability& a = fast.per_brand[i];
+    const BrandAvailability& b = slow.per_brand[i];
+    EXPECT_EQ(a.brand, b.brand);
+    EXPECT_EQ(a.alexa_rank, b.alexa_rank);
+    EXPECT_EQ(a.candidates, b.candidates) << a.brand;
+    EXPECT_EQ(a.homographic, b.homographic) << a.brand;
+    EXPECT_EQ(a.registered, b.registered) << a.brand;
+    EXPECT_EQ(a.available_samples, b.available_samples) << a.brand;
+  }
+}
+
+TEST(Availability, SkeletonIndexMatchesEnumerationForTraffic) {
+  AvailabilityOptions indexed;
+  AvailabilityOptions enumerated;
+  enumerated.use_skeleton_index = false;
+  const auto fast =
+      candidate_traffic(tiny_study(), ecosystem::alexa_top(10), indexed);
+  const auto slow =
+      candidate_traffic(tiny_study(), ecosystem::alexa_top(10), enumerated);
+  EXPECT_EQ(fast.registered_queries, slow.registered_queries);
+  EXPECT_EQ(fast.unregistered_queries, slow.unregistered_queries);
+  EXPECT_EQ(fast.unregistered_with_traffic, slow.unregistered_with_traffic);
+}
+
+TEST(Availability, ThreadRequestsAreClampedToEligibleBrands) {
+  // AvailabilityOptions::threads documents the clamp: a 64-thread request
+  // over a 3-brand sweep must behave exactly like a small pool — same
+  // rows, same numbers, no hang, no idle-worker divergence.
+  AvailabilityOptions oversubscribed;
+  oversubscribed.threads = 64;
+  AvailabilityOptions serial;
+  serial.threads = 1;
+  const auto wide =
+      availability_sweep(tiny_study(), ecosystem::alexa_top(3), oversubscribed);
+  const auto narrow =
+      availability_sweep(tiny_study(), ecosystem::alexa_top(3), serial);
+  ASSERT_EQ(wide.per_brand.size(), narrow.per_brand.size());
+  ASSERT_LE(wide.per_brand.size(), 3U);
+  for (std::size_t i = 0; i < wide.per_brand.size(); ++i) {
+    EXPECT_EQ(wide.per_brand[i].brand, narrow.per_brand[i].brand);
+    EXPECT_EQ(wide.per_brand[i].candidates, narrow.per_brand[i].candidates);
+    EXPECT_EQ(wide.per_brand[i].homographic, narrow.per_brand[i].homographic);
+    EXPECT_EQ(wide.per_brand[i].registered, narrow.per_brand[i].registered);
+    EXPECT_EQ(wide.per_brand[i].available_samples,
+              narrow.per_brand[i].available_samples);
+  }
+}
+
 TEST(Availability, TrafficSplitsByRegistration) {
   const auto traffic = candidate_traffic(tiny_study(), ecosystem::alexa_top(10));
   EXPECT_FALSE(traffic.unregistered_queries.empty());

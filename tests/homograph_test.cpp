@@ -133,6 +133,45 @@ TEST(Homograph, PrefilterMatchesExhaustiveScan) {
   EXPECT_GT(fast.prefilter_skips(), 0U);
 }
 
+TEST(Homograph, SkeletonFastPathMatchesFullScanExactly) {
+  // The identical-twin fast path may only change *effort*, never output:
+  // match-for-match equality (brand, bitwise SSIM, identical flag) against
+  // the index-off detector over the whole population.
+  HomographOptions off;
+  off.use_skeleton_index = false;
+  const HomographDetector plain(ecosystem::alexa_top(200), off);
+  const HomographDetector fast(ecosystem::alexa_top(200));
+  const auto slow_matches =
+      plain.scan(tiny_study().table(), tiny_study().idns());
+  const auto fast_matches =
+      fast.scan(tiny_study().table(), tiny_study().idns());
+  ASSERT_EQ(slow_matches.size(), fast_matches.size());
+  for (std::size_t i = 0; i < slow_matches.size(); ++i) {
+    EXPECT_EQ(slow_matches[i].domain, fast_matches[i].domain);
+    EXPECT_EQ(slow_matches[i].brand, fast_matches[i].brand);
+    EXPECT_EQ(slow_matches[i].ssim, fast_matches[i].ssim)
+        << slow_matches[i].domain;
+    EXPECT_EQ(slow_matches[i].identical, fast_matches[i].identical);
+  }
+  EXPECT_GT(fast.skeleton_hits(), 0U);
+}
+
+TEST(Homograph, DistinctAsciiGlyphsRenderDistinctCells) {
+  // The fast path's argmax argument: a byte-identical render of brand B is
+  // the unique SSIM maximum only if no two ASCII characters share a glyph.
+  const std::string alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-";
+  std::vector<render::GrayImage> cells;
+  for (char c : alphabet) {
+    cells.push_back(render::render_code_point(static_cast<char32_t>(c)));
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      EXPECT_NE(cells[i].pixels(), cells[j].pixels())
+          << alphabet[i] << " vs " << alphabet[j];
+    }
+  }
+}
+
 TEST(Homograph, ThresholdIsRespected) {
   HomographOptions strict;
   strict.threshold = 0.999;

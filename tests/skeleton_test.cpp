@@ -1,0 +1,195 @@
+// Confusable skeletons (unicode/skeleton.h) and the per-Study skeleton
+// index (core/skeleton_index.h): edge cases, lookup correctness, and the
+// build-determinism contract at 1/2/8 threads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "idnscope/core/skeleton_index.h"
+#include "idnscope/core/study.h"
+#include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/idna/lookalike.h"
+#include "idnscope/unicode/skeleton.h"
+
+namespace idnscope {
+namespace {
+
+TEST(Skeleton, AsciiIsItsOwnSkeletonLowercased) {
+  for (char32_t cp = U'a'; cp <= U'z'; ++cp) {
+    const auto form = unicode::skeleton_form(cp);
+    ASSERT_TRUE(form.has_value());
+    EXPECT_EQ(*form, std::string(1, static_cast<char>(cp)));
+  }
+  for (char32_t cp = U'0'; cp <= U'9'; ++cp) {
+    const auto form = unicode::skeleton_form(cp);
+    ASSERT_TRUE(form.has_value());
+    EXPECT_EQ(*form, std::string(1, static_cast<char>(cp)));
+  }
+  EXPECT_EQ(unicode::skeleton_form(U'-').value(), "-");
+  EXPECT_EQ(unicode::skeleton_form(U'A').value(), "a");
+  EXPECT_EQ(unicode::skeleton_form(U'Z').value(), "z");
+}
+
+TEST(Skeleton, ConfusablesCollapseToTheirAsciiBase) {
+  EXPECT_EQ(unicode::skeleton_form(U'а').value(), "a");  // Cyrillic а
+  EXPECT_EQ(unicode::skeleton_form(U'à').value(), "a");  // accented a
+  EXPECT_EQ(unicode::skeleton_form(U'ο').value(), "o");  // Greek omicron
+}
+
+TEST(Skeleton, MultiCodePointExpansions) {
+  EXPECT_EQ(unicode::skeleton_form(U'ß').value(), "ss");
+  EXPECT_EQ(unicode::skeleton_form(U'æ').value(), "ae");
+  EXPECT_EQ(unicode::skeleton_form(U'œ').value(), "oe");
+  EXPECT_EQ(unicode::skeleton_form(static_cast<char32_t>(0xFB03)).value(),
+            "ffi");
+}
+
+TEST(Skeleton, UnmodeledCodePointsHaveNoSkeleton) {
+  EXPECT_FALSE(unicode::skeleton_form(U'中').has_value());
+  EXPECT_FALSE(unicode::skeleton_form(static_cast<char32_t>(0x1F600))
+                   .has_value());  // emoji
+}
+
+TEST(Skeleton, LabelSkeletonMixedScript) {
+  // g<Cyrillic о><Cyrillic о>gle -> google; expansions stretch the label.
+  EXPECT_EQ(unicode::label_skeleton(U"gооgle").value(), "google");
+  EXPECT_EQ(unicode::label_skeleton(U"straße").value(), "strasse");
+  // One unmodeled code point poisons the whole label.
+  EXPECT_FALSE(unicode::label_skeleton(U"goog中e").has_value());
+  EXPECT_EQ(unicode::label_skeleton(U"").value(), "");
+}
+
+TEST(Skeleton, HashIsStableAndSeedFree) {
+  // FNV-1a with fixed constants: the empty string hashes to the offset
+  // basis on every platform, which is what makes index layouts portable.
+  EXPECT_EQ(unicode::skeleton_hash(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(unicode::skeleton_hash("google.com"),
+            unicode::skeleton_hash("google.com"));
+  EXPECT_NE(unicode::skeleton_hash("google.com"),
+            unicode::skeleton_hash("googie.com"));
+}
+
+TEST(Skeleton, CandidateSkeletonsEnumerateThePool) {
+  const auto skeletons = idna::candidate_skeletons("apple.com");
+  ASSERT_FALSE(skeletons.empty());
+  // Brand skeleton first, entries distinct.
+  EXPECT_EQ(skeletons.front(), "apple");
+  for (std::size_t i = 0; i < skeletons.size(); ++i) {
+    EXPECT_EQ(skeletons[i].size(), 5U) << skeletons[i];
+    for (std::size_t j = i + 1; j < skeletons.size(); ++j) {
+      EXPECT_NE(skeletons[i], skeletons[j]);
+    }
+  }
+  // Single substitutions by pixel-identical twins keep the brand skeleton;
+  // expansions or related-letter pools may alter one position.
+  for (const std::string& skeleton : skeletons) {
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      diff += skeleton[i] != "apple"[i] ? 1 : 0;
+    }
+    EXPECT_LE(diff, 1U) << skeleton;
+  }
+}
+
+const ecosystem::Ecosystem& tiny_eco() {
+  static const ecosystem::Ecosystem eco =
+      ecosystem::generate(ecosystem::Scenario::tiny());
+  return eco;
+}
+
+const core::Study& tiny_study() {
+  static const core::Study study(tiny_eco());
+  return study;
+}
+
+// The test-side mirror of the index's key function.
+std::string expected_key(std::string_view ace_domain) {
+  const std::size_t dot = ace_domain.find('.');
+  const auto display = idna::label_to_unicode(ace_domain.substr(0, dot));
+  if (!display.ok()) {
+    return {};
+  }
+  const auto skeleton = unicode::label_skeleton(display.value());
+  if (!skeleton) {
+    return {};
+  }
+  return *skeleton + std::string(ace_domain.substr(dot));
+}
+
+TEST(SkeletonIndex, EveryIndexedIdnIsFindableUnderItsOwnKey) {
+  const core::SkeletonIndex index(tiny_study(), 1);
+  std::uint64_t indexed = 0;
+  std::uint64_t skipped = 0;
+  for (const runtime::DomainId id : tiny_study().idns()) {
+    const std::string domain(tiny_study().domain(id));
+    const std::string key = expected_key(domain);
+    if (key.empty()) {
+      ++skipped;
+      continue;
+    }
+    ++indexed;
+    const std::size_t dot = key.find('.');
+    const auto postings =
+        index.lookup(key.substr(0, dot), key.substr(dot));
+    bool found = false;
+    for (const runtime::DomainId posted : postings) {
+      found = found || posted == id;
+    }
+    EXPECT_TRUE(found) << domain;
+  }
+  EXPECT_EQ(index.indexed(), indexed);
+  EXPECT_EQ(index.skipped(), skipped);
+  EXPECT_GT(index.indexed(), 0U);
+  EXPECT_GT(index.keys(), 0U);
+  EXPECT_GT(index.bytes(), 0U);
+}
+
+TEST(SkeletonIndex, MissesReturnEmpty) {
+  const core::SkeletonIndex index(tiny_study(), 1);
+  EXPECT_TRUE(index.lookup("no-such-skeleton-xyzzy", ".com").empty());
+  EXPECT_TRUE(index.lookup("google", ".nosuchtld").empty());
+}
+
+TEST(SkeletonIndex, BuildIsBitIdenticalAcrossThreadCounts) {
+  const core::SkeletonIndex one(tiny_study(), 1);
+  const core::SkeletonIndex two(tiny_study(), 2);
+  const core::SkeletonIndex eight(tiny_study(), 8);
+  EXPECT_EQ(one.keys(), two.keys());
+  EXPECT_EQ(one.keys(), eight.keys());
+  EXPECT_EQ(one.indexed(), two.indexed());
+  EXPECT_EQ(one.indexed(), eight.indexed());
+  EXPECT_EQ(one.skipped(), two.skipped());
+  EXPECT_EQ(one.skipped(), eight.skipped());
+  EXPECT_EQ(one.bytes(), two.bytes());
+  EXPECT_EQ(one.bytes(), eight.bytes());
+  // Posting lists must agree element-for-element (same DomainIds in the
+  // same idns() order) for every key in the population.
+  for (const runtime::DomainId id : tiny_study().idns()) {
+    const std::string key = expected_key(std::string(tiny_study().domain(id)));
+    if (key.empty()) {
+      continue;
+    }
+    const std::size_t dot = key.find('.');
+    const auto a = one.lookup(key.substr(0, dot), key.substr(dot));
+    const auto b = two.lookup(key.substr(0, dot), key.substr(dot));
+    const auto c = eight.lookup(key.substr(0, dot), key.substr(dot));
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.size(), c.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]);
+      EXPECT_EQ(a[i], c[i]);
+    }
+  }
+}
+
+TEST(SkeletonIndex, StudyAccessorBuildsOnceAndIsStable) {
+  const core::SkeletonIndex& first = tiny_study().skeleton_index();
+  const core::SkeletonIndex& second = tiny_study().skeleton_index();
+  EXPECT_EQ(&first, &second);
+  EXPECT_GT(first.keys(), 0U);
+}
+
+}  // namespace
+}  // namespace idnscope

@@ -1,0 +1,131 @@
+// SubstitutionScorer: the incremental SSIM engine behind the availability
+// sweep must be *bit-identical* to the reference path (render_label +
+// SsimReference::compare) for every single-substitution candidate.  The
+// sweep's correctness argument rests entirely on this exactness (see
+// docs/DETECTORS.md), so the cross-check is exhaustive over the full
+// homoglyph table, not sampled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "idnscope/render/renderer.h"
+#include "idnscope/render/ssim.h"
+#include "idnscope/render/ssim_sweep.h"
+#include "idnscope/unicode/confusables.h"
+
+namespace idnscope::render {
+namespace {
+
+std::u32string to_u32(std::string_view ascii) {
+  std::u32string out;
+  for (unsigned char c : ascii) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+// memcmp, not ==, so -0.0 vs 0.0 or NaN payloads would also be caught.
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void check_brand_exhaustively(std::string_view brand) {
+  const std::u32string brand_u32 = to_u32(brand);
+  const RenderOptions ropt;
+  const SsimOptions sopt;
+  const SsimReference ref(render_label(brand_u32, ropt), sopt);
+  SubstitutionScorer scorer(brand_u32, ropt, sopt);
+  const std::vector<int> brand_profile = column_profile(brand_u32);
+
+  const std::size_t sld_len = brand.find('.');
+  std::size_t checked = 0;
+  for (std::size_t pos = 0; pos < sld_len; ++pos) {
+    for (const unicode::Homoglyph& glyph : unicode::all_homoglyphs()) {
+      std::u32string display = brand_u32;
+      display[pos] = glyph.code_point;
+      const GrayImage image = render_label(display, ropt);
+      const double expect = ref.compare(image, substitution_begin(pos, ropt),
+                                        substitution_end(pos, ropt));
+      const double got = scorer.score(pos, glyph.code_point);
+      ASSERT_TRUE(bits_equal(expect, got))
+          << brand << " pos=" << pos << " cp=U+" << std::hex
+          << static_cast<std::uint32_t>(glyph.code_point) << std::dec
+          << " expect=" << expect << " got=" << got;
+
+      const std::vector<int> profile = column_profile(display);
+      int l1 = 0;
+      for (std::size_t i = 0; i < profile.size(); ++i) {
+        l1 += std::abs(profile[i] - brand_profile[i]);
+      }
+      EXPECT_EQ(l1, scorer.profile_delta(pos, glyph.code_point))
+          << brand << " pos=" << pos;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0U);
+}
+
+TEST(SsimSweep, BitIdenticalToReferenceGoogle) {
+  check_brand_exhaustively("google.com");
+}
+
+TEST(SsimSweep, BitIdenticalToReferenceWikipedia) {
+  check_brand_exhaustively("wikipedia.org");
+}
+
+TEST(SsimSweep, BitIdenticalToReferenceShortAndPunctuated) {
+  check_brand_exhaustively("qq.com");
+  check_brand_exhaustively("a-1z.net");
+}
+
+TEST(SsimSweep, SubstitutionWindowCoversTheCell) {
+  // The window formulas are the contract between the sweep and both
+  // engines: scores computed on [begin, end) must equal the full-image
+  // comparison because cells render strictly locally.
+  const RenderOptions ropt;
+  const std::u32string brand = to_u32("payment.com");
+  const SsimReference ref(render_label(brand, ropt), SsimOptions{});
+  std::u32string display = brand;
+  display[2] = U'ý';  // y with acute
+  const GrayImage image = render_label(display, ropt);
+  const double windowed = ref.compare(image, substitution_begin(2, ropt),
+                                      substitution_end(2, ropt));
+  const double full = ref.compare(image, 0, image.width());
+  EXPECT_TRUE(bits_equal(windowed, full));
+}
+
+TEST(SsimSweep, IdenticalTwinScoresExactlyOne) {
+  const std::u32string brand = to_u32("apple.com");
+  SubstitutionScorer scorer(brand, RenderOptions{}, SsimOptions{});
+  // Cyrillic а is a pixel-identical twin of 'a' in this font.
+  EXPECT_EQ(scorer.score(0, U'а'), 1.0);
+}
+
+TEST(SsimSweep, RepeatedCallsDoNotDrift) {
+  // score() restores every scratch buffer after each call; interleaving
+  // positions and glyphs must not change any result.
+  const std::u32string brand = to_u32("amazon.com");
+  const RenderOptions ropt;
+  const SsimOptions sopt;
+  SubstitutionScorer scorer(brand, ropt, sopt);
+  const char32_t glyphs[] = {U'à', U'а', U'ο', U'ñ'};
+  std::vector<double> first;
+  for (std::size_t pos = 0; pos < 6; ++pos) {
+    for (char32_t cp : glyphs) {
+      first.push_back(scorer.score(pos, cp));
+    }
+  }
+  std::size_t i = 0;
+  for (std::size_t pos = 0; pos < 6; ++pos) {
+    for (char32_t cp : glyphs) {
+      EXPECT_TRUE(bits_equal(first[i++], scorer.score(pos, cp)))
+          << "pos=" << pos;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idnscope::render

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Verify that relative markdown links in the repo's documentation resolve
+# to files that exist.  Scans the top-level *.md files plus docs/; ignores
+# absolute URLs (http/https/mailto) and intra-page #fragments.  Prints one
+# line per broken link and exits 1 if any were found.
+#
+# Usage: tools/check_doc_links.sh [repo-root]
+set -eu
+
+root=${1:-$(dirname "$0")/..}
+cd "$root"
+
+broken=$(
+  for doc in ./*.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Markdown inline links: the (target) of [text](target).
+    grep -oE '\]\([^)]+\)' "$doc" 2>/dev/null | sed -e 's/^](//' -e 's/)$//' |
+    while IFS= read -r target; do
+      case $target in
+        http://*|https://*|mailto:*) continue ;;
+        '#'*) continue ;;
+      esac
+      path=${target%%#*}      # drop any fragment
+      [ -n "$path" ] || continue
+      [ -e "$dir/$path" ] || echo "broken link: $doc -> $target"
+    done
+  done
+  # The docs the detector and design text point at must keep existing
+  # under their committed names — a rename must update every referrer.
+  for required in docs/DETECTORS.md docs/OBSERVABILITY.md DESIGN.md \
+                  EXPERIMENTS.md README.md; do
+    [ -f "$required" ] || echo "missing required doc: $required"
+  done
+)
+
+if [ -n "$broken" ]; then
+  printf '%s\n' "$broken"
+  exit 1
+fi
+echo "doc links OK"
