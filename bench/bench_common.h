@@ -46,30 +46,53 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+// Provenance sampling knob (obs/provenance.h): IDNSCOPE_PROV=off|full,
+// anything else (including unset) is the flagged_only default.
+inline obs::ProvenanceMode bench_provenance_mode() {
+  if (const char* env = std::getenv("IDNSCOPE_PROV"); env != nullptr) {
+    const std::string_view value(env);
+    if (value == "off") {
+      return obs::ProvenanceMode::kOff;
+    }
+    if (value == "full") {
+      return obs::ProvenanceMode::kFull;
+    }
+  }
+  return obs::ProvenanceMode::kFlaggedOnly;
+}
+
 // Machine-readable timing record. Written to stderr (stdout stays
 // byte-identical across thread counts — it carries only study results) and
 // mirrored to BENCH_<name>.json in $IDNSCOPE_OBS_DIR (created if missing;
 // working directory otherwise) for harnesses.  Also dumps the
 // metrics-registry snapshot (METRICS_<name>.json, stderr
-// METRICS_JSON/TRACE_JSON lines) and the Chrome trace-event timeline
-// (TRACE_<name>.json, loadable in Perfetto); CI diffs the snapshot across
-// thread counts to enforce the determinism contract and gates
-// METRICS/BENCH pairs against bench/baselines/ via `obsctl gate`
-// (docs/OBSERVABILITY.md).
+// METRICS_JSON/TRACE_JSON lines), the Chrome trace-event timeline
+// (TRACE_<name>.json, loadable in Perfetto) and the provenance ledger
+// (PROV_<name>.jsonl); CI diffs the snapshot and the ledger across thread
+// counts to enforce the determinism contract and gates METRICS/BENCH pairs
+// against bench/baselines/ via `obsctl gate` (docs/OBSERVABILITY.md).
+// Output files are overwritten on rerun, so every header carries the
+// generated_by workload stamp — threads rides on the BENCH line only (it
+// is an execution fact, and BENCH is the one non-deterministic artifact).
 inline void emit_bench_json(const char* name, double wall_ms,
                             unsigned threads) {
   const unsigned resolved =
       threads != 0 ? threads
                    : runtime::resolve_threads(0, runtime::kMaxThreads);
-  char line[256];
-  std::snprintf(line, sizeof(line),
-                "{\"bench\":\"%s\",\"wall_ms\":%.3f,\"threads\":%u}", name,
+  obs::GeneratedBy stamp = obs::noted_workload();
+  stamp.bench = name;
+  obs::note_workload(stamp);  // METRICS/PROV headers pick the name up too
+  char timing[128];
+  std::snprintf(timing, sizeof(timing), "\"wall_ms\":%.3f,\"threads\":%u",
                 wall_ms, resolved);
-  std::fprintf(stderr, "BENCH_JSON %s\n", line);
+  const std::string line = "{\"bench\":\"" + std::string(name) + "\"," +
+                           timing + ",\"generated_by\":" +
+                           obs::generated_by_json(stamp) + "}";
+  std::fprintf(stderr, "BENCH_JSON %s\n", line.c_str());
   const std::string path =
       obs::output_path(std::string("BENCH_") + name + ".json");
   if (std::FILE* out = std::fopen(path.c_str(), "w"); out != nullptr) {
-    std::fprintf(out, "%s\n", line);
+    std::fprintf(out, "%s\n", line.c_str());
     std::fclose(out);
   }
   obs::emit_metrics(name);
@@ -93,7 +116,18 @@ struct World {
 
   explicit World(const ecosystem::Scenario& scenario)
       : eco(ecosystem::generate(scenario)),
-        study(eco, core::StudyOptions{bench_threads()}) {}
+        study(eco, [] {
+          core::StudyOptions options;
+          options.threads = bench_threads();
+          options.provenance.mode = bench_provenance_mode();
+          return options;
+        }()) {
+    // Workload stamp for the generated_by headers; emit_bench_json fills
+    // in the bench name when it fires.
+    obs::note_workload(obs::GeneratedBy{"", scenario.seed,
+                                        scenario.bulk_scale,
+                                        scenario.abuse_scale});
+  }
 };
 
 inline World make_world() { return World(bench_scenario()); }

@@ -41,18 +41,22 @@ void emit_bench_json_with_rss(const char* name, double wall_ms,
   const unsigned resolved =
       threads != 0 ? threads
                    : runtime::resolve_threads(0, runtime::kMaxThreads);
-  char line[256];
-  std::snprintf(
-      line, sizeof(line),
-      "{\"bench\":\"%s\",\"wall_ms\":%.3f,\"threads\":%u,"
-      "\"peak_rss_kb\":%llu}",
-      name, wall_ms, resolved,
-      static_cast<unsigned long long>(obs::peak_rss_kb()));
-  std::fprintf(stderr, "BENCH_JSON %s\n", line);
+  obs::GeneratedBy stamp = obs::noted_workload();
+  stamp.bench = name;
+  obs::note_workload(stamp);
+  char timing[160];
+  std::snprintf(timing, sizeof(timing),
+                "\"wall_ms\":%.3f,\"threads\":%u,\"peak_rss_kb\":%llu",
+                wall_ms, resolved,
+                static_cast<unsigned long long>(obs::peak_rss_kb()));
+  const std::string line = "{\"bench\":\"" + std::string(name) + "\"," +
+                           timing + ",\"generated_by\":" +
+                           obs::generated_by_json(stamp) + "}";
+  std::fprintf(stderr, "BENCH_JSON %s\n", line.c_str());
   const std::string path =
       obs::output_path(std::string("BENCH_") + name + ".json");
   if (std::FILE* out = std::fopen(path.c_str(), "w"); out != nullptr) {
-    std::fprintf(out, "%s\n", line);
+    std::fprintf(out, "%s\n", line.c_str());
     std::fclose(out);
   }
   obs::emit_metrics(name);
@@ -127,9 +131,12 @@ int main() {
   // (scenario, join_budget), then stream the files into a Study and run
   // every StreamJoin consumer.
   obs::Registry::global().reset();
+  obs::note_workload(obs::GeneratedBy{"", scenario.seed, scenario.bulk_scale,
+                                      scenario.abuse_scale});
   core::StudyOptions options;
   options.threads = bench::bench_threads();
   options.join_budget_bytes = join_budget;
+  options.provenance.mode = bench::bench_provenance_mode();
   const bench::Stopwatch stopwatch;
   const core::Study study(eco, zone_files, options);
   const double ingest_ms = stopwatch.elapsed_ms();

@@ -7,6 +7,7 @@
 #include "idnscope/core/skeleton_index.h"
 #include "idnscope/idna/lookalike.h"
 #include "idnscope/obs/metrics.h"
+#include "idnscope/obs/provenance.h"
 #include "idnscope/obs/trace.h"
 #include "idnscope/render/ssim_sweep.h"
 #include "idnscope/runtime/parallel.h"
@@ -163,6 +164,37 @@ class BrandSweep {
   std::u32string display_;  // current candidate's display form
 };
 
+// Provenance emission for the shared per-candidate decision sites in
+// sweep_brand()/candidate_traffic().  Both engines run the identical
+// sites, so records are engine-invariant like the effort counters above.
+// Registration state is part of the rule ("ssim_sweep_registered" vs
+// "ssim_sweep_available") because it is the verdict dimension delta runs
+// track; full mode adds "prefilter_skip"/"below_threshold" negatives.
+// The candidate is looked up in the study table only when a record is
+// actually built, so flagged_only runs pay one find() per homograph, not
+// per candidate.
+void emit_sweep_record(const ecosystem::Brand& brand, const Study& study,
+                       const idna::LookalikeCandidate& candidate,
+                       std::string_view rule, double score, bool flagged) {
+  obs::Ledger& ledger = obs::Ledger::global();
+  if (!ledger.enabled(flagged)) {
+    return;
+  }
+  obs::ProvenanceRecord record;
+  record.domain = candidate.ace_domain;
+  const runtime::DomainId id = study.table().find(candidate.ace_domain);
+  record.domain_id =
+      id == runtime::kInvalidDomainId ? -1 : static_cast<std::int64_t>(id);
+  record.detector = obs::ProvDetector::kAvailability;
+  record.rule = std::string(rule);
+  record.brand = brand.domain;
+  record.score_micros = obs::to_micros(score);
+  record.nonascii = 1;  // UC-SimList candidates substitute exactly one glyph
+  record.suffix = obs::ace_suffix(brand.domain);
+  record.flagged = flagged;
+  ledger.append(std::move(record));
+}
+
 // Measure one brand's candidate space.
 BrandAvailability sweep_brand(const ecosystem::Brand& brand,
                               const Study& study,
@@ -181,18 +213,29 @@ BrandAvailability sweep_brand(const ecosystem::Brand& brand,
     if (options.profile_budget > 0 &&
         sweep.profile_distance(candidate) > options.profile_budget) {
       metrics.prefilter_skips.add(1);
+      emit_sweep_record(brand, study, candidate, "prefilter_skip", 0.0,
+                        false);
       continue;  // cannot reach the SSIM threshold (bound tested)
     }
     metrics.ssim_evaluations.add(1);
-    if (sweep.ssim_score(candidate) < options.threshold) {
+    const double score = sweep.ssim_score(candidate);
+    if (score < options.threshold) {
+      emit_sweep_record(brand, study, candidate, "below_threshold", score,
+                        false);
       continue;
     }
     ++row.homographic;
     metrics.homographic.add(1);
     if (sweep.is_registered(candidate)) {
       ++row.registered;
-    } else if (row.available_samples.size() < 3) {
-      row.available_samples.push_back(candidate.ace_domain);
+      emit_sweep_record(brand, study, candidate, "ssim_sweep_registered",
+                        score, true);
+    } else {
+      emit_sweep_record(brand, study, candidate, "ssim_sweep_available",
+                        score, true);
+      if (row.available_samples.size() < 3) {
+        row.available_samples.push_back(candidate.ace_domain);
+      }
     }
   }
   return row;
@@ -248,10 +291,15 @@ CandidateTraffic candidate_traffic(const Study& study,
       if (options.profile_budget > 0 &&
           sweep.profile_distance(candidate) > options.profile_budget) {
         metrics.prefilter_skips.add(1);
+        emit_sweep_record(brand, study, candidate, "prefilter_skip", 0.0,
+                          false);
         continue;
       }
       metrics.ssim_evaluations.add(1);
-      if (sweep.ssim_score(candidate) < options.threshold) {
+      const double score = sweep.ssim_score(candidate);
+      if (score < options.threshold) {
+        emit_sweep_record(brand, study, candidate, "below_threshold", score,
+                          false);
         continue;
       }
       metrics.homographic.add(1);
@@ -260,8 +308,12 @@ CandidateTraffic candidate_traffic(const Study& study,
           aggregate == nullptr ? 0.0
                                : static_cast<double>(aggregate->query_count);
       if (sweep.is_registered(candidate)) {
+        emit_sweep_record(brand, study, candidate, "ssim_sweep_registered",
+                          score, true);
         traffic.registered_queries.push_back(queries);
       } else {
+        emit_sweep_record(brand, study, candidate, "ssim_sweep_available",
+                          score, true);
         traffic.unregistered_queries.push_back(queries);
         if (queries > 0.0) {
           ++traffic.unregistered_with_traffic;

@@ -2,6 +2,7 @@
 
 #include "idnscope/idna/idna.h"
 #include "idnscope/obs/metrics.h"
+#include "idnscope/obs/provenance.h"
 #include "idnscope/obs/trace.h"
 #include "idnscope/runtime/parallel.h"
 #include "idnscope/stats/table.h"
@@ -33,6 +34,48 @@ GateMetrics& gate_metrics() {
   return metrics;
 }
 
+// check() consumes raw registrant input (label_utf8 may be invalid UTF-8),
+// so its provenance subject must be forced into the record alphabet before
+// serialization: '"', '\\' and control bytes become '?'.  The detectors
+// below never need this — they only see validated ACE domains.
+std::string sanitize_for_record(std::string_view raw) {
+  std::string out(raw);
+  for (char& c : out) {
+    const unsigned char byte = static_cast<unsigned char>(c);
+    if (byte < 0x20 || c == '"' || c == '\\') {
+      c = '?';
+    }
+  }
+  return out;
+}
+
+// Provenance emission for the gate's decision sites.  check() rules:
+// "gate_reject_{invalid,visual,semantic}" (+ "gate_accept" in full mode);
+// audit() rules: "audit_reject_{visual,semantic}" (+ "audit_accept").
+// Audit records carry no facets of their own — the underlying homograph /
+// semantic records emitted by the same call provide them on the same
+// subject, forming one evidence chain.
+void emit_gate_record(std::string_view domain, std::string_view rule,
+                      std::string_view brand, double score,
+                      std::uint32_t nonascii, std::string_view suffix,
+                      bool flagged) {
+  obs::Ledger& ledger = obs::Ledger::global();
+  if (!ledger.enabled(flagged)) {
+    return;
+  }
+  obs::ProvenanceRecord record;
+  record.domain = std::string(domain);
+  record.domain_id = obs::current_subject_id();
+  record.detector = obs::ProvDetector::kBrandProtection;
+  record.rule = std::string(rule);
+  record.brand = std::string(brand);
+  record.score_micros = obs::to_micros(score);
+  record.nonascii = nonascii;
+  record.suffix = std::string(suffix);
+  record.flagged = flagged;
+  ledger.append(std::move(record));
+}
+
 }  // namespace
 
 std::string_view verdict_name(RegistrationVerdict verdict) {
@@ -61,17 +104,26 @@ RegistrationDecision BrandProtectionGate::check(
     std::string_view registrant_email) const {
   GateMetrics& metrics = gate_metrics();
   metrics.checks.add(1);
+  const std::string suffix = "." + std::string(tld);
   RegistrationDecision decision;
   auto decoded = unicode::decode(label_utf8);
   if (!decoded.ok()) {
     metrics.rejected_invalid.add(1);
+    emit_gate_record(sanitize_for_record(label_utf8) + suffix,
+                     "gate_reject_invalid", "", 0.0, 0, suffix, true);
     decision.verdict = RegistrationVerdict::kRejectInvalid;
     decision.detail = "label is not valid UTF-8";
     return decision;
   }
+  std::uint32_t nonascii = 0;
+  for (const char32_t cp : decoded.value()) {
+    nonascii += cp >= 0x80 ? 1 : 0;
+  }
   auto ace = idna::label_to_ascii(decoded.value());
   if (!ace.ok()) {
     metrics.rejected_invalid.add(1);
+    emit_gate_record(sanitize_for_record(label_utf8) + suffix,
+                     "gate_reject_invalid", "", 0.0, nonascii, suffix, true);
     decision.verdict = RegistrationVerdict::kRejectInvalid;
     decision.detail = "label fails IDNA validation: " + ace.error().message;
     return decision;
@@ -86,6 +138,8 @@ RegistrationDecision BrandProtectionGate::check(
   if (auto match = homograph_.best_match(domain)) {
     if (!owner_allowed(match->brand)) {
       metrics.rejected_visual.add(1);
+      emit_gate_record(domain, "gate_reject_visual", match->brand,
+                       match->ssim, nonascii, suffix, true);
       decision.verdict = RegistrationVerdict::kRejectVisual;
       decision.matched_brand = match->brand;
       decision.ssim = match->ssim;
@@ -97,6 +151,8 @@ RegistrationDecision BrandProtectionGate::check(
   if (auto match = semantic_.match(domain)) {
     if (!owner_allowed(match->brand)) {
       metrics.rejected_semantic.add(1);
+      emit_gate_record(domain, "gate_reject_semantic", match->brand, 1.0,
+                       nonascii, suffix, true);
       decision.verdict = RegistrationVerdict::kRejectSemantic;
       decision.matched_brand = match->brand;
       decision.detail = "composes brand '" + match->brand + "' with keyword '" +
@@ -104,6 +160,7 @@ RegistrationDecision BrandProtectionGate::check(
       return decision;
     }
   }
+  emit_gate_record(domain, "gate_accept", "", 0.0, nonascii, suffix, false);
   decision.detail = "no protected-brand resemblance";
   return decision;
 }
@@ -130,11 +187,18 @@ BrandProtectionGate::AuditResult BrandProtectionGate::audit(
     ++result.total;
     if (auto match = homograph_.best_match(domain)) {
       ++result.rejected_visual;
+      emit_gate_record(domain, "audit_reject_visual", match->brand,
+                       match->ssim, 0, obs::ace_suffix(domain), true);
       continue;
     }
-    if (semantic_.match(domain).has_value()) {
+    if (auto match = semantic_.match(domain)) {
       ++result.rejected_semantic;
+      emit_gate_record(domain, "audit_reject_semantic", match->brand, 1.0, 0,
+                       obs::ace_suffix(domain), true);
+      continue;
     }
+    emit_gate_record(domain, "audit_accept", "", 0.0, 0,
+                     obs::ace_suffix(domain), false);
   }
   return result;
 }
@@ -147,13 +211,21 @@ BrandProtectionGate::AuditResult BrandProtectionGate::audit(
       ace_domains.size(), threads, AuditResult{},
       [&](std::size_t i) {
         gate_metrics().audited.add(1);
+        const obs::SubjectScope subject(ace_domains[i]);
         AuditResult one;
         one.total = 1;
         const std::string_view domain = table.str(ace_domains[i]);
-        if (homograph_.best_match(domain).has_value()) {
+        if (auto match = homograph_.best_match(domain)) {
           one.rejected_visual = 1;
-        } else if (semantic_.match(domain).has_value()) {
+          emit_gate_record(domain, "audit_reject_visual", match->brand,
+                           match->ssim, 0, obs::ace_suffix(domain), true);
+        } else if (auto semantic = semantic_.match(domain)) {
           one.rejected_semantic = 1;
+          emit_gate_record(domain, "audit_reject_semantic", semantic->brand,
+                           1.0, 0, obs::ace_suffix(domain), true);
+        } else {
+          emit_gate_record(domain, "audit_accept", "", 0.0, 0,
+                           obs::ace_suffix(domain), false);
         }
         return one;
       },

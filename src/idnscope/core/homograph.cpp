@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "idnscope/idna/idna.h"
+#include "idnscope/obs/provenance.h"
 #include "idnscope/obs/trace.h"
 #include "idnscope/runtime/parallel.h"
 #include "idnscope/unicode/confusables.h"
@@ -63,6 +64,40 @@ bool renders_identically(const std::u32string& display,
     }
   }
   return true;
+}
+
+std::uint32_t count_nonascii(const std::u32string& display) {
+  std::uint32_t n = 0;
+  for (const char32_t cp : display) {
+    n += cp >= 0x80 ? 1 : 0;
+  }
+  return n;
+}
+
+// Provenance emission for the one homograph decision site (best_match).
+// Flagged rules: "skeleton_identical_twin", "ssim_scan"; full mode also
+// records "no_match" (with the best score seen, diagnostic only).  Emitted
+// exactly once per best_match call — the same once-per-decision property
+// the effort counters rely on — so the record multiset is thread-invariant.
+void emit_homograph_record(std::string_view ace_domain,
+                           const std::u32string* display,
+                           std::string_view rule, std::string_view brand,
+                           double score, bool flagged) {
+  obs::Ledger& ledger = obs::Ledger::global();
+  if (!ledger.enabled(flagged)) {
+    return;
+  }
+  obs::ProvenanceRecord record;
+  record.domain = std::string(ace_domain);
+  record.domain_id = obs::current_subject_id();
+  record.detector = obs::ProvDetector::kHomograph;
+  record.rule = std::string(rule);
+  record.brand = std::string(brand);
+  record.score_micros = obs::to_micros(score);
+  record.nonascii = display != nullptr ? count_nonascii(*display) : 0;
+  record.suffix = obs::ace_suffix(ace_domain);
+  record.flagged = flagged;
+  ledger.append(std::move(record));
 }
 
 }  // namespace
@@ -135,6 +170,7 @@ std::optional<HomographMatch> HomographDetector::best_match(
     std::string_view ace_domain) const {
   const auto display = display_form(ace_domain);
   if (!display) {
+    emit_homograph_record(ace_domain, nullptr, "no_match", "", 0.0, false);
     return std::nullopt;
   }
   if (options_.use_skeleton_index && options_.threshold <= 1.0 &&
@@ -152,6 +188,8 @@ std::optional<HomographMatch> HomographDetector::best_match(
           renders_identically(*display, hit->second->brand.domain)) {
         skeleton_hits_.add(1);
         matches_.add(1);
+        emit_homograph_record(ace_domain, &*display, "skeleton_identical_twin",
+                              hit->second->brand.domain, 1.0, true);
         HomographMatch match;
         match.domain = std::string(ace_domain);
         match.brand = hit->second->brand.domain;
@@ -163,6 +201,7 @@ std::optional<HomographMatch> HomographDetector::best_match(
   }
   const std::size_t length = display->size();
   if (length >= by_length_.size() || by_length_[length].empty()) {
+    emit_homograph_record(ace_domain, &*display, "no_match", "", 0.0, false);
     return std::nullopt;
   }
   const std::vector<int> profile = render::column_profile(*display);
@@ -194,9 +233,13 @@ std::optional<HomographMatch> HomographDetector::best_match(
     }
   }
   if (best.brand.empty() || best.ssim < options_.threshold) {
+    emit_homograph_record(ace_domain, &*display, "no_match", best.brand,
+                          best.ssim, false);
     return std::nullopt;
   }
   matches_.add(1);
+  emit_homograph_record(ace_domain, &*display, "ssim_scan", best.brand,
+                        best.ssim, true);
   best.domain = std::string(ace_domain);
   best.identical = best.ssim >= 1.0 - 1e-9;
   return best;
@@ -224,6 +267,9 @@ std::vector<HomographMatch> HomographDetector::scan(
   // restores input order, so the result is identical at any thread count.
   std::vector<std::optional<HomographMatch>> slots(domains.size());
   runtime::parallel_for(domains.size(), options_.threads, [&](std::size_t i) {
+    // Scope the subject id so provenance records carry the DomainId even
+    // though best_match only sees the string.
+    const obs::SubjectScope subject(domains[i]);
     slots[i] = best_match(table.str(domains[i]));
   });
   std::vector<HomographMatch> matches;

@@ -5,6 +5,7 @@
 #include "idnscope/idna/idna.h"
 #include "idnscope/idna/punycode.h"
 #include "idnscope/obs/metrics.h"
+#include "idnscope/obs/provenance.h"
 #include "idnscope/obs/trace.h"
 #include "idnscope/runtime/parallel.h"
 #include "idnscope/unicode/utf8.h"
@@ -47,41 +48,61 @@ SemanticDetector::SemanticDetector(std::span<const ecosystem::Brand> brands) {
 std::optional<SemanticMatch> SemanticDetector::match(
     std::string_view ace_domain) const {
   semantic_metrics().checked.add(1);
-  const std::size_t dot = ace_domain.find('.');
-  if (dot == std::string_view::npos) {
-    return std::nullopt;
-  }
-  const std::string_view sld_label = ace_domain.substr(0, dot);
-  const std::string suffix(ace_domain.substr(dot));  // ".com"
-  if (!idna::has_ace_prefix(sld_label)) {
-    return std::nullopt;  // not an IDN label
-  }
-  auto decoded = idna::label_to_unicode(sld_label);
-  if (!decoded.ok()) {
-    return std::nullopt;
-  }
-  std::string ascii_part;
-  std::u32string stripped;
-  for (char32_t cp : decoded.value()) {
-    if (cp < 0x80) {
-      ascii_part.push_back(static_cast<char>(cp));
-    } else {
-      stripped.push_back(cp);
+  std::u32string stripped;  // hoisted for the provenance facet below
+  std::optional<SemanticMatch> hit = [&]() -> std::optional<SemanticMatch> {
+    const std::size_t dot = ace_domain.find('.');
+    if (dot == std::string_view::npos) {
+      return std::nullopt;
     }
+    const std::string_view sld_label = ace_domain.substr(0, dot);
+    const std::string suffix(ace_domain.substr(dot));  // ".com"
+    if (!idna::has_ace_prefix(sld_label)) {
+      return std::nullopt;  // not an IDN label
+    }
+    auto decoded = idna::label_to_unicode(sld_label);
+    if (!decoded.ok()) {
+      return std::nullopt;
+    }
+    std::string ascii_part;
+    for (char32_t cp : decoded.value()) {
+      if (cp < 0x80) {
+        ascii_part.push_back(static_cast<char>(cp));
+      } else {
+        stripped.push_back(cp);
+      }
+    }
+    if (stripped.empty() || ascii_part.empty()) {
+      return std::nullopt;
+    }
+    auto it = brand_by_sld_.find(ascii_part + suffix);
+    if (it == brand_by_sld_.end()) {
+      return std::nullopt;
+    }
+    semantic_metrics().matches.add(1);
+    SemanticMatch match;
+    match.domain = std::string(ace_domain);
+    match.brand = it->second;
+    match.keyword_utf8 = unicode::encode(stripped);
+    return match;
+  }();
+  // The one Type-1 decision site.  The rule is pure string identity, so a
+  // hit's score is exactly 1.0; `stripped` is the non-ASCII keyword — the
+  // script-mix facet.
+  obs::Ledger& ledger = obs::Ledger::global();
+  if (ledger.enabled(hit.has_value())) {
+    obs::ProvenanceRecord record;
+    record.domain = std::string(ace_domain);
+    record.domain_id = obs::current_subject_id();
+    record.detector = obs::ProvDetector::kSemanticT1;
+    record.rule = hit ? "ascii_strip_brand_match" : "no_match";
+    record.brand = hit ? hit->brand : "";
+    record.score_micros = hit ? obs::to_micros(1.0) : 0;
+    record.nonascii = static_cast<std::uint32_t>(stripped.size());
+    record.suffix = obs::ace_suffix(ace_domain);
+    record.flagged = hit.has_value();
+    ledger.append(std::move(record));
   }
-  if (stripped.empty() || ascii_part.empty()) {
-    return std::nullopt;
-  }
-  auto it = brand_by_sld_.find(ascii_part + suffix);
-  if (it == brand_by_sld_.end()) {
-    return std::nullopt;
-  }
-  semantic_metrics().matches.add(1);
-  SemanticMatch match;
-  match.domain = std::string(ace_domain);
-  match.brand = it->second;
-  match.keyword_utf8 = unicode::encode(stripped);
-  return match;
+  return hit;
 }
 
 std::vector<SemanticMatch> SemanticDetector::scan(
@@ -101,6 +122,7 @@ std::vector<SemanticMatch> SemanticDetector::scan(
   const obs::StageTimer stage("core.semantic.scan");
   std::vector<std::optional<SemanticMatch>> slots(domains.size());
   runtime::parallel_for(domains.size(), threads, [&](std::size_t i) {
+    const obs::SubjectScope subject(domains[i]);
     slots[i] = match(table.str(domains[i]));
   });
   std::vector<SemanticMatch> matches;

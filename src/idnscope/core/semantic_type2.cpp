@@ -3,6 +3,7 @@
 #include "idnscope/idna/idna.h"
 #include "idnscope/idna/punycode.h"
 #include "idnscope/obs/metrics.h"
+#include "idnscope/obs/provenance.h"
 #include "idnscope/obs/trace.h"
 #include "idnscope/runtime/parallel.h"
 #include "idnscope/unicode/utf8.h"
@@ -52,31 +53,56 @@ Type2Detector::Type2Detector(
 std::optional<Type2Match> Type2Detector::match(
     std::string_view ace_domain) const {
   type2_metrics().checked.add(1);
-  const std::size_t dot = ace_domain.find('.');
-  if (dot == std::string_view::npos) {
-    return std::nullopt;
-  }
-  const std::string_view label = ace_domain.substr(0, dot);
-  if (!idna::has_ace_prefix(label)) {
-    return std::nullopt;
-  }
-  auto decoded = idna::label_to_unicode(label);
-  if (!decoded.ok()) {
-    return std::nullopt;
-  }
-  const std::u32string& text = decoded.value();
-  for (const Entry& entry : entries_) {
-    if (text.find(entry.needle) != std::u32string::npos) {
-      type2_metrics().matches.add(1);
-      Type2Match result;
-      result.domain = std::string(ace_domain);
-      result.brand = std::string(entry.translation->brand);
-      result.translated = std::string(entry.translation->translated);
-      result.description = std::string(entry.translation->description);
-      return result;
+  std::uint32_t nonascii = 0;  // hoisted for the provenance facet below
+  std::optional<Type2Match> hit = [&]() -> std::optional<Type2Match> {
+    const std::size_t dot = ace_domain.find('.');
+    if (dot == std::string_view::npos) {
+      return std::nullopt;
     }
+    const std::string_view label = ace_domain.substr(0, dot);
+    if (!idna::has_ace_prefix(label)) {
+      return std::nullopt;
+    }
+    auto decoded = idna::label_to_unicode(label);
+    if (!decoded.ok()) {
+      return std::nullopt;
+    }
+    const std::u32string& text = decoded.value();
+    for (const char32_t cp : text) {
+      nonascii += cp >= 0x80 ? 1 : 0;
+    }
+    for (const Entry& entry : entries_) {
+      if (text.find(entry.needle) != std::u32string::npos) {
+        type2_metrics().matches.add(1);
+        Type2Match result;
+        result.domain = std::string(ace_domain);
+        result.brand = std::string(entry.translation->brand);
+        result.translated = std::string(entry.translation->translated);
+        result.description = std::string(entry.translation->description);
+        return result;
+      }
+    }
+    return std::nullopt;
+  }();
+  // The one Type-2 decision site.  Dictionary needles match by exact
+  // substring containment, so a hit scores exactly 1.0; the matched brand
+  // is the record's brand (the translated needle is recoverable from it
+  // via the dictionary).
+  obs::Ledger& ledger = obs::Ledger::global();
+  if (ledger.enabled(hit.has_value())) {
+    obs::ProvenanceRecord record;
+    record.domain = std::string(ace_domain);
+    record.domain_id = obs::current_subject_id();
+    record.detector = obs::ProvDetector::kSemanticT2;
+    record.rule = hit ? "translation_substring" : "no_match";
+    record.brand = hit ? hit->brand : "";
+    record.score_micros = hit ? obs::to_micros(1.0) : 0;
+    record.nonascii = nonascii;
+    record.suffix = obs::ace_suffix(ace_domain);
+    record.flagged = hit.has_value();
+    ledger.append(std::move(record));
   }
-  return std::nullopt;
+  return hit;
 }
 
 std::vector<Type2Match> Type2Detector::scan(
@@ -96,6 +122,7 @@ std::vector<Type2Match> Type2Detector::scan(
   const obs::StageTimer stage("core.semantic_type2.scan");
   std::vector<std::optional<Type2Match>> slots(domains.size());
   runtime::parallel_for(domains.size(), threads, [&](std::size_t i) {
+    const obs::SubjectScope subject(domains[i]);
     slots[i] = match(table.str(domains[i]));
   });
   std::vector<Type2Match> matches;

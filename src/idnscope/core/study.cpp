@@ -145,6 +145,7 @@ Study::Study(const ecosystem::Ecosystem& eco, const StudyOptions& options)
       join_budget_bytes_(options.join_budget_bytes),
       threads_(options.threads),
       skeleton_state_(std::make_unique<SkeletonIndexState>()) {
+  obs::Ledger::global().set_options(options.provenance);
   const obs::StageTimer stage("core.study.scan");
   groups_ = {TldGroup{"com"}, TldGroup{"net"}, TldGroup{"org"},
              TldGroup{"iTLD (53)"}};
@@ -165,6 +166,7 @@ Study::Study(const ecosystem::Ecosystem& eco,
       join_budget_bytes_(options.join_budget_bytes),
       threads_(options.threads),
       skeleton_state_(std::make_unique<SkeletonIndexState>()) {
+  obs::Ledger::global().set_options(options.provenance);
   const obs::StageTimer stage("core.study.scan");
   groups_ = {TldGroup{"com"}, TldGroup{"net"}, TldGroup{"org"},
              TldGroup{"iTLD (53)"}};

@@ -23,6 +23,7 @@
 #include "idnscope/core/stream_join.h"
 #include "idnscope/dns/zone_io.h"
 #include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/obs/provenance.h"
 #include "idnscope/runtime/domain_table.h"
 
 namespace idnscope::core {
@@ -56,6 +57,13 @@ inline constexpr std::uint8_t kTldItld = 3;
 struct StudyOptions {
   unsigned threads = 0;  // runtime::resolve_threads knob (0 = env/default)
   std::size_t join_budget_bytes = kDefaultJoinBudgetBytes;
+  // Provenance sampling for the detectors run against this study
+  // (obs/provenance.h).  Applied to the process-wide ledger at Study
+  // construction — pipeline setup is the serial point the ledger's
+  // set_options contract asks for.  Like the knobs above, the mode is part
+  // of the workload description: two runs with the same mode emit
+  // bit-identical PROV files at any thread count.
+  obs::ProvenanceOptions provenance;
 };
 
 class Study {

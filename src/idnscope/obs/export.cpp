@@ -127,7 +127,34 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
+// The run's workload stamp (note_workload); serial-write, read at emit.
+GeneratedBy g_workload;
+
+// {"abuse_scale":N,"bench":"...","bulk_scale":N,"seed":N} — shared by the
+// serializer and the strict parser below.
+bool parse_generated_by_object(Parser& parser, GeneratedBy& out) {
+  return parser.literal("{\"abuse_scale\":") && parser.number(out.abuse_scale) &&
+         parser.literal(",\"bench\":") && parser.string(out.bench) &&
+         parser.literal(",\"bulk_scale\":") && parser.number(out.bulk_scale) &&
+         parser.literal(",\"seed\":") && parser.number(out.seed) &&
+         parser.literal("}");
+}
+
 }  // namespace
+
+void note_workload(const GeneratedBy& workload) { g_workload = workload; }
+
+const GeneratedBy& noted_workload() { return g_workload; }
+
+std::string generated_by_json(const GeneratedBy& workload) {
+  std::string out = "{\"abuse_scale\":" + std::to_string(workload.abuse_scale);
+  out += ",\"bench\":";
+  append_json_string(out, workload.bench);
+  out += ",\"bulk_scale\":" + std::to_string(workload.bulk_scale);
+  out += ",\"seed\":" + std::to_string(workload.seed);
+  out.push_back('}');
+  return out;
+}
 
 std::string snapshot_to_json(const Snapshot& snapshot) {
   std::string out = "{\"counters\":{";
@@ -175,7 +202,20 @@ std::string snapshot_to_json(const Snapshot& snapshot) {
 std::optional<Snapshot> parse_snapshot(std::string_view json) {
   Parser parser(json);
   Snapshot snap;
-  if (!parser.literal("{\"counters\":") || !parser.flat_object(snap.counters) ||
+  if (!parser.literal("{")) {
+    return std::nullopt;
+  }
+  // Optional workload stamp (emit_metrics prepends it once a bench has
+  // noted one).  Parsed strictly, then discarded: the Snapshot value — and
+  // therefore gate/diff/merge semantics — ignores provenance of the file.
+  if (parser.peek('"') && json.substr(1, 15) == "\"generated_by\":") {
+    GeneratedBy stamp;
+    if (!parser.literal("\"generated_by\":") ||
+        !parse_generated_by_object(parser, stamp) || !parser.literal(",")) {
+      return std::nullopt;
+    }
+  }
+  if (!parser.literal("\"counters\":") || !parser.flat_object(snap.counters) ||
       !parser.literal(",\"gauges\":") || !parser.flat_object(snap.gauges) ||
       !parser.literal(",\"histograms\":{")) {
     return std::nullopt;
@@ -205,6 +245,104 @@ std::optional<Snapshot> parse_snapshot(std::string_view json) {
     return std::nullopt;
   }
   return snap;
+}
+
+std::string provenance_record_to_json(const ProvenanceRecord& record) {
+  std::string out = "{\"brand\":";
+  append_json_string(out, record.brand);
+  out += ",\"detector\":";
+  append_json_string(out, prov_detector_name(record.detector));
+  out += ",\"domain\":";
+  append_json_string(out, record.domain);
+  out += ",\"domain_id\":" + std::to_string(record.domain_id);
+  out += ",\"flagged\":";
+  out.push_back(record.flagged ? '1' : '0');
+  out += ",\"nonascii\":" + std::to_string(record.nonascii);
+  out += ",\"rule\":";
+  append_json_string(out, record.rule);
+  out += ",\"score_micros\":" + std::to_string(record.score_micros);
+  out += ",\"seq\":" + std::to_string(record.seq);
+  out += ",\"suffix\":";
+  append_json_string(out, record.suffix);
+  out.push_back('}');
+  return out;
+}
+
+std::string provenance_to_jsonl(std::string_view name,
+                                const std::vector<ProvenanceRecord>& records,
+                                std::uint64_t dropped,
+                                const GeneratedBy& workload) {
+  std::string out = "{\"dropped\":" + std::to_string(dropped);
+  out += ",\"generated_by\":" + generated_by_json(workload);
+  out += ",\"provenance\":";
+  append_json_string(out, name);
+  out += ",\"records\":" + std::to_string(records.size());
+  out += "}\n";
+  for (const ProvenanceRecord& record : records) {
+    out += provenance_record_to_json(record);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::optional<ProvenanceFile> parse_provenance(std::string_view text) {
+  // Header line first.
+  std::size_t eol = text.find('\n');
+  if (eol == std::string_view::npos) {
+    return std::nullopt;
+  }
+  ProvenanceFile file;
+  std::uint64_t expected = 0;
+  {
+    Parser parser(text.substr(0, eol));
+    if (!parser.literal("{\"dropped\":") || !parser.number(file.dropped) ||
+        !parser.literal(",\"generated_by\":") ||
+        !parse_generated_by_object(parser, file.generated_by) ||
+        !parser.literal(",\"provenance\":") || !parser.string(file.name) ||
+        !parser.literal(",\"records\":") || !parser.number(expected) ||
+        !parser.literal("}") || !parser.done()) {
+      return std::nullopt;
+    }
+  }
+  text.remove_prefix(eol + 1);
+  while (!text.empty()) {
+    eol = text.find('\n');
+    const std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text.remove_prefix(eol == std::string_view::npos ? text.size() : eol + 1);
+    if (line.empty()) {
+      // read_file() strips trailing newlines; accept the final blank only.
+      if (!text.empty()) {
+        return std::nullopt;
+      }
+      break;
+    }
+    Parser parser(line);
+    ProvenanceRecord record;
+    std::string detector;
+    std::uint64_t flagged = 0;
+    if (!parser.literal("{\"brand\":") || !parser.string(record.brand) ||
+        !parser.literal(",\"detector\":") || !parser.string(detector) ||
+        !prov_detector_from_name(detector, record.detector) ||
+        !parser.literal(",\"domain\":") || !parser.string(record.domain) ||
+        !parser.literal(",\"domain_id\":") || !parser.number(record.domain_id) ||
+        !parser.literal(",\"flagged\":") || !parser.number(flagged) ||
+        flagged > 1 || !parser.literal(",\"nonascii\":") ||
+        !parser.number(record.nonascii) || !parser.literal(",\"rule\":") ||
+        !parser.string(record.rule) || !parser.literal(",\"score_micros\":") ||
+        !parser.number(record.score_micros) || !parser.literal(",\"seq\":") ||
+        !parser.number(record.seq) || !parser.literal(",\"suffix\":") ||
+        !parser.string(record.suffix) || !parser.literal("}") ||
+        !parser.done()) {
+      return std::nullopt;
+    }
+    record.flagged = flagged == 1;
+    file.records.push_back(std::move(record));
+  }
+  if (file.records.size() != expected) {
+    return std::nullopt;
+  }
+  return file;
 }
 
 std::string trace_to_json() {
@@ -355,13 +493,36 @@ void write_file(const std::string& path, const std::string& line) {
 }  // namespace
 
 void emit_metrics(const char* name) {
-  const std::string metrics =
-      snapshot_to_json(Registry::global().snapshot());
+  // Provenance plane first: its serialized size feeds the
+  // obs.provenance.bytes gauge, which the metrics snapshot below must
+  // already see (the gauge is budget-gated like any other).  The payload
+  // is deterministic — merged order, workload-pure header — so the gauge
+  // is too.
+  Ledger& ledger = Ledger::global();
+  const std::string prov = provenance_to_jsonl(name, ledger.merged(),
+                                               ledger.dropped(), g_workload);
+  Registry::global()
+      .gauge("obs.provenance.bytes")
+      .set(static_cast<std::int64_t>(prov.size()));
+
+  std::string metrics = snapshot_to_json(Registry::global().snapshot());
+  if (g_workload.noted()) {
+    metrics = "{\"generated_by\":" + generated_by_json(g_workload) + "," +
+              metrics.substr(1);
+  }
   std::fprintf(stderr, "METRICS_JSON %s\n", metrics.c_str());
   std::fprintf(stderr, "TRACE_JSON %s\n", trace_to_json().c_str());
   write_file(output_path(std::string("METRICS_") + name + ".json"), metrics);
   write_file(output_path(std::string("TRACE_") + name + ".json"),
              trace_events_to_json());
+  // PROV_<name>.jsonl already ends in a newline per record; write verbatim.
+  if (std::FILE* out =
+          std::fopen(output_path(std::string("PROV_") + name + ".jsonl").c_str(),
+                     "w");
+      out != nullptr) {
+    std::fwrite(prov.data(), 1, prov.size(), out);
+    std::fclose(out);
+  }
 }
 
 }  // namespace idnscope::obs

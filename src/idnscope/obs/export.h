@@ -12,6 +12,7 @@
 //   stderr   TRACE_JSON {...}     wall-clock trace plane, one line
 //   <dir>    METRICS_<name>.json  the metrics line again, for harnesses
 //   <dir>    TRACE_<name>.json    Chrome trace-event file (Perfetto-loadable)
+//   <dir>    PROV_<name>.jsonl    provenance ledger (obs/provenance.h)
 // <dir> is $IDNSCOPE_OBS_DIR (created if missing) or the working directory.
 // stdout is never touched (it carries study results and must stay
 // byte-identical across thread counts).
@@ -19,18 +20,78 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "idnscope/obs/metrics.h"
+#include "idnscope/obs/provenance.h"
 #include "idnscope/obs/trace.h"
 
 namespace idnscope::obs {
 
+// Workload stamp carried in METRICS/PROV headers and the BENCH line, so
+// artifacts stay self-describing once copied out of $IDNSCOPE_OBS_DIR
+// (benches overwrite output files silently on reruns).  Deliberately
+// excludes threads and wall clock: those are execution facts, not workload
+// facts, and the stamp must not break the cross-thread byte-diff.  The
+// BENCH line — the one non-deterministic artifact — adds threads itself.
+struct GeneratedBy {
+  std::string bench;              // emitting bench/example name ("" = not noted)
+  std::uint64_t seed = 0;         // ecosystem::Scenario seed
+  std::uint64_t bulk_scale = 0;   // scenario divisor knobs
+  std::uint64_t abuse_scale = 0;
+
+  bool noted() const { return !bench.empty(); }
+  bool operator==(const GeneratedBy&) const = default;
+};
+
+// Note the run's workload once from serial setup code (bench_common does
+// this when the scenario is constructed).  Every later emit_metrics()
+// stamps the noted value; an empty bench name (the default) suppresses the
+// header entirely, so tests and ad-hoc callers are unaffected.
+void note_workload(const GeneratedBy& workload);
+const GeneratedBy& noted_workload();
+
+// {"abuse_scale":N,"bench":"...","bulk_scale":N,"seed":N} — the canonical
+// object embedded in headers (keys sorted, same escaping stance as metric
+// names).
+std::string generated_by_json(const GeneratedBy& workload);
+
 // Canonical serialization: single line, keys sorted, integers only.
 std::string snapshot_to_json(const Snapshot& snapshot);
 
-// Strict inverse of snapshot_to_json; nullopt on malformed input.
+// Strict inverse of snapshot_to_json; nullopt on malformed input.  Also
+// accepts (and discards) the optional leading "generated_by" header that
+// emit_metrics prepends, so gate/diff/merge consume stamped and unstamped
+// snapshots alike.
 std::optional<Snapshot> parse_snapshot(std::string_view json);
+
+// One provenance record as canonical single-line JSON (keys sorted,
+// integers and unescaped strings only — the record field alphabet,
+// see obs/provenance.h).
+std::string provenance_record_to_json(const ProvenanceRecord& record);
+
+// The full PROV_<name>.jsonl payload: one header line
+//   {"dropped":N,"generated_by":{...},"provenance":"<name>","records":N}
+// followed by one line per record in the deterministic merge order
+// (records must already be sorted — pass Ledger::merged()).  Equal record
+// multisets serialize to identical bytes, which is what the CI 1/2/8
+// thread byte-diff checks.
+std::string provenance_to_jsonl(std::string_view name,
+                                const std::vector<ProvenanceRecord>& records,
+                                std::uint64_t dropped,
+                                const GeneratedBy& workload);
+
+struct ProvenanceFile {
+  std::string name;
+  std::uint64_t dropped = 0;
+  GeneratedBy generated_by;
+  std::vector<ProvenanceRecord> records;
+};
+
+// Strict inverse of provenance_to_jsonl (header count must match the line
+// count, every line must parse exactly); nullopt on malformed input.
+std::optional<ProvenanceFile> parse_provenance(std::string_view text);
 
 // The trace plane, aggregate form:
 // {"spans":{"path":{"calls":N,"wall_ms":X.XXX},...},"peak_rss_kb":N}.
@@ -58,8 +119,12 @@ std::optional<std::vector<TraceEvent>> parse_trace_events(
 std::string output_dir();
 std::string output_path(const std::string& filename);
 
-// Emit the global registry + trace table as described above.  `name`
-// becomes the METRICS_<name>.json / TRACE_<name>.json file names.
+// Emit the global registry + trace table + provenance ledger as described
+// above.  `name` becomes the METRICS_<name>.json / TRACE_<name>.json /
+// PROV_<name>.jsonl file names.  The ledger is merged deterministically
+// and its serialized size noted in the `obs.provenance.bytes` gauge
+// *before* the metrics snapshot is taken, so the snapshot gates the
+// ledger's cost.
 void emit_metrics(const char* name);
 
 }  // namespace idnscope::obs

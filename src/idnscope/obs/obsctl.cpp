@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 
 namespace idnscope::obs {
 
@@ -388,6 +389,197 @@ int run_gate(std::span<const std::string> args, std::string& out,
   return kObsctlOk;
 }
 
+// Fixed-point micro-units rendered as a decimal, all-integer math so the
+// text is deterministic ("987654" -> "0.987654").
+std::string format_score(std::uint64_t micros) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%llu.%06llu",
+                static_cast<unsigned long long>(micros / 1000000u),
+                static_cast<unsigned long long>(micros % 1000000u));
+  return buffer;
+}
+
+std::optional<ProvenanceFile> load_provenance(const std::string& path,
+                                              const char* verb,
+                                              std::string& err) {
+  const auto content = read_file(path);
+  if (!content) {
+    err += std::string("obsctl ") + verb + ": cannot read " + path + "\n";
+    return std::nullopt;
+  }
+  auto parsed = parse_provenance(*content);
+  if (!parsed) {
+    err += std::string("obsctl ") + verb + ": not a provenance ledger: " +
+           path + "\n";
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+// One rendered evidence line per record, merge order (the file is already
+// sorted by the ledger's total order, so chains read domain-by-domain).
+void render_chain(std::span<const ProvenanceRecord* const> chain,
+                  std::string& out) {
+  const ProvenanceRecord& first = *chain.front();
+  out += first.domain;
+  if (first.domain_id >= 0) {
+    out += " (id " + std::to_string(first.domain_id) + ")";
+  }
+  out += ": " + std::to_string(chain.size()) +
+         (chain.size() == 1 ? " record\n" : " records\n");
+  for (const ProvenanceRecord* record : chain) {
+    out += "  " + std::string(prov_detector_name(record->detector)) + "/" +
+           record->rule +
+           " brand=" + (record->brand.empty() ? "-" : record->brand) +
+           " score=" + format_score(record->score_micros) +
+           " nonascii=" + std::to_string(record->nonascii) +
+           " suffix=" + (record->suffix.empty() ? "-" : record->suffix) +
+           " seq=" + std::to_string(record->seq) +
+           (record->flagged ? " flagged" : " clean") + "\n";
+  }
+}
+
+int run_explain(std::span<const std::string> args, std::string& out,
+                std::string& err) {
+  bool all = false;
+  std::vector<std::string> positional;
+  for (const std::string& arg : args) {
+    if (arg == "--all") {
+      all = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != (all ? 1u : 2u)) {
+    err += "usage: obsctl explain <prov.jsonl> <domain|DomainId>\n"
+           "       obsctl explain <prov.jsonl> --all\n";
+    return kObsctlError;
+  }
+  const auto file = load_provenance(positional[0], "explain", err);
+  if (!file) {
+    return kObsctlError;
+  }
+  if (all) {
+    // CI round-trip: every distinct subject must render.  Records are in
+    // merge order, so each domain's run is contiguous.
+    std::size_t subjects = 0;
+    std::vector<const ProvenanceRecord*> chain;
+    for (std::size_t i = 0; i < file->records.size(); ++i) {
+      chain.push_back(&file->records[i]);
+      const bool last = i + 1 == file->records.size() ||
+                        file->records[i + 1].domain != file->records[i].domain;
+      if (last) {
+        render_chain(chain, out);
+        chain.clear();
+        ++subjects;
+      }
+    }
+    out += "explained " + std::to_string(subjects) + " subjects, " +
+           std::to_string(file->records.size()) + " records\n";
+    return kObsctlOk;
+  }
+  const std::string& subject = positional[1];
+  const bool numeric =
+      !subject.empty() &&
+      std::all_of(subject.begin(), subject.end(),
+                  [](unsigned char c) { return c >= '0' && c <= '9'; });
+  const std::int64_t subject_id =
+      numeric ? static_cast<std::int64_t>(std::strtoull(subject.c_str(),
+                                                        nullptr, 10))
+              : -1;
+  std::vector<const ProvenanceRecord*> chain;
+  for (const ProvenanceRecord& record : file->records) {
+    if (record.domain == subject ||
+        (numeric && record.domain_id == subject_id)) {
+      chain.push_back(&record);
+    }
+  }
+  if (chain.empty()) {
+    err += "obsctl explain: no provenance records for '" + subject + "' in " +
+           positional[0] + "\n";
+    return kObsctlError;
+  }
+  render_chain(chain, out);
+  return kObsctlOk;
+}
+
+// (domain, detector) -> multiset of rendered verdicts.  Two runs whose
+// detectors reached the same conclusions for the same subjects compare
+// equal regardless of seq numbering or facet drift.
+std::map<std::string, std::multiset<std::string>> verdict_index(
+    const ProvenanceFile& file) {
+  std::map<std::string, std::multiset<std::string>> index;
+  for (const ProvenanceRecord& record : file.records) {
+    const std::string key =
+        record.domain + " " + std::string(prov_detector_name(record.detector));
+    index[key].insert(
+        record.rule + " brand=" + (record.brand.empty() ? "-" : record.brand) +
+        " score=" + format_score(record.score_micros) +
+        (record.flagged ? " flagged" : " clean"));
+  }
+  return index;
+}
+
+int run_prov_diff(std::span<const std::string> args, std::string& out,
+                  std::string& err) {
+  if (args.size() != 2) {
+    err += "usage: obsctl prov-diff <prov_a.jsonl> <prov_b.jsonl>\n";
+    return kObsctlError;
+  }
+  const auto file_a = load_provenance(args[0], "prov-diff", err);
+  if (!file_a) {
+    return kObsctlError;
+  }
+  const auto file_b = load_provenance(args[1], "prov-diff", err);
+  if (!file_b) {
+    return kObsctlError;
+  }
+  const auto index_a = verdict_index(*file_a);
+  const auto index_b = verdict_index(*file_b);
+  std::size_t differences = 0;
+  auto it_a = index_a.begin();
+  auto it_b = index_b.begin();
+  // Merge-walk both sorted indices; within a shared key, emit the multiset
+  // difference each way ("- " only in a, "+ " only in b).
+  const auto emit_only = [&](const char* sign, const std::string& key,
+                             const std::multiset<std::string>& verdicts,
+                             const std::multiset<std::string>& other) {
+    for (auto it = verdicts.begin(); it != verdicts.end();
+         it = verdicts.upper_bound(*it)) {
+      const std::size_t have = verdicts.count(*it);
+      for (std::size_t surplus = other.count(*it); surplus < have; ++surplus) {
+        out += std::string(sign) + " " + key + ": " + *it + "\n";
+        ++differences;
+      }
+    }
+  };
+  while (it_a != index_a.end() || it_b != index_b.end()) {
+    if (it_b == index_b.end() ||
+        (it_a != index_a.end() && it_a->first < it_b->first)) {
+      emit_only("-", it_a->first, it_a->second, {});
+      ++it_a;
+    } else if (it_a == index_a.end() || it_b->first < it_a->first) {
+      emit_only("+", it_b->first, it_b->second, {});
+      ++it_b;
+    } else {
+      if (it_a->second != it_b->second) {
+        emit_only("-", it_a->first, it_a->second, it_b->second);
+        emit_only("+", it_b->first, it_b->second, it_a->second);
+      }
+      ++it_a;
+      ++it_b;
+    }
+  }
+  if (differences == 0) {
+    out += "provenance identical: " + std::to_string(file_a->records.size()) +
+           " records, verdicts match\n";
+    return kObsctlOk;
+  }
+  out += std::to_string(differences) + " verdict difference" +
+         (differences == 1 ? "" : "s") + "\n";
+  return kObsctlDiffers;
+}
+
 }  // namespace
 
 std::vector<std::string> diff_snapshot_lines(const Snapshot& a,
@@ -478,7 +670,7 @@ std::vector<Ranked> top_span_totals(std::span<const TraceEvent> events,
 int run_obsctl(std::span<const std::string> args, std::string& out,
                std::string& err) {
   if (args.empty()) {
-    err += "usage: obsctl <diff|top|merge|gate> ...\n";
+    err += "usage: obsctl <diff|top|merge|gate|explain|prov-diff> ...\n";
     return kObsctlError;
   }
   const std::span<const std::string> rest = args.subspan(1);
@@ -493,6 +685,12 @@ int run_obsctl(std::span<const std::string> args, std::string& out,
   }
   if (args[0] == "gate") {
     return run_gate(rest, out, err);
+  }
+  if (args[0] == "explain") {
+    return run_explain(rest, out, err);
+  }
+  if (args[0] == "prov-diff") {
+    return run_prov_diff(rest, out, err);
   }
   err += "obsctl: unknown verb '" + args[0] + "'\n";
   return kObsctlError;

@@ -2,24 +2,34 @@
 //
 // Everything the `idnscope_obsctl` CLI does lives here as library code so
 // tests exercise the exact logic the tool ships (tools/idnscope_obsctl.cpp
-// is a thin argv shim).  Four verbs:
+// is a thin argv shim).  Six verbs:
 //
-//   diff   two METRICS_*.json snapshots; exit 1 with per-metric lines on
-//          any mismatch.  Because snapshots are canonical (sorted keys,
-//          integers only) this is a *semantic* diff, not a text diff.
-//   top    rank a snapshot's counters by value, or a TRACE_*.json
-//          trace-event file's span paths by total wall time.
-//   merge  sum several snapshots into one (counters and histogram tallies
-//          add; gauges are levels, so the merge takes the max).
-//   gate   the CI perf-regression gate: compare a fresh METRICS/BENCH pair
-//          against a committed baseline under bench/baselines/.  Metrics
-//          must match byte-exactly (they are deterministic by contract);
-//          wall time may drift up to a configurable multiplier (machines
-//          differ — the gate catches order-of-magnitude regressions, the
-//          exact-match metrics catch silent coverage loss).
+//   diff      two METRICS_*.json snapshots; exit 1 with per-metric lines on
+//             any mismatch.  Because snapshots are canonical (sorted keys,
+//             integers only) this is a *semantic* diff, not a text diff.
+//   top       rank a snapshot's counters by value, or a TRACE_*.json
+//             trace-event file's span paths by total wall time.
+//   merge     sum several snapshots into one (counters and histogram
+//             tallies add; gauges are levels, so the merge takes the max).
+//   gate      the CI perf-regression gate: compare a fresh METRICS/BENCH
+//             pair against a committed baseline under bench/baselines/.
+//             Metrics must match byte-exactly (they are deterministic by
+//             contract); wall time may drift up to a configurable
+//             multiplier (machines differ — the gate catches
+//             order-of-magnitude regressions, the exact-match metrics
+//             catch silent coverage loss).
+//   explain   join a PROV_*.jsonl ledger's records for one subject (domain
+//             string or numeric DomainId) into a human-readable evidence
+//             chain; `--all` walks every distinct subject instead (the CI
+//             round-trip).  Exit 2 when the subject has no records.
+//   prov-diff verdict-level diff of two PROV_*.jsonl files: records group
+//             by (domain, detector) and compare as (rule, brand, flagged,
+//             score) multisets, so a delta run shows *which verdicts*
+//             changed rather than a wall of reordered lines.
 //
 // Exit codes: 0 ok/equal, 1 difference/regression, 2 usage, I/O or parse
-// error (including a missing baseline).
+// error (including a missing baseline and an explain subject with no
+// records).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,129 @@
+#include "idnscope/obs/provenance.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace idnscope::obs {
+
+namespace {
+
+// Thread-local ambient subject for SubjectScope/current_subject_id().
+thread_local std::int64_t t_subject_id = -1;
+
+constexpr std::string_view kDetectorNames[kProvDetectorCount] = {
+    "homograph",        "semantic_t1",      "semantic_t2",
+    "availability",     "brand_protection",
+};
+
+}  // namespace
+
+std::string_view prov_detector_name(ProvDetector detector) {
+  return kDetectorNames[static_cast<std::uint8_t>(detector)];
+}
+
+bool prov_detector_from_name(std::string_view name, ProvDetector& out) {
+  for (std::size_t i = 0; i < kProvDetectorCount; ++i) {
+    if (kDetectorNames[i] == name) {
+      out = static_cast<ProvDetector>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool provenance_record_less(const ProvenanceRecord& a,
+                            const ProvenanceRecord& b) {
+  return std::tie(a.domain, a.detector, a.seq, a.rule, a.brand, a.flagged,
+                  a.score_micros, a.suffix, a.nonascii, a.domain_id) <
+         std::tie(b.domain, b.detector, b.seq, b.rule, b.brand, b.flagged,
+                  b.score_micros, b.suffix, b.nonascii, b.domain_id);
+}
+
+Ledger::Ledger()
+    : records_(Registry::global().counter("obs.provenance.records")),
+      dropped_(Registry::global().counter("obs.provenance.dropped")) {}
+
+Ledger& Ledger::global() {
+  static Ledger* instance = new Ledger();  // leaked, see header
+  return *instance;
+}
+
+void Ledger::set_options(const ProvenanceOptions& options) {
+  mode_.store(static_cast<std::uint8_t>(options.mode),
+              std::memory_order_relaxed);
+}
+
+ProvenanceOptions Ledger::options() const {
+  return ProvenanceOptions{mode()};
+}
+
+void Ledger::append(ProvenanceRecord record) {
+  if (!enabled(record.flagged)) {
+    return;
+  }
+  // Post-sampling append attempt: this total is workload math (emission
+  // sites run once per decision), so it stays deterministic even when the
+  // cap truncates the ledger below.
+  records_.add(1);
+  const std::uint64_t slot =
+      appended_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxRecords) {
+    dropped_.add(1);
+    return;
+  }
+  Shard& shard = shards_[internal::shard_index()];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.records.push_back(std::move(record));
+}
+
+std::vector<ProvenanceRecord> Ledger::merged() const {
+  std::vector<ProvenanceRecord> out;
+  out.reserve(retained());
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(
+        const_cast<std::mutex&>(shard.mutex));
+    out.insert(out.end(), shard.records.begin(), shard.records.end());
+  }
+  // stable_sort + full-field comparator = total order over record values,
+  // so equal multisets (the cross-thread guarantee) sort to equal
+  // sequences no matter how shards interleaved the appends.
+  std::stable_sort(out.begin(), out.end(), provenance_record_less);
+  return out;
+}
+
+std::uint64_t Ledger::retained() const {
+  const std::uint64_t appended = appended_.load(std::memory_order_relaxed);
+  return appended < kMaxRecords ? appended : kMaxRecords;
+}
+
+std::uint64_t Ledger::dropped() const {
+  const std::uint64_t appended = appended_.load(std::memory_order_relaxed);
+  return appended < kMaxRecords ? 0 : appended - kMaxRecords;
+}
+
+void Ledger::reset() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.records.clear();
+  }
+  appended_.store(0, std::memory_order_relaxed);
+}
+
+SubjectScope::SubjectScope(std::uint32_t domain_id)
+    : previous_(t_subject_id) {
+  t_subject_id = static_cast<std::int64_t>(domain_id);
+}
+
+SubjectScope::~SubjectScope() { t_subject_id = previous_; }
+
+std::int64_t current_subject_id() { return t_subject_id; }
+
+std::string ace_suffix(std::string_view ace_domain) {
+  const std::size_t dot = ace_domain.rfind('.');
+  if (dot == std::string_view::npos) {
+    return {};
+  }
+  return std::string(ace_domain.substr(dot));
+}
+
+}  // namespace idnscope::obs

@@ -1,0 +1,189 @@
+// Observability layer, plane 3: the detection provenance ledger.
+//
+// Metrics record detector *effort* (how many SSIM evaluations), traces
+// record *time*; neither records *answers*.  The ledger closes that gap: a
+// bounded, per-worker-sharded log of structured verdict records — which
+// detector fired on which domain, by which rule path, against which brand,
+// at what score — appended at the innermost decision sites of the four
+// abuse detectors (homograph, semantic Type-1/Type-2, availability,
+// brand-protection gate).  After a run, `PROV_<name>.jsonl` answers "why
+// was this domain flagged?" without re-running anything; `obsctl explain`
+// joins the records into a human-readable evidence chain and
+// `obsctl prov-diff` compares verdicts across runs.
+//
+// Determinism contract (docs/OBSERVABILITY.md "Provenance plane"): records
+// are emitted only at decision sites whose execution is a pure function of
+// the workload — once per (subject, detector) decision, never per worker
+// or per chunk — so the emitted *multiset* of records is identical at any
+// thread count.  Append order is scheduling-dependent (workers interleave),
+// which is why export never serializes shard order: merged() performs a
+// serial merge sorted by (domain, detector, seq) with the remaining fields
+// as tie-breaks — a total order — making `PROV_<name>.jsonl` byte-identical
+// at 1, 2 or N threads (CI-enforced beside the METRICS diff).
+//
+// The ledger is bounded (kMaxRecords).  Appends past the cap are dropped
+// and counted; the `obs.provenance.records` / `obs.provenance.dropped`
+// counters stay deterministic even then (totals are workload math), but
+// *which* records survive truncation is scheduling-dependent, so a ledger
+// with dropped > 0 is excluded from the byte-identity guarantee — the cap
+// is a safety valve sized far above the gated workloads, not a sampling
+// mechanism.  Sampling is the ProvenanceMode knob: `flagged_only` (default)
+// records positive verdicts only, `full` also records negative decisions
+// (no-match, prefilter-skip, gate-accept), `off` records nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "idnscope/obs/metrics.h"
+
+namespace idnscope::obs {
+
+// The emitting detector.  Serialized by name (prov_detector_name); the enum
+// order is part of the merge sort key, so appending new detectors at the
+// end keeps existing ledgers comparable.
+enum class ProvDetector : std::uint8_t {
+  kHomograph = 0,
+  kSemanticT1 = 1,
+  kSemanticT2 = 2,
+  kAvailability = 3,
+  kBrandProtection = 4,
+};
+
+inline constexpr std::size_t kProvDetectorCount = 5;
+
+std::string_view prov_detector_name(ProvDetector detector);
+// Inverse of prov_detector_name; false on an unknown name.
+bool prov_detector_from_name(std::string_view name, ProvDetector& out);
+
+enum class ProvenanceMode : std::uint8_t {
+  kOff = 0,          // record nothing
+  kFlaggedOnly = 1,  // record positive verdicts (the default)
+  kFull = 2,         // also record negative decisions
+};
+
+struct ProvenanceOptions {
+  ProvenanceMode mode = ProvenanceMode::kFlaggedOnly;
+};
+
+// One verdict record.  String fields carry the repo's domain/brand/rule
+// alphabet ([a-z0-9.-] plus UTF-8 keywords without '"' or '\\'), so the
+// canonical JSON needs no escaping — same stance as metric names.
+struct ProvenanceRecord {
+  std::string domain;           // subject domain, ACE form ("sld.tld")
+  std::int64_t domain_id = -1;  // runtime DomainId when interned, -1 unknown
+  ProvDetector detector = ProvDetector::kHomograph;
+  std::string rule;    // code path taken, e.g. "skeleton_identical_twin"
+  std::string brand;   // matched brand / dictionary term ("" when none)
+  std::uint64_t score_micros = 0;  // fixed-point detector score (obs::to_micros)
+  std::uint32_t nonascii = 0;      // facet: non-ASCII code points in the display SLD
+  std::string suffix;              // facet: ACE suffix (".com"; "" when unknown)
+  bool flagged = false;            // verdict-positive?
+  std::uint32_t seq = 0;  // ordinal among records one decision emits for the
+                          // same (domain, detector); 0 for single-record sites
+
+  bool operator==(const ProvenanceRecord&) const = default;
+};
+
+// Total order used by the deterministic serial merge: (domain, detector,
+// seq) primary — the export key — with every remaining field as tie-break,
+// so equal multisets serialize to equal bytes regardless of append order.
+bool provenance_record_less(const ProvenanceRecord& a,
+                            const ProvenanceRecord& b);
+
+class Ledger {
+ public:
+  // Process-wide ledger every detector reports into.  Intentionally leaked,
+  // like Registry::global(): records appended during static destruction
+  // must never touch a dead object.
+  static Ledger& global();
+
+  // Safety-valve capacity (records, across all shards).  Far above the
+  // gated workloads; see the header comment for the truncation contract.
+  static constexpr std::size_t kMaxRecords = std::size_t{1} << 20;
+
+  // Serial-only (pipeline setup); workers read the mode with a relaxed
+  // atomic load, so flipping it mid-scan would race the sampling decision.
+  void set_options(const ProvenanceOptions& options);
+  ProvenanceOptions options() const;
+  ProvenanceMode mode() const {
+    return static_cast<ProvenanceMode>(
+        mode_.load(std::memory_order_relaxed));
+  }
+
+  // Would a record with this flag be retained under the current mode?
+  // Callers use this to skip building record objects on the hot path.
+  bool enabled(bool flagged) const {
+    const ProvenanceMode m = mode();
+    if (m == ProvenanceMode::kOff) {
+      return false;
+    }
+    return flagged || m == ProvenanceMode::kFull;
+  }
+
+  // Append one record (hot path: one relaxed fetch_add + one short
+  // per-worker-shard mutex section).  Applies the sampling mode and the
+  // capacity cap; accepted-past-cap appends are dropped and counted.
+  void append(ProvenanceRecord record);
+
+  // Deterministic serial merge of every retained record (see
+  // provenance_record_less).  Call from a quiesced point — end of a stage
+  // or end of a bench — like Registry::snapshot().
+  std::vector<ProvenanceRecord> merged() const;
+
+  // Records retained (post-sampling, pre-truncation appends minus drops).
+  std::uint64_t retained() const;
+
+  // Appends lost to the capacity cap (non-zero voids byte-identity).
+  std::uint64_t dropped() const;
+
+  // Drop all records and zero the capacity count; the sampling mode and
+  // the registry counters are left untouched (tests reset those through
+  // Registry::global().reset()).
+  void reset();
+
+ private:
+  Ledger();
+
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    std::vector<ProvenanceRecord> records;
+  };
+
+  std::atomic<std::uint8_t> mode_{
+      static_cast<std::uint8_t>(ProvenanceMode::kFlaggedOnly)};
+  std::atomic<std::uint64_t> appended_{0};
+  Shard shards_[internal::kShards];
+  Counter records_;  // obs.provenance.records
+  Counter dropped_;  // obs.provenance.dropped
+};
+
+// Thread-local subject scope: interned scan loops open one around each
+// per-domain detector call so emission sites — which receive only the
+// domain *string* — can stamp records with the runtime DomainId without
+// threading it through every detector signature.  Nesting restores the
+// previous subject on destruction.  -1 (no scope) serializes as
+// domain_id -1, meaning "not interned / unknown".
+class SubjectScope {
+ public:
+  explicit SubjectScope(std::uint32_t domain_id);
+  SubjectScope(const SubjectScope&) = delete;
+  SubjectScope& operator=(const SubjectScope&) = delete;
+  ~SubjectScope();
+
+ private:
+  std::int64_t previous_;
+};
+
+// The calling thread's current subject DomainId, or -1 outside any scope.
+std::int64_t current_subject_id();
+
+// Facet helper shared by emission sites: the ACE suffix of "sld.tld"
+// (".tld" including the dot; "" when the input has no dot).
+std::string ace_suffix(std::string_view ace_domain);
+
+}  // namespace idnscope::obs

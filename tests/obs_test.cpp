@@ -120,6 +120,25 @@ TEST(Metrics, GaugeLastWriteWins) {
             -17);
 }
 
+TEST(Metrics, GenerationBumpsOnResetAndRenotesStaticGauges) {
+  (void)unicode::all_homoglyphs();  // ensure the simlist gauge is registered
+  const std::uint64_t before = obs::Registry::global().generation();
+  obs::Registry::global().reset();
+  EXPECT_EQ(obs::Registry::global().generation(), before + 1);
+  // reset() zeroes the lazily-noted working-set gauge like any other...
+  EXPECT_EQ(obs::Registry::global()
+                .snapshot()
+                .gauges.at("unicode.confusables.simlist_bytes"),
+            0);
+  // ...but the next touch of the hot path compares generations and notes
+  // it again, so a reset between runs never leaves it stale at zero.
+  (void)unicode::all_homoglyphs();
+  EXPECT_GT(obs::Registry::global()
+                .snapshot()
+                .gauges.at("unicode.confusables.simlist_bytes"),
+            0);
+}
+
 TEST(Export, SnapshotJsonRoundTrip) {
   reset_all();
   obs::Registry::global().counter("test.obs.rt_counter").add(123);
@@ -414,6 +433,9 @@ TEST(ObsDir, EmitMetricsWritesMetricsAndTraceFilesIntoObsDir) {
   const std::string trace_path = dir + "/TRACE_obs_env_test.json";
   ASSERT_TRUE(std::filesystem::exists(metrics_path));
   ASSERT_TRUE(std::filesystem::exists(trace_path));
+  // The provenance plane rides along even when the ledger is empty — the
+  // header still records the (zero) counts.
+  ASSERT_TRUE(std::filesystem::exists(dir + "/PROV_obs_env_test.jsonl"));
   // The METRICS file carries the deterministic plane: it parses back and
   // contains the counter; the TRACE file parses as trace events.
   std::string metrics_json;

@@ -1,9 +1,11 @@
-// obsctl toolbox tests: the diff/top/merge verbs and the CI perf gate,
-// driven through run_obsctl — the exact code path the shipped CLI uses —
-// including the golden exit-code cases the gate contract promises (pass,
-// injected metric regression, wall-time regression, missing baseline).
+// obsctl toolbox tests: the diff/top/merge/explain/prov-diff verbs and the
+// CI perf gate, driven through run_obsctl — the exact code path the shipped
+// CLI uses — including the golden exit-code cases the gate contract
+// promises (pass, injected metric regression, wall-time regression,
+// missing baseline, unknown explain subject).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -157,6 +159,42 @@ TEST(ObsctlMerge, AddsCountersAndHistogramsMaxesGauges) {
   EXPECT_EQ(merged->counters.at("core.homograph.pairs_compared"), 1920U);
   EXPECT_EQ(merged->gauges.at("runtime.domain_table.entries"), 150);
   EXPECT_EQ(merged->histograms.at("core.homograph.ssim").count, 120U);
+}
+
+TEST(ObsctlMerge, DisjointHistogramInventoriesUnionize) {
+  // Shard snapshots from different pipeline stages can carry completely
+  // different histogram sets; the merge is their union, each untouched.
+  obs::Snapshot a = sample_snapshot();
+  obs::Snapshot b;
+  obs::HistogramSnapshot other;
+  other.bounds_micros = {obs::to_micros(0.1)};
+  other.counts = {4, 5};
+  other.count = 9;
+  other.sum_micros = 42;
+  b.histograms["core.availability.ssim"] = other;
+
+  const std::string dir = scratch_dir("merge_disjoint");
+  write_file(dir + "/a.json", obs::snapshot_to_json(a));
+  write_file(dir + "/b.json", obs::snapshot_to_json(b));
+  const auto result =
+      run({"merge", dir + "/out.json", dir + "/a.json", dir + "/b.json"});
+  ASSERT_EQ(result.code, obs::kObsctlOk);
+
+  std::FILE* in = std::fopen((dir + "/out.json").c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  char buffer[65536];
+  const std::size_t got = std::fread(buffer, 1, sizeof(buffer), in);
+  std::fclose(in);
+  std::string json(buffer, got);
+  while (!json.empty() && json.back() == '\n') {
+    json.pop_back();
+  }
+  const auto merged = obs::parse_snapshot(json);
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_EQ(merged->histograms.size(), 2U);
+  EXPECT_EQ(merged->histograms.at("core.homograph.ssim"),
+            a.histograms.at("core.homograph.ssim"));
+  EXPECT_EQ(merged->histograms.at("core.availability.ssim"), other);
 }
 
 TEST(ObsctlMerge, HistogramBoundsMismatchIsAnError) {
@@ -317,6 +355,136 @@ TEST(ObsctlGate, BudgetMissingFileOrUnknownGaugeExitsTwo) {
   EXPECT_EQ(unknown.code, obs::kObsctlError);
   EXPECT_NE(unknown.err.find("unknown gauge no.such.gauge"),
             std::string::npos);
+}
+
+// --- explain / prov-diff: the provenance plane -----------------------------
+
+obs::ProvenanceRecord prov_record(std::string domain, std::int64_t domain_id,
+                                  obs::ProvDetector detector, std::string rule,
+                                  std::string brand, double score,
+                                  bool flagged) {
+  obs::ProvenanceRecord record;
+  record.domain = std::move(domain);
+  record.domain_id = domain_id;
+  record.detector = detector;
+  record.rule = std::move(rule);
+  record.brand = std::move(brand);
+  record.score_micros = obs::to_micros(score);
+  record.suffix = ".com";
+  record.flagged = flagged;
+  return record;
+}
+
+// A two-subject ledger: one flagged homograph with a gate verdict riding
+// on the same subject, one clean availability probe.
+std::string sample_prov(const std::string& dir, const std::string& file) {
+  std::vector<obs::ProvenanceRecord> records = {
+      prov_record("xn--pple-43d.com", 42, obs::ProvDetector::kHomograph,
+                  "ssim_scan", "apple.com", 0.9876, true),
+      prov_record("xn--pple-43d.com", 42, obs::ProvDetector::kBrandProtection,
+                  "audit_reject_visual", "apple.com", 0.9876, true),
+      prov_record("xn--gogle-0nd.com", 7, obs::ProvDetector::kAvailability,
+                  "below_threshold", "google.com", 0.41, false),
+  };
+  std::sort(records.begin(), records.end(), obs::provenance_record_less);
+  const std::string path = dir + "/" + file;
+  std::string text = obs::provenance_to_jsonl("unit", records, 0, {});
+  text.pop_back();  // write_file adds the trailing newline back
+  write_file(path, text);
+  return path;
+}
+
+TEST(ObsctlExplain, JoinsOneSubjectIntoAnEvidenceChain) {
+  const std::string dir = scratch_dir("explain_one");
+  const std::string path = sample_prov(dir, "PROV_unit.jsonl");
+  const auto result = run({"explain", path, "xn--pple-43d.com"});
+  EXPECT_EQ(result.code, obs::kObsctlOk);
+  EXPECT_NE(result.out.find("xn--pple-43d.com (id 42): 2 records"),
+            std::string::npos);
+  EXPECT_NE(result.out.find(
+                "homograph/ssim_scan brand=apple.com score=0.987600"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("brand_protection/audit_reject_visual"),
+            std::string::npos);
+  EXPECT_EQ(result.err, "");
+
+  // The numeric form addresses the same subject by DomainId.
+  const auto by_id = run({"explain", path, "42"});
+  EXPECT_EQ(by_id.code, obs::kObsctlOk);
+  EXPECT_EQ(by_id.out, result.out);
+}
+
+TEST(ObsctlExplain, UnknownSubjectExitsTwo) {
+  const std::string dir = scratch_dir("explain_unknown");
+  const std::string path = sample_prov(dir, "PROV_unit.jsonl");
+  const auto result = run({"explain", path, "innocent.com"});
+  EXPECT_EQ(result.code, obs::kObsctlError);
+  EXPECT_NE(result.err.find("no provenance records for 'innocent.com'"),
+            std::string::npos);
+  // Malformed ledgers and usage errors share the exit code.
+  write_file(dir + "/garbage.jsonl", "not a ledger");
+  EXPECT_EQ(run({"explain", dir + "/garbage.jsonl", "a.com"}).code,
+            obs::kObsctlError);
+  EXPECT_EQ(run({"explain", path}).code, obs::kObsctlError);
+}
+
+TEST(ObsctlExplain, AllRoundTripsEverySubject) {
+  const std::string dir = scratch_dir("explain_all");
+  const std::string path = sample_prov(dir, "PROV_unit.jsonl");
+  const auto result = run({"explain", path, "--all"});
+  EXPECT_EQ(result.code, obs::kObsctlOk);
+  EXPECT_NE(result.out.find("explained 2 subjects, 3 records"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("xn--gogle-0nd.com (id 7): 1 record"),
+            std::string::npos);
+}
+
+TEST(ObsctlProvDiff, IdenticalLedgersExitZero) {
+  const std::string dir = scratch_dir("provdiff_equal");
+  const std::string a = sample_prov(dir, "a.jsonl");
+  const std::string b = sample_prov(dir, "b.jsonl");
+  const auto result = run({"prov-diff", a, b});
+  EXPECT_EQ(result.code, obs::kObsctlOk);
+  EXPECT_NE(result.out.find("provenance identical"), std::string::npos);
+}
+
+TEST(ObsctlProvDiff, ReportsVerdictLevelChanges) {
+  const std::string dir = scratch_dir("provdiff_changed");
+  const std::string a = sample_prov(dir, "a.jsonl");
+  // The delta run: the availability verdict flipped and a new subject
+  // appeared; the unchanged homograph/gate verdicts must not be reported.
+  std::vector<obs::ProvenanceRecord> records = {
+      prov_record("xn--pple-43d.com", 42, obs::ProvDetector::kHomograph,
+                  "ssim_scan", "apple.com", 0.9876, true),
+      prov_record("xn--pple-43d.com", 42, obs::ProvDetector::kBrandProtection,
+                  "audit_reject_visual", "apple.com", 0.9876, true),
+      prov_record("xn--gogle-0nd.com", 7, obs::ProvDetector::kAvailability,
+                  "ssim_sweep_registered", "google.com", 0.97, true),
+      prov_record("xn--58-hm4e.com", 9, obs::ProvDetector::kSemanticT1,
+                  "ascii_strip_brand_match", "58.com", 1.0, true),
+  };
+  std::sort(records.begin(), records.end(), obs::provenance_record_less);
+  std::string text = obs::provenance_to_jsonl("unit", records, 0, {});
+  text.pop_back();
+  write_file(dir + "/b.jsonl", text);
+
+  const auto result = run({"prov-diff", a, dir + "/b.jsonl"});
+  EXPECT_EQ(result.code, obs::kObsctlDiffers);
+  EXPECT_NE(result.out.find("- xn--gogle-0nd.com availability: "
+                            "below_threshold brand=google.com"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("+ xn--gogle-0nd.com availability: "
+                            "ssim_sweep_registered brand=google.com"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("+ xn--58-hm4e.com semantic_t1:"),
+            std::string::npos);
+  EXPECT_EQ(result.out.find("xn--pple-43d.com"), std::string::npos);
+  EXPECT_NE(result.out.find("3 verdict differences"), std::string::npos);
+
+  // Parse failures exit 2, distinct from "differs".
+  write_file(dir + "/garbage.jsonl", "nope");
+  EXPECT_EQ(run({"prov-diff", a, dir + "/garbage.jsonl"}).code,
+            obs::kObsctlError);
 }
 
 // --- argument handling -----------------------------------------------------

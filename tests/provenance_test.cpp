@@ -1,0 +1,352 @@
+// Provenance-ledger tests: the deterministic merge order under threaded
+// appends, the sampling-mode knob, capacity accounting, the strict JSONL
+// round-trip, and the detector emission contract driven end-to-end through
+// the brand-protection gate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "idnscope/core/brand_protection.h"
+#include "idnscope/ecosystem/brands.h"
+#include "idnscope/idna/lookalike.h"
+#include "idnscope/obs/export.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/provenance.h"
+
+namespace idnscope {
+namespace {
+
+// The ledger is process-global and shared by every test in this binary;
+// each test starts from a clean slate with an explicit mode.
+void reset_ledger(obs::ProvenanceMode mode) {
+  obs::Ledger::global().reset();
+  obs::Ledger::global().set_options(obs::ProvenanceOptions{mode});
+}
+
+obs::ProvenanceRecord make_record(std::string domain,
+                                  obs::ProvDetector detector,
+                                  std::string rule, bool flagged,
+                                  std::uint32_t seq = 0) {
+  obs::ProvenanceRecord record;
+  record.domain = std::move(domain);
+  record.domain_id = 7;
+  record.detector = detector;
+  record.rule = std::move(rule);
+  record.brand = "apple.com";
+  record.score_micros = obs::to_micros(0.987654);
+  record.nonascii = 2;
+  record.suffix = ".com";
+  record.flagged = flagged;
+  record.seq = seq;
+  return record;
+}
+
+TEST(Provenance, DetectorNamesRoundTrip) {
+  for (std::size_t i = 0; i < obs::kProvDetectorCount; ++i) {
+    const auto detector = static_cast<obs::ProvDetector>(i);
+    obs::ProvDetector parsed;
+    ASSERT_TRUE(obs::prov_detector_from_name(obs::prov_detector_name(detector),
+                                             parsed));
+    EXPECT_EQ(parsed, detector);
+  }
+  obs::ProvDetector parsed;
+  EXPECT_FALSE(obs::prov_detector_from_name("frobnicator", parsed));
+  EXPECT_FALSE(obs::prov_detector_from_name("", parsed));
+}
+
+TEST(Provenance, AceSuffixFacet) {
+  EXPECT_EQ(obs::ace_suffix("xn--pple-43d.com"), ".com");
+  EXPECT_EQ(obs::ace_suffix("a.b.org"), ".org");
+  EXPECT_EQ(obs::ace_suffix("nodot"), "");
+}
+
+TEST(Provenance, SubjectScopeNestsAndRestores) {
+  EXPECT_EQ(obs::current_subject_id(), -1);
+  {
+    const obs::SubjectScope outer(42);
+    EXPECT_EQ(obs::current_subject_id(), 42);
+    {
+      const obs::SubjectScope inner(7);
+      EXPECT_EQ(obs::current_subject_id(), 7);
+    }
+    EXPECT_EQ(obs::current_subject_id(), 42);
+  }
+  EXPECT_EQ(obs::current_subject_id(), -1);
+}
+
+// The determinism contract's load-bearing half: the merged order is a pure
+// function of the record multiset, not of append interleaving.  Eight
+// threads race disjoint slices of the same record set; the merge must equal
+// the serial append's merge byte-for-byte (compared here field-for-field).
+TEST(Provenance, MergedOrderIsThreadInvariant) {
+  std::vector<obs::ProvenanceRecord> records;
+  for (int i = 0; i < 64; ++i) {
+    const std::string domain =
+        "xn--d" + std::to_string(i % 13) + ".com";  // collide domains too
+    records.push_back(make_record(
+        domain, static_cast<obs::ProvDetector>(i % 5), "rule_a", true,
+        static_cast<std::uint32_t>(i / 13)));
+  }
+
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+  for (const auto& record : records) {
+    obs::Ledger::global().append(record);
+  }
+  const auto serial = obs::Ledger::global().merged();
+  ASSERT_EQ(serial.size(), records.size());
+  EXPECT_TRUE(
+      std::is_sorted(serial.begin(), serial.end(), obs::provenance_record_less));
+
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+  std::vector<std::thread> workers;
+  for (int worker = 0; worker < 8; ++worker) {
+    workers.emplace_back([worker, &records] {
+      for (std::size_t i = worker; i < records.size(); i += 8) {
+        obs::Ledger::global().append(records[i]);
+      }
+    });
+  }
+  for (std::thread& thread : workers) {
+    thread.join();
+  }
+  const auto threaded = obs::Ledger::global().merged();
+  EXPECT_EQ(serial, threaded);
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+}
+
+TEST(Provenance, SamplingModeGatesAppends) {
+  reset_ledger(obs::ProvenanceMode::kOff);
+  EXPECT_FALSE(obs::Ledger::global().enabled(true));
+  EXPECT_FALSE(obs::Ledger::global().enabled(false));
+  obs::Ledger::global().append(
+      make_record("a.com", obs::ProvDetector::kHomograph, "r", true));
+  EXPECT_EQ(obs::Ledger::global().retained(), 0U);
+
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+  EXPECT_TRUE(obs::Ledger::global().enabled(true));
+  EXPECT_FALSE(obs::Ledger::global().enabled(false));
+  obs::Ledger::global().append(
+      make_record("a.com", obs::ProvDetector::kHomograph, "hit", true));
+  obs::Ledger::global().append(
+      make_record("b.com", obs::ProvDetector::kHomograph, "no_match", false));
+  EXPECT_EQ(obs::Ledger::global().retained(), 1U);
+  EXPECT_EQ(obs::Ledger::global().merged()[0].rule, "hit");
+
+  reset_ledger(obs::ProvenanceMode::kFull);
+  EXPECT_TRUE(obs::Ledger::global().enabled(true));
+  EXPECT_TRUE(obs::Ledger::global().enabled(false));
+  obs::Ledger::global().append(
+      make_record("a.com", obs::ProvDetector::kHomograph, "hit", true));
+  obs::Ledger::global().append(
+      make_record("b.com", obs::ProvDetector::kHomograph, "no_match", false));
+  EXPECT_EQ(obs::Ledger::global().retained(), 2U);
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+}
+
+// The capacity cap is a safety valve: appends past kMaxRecords drop (and
+// count), totals stay workload math.  Minimal records keep the million
+// appends cheap.
+TEST(Provenance, CapacityCapDropsAndCounts) {
+  reset_ledger(obs::ProvenanceMode::kFull);
+  obs::ProvenanceRecord tiny;
+  tiny.domain = "x.com";
+  tiny.flagged = true;
+  for (std::size_t i = 0; i < obs::Ledger::kMaxRecords + 7; ++i) {
+    obs::Ledger::global().append(tiny);
+  }
+  EXPECT_EQ(obs::Ledger::global().retained(), obs::Ledger::kMaxRecords);
+  EXPECT_EQ(obs::Ledger::global().dropped(), 7U);
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+  EXPECT_EQ(obs::Ledger::global().retained(), 0U);
+  EXPECT_EQ(obs::Ledger::global().dropped(), 0U);
+}
+
+// --- JSONL serialization ----------------------------------------------------
+
+TEST(Provenance, JsonlRoundTripsWithHeader) {
+  std::vector<obs::ProvenanceRecord> records;
+  records.push_back(make_record("xn--pple-43d.com",
+                                obs::ProvDetector::kHomograph,
+                                "skeleton_identical_twin", true));
+  auto semantic = make_record("xn--apple-666.com",
+                              obs::ProvDetector::kSemanticT1,
+                              "ascii_strip_brand_match", true);
+  semantic.brand = "58.com";  // UTF-8-adjacent alphabet stays unescaped
+  records.push_back(semantic);
+  std::sort(records.begin(), records.end(), obs::provenance_record_less);
+
+  obs::GeneratedBy workload;
+  workload.bench = "unit";
+  workload.seed = 20170921;
+  workload.bulk_scale = 1000;
+  workload.abuse_scale = 50;
+  const std::string jsonl =
+      obs::provenance_to_jsonl("unit", records, 3, workload);
+  EXPECT_TRUE(jsonl.starts_with("{\"dropped\":3,\"generated_by\":"));
+
+  const auto parsed = obs::parse_provenance(jsonl);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, "unit");
+  EXPECT_EQ(parsed->dropped, 3U);
+  EXPECT_EQ(parsed->generated_by, workload);
+  EXPECT_EQ(parsed->records, records);
+
+  // Equal multisets serialize to equal bytes (what the CI byte-diff rides).
+  std::vector<obs::ProvenanceRecord> shuffled = {records[1], records[0]};
+  std::sort(shuffled.begin(), shuffled.end(), obs::provenance_record_less);
+  EXPECT_EQ(obs::provenance_to_jsonl("unit", shuffled, 3, workload), jsonl);
+}
+
+TEST(Provenance, ParseRejectsMalformedLedgers) {
+  const std::vector<obs::ProvenanceRecord> records = {make_record(
+      "xn--pple-43d.com", obs::ProvDetector::kHomograph, "ssim_scan", true)};
+  const std::string good =
+      obs::provenance_to_jsonl("unit", records, 0, obs::GeneratedBy{});
+  ASSERT_TRUE(obs::parse_provenance(good).has_value());
+
+  EXPECT_FALSE(obs::parse_provenance("").has_value());
+  EXPECT_FALSE(obs::parse_provenance("not a ledger").has_value());
+  // Header record count must equal the number of record lines.
+  std::string miscounted = good;
+  const std::size_t pos = miscounted.find("\"records\":1");
+  ASSERT_NE(pos, std::string::npos);
+  miscounted.replace(pos, 11, "\"records\":2");
+  EXPECT_FALSE(obs::parse_provenance(miscounted).has_value());
+  // Unknown detector names are rejected, not skipped.
+  std::string bad_detector = good;
+  const std::size_t det = bad_detector.find("homograph");
+  ASSERT_NE(det, std::string::npos);
+  bad_detector.replace(det, 9, "halograph");
+  EXPECT_FALSE(obs::parse_provenance(bad_detector).has_value());
+  // Trailing garbage after the counted records is rejected.
+  EXPECT_FALSE(obs::parse_provenance(good + "junk\n").has_value());
+}
+
+// --- detector integration ---------------------------------------------------
+
+// One audited lookalike must leave a joinable evidence chain: the gate's
+// own audit verdict plus the inner homograph detector's record, same
+// subject, both flagged.
+TEST(Provenance, GateAuditEmitsEvidenceChain) {
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+  const std::pair<std::size_t, char32_t> sub{0, 0x0430};  // Cyrillic а
+  const auto domain = idna::substitute("apple.com", {&sub, 1});
+  ASSERT_TRUE(domain.has_value());
+
+  const core::BrandProtectionGate gate(ecosystem::alexa_top(100));
+  const std::vector<std::string> audited = {*domain};
+  const auto result = gate.audit(audited);
+  EXPECT_EQ(result.rejected_visual, 1U);
+
+  const auto merged = obs::Ledger::global().merged();
+  bool gate_record = false;
+  bool homograph_record = false;
+  for (const auto& record : merged) {
+    if (record.domain != *domain || !record.flagged) {
+      continue;
+    }
+    if (record.detector == obs::ProvDetector::kBrandProtection) {
+      EXPECT_EQ(record.rule, "audit_reject_visual");
+      EXPECT_EQ(record.brand, "apple.com");
+      gate_record = true;
+    }
+    if (record.detector == obs::ProvDetector::kHomograph) {
+      EXPECT_EQ(record.brand, "apple.com");
+      EXPECT_EQ(record.suffix, ".com");
+      homograph_record = true;
+    }
+  }
+  EXPECT_TRUE(gate_record);
+  EXPECT_TRUE(homograph_record);
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+}
+
+// flagged_only must not record accepts; full must.  Raw registrant input
+// that fails validation is sanitized into the record alphabet.
+TEST(Provenance, GateCheckHonorsModeAndSanitizesRawInput) {
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+  const core::BrandProtectionGate gate(ecosystem::alexa_top(100));
+  (void)gate.check("blameless-garden", "com", "");
+  EXPECT_EQ(obs::Ledger::global().retained(), 0U);  // accept not recorded
+
+  reset_ledger(obs::ProvenanceMode::kFull);
+  (void)gate.check("blameless-garden", "com", "");
+  // Full mode records the whole negative chain: the inner homograph and
+  // semantic no-match decisions plus the gate's own accept.
+  auto merged = obs::Ledger::global().merged();
+  ASSERT_EQ(merged.size(), 3U);
+  std::size_t accepts = 0;
+  for (const auto& record : merged) {
+    EXPECT_FALSE(record.flagged);
+    if (record.detector == obs::ProvDetector::kBrandProtection) {
+      EXPECT_EQ(record.rule, "gate_accept");
+      ++accepts;
+    } else {
+      EXPECT_EQ(record.rule, "no_match");
+    }
+  }
+  EXPECT_EQ(accepts, 1U);
+
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+  const auto decision = gate.check("ap\"ple", "com", "");
+  EXPECT_EQ(decision.verdict, core::RegistrationVerdict::kRejectInvalid);
+  merged = obs::Ledger::global().merged();
+  ASSERT_EQ(merged.size(), 1U);
+  EXPECT_EQ(merged[0].rule, "gate_reject_invalid");
+  EXPECT_EQ(merged[0].domain, "ap?ple.com");  // '"' forced out of the alphabet
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+}
+
+// --- emit_metrics integration ----------------------------------------------
+
+TEST(Provenance, EmitMetricsWritesProvFileAndBytesGauge) {
+  obs::Registry::global().reset();
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+  obs::Ledger::global().append(make_record(
+      "xn--pple-43d.com", obs::ProvDetector::kHomograph, "ssim_scan", true));
+  obs::note_workload(obs::GeneratedBy{"prov_unit", 20170921, 1000, 50});
+
+  const std::string dir = ::testing::TempDir() + "idnscope_prov_emit_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(setenv("IDNSCOPE_OBS_DIR", dir.c_str(), 1), 0);
+  obs::emit_metrics("prov_unit");
+  ASSERT_EQ(unsetenv("IDNSCOPE_OBS_DIR"), 0);
+  obs::note_workload(obs::GeneratedBy{});  // un-note for later tests
+
+  const std::string prov_path = dir + "/PROV_prov_unit.jsonl";
+  ASSERT_TRUE(std::filesystem::exists(prov_path));
+  std::string text;
+  {
+    std::FILE* in = std::fopen(prov_path.c_str(), "rb");
+    ASSERT_NE(in, nullptr);
+    char buffer[65536];
+    const std::size_t got = std::fread(buffer, 1, sizeof(buffer), in);
+    std::fclose(in);
+    text.assign(buffer, got);
+  }
+  const auto parsed = obs::parse_provenance(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, "prov_unit");
+  EXPECT_EQ(parsed->generated_by.bench, "prov_unit");
+  EXPECT_EQ(parsed->generated_by.seed, 20170921U);
+  ASSERT_EQ(parsed->records.size(), 1U);
+  EXPECT_EQ(parsed->records[0].rule, "ssim_scan");
+
+  // The ledger's serialized size was noted *before* the snapshot, so the
+  // METRICS file gates the ledger's cost.
+  const auto snapshot = obs::Registry::global().snapshot();
+  const auto gauge = snapshot.gauges.find("obs.provenance.bytes");
+  ASSERT_NE(gauge, snapshot.gauges.end());
+  EXPECT_EQ(gauge->second, static_cast<std::int64_t>(text.size()));
+
+  std::filesystem::remove_all(dir);
+  reset_ledger(obs::ProvenanceMode::kFlaggedOnly);
+}
+
+}  // namespace
+}  // namespace idnscope

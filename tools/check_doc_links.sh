@@ -1,14 +1,29 @@
 #!/bin/sh
-# Verify that relative markdown links in the repo's documentation resolve
-# to files that exist.  Scans the top-level *.md files plus docs/; ignores
-# absolute URLs (http/https/mailto) and intra-page #fragments.  Prints one
-# line per broken link and exits 1 if any were found.
+# Verify that relative markdown links in the repo's documentation resolve:
+# the target file must exist, and any #fragment (intra-page or cross-file)
+# must match a heading in the target under GitHub's anchor slugging
+# (lowercase, punctuation stripped, spaces to hyphens).  Scans the
+# top-level *.md files plus docs/; ignores absolute URLs
+# (http/https/mailto).  Prints one line per broken link and exits 1 if any
+# were found.
 #
 # Usage: tools/check_doc_links.sh [repo-root]
 set -eu
 
 root=${1:-$(dirname "$0")/..}
 cd "$root"
+
+# GitHub-style anchor slugs for every heading in a markdown file, one per
+# line.  Fenced code blocks are skipped so a '# comment' inside an example
+# does not mint an anchor.
+heading_slugs() {
+  awk '
+    /^(```|~~~)/ { in_code = !in_code; next }
+    !in_code && /^#+ / { sub(/^#+ /, ""); print }
+  ' "$1" |
+  tr '[:upper:]' '[:lower:]' |
+  sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
 
 broken=$(
   for doc in ./*.md docs/*.md; do
@@ -19,11 +34,25 @@ broken=$(
     while IFS= read -r target; do
       case $target in
         http://*|https://*|mailto:*) continue ;;
-        '#'*) continue ;;
       esac
-      path=${target%%#*}      # drop any fragment
-      [ -n "$path" ] || continue
-      [ -e "$dir/$path" ] || echo "broken link: $doc -> $target"
+      path=${target%%#*}      # the file part, "" for intra-page links
+      if [ -n "$path" ] && ! [ -e "$dir/$path" ]; then
+        echo "broken link: $doc -> $target"
+        continue
+      fi
+      case $target in
+        *'#'*)
+          fragment=${target##*#}
+          anchored=${path:+$dir/$path}
+          anchored=${anchored:-$doc}
+          # Anchors only make sense into markdown; directories and source
+          # files have none.
+          [ -f "$anchored" ] || continue
+          case $anchored in *.md) ;; *) continue ;; esac
+          heading_slugs "$anchored" | grep -qx "$fragment" ||
+            echo "broken anchor: $doc -> $target"
+          ;;
+      esac
     done
   done
   # The docs the detector and design text point at must keep existing
