@@ -1,0 +1,267 @@
+// idnscoped serving bench: build one immutable StudySnapshot, publish it,
+// and drive >= 1M seeded synthetic queries through the request-batching
+// QueryEngine, measuring throughput and latency.
+//
+// The output contract follows the serving determinism split (DESIGN.md
+// §10): stdout carries only workload-determined facts — query mix, flag
+// counts, the FNV-1a checksum over every verdict field, and the
+// snapshot/batch parity line — so CI byte-diffs it at 1/2/8 threads, and
+// METRICS_serve.json (serve.engine.* counters, serve.snapshot.bytes, the
+// detector effort the queries induced) is byte-identical too.  QPS and the
+// p50/p95/p99 batch latencies are machine facts: they go to stderr and
+// ride the BENCH_serve.json line, where `obsctl gate --budget` checks
+// bench.p99_us and serve.snapshot.bytes against BUDGET_serve.json.
+//
+// A query's latency is its batch's wall time — in a batching front end the
+// queue-for-dispatch wait is the latency a caller observes, so percentiles
+// are computed over per-batch times weighted by batch size.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "idnscope/core/homograph.h"
+#include "idnscope/core/semantic.h"
+#include "idnscope/core/semantic_type2.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/serve/engine.h"
+#include "idnscope/serve/loadgen.h"
+#include "idnscope/serve/publisher.h"
+#include "idnscope/serve/snapshot.h"
+
+using namespace idnscope;
+
+namespace {
+
+constexpr std::uint64_t kQueries = 1'000'000;
+constexpr std::size_t kBatchSize = 256;
+
+// Like bench::emit_bench_json, plus the serving numbers the budget gate
+// and harnesses read off the BENCH line (bench.p99_us in BUDGET_serve.json).
+void emit_bench_json_serve(const char* name, double wall_ms, unsigned threads,
+                           double qps, double p50_us, double p95_us,
+                           double p99_us) {
+  const unsigned resolved =
+      threads != 0 ? threads
+                   : runtime::resolve_threads(0, runtime::kMaxThreads);
+  obs::GeneratedBy stamp = obs::noted_workload();
+  stamp.bench = name;
+  obs::note_workload(stamp);
+  char timing[256];
+  std::snprintf(timing, sizeof(timing),
+                "\"wall_ms\":%.3f,\"threads\":%u,\"qps\":%.1f,"
+                "\"p50_us\":%.3f,\"p95_us\":%.3f,\"p99_us\":%.3f",
+                wall_ms, resolved, qps, p50_us, p95_us, p99_us);
+  const std::string line = "{\"bench\":\"" + std::string(name) + "\"," +
+                           timing + ",\"generated_by\":" +
+                           obs::generated_by_json(stamp) + "}";
+  std::fprintf(stderr, "BENCH_JSON %s\n", line.c_str());
+  const std::string path =
+      obs::output_path(std::string("BENCH_") + name + ".json");
+  if (std::FILE* out = std::fopen(path.c_str(), "w"); out != nullptr) {
+    std::fprintf(out, "%s\n", line.c_str());
+    std::fclose(out);
+  }
+  obs::emit_metrics(name);
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::string_view bytes) {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::uint64_t mix_finding(std::uint64_t hash, const serve::Finding& finding) {
+  hash = fnv1a_u64(hash, finding.flagged ? 1 : 0);
+  hash = fnv1a(hash, finding.rule);
+  hash = fnv1a(hash, finding.brand);
+  hash = fnv1a_u64(hash, finding.score_micros);
+  return hash;
+}
+
+// Weighted percentile over (latency, weight) samples: the latency at or
+// above which `pct` of the total weight sits below.
+double weighted_percentile(std::vector<std::pair<double, std::uint64_t>> rows,
+                           double pct) {
+  if (rows.empty()) {
+    return 0.0;
+  }
+  std::sort(rows.begin(), rows.end());
+  std::uint64_t total = 0;
+  for (const auto& [value, weight] : rows) {
+    total += weight;
+  }
+  const double target = pct * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (const auto& [value, weight] : rows) {
+    seen += weight;
+    if (static_cast<double>(seen) >= target) {
+      return value;
+    }
+  }
+  return rows.back().first;
+}
+
+bool finding_matches(const serve::Finding& finding, bool flagged,
+                     std::string_view rule, std::string_view brand,
+                     std::uint64_t score_micros) {
+  return finding.flagged == flagged && finding.rule == rule &&
+         finding.brand == brand && finding.score_micros == score_micros;
+}
+
+// Snapshot/batch parity: classify() must reach the verdict the batch
+// detectors reach, field for field, for every distinct domain the load
+// actually queried (the bench's acceptance criterion).  The reference
+// detectors are constructed exactly as core::build_markdown_report builds
+// them — that construction *defines* "the batch Study verdict".
+std::uint64_t parity_mismatches(const serve::StudySnapshot& snapshot,
+                                const std::set<std::string>& domains) {
+  const core::HomographDetector homograph(ecosystem::alexa_top1k());
+  const core::SemanticDetector semantic(ecosystem::alexa_top1k());
+  const core::Type2Detector type2;
+  std::uint64_t mismatches = 0;
+  for (const std::string& domain : domains) {
+    const serve::Verdict verdict = snapshot.classify(domain);
+    bool ok = verdict.parsed;
+    if (const auto match = homograph.best_match(domain)) {
+      ok = ok && finding_matches(verdict.homograph, true, match->rule,
+                                 match->brand, obs::to_micros(match->ssim));
+    } else {
+      ok = ok && !verdict.homograph.flagged;
+    }
+    if (const auto hit = semantic.match(domain)) {
+      ok = ok && finding_matches(verdict.semantic_t1, true,
+                                 "ascii_strip_brand_match", hit->brand,
+                                 obs::to_micros(1.0));
+    } else {
+      ok = ok && !verdict.semantic_t1.flagged;
+    }
+    if (const auto hit = type2.match(domain)) {
+      ok = ok && finding_matches(verdict.semantic_t2, true,
+                                 "translation_substring", hit->brand,
+                                 obs::to_micros(1.0));
+    } else {
+      ok = ok && !verdict.semantic_t2.flagged;
+    }
+    if (!ok) {
+      ++mismatches;
+      if (mismatches <= 5) {
+        std::fprintf(stderr, "parity mismatch: %s\n", domain.c_str());
+      }
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main() {
+  const ecosystem::Scenario scenario = bench::bench_scenario();
+  bench::print_header(
+      "serve",
+      "idnscoped: online classification over an immutable study snapshot",
+      scenario);
+
+  const bench::Stopwatch build_watch;
+  const ecosystem::Ecosystem eco = ecosystem::generate(scenario);
+  obs::note_workload(obs::GeneratedBy{"", scenario.seed, scenario.bulk_scale,
+                                      scenario.abuse_scale});
+  serve::SnapshotOptions options;
+  options.study.threads = bench::bench_threads();
+  options.study.provenance.mode = bench::bench_provenance_mode();
+  auto snapshot = std::make_shared<const serve::StudySnapshot>(eco, options);
+  std::fprintf(stderr, "snapshot build: %.3fms (%zu bytes)\n",
+               build_watch.elapsed_ms(), snapshot->bytes());
+  std::printf("snapshot: generation=%" PRIu64 " domains=%zu idns=%zu\n",
+              snapshot->generation(), snapshot->study().table().size(),
+              snapshot->study().idns().size());
+
+  serve::SnapshotPublisher publisher(snapshot);
+  serve::LoadGenerator loadgen(*snapshot, scenario.seed);
+
+  std::uint64_t homograph_flagged = 0;
+  std::uint64_t semantic_flagged = 0;
+  std::uint64_t type2_flagged = 0;
+  std::uint64_t blacklisted = 0;
+  std::uint64_t known = 0;
+  std::uint64_t checksum = 14695981039346656037ull;  // FNV offset basis
+  std::set<std::string> distinct;
+  std::vector<std::pair<double, std::uint64_t>> batch_times;
+  batch_times.reserve(kQueries / kBatchSize + 1);
+
+  serve::QueryEngine engine(
+      publisher,
+      serve::EngineOptions{kBatchSize, bench::bench_threads()},
+      [&](std::span<const serve::Verdict> verdicts, double batch_ms) {
+        batch_times.emplace_back(batch_ms * 1000.0, verdicts.size());
+        for (const serve::Verdict& verdict : verdicts) {
+          homograph_flagged += verdict.homograph.flagged ? 1 : 0;
+          semantic_flagged += verdict.semantic_t1.flagged ? 1 : 0;
+          type2_flagged += verdict.semantic_t2.flagged ? 1 : 0;
+          blacklisted += verdict.blacklist_mask != 0 ? 1 : 0;
+          known += verdict.known ? 1 : 0;
+          checksum = fnv1a(checksum, verdict.domain);
+          checksum = fnv1a_u64(checksum, verdict.known ? 1 : 0);
+          checksum = fnv1a_u64(checksum, verdict.blacklist_mask);
+          checksum = mix_finding(checksum, verdict.homograph);
+          checksum = mix_finding(checksum, verdict.semantic_t1);
+          checksum = mix_finding(checksum, verdict.semantic_t2);
+          distinct.insert(verdict.domain);
+        }
+      });
+
+  const bench::Stopwatch serve_watch;
+  for (std::uint64_t i = 0; i < kQueries; ++i) {
+    engine.submit(loadgen.next());
+  }
+  engine.flush();
+  const double wall_ms = serve_watch.elapsed_ms();
+
+  const double qps =
+      static_cast<double>(kQueries) / (wall_ms / 1000.0);
+  const double p50_us = weighted_percentile(batch_times, 0.50);
+  const double p95_us = weighted_percentile(batch_times, 0.95);
+  const double p99_us = weighted_percentile(batch_times, 0.99);
+
+  std::printf("queries: total=%" PRIu64 " batches=%" PRIu64
+              " distinct_domains=%zu miss_pool=%zu\n",
+              engine.queries(), engine.batches(), distinct.size(),
+              loadgen.miss_pool_size());
+  std::printf("verdicts: known=%" PRIu64 " blacklisted=%" PRIu64
+              " homograph=%" PRIu64 " semantic=%" PRIu64 " type2=%" PRIu64
+              "\n",
+              known, blacklisted, homograph_flagged, semantic_flagged,
+              type2_flagged);
+  std::printf("checksum: %016" PRIx64 "\n", checksum);
+
+  const std::uint64_t mismatches = parity_mismatches(*snapshot, distinct);
+  if (mismatches != 0) {
+    std::printf("parity: FAILED (%" PRIu64 " of %zu domains)\n", mismatches,
+                distinct.size());
+    return 1;
+  }
+  std::printf("parity: ok (%zu distinct domains match the batch verdicts)\n",
+              distinct.size());
+
+  std::fprintf(stderr,
+               "serve: %.3fms qps=%.1f p50=%.1fus p95=%.1fus p99=%.1fus\n",
+               wall_ms, qps, p50_us, p95_us, p99_us);
+  emit_bench_json_serve("serve", wall_ms, bench::bench_threads(), qps,
+                        p50_us, p95_us, p99_us);
+  return 0;
+}

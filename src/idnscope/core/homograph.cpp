@@ -149,21 +149,20 @@ HomographDetector::HomographDetector(
   // buffers + column profiles + brand strings + skeleton keys) — a function
   // of the brand set and render options only, so it sits on the metrics
   // plane.
-  std::int64_t table_bytes = 0;
   for (const auto& bucket : by_length_) {
     for (const BrandImage& entry : bucket) {
-      table_bytes += static_cast<std::int64_t>(
+      table_bytes_ += static_cast<std::int64_t>(
           entry.image.pixels().size() * sizeof(std::uint8_t) +
           entry.profile.size() * sizeof(int) + entry.brand.domain.size());
     }
   }
   for (const auto& [skeleton, entry] : brand_by_skeleton_) {
-    table_bytes +=
+    table_bytes_ +=
         static_cast<std::int64_t>(skeleton.size() + sizeof(entry));
   }
   obs::Registry::global()
       .gauge("core.homograph.brand_table_bytes")
-      .set(table_bytes);
+      .set(table_bytes_);
 }
 
 std::optional<HomographMatch> HomographDetector::best_match(
@@ -193,6 +192,7 @@ std::optional<HomographMatch> HomographDetector::best_match(
         HomographMatch match;
         match.domain = std::string(ace_domain);
         match.brand = hit->second->brand.domain;
+        match.rule = "skeleton_identical_twin";
         match.ssim = 1.0;
         match.identical = true;
         return match;
@@ -241,6 +241,7 @@ std::optional<HomographMatch> HomographDetector::best_match(
   emit_homograph_record(ace_domain, &*display, "ssim_scan", best.brand,
                         best.ssim, true);
   best.domain = std::string(ace_domain);
+  best.rule = "ssim_scan";
   best.identical = best.ssim >= 1.0 - 1e-9;
   return best;
 }

@@ -33,6 +33,11 @@ namespace idnscope::core {
 struct HomographMatch {
   std::string domain;       // the IDN (ACE form)
   std::string brand;        // matched brand domain
+  // Which decision path flagged the pair — the provenance vocabulary
+  // ("skeleton_identical_twin" or "ssim_scan", docs/DETECTORS.md
+  // #provenance-records); lets serve verdicts carry the batch rule without
+  // re-deriving it.
+  std::string rule;
   double ssim = 0.0;        // maximum SSIM index
   bool identical = false;   // ssim == 1.0 (pixel-identical)
 };
@@ -88,6 +93,11 @@ class HomographDetector {
   std::uint64_t prefilter_skips() const { return prefilter_skips_.value(); }
   std::uint64_t skeleton_hits() const { return skeleton_hits_.value(); }
 
+  // Pre-rendered brand-table working set — the pure size math behind the
+  // core.homograph.brand_table_bytes gauge, exposed so snapshot owners
+  // (serve/snapshot.h) can aggregate per-instance byte accounting.
+  std::int64_t brand_table_bytes() const { return table_bytes_; }
+
  private:
   struct BrandImage {
     ecosystem::Brand brand;  // owned copy; callers may pass temporaries
@@ -102,6 +112,7 @@ class HomographDetector {
   // HomographOptions::use_skeleton_index).  Values point into by_length_;
   // built after the buckets settle, never mutated afterwards.
   std::unordered_map<std::string, const BrandImage*> brand_by_skeleton_;
+  std::int64_t table_bytes_ = 0;  // brand_table_bytes() / gauge value
   // Registry handles (shared cells, cheap copies).
   obs::Counter ssim_evaluations_;
   obs::Counter prefilter_skips_;

@@ -36,13 +36,12 @@ SemanticDetector::SemanticDetector(std::span<const ecosystem::Brand> brands) {
   }
   // Working set of the brand lookup table as pure size math (key + value
   // characters) — a function of the brand set only (metrics plane).
-  std::int64_t table_bytes = 0;
   for (const auto& [key, value] : brand_by_sld_) {
-    table_bytes += static_cast<std::int64_t>(key.size() + value.size());
+    table_bytes_ += static_cast<std::int64_t>(key.size() + value.size());
   }
   obs::Registry::global()
       .gauge("core.semantic.brand_table_bytes")
-      .set(table_bytes);
+      .set(table_bytes_);
 }
 
 std::optional<SemanticMatch> SemanticDetector::match(

@@ -42,9 +42,15 @@ class SemanticDetector {
                                   std::span<const runtime::DomainId> domains,
                                   unsigned threads = 0) const;
 
+  // Brand-table working set — the pure size math behind the
+  // core.semantic.brand_table_bytes gauge, exposed for snapshot byte
+  // accounting (serve/snapshot.h).
+  std::int64_t brand_table_bytes() const { return table_bytes_; }
+
  private:
   // brand SLD + tld -> brand domain
   std::unordered_map<std::string, std::string> brand_by_sld_;
+  std::int64_t table_bytes_ = 0;
 };
 
 // Section VII-B aggregations (Table XIV, protective/personal registrations).

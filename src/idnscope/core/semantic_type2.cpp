@@ -40,14 +40,13 @@ Type2Detector::Type2Detector(
   // Working set of the decoded translation dictionary as pure size math
   // (needle code points + the pointer per entry) — a function of the
   // dictionary only (metrics plane).
-  std::int64_t dictionary_bytes = 0;
   for (const Entry& entry : entries_) {
-    dictionary_bytes += static_cast<std::int64_t>(
+    dictionary_bytes_ += static_cast<std::int64_t>(
         entry.needle.size() * sizeof(char32_t) + sizeof(entry.translation));
   }
   obs::Registry::global()
       .gauge("core.semantic_type2.dictionary_bytes")
-      .set(dictionary_bytes);
+      .set(dictionary_bytes_);
 }
 
 std::optional<Type2Match> Type2Detector::match(

@@ -51,12 +51,18 @@ class Type2Detector {
                                std::span<const runtime::DomainId> domains,
                                unsigned threads = 0) const;
 
+  // Decoded-dictionary working set — the pure size math behind the
+  // core.semantic_type2.dictionary_bytes gauge, exposed for snapshot byte
+  // accounting (serve/snapshot.h).
+  std::int64_t dictionary_bytes() const { return dictionary_bytes_; }
+
  private:
   struct Entry {
     std::u32string needle;
     const ecosystem::BrandTranslation* translation;
   };
   std::vector<Entry> entries_;
+  std::int64_t dictionary_bytes_ = 0;
 };
 
 }  // namespace idnscope::core

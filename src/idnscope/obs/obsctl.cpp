@@ -102,6 +102,26 @@ std::optional<double> parse_bench_field(const std::string& json,
   return value;
 }
 
+// Strict base-10 u64 parse for command-line arguments.  obsctl's exit-code
+// contract (0 identical / 1 differs / 2 usage-or-IO error) only means
+// something if a malformed argument lands in bucket 2 instead of silently
+// running a different query — strtoul's "parse the prefix, ignore the
+// rest" default turned `top -n 5x` into `-n 5`.  Rejects empty input,
+// trailing garbage, overflow (errno) and the leading +/- signs strtoull
+// quietly accepts.
+std::optional<std::uint64_t> parse_u64_arg(const std::string& arg) {
+  if (arg.empty() || arg[0] == '+' || arg[0] == '-') {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(arg.c_str(), &end, 10);
+  if (errno != 0 || end == arg.c_str() || *end != '\0') {
+    return std::nullopt;
+  }
+  return value;
+}
+
 std::vector<Ranked> rank_descending(std::vector<Ranked> rows, std::size_t n) {
   std::sort(rows.begin(), rows.end(), [](const Ranked& a, const Ranked& b) {
     if (a.value != b.value) {
@@ -158,7 +178,13 @@ int run_top(std::span<const std::string> args, std::string& out,
         err += "obsctl top: -n needs a value\n";
         return kObsctlError;
       }
-      n = static_cast<std::size_t>(std::strtoul(args[++i].c_str(), nullptr, 10));
+      const auto parsed = parse_u64_arg(args[++i]);
+      if (!parsed || *parsed == 0) {
+        err += "obsctl top: -n must be a whole integer >= 1; got \"" +
+               args[i] + "\"\n";
+        return kObsctlError;
+      }
+      n = static_cast<std::size_t>(*parsed);
     } else {
       files.push_back(args[i]);
     }
@@ -237,9 +263,15 @@ int run_gate(std::span<const std::string> args, std::string& out,
         return kObsctlError;
       }
       char* end = nullptr;
+      errno = 0;
       wall_tolerance = std::strtod(args[++i].c_str(), &end);
-      if (end == args[i].c_str() || wall_tolerance <= 0.0) {
-        err += "obsctl gate: bad --wall-tolerance\n";
+      // Same strictness as parse_u64_arg: trailing garbage ("25x") must be
+      // a usage error, not a silently truncated tolerance.
+      // `!(x > 0)` rather than `x <= 0` so a parsed NaN is also refused.
+      if (errno != 0 || end == args[i].c_str() || *end != '\0' ||
+          !(wall_tolerance > 0.0)) {
+        err += "obsctl gate: --wall-tolerance must be a positive number; "
+               "got \"" + args[i] + "\"\n";
         return kObsctlError;
       }
     } else {
@@ -325,10 +357,12 @@ int run_gate(std::span<const std::string> args, std::string& out,
   // Memory plane (--budget): per-stage byte ceilings from the committed
   // BUDGET_<name>.json, snapshot-format with the ceilings in "gauges".
   // Each named gauge must exist in the fresh METRICS snapshot and sit at
-  // or under its ceiling; the reserved name "bench.peak_rss_kb" is
-  // checked against the fresh BENCH line's peak_rss_kb field instead
-  // (docs/OBSERVABILITY.md, exit-code contract: 1 = over budget,
-  // 2 = missing/malformed budget or gauge).
+  // or under its ceiling; the reserved "bench." prefix instead checks a
+  // field of the fresh BENCH line — "bench.peak_rss_kb" against its
+  // peak_rss_kb field, "bench.p99_us" against p99_us, and so on — which is
+  // how timing-plane numbers like serve latency get ceilings without
+  // entering the deterministic snapshot (docs/OBSERVABILITY.md, exit-code
+  // contract: 1 = over budget, 2 = missing/malformed budget or gauge).
   std::size_t budget_checks = 0;
   if (check_budget) {
     const std::string budget_path = path(baseline_dir, "BUDGET_", name);
@@ -345,14 +379,15 @@ int run_gate(std::span<const std::string> args, std::string& out,
     }
     for (const auto& [gauge, ceiling] : budget_snap->gauges) {
       double actual = 0.0;
-      if (gauge == "bench.peak_rss_kb") {
-        const auto rss = parse_bench_field(*fresh_bench, "peak_rss_kb");
-        if (!rss) {
-          err += "obsctl gate: budget names bench.peak_rss_kb but the "
-                 "fresh BENCH line carries no peak_rss_kb field\n";
+      if (gauge.rfind("bench.", 0) == 0) {
+        const std::string field = gauge.substr(6);
+        const auto value = parse_bench_field(*fresh_bench, field.c_str());
+        if (!value) {
+          err += "obsctl gate: budget names " + gauge + " but the fresh "
+                 "BENCH line carries no " + field + " field\n";
           return kObsctlError;
         }
-        actual = *rss;
+        actual = *value;
       } else {
         const auto it = fresh_snap->gauges.find(gauge);
         if (it == fresh_snap->gauges.end()) {
@@ -479,14 +514,14 @@ int run_explain(std::span<const std::string> args, std::string& out,
     return kObsctlOk;
   }
   const std::string& subject = positional[1];
+  // An all-digits subject is a DomainId.  The strict parse also bounds it:
+  // an overflowing digit string can never name a 32-bit id, and letting
+  // strtoull wrap would alias it onto a real subject.
+  const auto parsed_id = parse_u64_arg(subject);
   const bool numeric =
-      !subject.empty() &&
-      std::all_of(subject.begin(), subject.end(),
-                  [](unsigned char c) { return c >= '0' && c <= '9'; });
+      parsed_id.has_value() && *parsed_id <= 0xFFFFFFFFull;
   const std::int64_t subject_id =
-      numeric ? static_cast<std::int64_t>(std::strtoull(subject.c_str(),
-                                                        nullptr, 10))
-              : -1;
+      numeric ? static_cast<std::int64_t>(*parsed_id) : -1;
   std::vector<const ProvenanceRecord*> chain;
   for (const ProvenanceRecord& record : file->records) {
     if (record.domain == subject ||

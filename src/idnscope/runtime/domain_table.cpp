@@ -1,6 +1,8 @@
 #include "idnscope/runtime/domain_table.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "idnscope/common/rng.h"
 #include "idnscope/obs/metrics.h"
@@ -277,14 +279,51 @@ DomainId DomainTable::find(std::string_view domain) const {
   return lookup(domain, stable_hash64(domain));
 }
 
+namespace {
+
+// Ring-generation state for the RingViewPin contract.  ring_seq counts the
+// calling thread's str() calls (view seq s lives in slot s % 8 and is
+// recycled by seq s + 8); oldest_pinned is the smallest pinned view seq, or
+// kNoPin when no pin is active.  Both are per-thread: a pin never observes
+// another thread's ring.
+constexpr std::uint64_t kNoPin = ~std::uint64_t{0};
+thread_local std::uint64_t t_ring_seq = 0;
+thread_local std::uint64_t t_oldest_pinned = kNoPin;
+
+}  // namespace
+
+RingViewPin::RingViewPin() : previous_(t_oldest_pinned) {
+  if (t_ring_seq == 0) {
+    return;  // no view issued on this thread yet: nothing to protect
+  }
+  const std::uint64_t pinned = t_ring_seq - 1;  // most recent view's seq
+  if (pinned < t_oldest_pinned) {
+    t_oldest_pinned = pinned;
+  }
+}
+
+RingViewPin::~RingViewPin() { t_oldest_pinned = previous_; }
+
 std::string_view DomainTable::str(DomainId id) const {
   // Per-thread decode ring: 8 live views per thread, enough for sort
   // comparators and short call chains (header contract).
   constexpr unsigned kRingSize = 8;
   thread_local std::string ring[kRingSize];
-  thread_local unsigned next = 0;
-  std::string& buf = ring[next];
-  next = (next + 1) % kRingSize;
+  const std::uint64_t seq = t_ring_seq++;
+  if (t_oldest_pinned != kNoPin && seq - t_oldest_pinned >= kRingSize) {
+    // This call would recycle the slot of a pinned view (RingViewPin in the
+    // header): the caller held a str() view past the 8-view window.  Abort
+    // loudly — the alternative is a silent read of recycled bytes.
+    std::fprintf(stderr,
+                 "DomainTable::str: view ring overrun — a RingViewPin "
+                 "protects view seq %llu but this thread is issuing view seq "
+                 "%llu (ring holds 8); copy the pinned view into a "
+                 "std::string before making more str() calls\n",
+                 static_cast<unsigned long long>(t_oldest_pinned),
+                 static_cast<unsigned long long>(seq));
+    std::abort();
+  }
+  std::string& buf = ring[seq % kRingSize];
   decode_entry(id, buf);
   return buf;
 }

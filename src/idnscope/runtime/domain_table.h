@@ -72,6 +72,33 @@ namespace idnscope::runtime {
 using DomainId = std::uint32_t;
 inline constexpr DomainId kInvalidDomainId = 0xFFFFFFFFu;
 
+// Guard for the str() view-ring contract ("Views are transient" above).
+//
+// Construct a pin right after the str() call whose view you intend to hold;
+// while the pin lives, the calling thread's 8-slot ring refuses to recycle
+// that view's slot — the 8th subsequent str() call on the thread aborts
+// loudly (message + std::abort) instead of silently overwriting pinned
+// bytes.  This is how the serving path turned "held a view across batched
+// probes past the ring window" from a silent read of recycled bytes into a
+// tier-1 failure.
+//
+// The check is always compiled in (the default RelWithDebInfo build defines
+// NDEBUG, which would erase a plain assert): per str() call it costs one
+// thread_local load and compare, noise against the decode itself.  Pins
+// nest LIFO (scopes), protect only the calling thread's ring, and protect
+// the single most recent view at construction time — pin each view you
+// keep.  A pin created before any str() call protects nothing.
+class RingViewPin {
+ public:
+  RingViewPin();
+  RingViewPin(const RingViewPin&) = delete;
+  RingViewPin& operator=(const RingViewPin&) = delete;
+  ~RingViewPin();
+
+ private:
+  std::uint64_t previous_;  // enclosing pin's oldest-pinned seq (LIFO)
+};
+
 class DomainTable {
  public:
   DomainTable() = default;
@@ -148,6 +175,14 @@ class DomainTable {
 
   // Report boundary: materialize a span of ids back into owned strings.
   std::vector<std::string> resolve(std::span<const DomainId> ids) const;
+
+  // Total working set as pure size math — arena + block offsets + lookup
+  // index + side tables, i.e. the sum behind the runtime.domain_table.
+  // {arena,index}_bytes gauges.  Exposed for snapshot byte accounting
+  // (serve/snapshot.h, BUDGET_serve.json).
+  std::size_t memory_bytes() const {
+    return static_cast<std::size_t>(arena_bytes() + index_bytes());
+  }
 
  private:
   static constexpr std::uint8_t kRegisteredFlag = 1;

@@ -1,0 +1,168 @@
+#include "idnscope/serve/engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "idnscope/obs/trace.h"
+#include "idnscope/runtime/parallel.h"
+
+namespace idnscope::serve {
+
+QueryEngine::QueryEngine(const SnapshotPublisher& publisher,
+                         EngineOptions options, BatchSink sink)
+    : publisher_(&publisher),
+      options_(options),
+      sink_(std::move(sink)),
+      queries_counter_(obs::Registry::global().counter("serve.engine.queries")),
+      batches_counter_(obs::Registry::global().counter("serve.engine.batches")),
+      flagged_counter_(obs::Registry::global().counter("serve.engine.flagged")),
+      interned_hits_(
+          obs::Registry::global().counter("serve.engine.interned_hits")),
+      generation_misses_(
+          obs::Registry::global().counter("serve.engine.generation_misses")),
+      cache_hits_(obs::Registry::global().counter("serve.engine.cache_hits")),
+      cache_misses_(
+          obs::Registry::global().counter("serve.engine.cache_misses")) {
+  if (options_.batch_size == 0) {
+    options_.batch_size = 1;
+  }
+  pending_.reserve(options_.batch_size);
+}
+
+void QueryEngine::submit(Query query) {
+  pending_.push_back(std::move(query));
+  if (pending_.size() >= options_.batch_size) {
+    dispatch();
+  }
+}
+
+void QueryEngine::flush() { dispatch(); }
+
+void QueryEngine::dispatch() {
+  if (pending_.empty()) {
+    return;
+  }
+  // One snapshot load per batch: every query in the batch is answered
+  // against the same generation, and the shared_ptr keeps it alive even if
+  // a writer publishes mid-batch (publisher.h).
+  const std::shared_ptr<const StudySnapshot> snapshot = publisher_->current();
+  if (snapshot == nullptr) {
+    std::fprintf(stderr,
+                 "QueryEngine::dispatch: no snapshot published — publish() a "
+                 "StudySnapshot before submitting queries\n");
+    std::abort();
+  }
+  const obs::StageTimer stage("serve.engine.dispatch");
+  verdicts_.clear();
+  verdicts_.resize(pending_.size());
+  // Deterministic split of the per-query decisions: counted serially below
+  // so the counters match at any thread count (the classify work itself is
+  // a pure function of the query).
+  std::uint64_t interned_hits = 0;
+  std::uint64_t generation_misses = 0;
+  for (const Query& query : pending_) {
+    if (query.id == runtime::kInvalidDomainId) {
+      continue;
+    }
+    if (query.generation == snapshot->generation()) {
+      ++interned_hits;
+    } else {
+      ++generation_misses;
+      if (query.text.empty()) {
+        std::fprintf(
+            stderr,
+            "QueryEngine::dispatch: interned query (id %u, generation %llu) "
+            "has no text fallback but the serving snapshot is generation "
+            "%llu — the id is dangling\n",
+            static_cast<unsigned>(query.id),
+            static_cast<unsigned long long>(query.generation),
+            static_cast<unsigned long long>(snapshot->generation()));
+        std::abort();
+      }
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  // Request collapsing: the snapshot is immutable, so a verdict is a pure
+  // function of the query — repeat queries are answered from the memo and
+  // only misses fan out to the detectors.  The hit/miss partition happens
+  // serially here, before the parallel section, so the miss set (and hence
+  // every counter and provenance record downstream) depends only on the
+  // query stream, never on thread count.  A domain queried twice in one
+  // batch is classified twice (consistent results — classify is pure);
+  // both land on the same memo slot afterwards.
+  if (options_.cache_verdicts && cache_generation_ != snapshot->generation()) {
+    cache_by_id_.clear();
+    cache_by_text_.clear();
+    cache_generation_ = snapshot->generation();
+  }
+  std::vector<std::size_t> misses;
+  std::uint64_t cache_hits = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const Query& query = pending_[i];
+    const bool interned = query.id != runtime::kInvalidDomainId &&
+                          query.generation == snapshot->generation();
+    if (options_.cache_verdicts) {
+      if (interned) {
+        if (const auto it = cache_by_id_.find(query.id);
+            it != cache_by_id_.end()) {
+          verdicts_[i] = it->second;
+          ++cache_hits;
+          continue;
+        }
+      } else {
+        if (const auto it = cache_by_text_.find(query.text);
+            it != cache_by_text_.end()) {
+          verdicts_[i] = it->second;
+          ++cache_hits;
+          continue;
+        }
+      }
+    }
+    misses.push_back(i);
+  }
+  runtime::parallel_for(misses.size(), options_.threads, [&](std::size_t m) {
+    const std::size_t i = misses[m];
+    const Query& query = pending_[i];
+    if (query.id != runtime::kInvalidDomainId &&
+        query.generation == snapshot->generation()) {
+      verdicts_[i] = snapshot->classify_interned(query.id);
+    } else {
+      verdicts_[i] = snapshot->classify(query.text);
+    }
+  });
+  if (options_.cache_verdicts) {
+    for (const std::size_t i : misses) {
+      const Query& query = pending_[i];
+      if (query.id != runtime::kInvalidDomainId &&
+          query.generation == snapshot->generation()) {
+        cache_by_id_.insert_or_assign(query.id, verdicts_[i]);
+      } else {
+        cache_by_text_.insert_or_assign(query.text, verdicts_[i]);
+      }
+    }
+  }
+  const double batch_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  std::uint64_t flagged = 0;
+  for (const Verdict& verdict : verdicts_) {
+    flagged += verdict.flagged() ? 1 : 0;
+  }
+  queries_submitted_ += pending_.size();
+  ++batches_dispatched_;
+  queries_counter_.add(pending_.size());
+  batches_counter_.add(1);
+  flagged_counter_.add(flagged);
+  interned_hits_.add(interned_hits);
+  generation_misses_.add(generation_misses);
+  cache_hits_.add(cache_hits);
+  cache_misses_.add(misses.size());
+  if (sink_) {
+    sink_(std::span<const Verdict>(verdicts_), batch_ms);
+  }
+  pending_.clear();
+}
+
+}  // namespace idnscope::serve

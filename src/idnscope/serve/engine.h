@@ -1,0 +1,109 @@
+// idnscoped, layer 3: the request-batching front end.
+//
+// Online queries arrive one at a time but are cheapest to answer in bulk:
+// the engine accumulates submitted queries into fixed-size batches and
+// dispatches each full batch across the deterministic executor
+// (runtime::parallel_for) — one publisher load per batch, one Verdict slot
+// per query, input order preserved.  Because parallel_for's chunk geometry
+// is a pure function of (count, grain), the verdict sequence for a given
+// query sequence is bit-identical at any thread count; only the latency a
+// sink observes varies.  That split is the serving determinism contract
+// (DESIGN.md §10): verdict stream and serve.engine.* counters on the
+// deterministic plane, batch wall times on the timing plane.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "idnscope/obs/metrics.h"
+#include "idnscope/serve/publisher.h"
+#include "idnscope/serve/snapshot.h"
+
+namespace idnscope::serve {
+
+// One request.  Two forms:
+//  - text query: `text` holds the raw (possibly Unicode) domain; the engine
+//    normalizes and probes the snapshot's string→id index.
+//  - interned query (zero-copy): `id` names a domain in the snapshot
+//    generation `generation` — ids are only meaningful within the
+//    generation that issued them, so the engine re-resolves through `text`
+//    if the serving snapshot has moved on, and aborts loudly when an
+//    interned query carries no text fallback (a caller bug: dangling id).
+struct Query {
+  std::string text;
+  runtime::DomainId id = runtime::kInvalidDomainId;
+  std::uint64_t generation = 0;
+};
+
+struct EngineOptions {
+  std::size_t batch_size = 256;  // queries per dispatch
+  unsigned threads = 0;          // executor workers (0 = env/default)
+  // Memoize verdicts per snapshot generation.  A verdict is a pure
+  // function of (snapshot, domain) — the snapshot is immutable — so a
+  // repeat query can be answered from the memo without touching the
+  // detectors; the memo is invalidated wholesale when a dispatch observes
+  // a new generation.  Cache state is a pure function of the query stream
+  // (hit/miss partitioning happens serially at the dispatch boundary), so
+  // verdicts, counters and provenance stay bit-identical at any thread
+  // count — only misses reach classify() and emit records.
+  bool cache_verdicts = true;
+};
+
+class QueryEngine {
+ public:
+  // Verdicts of one dispatched batch, in submission order, plus the batch's
+  // wall time (timing plane only — everything else the sink sees is
+  // deterministic).  The span is valid for the duration of the call.
+  using BatchSink =
+      std::function<void(std::span<const Verdict>, double batch_ms)>;
+
+  QueryEngine(const SnapshotPublisher& publisher, EngineOptions options = {},
+              BatchSink sink = nullptr);
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Enqueue one query; dispatches automatically when the pending batch
+  // reaches batch_size.  Single producer: submit()/flush() are not
+  // thread-safe against each other (the parallelism is inside a dispatch).
+  void submit(Query query);
+
+  // Dispatch the pending partial batch, if any.  Call at end of stream.
+  void flush();
+
+  // Totals for this engine instance (process-wide cells also feed
+  // METRICS_serve.json: serve.engine.{queries,batches,flagged}).
+  std::uint64_t queries() const { return queries_submitted_; }
+  std::uint64_t batches() const { return batches_dispatched_; }
+
+ private:
+  void dispatch();
+
+  const SnapshotPublisher* publisher_;
+  EngineOptions options_;
+  BatchSink sink_;
+  std::vector<Query> pending_;
+  std::vector<Verdict> verdicts_;  // reused per dispatch
+  std::uint64_t queries_submitted_ = 0;
+  std::uint64_t batches_dispatched_ = 0;
+  // Verdict memo (EngineOptions::cache_verdicts), valid for snapshots of
+  // cache_generation_ only; interned queries key by id, text queries by
+  // the raw text.
+  std::uint64_t cache_generation_ = 0;
+  std::unordered_map<runtime::DomainId, Verdict> cache_by_id_;
+  std::unordered_map<std::string, Verdict> cache_by_text_;
+  obs::Counter queries_counter_;
+  obs::Counter batches_counter_;
+  obs::Counter flagged_counter_;
+  obs::Counter interned_hits_;
+  obs::Counter generation_misses_;
+  obs::Counter cache_hits_;
+  obs::Counter cache_misses_;
+};
+
+}  // namespace idnscope::serve

@@ -1,0 +1,106 @@
+#include "idnscope/serve/loadgen.h"
+
+#include <span>
+#include <string>
+
+#include "idnscope/ecosystem/brands.h"
+#include "idnscope/idna/lookalike.h"
+
+namespace idnscope::serve {
+
+namespace {
+
+constexpr std::size_t kMissPoolCap = 2048;
+constexpr std::size_t kMissPoolMin = 256;
+
+// Brand-lookalike misses first (the interesting unregistered traffic:
+// domains an attacker *could* register tomorrow), synthetic fillers after.
+// Every entry is verified absent from the snapshot's table — the point of
+// the population is exercising the index-miss path.
+std::vector<std::string> build_miss_pool(const StudySnapshot& snapshot) {
+  const runtime::DomainTable& table = snapshot.study().table();
+  std::vector<std::string> pool;
+  for (const ecosystem::Brand& brand : ecosystem::alexa_top1k()) {
+    for (idna::LookalikeCandidate& candidate :
+         idna::single_substitution_candidates(brand.domain)) {
+      if (pool.size() >= kMissPoolCap) {
+        return pool;
+      }
+      if (!table.contains(candidate.ace_domain)) {
+        pool.push_back(std::move(candidate.ace_domain));
+      }
+    }
+  }
+  for (std::size_t i = 0; pool.size() < kMissPoolMin; ++i) {
+    std::string filler = "never-registered-" + std::to_string(i) + ".com";
+    if (!table.contains(filler)) {
+      pool.push_back(std::move(filler));
+    }
+  }
+  return pool;
+}
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(const StudySnapshot& snapshot,
+                             std::uint64_t seed, LoadMix mix)
+    : snapshot_(&snapshot),
+      rng_(Rng(seed).fork("serve.loadgen")),
+      misses_(build_miss_pool(snapshot)) {
+  weights_ = {mix.registered_idn, mix.registered_ascii, mix.attack,
+              mix.unregistered};
+  if (snapshot.study().idns().empty()) {
+    weights_[kRegisteredIdn] = 0.0;
+  }
+  if (snapshot.eco().sampled_non_idns.empty()) {
+    weights_[kRegisteredAscii] = 0.0;
+  }
+  if (snapshot.study().malicious_idns().empty()) {
+    weights_[kAttack] = 0.0;
+  }
+  if (misses_.empty()) {
+    weights_[kUnregistered] = 0.0;
+  }
+}
+
+Query LoadGenerator::next() {
+  const std::size_t population = rng_.weighted(weights_);
+  Query query;
+  switch (static_cast<Population>(population)) {
+    case kRegisteredIdn: {
+      const std::span<const runtime::DomainId> ids = snapshot_->study().idns();
+      query.id = ids[rng_.uniform(0, ids.size() - 1)];
+      query.generation = snapshot_->generation();
+      break;
+    }
+    case kRegisteredAscii: {
+      const std::vector<std::string>& sample =
+          snapshot_->eco().sampled_non_idns;
+      query.text = sample[rng_.uniform(0, sample.size() - 1)];
+      break;
+    }
+    case kAttack: {
+      const std::span<const runtime::DomainId> ids =
+          snapshot_->study().malicious_idns();
+      query.id = ids[rng_.uniform(0, ids.size() - 1)];
+      query.generation = snapshot_->generation();
+      break;
+    }
+    case kUnregistered: {
+      query.text = misses_[rng_.uniform(0, misses_.size() - 1)];
+      break;
+    }
+  }
+  return query;
+}
+
+std::vector<Query> LoadGenerator::batch(std::size_t n) {
+  std::vector<Query> queries;
+  queries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queries.push_back(next());
+  }
+  return queries;
+}
+
+}  // namespace idnscope::serve

@@ -1,0 +1,78 @@
+// idnscoped, layer 4: the seeded synthetic load generator.
+//
+// bench_serve and the tests need millions of queries whose *distribution*
+// looks like production — mostly registered traffic, a sliver of live
+// attacks, a steady stream of misses — but whose *sequence* is a pure
+// function of the seed, so two runs (and two thread counts) replay the
+// identical query stream.  The generator draws from four populations of
+// the snapshot's own ecosystem:
+//
+//   registered_idn    interned zero-copy queries over study().idns()
+//   registered_ascii  text queries over the ecosystem's registered
+//                     non-IDN sample (exercise IDNA + index probe)
+//   attack            interned queries over study().malicious_idns()
+//   unregistered      text queries from a precomputed miss pool: brand
+//                     lookalikes (idna::single_substitution_candidates)
+//                     that are NOT in the snapshot's table, plus synthetic
+//                     never-registered fillers
+//
+// All randomness flows through idnscope::Rng (common/rng.h) forked off the
+// caller's seed; the pool construction iterates deterministic containers
+// only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "idnscope/common/rng.h"
+#include "idnscope/serve/engine.h"
+#include "idnscope/serve/snapshot.h"
+
+namespace idnscope::serve {
+
+// Draw weights for the four populations (normalized by Rng::weighted; a
+// population that is empty in the snapshot's ecosystem is dropped from the
+// draw instead of aborting).
+struct LoadMix {
+  double registered_idn = 0.45;
+  double registered_ascii = 0.25;
+  double attack = 0.10;
+  double unregistered = 0.20;
+};
+
+class LoadGenerator {
+ public:
+  // `snapshot` must outlive the generator.  Interned queries are stamped
+  // with the snapshot's generation; they carry no text fallback, so feed
+  // them only to an engine serving this same snapshot (the zero-copy
+  // contract in engine.h).
+  LoadGenerator(const StudySnapshot& snapshot, std::uint64_t seed,
+                LoadMix mix = {});
+
+  // The next query in the seeded stream.
+  Query next();
+
+  // Convenience: materialize the next `n` queries.
+  std::vector<Query> batch(std::size_t n);
+
+  // The unregistered miss pool (deterministic per snapshot; every entry is
+  // verified absent from the snapshot's table at construction).
+  std::size_t miss_pool_size() const { return misses_.size(); }
+  const std::vector<std::string>& misses() const { return misses_; }
+
+ private:
+  enum Population : std::size_t {
+    kRegisteredIdn = 0,
+    kRegisteredAscii = 1,
+    kAttack = 2,
+    kUnregistered = 3,
+  };
+
+  const StudySnapshot* snapshot_;
+  Rng rng_;
+  std::vector<double> weights_;       // per-Population, zeroed when empty
+  std::vector<std::string> misses_;   // unregistered text pool
+};
+
+}  // namespace idnscope::serve

@@ -1,0 +1,57 @@
+// idnscoped, layer 2: snapshot publication by atomic swap.
+//
+// The serving story's concurrency model in one sentence: writers rebuild a
+// whole StudySnapshot off to the side, then publish it with one atomic
+// shared_ptr store; readers load the pointer once per batch and answer
+// every query in the batch against that one snapshot.  Readers therefore
+// never take a lock for snapshot access and never observe a half-built
+// world — the only shared mutable state is the pointer itself, and the
+// last reader out of a retired generation frees it through the shared_ptr
+// control block (no epoch bookkeeping, no hazard pointers).
+//
+// std::atomic<std::shared_ptr<T>> on this toolchain serializes the
+// refcount handoff internally; that cost is per *batch* (one load), not
+// per query, and — unlike the lazy-build lock this design exists to avoid
+// — it is never held across a rebuild.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "idnscope/serve/snapshot.h"
+
+namespace idnscope::serve {
+
+class SnapshotPublisher {
+ public:
+  SnapshotPublisher() = default;
+  explicit SnapshotPublisher(std::shared_ptr<const StudySnapshot> initial) {
+    current_.store(std::move(initial), std::memory_order_release);
+  }
+
+  SnapshotPublisher(const SnapshotPublisher&) = delete;
+  SnapshotPublisher& operator=(const SnapshotPublisher&) = delete;
+
+  // The snapshot queries should be answered against right now; nullptr
+  // before the first publish().  The returned shared_ptr keeps the
+  // generation alive for as long as the caller holds it, even if a newer
+  // generation is published meanwhile — hold it across a whole batch, drop
+  // it after.
+  std::shared_ptr<const StudySnapshot> current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  // Atomically replace the served snapshot.  The retired generation stays
+  // valid until its last in-flight reader drops its reference.  Publishing
+  // is wait-free for readers; concurrent publishers serialize on the
+  // pointer cell (last store wins — generation numbering is the caller's
+  // convention, SnapshotOptions::generation).
+  void publish(std::shared_ptr<const StudySnapshot> next) {
+    current_.store(std::move(next), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const StudySnapshot>> current_;
+};
+
+}  // namespace idnscope::serve

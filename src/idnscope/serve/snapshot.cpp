@@ -1,0 +1,136 @@
+#include "idnscope/serve/snapshot.h"
+
+#include <optional>
+
+#include "idnscope/core/skeleton_index.h"
+#include "idnscope/ecosystem/brands.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/provenance.h"
+#include "idnscope/obs/trace.h"
+
+namespace idnscope::serve {
+
+namespace {
+
+struct SnapshotMetrics {
+  obs::Counter builds =
+      obs::Registry::global().counter("serve.snapshot.builds");
+  obs::Gauge bytes = obs::Registry::global().gauge("serve.snapshot.bytes");
+};
+
+SnapshotMetrics& snapshot_metrics() {
+  static SnapshotMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+StudySnapshot::StudySnapshot(const ecosystem::Ecosystem& eco,
+                             const SnapshotOptions& options)
+    : eco_(&eco),
+      study_([&] {
+        const obs::StageTimer stage("serve.snapshot.build");
+        return core::Study(eco, options.study);
+      }()),
+      homograph_(ecosystem::alexa_top1k(), options.homograph),
+      semantic_(ecosystem::alexa_top1k()),
+      type2_(),
+      generation_(options.generation) {
+  const obs::StageTimer stage("serve.snapshot.build/indexes");
+  // Force the lazy skeleton index now: readers must never take the
+  // build-once lock on the query path, and the snapshot's byte accounting
+  // must be settled before the first query.
+  const core::SkeletonIndex& index = study_.skeleton_index();
+  bytes_ = study_.table().memory_bytes() + index.bytes() +
+           homograph_.brand_table_bytes() + semantic_.brand_table_bytes() +
+           type2_.dictionary_bytes();
+  SnapshotMetrics& metrics = snapshot_metrics();
+  metrics.builds.add(1);
+  // Pure size math, a function of (scenario, options) only — the latest
+  // built snapshot wins the gauge, mirroring the static-table gauge
+  // convention of docs/OBSERVABILITY.md.
+  metrics.bytes.set(static_cast<std::int64_t>(bytes_));
+}
+
+void StudySnapshot::classify_ace(std::string_view ace,
+                                 Verdict& verdict) const {
+  // Single-subject probes, in the batch pipeline's detector order.  The
+  // detectors own their provenance emission sites, so a classify() of a
+  // batch-scanned domain appends records byte-identical to the batch run's
+  // (same rule strings, same scores, same facets).
+  if (auto match = homograph_.best_match(ace)) {
+    verdict.homograph.flagged = true;
+    verdict.homograph.rule = match->rule;
+    verdict.homograph.brand = std::move(match->brand);
+    verdict.homograph.score_micros = obs::to_micros(match->ssim);
+  }
+  if (auto hit = semantic_.match(ace)) {
+    verdict.semantic_t1.flagged = true;
+    verdict.semantic_t1.rule = "ascii_strip_brand_match";
+    verdict.semantic_t1.brand = std::move(hit->brand);
+    verdict.semantic_t1.score_micros = obs::to_micros(1.0);
+  }
+  if (auto hit = type2_.match(ace)) {
+    verdict.semantic_t2.flagged = true;
+    verdict.semantic_t2.rule = "translation_substring";
+    verdict.semantic_t2.brand = std::move(hit->brand);
+    verdict.semantic_t2.score_micros = obs::to_micros(1.0);
+  }
+}
+
+Verdict StudySnapshot::classify(std::string_view raw_domain) const {
+  Verdict verdict;
+  verdict.generation = generation_;
+  auto ascii = idna::domain_to_ascii(raw_domain);
+  if (!ascii.ok()) {
+    // The batch pipeline only ever sees zone-scanned ACE domains, so there
+    // is no batch verdict to be identical to: report the parse failure
+    // structurally and run no detector (no provenance either — the ledger
+    // vocabulary excludes arbitrary attacker bytes).
+    verdict.domain = std::string(raw_domain.substr(0, 253));
+    verdict.homograph.rule = "invalid_domain";
+    verdict.semantic_t1.rule = "invalid_domain";
+    verdict.semantic_t2.rule = "invalid_domain";
+    return verdict;
+  }
+  verdict.parsed = true;
+  verdict.domain = std::move(ascii).value();
+  const runtime::DomainId id = study_.table().find(verdict.domain);
+  std::optional<obs::SubjectScope> subject;
+  if (id != runtime::kInvalidDomainId) {
+    verdict.domain_id = id;
+    verdict.known = true;
+    verdict.registered = study_.table().is_registered(id);
+    verdict.idn = study_.table().is_idn(id);
+    verdict.blacklist_mask = study_.table().blacklist_mask(id);
+    subject.emplace(id);  // provenance records carry the DomainId
+  }
+  classify_ace(verdict.domain, verdict);
+  return verdict;
+}
+
+Verdict StudySnapshot::classify_interned(runtime::DomainId id) const {
+  Verdict verdict;
+  verdict.generation = generation_;
+  verdict.parsed = true;
+  verdict.domain_id = id;
+  verdict.known = true;
+  verdict.registered = study_.table().is_registered(id);
+  verdict.idn = study_.table().is_idn(id);
+  verdict.blacklist_mask = study_.table().blacklist_mask(id);
+  // The str() view lives in the caller thread's 8-slot ring
+  // (runtime/domain_table.h "Views are transient").  classify_ace() makes
+  // no str() calls of its own, but the pin turns any future violation of
+  // that assumption — the bug class this path shipped with, holding views
+  // across batched probes — into a loud ring-generation abort instead of a
+  // silent read of recycled bytes.
+  const std::string_view ace = study_.table().str(id);
+  const runtime::RingViewPin pin;
+  verdict.domain = std::string(ace);
+  const obs::SubjectScope subject(id);
+  classify_ace(ace, verdict);
+  return verdict;
+}
+
+}  // namespace idnscope::serve

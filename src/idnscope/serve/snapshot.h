@@ -1,0 +1,138 @@
+// idnscoped, layer 1: the immutable study snapshot.
+//
+// The batch pipeline answers "which of these N domains attack a protected
+// brand?"; the serving layer answers the inverse, online question — "is
+// THIS domain an IDN homograph / semantic attack, and what is its risk
+// profile?" — for millions of independent queries.  A StudySnapshot is the
+// read-only world one such query is answered against: the post-build
+// core::Study (DomainTable + side tables + skeleton index), the detector
+// instances with their pre-rendered brand tables, and a generation number.
+//
+// ## Immutability contract
+//
+// After the constructor returns, nothing in the snapshot mutates: the
+// Study's single-writer build is complete, the skeleton index is force-
+// built (so no reader ever takes the lazy-build lock), and the detectors'
+// brand tables are settled.  classify() is therefore safe to call from any
+// number of executor workers concurrently, and a std::shared_ptr<const
+// StudySnapshot> can be handed to readers while a writer rebuilds the next
+// generation off to the side (serve/publisher.h).
+//
+// ## classify() verdict contract (docs/DETECTORS.md#the-classify-contract)
+//
+// classify() runs the same single-subject detector entry points the batch
+// scans funnel through — HomographDetector::best_match, SemanticDetector::
+// match, Type2Detector::match — against the same brand tables, so for any
+// domain the batch pipeline has seen, the verdict's (flagged, rule, brand,
+// score) fields are identical to the batch Study's, and the provenance
+// records emitted on the way are byte-identical to the batch records
+// (tested in tests/serve_test.cpp).  The rule vocabulary is the provenance
+// vocabulary of docs/DETECTORS.md#provenance-records.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "idnscope/core/homograph.h"
+#include "idnscope/core/semantic.h"
+#include "idnscope/core/semantic_type2.h"
+#include "idnscope/core/study.h"
+#include "idnscope/ecosystem/ecosystem.h"
+
+namespace idnscope::serve {
+
+// One detector's contribution to a verdict.  For a flagged finding the
+// (rule, brand, score_micros) triple is field-identical to the provenance
+// record the batch scan emits for the same domain; for a clean finding the
+// rule is "no_match" and brand/score are empty — the facts a negative
+// verdict is allowed to omit (flagged_only sampling omits the whole
+// record).
+struct Finding {
+  bool flagged = false;
+  std::string rule = "no_match";
+  std::string brand;
+  std::uint64_t score_micros = 0;  // fixed-point, obs::to_micros scale
+};
+
+// The structured answer to one query.
+struct Verdict {
+  std::string domain;            // normalized ACE form ("sld.tld")
+  std::int64_t domain_id = -1;   // DomainId in the snapshot's table, -1 unknown
+  std::uint64_t generation = 0;  // snapshot that answered (whole-snapshot
+                                 // observation is assertable through this)
+  bool parsed = false;       // IDNA normalization succeeded
+  bool known = false;        // interned in the snapshot's DomainTable
+  bool registered = false;   // side-table facts (false when unknown)
+  bool idn = false;
+  std::uint8_t blacklist_mask = 0;
+
+  Finding homograph;    // rendering/SSIM rules (VI-B)
+  Finding semantic_t1;  // ASCII-strip brand match (VII)
+  Finding semantic_t2;  // translation dictionary (the paper's open problem)
+
+  // Any detector fired, or the domain is blacklisted.
+  bool flagged() const {
+    return homograph.flagged || semantic_t1.flagged || semantic_t2.flagged ||
+           blacklist_mask != 0;
+  }
+};
+
+struct SnapshotOptions {
+  core::StudyOptions study;  // threads / join budget / provenance sampling
+  // Detector knobs; the defaults match what core::build_markdown_report and
+  // the table13/table14 benches run, which is what "field-identical to the
+  // batch Study" is defined against.
+  core::HomographOptions homograph;
+  // Stamped into every verdict; the publisher's convention is 1, 2, 3, …
+  std::uint64_t generation = 1;
+};
+
+class StudySnapshot {
+ public:
+  // Builds the full read-only world: zone scan + joins (core::Study),
+  // forced skeleton-index build, detector brand tables.  Serial with
+  // respect to other writers (the Study constructor's single-writer
+  // invariant); `eco` must outlive the snapshot.
+  StudySnapshot(const ecosystem::Ecosystem& eco,
+                const SnapshotOptions& options = {});
+
+  StudySnapshot(const StudySnapshot&) = delete;
+  StudySnapshot& operator=(const StudySnapshot&) = delete;
+
+  // Answer one query.  Thread-safe, lock-free, allocation-bounded; emits
+  // the same provenance records the batch detectors would (the detectors
+  // own the emission sites).  Unparseable input yields parsed=false with
+  // rule "invalid_domain" on every finding and no detector work.
+  Verdict classify(std::string_view raw_domain) const;
+
+  // classify() for an already-interned subject (the zero-copy query path).
+  // Equivalent to classify(study().domain(id)) — same verdict, same
+  // records — without re-probing the string→id index.
+  Verdict classify_interned(runtime::DomainId id) const;
+
+  const core::Study& study() const { return study_; }
+  const ecosystem::Ecosystem& eco() const { return *eco_; }
+  std::uint64_t generation() const { return generation_; }
+
+  // Working set as pure size math (DomainTable arena+index, skeleton
+  // index, detector brand tables) — mirrored into the serve.snapshot.bytes
+  // gauge at build time and budget-gated in CI (BUDGET_serve.json).
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  // Shared tail of both classify paths: run the detectors on a normalized
+  // ACE domain and fill the verdict fields.
+  void classify_ace(std::string_view ace, Verdict& verdict) const;
+
+  const ecosystem::Ecosystem* eco_;
+  core::Study study_;
+  core::HomographDetector homograph_;
+  core::SemanticDetector semantic_;
+  core::Type2Detector type2_;
+  std::uint64_t generation_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace idnscope::serve

@@ -121,6 +121,36 @@ TEST(ObsctlTop, RanksTraceSpansByTotalDuration) {
   EXPECT_NE(result.out.find("us\tobsctl_top_stage\n"), std::string::npos);
 }
 
+TEST(ObsctlTop, RejectsMalformedCount) {
+  // The exit-code contract (2 = usage error) only holds if a malformed -n
+  // is refused outright — strtoul's prefix parse used to turn `-n 5x` into
+  // a silent `-n 5`.  No file IO happens before the parse, so the metrics
+  // path can be a dummy.
+  for (const char* bad : {"5x", "0", "", "+5", "-3", "0x10",
+                          "18446744073709551616"}) {
+    const auto result = run({"top", "unused.json", "-n", bad});
+    EXPECT_EQ(result.code, obs::kObsctlError) << "-n " << bad;
+    EXPECT_NE(result.err.find("-n must be a whole integer >= 1"),
+              std::string::npos)
+        << "-n " << bad;
+  }
+  // The boundary case the old code got right must keep working.
+  const std::string dir = scratch_dir("top_strict_ok");
+  write_file(dir + "/m.json", obs::snapshot_to_json(sample_snapshot()));
+  EXPECT_EQ(run({"top", dir + "/m.json", "-n", "5"}).code, obs::kObsctlOk);
+}
+
+TEST(ObsctlGate, RejectsMalformedWallTolerance) {
+  for (const char* bad : {"25x", "0", "-1", "nan", ""}) {
+    const auto result = run({"gate", "b", "f", "bench", "--wall-tolerance",
+                             bad});
+    EXPECT_EQ(result.code, obs::kObsctlError) << "--wall-tolerance " << bad;
+    EXPECT_NE(result.err.find("--wall-tolerance must be a positive number"),
+              std::string::npos)
+        << "--wall-tolerance " << bad;
+  }
+}
+
 TEST(ObsctlTop, RejectsFilesThatAreNeitherFormat) {
   const std::string dir = scratch_dir("top_bad");
   write_file(dir + "/x.json", "{\"neither\":true}");
@@ -426,6 +456,29 @@ TEST(ObsctlExplain, UnknownSubjectExitsTwo) {
   EXPECT_EQ(run({"explain", dir + "/garbage.jsonl", "a.com"}).code,
             obs::kObsctlError);
   EXPECT_EQ(run({"explain", path}).code, obs::kObsctlError);
+}
+
+TEST(ObsctlExplain, OverflowingSubjectCannotAliasDomainId) {
+  // strtoull wraps "4294967296" (2^32) to 0 and saturates past-u64 digit
+  // strings to ULLONG_MAX with errno — either way the old lenient parse
+  // could alias an impossible subject onto a real DomainId.  The strict
+  // bounded parse treats both as (unknown) domain strings instead.
+  const std::string dir = scratch_dir("explain_overflow");
+  std::vector<obs::ProvenanceRecord> records = {
+      prov_record("xn--aliased-0.com", 0, obs::ProvDetector::kHomograph,
+                  "ssim_scan", "apple.com", 0.99, true),
+  };
+  const std::string path = dir + "/PROV_unit.jsonl";
+  std::string text = obs::provenance_to_jsonl("unit", records, 0, {});
+  text.pop_back();
+  write_file(path, text);
+  EXPECT_EQ(run({"explain", path, "0"}).code, obs::kObsctlOk);
+  for (const char* bad : {"4294967296", "18446744073709551616"}) {
+    const auto result = run({"explain", path, bad});
+    EXPECT_EQ(result.code, obs::kObsctlError) << bad;
+    EXPECT_NE(result.err.find("no provenance records"), std::string::npos)
+        << bad;
+  }
 }
 
 TEST(ObsctlExplain, AllRoundTripsEverySubject) {

@@ -77,6 +77,64 @@ TEST(DomainTable, StrViewsFollowTheRingContract) {
   EXPECT_EQ(b, "filler-0.example.org");
 }
 
+TEST(DomainTable, RingViewPinAllowsSevenFurtherViews) {
+  // A RingViewPin protects the most recent view on this thread: the seven
+  // ring slots that remain may be recycled freely, and once the pin is
+  // gone the full window is available again (domain_table.h).
+  runtime::DomainTable table;
+  for (int i = 0; i < 32; ++i) {
+    table.intern("pin-" + std::to_string(i) + ".example.org");
+  }
+  const std::string_view held = table.str(0U);
+  {
+    const runtime::RingViewPin pin;
+    for (runtime::DomainId id = 1; id <= 7; ++id) {
+      (void)table.str(id);  // exactly fills the unpinned slots
+    }
+    EXPECT_EQ(held, "pin-0.example.org");
+  }
+  for (runtime::DomainId id = 8; id <= 20; ++id) {
+    (void)table.str(id);  // pin released: recycling `held` is legal again
+  }
+  // Nested pins restore LIFO: the inner pin must not widen the outer's
+  // protection when it dies.
+  const std::string_view outer_held = table.str(0U);
+  {
+    const runtime::RingViewPin outer;
+    (void)table.str(1U);
+    {
+      const runtime::RingViewPin inner;
+      (void)table.str(2U);
+    }
+    for (runtime::DomainId id = 3; id <= 7; ++id) {
+      (void)table.str(id);
+    }
+    EXPECT_EQ(outer_held, "pin-0.example.org");
+  }
+}
+
+TEST(DomainTableDeathTest, RingViewPinOverrunAbortsLoudly) {
+  // The 8th str() after a pinned view would recycle the pinned slot and
+  // leave the caller reading freed bytes — the serve batch-probe bug this
+  // check exists for.  It must die loudly, not corrupt silently, and the
+  // check is always compiled (NDEBUG erases assert, not this).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  runtime::DomainTable table;
+  for (int i = 0; i < 16; ++i) {
+    table.intern("overrun-" + std::to_string(i) + ".example.org");
+  }
+  EXPECT_DEATH(
+      {
+        const std::string_view held = table.str(0U);
+        const runtime::RingViewPin pin;
+        for (runtime::DomainId id = 1; id <= 8; ++id) {
+          (void)table.str(id);
+        }
+        (void)held;
+      },
+      "view ring overrun");
+}
+
 TEST(DomainTable, CapacityGuardFailsLoudly) {
   runtime::DomainTable table;
   table.set_max_entries(3);

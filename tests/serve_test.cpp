@@ -1,0 +1,418 @@
+// Serving-layer tests: the StudySnapshot classify contract (field-identical
+// to the batch detectors for every fast-mode ecosystem domain), the
+// atomic-swap publisher (readers observe only whole snapshots), the
+// request-batching QueryEngine (sizing, ordering, stale-id re-resolution,
+// verdict memo transparency) and the seeded load generator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "idnscope/core/homograph.h"
+#include "idnscope/core/semantic.h"
+#include "idnscope/core/semantic_type2.h"
+#include "idnscope/ecosystem/brands.h"
+#include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/ecosystem/scenario.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/serve/engine.h"
+#include "idnscope/serve/loadgen.h"
+#include "idnscope/serve/publisher.h"
+#include "idnscope/serve/snapshot.h"
+
+namespace idnscope {
+namespace {
+
+// The exact world IDNSCOPE_BENCH_FAST=1 benches run (bench_common.h
+// bench_scenario): "classify() == batch verdict for every fast-mode
+// ecosystem domain" is defined against this population.
+ecosystem::Scenario fast_scenario() {
+  ecosystem::Scenario scenario = ecosystem::Scenario::paper2017();
+  scenario.bulk_scale = 1000;
+  scenario.abuse_scale = 50;
+  scenario.generate_filler = false;
+  return scenario;
+}
+
+// One shared fast-mode world for the whole file: the snapshot build and the
+// detector brand tables are the expensive parts, the assertions are cheap.
+struct FastWorld {
+  ecosystem::Ecosystem eco;
+  serve::StudySnapshot snapshot;
+  FastWorld() : eco(ecosystem::generate(fast_scenario())), snapshot(eco) {}
+};
+
+const FastWorld& fast_world() {
+  static const FastWorld* world = new FastWorld;
+  return *world;
+}
+
+void expect_finding_eq(const serve::Finding& actual,
+                       const serve::Finding& expected,
+                       const std::string& domain, const char* detector) {
+  EXPECT_EQ(actual.flagged, expected.flagged) << detector << " " << domain;
+  EXPECT_EQ(actual.rule, expected.rule) << detector << " " << domain;
+  EXPECT_EQ(actual.brand, expected.brand) << detector << " " << domain;
+  EXPECT_EQ(actual.score_micros, expected.score_micros)
+      << detector << " " << domain;
+}
+
+void expect_verdict_eq(const serve::Verdict& a, const serve::Verdict& b,
+                       const std::string& domain) {
+  EXPECT_EQ(a.domain, b.domain) << domain;
+  EXPECT_EQ(a.domain_id, b.domain_id) << domain;
+  EXPECT_EQ(a.generation, b.generation) << domain;
+  EXPECT_EQ(a.parsed, b.parsed) << domain;
+  EXPECT_EQ(a.known, b.known) << domain;
+  EXPECT_EQ(a.registered, b.registered) << domain;
+  EXPECT_EQ(a.idn, b.idn) << domain;
+  EXPECT_EQ(a.blacklist_mask, b.blacklist_mask) << domain;
+  expect_finding_eq(a.homograph, b.homograph, domain, "homograph");
+  expect_finding_eq(a.semantic_t1, b.semantic_t1, domain, "semantic_t1");
+  expect_finding_eq(a.semantic_t2, b.semantic_t2, domain, "semantic_t2");
+}
+
+// The reference detectors, constructed exactly as core::build_markdown_report
+// constructs them — that construction *defines* "the batch Study verdict".
+struct BatchReference {
+  core::HomographDetector homograph{ecosystem::alexa_top1k()};
+  core::SemanticDetector semantic{ecosystem::alexa_top1k()};
+  core::Type2Detector type2;
+
+  serve::Finding homograph_finding(const std::string& domain) const {
+    serve::Finding finding;
+    if (const auto match = homograph.best_match(domain)) {
+      finding.flagged = true;
+      finding.rule = match->rule;
+      finding.brand = match->brand;
+      finding.score_micros = obs::to_micros(match->ssim);
+    }
+    return finding;
+  }
+  serve::Finding semantic_finding(const std::string& domain) const {
+    serve::Finding finding;
+    if (const auto hit = semantic.match(domain)) {
+      finding.flagged = true;
+      finding.rule = "ascii_strip_brand_match";
+      finding.brand = hit->brand;
+      finding.score_micros = obs::to_micros(1.0);
+    }
+    return finding;
+  }
+  serve::Finding type2_finding(const std::string& domain) const {
+    serve::Finding finding;
+    if (const auto hit = type2.match(domain)) {
+      finding.flagged = true;
+      finding.rule = "translation_substring";
+      finding.brand = hit->brand;
+      finding.score_micros = obs::to_micros(1.0);
+    }
+    return finding;
+  }
+};
+
+// --- snapshot: the classify contract ---------------------------------------
+
+TEST(ServeSnapshot, ClassifyMatchesBatchVerdictForEveryFastModeDomain) {
+  const FastWorld& world = fast_world();
+  const BatchReference batch;
+  const runtime::DomainTable& table = world.snapshot.study().table();
+  std::uint64_t flagged = 0;
+  for (std::uint32_t id = 0; id < table.size(); ++id) {
+    const std::string domain(table.str(id));
+    const serve::Verdict verdict = world.snapshot.classify(domain);
+    ASSERT_TRUE(verdict.parsed) << domain;
+    EXPECT_TRUE(verdict.known) << domain;
+    EXPECT_EQ(verdict.domain_id, static_cast<std::int64_t>(id)) << domain;
+    EXPECT_EQ(verdict.domain, domain);
+    EXPECT_EQ(verdict.idn, table.is_idn(id)) << domain;
+    EXPECT_EQ(verdict.registered, table.is_registered(id)) << domain;
+    EXPECT_EQ(verdict.blacklist_mask, table.blacklist_mask(id)) << domain;
+    expect_finding_eq(verdict.homograph, batch.homograph_finding(domain),
+                      domain, "homograph");
+    expect_finding_eq(verdict.semantic_t1, batch.semantic_finding(domain),
+                      domain, "semantic_t1");
+    expect_finding_eq(verdict.semantic_t2, batch.type2_finding(domain),
+                      domain, "semantic_t2");
+    flagged += verdict.flagged() ? 1 : 0;
+  }
+  // The world must actually exercise the detectors, or the parity above
+  // proves nothing.
+  EXPECT_GT(flagged, 0U);
+  EXPECT_GT(table.size(), 1000U);
+}
+
+TEST(ServeSnapshot, ClassifyMatchesBatchVerdictForUnregisteredDomains) {
+  // The miss path (domain not in the snapshot's table) still runs the full
+  // detector stack — an attacker's not-yet-registered lookalike must flag.
+  const FastWorld& world = fast_world();
+  const BatchReference batch;
+  const serve::LoadGenerator loadgen(world.snapshot, 7);
+  ASSERT_GT(loadgen.miss_pool_size(), 0U);
+  std::size_t checked = 0;
+  std::size_t flagged = 0;
+  for (const std::string& domain : loadgen.misses()) {
+    if (++checked > 64) {
+      break;
+    }
+    const serve::Verdict verdict = world.snapshot.classify(domain);
+    ASSERT_TRUE(verdict.parsed) << domain;
+    EXPECT_FALSE(verdict.known) << domain;
+    EXPECT_EQ(verdict.domain_id, -1) << domain;
+    EXPECT_FALSE(verdict.registered) << domain;
+    EXPECT_EQ(verdict.blacklist_mask, 0) << domain;
+    expect_finding_eq(verdict.homograph, batch.homograph_finding(domain),
+                      domain, "homograph");
+    expect_finding_eq(verdict.semantic_t1, batch.semantic_finding(domain),
+                      domain, "semantic_t1");
+    expect_finding_eq(verdict.semantic_t2, batch.type2_finding(domain),
+                      domain, "semantic_t2");
+    flagged += verdict.flagged() ? 1 : 0;
+  }
+  // Brand lookalikes lead the miss pool, so some of them must flag.
+  EXPECT_GT(flagged, 0U);
+}
+
+TEST(ServeSnapshot, ClassifyInternedMatchesClassifyByName) {
+  // The zero-copy path must be observationally identical to the string
+  // path for every IDN in the snapshot (the population interned queries
+  // are drawn from).
+  const FastWorld& world = fast_world();
+  const runtime::DomainTable& table = world.snapshot.study().table();
+  for (const runtime::DomainId id : world.snapshot.study().idns()) {
+    const std::string domain(table.str(id));
+    expect_verdict_eq(world.snapshot.classify_interned(id),
+                      world.snapshot.classify(domain), domain);
+  }
+}
+
+TEST(ServeSnapshot, UnparseableInputYieldsStructuredFailure) {
+  const FastWorld& world = fast_world();
+  for (const char* bad : {"", "exa mple.com", "\xff\xfe.com"}) {
+    const serve::Verdict verdict = world.snapshot.classify(bad);
+    EXPECT_FALSE(verdict.parsed) << bad;
+    EXPECT_FALSE(verdict.known) << bad;
+    EXPECT_FALSE(verdict.flagged()) << bad;
+    EXPECT_EQ(verdict.homograph.rule, "invalid_domain") << bad;
+    EXPECT_EQ(verdict.semantic_t1.rule, "invalid_domain") << bad;
+    EXPECT_EQ(verdict.semantic_t2.rule, "invalid_domain") << bad;
+  }
+}
+
+TEST(ServeSnapshot, BytesAccountsTheWorkingSet) {
+  const FastWorld& world = fast_world();
+  // Pure size math over real components: the budget gate rides on this.
+  EXPECT_GT(world.snapshot.bytes(),
+            world.snapshot.study().table().memory_bytes());
+}
+
+// --- publisher: atomic snapshot swap ---------------------------------------
+
+TEST(ServePublisher, ReadersObserveOnlyWholeSnapshots) {
+  // Two generations of two *different* worlds; a marker domain known only
+  // to generation 1.  Readers hammer classify() through the publisher
+  // while the writer swaps — every verdict must be internally consistent
+  // with exactly one generation (generation stamp agrees with the snapshot
+  // that answered, known-ness agrees with that generation's table).
+  const auto eco1 = ecosystem::generate(ecosystem::Scenario::tiny());
+  ecosystem::Scenario other = ecosystem::Scenario::tiny();
+  other.seed += 1;
+  const auto eco2 = ecosystem::generate(other);
+
+  serve::SnapshotOptions gen2_options;
+  gen2_options.generation = 2;
+  const auto snap1 = std::make_shared<const serve::StudySnapshot>(eco1);
+  const auto snap2 =
+      std::make_shared<const serve::StudySnapshot>(eco2, gen2_options);
+
+  const runtime::DomainTable& table1 = snap1->study().table();
+  std::string marker;
+  for (std::uint32_t id = 0; id < table1.size(); ++id) {
+    const std::string domain(table1.str(id));
+    if (!snap2->study().table().contains(domain)) {
+      marker = domain;
+      break;
+    }
+  }
+  ASSERT_FALSE(marker.empty()) << "worlds are identical; marker impossible";
+
+  serve::SnapshotPublisher publisher(snap1);
+  std::atomic<bool> start{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> saw_gen2{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!start.load()) {
+      }
+      for (int i = 0; i < 500; ++i) {
+        const auto snapshot = publisher.current();
+        const serve::Verdict verdict = snapshot->classify(marker);
+        const bool whole =
+            verdict.generation == snapshot->generation() &&
+            verdict.known == (verdict.generation == 1);
+        if (!whole) {
+          torn.fetch_add(1);
+        }
+        if (verdict.generation == 2) {
+          saw_gen2.fetch_add(1);
+        }
+      }
+    });
+  }
+  start.store(true);
+  publisher.publish(snap2);
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(torn.load(), 0U);
+  // After the swap the publisher serves only generation 2.
+  EXPECT_EQ(publisher.current()->generation(), 2U);
+  EXPECT_FALSE(publisher.current()->classify(marker).known);
+  (void)saw_gen2;  // how many reads landed post-swap is timing, not contract
+}
+
+// --- engine: batching, staleness, memo -------------------------------------
+
+TEST(ServeEngine, BatchesAreSizedOrderedAndFlushDrains) {
+  const FastWorld& world = fast_world();
+  serve::SnapshotPublisher publisher(
+      std::shared_ptr<const serve::StudySnapshot>(&world.snapshot,
+                                                  [](const auto*) {}));
+  const runtime::DomainTable& table = world.snapshot.study().table();
+  std::vector<std::size_t> batch_sizes;
+  std::vector<std::string> order;
+  serve::EngineOptions options;
+  options.batch_size = 4;
+  options.threads = 2;
+  serve::QueryEngine engine(
+      publisher, options,
+      [&](std::span<const serve::Verdict> verdicts, double) {
+        batch_sizes.push_back(verdicts.size());
+        for (const serve::Verdict& verdict : verdicts) {
+          order.push_back(verdict.domain);
+        }
+      });
+  std::vector<std::string> submitted;
+  for (std::uint32_t id = 0; id < 10; ++id) {
+    submitted.emplace_back(table.str(id));
+    engine.submit(serve::Query{submitted.back()});
+  }
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{4, 4}));
+  engine.flush();
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{4, 4, 2}));
+  engine.flush();  // empty flush is a no-op
+  EXPECT_EQ(engine.queries(), 10U);
+  EXPECT_EQ(engine.batches(), 3U);
+  EXPECT_EQ(order, submitted);  // verdicts ride in submission order
+}
+
+TEST(ServeEngine, StaleInternedQueriesReResolveThroughText) {
+  const FastWorld& world = fast_world();
+  serve::SnapshotPublisher publisher(
+      std::shared_ptr<const serve::StudySnapshot>(&world.snapshot,
+                                                  [](const auto*) {}));
+  const runtime::DomainId id = world.snapshot.study().idns().front();
+  const std::string domain(world.snapshot.study().table().str(id));
+  const obs::Counter misses =
+      obs::Registry::global().counter("serve.engine.generation_misses");
+  const std::uint64_t misses_before = misses.value();
+  std::vector<serve::Verdict> seen;
+  serve::QueryEngine engine(
+      publisher, serve::EngineOptions{},
+      [&](std::span<const serve::Verdict> verdicts, double) {
+        seen.assign(verdicts.begin(), verdicts.end());
+      });
+  // An id minted by a previous generation: the engine must not trust it.
+  serve::Query stale;
+  stale.text = domain;
+  stale.id = id;
+  stale.generation = 999;
+  engine.submit(std::move(stale));
+  engine.flush();
+  ASSERT_EQ(seen.size(), 1U);
+  expect_verdict_eq(seen[0], world.snapshot.classify(domain), domain);
+  EXPECT_EQ(misses.value(), misses_before + 1);
+}
+
+TEST(ServeEngine, VerdictMemoIsTransparentAndCountsHits) {
+  // cache_verdicts on/off must produce identical verdict streams — the
+  // memo is an optimization, never an observable behavior change — and
+  // hits + misses must partition the query count.
+  const FastWorld& world = fast_world();
+  serve::SnapshotPublisher publisher(
+      std::shared_ptr<const serve::StudySnapshot>(&world.snapshot,
+                                                  [](const auto*) {}));
+  constexpr std::size_t kQueries = 512;
+  serve::LoadGenerator gen_a(world.snapshot, 42);
+  serve::LoadGenerator gen_b(world.snapshot, 42);  // identical stream
+
+  const obs::Counter hits =
+      obs::Registry::global().counter("serve.engine.cache_hits");
+  const obs::Counter misses =
+      obs::Registry::global().counter("serve.engine.cache_misses");
+
+  const auto run = [&](serve::LoadGenerator& loadgen, bool cache) {
+    std::vector<serve::Verdict> verdicts;
+    serve::EngineOptions options;
+    options.batch_size = 64;
+    options.cache_verdicts = cache;
+    serve::QueryEngine engine(
+        publisher, options,
+        [&](std::span<const serve::Verdict> batch, double) {
+          verdicts.insert(verdicts.end(), batch.begin(), batch.end());
+        });
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      engine.submit(loadgen.next());
+    }
+    engine.flush();
+    return verdicts;
+  };
+
+  const std::uint64_t hits_before = hits.value();
+  const std::uint64_t misses_before = misses.value();
+  const std::vector<serve::Verdict> cached = run(gen_a, true);
+  const std::uint64_t hit_delta = hits.value() - hits_before;
+  const std::uint64_t miss_delta = misses.value() - misses_before;
+  const std::vector<serve::Verdict> uncached = run(gen_b, false);
+
+  ASSERT_EQ(cached.size(), kQueries);
+  ASSERT_EQ(uncached.size(), kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    expect_verdict_eq(cached[i], uncached[i], cached[i].domain);
+  }
+  EXPECT_EQ(hit_delta + miss_delta, kQueries);
+  // 512 draws from a few thousand subjects must repeat at least once.
+  EXPECT_GT(hit_delta, 0U);
+}
+
+// --- load generator ---------------------------------------------------------
+
+TEST(ServeLoadGen, SameSeedSameStreamAndMissesAreAbsent) {
+  const FastWorld& world = fast_world();
+  serve::LoadGenerator a(world.snapshot, 20170921);
+  serve::LoadGenerator b(world.snapshot, 20170921);
+  bool saw_interned = false;
+  bool saw_text = false;
+  for (int i = 0; i < 500; ++i) {
+    const serve::Query qa = a.next();
+    const serve::Query qb = b.next();
+    EXPECT_EQ(qa.text, qb.text);
+    EXPECT_EQ(qa.id, qb.id);
+    EXPECT_EQ(qa.generation, qb.generation);
+    saw_interned = saw_interned || qa.id != runtime::kInvalidDomainId;
+    saw_text = saw_text || !qa.text.empty();
+  }
+  EXPECT_TRUE(saw_interned);  // the mix covers the zero-copy path...
+  EXPECT_TRUE(saw_text);      // ...and the string path
+  ASSERT_GT(a.miss_pool_size(), 0U);
+  for (const std::string& miss : a.misses()) {
+    EXPECT_FALSE(world.snapshot.study().table().contains(miss)) << miss;
+  }
+}
+
+}  // namespace
+}  // namespace idnscope

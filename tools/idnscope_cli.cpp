@@ -23,8 +23,10 @@
 #include "idnscope/core/semantic.h"
 #include "idnscope/dns/zone_io.h"
 #include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/ecosystem/scenario.h"
 #include "idnscope/idna/idna.h"
 #include "idnscope/idna/punycode.h"
+#include "idnscope/serve/snapshot.h"
 #include "idnscope/unicode/utf8.h"
 
 using namespace idnscope;
@@ -151,6 +153,22 @@ unsigned parse_scale(const char* arg) {
   return static_cast<unsigned>(value);
 }
 
+// Seeds get the same strictness as scales: a seed determines the entire
+// synthetic world, so "20abc" silently running seed 20 (or "foo" running
+// seed 0, strtoull's error value) reports results for a world the user
+// never asked about.  Any u64 value is a valid seed — only the parse can
+// fail — so the value goes through the out-parameter.
+bool parse_seed(const char* arg, std::uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(arg, &end, 10);
+  if (errno != 0 || end == arg || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
 int cmd_report(std::uint64_t seed, unsigned scale, unsigned abuse_scale) {
   ecosystem::Scenario scenario = ecosystem::Scenario::paper2017();
   scenario.seed = seed;
@@ -162,16 +180,40 @@ int cmd_report(std::uint64_t seed, unsigned scale, unsigned abuse_scale) {
   return 0;
 }
 
+void print_finding(const char* detector, const serve::Finding& finding) {
+  if (finding.flagged) {
+    std::printf("%-10s FLAGGED  rule=%s targets=%s score=%.4f\n", detector,
+                finding.rule.c_str(), finding.brand.c_str(),
+                static_cast<double>(finding.score_micros) / 1e6);
+  } else {
+    std::printf("%-10s clean    rule=%s\n", detector, finding.rule.c_str());
+  }
+}
+
 int cmd_survey(const std::string& domain) {
-  auto ascii = idna::domain_to_ascii(domain);
-  if (!ascii.ok()) {
-    std::fprintf(stderr, "invalid domain: %s\n",
-                 ascii.error().message.c_str());
+  // Classification goes through the serving layer: build a small snapshot
+  // world and ask idnscoped the online question — same detector entry
+  // points, brand tables and verdict fields as the batch study
+  // (serve/snapshot.h classify contract).  The detectors do not need the
+  // subject in the snapshot's table, so arbitrary user domains classify
+  // against the protected-brand tables; the table only adds the
+  // known/registered/blacklist facts for the snapshot's own world.
+  const auto eco = ecosystem::generate(ecosystem::Scenario::tiny());
+  const serve::StudySnapshot snapshot(eco);
+  const serve::Verdict verdict = snapshot.classify(domain);
+  if (!verdict.parsed) {
+    std::fprintf(stderr, "invalid domain: %s\n", domain.c_str());
     return 1;
   }
+  std::printf("verdict for %s: %s\n", verdict.domain.c_str(),
+              verdict.flagged() ? "FLAGGED" : "clean");
+  print_finding("homograph", verdict.homograph);
+  print_finding("semantic", verdict.semantic_t1);
+  print_finding("type2", verdict.semantic_t2);
+  std::printf("\n");
   for (const core::BrowserConfig& browser : core::surveyed_browsers()) {
     const auto outcome =
-        core::load_in_browser(browser, ascii.value(), nullptr, "");
+        core::load_in_browser(browser, verdict.domain, nullptr, "");
     std::printf("%-10s %-8s %-30s%s%s\n", browser.name.c_str(),
                 browser.platform.c_str(), outcome.address_bar.c_str(),
                 outcome.deceptive ? " DECEPTIVE" : "",
@@ -200,8 +242,14 @@ int main(int argc, char** argv) {
     return cmd_scan_zone(argv[2], /*audit=*/true);
   }
   if (command == "report" && argc <= 5) {
-    const std::uint64_t seed =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20170921ULL;
+    std::uint64_t seed = 20170921ULL;
+    if (argc > 2 && !parse_seed(argv[2], &seed)) {
+      std::fprintf(stderr,
+                   "report: seed must be a whole base-10 integer (it selects "
+                   "the synthetic world); got \"%s\"\n",
+                   argv[2]);
+      return 2;
+    }
     const unsigned scale = argc > 3 ? parse_scale(argv[3]) : 100U;
     const unsigned abuse_scale = argc > 4 ? parse_scale(argv[4]) : 10U;
     if (scale == 0 || abuse_scale == 0) {
