@@ -1,0 +1,395 @@
+// Longitudinal replay bench (DESIGN.md §11): drive kDays of seeded zone
+// deltas through the study and measure the incremental path against the
+// from-scratch rebuild it must be field-identical to.
+//
+//   bench_fig_timeline [incremental|full]
+//
+// Both modes mutate the same ecosystem day by day via ecosystem::
+// apply_delta.  `incremental` (the default) folds each delta into one
+// long-lived Study with core::Study::apply_delta, re-detecting only the
+// day's new IDN registrations; `full` rebuilds the Study and re-probes
+// every IDN each day — the NOD-feed baseline the incremental path is
+// benchmarked against.
+//
+// The output contract is the replay-equivalence gate: stdout carries only
+// day-N facts — per-day population/flag counts, the parity verdict against
+// a from-scratch day-N Study, the availability totals, and the canonical
+// day-N sweep line — so CI byte-diffs it across BOTH modes and across
+// IDNSCOPE_THREADS=1/2/8.  METRICS/PROV are emitted after a Registry +
+// Ledger reset from a serial sweep over the SORTED live IDN strings with
+// no SubjectScope, making them pure functions of string-keyed day-N state
+// (the two modes intern ids in different orders, so ids and pre-reset
+// effort counters are not comparable; the day-N strings are).  Timing —
+// replay wall, one full-rescan wall, the core.delta.redetected count that
+// proves "only touched domains" — is machine/mode fact and rides stderr +
+// the BENCH line, where BUDGET_fig_timeline.json gates bench.* fields.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "idnscope/core/availability.h"
+#include "idnscope/core/homograph.h"
+#include "idnscope/core/semantic.h"
+#include "idnscope/core/semantic_type2.h"
+#include "idnscope/ecosystem/brands.h"
+#include "idnscope/ecosystem/timeline.h"
+#include "idnscope/obs/metrics.h"
+#include "idnscope/obs/provenance.h"
+#include "idnscope/obs/trace.h"
+
+using namespace idnscope;
+
+namespace {
+
+constexpr std::uint32_t kDays = 30;        // "a month of deltas"
+constexpr std::size_t kSweepBrands = 100;  // Fig 7's brand slice
+
+// Like bench::emit_bench_json, plus the replay numbers the budget gate
+// reads off the BENCH line (bench.redetected / bench.peak_rss_kb in
+// BUDGET_fig_timeline.json).  rescan_ms is the one-day full rebuild both
+// modes time for the speedup comparison.
+void emit_bench_json_timeline(const char* name, double wall_ms,
+                              unsigned threads, double replay_ms,
+                              double rescan_ms, std::uint64_t redetected) {
+  const unsigned resolved =
+      threads != 0 ? threads
+                   : runtime::resolve_threads(0, runtime::kMaxThreads);
+  obs::GeneratedBy stamp = obs::noted_workload();
+  stamp.bench = name;
+  obs::note_workload(stamp);
+  char timing[320];
+  std::snprintf(timing, sizeof(timing),
+                "\"wall_ms\":%.3f,\"threads\":%u,\"days\":%u,"
+                "\"replay_ms\":%.3f,\"rescan_ms\":%.3f,"
+                "\"redetected\":%" PRIu64 ",\"peak_rss_kb\":%" PRIu64,
+                wall_ms, resolved, kDays, replay_ms, rescan_ms, redetected,
+                obs::peak_rss_kb());
+  const std::string line = "{\"bench\":\"" + std::string(name) + "\"," +
+                           timing + ",\"generated_by\":" +
+                           obs::generated_by_json(stamp) + "}";
+  std::fprintf(stderr, "BENCH_JSON %s\n", line.c_str());
+  const std::string path =
+      obs::output_path(std::string("BENCH_") + name + ".json");
+  if (std::FILE* out = std::fopen(path.c_str(), "w"); out != nullptr) {
+    std::fprintf(out, "%s\n", line.c_str());
+    std::fclose(out);
+  }
+  obs::emit_metrics(name);
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::string_view bytes) {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+struct DomainFlags {
+  bool homograph = false;
+  bool semantic = false;
+  bool type2 = false;
+
+  bool any() const { return homograph || semantic || type2; }
+};
+
+struct FlagCounts {
+  std::uint64_t homograph = 0;
+  std::uint64_t semantic = 0;
+  std::uint64_t type2 = 0;
+
+  bool operator==(const FlagCounts&) const = default;
+
+  void add(const DomainFlags& flags) {
+    homograph += flags.homograph ? 1 : 0;
+    semantic += flags.semantic ? 1 : 0;
+    type2 += flags.type2 ? 1 : 0;
+  }
+  void remove(const DomainFlags& flags) {
+    homograph -= flags.homograph ? 1 : 0;
+    semantic -= flags.semantic ? 1 : 0;
+    type2 -= flags.type2 ? 1 : 0;
+  }
+};
+
+DomainFlags probe(const core::DeltaDetectors& detectors,
+                  std::string_view domain) {
+  DomainFlags flags;
+  flags.homograph = detectors.homograph->best_match(domain).has_value();
+  flags.semantic = detectors.semantic->match(domain).has_value();
+  flags.type2 = detectors.type2->match(domain).has_value();
+  return flags;
+}
+
+// Full detection pass over every IDN in the study — what a NOD consumer
+// without the incremental path runs each day.  When `flagged` is given,
+// per-domain verdict bits are recorded so the incremental bookkeeping can
+// decrement them on expiry.
+FlagCounts probe_all(const core::Study& study,
+                     const core::DeltaDetectors& detectors,
+                     std::map<std::string, DomainFlags>* flagged) {
+  FlagCounts counts;
+  std::string domain;
+  for (const runtime::DomainId id : study.idns()) {
+    domain.assign(study.domain(id));
+    const obs::SubjectScope subject(id);
+    const DomainFlags flags = probe(detectors, domain);
+    counts.add(flags);
+    if (flagged != nullptr && flags.any()) {
+      (*flagged)[domain] = flags;
+    }
+  }
+  return counts;
+}
+
+void print_day(std::uint32_t day, const core::Study& study,
+               const ecosystem::DeltaApplyStats& stats,
+               const FlagCounts& counts) {
+  const core::TldGroup totals = study.totals();
+  std::printf("day %2u: live=%" PRIu64 " idns=%zu listed=%" PRIu64
+              " +%" PRIu64 " -%" PRIu64 " B%" PRIu64 " b%" PRIu64
+              " | homograph=%" PRIu64 " semantic=%" PRIu64 " type2=%" PRIu64
+              "\n",
+              day, totals.sld_count, study.idns().size(),
+              totals.blacklist_total, stats.registrations, stats.expiries,
+              stats.blacklist_on, stats.blacklist_off, counts.homograph,
+              counts.semantic, counts.type2);
+}
+
+// Field-by-field Table I comparison; ids differ between the modes, so
+// equivalence is defined over counts and resolved strings only.
+bool groups_equal(const core::Study& a, const core::Study& b) {
+  const auto& ga = a.tld_groups();
+  const auto& gb = b.tld_groups();
+  if (ga.size() != gb.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    if (ga[i].name != gb[i].name || ga[i].sld_count != gb[i].sld_count ||
+        ga[i].idn_count != gb[i].idn_count ||
+        ga[i].whois_count != gb[i].whois_count ||
+        ga[i].blacklist_virustotal != gb[i].blacklist_virustotal ||
+        ga[i].blacklist_360 != gb[i].blacklist_360 ||
+        ga[i].blacklist_baidu != gb[i].blacklist_baidu ||
+        ga[i].blacklist_total != gb[i].blacklist_total) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> sorted_strings(const core::Study& study,
+                                        std::span<const runtime::DomainId> ids) {
+  std::vector<std::string> out = study.resolve(ids);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "incremental";
+  if (argc > 2 || (mode != "incremental" && mode != "full")) {
+    std::fprintf(stderr, "usage: bench_fig_timeline [incremental|full]\n");
+    return 2;
+  }
+  const bool incremental = mode == "incremental";
+
+  const ecosystem::Scenario scenario = bench::bench_scenario();
+  bench::print_header(
+      "fig_timeline",
+      "longitudinal zone deltas: incremental study updates vs daily rescan",
+      scenario);
+  std::fprintf(stderr, "mode: %s\n", mode.c_str());
+
+  // Register the delta counters in both modes: a METRICS snapshot lists
+  // every registered name, so the full-rescan run (which never calls
+  // apply_delta) must carry the same zero-valued keys for the cross-mode
+  // byte-diff to hold.
+  for (const char* name :
+       {"core.delta.applied", "core.delta.records", "core.delta.registrations",
+        "core.delta.expiries", "core.delta.blacklist_on",
+        "core.delta.blacklist_off", "core.delta.redetected",
+        "core.delta.index_additions"}) {
+    obs::Registry::global().counter(name);
+  }
+
+  const bench::Stopwatch total_watch;
+  ecosystem::Ecosystem eco = ecosystem::generate(scenario);
+  obs::note_workload(obs::GeneratedBy{"", scenario.seed, scenario.bulk_scale,
+                                      scenario.abuse_scale});
+
+  // The whole month of deltas, derived up front (the stream is a pure
+  // function of the day-0 world) and pushed through the serializer/parser
+  // round trip so the strict text format sits on the replayed path.
+  std::vector<ecosystem::DayDelta> deltas;
+  deltas.reserve(kDays);
+  {
+    ecosystem::Timeline timeline(eco);
+    for (std::uint32_t day = 1; day <= kDays; ++day) {
+      const ecosystem::DayDelta delta = timeline.next();
+      auto parsed = ecosystem::parse_delta(ecosystem::serialize_delta(delta));
+      if (!parsed.ok() || !(parsed.value() == delta)) {
+        std::fprintf(stderr, "delta round-trip failed at day %u: %s\n", day,
+                     parsed.ok() ? "value mismatch"
+                                 : parsed.error().message.c_str());
+        return 1;
+      }
+      deltas.push_back(std::move(parsed).value());
+    }
+  }
+
+  core::StudyOptions options;
+  options.threads = bench::bench_threads();
+  options.provenance.mode = bench::bench_provenance_mode();
+
+  const core::HomographDetector homograph(ecosystem::alexa_top1k());
+  const core::SemanticDetector semantic(ecosystem::alexa_top1k());
+  const core::Type2Detector type2;
+  const core::DeltaDetectors detectors{&homograph, &semantic, &type2};
+
+  ecosystem::TimelineState state = ecosystem::TimelineState::from(eco);
+  std::optional<core::Study> study;
+  study.emplace(eco, options);
+  if (incremental) {
+    // Force the skeleton index now so every apply_delta feeds its overlay —
+    // the reuse the day-N availability sweep then reads through.
+    study->skeleton_index();
+  }
+
+  std::map<std::string, DomainFlags> flagged;
+  FlagCounts counts =
+      probe_all(*study, detectors, incremental ? &flagged : nullptr);
+  print_day(0, *study, ecosystem::DeltaApplyStats{}, counts);
+
+  std::uint64_t full_probe_equiv = 0;  // IDN probes a daily rescan would run
+  const bench::Stopwatch replay_watch;
+  for (const ecosystem::DayDelta& delta : deltas) {
+    // Ecosystem first: the study-side WHOIS join reads what this populates.
+    auto eco_stats = ecosystem::apply_delta(eco, state, delta);
+    if (!eco_stats.ok()) {
+      std::fprintf(stderr, "eco apply failed at day %u: %s\n", delta.day,
+                   eco_stats.error().message.c_str());
+      return 1;
+    }
+    if (incremental) {
+      auto applied = study->apply_delta(delta, &detectors);
+      if (!applied.ok()) {
+        std::fprintf(stderr, "study apply failed at day %u: %s\n", delta.day,
+                     applied.error().message.c_str());
+        return 1;
+      }
+      std::string domain;
+      for (const runtime::DomainId id : applied.value().expired_idns) {
+        domain.assign(study->domain(id));
+        if (const auto it = flagged.find(domain); it != flagged.end()) {
+          counts.remove(it->second);
+          flagged.erase(it);
+        }
+      }
+      for (const core::ReVerdict& verdict : applied.value().verdicts) {
+        const DomainFlags flags{verdict.homograph, verdict.semantic_t1,
+                                verdict.semantic_t2};
+        if (flags.any()) {
+          domain.assign(study->domain(verdict.id));
+          counts.add(flags);
+          flagged[domain] = flags;
+        }
+      }
+    } else {
+      study.emplace(eco, options);
+      counts = probe_all(*study, detectors, nullptr);
+    }
+    full_probe_equiv += study->idns().size();
+    print_day(delta.day, *study, eco_stats.value(), counts);
+  }
+  const double replay_ms = replay_watch.elapsed_ms();
+  const std::uint64_t redetected =
+      obs::Registry::global().counter("core.delta.redetected").value();
+
+  // Replay equivalence, checked in-process: a from-scratch Study of the
+  // day-N ecosystem must agree field for field.  This rebuild is also the
+  // timed full rescan the incremental path is compared against.
+  const bench::Stopwatch rescan_watch;
+  const core::Study fresh(eco, options);
+  const FlagCounts fresh_counts = probe_all(fresh, detectors, nullptr);
+  const double rescan_ms = rescan_watch.elapsed_ms();
+  const bool parity =
+      groups_equal(*study, fresh) && fresh_counts == counts &&
+      sorted_strings(*study, study->idns()) ==
+          sorted_strings(fresh, fresh.idns()) &&
+      sorted_strings(*study, study->malicious_idns()) ==
+          sorted_strings(fresh, fresh.malicious_idns());
+  if (!parity) {
+    std::printf("parity: FAILED (day %u diverged from a from-scratch study)\n",
+                kDays);
+    return 1;
+  }
+  std::printf("parity: ok (day %u: totals, idn sets and flag counts match a "
+              "from-scratch study)\n",
+              kDays);
+
+  if (incremental && redetected * 2 >= full_probe_equiv) {
+    std::fprintf(stderr,
+                 "incremental path re-detected %" PRIu64 " domains but a "
+                 "daily rescan would probe %" PRIu64 " — not incremental\n",
+                 redetected, full_probe_equiv);
+    return 1;
+  }
+
+  // Day-N attack surface through the skeleton index (stale postings from
+  // expiries are filtered by the liveness check, so both modes agree).
+  const std::vector<ecosystem::Brand> brands = ecosystem::alexa_top(kSweepBrands);
+  core::AvailabilityOptions sweep_options;
+  sweep_options.threads = bench::bench_threads();
+  const core::AvailabilityReport report =
+      core::availability_sweep(*study, brands, sweep_options);
+  std::printf("availability: brands=%zu candidates=%" PRIu64
+              " homographic=%" PRIu64 " registered=%" PRIu64 "\n",
+              report.per_brand.size(), report.total_candidates,
+              report.total_homographic, report.total_registered);
+
+  // Canonical day-N sweep: METRICS/PROV from here on are pure functions of
+  // the sorted live IDN strings — no ids, no thread- or mode-dependent
+  // effort — so the replay gate can byte-diff them across modes/threads.
+  obs::Registry::global().reset();
+  obs::Ledger::global().reset();
+  const std::vector<std::string> live_idns =
+      sorted_strings(*study, study->idns());
+  FlagCounts sweep_counts;
+  std::uint64_t checksum = 14695981039346656037ull;  // FNV offset basis
+  for (const std::string& domain : live_idns) {
+    const DomainFlags flags = probe(detectors, domain);
+    sweep_counts.add(flags);
+    checksum = fnv1a(checksum, domain);
+    checksum = fnv1a(checksum, flags.homograph ? "h" : "-");
+    checksum = fnv1a(checksum, flags.semantic ? "s" : "-");
+    checksum = fnv1a(checksum, flags.type2 ? "t" : "-");
+  }
+  if (!(sweep_counts == counts)) {
+    std::printf("sweep: FAILED (canonical sweep disagrees with replay "
+                "bookkeeping)\n");
+    return 1;
+  }
+  std::printf("sweep day %u: idns=%zu homograph=%" PRIu64 " semantic=%" PRIu64
+              " type2=%" PRIu64 " checksum=%016" PRIx64 "\n",
+              kDays, live_idns.size(), sweep_counts.homograph,
+              sweep_counts.semantic, sweep_counts.type2, checksum);
+
+  const double wall_ms = total_watch.elapsed_ms();
+  std::fprintf(stderr,
+               "replay: %u days in %.3fms (%.3fms/day); day-%u full rescan: "
+               "%.3fms; redetected=%" PRIu64 " (rescan equivalent %" PRIu64
+               " probes)\n",
+               kDays, replay_ms, replay_ms / kDays, kDays, rescan_ms,
+               redetected, full_probe_equiv);
+  emit_bench_json_timeline("fig_timeline", wall_ms, bench::bench_threads(),
+                           replay_ms, rescan_ms, redetected);
+  return 0;
+}

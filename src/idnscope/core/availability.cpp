@@ -106,10 +106,18 @@ class BrandSweep {
       const std::string_view suffix = std::string_view(brand.domain)
                                           .substr(brand.domain.find('.'));
       const SkeletonIndex& index = study.skeleton_index();
+      std::vector<runtime::DomainId> postings;
       for (const std::string& skeleton :
            idna::candidate_skeletons(brand.domain)) {
-        for (const runtime::DomainId id : index.lookup(skeleton, suffix)) {
-          registered_.insert(std::string(study.table().str(id)));
+        // lookup_all: base build plus the incremental overlay.  Postings
+        // are a superset after deltas (expired ids linger, re-registers
+        // duplicate), so keep only currently-registered domains — exactly
+        // the question this set answers.
+        index.lookup_all(skeleton, suffix, postings);
+        for (const runtime::DomainId id : postings) {
+          if (study.table().is_registered(id)) {
+            registered_.insert(std::string(study.table().str(id)));
+          }
         }
       }
     } else {

@@ -129,10 +129,57 @@ std::span<const runtime::DomainId> SkeletonIndex::lookup(
   return {};
 }
 
+bool SkeletonIndex::add(std::string_view ace_domain, runtime::DomainId id) {
+  std::string key = key_for(ace_domain);
+  if (key.empty()) {
+    ++skipped_;
+    obs::Registry::global().counter("core.skeleton_index.labels_skipped")
+        .add(1);
+    return false;
+  }
+  ++indexed_;
+  overlay_[std::move(key)].push_back(id);
+  ++overlay_postings_;
+  obs::Registry::global().counter("core.skeleton_index.labels_indexed")
+      .add(1);
+  obs::Registry::global()
+      .gauge("core.skeleton_index.bytes")
+      .set(static_cast<std::int64_t>(bytes()));
+  return true;
+}
+
+void SkeletonIndex::lookup_all(std::string_view label_skeleton,
+                               std::string_view ace_suffix,
+                               std::vector<runtime::DomainId>& out) const {
+  out.clear();
+  const std::span<const runtime::DomainId> base =
+      lookup(label_skeleton, ace_suffix);
+  out.insert(out.end(), base.begin(), base.end());
+  if (overlay_.empty()) {
+    return;
+  }
+  std::string key;
+  key.reserve(label_skeleton.size() + ace_suffix.size());
+  key.append(label_skeleton);
+  key.append(ace_suffix);
+  if (const auto it = overlay_.find(key); it != overlay_.end()) {
+    if (base.empty()) {
+      hits_.add(1);  // overlay-only hit; lookup() above counted the miss
+    }
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+}
+
 std::size_t SkeletonIndex::bytes() const {
+  std::size_t overlay_bytes = 0;
+  for (const auto& [key, postings] : overlay_) {
+    overlay_bytes += key.size() + sizeof(key) +
+                     postings.size() * sizeof(runtime::DomainId);
+  }
   return arena_.size() + buckets_.size() * sizeof(Bucket) +
          postings_.size() * sizeof(runtime::DomainId) +
-         map_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+         map_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t)) +
+         overlay_bytes;
 }
 
 }  // namespace idnscope::core

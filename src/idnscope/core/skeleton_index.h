@@ -51,6 +51,24 @@ class SkeletonIndex {
   std::span<const runtime::DomainId> lookup(std::string_view label_skeleton,
                                             std::string_view ace_suffix) const;
 
+  // Incremental additions (the Study::apply_delta path).  add() indexes one
+  // newly-registered IDN into a side overlay without rebuilding the
+  // flattened arena; returns false (counted in skipped()) when the display
+  // form has no skeleton.  Overlay postings are only visible through
+  // lookup_all(); expiries are NOT removed here — postings are a superset
+  // and callers filter on table().is_registered(), so a stale posting (or a
+  // duplicate after an expire/re-register cycle) is harmless set noise.
+  bool add(std::string_view ace_domain, runtime::DomainId id);
+
+  // lookup() plus the overlay: appends base postings then overlay postings
+  // for the key to `out` (cleared first).  Callers treat the result as a
+  // set of candidates to re-validate, not as the registered population.
+  void lookup_all(std::string_view label_skeleton, std::string_view ace_suffix,
+                  std::vector<runtime::DomainId>& out) const;
+
+  // Overlay entries added since the build (diagnostic; tests).
+  std::size_t overlay_postings() const { return overlay_postings_; }
+
   // Distinct (skeleton, suffix) keys.
   std::size_t keys() const { return buckets_.size(); }
   // IDNs indexed / skipped because their display form has no skeleton
@@ -79,6 +97,9 @@ class SkeletonIndex {
   std::vector<Bucket> buckets_;      // first-appearance order
   std::vector<runtime::DomainId> postings_;  // flattened, idns() order
   std::unordered_map<std::uint64_t, std::uint32_t> map_;  // hash -> bucket
+  // Post-build additions, keyed like the arena ("skeleton.suffix").
+  std::unordered_map<std::string, std::vector<runtime::DomainId>> overlay_;
+  std::size_t overlay_postings_ = 0;
   std::uint64_t indexed_ = 0;
   std::uint64_t skipped_ = 0;
   obs::Counter probes_;

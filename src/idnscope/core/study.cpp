@@ -1,9 +1,15 @@
 #include "idnscope/core/study.h"
 
+#include <algorithm>
+
+#include "idnscope/core/homograph.h"
+#include "idnscope/core/semantic.h"
+#include "idnscope/core/semantic_type2.h"
 #include "idnscope/core/skeleton_index.h"
 #include "idnscope/dns/zone_io.h"
 #include "idnscope/idna/punycode.h"
 #include "idnscope/obs/metrics.h"
+#include "idnscope/obs/provenance.h"
 #include "idnscope/obs/trace.h"
 
 namespace idnscope::core {
@@ -181,7 +187,10 @@ Study::Study(const ecosystem::Ecosystem& eco,
 
 std::vector<runtime::DomainId> Study::idns_under(std::string_view tld) const {
   std::vector<runtime::DomainId> out;
-  const std::string suffix = "." + std::string(tld);
+  // append() instead of operator+: GCC 12's -Wrestrict false-positives on
+  // the char* + string&& overload under heavy inlining (PR105651).
+  std::string suffix(".");
+  suffix.append(tld);
   for (const runtime::DomainId id : idns_) {
     if (table_.str(id).ends_with(suffix)) {
       out.push_back(id);
@@ -209,6 +218,260 @@ std::uint8_t Study::blacklist_mask(std::string_view domain) const {
   }
   auto it = eco_->blacklist.find(std::string(domain));
   return it == eco_->blacklist.end() ? 0 : it->second;
+}
+
+namespace {
+
+// core.delta.* counters (docs/OBSERVABILITY.md).  Registered once; the
+// apply path is single-writer, so plain adds are exact.
+struct DeltaMetrics {
+  obs::Counter applied = obs::Registry::global().counter("core.delta.applied");
+  obs::Counter records = obs::Registry::global().counter("core.delta.records");
+  obs::Counter registrations =
+      obs::Registry::global().counter("core.delta.registrations");
+  obs::Counter expiries =
+      obs::Registry::global().counter("core.delta.expiries");
+  obs::Counter blacklist_on =
+      obs::Registry::global().counter("core.delta.blacklist_on");
+  obs::Counter blacklist_off =
+      obs::Registry::global().counter("core.delta.blacklist_off");
+  obs::Counter redetected =
+      obs::Registry::global().counter("core.delta.redetected");
+  obs::Counter index_additions =
+      obs::Registry::global().counter("core.delta.index_additions");
+};
+
+DeltaMetrics& delta_metrics() {
+  static DeltaMetrics metrics;
+  return metrics;
+}
+
+std::uint8_t group_index_for_tld(std::string_view tld) {
+  if (tld == "com") return kTldCom;
+  if (tld == "net") return kTldNet;
+  if (tld == "org") return kTldOrg;
+  return kTldItld;
+}
+
+}  // namespace
+
+Study Study::clone() const {
+  Study copy;
+  copy.eco_ = eco_;
+  copy.table_ = table_.clone();
+  copy.idns_ = idns_;
+  copy.malicious_idns_ = malicious_idns_;
+  copy.groups_ = groups_;
+  copy.join_budget_bytes_ = join_budget_bytes_;
+  copy.threads_ = threads_;
+  copy.day_ = day_;
+  copy.skeleton_state_ = std::make_unique<SkeletonIndexState>();
+  return copy;
+}
+
+Result<DeltaApplyResult> Study::apply_delta(const ecosystem::DayDelta& delta,
+                                            const DeltaDetectors* detectors) {
+  const obs::StageTimer stage("core.study.apply_delta");
+  DeltaMetrics& metrics = delta_metrics();
+  if (delta.day != day_ + 1) {
+    return Err("delta.bad_day", ecosystem::delta_day_error(delta.day, day_));
+  }
+  // Only visible after the skeleton index has been built: overlay adds on
+  // an unbuilt index are pointless (the lazy build sees the updated idns_).
+  SkeletonIndex* index = skeleton_state_->index.get();
+
+  DeltaApplyResult result;
+  for (std::size_t i = 0; i < delta.records.size(); ++i) {
+    const ecosystem::DeltaRecord& record = delta.records[i];
+    // Validation order mirrors ecosystem::apply_delta exactly — the error
+    // prefix of a malformed delta is byte-identical on both paths.
+    const std::size_t dot = record.domain.rfind('.');
+    const std::string_view tld =
+        dot == std::string::npos ? std::string_view{}
+                                 : std::string_view(record.domain)
+                                       .substr(dot + 1);
+    const bool tld_known = std::any_of(
+        eco_->zones.begin(), eco_->zones.end(),
+        [&](const dns::Zone& zone) { return zone.origin() == tld; });
+    if (!tld_known) {
+      return Err("delta.bad_apply",
+                 ecosystem::delta_apply_error(delta.day, i, "unknown TLD for ",
+                                              record.domain));
+    }
+    runtime::DomainId id = table_.find(record.domain);
+    const bool live =
+        id != runtime::kInvalidDomainId && table_.is_registered(id);
+    switch (record.kind) {
+      case ecosystem::DeltaKind::kRegister: {
+        if (live) {
+          return Err("delta.bad_apply",
+                     ecosystem::delta_apply_error(
+                         delta.day, i, "duplicate registration of ",
+                         record.domain));
+        }
+        if (record.is_idn != ecosystem::delta_domain_is_idn(record.domain)) {
+          return Err("delta.bad_apply",
+                     ecosystem::delta_apply_error(delta.day, i,
+                                                  "idn flag mismatch for ",
+                                                  record.domain));
+        }
+        if (id == runtime::kInvalidDomainId) {
+          const Result<runtime::DomainId> interned =
+              table_.try_intern(record.domain);
+          if (!interned.ok()) {
+            return interned.error();  // capacity guard, not a delta defect
+          }
+          id = interned.value();
+        }
+        const std::uint8_t group_id = group_index_for_tld(tld);
+        table_.set_registered(id, true);
+        table_.set_tld_group(id, group_id);
+        table_.set_idn(id, record.is_idn);
+        TldGroup& group = groups_[group_id];
+        ++group.sld_count;
+        if (record.is_idn) {
+          ++group.idn_count;
+          if (eco_->whois.lookup(record.domain) != nullptr) {
+            ++group.whois_count;
+          }
+          idns_.push_back(id);
+          result.registered_idns.push_back(id);
+          if (index != nullptr && index->add(record.domain, id)) {
+            metrics.index_additions.add(1);
+          }
+        }
+        ++result.stats.registrations;
+        metrics.registrations.add(1);
+        break;
+      }
+      case ecosystem::DeltaKind::kExpire: {
+        if (!live) {
+          return Err("delta.bad_apply",
+                     ecosystem::delta_apply_error(
+                         delta.day, i, "expiry of never-registered ",
+                         record.domain));
+        }
+        if (record.is_idn != table_.is_idn(id)) {
+          return Err("delta.bad_apply",
+                     ecosystem::delta_apply_error(delta.day, i,
+                                                  "idn flag mismatch for ",
+                                                  record.domain));
+        }
+        TldGroup& group = groups_[table_.tld_group(id)];
+        --group.sld_count;
+        table_.set_registered(id, false);
+        if (record.is_idn) {
+          --group.idn_count;
+          if (eco_->whois.lookup(record.domain) != nullptr) {
+            --group.whois_count;  // eco expiry keeps WHOIS; uncount the join
+          }
+          const std::uint8_t mask = table_.blacklist_mask(id);
+          if (mask != 0) {
+            --group.blacklist_total;
+            if (mask & ecosystem::kBlVirusTotal) --group.blacklist_virustotal;
+            if (mask & ecosystem::kBl360) --group.blacklist_360;
+            if (mask & ecosystem::kBlBaidu) --group.blacklist_baidu;
+            table_.set_blacklist_mask(id, 0);
+            std::erase(malicious_idns_, id);
+          }
+          std::erase(idns_, id);
+          result.expired_idns.push_back(id);
+        }
+        ++result.stats.expiries;
+        metrics.expiries.add(1);
+        break;
+      }
+      case ecosystem::DeltaKind::kBlacklistOn: {
+        if (!live) {
+          return Err("delta.bad_apply",
+                     ecosystem::delta_apply_error(
+                         delta.day, i, "blacklist onset for unregistered ",
+                         record.domain));
+        }
+        if (!table_.is_idn(id)) {
+          return Err("delta.bad_apply",
+                     ecosystem::delta_apply_error(
+                         delta.day, i, "blacklist record for non-idn domain ",
+                         record.domain));
+        }
+        if (table_.blacklist_mask(id) != 0) {
+          return Err("delta.bad_apply",
+                     ecosystem::delta_apply_error(
+                         delta.day, i, "blacklist onset for already-listed ",
+                         record.domain));
+        }
+        table_.set_blacklist_mask(id, record.mask);
+        TldGroup& group = groups_[table_.tld_group(id)];
+        ++group.blacklist_total;
+        if (record.mask & ecosystem::kBlVirusTotal) ++group.blacklist_virustotal;
+        if (record.mask & ecosystem::kBl360) ++group.blacklist_360;
+        if (record.mask & ecosystem::kBlBaidu) ++group.blacklist_baidu;
+        malicious_idns_.push_back(id);
+        ++result.stats.blacklist_on;
+        metrics.blacklist_on.add(1);
+        break;
+      }
+      case ecosystem::DeltaKind::kBlacklistOff: {
+        if (!live) {
+          return Err("delta.bad_apply",
+                     ecosystem::delta_apply_error(
+                         delta.day, i, "blacklist offset for unregistered ",
+                         record.domain));
+        }
+        if (!table_.is_idn(id)) {
+          return Err("delta.bad_apply",
+                     ecosystem::delta_apply_error(
+                         delta.day, i, "blacklist record for non-idn domain ",
+                         record.domain));
+        }
+        if (table_.blacklist_mask(id) != record.mask) {
+          return Err("delta.bad_apply",
+                     ecosystem::delta_apply_error(
+                         delta.day, i,
+                         "blacklist offset mask mismatch for ",
+                         record.domain));
+        }
+        table_.set_blacklist_mask(id, 0);
+        TldGroup& group = groups_[table_.tld_group(id)];
+        --group.blacklist_total;
+        if (record.mask & ecosystem::kBlVirusTotal) --group.blacklist_virustotal;
+        if (record.mask & ecosystem::kBl360) --group.blacklist_360;
+        if (record.mask & ecosystem::kBlBaidu) --group.blacklist_baidu;
+        std::erase(malicious_idns_, id);
+        ++result.stats.blacklist_off;
+        metrics.blacklist_off.add(1);
+        break;
+      }
+    }
+  }
+  day_ = delta.day;
+  metrics.applied.add(1);
+  metrics.records.add(static_cast<std::int64_t>(delta.records.size()));
+
+  // Incremental re-detection: only the domains this delta touched are
+  // probed — the counter quotient core.delta.redetected / idns() size is
+  // the "re-detections ≪ total domains" evidence bench_fig_timeline gates.
+  if (detectors != nullptr) {
+    std::string domain;
+    for (const runtime::DomainId id : result.registered_idns) {
+      domain.assign(table_.str(id));
+      const obs::SubjectScope subject(id);
+      ReVerdict verdict;
+      verdict.id = id;
+      if (detectors->homograph != nullptr) {
+        verdict.homograph = detectors->homograph->best_match(domain).has_value();
+      }
+      if (detectors->semantic != nullptr) {
+        verdict.semantic_t1 = detectors->semantic->match(domain).has_value();
+      }
+      if (detectors->type2 != nullptr) {
+        verdict.semantic_t2 = detectors->type2->match(domain).has_value();
+      }
+      result.verdicts.push_back(verdict);
+      metrics.redetected.add(1);
+    }
+  }
+  return result;
 }
 
 TldGroup Study::totals() const {

@@ -23,12 +23,16 @@
 #include "idnscope/core/stream_join.h"
 #include "idnscope/dns/zone_io.h"
 #include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/ecosystem/timeline.h"
 #include "idnscope/obs/provenance.h"
 #include "idnscope/runtime/domain_table.h"
 
 namespace idnscope::core {
 
 class SkeletonIndex;
+class HomographDetector;
+class SemanticDetector;
+class Type2Detector;
 
 // One TLD group of Table I.
 struct TldGroup {
@@ -47,6 +51,39 @@ inline constexpr std::uint8_t kTldCom = 0;
 inline constexpr std::uint8_t kTldNet = 1;
 inline constexpr std::uint8_t kTldOrg = 2;
 inline constexpr std::uint8_t kTldItld = 3;
+
+// Detector probes for the incremental re-detection path (apply_delta).
+// Non-owning; the detectors outlive the apply (they are the snapshot's /
+// bench's long-lived instances — brand tables never change day-over-day,
+// so there is nothing to rebuild on the detector side).
+struct DeltaDetectors {
+  const HomographDetector* homograph = nullptr;
+  const SemanticDetector* semantic = nullptr;
+  const Type2Detector* type2 = nullptr;
+};
+
+// One re-detected domain's verdict bits (docs/DETECTORS.md#re-verdicts).
+// Field-identical to what the batch detectors decide for the same string;
+// the full provenance records are emitted at the detectors' own sites
+// during the probe, under SubjectScope(id).
+struct ReVerdict {
+  runtime::DomainId id = runtime::kInvalidDomainId;
+  bool homograph = false;
+  bool semantic_t1 = false;
+  bool semantic_t2 = false;
+};
+
+// What one apply_delta call did to the Study.
+struct DeltaApplyResult {
+  ecosystem::DeltaApplyStats stats;
+  // Newly-registered / expired IDN ids, record order.  (ASCII churn is
+  // folded into sld_count only — it is invisible to every IDN artifact.)
+  std::vector<runtime::DomainId> registered_idns;
+  std::vector<runtime::DomainId> expired_idns;
+  // Verdicts for registered_idns, same order; empty when apply_delta ran
+  // without detectors.
+  std::vector<ReVerdict> verdicts;
+};
 
 // Pipeline knobs.  Thread count only affects wall time: the scan results,
 // DomainId assignment and every metric are identical at any value
@@ -148,7 +185,52 @@ class Study {
   // does not perturb determinism.  Thread-safe.
   const SkeletonIndex& skeleton_index() const;
 
+  // --- longitudinal deltas (ecosystem/timeline.h; DESIGN.md §11) ---------
+
+  // Days of deltas applied since construction (0 = the scanned snapshot).
+  std::uint32_t day() const { return day_; }
+
+  // Deep copy for the serve advance path: the next generation's Study is a
+  // clone of the published one plus one day's delta, while readers keep
+  // querying the original.  The clone's DomainTable honors the same ids;
+  // its skeleton index is rebuilt lazily (the clone cannot share the
+  // original's — apply_delta would push overlay entries into a structure
+  // concurrent readers are probing).
+  Study clone() const;
+
+  // Fold one day's delta into the Study: validate every record against the
+  // side tables (duplicate registration, expiry of a never-registered name,
+  // blacklist records for clean/listed/non-IDN names, out-of-order day) and
+  // update the table, the TldGroup rows, idns()/malicious_idns() membership
+  // and — if already built — the skeleton index overlay.  Validation order
+  // and error text are byte-identical to ecosystem::apply_delta's, so the
+  // incremental and full-scan paths reject a malformed delta with the same
+  // error prefix (tests/delta_corpus_test.cpp); like there, records before
+  // the failing one stay applied.
+  //
+  // The caller applies the same delta to the Ecosystem *first*
+  // (ecosystem::apply_delta) — the WHOIS join for a new registration reads
+  // eco().whois, which the eco-side apply populates.  Expiry decrements
+  // every group counter the registration incremented, so after N days the
+  // groups are field-identical to a from-scratch Study of the day-N
+  // ecosystem (the replay contract; idns() ORDER may differ — membership,
+  // counts and every report aggregate are equal).
+  //
+  // With `detectors`, every newly-registered IDN is re-probed through the
+  // single-subject detector entry points under SubjectScope(id) — the
+  // incremental alternative to a full rescan; provenance records for these
+  // re-verdicts appear in the ledger exactly as a batch scan would emit
+  // them.  Counters: core.delta.{applied,records,registrations,expiries,
+  // blacklist_on,blacklist_off,redetected,index_additions}; stage span
+  // "core.study.apply_delta".
+  Result<DeltaApplyResult> apply_delta(const ecosystem::DayDelta& delta,
+                                       const DeltaDetectors* detectors =
+                                           nullptr);
+
  private:
+  // clone() assembles the copy member-by-member onto this.
+  Study() = default;
+
   // Scan one zone through `scan` (in-memory buffer or mmap'd file — both
   // feed dns::scan_zone_buffer) and fold its SLDs into the table.  When
   // `origin_hint` is empty the TLD group is derived from the first scanned
@@ -165,6 +247,7 @@ class Study {
   std::vector<TldGroup> groups_;
   std::size_t join_budget_bytes_ = kDefaultJoinBudgetBytes;
   unsigned threads_ = 0;
+  std::uint32_t day_ = 0;  // deltas applied since the scanned snapshot
   // Lazy skeleton-index state, heap-boxed so Study stays movable (moves
   // happen only during construction, never while the index is building).
   struct SkeletonIndexState;

@@ -38,6 +38,15 @@ void Zone::add(ResourceRecord record) {
   records_.push_back(std::move(record));
 }
 
+std::size_t Zone::remove_owner(std::string_view owner) {
+  const std::string needle = to_lower_ascii(owner);
+  const std::size_t before = records_.size();
+  std::erase_if(records_, [&](const ResourceRecord& record) {
+    return record.owner == needle;
+  });
+  return before - records_.size();
+}
+
 void Zone::for_each_sld(
     const std::function<void(std::string_view)>& fn) const {
   std::unordered_set<std::string_view> seen;

@@ -39,6 +39,13 @@ class Zone {
   const std::vector<ResourceRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
 
+  // Drop every record owned by `owner` (case-insensitive, no trailing dot),
+  // preserving the relative order of the remaining records.  Returns the
+  // number of records removed.  This is the expiry path of the timeline
+  // deltas (ecosystem/timeline.h): a registration leaves the zone by losing
+  // its delegation records.
+  std::size_t remove_owner(std::string_view owner);
+
   // Distinct second-level owner names (the "# SLD" column of Table I).
   // Owners are visited in first-appearance order.
   void for_each_sld(const std::function<void(std::string_view)>& fn) const;

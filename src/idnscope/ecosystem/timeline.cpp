@@ -1,0 +1,802 @@
+#include "idnscope/ecosystem/timeline.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "idnscope/common/strings.h"
+#include "idnscope/ecosystem/brands.h"
+#include "idnscope/idna/idna.h"
+#include "idnscope/idna/punycode.h"
+#include "idnscope/whois/whois.h"
+
+namespace idnscope::ecosystem {
+
+namespace {
+
+// The delegation pool register_domain draws from; the timeline's
+// registrations look like the generator's.
+constexpr std::string_view kNsPool[] = {
+    "ns1.dnspod.net", "ns2.dnspod.net", "ns1.hichina.com",
+    "ns2.hichina.com", "ns1.gmoserver.jp", "ns2.gmoserver.jp",
+    "ns1.parklogic.com", "ns2.parklogic.com", "ns1.name-services.com",
+    "ns1.gabia.co.kr", "ns1.cafe24.com", "ns1.sedoparking.com"};
+
+// Lowercase ACE domain alphabet.  Anything else — uppercase, UTF-8,
+// raw non-UTF-8 bytes — is not something serialize_delta would produce.
+bool valid_delta_domain(std::string_view domain) {
+  if (domain.empty() || domain.front() == '.' || domain.back() == '.') {
+    return false;
+  }
+  bool dot = false;
+  for (const char c : domain) {
+    if (c == '.') {
+      dot = true;
+    } else if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                 c == '-')) {
+      return false;
+    }
+  }
+  return dot;
+}
+
+std::string line_error(std::size_t line_no, std::string_view what) {
+  return "line " + std::to_string(line_no) + ": " + std::string(what);
+}
+
+// Per-domain attribute stream, the register_domain convention: order of
+// application never matters.
+Rng domain_rng(std::uint64_t seed, std::string_view domain,
+               std::string_view stage) {
+  return Rng(seed ^ stable_hash64(domain) ^ stable_hash64(stage));
+}
+
+std::string_view tld_of(std::string_view domain) {
+  const std::size_t dot = domain.rfind('.');
+  return dot == std::string_view::npos ? std::string_view{}
+                                       : domain.substr(dot + 1);
+}
+
+dns::Zone* zone_of(Ecosystem& eco, std::string_view tld) {
+  for (dns::Zone& zone : eco.zones) {
+    if (zone.origin() == tld) {
+      return &zone;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool delta_domain_is_idn(std::string_view domain) {
+  const std::size_t dot = domain.find('.');
+  const std::string_view sld =
+      dot == std::string_view::npos ? domain : domain.substr(0, dot);
+  return idna::has_ace_prefix(sld) || idna::has_ace_prefix(tld_of(domain));
+}
+
+std::string delta_apply_error(std::uint32_t day, std::size_t record_index,
+                              std::string_view what, std::string_view domain) {
+  return "delta day " + std::to_string(day) + " record " +
+         std::to_string(record_index) + ": " + std::string(what) +
+         std::string(domain);
+}
+
+std::string delta_day_error(std::uint32_t delta_day, std::uint32_t state_day) {
+  return "delta day " + std::to_string(delta_day) +
+         " does not follow day " + std::to_string(state_day);
+}
+
+// --- serialization ----------------------------------------------------------
+
+std::string serialize_delta(const DayDelta& delta) {
+  std::string out = "$DELTA day " + std::to_string(delta.day) + " seed " +
+                    std::to_string(delta.seed) + " records " +
+                    std::to_string(delta.records.size()) + "\n";
+  for (const DeltaRecord& record : delta.records) {
+    switch (record.kind) {
+      case DeltaKind::kRegister:
+        out += "+ " + record.domain + (record.is_idn ? " idn" : " ascii");
+        break;
+      case DeltaKind::kExpire:
+        out += "- " + record.domain + (record.is_idn ? " idn" : " ascii");
+        break;
+      case DeltaKind::kBlacklistOn:
+        out += "B " + record.domain + " " + std::to_string(record.mask);
+        break;
+      case DeltaKind::kBlacklistOff:
+        out += "b " + record.domain + " " + std::to_string(record.mask);
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<DayDelta> parse_delta(std::string_view text) {
+  // Split preserving emptiness evidence: serialize_delta ends each line
+  // (header included) with exactly one '\n', so a well-formed input splits
+  // into the lines plus one trailing empty piece.
+  const std::vector<std::string_view> lines = split(text, '\n');
+  if (lines.empty() || lines[0].empty()) {
+    return Err("delta.bad_header", line_error(1, "missing $DELTA header"));
+  }
+  const auto header = split_whitespace(lines[0]);
+  if (header.size() != 7 || header[0] != "$DELTA" || header[1] != "day" ||
+      header[3] != "seed" || header[5] != "records") {
+    return Err("delta.bad_header",
+               line_error(1, "header must be '$DELTA day <d> seed <s> "
+                             "records <n>'"));
+  }
+  std::uint64_t day = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t expected = 0;
+  if (!parse_u64(header[2], day) || day > 0xFFFFFFFFULL) {
+    return Err("delta.bad_header", line_error(1, "bad day number"));
+  }
+  if (!parse_u64(header[4], seed)) {
+    return Err("delta.bad_header", line_error(1, "bad seed number"));
+  }
+  if (!parse_u64(header[6], expected)) {
+    return Err("delta.bad_header", line_error(1, "bad record count"));
+  }
+
+  DayDelta delta;
+  delta.day = static_cast<std::uint32_t>(day);
+  delta.seed = seed;
+
+  std::size_t line_no = 1;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    if (line.empty()) {
+      // Only legal as the final piece after the terminating newline.
+      if (i + 1 == lines.size()) {
+        break;
+      }
+      return Err("delta.bad_record", line_error(i + 1, "empty line"));
+    }
+    ++line_no;
+    const auto fields = split_whitespace(line);
+    if (fields.size() != 3) {
+      return Err("delta.bad_record",
+                 line_error(line_no, "record needs exactly 3 fields"));
+    }
+    DeltaRecord record;
+    if (fields[0] == "+") {
+      record.kind = DeltaKind::kRegister;
+    } else if (fields[0] == "-") {
+      record.kind = DeltaKind::kExpire;
+    } else if (fields[0] == "B") {
+      record.kind = DeltaKind::kBlacklistOn;
+    } else if (fields[0] == "b") {
+      record.kind = DeltaKind::kBlacklistOff;
+    } else {
+      return Err("delta.bad_record",
+                 line_error(line_no, "unknown record kind '" +
+                                         std::string(fields[0]) + "'"));
+    }
+    if (!valid_delta_domain(fields[1])) {
+      return Err("delta.bad_domain",
+                 line_error(line_no,
+                            "domain must be lowercase ACE [a-z0-9.-] with "
+                            "a TLD"));
+    }
+    record.domain = std::string(fields[1]);
+    if (record.kind == DeltaKind::kRegister ||
+        record.kind == DeltaKind::kExpire) {
+      if (fields[2] == "idn") {
+        record.is_idn = true;
+      } else if (fields[2] == "ascii") {
+        record.is_idn = false;
+      } else {
+        return Err("delta.bad_record",
+                   line_error(line_no, "flag must be 'idn' or 'ascii'"));
+      }
+    } else {
+      std::uint64_t mask = 0;
+      if (!parse_u64(fields[2], mask) || mask == 0 || mask > 255) {
+        return Err("delta.bad_mask",
+                   line_error(line_no, "mask must be 1..255"));
+      }
+      record.mask = static_cast<std::uint8_t>(mask);
+    }
+    delta.records.push_back(std::move(record));
+  }
+  if (delta.records.size() != expected) {
+    return Err("delta.bad_count",
+               "header announces " + std::to_string(expected) +
+                   " records but " + std::to_string(delta.records.size()) +
+                   " followed");
+  }
+  return delta;
+}
+
+DayDelta invert_delta(const DayDelta& delta) {
+  DayDelta inverted;
+  inverted.day = delta.day;
+  inverted.seed = delta.seed;
+  inverted.records.reserve(delta.records.size());
+  for (auto it = delta.records.rbegin(); it != delta.records.rend(); ++it) {
+    DeltaRecord record = *it;
+    switch (record.kind) {
+      case DeltaKind::kRegister:
+        record.kind = DeltaKind::kExpire;
+        break;
+      case DeltaKind::kExpire:
+        record.kind = DeltaKind::kRegister;
+        break;
+      case DeltaKind::kBlacklistOn:
+        record.kind = DeltaKind::kBlacklistOff;
+        break;
+      case DeltaKind::kBlacklistOff:
+        record.kind = DeltaKind::kBlacklistOn;
+        break;
+    }
+    inverted.records.push_back(std::move(record));
+  }
+  return inverted;
+}
+
+// --- state ------------------------------------------------------------------
+
+TimelineState TimelineState::from(const Ecosystem& eco) {
+  TimelineState state;
+  for (const dns::Zone& zone : eco.zones) {
+    const bool idn_tld = idna::has_ace_prefix(zone.origin());
+    zone.for_each_sld([&](std::string_view sld_owner) {
+      const std::size_t dot = sld_owner.find('.');
+      const std::string_view sld_label =
+          dot == std::string_view::npos ? sld_owner : sld_owner.substr(0, dot);
+      DomainState& domain = state.domains[std::string(sld_owner)];
+      domain.live = true;
+      domain.is_idn = idn_tld || idna::has_ace_prefix(sld_label);
+      if (const auto it = eco.blacklist.find(std::string(sld_owner));
+          it != eco.blacklist.end()) {
+        domain.mask = it->second;
+      }
+    });
+  }
+  return state;
+}
+
+std::uint64_t TimelineState::live_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [domain, entry] : domains) {
+    n += entry.live ? 1 : 0;
+  }
+  return n;
+}
+
+std::uint64_t TimelineState::live_idn_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [domain, entry] : domains) {
+    n += entry.live && entry.is_idn ? 1 : 0;
+  }
+  return n;
+}
+
+// --- apply ------------------------------------------------------------------
+
+Result<DeltaApplyStats> apply_delta(Ecosystem& eco, TimelineState& state,
+                                    const DayDelta& delta) {
+  if (delta.day != state.day + 1) {
+    return Err("delta.bad_day", delta_day_error(delta.day, state.day));
+  }
+  DeltaApplyStats stats;
+  for (std::size_t i = 0; i < delta.records.size(); ++i) {
+    const DeltaRecord& record = delta.records[i];
+    const std::string_view tld = tld_of(record.domain);
+    dns::Zone* zone = zone_of(eco, tld);
+    if (zone == nullptr) {
+      return Err("delta.bad_apply",
+                 delta_apply_error(delta.day, i, "unknown TLD for ",
+                                   record.domain));
+    }
+    DomainState& entry = state.domains[record.domain];
+    switch (record.kind) {
+      case DeltaKind::kRegister: {
+        if (entry.live) {
+          return Err("delta.bad_apply",
+                     delta_apply_error(delta.day, i,
+                                       "duplicate registration of ",
+                                       record.domain));
+        }
+        if (record.is_idn != delta_domain_is_idn(record.domain)) {
+          return Err("delta.bad_apply",
+                     delta_apply_error(delta.day, i, "idn flag mismatch for ",
+                                       record.domain));
+        }
+        entry.live = true;
+        entry.is_idn = record.is_idn;
+        entry.mask = 0;
+        // Delegation: same NS-pool draw as the generator's register_domain,
+        // keyed per (seed, domain, stage) so apply order never matters.
+        Rng rng = domain_rng(delta.seed, record.domain, "timeline.attrs");
+        const std::size_t ns =
+            rng.uniform(0, std::size(kNsPool) / 2 - 1) * 2;
+        zone->add({record.domain, 172800, dns::RrType::kNs,
+                   std::string(kNsPool[ns])});
+        zone->add({record.domain, 172800, dns::RrType::kNs,
+                   std::string(kNsPool[ns + 1])});
+        // WHOIS coverage draw, the day-0 per-TLD rates.  A re-registered
+        // name keeps its historical record (insert is skipped), so the
+        // draw stays a pure function of the domain.
+        if (eco.whois.lookup(record.domain) == nullptr) {
+          double whois_rate;
+          if (tld == "com") whois_rate = 590'542.0 / 1'007'148.0;
+          else if (tld == "net") whois_rate = 131'573.0 / 231'896.0;
+          else if (tld == "org") whois_rate = 19'271.0 / 25'629.0;
+          else whois_rate = 2'226.0 / 208'163.0;
+          if (!record.is_idn) {
+            whois_rate = 0.80;
+          }
+          if (rng.chance(whois_rate)) {
+            whois::WhoisRecord who;
+            who.domain = record.domain;
+            who.registrar = "GMO Internet Inc.";
+            who.creation_date =
+                eco.scenario.snapshot.plus_days(delta.day);
+            who.expiry_date = who.creation_date.plus_days(
+                static_cast<std::int64_t>(rng.uniform(30, 700)));
+            who.privacy_protected = rng.chance(0.45);
+            if (!who.privacy_protected) {
+              who.registrant_email =
+                  "reg" + std::to_string(rng.uniform(0, 9999)) +
+                  "@mail.example";
+            }
+            eco.whois.insert(std::move(who));
+          }
+        }
+        if (record.is_idn) {
+          eco.idns.push_back(record.domain);
+        } else {
+          eco.sampled_non_idns.push_back(record.domain);
+        }
+        ++stats.registrations;
+        break;
+      }
+      case DeltaKind::kExpire: {
+        if (!entry.live) {
+          return Err("delta.bad_apply",
+                     delta_apply_error(delta.day, i,
+                                       "expiry of never-registered ",
+                                       record.domain));
+        }
+        if (record.is_idn != entry.is_idn) {
+          return Err("delta.bad_apply",
+                     delta_apply_error(delta.day, i, "idn flag mismatch for ",
+                                       record.domain));
+        }
+        entry.live = false;
+        entry.mask = 0;
+        zone->remove_owner(record.domain);
+        eco.blacklist.erase(record.domain);
+        if (record.is_idn) {
+          std::erase(eco.idns, record.domain);
+        } else {
+          std::erase(eco.sampled_non_idns, record.domain);
+        }
+        ++stats.expiries;
+        break;
+      }
+      case DeltaKind::kBlacklistOn: {
+        if (!entry.live) {
+          return Err("delta.bad_apply",
+                     delta_apply_error(delta.day, i,
+                                       "blacklist onset for unregistered ",
+                                       record.domain));
+        }
+        if (!entry.is_idn) {
+          return Err("delta.bad_apply",
+                     delta_apply_error(delta.day, i,
+                                       "blacklist record for non-idn domain ",
+                                       record.domain));
+        }
+        if (entry.mask != 0) {
+          return Err("delta.bad_apply",
+                     delta_apply_error(delta.day, i,
+                                       "blacklist onset for already-listed ",
+                                       record.domain));
+        }
+        entry.mask = record.mask;
+        eco.blacklist[record.domain] = record.mask;
+        ++stats.blacklist_on;
+        break;
+      }
+      case DeltaKind::kBlacklistOff: {
+        if (!entry.live) {
+          return Err("delta.bad_apply",
+                     delta_apply_error(delta.day, i,
+                                       "blacklist offset for unregistered ",
+                                       record.domain));
+        }
+        if (!entry.is_idn) {
+          return Err("delta.bad_apply",
+                     delta_apply_error(delta.day, i,
+                                       "blacklist record for non-idn domain ",
+                                       record.domain));
+        }
+        if (entry.mask != record.mask) {
+          return Err("delta.bad_apply",
+                     delta_apply_error(delta.day, i,
+                                       "blacklist offset mask mismatch for ",
+                                       record.domain));
+        }
+        entry.mask = 0;
+        eco.blacklist.erase(record.domain);
+        ++stats.blacklist_off;
+        break;
+      }
+    }
+  }
+  state.day = delta.day;
+  return stats;
+}
+
+// --- generation -------------------------------------------------------------
+
+Timeline::Timeline(const Ecosystem& eco)
+    : eco_(&eco),
+      seed_(eco.scenario.seed),
+      state_(TimelineState::from(eco)) {
+  for (const auto& [domain, entry] : state_.domains) {
+    live_.push_back(domain);
+    if (entry.is_idn) {
+      live_idns_.push_back(domain);
+    }
+    // The day-0 blacklist also covers the generator's sampled non-IDN abuse
+    // domains; delta blacklist records are IDN-only (apply contract), so
+    // only IDN entries are offset candidates.  Folds keep the invariant:
+    // onsets are drawn from IDN pick lists exclusively.
+    if (entry.mask != 0 && entry.is_idn) {
+      blacklisted_.push_back(domain);
+    }
+  }
+  // std::map iteration is sorted already; keep the invariant explicit.
+  assert(std::is_sorted(live_.begin(), live_.end()));
+}
+
+namespace {
+
+// Insert into / erase from a sorted vector (the pick lists).
+void sorted_insert(std::vector<std::string>& v, const std::string& s) {
+  v.insert(std::lower_bound(v.begin(), v.end(), s), s);
+}
+
+void sorted_erase(std::vector<std::string>& v, const std::string& s) {
+  const auto it = std::lower_bound(v.begin(), v.end(), s);
+  if (it != v.end() && *it == s) {
+    v.erase(it);
+  }
+}
+
+// A handful of Cyrillic confusables for brand-variant NOD names — enough
+// for the homograph detector to have something to find in the stream.
+char32_t confusable_of(char c) {
+  switch (c) {
+    case 'a': return U'а';  // а
+    case 'c': return U'с';  // с
+    case 'e': return U'е';  // е
+    case 'o': return U'о';  // о
+    case 'p': return U'р';  // р
+    case 'x': return U'х';  // х
+    case 'y': return U'у';  // у
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+std::string Timeline::draw_fresh_domain(Rng& rng, bool* is_idn) {
+  static constexpr std::string_view kTlds[] = {"com", "net", "org"};
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::string_view tld = kTlds[rng.uniform(0, std::size(kTlds) - 1)];
+    std::string domain;
+    const double roll = rng.uniform01();
+    if (roll < 0.20) {
+      // Plain ASCII NOD name.
+      domain = "nod-" + std::to_string(fresh_counter_++) + "-" +
+               std::to_string(rng.uniform(0, 35)) + "." + std::string(tld);
+      *is_idn = false;
+    } else if (roll < 0.32 && !alexa_top1k().empty()) {
+      // Confusable brand variant: substitute one substitutable letter of a
+      // top-brand SLD with its Cyrillic twin.
+      const Brand& brand = alexa_top1k()[rng.uniform(
+          0, alexa_top1k().size() - 1)];
+      std::u32string label;
+      std::vector<std::size_t> substitutable;
+      for (const char c : brand.sld()) {
+        if (confusable_of(c) != 0) {
+          substitutable.push_back(label.size());
+        }
+        label.push_back(static_cast<char32_t>(c));
+      }
+      if (substitutable.empty()) {
+        continue;
+      }
+      const std::size_t at =
+          substitutable[rng.uniform(0, substitutable.size() - 1)];
+      label[at] = confusable_of(static_cast<char>(label[at]));
+      const auto ace = idna::label_to_ascii(label);
+      if (!ace.ok()) {
+        continue;
+      }
+      domain = ace.value() + "." + std::string(tld);
+      *is_idn = true;
+    } else {
+      // Benign IDN: a short mixed label over a small non-ASCII alphabet.
+      static constexpr char32_t kPool[] = {
+          U'中', U'国', U'网', U'店', U'海',
+          U'п', U'д', U'ж', U'é', U'ü',
+          U'日', U'本', U'한', U'국', U'α'};
+      std::u32string label;
+      const std::size_t len = rng.uniform(2, 6);
+      for (std::size_t i = 0; i < len; ++i) {
+        label.push_back(kPool[rng.uniform(0, std::size(kPool) - 1)]);
+      }
+      const auto ace = idna::label_to_ascii(label);
+      if (!ace.ok()) {
+        continue;
+      }
+      domain = ace.value() + "." + std::string(tld);
+      *is_idn = true;
+    }
+    // Fresh means fresh: never re-register an expired or existing name.
+    if (!state_.domains.contains(domain)) {
+      return domain;
+    }
+  }
+  // 64 collisions in a row means the name space is saturated for this
+  // draw; fall back to a counter-unique ASCII name.
+  std::string domain;
+  do {
+    domain = "nod-" + std::to_string(fresh_counter_++) + ".com";
+  } while (state_.domains.contains(domain));
+  *is_idn = false;
+  return domain;
+}
+
+DayDelta Timeline::next() {
+  const std::uint32_t day = state_.day + 1;
+  Rng rng = Rng(seed_).fork("timeline/day/" + std::to_string(day));
+  DayDelta delta;
+  delta.day = day;
+  delta.seed = seed_;
+
+  // Volumes scale with the live population: a steady NOD trickle (about
+  // half a percent of the zone per day, the order of the real com feed),
+  // slightly fewer expiries (the zone grows), sparse blacklist churn.
+  const std::uint64_t live = live_.size();
+  const std::uint64_t base = std::max<std::uint64_t>(4, live / 200);
+  const std::uint64_t regs = rng.uniform(base / 2 + 1, base + base / 2);
+  const std::uint64_t exps =
+      std::min<std::uint64_t>(live, rng.uniform(base / 3 + 1, base));
+
+  std::vector<std::string> registered_idns_today;
+  for (std::uint64_t i = 0; i < regs; ++i) {
+    bool is_idn = false;
+    std::string domain = draw_fresh_domain(rng, &is_idn);
+    DeltaRecord record;
+    record.kind = DeltaKind::kRegister;
+    record.domain = domain;
+    record.is_idn = is_idn;
+    delta.records.push_back(std::move(record));
+    if (is_idn) {
+      registered_idns_today.push_back(std::move(domain));
+    }
+  }
+  // Expiries: uniform picks from the day-start live list (never a name
+  // registered today — candidates are drawn before today's additions land).
+  std::vector<std::string> expired_today;
+  for (std::uint64_t i = 0; i < exps && !live_.empty(); ++i) {
+    const std::string& candidate = live_[rng.uniform(0, live_.size() - 1)];
+    if (std::find(expired_today.begin(), expired_today.end(), candidate) !=
+        expired_today.end()) {
+      continue;  // double-picked this day; fewer expiries, still valid
+    }
+    DeltaRecord record;
+    record.kind = DeltaKind::kExpire;
+    record.domain = candidate;
+    record.is_idn = state_.domains.at(candidate).is_idn;
+    delta.records.push_back(record);
+    expired_today.push_back(candidate);
+  }
+  // Blacklist onsets: clean live IDNs (including today's NOD names, which
+  // is where real abuse onset concentrates) drawn with generator-like
+  // source masks.  IDN-only by the apply contract.
+  const std::uint64_t onsets = rng.uniform(0, std::max<std::uint64_t>(
+                                                  1, regs / 4));
+  std::vector<std::string> listed_today;
+  for (std::uint64_t i = 0; i < onsets; ++i) {
+    std::string candidate;
+    const bool from_today =
+        rng.chance(0.5) && !registered_idns_today.empty();
+    if (from_today) {
+      candidate = registered_idns_today[rng.uniform(
+          0, registered_idns_today.size() - 1)];
+    } else if (!live_idns_.empty()) {
+      candidate = live_idns_[rng.uniform(0, live_idns_.size() - 1)];
+    } else {
+      continue;
+    }
+    const auto entry = state_.domains.find(candidate);
+    const bool listed = (entry != state_.domains.end() &&
+                         entry->second.mask != 0) ||
+                        std::find(listed_today.begin(), listed_today.end(),
+                                  candidate) != listed_today.end();
+    if (listed ||
+        std::find(expired_today.begin(), expired_today.end(), candidate) !=
+            expired_today.end()) {
+      continue;
+    }
+    std::uint8_t mask = 0;
+    if (rng.chance(4378.0 / 6241.0)) mask |= kBlVirusTotal;
+    if (rng.chance(1963.0 / 6241.0)) mask |= kBl360;
+    if (rng.chance(30.0 / 6241.0)) mask |= kBlBaidu;
+    if (mask == 0) mask = kBlVirusTotal;
+    DeltaRecord record;
+    record.kind = DeltaKind::kBlacklistOn;
+    record.domain = candidate;
+    record.mask = mask;
+    delta.records.push_back(record);
+    listed_today.push_back(std::move(candidate));
+  }
+  // Blacklist offsets: takedowns of previously-listed, still-live names.
+  const std::uint64_t offsets =
+      rng.uniform(0, std::max<std::uint64_t>(1, blacklisted_.size() / 8));
+  std::vector<std::string> cleared_today;
+  for (std::uint64_t i = 0; i < offsets && !blacklisted_.empty(); ++i) {
+    const std::string& candidate =
+        blacklisted_[rng.uniform(0, blacklisted_.size() - 1)];
+    if (std::find(expired_today.begin(), expired_today.end(), candidate) !=
+            expired_today.end() ||
+        std::find(cleared_today.begin(), cleared_today.end(), candidate) !=
+            cleared_today.end()) {
+      continue;
+    }
+    DeltaRecord record;
+    record.kind = DeltaKind::kBlacklistOff;
+    record.domain = candidate;
+    record.mask = state_.domains.at(candidate).mask;
+    delta.records.push_back(record);
+    cleared_today.push_back(candidate);
+  }
+
+  // Fold the delta into the generator's own state + pick lists (the caller
+  // applies it to their Ecosystem separately, via apply_delta).
+  for (const DeltaRecord& record : delta.records) {
+    DomainState& entry = state_.domains[record.domain];
+    switch (record.kind) {
+      case DeltaKind::kRegister:
+        entry.live = true;
+        entry.is_idn = record.is_idn;
+        entry.mask = 0;
+        sorted_insert(live_, record.domain);
+        if (record.is_idn) {
+          sorted_insert(live_idns_, record.domain);
+        }
+        break;
+      case DeltaKind::kExpire:
+        entry.live = false;
+        if (entry.mask != 0) {
+          sorted_erase(blacklisted_, record.domain);
+          entry.mask = 0;
+        }
+        sorted_erase(live_, record.domain);
+        if (record.is_idn) {
+          sorted_erase(live_idns_, record.domain);
+        }
+        break;
+      case DeltaKind::kBlacklistOn:
+        entry.mask = record.mask;
+        sorted_insert(blacklisted_, record.domain);
+        break;
+      case DeltaKind::kBlacklistOff:
+        entry.mask = 0;
+        sorted_erase(blacklisted_, record.domain);
+        break;
+    }
+  }
+  state_.day = day;
+  return delta;
+}
+
+// --- CLI verb ---------------------------------------------------------------
+
+bool parse_day(std::string_view arg, std::uint32_t* out) {
+  if (arg.empty()) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  if (!parse_u64(arg, value) || value > 0xFFFFFFFFULL) {
+    return false;
+  }
+  *out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+bool parse_day_range(std::string_view arg, std::uint32_t* first,
+                     std::uint32_t* last) {
+  const std::size_t sep = arg.find("..");
+  if (sep == std::string_view::npos) {
+    if (!parse_day(arg, first)) {
+      return false;
+    }
+    *last = *first;
+    return true;
+  }
+  return parse_day(arg.substr(0, sep), first) &&
+         parse_day(arg.substr(sep + 2), last) && *first <= *last;
+}
+
+namespace {
+
+int timeline_usage(std::string& err) {
+  err += "usage: idnscope timeline <day|first..last> [seed] [scale] "
+         "[abuse_scale]\n"
+         "  prints the canonical zone-delta records for the requested days\n"
+         "  (deterministic per seed; day 0 is the snapshot itself, so days\n"
+         "  start at 1; scales are divisors, default 100/10)\n";
+  return 2;
+}
+
+}  // namespace
+
+int run_timeline(const std::vector<std::string>& args, std::string& out,
+                 std::string& err) {
+  if (args.empty() || args.size() > 4) {
+    return timeline_usage(err);
+  }
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+  if (!parse_day_range(args[0], &first, &last)) {
+    err += "timeline: days must be whole base-10 integers, '<day>' or "
+           "'<first>..<last>' with first <= last; got \"" + args[0] + "\"\n";
+    return 2;
+  }
+  if (first == 0) {
+    err += "timeline: day 0 is the generator snapshot, not a delta; days "
+           "start at 1\n";
+    return 2;
+  }
+  constexpr std::uint32_t kMaxDay = 36500;  // a century of dailies
+  if (last > kMaxDay) {
+    err += "timeline: day " + std::to_string(last) + " exceeds the replay "
+           "horizon (" + std::to_string(kMaxDay) + ")\n";
+    return 2;
+  }
+  Scenario scenario = Scenario::paper2017();
+  if (args.size() > 1) {
+    std::uint64_t seed = 0;
+    if (!parse_u64(args[1], seed)) {
+      err += "timeline: seed must be a whole base-10 integer (it selects "
+             "the synthetic world); got \"" + args[1] + "\"\n";
+      return 2;
+    }
+    scenario.seed = seed;
+  }
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    std::uint64_t scale = 0;
+    if (!parse_u64(args[i], scale) || scale == 0 || scale > 0xFFFFFFFFULL) {
+      err += "timeline: scale arguments are divisors and must be whole "
+             "integers >= 1; got \"" + args[i] + "\"\n";
+      return 2;
+    }
+    if (i == 2) {
+      scenario.bulk_scale = static_cast<unsigned>(scale);
+    } else {
+      scenario.abuse_scale = static_cast<unsigned>(scale);
+    }
+  }
+  const Ecosystem eco = generate(scenario);
+  Timeline timeline(eco);
+  for (std::uint32_t day = 1; day <= last; ++day) {
+    const DayDelta delta = timeline.next();
+    if (day >= first) {
+      out += serialize_delta(delta);
+    }
+  }
+  return 0;
+}
+
+}  // namespace idnscope::ecosystem

@@ -1,0 +1,212 @@
+// Longitudinal zone deltas: the day-indexed evolution of the synthetic
+// Internet.
+//
+// The paper is a single census (day 0 = the generator's snapshot); the
+// field moved to daily zone feeds — newly-observed domains, registration
+// bursts, abuse lifetimes.  This module makes the generated world move:
+// a Timeline derives, deterministically from the scenario seed, one
+// DayDelta per day — registrations, expiries, blacklist onsets/offsets —
+// and apply_delta() folds a delta into the Ecosystem's stores (zones,
+// WHOIS, blacklist, idns) so that "the world at day N" is a well-defined
+// object both replay modes share.
+//
+// ## Delta record format
+//
+// One delta serializes to a strict line-oriented text block:
+//
+//   $DELTA day 3 seed 20170921 records 4
+//   + xn--80ak6aa92e.com idn
+//   + nod-7f3.net ascii
+//   - xn--fiq228c.org idn
+//   B xn--80ak6aa92e.com 3
+//
+// Header fields are positional and mandatory; `records` must equal the
+// number of record lines that follow.  Record kinds: `+` register,
+// `-` expire (the idn|ascii token is carried so a delta is invertible
+// without consulting state), `B` blacklist onset (mask 1..255), `b`
+// blacklist offset (the mask being cleared, for invertibility).  Domains
+// are lowercase ACE — bytes outside [a-z0-9.-] (which covers any non-UTF-8
+// or non-ASCII label) reject loudly, same spirit as parse_provenance:
+// parse_delta() is a strict inverse of serialize_delta(), and anything the
+// serializer would not produce is an error naming the offending line.
+//
+// ## Apply semantics and the replay contract (DESIGN.md §11)
+//
+// apply_delta(eco, state, delta) validates each record against the
+// TimelineState (duplicate registration, expiry of a never-registered
+// name, onset for an unregistered or already-listed domain, offset mask
+// mismatch, out-of-order day) and applies records in order, stopping at
+// the first invalid record with everything before it applied — the same
+// error-prefix stance as the sharded zone scanner.  core::Study::
+// apply_delta performs the equivalent validation against its own tables
+// and fails with the *identical* message (shared delta_apply_error
+// builder; differential-tested over tests/data/delta_corpus/).
+//
+// Registration attributes (NS pool pick, WHOIS coverage draw) come from
+// Rng(seed ^ stable_hash64(domain) ^ stable_hash64(stage)) like the
+// generator's register_domain, so applying a delta is order-independent
+// and bit-reproducible.  Expiry removes the zone delegation and the
+// blacklist entry but keeps the WHOIS record (registrars keep history);
+// re-registering a previously-expired name is legal and restores it.
+// Blacklist records (`B`/`b`) are only valid for IDN domains: the study's
+// blacklist plane is the paper's IDN-abuse measurement (Table I), and
+// keeping it IDN-only lets core::Study validate deltas purely against its
+// own side tables — a non-IDN blacklist record rejects identically on both
+// apply paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "idnscope/common/result.h"
+#include "idnscope/common/rng.h"
+#include "idnscope/ecosystem/ecosystem.h"
+
+namespace idnscope::ecosystem {
+
+enum class DeltaKind : std::uint8_t {
+  kRegister,      // "+ <domain> idn|ascii"
+  kExpire,        // "- <domain> idn|ascii"
+  kBlacklistOn,   // "B <domain> <mask>"
+  kBlacklistOff,  // "b <domain> <mask>"
+};
+
+struct DeltaRecord {
+  DeltaKind kind = DeltaKind::kRegister;
+  std::string domain;       // lowercase ACE "sld.tld"
+  bool is_idn = false;      // register/expire only
+  std::uint8_t mask = 0;    // blacklist on/off only (1..255)
+
+  bool operator==(const DeltaRecord&) const = default;
+};
+
+struct DayDelta {
+  std::uint32_t day = 0;    // deltas start at day 1; day 0 is the snapshot
+  std::uint64_t seed = 0;   // scenario seed the stream was derived from
+  std::vector<DeltaRecord> records;
+
+  bool operator==(const DayDelta&) const = default;
+};
+
+// Canonical text form (strict round-trip with parse_delta).
+std::string serialize_delta(const DayDelta& delta);
+
+// Strict inverse of serialize_delta: loud reject with a line-numbered
+// message on truncated headers/records, unknown kinds, bad domains (any
+// byte outside [a-z0-9.-], empty labels, missing dot), masks outside
+// 1..255, record-count mismatch, or trailing garbage.
+Result<DayDelta> parse_delta(std::string_view text);
+
+// Whether `domain` (lowercase ACE "sld.tld") counts as an IDN, the way the
+// zone scanners decide it: ACE SLD label, or any SLD under an ACE TLD.
+// Both apply paths validate a register record's idn|ascii token against
+// this, so the flag can never drift from the domain bytes.
+bool delta_domain_is_idn(std::string_view domain);
+
+// The delta that undoes `delta`: registrations become expiries and vice
+// versa, onsets become offsets and vice versa, record order reversed so
+// sequential application unwinds cleanly.  day and seed are preserved.
+DayDelta invert_delta(const DayDelta& delta);
+
+// Per-domain lifecycle facts both apply paths validate against.
+struct DomainState {
+  bool live = false;        // currently registered
+  bool is_idn = false;
+  std::uint8_t mask = 0;    // current blacklist mask (0 = clean)
+};
+
+// The system-of-record state machine: what is registered, what is listed,
+// which day has been applied.  std::map keys keep iteration deterministic
+// for tests and digests.
+struct TimelineState {
+  std::uint32_t day = 0;
+  std::map<std::string, DomainState> domains;
+
+  // Day-0 state: every distinct SLD in eco.zones (IDN flag derived the
+  // same way the zone scanners derive it), masks from eco.blacklist.
+  static TimelineState from(const Ecosystem& eco);
+
+  std::uint64_t live_count() const;
+  std::uint64_t live_idn_count() const;
+};
+
+// Shared error-string builder: core::Study::apply_delta must reject a bad
+// record with byte-identical text, so both sides build it here.
+// Renders "delta day <day> record <index>: <what><domain>".
+std::string delta_apply_error(std::uint32_t day, std::size_t record_index,
+                              std::string_view what, std::string_view domain);
+// Renders the out-of-order-day message (day must be state day + 1).
+std::string delta_day_error(std::uint32_t delta_day, std::uint32_t state_day);
+
+// Stats of one successful apply.
+struct DeltaApplyStats {
+  std::uint64_t registrations = 0;
+  std::uint64_t expiries = 0;
+  std::uint64_t blacklist_on = 0;
+  std::uint64_t blacklist_off = 0;
+};
+
+// Validate + apply one day's delta to the ecosystem stores and the state.
+// Error code "delta.bad_day" / "delta.bad_apply"; records before the
+// failing one stay applied (error-prefix contract above).  Mutates:
+// eco.zones (NS delegations in/out), eco.whois (coverage draw on first
+// registration; kept on expiry), eco.blacklist, eco.idns /
+// eco.sampled_non_idns membership.  The pDNS/web/cert stores are not
+// touched — deltas model the zone+WHOIS+blacklist planes the Study joins.
+Result<DeltaApplyStats> apply_delta(Ecosystem& eco, TimelineState& state,
+                                    const DayDelta& delta);
+
+// Seeded day-over-day delta generator.  The stream is a pure function of
+// (eco's scenario seed, day): day d's delta is drawn from the fork
+// "timeline/day/<d>" of the scenario seed against the evolving live set,
+// so two Timelines over the same ecosystem emit identical streams, and
+// day 0 is by construction exactly the generator's snapshot.  Never
+// re-registers an expired name and never collides with an existing one.
+class Timeline {
+ public:
+  explicit Timeline(const Ecosystem& eco);
+
+  // The delta for day()+1; advances the internal day and live set.
+  DayDelta next();
+
+  std::uint32_t day() const { return state_.day; }
+  const TimelineState& state() const { return state_; }
+
+ private:
+  std::string draw_fresh_domain(Rng& rng, bool* is_idn);
+
+  const Ecosystem* eco_;
+  std::uint64_t seed_;
+  TimelineState state_;
+  // Pick lists (sorted, so uniform index draws are deterministic).
+  std::vector<std::string> live_;         // every live SLD
+  std::vector<std::string> live_idns_;    // live IDNs, clean + listed
+  std::vector<std::string> blacklisted_;  // live, mask != 0
+  std::uint64_t fresh_counter_ = 0;       // ascii NOD name sequence
+};
+
+// --- CLI `timeline` verb ----------------------------------------------------
+//
+// idnscope timeline <day|first..last> [seed] [scale] [abuse_scale]
+// prints the canonical serialized deltas for the requested day range.
+// Driven through run_timeline so tests golden-pin the exact code path the
+// shipped CLI uses (the obsctl convention).
+
+// Strict day parse: whole base-10 u32, no sign, no trailing garbage, no
+// overflow.  Accepts 0 (the caller rejects it with the day-0 message —
+// day 0 is the snapshot, not a delta).
+bool parse_day(std::string_view arg, std::uint32_t* out);
+
+// "<day>" or "<first>..<last>" with first <= last; both halves parse_day.
+bool parse_day_range(std::string_view arg, std::uint32_t* first,
+                     std::uint32_t* last);
+
+// args = argv after the verb.  Exit 0 on success (deltas on `out`),
+// 2 on usage/parse errors (message on `err`).
+int run_timeline(const std::vector<std::string>& args, std::string& out,
+                 std::string& err);
+
+}  // namespace idnscope::ecosystem

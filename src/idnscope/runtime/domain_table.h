@@ -103,11 +103,17 @@ class DomainTable {
  public:
   DomainTable() = default;
 
-  // Non-copyable (no reason to duplicate an arena); movable.
-  DomainTable(const DomainTable&) = delete;
+  // Non-copyable (no reason to duplicate an arena by accident); movable.
+  // The deliberate duplicate is clone(), the incremental-update fork point:
+  // serve/ advances a published snapshot by cloning the live Study's table
+  // and applying a day's delta to the clone while readers keep the old
+  // generation.  Every member is a value type, so the defaulted copy is a
+  // deep copy and the clone honors the same id-stability contract.
   DomainTable& operator=(const DomainTable&) = delete;
   DomainTable(DomainTable&&) = default;
   DomainTable& operator=(DomainTable&&) = default;
+
+  DomainTable clone() const { return DomainTable(*this); }
 
   // Intern `domain`, returning its stable id.  Re-interning an existing
   // string returns the original id; side-table values are preserved.
@@ -185,6 +191,10 @@ class DomainTable {
   }
 
  private:
+  // Copying is clone()-only; the defaulted member-wise copy is correct
+  // because every member is a value type.
+  DomainTable(const DomainTable&) = default;
+
   static constexpr std::uint8_t kRegisteredFlag = 1;
   static constexpr std::uint8_t kIdnFlag = 2;
 

@@ -33,9 +33,11 @@ StudySnapshot::StudySnapshot(const ecosystem::Ecosystem& eco,
         const obs::StageTimer stage("serve.snapshot.build");
         return core::Study(eco, options.study);
       }()),
-      homograph_(ecosystem::alexa_top1k(), options.homograph),
-      semantic_(ecosystem::alexa_top1k()),
-      type2_(),
+      homograph_(std::make_shared<const core::HomographDetector>(
+          ecosystem::alexa_top1k(), options.homograph)),
+      semantic_(std::make_shared<const core::SemanticDetector>(
+          ecosystem::alexa_top1k())),
+      type2_(std::make_shared<const core::Type2Detector>()),
       generation_(options.generation) {
   const obs::StageTimer stage("serve.snapshot.build/indexes");
   // Force the lazy skeleton index now: readers must never take the
@@ -43,13 +45,35 @@ StudySnapshot::StudySnapshot(const ecosystem::Ecosystem& eco,
   // must be settled before the first query.
   const core::SkeletonIndex& index = study_.skeleton_index();
   bytes_ = study_.table().memory_bytes() + index.bytes() +
-           homograph_.brand_table_bytes() + semantic_.brand_table_bytes() +
-           type2_.dictionary_bytes();
+           homograph_->brand_table_bytes() + semantic_->brand_table_bytes() +
+           type2_->dictionary_bytes();
   SnapshotMetrics& metrics = snapshot_metrics();
   metrics.builds.add(1);
   // Pure size math, a function of (scenario, options) only — the latest
   // built snapshot wins the gauge, mirroring the static-table gauge
   // convention of docs/OBSERVABILITY.md.
+  metrics.bytes.set(static_cast<std::int64_t>(bytes_));
+}
+
+StudySnapshot::StudySnapshot(const StudySnapshot& prev, core::Study&& study,
+                             std::uint64_t generation)
+    : eco_(prev.eco_),
+      study_(std::move(study)),
+      homograph_(prev.homograph_),
+      semantic_(prev.semantic_),
+      type2_(prev.type2_),
+      generation_(generation) {
+  const obs::StageTimer stage("serve.snapshot.advance");
+  // Same forced-build stance as the full constructor: the query path must
+  // never take the lazy-build lock.  The adopted study usually carries the
+  // clone's unbuilt index state; when the caller already forced it (e.g.
+  // apply_delta fed the overlay), this is a no-op.
+  const core::SkeletonIndex& index = study_.skeleton_index();
+  bytes_ = study_.table().memory_bytes() + index.bytes() +
+           homograph_->brand_table_bytes() + semantic_->brand_table_bytes() +
+           type2_->dictionary_bytes();
+  SnapshotMetrics& metrics = snapshot_metrics();
+  metrics.builds.add(1);
   metrics.bytes.set(static_cast<std::int64_t>(bytes_));
 }
 
@@ -59,19 +83,19 @@ void StudySnapshot::classify_ace(std::string_view ace,
   // detectors own their provenance emission sites, so a classify() of a
   // batch-scanned domain appends records byte-identical to the batch run's
   // (same rule strings, same scores, same facets).
-  if (auto match = homograph_.best_match(ace)) {
+  if (auto match = homograph_->best_match(ace)) {
     verdict.homograph.flagged = true;
     verdict.homograph.rule = match->rule;
     verdict.homograph.brand = std::move(match->brand);
     verdict.homograph.score_micros = obs::to_micros(match->ssim);
   }
-  if (auto hit = semantic_.match(ace)) {
+  if (auto hit = semantic_->match(ace)) {
     verdict.semantic_t1.flagged = true;
     verdict.semantic_t1.rule = "ascii_strip_brand_match";
     verdict.semantic_t1.brand = std::move(hit->brand);
     verdict.semantic_t1.score_micros = obs::to_micros(1.0);
   }
-  if (auto hit = type2_.match(ace)) {
+  if (auto hit = type2_->match(ace)) {
     verdict.semantic_t2.flagged = true;
     verdict.semantic_t2.rule = "translation_substring";
     verdict.semantic_t2.brand = std::move(hit->brand);

@@ -98,7 +98,19 @@ class StudySnapshot {
   StudySnapshot(const ecosystem::Ecosystem& eco,
                 const SnapshotOptions& options = {});
 
-  StudySnapshot(const StudySnapshot&) = delete;
+  // Incremental advance (the timeline path, DESIGN.md §11): adopt an
+  // already-updated Study — prev.study().clone() + core::Study::
+  // apply_delta — and share prev's ecosystem pointer and detector
+  // instances.  Brand tables never change day-over-day, so the expensive
+  // detector state is reference-counted across generations; only the
+  // Study (table + side tables + skeleton index) is per-generation.  The
+  // adopted study's skeleton index is forced here like the full build's,
+  // and the generation stamp must be the caller's next number (the
+  // publisher convention), so a QueryEngine verdict memo keyed on the
+  // previous generation can never serve a pre-delta verdict.
+  StudySnapshot(const StudySnapshot& prev, core::Study&& study,
+                std::uint64_t generation);
+
   StudySnapshot& operator=(const StudySnapshot&) = delete;
 
   // Answer one query.  Thread-safe, lock-free, allocation-bounded; emits
@@ -116,6 +128,14 @@ class StudySnapshot {
   const ecosystem::Ecosystem& eco() const { return *eco_; }
   std::uint64_t generation() const { return generation_; }
 
+  // The snapshot's detector instances as the non-owning probe bundle
+  // core::Study::apply_delta re-detects through — the advance path hands
+  // this to apply_delta so re-verdict provenance is emitted by the exact
+  // detectors the next generation will serve with.
+  core::DeltaDetectors detectors() const {
+    return {homograph_.get(), semantic_.get(), type2_.get()};
+  }
+
   // Working set as pure size math (DomainTable arena+index, skeleton
   // index, detector brand tables) — mirrored into the serve.snapshot.bytes
   // gauge at build time and budget-gated in CI (BUDGET_serve.json).
@@ -128,9 +148,12 @@ class StudySnapshot {
 
   const ecosystem::Ecosystem* eco_;
   core::Study study_;
-  core::HomographDetector homograph_;
-  core::SemanticDetector semantic_;
-  core::Type2Detector type2_;
+  // shared_ptr so an incrementally-advanced generation shares the brand
+  // tables with its predecessor instead of re-rendering them (const: the
+  // immutability contract covers the detectors too).
+  std::shared_ptr<const core::HomographDetector> homograph_;
+  std::shared_ptr<const core::SemanticDetector> semantic_;
+  std::shared_ptr<const core::Type2Detector> type2_;
   std::uint64_t generation_;
   std::size_t bytes_ = 0;
 };

@@ -1,0 +1,250 @@
+// Malformed-delta corpus: every file under tests/data/delta_corpus/ is fed
+// through the strict parser and — when it parses — applied to both replay
+// paths over the same hand-built micro-world: ecosystem::apply_delta (the
+// full-scan world mutation) and core::Study::apply_delta (the incremental
+// table update).  The two must agree byte-for-byte on the error, and on the
+// applied prefix that precedes it (the error-prefix contract of DESIGN.md
+// §11), mirroring zone_corpus_test.cpp's serial-vs-sharded stance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "idnscope/core/study.h"
+#include "idnscope/dns/record.h"
+#include "idnscope/dns/zone.h"
+#include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/ecosystem/scenario.h"
+#include "idnscope/ecosystem/timeline.h"
+
+#ifndef IDNSCOPE_DELTA_CORPUS_DIR
+#error "IDNSCOPE_DELTA_CORPUS_DIR must point at tests/data/delta_corpus"
+#endif
+
+namespace idnscope::ecosystem {
+namespace {
+
+// Fixed micro-world the corpus records reference by name: one com zone
+// with an ASCII domain (alpha.com), a clean IDN (xn--80ak6aa92e.com) and a
+// blacklisted IDN (xn--listed-9ya.com, mask 3).  Small enough that every
+// corpus file rebuilds it from scratch.
+Ecosystem micro_world() {
+  Ecosystem eco;
+  eco.scenario = Scenario::tiny();
+  dns::Zone com("com");
+  com.add({"alpha.com", 172800, dns::RrType::kNs, "ns1.dns.example"});
+  com.add({"xn--80ak6aa92e.com", 172800, dns::RrType::kNs, "ns1.dns.example"});
+  com.add({"xn--listed-9ya.com", 172800, dns::RrType::kNs, "ns1.dns.example"});
+  eco.zones.push_back(std::move(com));
+  eco.idns = {"xn--80ak6aa92e.com", "xn--listed-9ya.com"};
+  eco.blacklist["xn--listed-9ya.com"] = 3;
+  return eco;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(IDNSCOPE_DELTA_CORPUS_DIR)) {
+    if (entry.is_regular_file()) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string base_name(const std::string& path) {
+  return std::filesystem::path(path).filename().string();
+}
+
+struct ApplyOutcome {
+  bool ok = false;
+  std::string code;
+  std::string message;
+};
+
+TEST(DeltaCorpus, CorpusIsPresent) {
+  // Guard against a silently-empty directory making every test vacuous.
+  EXPECT_GE(corpus_files().size(), 12U);
+}
+
+TEST(DeltaCorpus, BothApplyPathsAgreeOnEveryFile) {
+  for (const std::string& path : corpus_files()) {
+    const auto parsed = parse_delta(read_file(path));
+    if (!parsed.ok()) {
+      // Both paths share the one strict parser; nothing to differentiate.
+      continue;
+    }
+    const DayDelta& delta = parsed.value();
+
+    // The contract's apply order: the study is built over the world, the
+    // eco-side apply mutates it first (WHOIS for new registrations), then
+    // the incremental study folds the same delta.
+    Ecosystem eco = micro_world();
+    core::Study study(eco);
+    TimelineState state = TimelineState::from(eco);
+
+    ApplyOutcome eco_outcome;
+    if (const auto applied = apply_delta(eco, state, delta); applied.ok()) {
+      eco_outcome.ok = true;
+    } else {
+      eco_outcome.code = applied.error().code;
+      eco_outcome.message = applied.error().message;
+    }
+    ApplyOutcome study_outcome;
+    if (const auto applied = study.apply_delta(delta); applied.ok()) {
+      study_outcome.ok = true;
+    } else {
+      study_outcome.code = applied.error().code;
+      study_outcome.message = applied.error().message;
+    }
+
+    EXPECT_EQ(eco_outcome.ok, study_outcome.ok) << base_name(path);
+    EXPECT_EQ(eco_outcome.code, study_outcome.code) << base_name(path);
+    EXPECT_EQ(eco_outcome.message, study_outcome.message) << base_name(path);
+
+    // Error-prefix agreement: whatever each path applied before stopping,
+    // the registered set must match domain-for-domain.
+    for (const auto& [domain, entry] : state.domains) {
+      EXPECT_EQ(entry.live, study.is_registered(domain))
+          << base_name(path) << ": " << domain;
+    }
+  }
+}
+
+// Targeted expectations for the known files, so the corpus cannot rot into
+// "everything errors and trivially matches".
+
+struct ParseExpectation {
+  const char* name;
+  const char* code;
+  const char* message;
+};
+
+TEST(DeltaCorpus, ParseLevelFilesRejectWithTheDocumentedErrors) {
+  const std::vector<ParseExpectation> expectations = {
+      {"/truncated_record.delta", "delta.bad_count",
+       "header announces 2 records but 1 followed"},
+      {"/non_utf8_label.delta", "delta.bad_domain",
+       "line 2: domain must be lowercase ACE [a-z0-9.-] with a TLD"},
+      {"/bad_mask.delta", "delta.bad_mask", "line 2: mask must be 1..255"},
+      {"/unknown_kind.delta", "delta.bad_record",
+       "line 2: unknown record kind '?'"},
+      {"/trailing_garbage.delta", "delta.bad_record",
+       "line 3: record needs exactly 3 fields"},
+  };
+  for (const ParseExpectation& expected : expectations) {
+    const auto parsed = parse_delta(
+        read_file(std::string(IDNSCOPE_DELTA_CORPUS_DIR) + expected.name));
+    ASSERT_FALSE(parsed.ok()) << expected.name;
+    EXPECT_EQ(parsed.error().code, expected.code) << expected.name;
+    EXPECT_EQ(parsed.error().message, expected.message) << expected.name;
+  }
+}
+
+struct ApplyExpectation {
+  const char* name;
+  const char* code;
+  const char* message;
+};
+
+TEST(DeltaCorpus, ApplyLevelFilesRejectWithTheSharedBuilderStrings) {
+  const std::vector<ApplyExpectation> expectations = {
+      {"/out_of_order_day.delta", "delta.bad_day",
+       "delta day 2 does not follow day 0"},
+      {"/duplicate_registration.delta", "delta.bad_apply",
+       "delta day 1 record 1: duplicate registration of alpha.com"},
+      {"/expiry_never_registered.delta", "delta.bad_apply",
+       "delta day 1 record 0: expiry of never-registered ghost.com"},
+      {"/blacklist_non_idn.delta", "delta.bad_apply",
+       "delta day 1 record 0: blacklist record for non-idn domain alpha.com"},
+      {"/idn_flag_mismatch.delta", "delta.bad_apply",
+       "delta day 1 record 0: idn flag mismatch for xn--fresh.com"},
+      {"/offset_mask_mismatch.delta", "delta.bad_apply",
+       "delta day 1 record 0: blacklist offset mask mismatch for "
+       "xn--listed-9ya.com"},
+      {"/unknown_tld.delta", "delta.bad_apply",
+       "delta day 1 record 0: unknown TLD for fresh-1.net"},
+  };
+  for (const ApplyExpectation& expected : expectations) {
+    const auto parsed = parse_delta(
+        read_file(std::string(IDNSCOPE_DELTA_CORPUS_DIR) + expected.name));
+    ASSERT_TRUE(parsed.ok()) << expected.name << ": "
+                             << parsed.error().message;
+    Ecosystem eco = micro_world();
+    TimelineState state = TimelineState::from(eco);
+    const auto applied = apply_delta(eco, state, parsed.value());
+    ASSERT_FALSE(applied.ok()) << expected.name;
+    EXPECT_EQ(applied.error().code, expected.code) << expected.name;
+    EXPECT_EQ(applied.error().message, expected.message) << expected.name;
+  }
+}
+
+TEST(DeltaCorpus, DuplicateRegistrationKeepsTheAppliedPrefixOnBothPaths) {
+  const auto parsed = parse_delta(read_file(
+      std::string(IDNSCOPE_DELTA_CORPUS_DIR) + "/duplicate_registration.delta"));
+  ASSERT_TRUE(parsed.ok());
+  Ecosystem eco = micro_world();
+  core::Study study(eco);
+  TimelineState state = TimelineState::from(eco);
+  ASSERT_FALSE(apply_delta(eco, state, parsed.value()).ok());
+  ASSERT_FALSE(study.apply_delta(parsed.value()).ok());
+  // Record 0 (fresh-1.com) was applied before record 1 failed — on both
+  // sides; the failed delta does not advance the day on either.
+  EXPECT_TRUE(state.domains.at("fresh-1.com").live);
+  EXPECT_TRUE(study.is_registered("fresh-1.com"));
+  EXPECT_EQ(state.day, 0u);
+  EXPECT_EQ(study.day(), 0u);
+}
+
+TEST(DeltaCorpus, ValidDayAppliesIdenticallyOnBothPaths) {
+  const auto parsed = parse_delta(
+      read_file(std::string(IDNSCOPE_DELTA_CORPUS_DIR) + "/valid_day.delta"));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  Ecosystem eco = micro_world();
+  core::Study study(eco);
+  TimelineState state = TimelineState::from(eco);
+  const auto eco_applied = apply_delta(eco, state, parsed.value());
+  ASSERT_TRUE(eco_applied.ok()) << eco_applied.error().message;
+  const auto study_applied = study.apply_delta(parsed.value());
+  ASSERT_TRUE(study_applied.ok()) << study_applied.error().message;
+  EXPECT_EQ(eco_applied.value().registrations, 2u);
+  EXPECT_EQ(eco_applied.value().expiries, 1u);
+  EXPECT_EQ(eco_applied.value().blacklist_on, 1u);
+  EXPECT_EQ(eco_applied.value().blacklist_off, 1u);
+  EXPECT_EQ(study.day(), 1u);
+  EXPECT_EQ(state.day, 1u);
+
+  // The incremental study now equals a from-scratch study of the mutated
+  // world, field for field (the replay contract in miniature).
+  const core::Study fresh(eco);
+  EXPECT_EQ(study.totals().sld_count, fresh.totals().sld_count);
+  EXPECT_EQ(study.totals().idn_count, fresh.totals().idn_count);
+  EXPECT_EQ(study.totals().blacklist_total, fresh.totals().blacklist_total);
+  auto sorted = [](const core::Study& s, std::span<const runtime::DomainId> ids) {
+    std::vector<std::string> out = s.resolve(ids);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(sorted(study, study.idns()), sorted(fresh, fresh.idns()));
+  EXPECT_EQ(sorted(study, study.malicious_idns()),
+            sorted(fresh, fresh.malicious_idns()));
+  EXPECT_FALSE(study.is_registered("alpha.com"));
+  EXPECT_TRUE(study.is_registered("xn--fresh-2.com"));
+  EXPECT_EQ(study.blacklist_mask("xn--fresh-2.com"), 2);
+  EXPECT_EQ(study.blacklist_mask("xn--listed-9ya.com"), 0);
+}
+
+}  // namespace
+}  // namespace idnscope::ecosystem

@@ -1,12 +1,20 @@
-// Seeded property tests for the codec layer: punycode encode/decode
-// round-trips and IDNA ToASCII/ToUnicode idempotence over generated
-// Unicode labels.  10k cases each from a fixed seed; failures shrink to a
-// minimal label and report the seed + fork tag needed to replay.
+// Seeded property tests: punycode encode/decode round-trips, IDNA
+// ToASCII/ToUnicode idempotence over generated Unicode labels, and the
+// zone-delta algebra (apply∘invert identity, split-replay composition).
+// 10k cases each from a fixed seed; failures shrink to a minimal case and
+// report the seed + fork tag needed to replay.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "idnscope/dns/record.h"
+#include "idnscope/dns/zone.h"
+#include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/ecosystem/timeline.h"
 #include "idnscope/idna/idna.h"
 #include "idnscope/idna/punycode.h"
 #include "property_common.h"
@@ -130,6 +138,256 @@ TEST(IdnaProperty, ToAsciiToUnicodeIdempotent) {
       shrink_label, print_label);
   // The property must not pass vacuously: most generated labels convert.
   EXPECT_GT(converted, 1000U);
+}
+
+// --- zone-delta algebra (ecosystem/timeline.h, DESIGN.md §11) ---------------
+
+// Fixed name pool the delta generator draws from: ASCII, ACE-SLD and
+// ACE-TLD domains, live and unregistered, clean and blacklisted.
+const std::vector<std::string>& delta_pool() {
+  static const std::vector<std::string> pool = {
+      "a0.com",      "a1.com",      "a2.com",      "a3.com",
+      "xn--b0.com",  "xn--b1.com",  "xn--b2.com",  "xn--b3.com",
+      "c0.xn--p1ai", "c1.xn--p1ai",
+  };
+  return pool;
+}
+
+// Deterministic micro-world over the pool: two zones, three live IDNs (two
+// of them listed), two live ASCII names, the rest unregistered.
+ecosystem::Ecosystem delta_world() {
+  ecosystem::Ecosystem eco;
+  dns::Zone com("com");
+  for (const char* owner : {"a0.com", "a1.com", "xn--b0.com", "xn--b1.com"}) {
+    com.add({owner, 172800, dns::RrType::kNs, "ns1.dns.example"});
+  }
+  dns::Zone ru("xn--p1ai");
+  ru.add({"c0.xn--p1ai", 172800, dns::RrType::kNs, "ns1.dns.example"});
+  eco.zones.push_back(std::move(com));
+  eco.zones.push_back(std::move(ru));
+  eco.idns = {"xn--b0.com", "xn--b1.com", "c0.xn--p1ai"};
+  eco.sampled_non_idns = {"a0.com", "a1.com"};
+  eco.blacklist["xn--b1.com"] = 3;
+  eco.blacklist["c0.xn--p1ai"] = 255;
+  return eco;
+}
+
+// One random *valid* delta against `state`: at most one record per pool
+// name, each action legal for that name's current lifecycle position.
+ecosystem::DayDelta random_delta(Rng& rng, const ecosystem::TimelineState& state,
+                                 std::uint32_t day) {
+  ecosystem::DayDelta delta;
+  delta.day = day;
+  delta.seed = 1;
+  for (const std::string& name : delta_pool()) {
+    const auto it = state.domains.find(name);
+    const bool live = it != state.domains.end() && it->second.live;
+    const bool idn = ecosystem::delta_domain_is_idn(name);
+    if (!live) {
+      if (rng.chance(0.35)) {
+        delta.records.push_back(
+            {ecosystem::DeltaKind::kRegister, name, idn, 0});
+      }
+      continue;
+    }
+    if (rng.chance(0.25)) {
+      delta.records.push_back(
+          {ecosystem::DeltaKind::kExpire, name, it->second.is_idn, 0});
+    } else if (idn && it->second.mask == 0 && rng.chance(0.3)) {
+      delta.records.push_back(
+          {ecosystem::DeltaKind::kBlacklistOn, name, false,
+           static_cast<std::uint8_t>(rng.uniform(1, 255))});
+    } else if (idn && it->second.mask != 0 && rng.chance(0.5)) {
+      delta.records.push_back({ecosystem::DeltaKind::kBlacklistOff, name,
+                               false, it->second.mask});
+    }
+  }
+  return delta;
+}
+
+// The live world as a comparable value (std::map iteration is sorted, so
+// the projection is canonical).  Expired names and never-registered names
+// are both "not live" — the round-trip identity is over this view.
+std::vector<std::tuple<std::string, bool, std::uint8_t>> live_view(
+    const ecosystem::TimelineState& state) {
+  std::vector<std::tuple<std::string, bool, std::uint8_t>> out;
+  for (const auto& [name, entry] : state.domains) {
+    if (entry.live) {
+      out.emplace_back(name, entry.is_idn, entry.mask);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> sorted_copy(std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<ecosystem::DayDelta> shrink_delta(
+    const ecosystem::DayDelta& delta) {
+  // Records touch distinct pool names, so any drop-one subset is still a
+  // valid delta — minimal counterexamples are single records.
+  std::vector<ecosystem::DayDelta> out;
+  for (std::size_t i = 0; i < delta.records.size(); ++i) {
+    ecosystem::DayDelta smaller = delta;
+    smaller.records.erase(smaller.records.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(smaller));
+  }
+  return out;
+}
+
+TEST(DeltaProperty, ApplyThenInvertRestoresThePriorDay) {
+  std::uint64_t nonempty = 0;
+  check_property<ecosystem::DayDelta>(
+      "delta_apply_invert", PropertyConfig{},
+      [](Rng& rng) {
+        const auto state =
+            ecosystem::TimelineState::from(delta_world());
+        return random_delta(rng, state, 1);
+      },
+      [&](const ecosystem::DayDelta& delta) {
+        auto eco = delta_world();
+        auto state = ecosystem::TimelineState::from(eco);
+        // An expire record carries the idn flag but not the blacklist mask,
+        // so undoing an expiry restores the name *clean*: the round-trip
+        // identity is over the domain set and idn flags; masks survive for
+        // every name the delta did not expire.
+        std::vector<std::string> expired;
+        for (const auto& record : delta.records) {
+          if (record.kind == ecosystem::DeltaKind::kExpire) {
+            expired.push_back(record.domain);
+          }
+        }
+        auto expected_live = live_view(state);
+        for (auto& [name, is_idn, mask] : expected_live) {
+          if (std::find(expired.begin(), expired.end(), name) !=
+              expired.end()) {
+            mask = 0;
+          }
+        }
+        auto expected_blacklist = eco.blacklist;
+        for (const std::string& name : expired) {
+          expected_blacklist.erase(name);
+        }
+        const auto before_idns = sorted_copy(eco.idns);
+        const auto before_non_idns = sorted_copy(eco.sampled_non_idns);
+        if (!ecosystem::apply_delta(eco, state, delta).ok()) {
+          return false;  // generated deltas are valid by construction
+        }
+        nonempty += delta.records.empty() ? 0 : 1;
+        // The codec round-trips through the same bytes the CLI would emit.
+        const auto reparsed =
+            ecosystem::parse_delta(ecosystem::serialize_delta(delta));
+        if (!reparsed.ok() || !(reparsed.value() == delta)) {
+          return false;
+        }
+        ecosystem::DayDelta inverse = ecosystem::invert_delta(delta);
+        inverse.day = 2;  // days only move forward; the undo is the next day
+        if (!ecosystem::apply_delta(eco, state, inverse).ok()) {
+          return false;
+        }
+        return live_view(state) == expected_live &&
+               eco.blacklist == expected_blacklist &&
+               sorted_copy(eco.idns) == before_idns &&
+               sorted_copy(eco.sampled_non_idns) == before_non_idns;
+      },
+      shrink_delta,
+      [](const ecosystem::DayDelta& delta) {
+        return ecosystem::serialize_delta(delta);
+      });
+  // Non-vacuity: almost every case exercises at least one record.
+  EXPECT_GT(nonempty, 5000U);
+}
+
+struct SplitCase {
+  std::uint32_t days = 2;
+  std::uint32_t split = 1;
+  std::uint64_t salt = 0;
+};
+
+TEST(DeltaProperty, SplitReplayComposesToTheSameWorld) {
+  check_property<SplitCase>(
+      "delta_composition", PropertyConfig{},
+      [](Rng& rng) {
+        SplitCase c;
+        c.days = static_cast<std::uint32_t>(rng.uniform(2, 6));
+        c.split = static_cast<std::uint32_t>(rng.uniform(1, c.days - 1));
+        c.salt = rng.next_u64();
+        return c;
+      },
+      [](const SplitCase& c) {
+        // Derive the day-1..N stream against the evolving reference world.
+        Rng rng(c.salt);
+        auto reference = delta_world();
+        auto ref_state = ecosystem::TimelineState::from(reference);
+        std::vector<ecosystem::DayDelta> deltas;
+        for (std::uint32_t day = 1; day <= c.days; ++day) {
+          deltas.push_back(random_delta(rng, ref_state, day));
+          if (!ecosystem::apply_delta(reference, ref_state, deltas.back())
+                   .ok()) {
+            return false;
+          }
+        }
+        // Path A: one continuous replay of [1..N].
+        auto continuous = delta_world();
+        auto continuous_state = ecosystem::TimelineState::from(continuous);
+        for (const auto& delta : deltas) {
+          if (!ecosystem::apply_delta(continuous, continuous_state, delta)
+                   .ok()) {
+            return false;
+          }
+        }
+        // Path B: [1..k], a serialization boundary, then [k+1..N] from the
+        // re-parsed bytes (the pause-and-resume shape of a real feed).
+        auto split = delta_world();
+        auto split_state = ecosystem::TimelineState::from(split);
+        for (std::uint32_t day = 1; day <= c.days; ++day) {
+          const ecosystem::DayDelta& delta = deltas[day - 1];
+          if (day <= c.split) {
+            if (!ecosystem::apply_delta(split, split_state, delta).ok()) {
+              return false;
+            }
+            continue;
+          }
+          const auto reparsed =
+              ecosystem::parse_delta(ecosystem::serialize_delta(delta));
+          if (!reparsed.ok() ||
+              !ecosystem::apply_delta(split, split_state, reparsed.value())
+                   .ok()) {
+            return false;
+          }
+        }
+        return continuous_state.day == c.days &&
+               split_state.day == c.days &&
+               live_view(continuous_state) == live_view(ref_state) &&
+               live_view(split_state) == live_view(ref_state) &&
+               split.blacklist == reference.blacklist &&
+               sorted_copy(split.idns) == sorted_copy(reference.idns) &&
+               sorted_copy(split.sampled_non_idns) ==
+                   sorted_copy(reference.sampled_non_idns);
+      },
+      [](const SplitCase& c) {
+        std::vector<SplitCase> out;
+        if (c.days > 2) {
+          SplitCase fewer = c;
+          fewer.days -= 1;
+          fewer.split = std::min(fewer.split, fewer.days - 1);
+          out.push_back(fewer);
+        }
+        if (c.split > 1) {
+          SplitCase earlier = c;
+          earlier.split -= 1;
+          out.push_back(earlier);
+        }
+        return out;
+      },
+      [](const SplitCase& c) {
+        return "days=" + std::to_string(c.days) +
+               " split=" + std::to_string(c.split) +
+               " salt=" + std::to_string(c.salt);
+      });
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 // verdict memo transparency) and the seeded load generator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -17,6 +19,7 @@
 #include "idnscope/ecosystem/brands.h"
 #include "idnscope/ecosystem/ecosystem.h"
 #include "idnscope/ecosystem/scenario.h"
+#include "idnscope/ecosystem/timeline.h"
 #include "idnscope/obs/metrics.h"
 #include "idnscope/serve/engine.h"
 #include "idnscope/serve/loadgen.h"
@@ -387,6 +390,147 @@ TEST(ServeEngine, VerdictMemoIsTransparentAndCountsHits) {
   EXPECT_EQ(hit_delta + miss_delta, kQueries);
   // 512 draws from a few thousand subjects must repeat at least once.
   EXPECT_GT(hit_delta, 0U);
+}
+
+// --- incremental advance (DESIGN.md §11) ------------------------------------
+
+// A day-0 snapshot and its incrementally-advanced day-1 successor, built
+// once: clone the published study, apply the day's delta with the
+// snapshot's own detector bundle, adopt the result as generation 2.
+struct AdvanceWorld {
+  ecosystem::Ecosystem eco;
+  ecosystem::DayDelta delta;
+  std::shared_ptr<const serve::StudySnapshot> prev;
+  std::shared_ptr<const serve::StudySnapshot> next;
+  std::string registered_idn;  // day-1 registration, unknown to gen 1
+  std::string expired;         // live at day 0, expired by the delta
+  std::string untouched;       // in both generations, no delta record
+
+  AdvanceWorld() : eco(ecosystem::generate(ecosystem::Scenario::tiny())) {
+    ecosystem::Timeline timeline(eco);
+    prev = std::make_shared<const serve::StudySnapshot>(eco);
+    delta = timeline.next();
+    for (const auto& record : delta.records) {
+      if (record.kind == ecosystem::DeltaKind::kRegister && record.is_idn &&
+          registered_idn.empty()) {
+        registered_idn = record.domain;
+      }
+      if (record.kind == ecosystem::DeltaKind::kExpire && expired.empty()) {
+        expired = record.domain;
+      }
+    }
+    for (const runtime::DomainId id : prev->study().idns()) {
+      const std::string domain(prev->study().table().str(id));
+      const bool touched =
+          std::any_of(delta.records.begin(), delta.records.end(),
+                      [&](const auto& r) { return r.domain == domain; });
+      if (!touched) {
+        untouched = domain;
+        break;
+      }
+    }
+    // Eco first (the WHOIS join reads eco.whois), then the cloned study.
+    ecosystem::TimelineState state = ecosystem::TimelineState::from(eco);
+    if (!ecosystem::apply_delta(eco, state, delta).ok()) {
+      std::abort();
+    }
+    core::Study advanced = prev->study().clone();
+    const core::DeltaDetectors detectors = prev->detectors();
+    if (!advanced.apply_delta(delta, &detectors).ok()) {
+      std::abort();
+    }
+    next = std::make_shared<const serve::StudySnapshot>(
+        *prev, std::move(advanced), 2);
+  }
+};
+
+const AdvanceWorld& advance_world() {
+  static const AdvanceWorld* world = new AdvanceWorld;
+  return *world;
+}
+
+TEST(ServeSnapshot, AdvanceBumpsGenerationAndServesThePostDeltaWorld) {
+  const AdvanceWorld& world = advance_world();
+  ASSERT_FALSE(world.registered_idn.empty());
+  ASSERT_FALSE(world.expired.empty());
+  ASSERT_FALSE(world.untouched.empty());
+  EXPECT_EQ(world.prev->generation(), 1U);
+  EXPECT_EQ(world.next->generation(), 2U);
+  EXPECT_EQ(world.next->study().day(), 1U);
+
+  // The day-1 registration exists only behind the new generation stamp.
+  const serve::Verdict before = world.prev->classify(world.registered_idn);
+  EXPECT_EQ(before.generation, 1U);
+  EXPECT_FALSE(before.known);
+  const serve::Verdict after = world.next->classify(world.registered_idn);
+  EXPECT_EQ(after.generation, 2U);
+  EXPECT_TRUE(after.known);
+  EXPECT_TRUE(after.registered);
+  EXPECT_TRUE(after.idn);
+
+  // The expired name stays interned but drops its registered bit.
+  EXPECT_TRUE(world.prev->classify(world.expired).registered);
+  const serve::Verdict gone = world.next->classify(world.expired);
+  EXPECT_TRUE(gone.known);
+  EXPECT_FALSE(gone.registered);
+
+  // An untouched domain answers identically apart from the stamp.
+  const serve::Verdict a = world.prev->classify(world.untouched);
+  const serve::Verdict b = world.next->classify(world.untouched);
+  EXPECT_EQ(a.generation, 1U);
+  EXPECT_EQ(b.generation, 2U);
+  EXPECT_EQ(a.known, b.known);
+  EXPECT_EQ(a.registered, b.registered);
+  EXPECT_EQ(a.idn, b.idn);
+  EXPECT_EQ(a.blacklist_mask, b.blacklist_mask);
+  expect_finding_eq(a.homograph, b.homograph, world.untouched, "homograph");
+  expect_finding_eq(a.semantic_t1, b.semantic_t1, world.untouched,
+                    "semantic_t1");
+  expect_finding_eq(a.semantic_t2, b.semantic_t2, world.untouched,
+                    "semantic_t2");
+
+  // The shared-detector economy: both generations serve from the same
+  // brand tables (the advance constructor's reference-count contract).
+  EXPECT_EQ(world.prev->detectors().homograph,
+            world.next->detectors().homograph);
+}
+
+TEST(ServeEngine, MemoNeverServesPreDeltaVerdictsForTouchedDomains) {
+  const AdvanceWorld& world = advance_world();
+  serve::SnapshotPublisher publisher(world.prev);
+  std::vector<serve::Verdict> seen;
+  serve::EngineOptions options;
+  options.cache_verdicts = true;
+  serve::QueryEngine engine(
+      publisher, options,
+      [&](std::span<const serve::Verdict> verdicts, double) {
+        seen.insert(seen.end(), verdicts.begin(), verdicts.end());
+      });
+
+  // Warm the memo against generation 1: the future registration resolves
+  // unknown, the future expiry still registered.
+  engine.submit(serve::Query{world.registered_idn});
+  engine.submit(serve::Query{world.expired});
+  engine.flush();
+  ASSERT_EQ(seen.size(), 2U);
+  EXPECT_EQ(seen[0].generation, 1U);
+  EXPECT_FALSE(seen[0].known);
+  EXPECT_TRUE(seen[1].registered);
+
+  // Publish the incrementally-advanced generation and re-ask: the memo is
+  // keyed by generation, so a touched domain can never be answered with a
+  // cached pre-delta verdict.
+  publisher.publish(world.next);
+  seen.clear();
+  engine.submit(serve::Query{world.registered_idn});
+  engine.submit(serve::Query{world.expired});
+  engine.flush();
+  ASSERT_EQ(seen.size(), 2U);
+  EXPECT_EQ(seen[0].generation, 2U);
+  EXPECT_TRUE(seen[0].known);
+  EXPECT_TRUE(seen[0].registered);
+  EXPECT_EQ(seen[1].generation, 2U);
+  EXPECT_FALSE(seen[1].registered);
 }
 
 // --- load generator ---------------------------------------------------------

@@ -1,0 +1,528 @@
+// Longitudinal zone deltas (ecosystem/timeline.h, DESIGN.md §11): the
+// strict delta codec, the seeded generator, the CLI `timeline` verb, and
+// core::Study::apply_delta's replay contract against from-scratch studies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "idnscope/core/homograph.h"
+#include "idnscope/core/semantic.h"
+#include "idnscope/core/semantic_type2.h"
+#include "idnscope/core/skeleton_index.h"
+#include "idnscope/core/study.h"
+#include "idnscope/dns/record.h"
+#include "idnscope/dns/zone.h"
+#include "idnscope/ecosystem/brands.h"
+#include "idnscope/ecosystem/ecosystem.h"
+#include "idnscope/ecosystem/scenario.h"
+#include "idnscope/ecosystem/timeline.h"
+#include "idnscope/obs/metrics.h"
+
+namespace idnscope {
+namespace {
+
+using ecosystem::DayDelta;
+using ecosystem::DeltaKind;
+using ecosystem::DeltaRecord;
+
+DayDelta sample_delta() {
+  DayDelta delta;
+  delta.day = 3;
+  delta.seed = 20170921;
+  delta.records = {
+      {DeltaKind::kRegister, "xn--80ak6aa92e.com", true, 0},
+      {DeltaKind::kRegister, "nod-7f3.net", false, 0},
+      {DeltaKind::kExpire, "xn--fiq228c.org", true, 0},
+      {DeltaKind::kBlacklistOn, "xn--80ak6aa92e.com", false, 3},
+      {DeltaKind::kBlacklistOff, "xn--wgbl6a.xn--p1ai", false, 255},
+  };
+  return delta;
+}
+
+// --- codec ------------------------------------------------------------------
+
+TEST(DeltaCodec, SerializeProducesTheDocumentedForm) {
+  EXPECT_EQ(serialize_delta(sample_delta()),
+            "$DELTA day 3 seed 20170921 records 5\n"
+            "+ xn--80ak6aa92e.com idn\n"
+            "+ nod-7f3.net ascii\n"
+            "- xn--fiq228c.org idn\n"
+            "B xn--80ak6aa92e.com 3\n"
+            "b xn--wgbl6a.xn--p1ai 255\n");
+}
+
+TEST(DeltaCodec, RoundTripsEveryRecordKind) {
+  const DayDelta delta = sample_delta();
+  const auto parsed = ecosystem::parse_delta(serialize_delta(delta));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value(), delta);
+}
+
+TEST(DeltaCodec, RoundTripsAnEmptyDay) {
+  DayDelta delta;
+  delta.day = 1;
+  delta.seed = 7;
+  const auto parsed = ecosystem::parse_delta(serialize_delta(delta));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value(), delta);
+}
+
+struct ParseRejectCase {
+  const char* name;
+  const char* text;
+  const char* code;
+  const char* message;
+};
+
+class DeltaParseReject : public ::testing::TestWithParam<ParseRejectCase> {};
+
+TEST_P(DeltaParseReject, RejectsLoudly) {
+  const auto result = ecosystem::parse_delta(GetParam().text);
+  ASSERT_FALSE(result.ok()) << GetParam().name;
+  EXPECT_EQ(result.error().code, GetParam().code) << GetParam().name;
+  EXPECT_EQ(result.error().message, GetParam().message) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DeltaParseReject,
+    ::testing::Values(
+        ParseRejectCase{"empty_input", "", "delta.bad_header",
+                        "line 1: missing $DELTA header"},
+        ParseRejectCase{"not_a_header", "hello world\n", "delta.bad_header",
+                        "line 1: header must be '$DELTA day <d> seed <s> "
+                        "records <n>'"},
+        ParseRejectCase{"missing_field",
+                        "$DELTA day 1 seed 7\n", "delta.bad_header",
+                        "line 1: header must be '$DELTA day <d> seed <s> "
+                        "records <n>'"},
+        ParseRejectCase{"misspelled_keyword",
+                        "$DELTA day 1 sed 7 records 0\n", "delta.bad_header",
+                        "line 1: header must be '$DELTA day <d> seed <s> "
+                        "records <n>'"},
+        ParseRejectCase{"day_not_numeric",
+                        "$DELTA day x seed 7 records 0\n", "delta.bad_header",
+                        "line 1: bad day number"},
+        ParseRejectCase{"day_overflows_u32",
+                        "$DELTA day 4294967296 seed 7 records 0\n",
+                        "delta.bad_header", "line 1: bad day number"},
+        ParseRejectCase{"seed_not_numeric",
+                        "$DELTA day 1 seed 7x records 0\n", "delta.bad_header",
+                        "line 1: bad seed number"},
+        ParseRejectCase{"count_not_numeric",
+                        "$DELTA day 1 seed 7 records many\n",
+                        "delta.bad_header", "line 1: bad record count"},
+        ParseRejectCase{"record_too_short",
+                        "$DELTA day 1 seed 7 records 1\n+ a.com\n",
+                        "delta.bad_record",
+                        "line 2: record needs exactly 3 fields"},
+        ParseRejectCase{"record_too_long",
+                        "$DELTA day 1 seed 7 records 1\n+ a.com idn extra\n",
+                        "delta.bad_record",
+                        "line 2: record needs exactly 3 fields"},
+        ParseRejectCase{"unknown_kind",
+                        "$DELTA day 1 seed 7 records 1\n* a.com idn\n",
+                        "delta.bad_record", "line 2: unknown record kind '*'"},
+        ParseRejectCase{"uppercase_domain",
+                        "$DELTA day 1 seed 7 records 1\n+ A.com idn\n",
+                        "delta.bad_domain",
+                        "line 2: domain must be lowercase ACE [a-z0-9.-] "
+                        "with a TLD"},
+        ParseRejectCase{"domain_without_tld",
+                        "$DELTA day 1 seed 7 records 1\n+ nodot idn\n",
+                        "delta.bad_domain",
+                        "line 2: domain must be lowercase ACE [a-z0-9.-] "
+                        "with a TLD"},
+        ParseRejectCase{"raw_unicode_domain",
+                        "$DELTA day 1 seed 7 records 1\n+ caf\xC3\xA9.com "
+                        "idn\n",
+                        "delta.bad_domain",
+                        "line 2: domain must be lowercase ACE [a-z0-9.-] "
+                        "with a TLD"},
+        ParseRejectCase{"bad_flag",
+                        "$DELTA day 1 seed 7 records 1\n+ a.com maybe\n",
+                        "delta.bad_record",
+                        "line 2: flag must be 'idn' or 'ascii'"},
+        ParseRejectCase{"mask_zero",
+                        "$DELTA day 1 seed 7 records 1\nB xn--a.com 0\n",
+                        "delta.bad_mask", "line 2: mask must be 1..255"},
+        ParseRejectCase{"mask_too_big",
+                        "$DELTA day 1 seed 7 records 1\nB xn--a.com 256\n",
+                        "delta.bad_mask", "line 2: mask must be 1..255"},
+        ParseRejectCase{"empty_line_mid_file",
+                        "$DELTA day 1 seed 7 records 2\n+ a.com ascii\n\n"
+                        "+ b.com ascii\n",
+                        "delta.bad_record", "line 3: empty line"},
+        ParseRejectCase{"too_few_records",
+                        "$DELTA day 1 seed 7 records 2\n+ a.com ascii\n",
+                        "delta.bad_count",
+                        "header announces 2 records but 1 followed"},
+        ParseRejectCase{"too_many_records",
+                        "$DELTA day 1 seed 7 records 0\n+ a.com ascii\n",
+                        "delta.bad_count",
+                        "header announces 0 records but 1 followed"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(DeltaCodec, DomainIdnFlagFollowsTheZoneScannersRule) {
+  EXPECT_TRUE(ecosystem::delta_domain_is_idn("xn--80ak6aa92e.com"));
+  EXPECT_TRUE(ecosystem::delta_domain_is_idn("ascii-label.xn--p1ai"));
+  EXPECT_FALSE(ecosystem::delta_domain_is_idn("paypal.com"));
+  EXPECT_FALSE(ecosystem::delta_domain_is_idn("nod-7f3.net"));
+}
+
+TEST(DeltaCodec, InvertSwapsKindsAndReversesOrder) {
+  const DayDelta delta = sample_delta();
+  const DayDelta inverted = ecosystem::invert_delta(delta);
+  EXPECT_EQ(inverted.day, delta.day);
+  EXPECT_EQ(inverted.seed, delta.seed);
+  ASSERT_EQ(inverted.records.size(), delta.records.size());
+  const std::vector<DeltaRecord> expected = {
+      {DeltaKind::kBlacklistOn, "xn--wgbl6a.xn--p1ai", false, 255},
+      {DeltaKind::kBlacklistOff, "xn--80ak6aa92e.com", false, 3},
+      {DeltaKind::kRegister, "xn--fiq228c.org", true, 0},
+      {DeltaKind::kExpire, "nod-7f3.net", false, 0},
+      {DeltaKind::kExpire, "xn--80ak6aa92e.com", true, 0},
+  };
+  EXPECT_EQ(inverted.records, expected);
+  // Inversion is an involution.
+  EXPECT_EQ(ecosystem::invert_delta(inverted), delta);
+}
+
+// --- day parsing ------------------------------------------------------------
+
+TEST(ParseDay, AcceptsWholeBase10U32Only) {
+  std::uint32_t day = 99;
+  EXPECT_TRUE(ecosystem::parse_day("0", &day));
+  EXPECT_EQ(day, 0u);
+  EXPECT_TRUE(ecosystem::parse_day("36500", &day));
+  EXPECT_EQ(day, 36500u);
+  EXPECT_TRUE(ecosystem::parse_day("4294967295", &day));
+  EXPECT_EQ(day, 4294967295u);
+  EXPECT_FALSE(ecosystem::parse_day("", &day));
+  EXPECT_FALSE(ecosystem::parse_day("+3", &day));
+  EXPECT_FALSE(ecosystem::parse_day("-3", &day));
+  EXPECT_FALSE(ecosystem::parse_day("3 ", &day));
+  EXPECT_FALSE(ecosystem::parse_day("3x", &day));
+  EXPECT_FALSE(ecosystem::parse_day("4294967296", &day));
+  EXPECT_FALSE(ecosystem::parse_day("99999999999999999999", &day));
+}
+
+TEST(ParseDayRange, SingleDayAndClosedRanges) {
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+  EXPECT_TRUE(ecosystem::parse_day_range("5", &first, &last));
+  EXPECT_EQ(first, 5u);
+  EXPECT_EQ(last, 5u);
+  EXPECT_TRUE(ecosystem::parse_day_range("2..5", &first, &last));
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(last, 5u);
+  EXPECT_TRUE(ecosystem::parse_day_range("7..7", &first, &last));
+  EXPECT_EQ(first, 7u);
+  EXPECT_EQ(last, 7u);
+  EXPECT_FALSE(ecosystem::parse_day_range("3..1", &first, &last));
+  EXPECT_FALSE(ecosystem::parse_day_range("..5", &first, &last));
+  EXPECT_FALSE(ecosystem::parse_day_range("5..", &first, &last));
+  EXPECT_FALSE(ecosystem::parse_day_range("2..x", &first, &last));
+  EXPECT_FALSE(ecosystem::parse_day_range("2...5", &first, &last));
+  EXPECT_FALSE(ecosystem::parse_day_range("", &first, &last));
+}
+
+// --- CLI verb (obsctl-style goldens over run_timeline) ----------------------
+
+struct CliResult {
+  int code = -1;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_timeline(std::vector<std::string> args) {
+  CliResult result;
+  result.code = ecosystem::run_timeline(args, result.out, result.err);
+  return result;
+}
+
+TEST(TimelineCli, UsageOnMissingOrExcessArgs) {
+  for (const auto& args : std::vector<std::vector<std::string>>{
+           {}, {"1", "9", "1000", "20", "extra"}}) {
+    const CliResult result = run_timeline(args);
+    EXPECT_EQ(result.code, 2);
+    EXPECT_TRUE(result.out.empty());
+    EXPECT_EQ(result.err.substr(0, 24), "usage: idnscope timeline");
+  }
+}
+
+TEST(TimelineCli, RejectsMalformedDays) {
+  for (const char* bad : {"abc", "3..1", "1x", "-2"}) {
+    const CliResult result = run_timeline({bad});
+    EXPECT_EQ(result.code, 2) << bad;
+    EXPECT_EQ(result.err,
+              "timeline: days must be whole base-10 integers, '<day>' or "
+              "'<first>..<last>' with first <= last; got \"" +
+                  std::string(bad) + "\"\n");
+  }
+}
+
+TEST(TimelineCli, RejectsDayZero) {
+  const CliResult result = run_timeline({"0"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_EQ(result.err,
+            "timeline: day 0 is the generator snapshot, not a delta; days "
+            "start at 1\n");
+  // ...including when day 0 only starts the range.
+  const CliResult range = run_timeline({"0..3"});
+  EXPECT_EQ(range.code, 2);
+  EXPECT_EQ(range.err, result.err);
+}
+
+TEST(TimelineCli, RejectsDaysPastTheReplayHorizon) {
+  const CliResult result = run_timeline({"36501"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_EQ(result.err,
+            "timeline: day 36501 exceeds the replay horizon (36500)\n");
+}
+
+TEST(TimelineCli, RejectsMalformedSeedAndScales) {
+  const CliResult seed = run_timeline({"1", "20abc"});
+  EXPECT_EQ(seed.code, 2);
+  EXPECT_EQ(seed.err,
+            "timeline: seed must be a whole base-10 integer (it selects the "
+            "synthetic world); got \"20abc\"\n");
+  const CliResult scale = run_timeline({"1", "9", "0"});
+  EXPECT_EQ(scale.code, 2);
+  EXPECT_EQ(scale.err,
+            "timeline: scale arguments are divisors and must be whole "
+            "integers >= 1; got \"0\"\n");
+  const CliResult abuse = run_timeline({"1", "9", "1000", "2x"});
+  EXPECT_EQ(abuse.code, 2);
+  EXPECT_EQ(abuse.err,
+            "timeline: scale arguments are divisors and must be whole "
+            "integers >= 1; got \"2x\"\n");
+}
+
+TEST(TimelineCli, EmitsCanonicalDeltasDeterministically) {
+  // Scaled down (1000/20 divisors = the tiny-world population) so the CLI
+  // path stays unit-test fast.
+  const CliResult first = run_timeline({"1..2", "20170921", "1000", "20"});
+  ASSERT_EQ(first.code, 0) << first.err;
+  EXPECT_TRUE(first.err.empty());
+  EXPECT_EQ(first.out.substr(0, 26), "$DELTA day 1 seed 20170921");
+  // Both requested days appear, in order.
+  EXPECT_NE(first.out.find("\n$DELTA day 2 seed 20170921"), std::string::npos);
+  // Every line of the output re-parses: the stream is two valid blocks.
+  const std::size_t day2 = first.out.find("$DELTA day 2");
+  ASSERT_NE(day2, std::string::npos);
+  const auto block1 = ecosystem::parse_delta(first.out.substr(0, day2));
+  const auto block2 = ecosystem::parse_delta(first.out.substr(day2));
+  ASSERT_TRUE(block1.ok()) << block1.error().message;
+  ASSERT_TRUE(block2.ok()) << block2.error().message;
+  EXPECT_EQ(block1.value().day, 1u);
+  EXPECT_EQ(block2.value().day, 2u);
+
+  // Same args, same bytes.
+  const CliResult again = run_timeline({"1..2", "20170921", "1000", "20"});
+  ASSERT_EQ(again.code, 0);
+  EXPECT_EQ(again.out, first.out);
+
+  // A subsetted range replays through the unprinted prefix: "2" alone is
+  // exactly the day-2 block of "1..2".
+  const CliResult tail = run_timeline({"2", "20170921", "1000", "20"});
+  ASSERT_EQ(tail.code, 0);
+  EXPECT_EQ(tail.out, first.out.substr(day2));
+}
+
+// --- generator --------------------------------------------------------------
+
+TEST(Timeline, TwoInstancesOverTheSameWorldEmitIdenticalStreams) {
+  const auto eco = ecosystem::generate(ecosystem::Scenario::tiny());
+  ecosystem::Timeline a(eco);
+  ecosystem::Timeline b(eco);
+  EXPECT_EQ(a.day(), 0u);
+  for (int day = 1; day <= 3; ++day) {
+    const DayDelta da = a.next();
+    const DayDelta db = b.next();
+    EXPECT_EQ(da, db) << "day " << day;
+    EXPECT_EQ(da.day, static_cast<std::uint32_t>(day));
+    EXPECT_EQ(da.seed, eco.scenario.seed);
+    EXPECT_FALSE(da.records.empty());
+  }
+  EXPECT_EQ(a.day(), 3u);
+}
+
+TEST(Timeline, DeltasApplyCleanlyToTheGeneratingWorld) {
+  auto eco = ecosystem::generate(ecosystem::Scenario::tiny());
+  ecosystem::Timeline timeline(eco);
+  ecosystem::TimelineState state = ecosystem::TimelineState::from(eco);
+  for (int day = 1; day <= 5; ++day) {
+    const DayDelta delta = timeline.next();
+    const auto stats = ecosystem::apply_delta(eco, state, delta);
+    ASSERT_TRUE(stats.ok()) << "day " << day << ": " << stats.error().message;
+    EXPECT_EQ(stats.value().registrations +
+                  stats.value().expiries +
+                  stats.value().blacklist_on +
+                  stats.value().blacklist_off,
+              delta.records.size());
+    // The generator's own post-fold state agrees with the applied state.
+    EXPECT_EQ(state.day, timeline.day());
+    EXPECT_EQ(state.live_count(), timeline.state().live_count());
+    EXPECT_EQ(state.live_idn_count(), timeline.state().live_idn_count());
+  }
+}
+
+// --- Study::apply_delta (the replay contract) -------------------------------
+
+std::vector<std::string> sorted_strings(const core::Study& study,
+                                        std::span<const runtime::DomainId> ids) {
+  std::vector<std::string> out = study.resolve(ids);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void expect_groups_equal(const core::Study& incremental,
+                         const core::Study& fresh) {
+  const auto& a = incremental.tld_groups();
+  const auto& b = fresh.tld_groups();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].sld_count, b[i].sld_count) << a[i].name;
+    EXPECT_EQ(a[i].idn_count, b[i].idn_count) << a[i].name;
+    EXPECT_EQ(a[i].whois_count, b[i].whois_count) << a[i].name;
+    EXPECT_EQ(a[i].blacklist_virustotal, b[i].blacklist_virustotal)
+        << a[i].name;
+    EXPECT_EQ(a[i].blacklist_360, b[i].blacklist_360) << a[i].name;
+    EXPECT_EQ(a[i].blacklist_baidu, b[i].blacklist_baidu) << a[i].name;
+    EXPECT_EQ(a[i].blacklist_total, b[i].blacklist_total) << a[i].name;
+  }
+}
+
+TEST(StudyApplyDelta, ReplaysFieldIdenticalToFromScratchStudies) {
+  auto eco = ecosystem::generate(ecosystem::Scenario::tiny());
+  // Pre-generate the stream before the world starts mutating.
+  ecosystem::Timeline timeline(eco);
+  std::vector<DayDelta> deltas;
+  for (int day = 1; day <= 5; ++day) {
+    deltas.push_back(timeline.next());
+  }
+  core::Study study(eco);
+  ecosystem::TimelineState state = ecosystem::TimelineState::from(eco);
+  for (const DayDelta& delta : deltas) {
+    // Eco first (the WHOIS join for new registrations reads eco().whois),
+    // then the incremental study.
+    ASSERT_TRUE(ecosystem::apply_delta(eco, state, delta).ok());
+    const auto applied = study.apply_delta(delta);
+    ASSERT_TRUE(applied.ok()) << "day " << delta.day << ": "
+                              << applied.error().message;
+    EXPECT_EQ(study.day(), delta.day);
+
+    const core::Study fresh(eco);
+    expect_groups_equal(study, fresh);
+    EXPECT_EQ(sorted_strings(study, study.idns()),
+              sorted_strings(fresh, fresh.idns()));
+    EXPECT_EQ(sorted_strings(study, study.malicious_idns()),
+              sorted_strings(fresh, fresh.malicious_idns()));
+  }
+}
+
+TEST(StudyApplyDelta, RedetectsExactlyTheRegisteredIdns) {
+  auto eco = ecosystem::generate(ecosystem::Scenario::tiny());
+  ecosystem::Timeline timeline(eco);
+  const DayDelta delta = timeline.next();
+  core::Study study(eco);  // over the pre-delta snapshot
+  ecosystem::TimelineState state = ecosystem::TimelineState::from(eco);
+  ASSERT_TRUE(ecosystem::apply_delta(eco, state, delta).ok());
+
+  const core::HomographDetector homograph(ecosystem::alexa_top1k());
+  const core::SemanticDetector semantic(ecosystem::alexa_top1k());
+  const core::Type2Detector type2;
+  const core::DeltaDetectors detectors{&homograph, &semantic, &type2};
+
+  obs::Counter redetected =
+      obs::Registry::global().counter("core.delta.redetected");
+  const std::uint64_t before = redetected.value();
+  const auto applied = study.apply_delta(delta, &detectors);
+  ASSERT_TRUE(applied.ok()) << applied.error().message;
+  // One verdict per newly-registered IDN, in record order; the counter
+  // proves only the touched domains were probed.
+  EXPECT_EQ(applied.value().verdicts.size(),
+            applied.value().registered_idns.size());
+  EXPECT_EQ(redetected.value() - before,
+            applied.value().registered_idns.size());
+  for (std::size_t i = 0; i < applied.value().verdicts.size(); ++i) {
+    EXPECT_EQ(applied.value().verdicts[i].id,
+              applied.value().registered_idns[i]);
+  }
+}
+
+TEST(StudyApplyDelta, FeedsTheSkeletonIndexOverlay) {
+  auto eco = ecosystem::generate(ecosystem::Scenario::tiny());
+  ecosystem::Timeline timeline(eco);
+  const DayDelta delta = timeline.next();
+  core::Study study(eco);  // over the pre-delta snapshot
+  ecosystem::TimelineState state = ecosystem::TimelineState::from(eco);
+  ASSERT_TRUE(ecosystem::apply_delta(eco, state, delta).ok());
+
+  const core::SkeletonIndex& index = study.skeleton_index();  // force build
+  EXPECT_EQ(index.overlay_postings(), 0u);
+  const auto applied = study.apply_delta(delta);
+  ASSERT_TRUE(applied.ok()) << applied.error().message;
+  // Every registered IDN whose display form skeletonizes lands in the
+  // overlay; the generated stream always contains at least the Cyrillic
+  // confusable variants, so the overlay cannot stay empty.
+  EXPECT_GT(index.overlay_postings(), 0u);
+  EXPECT_LE(index.overlay_postings(), applied.value().registered_idns.size());
+}
+
+TEST(StudyApplyDelta, CloneAdvancesIndependentlyOfTheOriginal) {
+  auto eco = ecosystem::generate(ecosystem::Scenario::tiny());
+  ecosystem::Timeline timeline(eco);
+  const DayDelta delta = timeline.next();
+  core::Study original(eco);  // over the pre-delta snapshot
+  ecosystem::TimelineState state = ecosystem::TimelineState::from(eco);
+  ASSERT_TRUE(ecosystem::apply_delta(eco, state, delta).ok());
+
+  const std::size_t idns_before = original.idns().size();
+  const auto totals_before = original.totals();
+
+  core::Study next = original.clone();
+  const auto applied = next.apply_delta(delta);
+  ASSERT_TRUE(applied.ok()) << applied.error().message;
+  EXPECT_EQ(next.day(), 1u);
+
+  // The published study is untouched while its successor advanced.
+  EXPECT_EQ(original.day(), 0u);
+  EXPECT_EQ(original.idns().size(), idns_before);
+  EXPECT_EQ(original.totals().sld_count, totals_before.sld_count);
+  EXPECT_EQ(original.totals().blacklist_total, totals_before.blacklist_total);
+  EXPECT_NE(next.idns().size(), idns_before);  // tiny-world days always churn
+  // Interned ids agree across the clone boundary for surviving domains.
+  const runtime::DomainId id = original.idns().front();
+  EXPECT_EQ(original.domain(id), next.domain(id));
+}
+
+TEST(StudyApplyDelta, OutOfOrderDayRejectsIdenticallyOnBothPaths) {
+  auto eco = ecosystem::generate(ecosystem::Scenario::tiny());
+  ecosystem::Timeline timeline(eco);
+  DayDelta delta = timeline.next();
+  delta.day = 3;  // state is at day 0; only day 1 may follow
+
+  core::Study study(eco);
+  const auto study_err = study.apply_delta(delta);
+  ecosystem::TimelineState state = ecosystem::TimelineState::from(eco);
+  const auto eco_err = ecosystem::apply_delta(eco, state, delta);
+
+  ASSERT_FALSE(study_err.ok());
+  ASSERT_FALSE(eco_err.ok());
+  EXPECT_EQ(study_err.error().code, "delta.bad_day");
+  EXPECT_EQ(eco_err.error().code, "delta.bad_day");
+  EXPECT_EQ(study_err.error().message, eco_err.error().message);
+  EXPECT_EQ(study_err.error().message, "delta day 3 does not follow day 0");
+  // A rejected delta leaves the day untouched.
+  EXPECT_EQ(study.day(), 0u);
+  EXPECT_EQ(state.day, 0u);
+}
+
+}  // namespace
+}  // namespace idnscope

@@ -9,6 +9,10 @@
 //                                        (scales are divisors; 1 = the
 //                                        paper's full population)
 //   idnscope survey <domain>             browser display survey for a domain
+//   idnscope timeline <day|first..last> [seed] [scale] [abuse_scale]
+//                                        canonical zone-delta records for the
+//                                        requested days (deterministic per
+//                                        seed; days start at 1)
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +28,7 @@
 #include "idnscope/dns/zone_io.h"
 #include "idnscope/ecosystem/ecosystem.h"
 #include "idnscope/ecosystem/scenario.h"
+#include "idnscope/ecosystem/timeline.h"
 #include "idnscope/idna/idna.h"
 #include "idnscope/idna/punycode.h"
 #include "idnscope/serve/snapshot.h"
@@ -44,7 +49,12 @@ int usage() {
                "                               synthetic-study report; scales\n"
                "                               are divisors, 1 = full paper\n"
                "                               scale (default 100/10)\n"
-               "  survey <domain>              browser display survey\n");
+               "  survey <domain>              browser display survey\n"
+               "  timeline <day|first..last> [seed] [scale] [abuse_scale]\n"
+               "                               canonical zone-delta records\n"
+               "                               for the requested days\n"
+               "                               (deterministic per seed; days\n"
+               "                               start at 1)\n");
   return 2;
 }
 
@@ -263,6 +273,17 @@ int main(int argc, char** argv) {
   }
   if (command == "survey" && argc == 3) {
     return cmd_survey(argv[2]);
+  }
+  if (command == "timeline") {
+    // Driven through run_timeline so tests golden-pin the exact code path
+    // the shipped binary uses (the obsctl convention).
+    std::vector<std::string> args(argv + 2, argv + argc);
+    std::string out;
+    std::string err;
+    const int code = ecosystem::run_timeline(args, out, err);
+    std::fputs(out.c_str(), stdout);
+    std::fputs(err.c_str(), stderr);
+    return code;
   }
   return usage();
 }
